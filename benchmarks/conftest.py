@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (the mapping
+lives in DESIGN.md).  pytest-benchmark provides the timing fixture; the
+returned values are additionally sanity-checked so a benchmark can never
+silently regenerate the wrong numbers fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for benchmark payloads."""
+    return np.random.default_rng(2022)

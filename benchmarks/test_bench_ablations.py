@@ -1,0 +1,40 @@
+"""Benchmarks: the ablation studies (design-choice quantification)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_span(benchmark):
+    """Silenced-span sweep: RSSI gain vs payload overhead."""
+    result = benchmark.pedantic(
+        lambda: ablations.span_ablation(n_data_values=(5, 7, 9)),
+        rounds=1, iterations=1,
+    )
+    assert len(result.rows) == 3
+
+
+def test_bench_ablation_solver(benchmark):
+    """Algorithm 1 vs cluster solver across all 28 configurations."""
+    result = benchmark.pedantic(ablations.solver_ablation, rounds=1, iterations=1)
+    assert all(row[3] == "ok" for row in result.rows)
+
+
+def test_bench_ablation_preamble(benchmark):
+    """Full-power preamble window on/off in the coexistence simulator."""
+    result = benchmark.pedantic(
+        lambda: ablations.preamble_ablation(d_z_values=(1.6,), duration_us=120_000.0),
+        rounds=1, iterations=1,
+    )
+    assert result.rows[0][2] >= result.rows[0][1]
+
+
+def test_bench_ablation_cca(benchmark):
+    """ZigBee CCA-threshold sensitivity sweep."""
+    result = benchmark.pedantic(
+        lambda: ablations.cca_threshold_ablation(
+            thresholds_db=(-77.0, -60.0), duration_us=120_000.0
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.rows[1][1] <= result.rows[0][1]

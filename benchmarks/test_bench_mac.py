@@ -1,0 +1,67 @@
+"""Benchmarks: the coexistence-simulator experiments (Figs. 14, 15, 16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig14_dwz, fig15_dz, fig16_traffic
+
+#: Short simulated duration so one benchmark round stays subsecond-scale.
+QUICK_US = 120_000.0
+
+
+def test_bench_fig14a_dwz_ch13(benchmark):
+    """Fig. 14(a): ZigBee throughput vs d_WZ on a CH1-CH3 channel."""
+    result = benchmark.pedantic(
+        lambda: fig14_dwz.sweep_channel(
+            3, distances=(3.5, 9.0), duration_us=QUICK_US
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result["normal"][0] < 5.0       # blocked at 3.5 m
+    assert result["qam256"][1] > 40.0      # everyone healthy at 9 m
+    assert result["normal"][1] > 40.0
+
+
+def test_bench_fig14b_dwz_ch4(benchmark):
+    """Fig. 14(b): CH4 panel — QAM-256 already works at 1 m."""
+    result = benchmark.pedantic(
+        lambda: fig14_dwz.sweep_channel(4, distances=(1.0,), duration_us=QUICK_US),
+        rounds=1, iterations=1,
+    )
+    assert result["qam256"][0] > 40.0
+    assert result["normal"][0] < 5.0
+
+
+def test_bench_fig15_dz(benchmark):
+    """Fig. 15: collapse when the ZigBee link weakens past ~1.6 m."""
+    result = benchmark.pedantic(
+        lambda: fig15_dz.sweep(distances=(1.0, 1.8), duration_us=QUICK_US),
+        rounds=1, iterations=1,
+    )
+    assert result["qam256"][0] > 40.0
+    assert result["qam256"][1] < 10.0
+
+
+def test_bench_fig16_duty_ratio(benchmark):
+    """Fig. 16: throughput vs WiFi duration ratio with box statistics."""
+    result = benchmark.pedantic(
+        lambda: fig16_traffic.sweep(
+            ratios=(0.2, 0.8), duration_us=QUICK_US, n_seeds=2
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result["normal"][1].mean < 10.0
+    assert result["qam256"][1].mean > 25.0
+
+
+def test_bench_fig4_multilink(benchmark):
+    """Fig. 4 motivation scenario: two links, both failure modes."""
+    from repro.experiments import fig04_scenario
+
+    result = benchmark.pedantic(
+        lambda: fig04_scenario.run(duration_us=QUICK_US), rounds=1, iterations=1
+    )
+    rows = {row[0]: row for row in result.rows}
+    assert rows["normal"][1] < 5.0
+    assert rows["sledzig qam256"][1] > 40.0

@@ -1,0 +1,46 @@
+"""Benchmarks: the RSSI experiments (Figs. 11, 12, 13, 17)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig11_subcarriers,
+    fig12_rssi_decrease,
+    fig13_zigbee_rssi,
+    fig17_wifi_rssi,
+)
+
+
+def test_bench_fig11_subcarrier_sweep(benchmark):
+    """Fig. 11: in-band RSSI vs number of silenced data subcarriers."""
+    result = benchmark.pedantic(
+        lambda: fig11_subcarriers.run(payload_octets=80, n_seeds=2),
+        rounds=1, iterations=1,
+    )
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+    assert rows[("CH1", 7)] < rows[("CH1", 6)] + 0.3
+
+
+def test_bench_fig12_rssi_decrease(benchmark):
+    """Fig. 12: normal vs SledZig reported RSSI per QAM and channel."""
+    result = benchmark.pedantic(
+        lambda: fig12_rssi_decrease.run(payload_octets=120),
+        rounds=1, iterations=1,
+    )
+    for row in result.rows:
+        paper_decrease = row[5] - row[6]
+        assert row[4] == pytest.approx(paper_decrease, abs=3.0)
+
+
+def test_bench_fig13_zigbee_rssi(benchmark):
+    """Fig. 13: ZigBee RSSI vs distance and TX gain."""
+    result = benchmark(fig13_zigbee_rssi.run)
+    assert result.rows[0][1] == pytest.approx(-75.0, abs=0.1)
+
+
+def test_bench_fig17_wifi_rssi(benchmark):
+    """Fig. 17: WiFi vs ZigBee RSSI at the WiFi receiver."""
+    result = benchmark(fig17_wifi_rssi.run)
+    assert result.rows[0][3] == pytest.approx(30.0, abs=1.0)

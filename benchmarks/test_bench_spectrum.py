@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 5(b) — spectrum with lowest points on overlapped subcarriers."""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_spectrum
+
+
+def test_bench_fig5_spectrum(benchmark):
+    """Regenerates the per-subcarrier power comparison of Fig. 5(b)."""
+    result = benchmark(fig05_spectrum.run)
+    regions = {row[0]: row for row in result.rows}
+    assert regions["overlapped data subcarriers"][3] < -6.0
+    assert abs(regions["total symbol power"][3]) < 0.6

@@ -1,0 +1,41 @@
+"""Benchmarks: Tables I-IV of the paper (analytic + end-to-end encoder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2_positions, table3_extra_bits, table4_throughput_loss
+from repro.experiments.table2_positions import PAPER_POSITIONS
+
+
+def test_bench_table1_significant_patterns(benchmark):
+    """Table I: significant bits per QAM point."""
+    from repro.wifi.constellation import significant_bit_pattern
+
+    def regenerate():
+        return {m: significant_bit_pattern(m) for m in ("qam16", "qam64", "qam256")}
+
+    patterns = benchmark(regenerate)
+    assert [len(patterns[m]) for m in ("qam16", "qam64", "qam256")] == [2, 4, 6]
+
+
+def test_bench_table2_positions(benchmark):
+    """Table II: the 14 significant-bit positions (QAM-16, CH2)."""
+    positions = benchmark(table2_positions.paper_convention_positions)
+    assert positions == PAPER_POSITIONS
+
+
+def test_bench_table3_extra_bits(benchmark):
+    """Table III: extra bits per OFDM symbol across all modes."""
+    result = benchmark(table3_extra_bits.run)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["qam16-1/2"][2] == 14
+    assert by_name["qam256-5/6"][4] == 30
+
+
+def test_bench_table4_throughput_loss(benchmark):
+    """Table IV: WiFi throughput loss, analytic + measured frames."""
+    result = benchmark(table4_throughput_loss.run)
+    losses = [row[2] for row in result.rows] + [row[5] for row in result.rows]
+    assert min(losses) == pytest.approx(6.94, abs=0.01)
+    assert max(losses) == pytest.approx(14.58, abs=0.01)

@@ -1,0 +1,16 @@
+"""Benchmark: Section III-B theory and Table I (constellation analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import theory
+
+
+def test_bench_theory_section3b(benchmark):
+    """Regenerates the 7.0 / 13.2 / 19.3 dB power-decrease figures."""
+    result = benchmark(theory.run)
+    decreases = {row[0]: row[3] for row in result.rows}
+    assert decreases["qam16"] == pytest.approx(7.0, abs=0.05)
+    assert decreases["qam64"] == pytest.approx(13.2, abs=0.05)
+    assert decreases["qam256"] == pytest.approx(19.3, abs=0.05)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Adaptive protection: a WiFi AP that discovers and shields its neighbour.
+
+Composes the paper's mechanism with the signal-identification idea its
+related-work section sketches: the AP samples the spectrum between its own
+transmissions, estimates which ZigBee channel is occupied, and enables
+SledZig on exactly that channel — paying the Table IV overhead only while a
+neighbour actually exists.
+
+The demo plays a timeline: quiet spectrum, then a ZigBee sensor appears on
+channel 24 (CH2), later moves to channel 26 (CH4), then leaves.  The
+controller follows with hysteresis (no flapping on single noisy captures).
+
+Run:  python examples/adaptive_protection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sledzig import SledZigTransmitter
+from repro.sledzig.adaptive import (
+    AdaptiveSledZigController,
+    EnergySnapshot,
+    ZigbeeChannelEstimator,
+)
+from repro.sledzig.analysis import throughput_loss
+
+#: Timeline phases: (duration in snapshots, active channel or None).
+PHASES = ((40, None), (80, 2), (80, 4), (40, None))
+
+
+def synth_snapshot(t: float, active: "int | None", rng) -> EnergySnapshot:
+    """One idle-time spectrum sample with noisy ZigBee bursts."""
+    levels = list(rng.normal(-91.0, 1.0, size=4))
+    if active is not None and rng.random() < 0.35:  # bursty traffic
+        levels[active - 1] = float(rng.normal(-72.0, 2.0))
+    return EnergySnapshot(time_us=t, levels_db=levels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    estimator = ZigbeeChannelEstimator(window=30, min_activity=0.12)
+    controller = AdaptiveSledZigController(confirmations=3)
+
+    print("t(ms)  estimate  protected  action")
+    t = 0.0
+    transmitter = None
+    for duration, active in PHASES:
+        for _ in range(duration):
+            estimator.observe(synth_snapshot(t, active, rng))
+            if int(t) % 10 == 0:
+                before = controller.protected_channel
+                after = controller.update(estimator.estimate())
+                if after != before:
+                    if after is None:
+                        transmitter = None
+                        action = "protection OFF (plain WiFi, zero overhead)"
+                    else:
+                        transmitter = SledZigTransmitter("qam64-2/3", after)
+                        loss = throughput_loss("qam64-2/3", after)
+                        action = (
+                            f"protect CH{after} "
+                            f"(overhead {loss:.1%}, frames re-encoded)"
+                        )
+                    print(
+                        f"{t/1000:5.1f}  {str(estimator.estimate()):>8}  "
+                        f"{str(after):>9}  {action}"
+                    )
+            t += 100.0  # one snapshot each 100 us
+
+    print(f"\ntotal protection-target switches: {controller.n_switches}")
+    if transmitter is not None:
+        packet = transmitter.send(b"final state demo")
+        print(f"last transmitter protects {transmitter.channel.name}, "
+              f"{packet.encode_result.n_extra_bits} extra bits in its frame")
+    print("\nReading: the AP pays the SledZig overhead only while a ZigBee "
+          "neighbour is present, and tracks it across channels without "
+          "flapping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Coexistence study: a smart-home sensor sharing air with a busy WiFi AP.
+
+The scenario the paper's introduction motivates: a ZigBee sensor 2 m from a
+WiFi access point that streams continuously.  Without SledZig the sensor is
+starved (WiFi wins every channel contest and its energy drowns the sensor's
+-84 dB signal); with SledZig the AP keeps transmitting at full power while
+the sensor's channel clears.
+
+The study sweeps the sensor's distance from the AP and prints the ZigBee
+throughput for normal WiFi and SledZig under each QAM, plus what the WiFi
+link pays for it (the Table IV loss).
+
+Run:  python examples/coexistence_study.py
+"""
+
+from __future__ import annotations
+
+from repro.mac import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig, run_coexistence
+from repro.sledzig.analysis import throughput_loss
+
+DISTANCES_M = (1.0, 2.0, 3.0, 4.0, 6.0)
+MODES = (
+    ("normal WiFi", "qam64-2/3", None),
+    ("SledZig QAM-16", "qam16-1/2", 4),
+    ("SledZig QAM-64", "qam64-2/3", 4),
+    ("SledZig QAM-256", "qam256-3/4", 4),
+)
+
+
+def run_point(d_wz: float, mcs_name: str, channel: "int | None") -> float:
+    config = CoexistenceConfig(
+        wifi=WifiConfig(mcs_name=mcs_name, sledzig_channel=channel),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=d_wz, d_z=1.0),
+        duration_us=400_000.0,
+        seed=7,
+    )
+    return run_coexistence(config).zigbee_throughput_kbps
+
+
+def main() -> None:
+    print("ZigBee sensor throughput (kbps) under a continuously streaming AP")
+    print("sensor uses ZigBee channel 26 (CH4), link distance 1 m\n")
+    header = ["AP distance"] + [label for label, _, _ in MODES]
+    print("  ".join(f"{h:>16}" for h in header))
+    for d in DISTANCES_M:
+        row = [f"{d:>13.1f} m"]
+        for _, mcs_name, channel in MODES:
+            row.append(f"{run_point(d, mcs_name, channel):>16.1f}")
+        print("  ".join(row))
+
+    print("\nWhat the AP pays (WiFi throughput loss on CH4, Table IV):")
+    for label, mcs_name, channel in MODES[1:]:
+        loss = throughput_loss(mcs_name, channel)
+        print(f"  {label:<16}: {loss:.2%}")
+    print("\nReading: with SledZig the sensor transmits successfully metres "
+          "closer to the AP, for a ~10% WiFi throughput cost (Table IV; all "
+          "three modes coincide at 10.42% on CH4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Interference lab: why DSSS lets ZigBee shrug off partial corruption.
+
+Reconstructs the PHY-level arguments of paper Sections IV-E/IV-F with the
+actual ZigBee chain:
+
+* scattered chip errors (narrowband residue like the WiFi pilot) leave the
+  frame decodable thanks to the 32-chip spreading (d_min = 12);
+* a strong burst the length of a WiFi preamble (16 us = one ZigBee symbol)
+  kills exactly the symbols it covers — harmless over the redundant
+  preamble, fatal over the payload.
+
+Run:  python examples/interference_lab.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import mix_at_offset
+from repro.zigbee import ZigbeeReceiver, ZigbeeTransmitter
+from repro.zigbee.params import SAMPLES_PER_CHIP, SYMBOL_DURATION_US
+
+
+def try_receive(waveform: np.ndarray, psdu: bytes) -> str:
+    try:
+        reception = ZigbeeReceiver().receive(waveform, start_sample=0)
+    except Exception as exc:
+        return f"FAILED ({type(exc).__name__})"
+    if reception.frame.psdu == psdu:
+        worst = min(reception.symbol_scores)
+        return f"decoded OK (worst symbol correlation {worst:.2f})"
+    return "decoded WRONG payload"
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    psdu = bytes(rng.integers(0, 256, size=30, dtype=np.uint8))
+    clean = ZigbeeTransmitter().send(psdu)
+    samples_per_symbol = 32 * SAMPLES_PER_CHIP
+    print(f"frame: {len(psdu)} octets, {clean.duration_us:.0f} us on air\n")
+
+    print("1) clean channel:")
+    print("   ", try_receive(clean.waveform, psdu))
+
+    print("\n2) continuous weak interference (like a residual SledZig "
+          "payload, 10 dB below the signal):")
+    weak = 0.3 * (rng.normal(size=clean.waveform.size)
+                  + 1j * rng.normal(size=clean.waveform.size))
+    print("   ", try_receive(clean.waveform + weak, psdu))
+
+    print("\n3) strong 32 us burst (a WiFi preamble + SIGNAL) over ZigBee "
+          "preamble symbols — redundancy absorbs it:")
+    burst = 6.0 * (rng.normal(size=2 * samples_per_symbol)
+                   + 1j * rng.normal(size=2 * samples_per_symbol))
+    hit_preamble = mix_at_offset(clean.waveform, burst, samples_per_symbol * 2)
+    print("   ", try_receive(hit_preamble, psdu))
+
+    print("\n4) the same burst over payload symbols — no redundancy there "
+          "(the paper's Fig. 15 limitation):")
+    payload_symbol = 14  # SHR(10) + PHR(2) + into the payload
+    hit_payload = mix_at_offset(
+        clean.waveform, burst, samples_per_symbol * payload_symbol
+    )
+    print("   ", try_receive(hit_payload, psdu))
+
+    print(f"\n(one ZigBee symbol = {SYMBOL_DURATION_US:.0f} us = a WiFi "
+          "preamble; the ZigBee CCA window is 8 symbols = 128 us)")
+
+
+if __name__ == "__main__":
+    main()

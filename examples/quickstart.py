@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: send a SledZig-encoded WiFi frame and decode it.
+
+Demonstrates the core loop of the paper in a dozen lines:
+
+1. pick a WiFi modulation and the ZigBee channel to protect;
+2. the transmitter inserts extra bits so the overlapped subcarriers carry
+   only lowest-power constellation points;
+3. a completely standard 802.11 receive chain recovers the stream, detects
+   which ZigBee channel was protected from the constellation, strips the
+   extra bits, and returns the original payload.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SledZigReceiver, SledZigTransmitter
+from repro.wifi.spectral import band_power_db
+
+
+def main() -> None:
+    payload = b"SledZig says hello to the ZigBee neighbourhood!"
+
+    # Protect ZigBee channel 26 ("CH4" in the paper) while sending at
+    # 48 Mbps (QAM-64, rate 2/3).
+    tx = SledZigTransmitter("qam64-2/3", "CH4")
+    packet = tx.send(payload)
+
+    print(f"payload bytes       : {len(payload)}")
+    print(f"extra bits inserted : {packet.encode_result.n_extra_bits}")
+    print(f"throughput overhead : {packet.encode_result.overhead_fraction:.1%}")
+    print(f"frame duration      : {packet.duration_us:.0f} us")
+
+    # Power inside the protected 2 MHz band vs the whole 20 MHz channel.
+    channel = tx.channel
+    in_band = band_power_db(packet.waveform[400:], channel.center_offset_hz, 2e6)
+    total = band_power_db(packet.waveform[400:], 0.0, 20e6)
+    print(f"in-band power       : {in_band:.1f} dB (total {total:.1f} dB)")
+
+    # The receiver needs no configuration: the channel is detected from the
+    # received constellation (paper Section IV-G).
+    rx = SledZigReceiver()
+    received = rx.receive(packet.waveform)
+    print(f"detected channel    : {received.channel.name} "
+          f"(ZigBee {received.channel.zigbee_channel})")
+    print(f"payload recovered   : {received.payload == payload}")
+    print(f"payload             : {received.payload.decode()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""SledZig reproduction: subcarrier-level energy decreasing for coexistence.
+
+Reproduces *SledZig: Boosting Cross-Technology Coexistence for Low-Power
+Wireless Devices* (ICDCS 2022) as a pure-Python system:
+
+* :mod:`repro.wifi` — full 802.11 OFDM PHY (the standard chain SledZig
+  rides on, bit-exact through scrambler/coder/interleaver/QAM/OFDM);
+* :mod:`repro.zigbee` — full 802.15.4 PHY (DSSS, O-QPSK, framing);
+* :mod:`repro.sledzig` — the paper's contribution: significant-bit
+  derivation, extra-bit insertion, receive-side stripping and channel
+  detection;
+* :mod:`repro.channel` — calibrated propagation in the paper's reported-dB
+  domain;
+* :mod:`repro.mac` — discrete-event CSMA/CA coexistence simulator;
+* :mod:`repro.experiments` — regenerates every table and figure.
+
+Quickstart::
+
+    from repro import SledZigTransmitter, SledZigReceiver
+
+    tx = SledZigTransmitter("qam64-2/3", "CH4")
+    packet = tx.send(b"hello zigbee neighbourhood")
+    rx = SledZigReceiver()           # detects the protected channel itself
+    print(rx.receive(packet.waveform).payload)
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    EncodingError,
+    InsertionError,
+    ReproError,
+    SimulationError,
+    SynchronizationError,
+)
+from repro.sledzig import (
+    OverlapChannel,
+    SledZigDecoder,
+    SledZigEncoder,
+    SledZigReceiver,
+    SledZigTransmitter,
+    all_channels,
+    get_channel,
+)
+from repro.wifi import WifiReceiver, WifiTransmitter, get_mcs
+from repro.zigbee import ZigbeeReceiver, ZigbeeTransmitter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DecodingError",
+    "EncodingError",
+    "InsertionError",
+    "ReproError",
+    "SimulationError",
+    "SynchronizationError",
+    "OverlapChannel",
+    "SledZigDecoder",
+    "SledZigEncoder",
+    "SledZigReceiver",
+    "SledZigTransmitter",
+    "all_channels",
+    "get_channel",
+    "WifiReceiver",
+    "WifiTransmitter",
+    "get_mcs",
+    "ZigbeeReceiver",
+    "ZigbeeTransmitter",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Propagation, calibration and noise: the RF environment substrate."""
+
+from repro.channel.awgn import awgn, frequency_shift, mix_at_offset
+from repro.channel.downconvert import (
+    band_power_ratio_db,
+    extract_zigbee_band,
+    inject_interference,
+    inject_wifi_interference,
+    lowpass_fir,
+)
+from repro.channel.calibration import (
+    CC2420_GAIN_TO_DBM,
+    DEFAULT_CALIBRATION,
+    MEASURED_DECREASE_DB,
+    Calibration,
+    cc2420_power_dbm,
+    sledzig_decrease_db,
+)
+from repro.channel.propagation import (
+    WifiSignalProfile,
+    distance,
+    wifi_at_wifi_rx,
+    wifi_inband_at_zigbee,
+    wifi_profile,
+    zigbee_at_wifi_rx,
+    zigbee_rssi,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

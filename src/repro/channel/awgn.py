@@ -1,0 +1,65 @@
+"""Additive white Gaussian noise and waveform mixing for PHY-level tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.db import db_to_linear, signal_power
+
+
+def awgn(
+    waveform: np.ndarray,
+    snr_db: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Add complex AWGN so the result has the requested SNR.
+
+    The noise power is set relative to the measured mean power of
+    *waveform*, which must be non-silent.
+    """
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    power = signal_power(arr)
+    if power <= 0.0:
+        raise ConfigurationError("cannot set an SNR on a silent waveform")
+    rng = rng or np.random.default_rng()
+    noise_power = power / db_to_linear(snr_db)
+    noise = rng.normal(size=arr.size) + 1j * rng.normal(size=arr.size)
+    noise *= np.sqrt(noise_power / 2.0)
+    return arr + noise
+
+
+def mix_at_offset(
+    base: np.ndarray,
+    interferer: np.ndarray,
+    offset_samples: int,
+    gain_db: float = 0.0,
+) -> np.ndarray:
+    """Add *interferer* into *base* starting at *offset_samples*.
+
+    The result length covers both signals; *gain_db* scales the interferer.
+    Used to overlay e.g. a WiFi burst on a ZigBee frame in PHY-level
+    collision experiments.
+    """
+    if offset_samples < 0:
+        raise ConfigurationError("offset must be non-negative")
+    a = np.asarray(base, dtype=np.complex128).ravel()
+    b = np.asarray(interferer, dtype=np.complex128).ravel() * np.sqrt(
+        db_to_linear(gain_db)
+    )
+    total = max(a.size, offset_samples + b.size)
+    out = np.zeros(total, dtype=np.complex128)
+    out[: a.size] = a
+    out[offset_samples : offset_samples + b.size] += b
+    return out
+
+
+def frequency_shift(
+    waveform: np.ndarray, shift_hz: float, sample_rate_hz: float
+) -> np.ndarray:
+    """Shift a baseband waveform by *shift_hz* (complex rotation)."""
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    n = np.arange(arr.size)
+    return arr * np.exp(2j * np.pi * shift_hz * n / sample_rate_hz)

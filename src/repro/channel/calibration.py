@@ -1,0 +1,139 @@
+"""Calibration anchors tying the simulator to the paper's reported RSSI.
+
+The paper's RSSI numbers come from TelosB and USRP registers and are *not*
+absolute dBm; they are self-consistent readings.  All coexistence logic in
+this library therefore runs in the same "reported dB" domain, pinned to the
+operating points the paper states explicitly:
+
+* background noise floor: -91 dB (Section V-A);
+* normal WiFi (TX gain 15) read by a TelosB 1 m away: -60 dB in CH1-CH3 and
+  -64 dB in CH4 (Fig. 12);
+* ZigBee at 0 dBm (TX gain 31) read by a TelosB 0.5 m away: -75 dB
+  (Fig. 13);
+* ZigBee read by the WiFi receiver is a further ~10 dB down because its
+  2 MHz power is averaged over the 20 MHz WiFi band (Fig. 17 discussion);
+* WiFi read by the WiFi receiver 0.5 m away: -55 dB (Fig. 17).
+
+Distance scaling uses a log-distance path-loss model with exponent 3.0
+(typical office NLOS), which lands the paper's crossover distances: normal
+WiFi stops hurting ZigBee near 8.5 m, SledZig QAM-256 near 3.5-4 m
+(CH1-CH3) and ~1 m (CH4).
+
+The in-band *decrease* SledZig achieves per (modulation, channel group) is
+taken from waveform measurements of this library's own transmitter
+(:mod:`repro.experiments.fig12_rssi_decrease` regenerates them); analytic
+values from :func:`repro.sledzig.analysis.expected_band_decrease_db` are
+within ~1 dB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Waveform-measured in-band power decrease (dB) of SledZig vs normal WiFi,
+#: keyed by (modulation, channel-group) where the group is "ch13" for
+#: CH1-CH3 (pilot inside the span) or "ch4" (null subcarriers instead).
+MEASURED_DECREASE_DB: Dict[Tuple[str, str], float] = {
+    ("qam16", "ch13"): 4.5,
+    ("qam16", "ch4"): 6.9,
+    ("qam64", "ch13"): 6.9,
+    ("qam64", "ch4"): 11.3,
+    ("qam256", "ch13"): 7.3,
+    ("qam256", "ch4"): 15.2,
+}
+
+#: CC2420 TX power register settings (TelosB "Tx gain") to output dBm,
+#: from the CC2420 datasheet table.
+CC2420_GAIN_TO_DBM: Dict[int, float] = {
+    31: 0.0,
+    27: -1.0,
+    23: -3.0,
+    19: -5.0,
+    15: -7.0,
+    11: -10.0,
+    7: -15.0,
+    3: -25.0,
+}
+
+
+def cc2420_power_dbm(tx_gain: int) -> float:
+    """Output power for a CC2420 gain register value (0..31, interpolated)."""
+    if not 0 <= tx_gain <= 31:
+        raise ConfigurationError(f"CC2420 TX gain must be 0..31, got {tx_gain}")
+    known = sorted(CC2420_GAIN_TO_DBM)
+    if tx_gain <= known[0]:
+        lo_gain = known[0]
+        return CC2420_GAIN_TO_DBM[lo_gain] - 2.0 * (lo_gain - tx_gain)
+    for lo, hi in zip(known, known[1:]):
+        if lo <= tx_gain <= hi:
+            frac = (tx_gain - lo) / (hi - lo)
+            lo_dbm = CC2420_GAIN_TO_DBM[lo]
+            hi_dbm = CC2420_GAIN_TO_DBM[hi]
+            return lo_dbm + frac * (hi_dbm - lo_dbm)
+    return CC2420_GAIN_TO_DBM[known[-1]]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All reported-dB anchors in one immutable bundle.
+
+    Attributes:
+        noise_floor_db: background noise reading.
+        path_loss_exponent: log-distance exponent.
+        wifi_inband_ch13_at_1m_db: normal-WiFi 2 MHz reading in CH1-CH3 at
+            1 m with the reference WiFi TX gain.
+        wifi_inband_ch4_at_1m_db: ditto for CH4.
+        wifi_reference_gain_db: WiFi TX gain the anchors were taken at;
+            other gains shift readings by the difference.
+        zigbee_at_1m_db: TelosB reading of a 0 dBm ZigBee TX at 1 m
+            (derived from the paper's -75 dB at 0.5 m).
+        zigbee_wifi_band_penalty_db: extra loss when a 20 MHz receiver
+            integrates the 2 MHz ZigBee signal.
+        wifi_at_wifi_1m_db: USRP reading of the WiFi signal at 1 m.
+        zigbee_cca_threshold_db: energy-detect CCA threshold of the ZigBee
+            radio, reported domain.
+        wifi_cca_threshold_db: energy-detect threshold of the WiFi radio.
+    """
+
+    noise_floor_db: float = -91.0
+    path_loss_exponent: float = 3.0
+    wifi_inband_ch13_at_1m_db: float = -60.0
+    wifi_inband_ch4_at_1m_db: float = -64.0
+    wifi_reference_gain_db: float = 15.0
+    zigbee_at_1m_db: float = -84.0
+    zigbee_wifi_band_penalty_db: float = 10.0
+    wifi_at_wifi_1m_db: float = -64.0
+    zigbee_cca_threshold_db: float = -70.0
+    wifi_cca_threshold_db: float = -75.0
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Additional loss relative to the 1 m anchors."""
+        if distance_m <= 0:
+            raise ConfigurationError(
+                f"distance must be positive, got {distance_m}"
+            )
+        return 10.0 * self.path_loss_exponent * _log10(max(distance_m, 0.05))
+
+
+def _log10(x: float) -> float:
+    from math import log10
+
+    return log10(x)
+
+
+def sledzig_decrease_db(modulation: str, channel_index: int) -> float:
+    """Measured in-band decrease for a modulation on CH1..CH4."""
+    group = "ch4" if channel_index == 4 else "ch13"
+    key = (modulation, group)
+    if key not in MEASURED_DECREASE_DB:
+        raise ConfigurationError(
+            f"no measured decrease for {modulation} on CH{channel_index}"
+        )
+    return MEASURED_DECREASE_DB[key]
+
+
+#: The library-wide default calibration.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,148 @@
+"""Reported-RSSI propagation: who reads how much power from whom.
+
+These functions answer the questions the coexistence simulator keeps asking:
+
+* what 2 MHz in-band power does a ZigBee node read from a WiFi transmitter
+  at distance d (during its preamble, a normal payload, or a SledZig
+  payload)?
+* what does a ZigBee receiver read from a ZigBee transmitter?
+* what does the WiFi receiver read from either kind of transmitter?
+
+All answers are in the paper's reported-dB domain (see
+:mod:`repro.channel.calibration`) and never fall below the noise floor when
+``floor=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.calibration import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    cc2420_power_dbm,
+    sledzig_decrease_db,
+)
+from repro.errors import ConfigurationError
+from repro.sledzig.channels import OverlapChannel, get_channel
+
+
+@dataclass(frozen=True)
+class WifiSignalProfile:
+    """In-band power levels of one WiFi transmitter configuration.
+
+    Attributes:
+        preamble_db_at_1m: reading during the (always full-power) preamble
+            plus SIGNAL symbol.
+        payload_db_at_1m: reading during the DATA symbols (reduced when the
+            transmitter runs SledZig).
+    """
+
+    preamble_db_at_1m: float
+    payload_db_at_1m: float
+
+
+def wifi_profile(
+    channel: "int | str | OverlapChannel",
+    sledzig_modulation: Optional[str] = None,
+    tx_gain_db: float = 15.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> WifiSignalProfile:
+    """In-band WiFi power profile for one ZigBee channel.
+
+    Args:
+        channel: which overlap channel the ZigBee link occupies.
+        sledzig_modulation: None for normal WiFi; otherwise the QAM name and
+            the payload level drops by the measured SledZig decrease.
+        tx_gain_db: WiFi transmit gain (readings shift linearly with it).
+        calibration: anchor set.
+    """
+    ch = get_channel(channel)
+    base = (
+        calibration.wifi_inband_ch4_at_1m_db
+        if ch.index == 4
+        else calibration.wifi_inband_ch13_at_1m_db
+    )
+    base += tx_gain_db - calibration.wifi_reference_gain_db
+    payload = base
+    if sledzig_modulation is not None:
+        payload -= sledzig_decrease_db(sledzig_modulation, ch.index)
+    return WifiSignalProfile(preamble_db_at_1m=base, payload_db_at_1m=payload)
+
+
+def wifi_inband_at_zigbee(
+    profile: WifiSignalProfile,
+    distance_m: float,
+    during_preamble: bool = False,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    floor: bool = False,
+) -> float:
+    """WiFi power a ZigBee node reads at *distance_m* (reported dB)."""
+    level = (
+        profile.preamble_db_at_1m if during_preamble else profile.payload_db_at_1m
+    )
+    rssi = level - calibration.path_loss_db(distance_m)
+    if floor:
+        rssi = max(rssi, calibration.noise_floor_db)
+    return rssi
+
+
+def zigbee_rssi(
+    distance_m: float,
+    tx_gain: int = 31,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    floor: bool = False,
+) -> float:
+    """ZigBee power a ZigBee node reads at *distance_m* (reported dB)."""
+    rssi = (
+        calibration.zigbee_at_1m_db
+        + cc2420_power_dbm(tx_gain)
+        - calibration.path_loss_db(distance_m)
+    )
+    if floor:
+        rssi = max(rssi, calibration.noise_floor_db)
+    return rssi
+
+
+def zigbee_at_wifi_rx(
+    distance_m: float,
+    tx_gain: int = 31,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    floor: bool = False,
+) -> float:
+    """ZigBee power the 20 MHz WiFi receiver reads (band-diluted)."""
+    rssi = zigbee_rssi(distance_m, tx_gain, calibration) - (
+        calibration.zigbee_wifi_band_penalty_db
+    )
+    if floor:
+        rssi = max(rssi, calibration.noise_floor_db)
+    return rssi
+
+
+def wifi_at_wifi_rx(
+    distance_m: float,
+    tx_gain_db: float = 15.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    floor: bool = False,
+) -> float:
+    """WiFi power the WiFi receiver reads at *distance_m*."""
+    rssi = (
+        calibration.wifi_at_wifi_1m_db
+        + tx_gain_db
+        - calibration.wifi_reference_gain_db
+        - calibration.path_loss_db(distance_m)
+    )
+    if floor:
+        rssi = max(rssi, calibration.noise_floor_db)
+    return rssi
+
+
+def distance(a: "tuple[float, float]", b: "tuple[float, float]") -> float:
+    """Euclidean distance between two (x, y) positions in metres."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    d = (dx * dx + dy * dy) ** 0.5
+    if d <= 0.0:
+        raise ConfigurationError("two nodes cannot share the same position")
+    return d

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SledZig reproduction library.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was requested.
+
+    Raised eagerly at construction time (e.g. a QAM order the 802.11 rate
+    table does not define, a ZigBee channel outside 11..26, or a coding rate
+    that is not recommended for the selected modulation).
+    """
+
+
+class EncodingError(ReproError):
+    """A transmit chain stage received bits it cannot process."""
+
+
+class DecodingError(ReproError):
+    """A receive chain stage could not recover valid data."""
+
+
+class InsertionError(EncodingError):
+    """SledZig extra-bit insertion could not satisfy a significant bit.
+
+    The paper argues (Section IV-D) that deinterleaving scatters significant
+    bits far enough apart that the single/twin insertion strategy always
+    succeeds.  The encoder re-verifies every constraint after construction
+    and raises this error instead of emitting a wrong waveform if the claim
+    were ever violated.
+    """
+
+
+class SynchronizationError(DecodingError):
+    """A receiver failed to locate a preamble in the waveform."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event coexistence simulator reached an invalid state."""

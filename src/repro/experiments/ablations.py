@@ -1,0 +1,194 @@
+"""Ablation studies for SledZig's design choices.
+
+Each ablation isolates one decision the paper (or this reproduction) makes
+and quantifies what it buys:
+
+* **span**: how many subcarriers to silence per ZigBee channel (Section
+  IV-B says 8 = 6 fully-overlapped + 2 guards; fewer leaks, more wastes
+  payload);
+* **solver**: the paper's Algorithm 1 versus this library's cluster solver
+  (identical overhead; the cluster solver additionally covers the
+  configurations where Algorithm 1's twin precondition fails);
+* **preamble**: the coexistence simulator's full-power preamble window
+  (turning it off overstates SledZig at short range — the Fig. 15 effect);
+* **cca threshold**: ZigBee clear-channel sensitivity (too sensitive and
+  ZigBee defers forever; too deaf and it collides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsertionError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig11_subcarriers import channel_with_n_data
+from repro.experiments.rssi_common import reported_offset_db, sledzig_band_db
+from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
+from repro.mac.simulator import run_coexistence
+from repro.sledzig.algorithm1 import generate_transmit_bits
+from repro.sledzig.insertion import plan_insertion, verify_stream
+from repro.sledzig.significant import extra_bits_per_symbol
+from repro.utils.bits import random_bits
+from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
+
+
+def span_ablation(
+    mcs_name: str = "qam64-2/3",
+    channel_index: int = 2,
+    n_data_values: Sequence[int] = (5, 6, 7, 8, 9),
+    seed: int = 23,
+) -> ExperimentResult:
+    """RSSI gained vs payload overhead as the silenced span grows."""
+    offset = reported_offset_db(seed=seed)
+    mcs = get_mcs(mcs_name)
+    result = ExperimentResult(
+        experiment_id="Ablation: span",
+        title=f"Silenced-subcarrier count on CH{channel_index}, {mcs_name}",
+        columns=["n_data", "RSSI dB", "extra bits/symbol", "loss %"],
+    )
+    per_point = {"qam16": 2, "qam64": 4, "qam256": 6}[mcs.modulation]
+    for n_data in n_data_values:
+        variant = channel_with_n_data(channel_index, n_data)
+        readings = [
+            sledzig_band_db(mcs_name, variant, 120, seed + k) for k in range(3)
+        ]
+        extra = n_data * per_point
+        result.add_row(
+            n_data,
+            float(np.mean(readings)) + offset,
+            extra,
+            100.0 * extra / mcs.n_dbps,
+        )
+    result.notes.append(
+        "RSSI saturates at 7 data subcarriers (plus the pilot = the paper's "
+        "8-span) while overhead keeps growing linearly — the Section IV-B "
+        "operating point"
+    )
+    return result
+
+
+def solver_ablation(seed: int = 29) -> ExperimentResult:
+    """Algorithm 1 (as printed) vs the cluster solver, per configuration.
+
+    Reports, for every paper MCS x channel: whether each approach produces
+    a valid stream and the per-symbol extra-bit count (identical when both
+    succeed).
+    """
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment_id="Ablation: solver",
+        title="Paper Algorithm 1 vs generalised cluster solver",
+        columns=["mcs", "channel", "algorithm1", "cluster", "extra/symbol"],
+    )
+    for name in PAPER_MCS_NAMES:
+        mcs = get_mcs(name)
+        for channel in ("CH1", "CH2", "CH3", "CH4"):
+            k = extra_bits_per_symbol(mcs, channel)
+            # Cluster solver (always applicable).
+            plan = plan_insertion(mcs, channel, 2)
+            payload = random_bits(plan.payload_capacity, rng)
+            from repro.sledzig.insertion import build_stream
+
+            cluster_ok = not verify_stream(build_stream(plan, payload), mcs, channel)
+            # Algorithm 1: rate-1/2 only, and only when twins stay isolated.
+            if mcs.coding_rate == "1/2":
+                try:
+                    stream, _ = generate_transmit_bits(
+                        random_bits(2 * mcs.n_dbps, rng), mcs, channel
+                    )
+                    whole = stream[: (stream.size // mcs.n_dbps) * mcs.n_dbps]
+                    alg1 = "ok" if not verify_stream(whole, mcs, channel) else "invalid"
+                except InsertionError:
+                    alg1 = "precondition fails"
+            else:
+                alg1 = "n/a (punctured)"
+            result.add_row(name, channel, alg1, "ok" if cluster_ok else "invalid", k)
+    result.notes.append(
+        "both insert exactly one extra bit per significant bit; the cluster "
+        "solver additionally covers punctured rates and adjacent-constraint "
+        "cases outside Algorithm 1's stated preconditions"
+    )
+    return result
+
+
+def preamble_ablation(
+    d_z_values: Sequence[float] = (1.0, 1.4, 1.6),
+    duration_us: float = 300_000.0,
+    seed: int = 5,
+) -> ExperimentResult:
+    """Effect of modelling the WiFi preamble window at full power.
+
+    With the preamble modelled (default), SledZig collapses at d_Z ~1.6 m
+    (Fig. 15); pretending the whole burst is payload-level flattens that
+    cliff — evidence the simulator's preamble term carries the paper's
+    Section IV-F limitation.
+    """
+    result = ExperimentResult(
+        experiment_id="Ablation: preamble",
+        title="ZigBee throughput (kbps) with/without the full-power preamble "
+        "window (CH4, d_WZ = 6 m, QAM-256 SledZig, bursty WiFi)",
+        columns=["d_z (m)", "with preamble", "without preamble"],
+    )
+    for d_z in d_z_values:
+        row = [d_z]
+        for preamble in (True, False):
+            config = CoexistenceConfig(
+                wifi=WifiConfig(
+                    mcs_name="qam256-3/4",
+                    sledzig_channel=4,
+                    duty_ratio=0.8,
+                    burst_duration_us=3000.0,
+                    preamble_modelled=preamble,
+                ),
+                zigbee=ZigbeeConfig(channel_index=4),
+                topology=Topology(d_wz=6.0, d_z=d_z),
+                duration_us=duration_us,
+                seed=seed,
+            )
+            row.append(run_coexistence(config).zigbee_throughput_kbps)
+        result.add_row(*row)
+    result.notes.append(
+        "the preamble window is what keeps SledZig honest at the margin: "
+        "removing it inflates throughput at weak-signal distances"
+    )
+    return result
+
+
+def cca_threshold_ablation(
+    thresholds_db: Sequence[float] = (-85.0, -77.0, -70.0, -60.0),
+    duration_us: float = 300_000.0,
+    seed: int = 5,
+) -> ExperimentResult:
+    """ZigBee CCA sensitivity under a duty-cycled normal WiFi neighbour."""
+    result = ExperimentResult(
+        experiment_id="Ablation: CCA threshold",
+        title="ZigBee throughput (kbps) vs CCA threshold (normal WiFi, 50% "
+        "duty, d_WZ = 1.5 m)",
+        columns=["threshold dB", "throughput", "cca busy %", "failed %"],
+    )
+    for threshold in thresholds_db:
+        config = CoexistenceConfig(
+            wifi=WifiConfig(duty_ratio=0.5, burst_duration_us=4000.0),
+            zigbee=ZigbeeConfig(channel_index=4, cca_threshold_db=threshold),
+            topology=Topology(d_wz=1.5, d_z=0.5),
+            duration_us=duration_us,
+            seed=seed,
+        )
+        res = run_coexistence(config)
+        stats = res.zigbee
+        busy = stats.cca_busy / max(stats.cca_attempts, 1)
+        failed = stats.packets_failed / max(stats.packets_sent, 1)
+        result.add_row(
+            threshold,
+            res.zigbee_throughput_kbps,
+            100.0 * busy,
+            100.0 * failed,
+        )
+    result.notes.append(
+        "very sensitive thresholds defer into starvation; deaf thresholds "
+        "transmit into collisions — the -70 dB operating point balances both"
+    )
+    return result

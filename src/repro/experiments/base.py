@@ -1,0 +1,62 @@
+"""Common experiment infrastructure: structured results and text rendering.
+
+Every experiment module exposes a ``run(...) -> ExperimentResult`` function;
+the runner executes them all and renders the same rows/series the paper
+reports, so paper-vs-measured comparisons live in one place
+(EXPERIMENTS.md records the outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results for one paper table or figure.
+
+    Attributes:
+        experiment_id: paper reference, e.g. "Table IV" or "Fig. 14a".
+        title: one-line description.
+        columns: column headers.
+        rows: row tuples (values are str/float/int).
+        notes: caveats and paper-vs-measured commentary.
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def format_table(self) -> str:
+        """Render as an aligned text table."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"{self.experiment_id}: {self.title}"]
+        lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  " + "  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

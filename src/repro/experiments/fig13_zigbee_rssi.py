@@ -1,0 +1,35 @@
+"""Fig. 13: ZigBee RSSI versus link distance and transmit gain.
+
+Pure propagation-model reproduction: the calibrated log-distance model with
+the CC2420 gain table, floored at the -91 dB noise.  Paper anchors: -75 dB
+at 0.5 m / gain 31; submerged in noise at 1 m below gain 15 and at >= 3 m
+even at gain 25.
+"""
+
+from __future__ import annotations
+
+from repro.channel.propagation import zigbee_rssi
+from repro.experiments.base import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Tabulate reported RSSI across (distance, gain)."""
+    result = ExperimentResult(
+        experiment_id="Fig. 13",
+        title="ZigBee RSSI vs link distance d_Z and TX gain",
+        columns=["d_z (m)", "gain 31", "gain 25", "gain 15", "gain 7", "gain 3"],
+    )
+    for d in (0.5, 1.0, 2.0, 3.0, 4.0):
+        result.add_row(
+            d,
+            zigbee_rssi(d, 31, floor=True),
+            zigbee_rssi(d, 25, floor=True),
+            zigbee_rssi(d, 15, floor=True),
+            zigbee_rssi(d, 7, floor=True),
+            zigbee_rssi(d, 3, floor=True),
+        )
+    result.notes.append("noise floor -91 dB; paper anchor: -75 dB at 0.5 m, gain 31")
+    result.notes.append(
+        "at 3 m the signal reaches the noise floor even at gain 25 (paper)"
+    )
+    return result

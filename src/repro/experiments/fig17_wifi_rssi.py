@@ -1,0 +1,39 @@
+"""Fig. 17: RSSI collected at the WiFi receiver from WiFi vs ZigBee signals.
+
+Propagation-model reproduction of the asymmetry that protects WiFi: the
+ZigBee signal reaches the WiFi receiver ~30 dB below the WiFi signal (its
+2 MHz power is additionally diluted across the 20 MHz receive band) and
+sinks to the noise floor by about 1 m — hence the paper's observation that
+ZigBee transmissions never raised the WiFi BER (Section V-D2).
+"""
+
+from __future__ import annotations
+
+from repro.channel.propagation import wifi_at_wifi_rx, zigbee_at_wifi_rx
+from repro.experiments.base import ExperimentResult
+from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
+
+
+def run() -> ExperimentResult:
+    """Tabulate both curves and the resulting WiFi SINR headroom."""
+    result = ExperimentResult(
+        experiment_id="Fig. 17",
+        title="RSSI at the WiFi receiver vs distance",
+        columns=["distance (m)", "WiFi dB", "ZigBee dB", "gap dB"],
+    )
+    for d in (0.5, 1.0, 2.0, 3.0, 4.0, 5.0):
+        wifi = wifi_at_wifi_rx(d, floor=True)
+        zigbee = zigbee_at_wifi_rx(d, floor=True)
+        result.add_row(d, wifi, zigbee, wifi - zigbee)
+    worst = max(get_mcs(name).min_snr_db for name in PAPER_MCS_NAMES)
+    result.notes.append(
+        "paper anchor: ZigBee at 0.5 m reads ~-85 dB, ~30 dB under WiFi, "
+        "and reaches the noise floor near 1 m"
+    )
+    result.notes.append(
+        "the ZigBee level pins to the noise floor beyond ~1 m, so WiFi SNR "
+        "is noise-limited, not ZigBee-limited; only the strictest mode "
+        f"(QAM-256 5/6, {worst:.0f} dB) would need to adapt at very close "
+        "range — the paper's own fallback (Section V-D2)"
+    )
+    return result

@@ -1,0 +1,68 @@
+"""Shared waveform-RSSI machinery for the Fig. 11/12 experiments.
+
+The paper reports TelosB RSSI readings; this module converts waveform band
+powers (dB relative to unit transmit power) into that reported domain by
+pinning the normal-WiFi CH1-CH3 reading at 1 m to the calibration anchor
+(-60 dB).  One offset, measured once per process, makes every subsequent
+measurement directly comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.channel.calibration import DEFAULT_CALIBRATION
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.encoder import SledZigEncoder
+from repro.utils.bits import random_bits
+from repro.wifi.preamble import PREAMBLE_LENGTH
+from repro.wifi.spectral import band_power_db
+from repro.wifi.transmitter import WifiTransmitter
+
+#: Samples to skip before measuring (preamble + SIGNAL symbol).
+_DATA_START = PREAMBLE_LENGTH + 80
+
+
+def normal_band_db(
+    mcs_name: str,
+    channel: "OverlapChannel | str | int",
+    payload_octets: int = 150,
+    seed: int = 13,
+) -> float:
+    """In-band power of a normal WiFi frame's DATA portion (unit-power dB)."""
+    ch = get_channel(channel)
+    rng = np.random.default_rng(seed)
+    frame = WifiTransmitter(mcs_name).transmit(random_bits(8 * payload_octets, rng))
+    return band_power_db(frame.waveform[_DATA_START:], ch.center_offset_hz, 2e6)
+
+
+def sledzig_band_db(
+    mcs_name: str,
+    channel: "OverlapChannel | str | int",
+    payload_octets: int = 150,
+    seed: int = 13,
+) -> float:
+    """In-band power of a SledZig frame's DATA portion (unit-power dB)."""
+    ch = get_channel(channel)
+    rng = np.random.default_rng(seed)
+    encoder = SledZigEncoder(mcs_name, ch)
+    result = encoder.encode(random_bits(8 * payload_octets, rng))
+    frame = WifiTransmitter(mcs_name).transmit_scrambled_field(
+        result.stream, result.layout, result.signal_length_octets
+    )
+    return band_power_db(frame.waveform[_DATA_START:], ch.center_offset_hz, 2e6)
+
+
+@lru_cache(maxsize=8)
+def reported_offset_db(seed: int = 13) -> float:
+    """Offset mapping unit-power band dB to the paper's reported RSSI.
+
+    Chosen so a normal QAM-64 frame reads the calibration anchor
+    (-60 dB on CH1-CH3 at 1 m with TX gain 15).
+    """
+    reference = np.mean(
+        [normal_band_db("qam64-2/3", f"CH{i}", seed=seed) for i in (1, 2, 3)]
+    )
+    return float(DEFAULT_CALIBRATION.wifi_inband_ch13_at_1m_db - reference)

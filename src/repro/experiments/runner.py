@@ -1,0 +1,148 @@
+"""Run every paper experiment and print the tables (CLI entry point).
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig12 t4   # a subset
+    sledzig-experiments --quick                   # shorter MAC sweeps
+
+Each experiment regenerates one table or figure of the paper; see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig04_scenario,
+    fig05_spectrum,
+    fig11_subcarriers,
+    fig12_rssi_decrease,
+    fig13_zigbee_rssi,
+    fig14_dwz,
+    fig15_dz,
+    fig16_traffic,
+    fig17_wifi_rssi,
+    table2_positions,
+    table3_extra_bits,
+    table4_throughput_loss,
+    ext40mhz,
+    snr_waterfall,
+    theory,
+    xtech_collision,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def _fig14a(quick: bool) -> ExperimentResult:
+    distances = (2, 3, 3.5, 4, 4.5, 5, 7, 8.5) if quick else fig14_dwz.DEFAULT_DISTANCES
+    return fig14_dwz.run(channel_index=3, distances=distances,
+                         duration_us=200_000.0 if quick else 400_000.0)
+
+
+def _fig14b(quick: bool) -> ExperimentResult:
+    distances = (1, 1.5, 2, 3, 4, 5, 6) if quick else (1, 1.5, 2, 2.5, 3, 4, 5, 6, 7)
+    return fig14_dwz.run(channel_index=4, distances=distances,
+                         duration_us=200_000.0 if quick else 400_000.0)
+
+
+def registry(quick: bool = False) -> Dict[str, Callable[[], ExperimentResult]]:
+    """All experiments keyed by short name."""
+    return {
+        "theory": theory.run,
+        "t2": table2_positions.run,
+        "t3": table3_extra_bits.run,
+        "t4": table4_throughput_loss.run,
+        "fig4": lambda: fig04_scenario.run(
+            duration_us=200_000.0 if quick else 400_000.0
+        ),
+        "fig5": fig05_spectrum.run,
+        "fig11": fig11_subcarriers.run,
+        "fig12": fig12_rssi_decrease.run,
+        "fig13": fig13_zigbee_rssi.run,
+        "fig14a": lambda: _fig14a(quick),
+        "fig14b": lambda: _fig14b(quick),
+        "fig15": lambda: fig15_dz.run(
+            duration_us=200_000.0 if quick else 400_000.0
+        ),
+        "fig16": lambda: fig16_traffic.run(
+            duration_us=300_000.0 if quick else 600_000.0,
+            n_seeds=2 if quick else 3,
+        ),
+        "fig17": fig17_wifi_rssi.run,
+        "xtech": lambda: xtech_collision.run(n_frames=4 if quick else 8),
+        "ext40": ext40mhz.run,
+        "waterfall": lambda: snr_waterfall.run(n_frames=5 if quick else 10),
+        "ablation-span": ablations.span_ablation,
+        "ablation-solver": ablations.solver_ablation,
+        "ablation-preamble": lambda: ablations.preamble_ablation(
+            duration_us=150_000.0 if quick else 300_000.0
+        ),
+        "ablation-cca": lambda: ablations.cca_threshold_ablation(
+            duration_us=150_000.0 if quick else 300_000.0
+        ),
+    }
+
+
+def run_experiments(
+    names: List[str], quick: bool = False, as_json: bool = False
+) -> List[ExperimentResult]:
+    """Execute the named experiments (all when *names* is empty)."""
+    reg = registry(quick)
+    selected = names or list(reg)
+    unknown = [n for n in selected if n not in reg]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; choose from {list(reg)}")
+    results = []
+    for name in selected:
+        start = time.time()
+        result = reg[name]()
+        if as_json:
+            print(json.dumps({
+                "experiment": name,
+                "id": result.experiment_id,
+                "title": result.title,
+                "columns": result.columns,
+                "rows": [list(map(_jsonable, row)) for row in result.rows],
+                "notes": result.notes,
+                "seconds": round(time.time() - start, 2),
+            }))
+        else:
+            print(result.format_table())
+            print(f"  [{name} in {time.time() - start:.1f}s]")
+            print()
+        results.append(result)
+    return results
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other leaves into JSON-safe values."""
+    try:
+        import numpy as np
+
+        if isinstance(value, np.generic):
+            return value.item()
+    except ImportError:
+        pass
+    return value
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="subset to run")
+    parser.add_argument("--quick", action="store_true", help="shorter MAC sweeps")
+    parser.add_argument("--json", action="store_true", help="one JSON object per line")
+    args = parser.parse_args(argv)
+    run_experiments(args.experiments, quick=args.quick, as_json=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

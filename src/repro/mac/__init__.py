@@ -1,0 +1,31 @@
+"""Discrete-event WiFi/ZigBee coexistence simulator (paper Figs. 14-16)."""
+
+from repro.mac.config import (
+    WIFI_CW_MIN,
+    WIFI_DIFS_US,
+    WIFI_PREAMBLE_US,
+    WIFI_SLOT_US,
+    CoexistenceConfig,
+    Topology,
+    WifiConfig,
+    ZigbeeConfig,
+)
+from repro.mac.events import EventScheduler
+from repro.mac.medium import Medium, WifiBurst, ZigbeeBurst
+from repro.mac.multilink import LinkPlacement, MultiLinkResult, run_multilink
+from repro.mac.rate_control import (
+    RateChoice,
+    effective_goodput_mbps,
+    select_mcs,
+    select_mcs_for_protection,
+)
+from repro.mac.simulator import (
+    CoexistenceResult,
+    SweepPoint,
+    run_coexistence,
+    sweep,
+)
+from repro.mac.wifi_node import WifiNode, WifiStats
+from repro.mac.zigbee_node import ZigbeeLink, ZigbeeStats
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,158 @@
+"""Configuration for one coexistence simulation run.
+
+Defaults reproduce the paper's testbed (Fig. 10): a WiFi link and a ZigBee
+link on the same corridor, WiFi TX gain 15, ZigBee TX gain 31, 60-octet
+ZigBee payloads whose no-interference throughput calibrates to the paper's
+~63 kbps ceiling (Section V-C1: CSMA overheads plus TelosB serial delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.channel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.errors import ConfigurationError
+from repro.utils.validation import require, require_positive, require_range
+
+#: WiFi MAC timing from the paper (Section II-B).
+WIFI_DIFS_US: float = 28.0
+WIFI_SLOT_US: float = 9.0
+WIFI_CW_MIN: int = 15
+
+#: WiFi PLCP preamble + SIGNAL duration (always full power).
+WIFI_PREAMBLE_US: float = 20.0
+
+
+@dataclass(frozen=True)
+class WifiConfig:
+    """WiFi-side parameters.
+
+    Attributes:
+        mcs_name: modulation/rate of the DATA symbols.
+        sledzig_channel: CH1..CH4 index when SledZig is enabled, else None
+            (normal WiFi).
+        tx_gain_db: transmit gain (15 is the paper's setting).
+        duty_ratio: fraction of airtime carrying WiFi frames; 1.0 means the
+            continuous-stream mode of the Fig. 14/15 experiments (a single
+            endless transmission, preamble only at the start — the USRP
+            streaming transmitter), anything below 1.0 means packetised
+            bursts with idle gaps (Fig. 16).
+        burst_duration_us: on-air length of one burst in packetised mode.
+        saturated: when False the device stays silent (baseline runs).
+        preamble_modelled: model the 20 us preamble + SIGNAL window at full
+            power (default).  Disabling it is an *ablation switch only* —
+            real WiFi cannot drop its preamble — used to quantify how much
+            of the Fig. 15 limitation the preamble term carries.
+    """
+
+    mcs_name: str = "qam64-2/3"
+    sledzig_channel: Optional[int] = None
+    tx_gain_db: float = 15.0
+    duty_ratio: float = 1.0
+    burst_duration_us: float = 4000.0
+    saturated: bool = True
+    preamble_modelled: bool = True
+
+    @property
+    def sledzig_enabled(self) -> bool:
+        """Whether the transmitter encodes with SledZig."""
+        return self.sledzig_channel is not None
+
+
+@dataclass(frozen=True)
+class ZigbeeConfig:
+    """ZigBee-side parameters.
+
+    Attributes:
+        channel_index: CH1..CH4 the link occupies.
+        tx_gain: CC2420 gain register (31 = 0 dBm).
+        payload_octets: PSDU payload per packet.
+        processing_delay_us: per-packet host delay (TelosB serial link);
+            calibrated so the clean-channel throughput is ~63 kbps.
+        cca_threshold_db: energy-detect threshold (reported dB).
+        sinr_threshold_db: not used directly (the symbol-error model is),
+            kept for analytical tooling.
+    """
+
+    channel_index: int = 4
+    tx_gain: int = 31
+    payload_octets: int = 60
+    processing_delay_us: float = 4300.0
+    cca_threshold_db: float = -70.0
+
+    def __post_init__(self) -> None:
+        require(1 <= self.channel_index <= 4, "channel_index must be 1..4")
+        require_range(self.tx_gain, "tx_gain", 0, 31)
+        require_range(self.payload_octets, "payload_octets", 1, 127)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Node placement (metres), matching the paper's Fig. 10 geometry.
+
+    The WiFi transmitter sits at the origin; the ZigBee transmitter is
+    ``d_wz`` away and its receiver a further ``d_z`` along the same line
+    (the far side, away from the interferer); the WiFi receiver is ``d_w``
+    from its transmitter on the opposite side.
+    """
+
+    d_wz: float = 4.0
+    d_z: float = 1.0
+    d_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.d_wz, "d_wz")
+        require_positive(self.d_z, "d_z")
+        require_positive(self.d_w, "d_w")
+
+    @property
+    def wifi_tx(self) -> Tuple[float, float]:
+        """WiFi transmitter position."""
+        return (0.0, 0.0)
+
+    @property
+    def wifi_rx(self) -> Tuple[float, float]:
+        """WiFi receiver position."""
+        return (-self.d_w, 0.0)
+
+    @property
+    def zigbee_tx(self) -> Tuple[float, float]:
+        """ZigBee transmitter position."""
+        return (self.d_wz, 0.0)
+
+    @property
+    def zigbee_rx(self) -> Tuple[float, float]:
+        """ZigBee receiver position."""
+        return (self.d_wz + self.d_z, 0.0)
+
+
+@dataclass(frozen=True)
+class CoexistenceConfig:
+    """Everything one simulation run needs.
+
+    Attributes:
+        wifi: WiFi-side configuration.
+        zigbee: ZigBee-side configuration.
+        topology: node placement.
+        duration_us: simulated time.
+        seed: RNG seed (packet randomness, backoffs, fading).
+        fading_sigma_db: per-packet lognormal shadowing applied to each
+            link independently; 0 disables it.
+        calibration: reported-dB anchor set.
+    """
+
+    wifi: WifiConfig = field(default_factory=WifiConfig)
+    zigbee: ZigbeeConfig = field(default_factory=ZigbeeConfig)
+    topology: Topology = field(default_factory=Topology)
+    duration_us: float = 2_000_000.0
+    seed: int = 1
+    fading_sigma_db: float = 0.0
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    def __post_init__(self) -> None:
+        require_positive(self.duration_us, "duration_us")
+        if not 0.0 < self.wifi.duty_ratio <= 1.0:
+            raise ConfigurationError(
+                f"duty_ratio must be in (0, 1], got {self.wifi.duty_ratio}"
+            )

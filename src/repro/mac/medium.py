@@ -1,0 +1,227 @@
+"""Shared-medium model: who hears how much power, when.
+
+The medium keeps a time-indexed record of WiFi activity and answers the two
+queries the ZigBee MAC/PHY needs:
+
+* time-averaged in-band power over an interval (for the 128 us energy-detect
+  CCA — this is where the paper's "a 16 us preamble inside a 128 us window
+  barely moves the average" argument becomes mechanical);
+* a piecewise-constant interference trace over an interval (for per-symbol
+  SINR evaluation of a ZigBee packet, where a full-power WiFi preamble
+  crossing one symbol kills exactly that symbol).
+
+WiFi activity is stored as intervals with two levels (preamble window at
+full power, payload at the possibly SledZig-reduced level) referenced to
+1 m; per-receiver distance scaling and optional per-packet shadowing are
+applied at query time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.channel.calibration import Calibration
+from repro.errors import SimulationError
+from repro.utils.db import db_to_linear, linear_to_db
+
+
+@dataclass(frozen=True)
+class WifiBurst:
+    """One on-air WiFi transmission.
+
+    Attributes:
+        start_us / end_us: interval on air.
+        preamble_until_us: end of the full-power preamble window (equals
+            ``start_us`` + 20 for packetised frames; streams repeat no
+            preamble).
+        preamble_db_at_1m: in-band level of the preamble at 1 m.
+        payload_db_at_1m: in-band level of the payload at 1 m.
+        fade_db: shadowing draw for this burst (applied to all receivers —
+            transmitter-side fading; receiver-side fading is drawn by the
+            receiver).
+    """
+
+    start_us: float
+    end_us: float
+    preamble_until_us: float
+    preamble_db_at_1m: float
+    payload_db_at_1m: float
+    fade_db: float = 0.0
+
+
+@dataclass(frozen=True)
+class ZigbeeBurst:
+    """One on-air ZigBee transmission.
+
+    Attributes:
+        start_us / end_us: interval on air.
+        level_db_at_1m: reported power at 1 m (already including the ZigBee
+            TX gain).
+        source: identifier of the transmitting link (lets a node exclude
+            its own bursts from carrier-sense queries).
+        position: transmitter (x, y), used for per-receiver path loss in
+            multi-link scenarios; None falls back to the query distance.
+    """
+
+    start_us: float
+    end_us: float
+    level_db_at_1m: float
+    source: int = 0
+    position: "tuple[float, float] | None" = None
+
+
+class Medium:
+    """Time-indexed WiFi + ZigBee activity record with power queries."""
+
+    def __init__(self, calibration: Calibration) -> None:
+        self.calibration = calibration
+        self._bursts: List[WifiBurst] = []
+        self._starts: List[float] = []
+        self._zigbee: List[ZigbeeBurst] = []
+
+    def add_burst(self, burst: WifiBurst) -> None:
+        """Register a WiFi transmission (must be appended in time order)."""
+        if self._bursts and burst.start_us < self._bursts[-1].start_us:
+            raise SimulationError("bursts must be added in start-time order")
+        if burst.end_us <= burst.start_us:
+            raise SimulationError("burst must have positive duration")
+        self._bursts.append(burst)
+        self._starts.append(burst.start_us)
+
+    def bursts_overlapping(self, t0: float, t1: float) -> List[WifiBurst]:
+        """All bursts intersecting [t0, t1)."""
+        if t1 <= t0:
+            return []
+        # Bursts are time-ordered and non-overlapping (single WiFi
+        # transmitter): at most one burst starting before t0 can still cover
+        # it, then walk forward until starts pass t1.
+        idx = max(0, bisect_left(self._starts, t0) - 1)
+        out: List[WifiBurst] = []
+        for burst in self._bursts[idx:]:
+            if burst.start_us >= t1:
+                break
+            if burst.end_us > t0:
+                out.append(burst)
+        return out
+
+    def interference_trace(
+        self, t0: float, t1: float, distance_m: float, extra_fade_db: float = 0.0
+    ) -> List[Tuple[float, float, float]]:
+        """Piecewise-constant WiFi in-band power at a receiver.
+
+        Returns ``[(seg_start, seg_end, level_db), ...]`` covering exactly
+        [t0, t1); segments with no WiFi activity carry ``-inf``.
+        """
+        if t1 <= t0:
+            return []
+        path = self.calibration.path_loss_db(distance_m)
+        edges = {t0, t1}
+        for burst in self.bursts_overlapping(t0, t1):
+            for edge in (burst.start_us, burst.preamble_until_us, burst.end_us):
+                if t0 < edge < t1:
+                    edges.add(edge)
+        points = sorted(edges)
+        trace: List[Tuple[float, float, float]] = []
+        for seg_start, seg_end in zip(points, points[1:]):
+            mid = (seg_start + seg_end) / 2.0
+            level = float("-inf")
+            for burst in self.bursts_overlapping(seg_start, seg_end):
+                if burst.start_us <= mid < burst.end_us:
+                    base = (
+                        burst.preamble_db_at_1m
+                        if mid < burst.preamble_until_us
+                        else burst.payload_db_at_1m
+                    )
+                    contribution = base + burst.fade_db + extra_fade_db - path
+                    if level == float("-inf"):
+                        level = contribution
+                    else:
+                        level = linear_to_db(
+                            db_to_linear(level) + db_to_linear(contribution)
+                        )
+            trace.append((seg_start, seg_end, level))
+        return trace
+
+    def average_power_db(
+        self, t0: float, t1: float, distance_m: float, extra_fade_db: float = 0.0
+    ) -> float:
+        """Time-averaged linear WiFi power over [t0, t1), in reported dB.
+
+        Includes the noise floor, mirroring an energy-detect CCA register.
+        """
+        if t1 <= t0:
+            raise SimulationError("average_power_db needs a positive interval")
+        noise = db_to_linear(self.calibration.noise_floor_db)
+        acc = 0.0
+        for seg_start, seg_end, level in self.interference_trace(
+            t0, t1, distance_m, extra_fade_db
+        ):
+            linear = noise if level == float("-inf") else noise + db_to_linear(level)
+            acc += linear * (seg_end - seg_start)
+        return float(linear_to_db(acc / (t1 - t0)))
+
+    def add_zigbee_burst(self, burst: ZigbeeBurst) -> None:
+        """Register a ZigBee transmission (time order enforced)."""
+        if self._zigbee and burst.start_us < self._zigbee[-1].start_us:
+            raise SimulationError("zigbee bursts must be added in time order")
+        if burst.end_us <= burst.start_us:
+            raise SimulationError("zigbee burst must have positive duration")
+        self._zigbee.append(burst)
+
+    def zigbee_average_power_db(
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float,
+        band_penalty_db: float = 0.0,
+        exclude_source: "int | None" = None,
+        at_position: "tuple[float, float] | None" = None,
+    ) -> float:
+        """Time-averaged ZigBee power over [t0, t1) at a receiver.
+
+        *band_penalty_db* models a wideband (20 MHz) receiver integrating
+        the 2 MHz ZigBee signal (the paper's ~10 dB dilution, Fig. 17).
+        *exclude_source* drops one link's own bursts (carrier sense must
+        not hear itself); when both a burst position and *at_position* are
+        known the true pairwise distance overrides *distance_m*.
+        Returns -inf when no ZigBee energy overlaps the interval.
+        """
+        if t1 <= t0:
+            raise SimulationError("zigbee_average_power_db needs a positive interval")
+        default_path = self.calibration.path_loss_db(distance_m)
+        acc = 0.0
+        any_overlap = False
+        for burst in self._zigbee:
+            if exclude_source is not None and burst.source == exclude_source:
+                continue
+            overlap = min(burst.end_us, t1) - max(burst.start_us, t0)
+            if overlap <= 0:
+                continue
+            any_overlap = True
+            path = default_path
+            if burst.position is not None and at_position is not None:
+                dx = burst.position[0] - at_position[0]
+                dy = burst.position[1] - at_position[1]
+                pair = max((dx * dx + dy * dy) ** 0.5, 0.05)
+                path = self.calibration.path_loss_db(pair)
+            level = burst.level_db_at_1m - path - band_penalty_db
+            acc += db_to_linear(level) * overlap
+        if not any_overlap or acc <= 0:
+            return float("-inf")
+        return float(linear_to_db(acc / (t1 - t0)))
+
+    def prune_before(self, t_us: float) -> None:
+        """Drop bursts that ended before *t_us* (memory bound for long runs)."""
+        keep = 0
+        while keep < len(self._bursts) and self._bursts[keep].end_us < t_us:
+            keep += 1
+        if keep:
+            del self._bursts[:keep]
+            del self._starts[:keep]
+        zkeep = 0
+        while zkeep < len(self._zigbee) and self._zigbee[zkeep].end_us < t_us:
+            zkeep += 1
+        if zkeep:
+            del self._zigbee[:zkeep]

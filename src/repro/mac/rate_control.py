@@ -1,0 +1,114 @@
+"""WiFi rate selection under SledZig (paper Section V-D2's fallback).
+
+The paper notes that when conditions tighten, "the WiFi link can adapt to
+the settings with lower SNR threshold to enable data transmission".  This
+module implements that adaptation as a goodput maximiser: among the MCS
+ladder, pick the mode with the highest *effective* rate
+
+    goodput = PHY rate x (1 - SledZig loss on the protected channel)
+
+subject to the link SNR clearing the mode's minimum (paper Table IV
+column).  SledZig changes the trade-off in a non-obvious way: a higher QAM
+needs more SNR but also buys a deeper in-band notch (Fig. 12), so a link
+with headroom may *prefer* QAM-256 even when QAM-64 already fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.channel.calibration import sledzig_decrease_db
+from repro.errors import ConfigurationError
+from repro.sledzig.analysis import throughput_loss
+from repro.wifi.params import PAPER_MCS_NAMES, Mcs, get_mcs
+
+
+@dataclass(frozen=True)
+class RateChoice:
+    """Outcome of one rate-selection decision.
+
+    Attributes:
+        mcs: the selected scheme (None when no mode fits the SNR).
+        goodput_mbps: effective application rate after SledZig overhead.
+        protection_db: in-band decrease delivered to the protected channel
+            (0 when SledZig is off).
+    """
+
+    mcs: Optional[Mcs]
+    goodput_mbps: float
+    protection_db: float
+
+
+def effective_goodput_mbps(
+    mcs: "Mcs | str", sledzig_channel: Optional[int]
+) -> float:
+    """PHY rate minus the Table IV overhead for the protected channel."""
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    if sledzig_channel is None:
+        return mcs.data_rate_mbps
+    return mcs.data_rate_mbps * (1.0 - throughput_loss(mcs, sledzig_channel))
+
+
+def select_mcs(
+    snr_db: float,
+    sledzig_channel: Optional[int] = None,
+    candidates: Sequence[str] = PAPER_MCS_NAMES,
+    margin_db: float = 0.0,
+) -> RateChoice:
+    """Highest-goodput MCS whose SNR requirement (plus margin) is met.
+
+    Args:
+        snr_db: current link SNR at the WiFi receiver.
+        sledzig_channel: CH1..CH4 index when protecting a ZigBee channel,
+            else None (plain WiFi).
+        candidates: MCS names to consider.
+        margin_db: extra SNR headroom demanded above each mode's minimum
+            (a deployment knob against fading).
+    """
+    if sledzig_channel is not None and not 1 <= sledzig_channel <= 4:
+        raise ConfigurationError(
+            f"sledzig_channel must be 1..4 or None, got {sledzig_channel}"
+        )
+    best: Optional[Tuple[float, Mcs]] = None
+    for name in candidates:
+        mcs = get_mcs(name)
+        if snr_db < mcs.min_snr_db + margin_db:
+            continue
+        goodput = effective_goodput_mbps(mcs, sledzig_channel)
+        if best is None or goodput > best[0]:
+            best = (goodput, mcs)
+    if best is None:
+        return RateChoice(mcs=None, goodput_mbps=0.0, protection_db=0.0)
+    goodput, mcs = best
+    protection = (
+        sledzig_decrease_db(mcs.modulation, sledzig_channel)
+        if sledzig_channel is not None
+        else 0.0
+    )
+    return RateChoice(mcs=mcs, goodput_mbps=goodput, protection_db=protection)
+
+
+def select_mcs_for_protection(
+    snr_db: float,
+    sledzig_channel: int,
+    min_protection_db: float,
+    candidates: Sequence[str] = PAPER_MCS_NAMES,
+    margin_db: float = 0.0,
+) -> RateChoice:
+    """Highest-goodput MCS that also guarantees a minimum in-band decrease.
+
+    This is the coexistence-first policy: the ZigBee neighbour needs at
+    least *min_protection_db* of relief (e.g. 10 dB to clear its SINR
+    threshold at a known distance); among the modes delivering it, take the
+    fastest that the link SNR supports.
+    """
+    deliverable = [
+        name
+        for name in candidates
+        if sledzig_decrease_db(get_mcs(name).modulation, sledzig_channel)
+        >= min_protection_db
+    ]
+    if not deliverable:
+        return RateChoice(mcs=None, goodput_mbps=0.0, protection_db=0.0)
+    return select_mcs(snr_db, sledzig_channel, deliverable, margin_db)

@@ -1,0 +1,139 @@
+"""Top-level coexistence simulator: wire the devices, run, report.
+
+One call — :func:`run_coexistence` — reproduces one data point of the
+paper's Figs. 14/15/16: place the links, run the event loop for the
+configured duration, and return throughput and packet counters for both
+networks.  Batch helpers sweep a parameter across seeds for box-plot style
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel.propagation import distance, wifi_at_wifi_rx, zigbee_at_wifi_rx
+from repro.mac.config import CoexistenceConfig
+from repro.mac.events import EventScheduler
+from repro.mac.medium import Medium
+from repro.mac.wifi_node import WifiNode, WifiStats
+from repro.mac.zigbee_node import ZigbeeLink, ZigbeeStats
+
+
+@dataclass
+class CoexistenceResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        config: the configuration that produced it.
+        zigbee: ZigBee counters.
+        wifi: WiFi counters.
+        wifi_sinr_db: WiFi link SINR against concurrent ZigBee energy
+            (the paper's Section V-D2 check).
+    """
+
+    config: CoexistenceConfig
+    zigbee: ZigbeeStats
+    wifi: WifiStats
+    wifi_sinr_db: float
+
+    @property
+    def zigbee_throughput_kbps(self) -> float:
+        """Delivered ZigBee payload throughput."""
+        return self.zigbee.throughput_kbps(self.config.duration_us)
+
+    @property
+    def wifi_throughput_mbps(self) -> float:
+        """WiFi application throughput (extra bits excluded)."""
+        return self.wifi.throughput_mbps(self.config.duration_us)
+
+    @property
+    def wifi_link_ok(self) -> bool:
+        """Whether the WiFi SINR clears its MCS minimum (ZigBee harmless)."""
+        from repro.wifi.params import get_mcs
+
+        return self.wifi_sinr_db >= get_mcs(self.config.wifi.mcs_name).min_snr_db
+
+
+def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
+    """Run one coexistence scenario to completion."""
+    scheduler = EventScheduler()
+    medium = Medium(config.calibration)
+    rng = np.random.default_rng(config.seed)
+    wifi = WifiNode(config, scheduler, medium, rng)
+    zigbee = ZigbeeLink(config, scheduler, medium, rng)
+    wifi.start()
+    zigbee.start()
+    scheduler.run_until(config.duration_us)
+
+    # WiFi-side SINR against ZigBee (worst case: ZigBee transmitting).
+    topo = config.topology
+    wifi_signal = wifi_at_wifi_rx(
+        distance(topo.wifi_tx, topo.wifi_rx),
+        config.wifi.tx_gain_db,
+        config.calibration,
+    )
+    zigbee_interference = zigbee_at_wifi_rx(
+        distance(topo.zigbee_tx, topo.wifi_rx),
+        config.zigbee.tx_gain,
+        config.calibration,
+        floor=True,
+    )
+    wifi_sinr = wifi_signal - zigbee_interference
+    return CoexistenceResult(
+        config=config,
+        zigbee=zigbee.stats,
+        wifi=wifi.stats,
+        wifi_sinr_db=wifi_sinr,
+    )
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated statistics for one parameter value across seeds.
+
+    Attributes:
+        value: the swept parameter value.
+        throughputs_kbps: per-seed ZigBee throughputs.
+    """
+
+    value: float
+    throughputs_kbps: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Mean ZigBee throughput (kbps)."""
+        return float(np.mean(self.throughputs_kbps)) if self.throughputs_kbps else 0.0
+
+    @property
+    def median(self) -> float:
+        """Median ZigBee throughput (kbps)."""
+        return float(np.median(self.throughputs_kbps)) if self.throughputs_kbps else 0.0
+
+    def quartiles(self) -> "tuple[float, float]":
+        """Lower and upper quartiles — the paper's Fig. 16 box edges."""
+        if not self.throughputs_kbps:
+            return (0.0, 0.0)
+        q1, q3 = np.percentile(self.throughputs_kbps, [25, 75])
+        return (float(q1), float(q3))
+
+
+def sweep(
+    base_config: CoexistenceConfig,
+    values: Sequence[float],
+    apply_value: Callable[[CoexistenceConfig, float], CoexistenceConfig],
+    n_seeds: int = 3,
+) -> List[SweepPoint]:
+    """Run a parameter sweep with *n_seeds* repetitions per value."""
+    points: List[SweepPoint] = []
+    for value in values:
+        point = SweepPoint(value=value)
+        for seed_offset in range(n_seeds):
+            config = apply_value(base_config, value)
+            config = replace(config, seed=base_config.seed + seed_offset * 101)
+            result = run_coexistence(config)
+            point.throughputs_kbps.append(result.zigbee_throughput_kbps)
+        points.append(point)
+    return points

@@ -1,0 +1,63 @@
+"""SledZig core: subcarrier-level energy decreasing via payload encoding."""
+
+from repro.sledzig.analysis import (
+    ExtraBitsRow,
+    ThroughputLossRow,
+    expected_band_decrease_db,
+    extra_bits_table,
+    rssi_offset_db,
+    summary,
+    theoretical_power_decrease_db,
+    throughput_loss,
+    throughput_loss_table,
+)
+from repro.sledzig.channels import (
+    CHANNEL_ALIASES,
+    OVERLAP_SPAN,
+    PAPER_WIFI_CHANNEL,
+    PAPER_ZIGBEE_CHANNELS,
+    ZIGBEE_BANDWIDTH_HZ,
+    OverlapChannel,
+    all_channels,
+    get_channel,
+    overlap_channel,
+    wifi_center_frequency_mhz,
+    zigbee_center_frequency_mhz,
+)
+from repro.sledzig.adaptive import (
+    AdaptiveSledZigController,
+    EnergySnapshot,
+    ZigbeeChannelEstimator,
+    detect_zigbee_activity,
+)
+from repro.sledzig.decoder import (
+    ChannelDetection,
+    SledZigDecodeResult,
+    SledZigDecoder,
+    detect_zigbee_channel,
+)
+from repro.sledzig.encoder import SledZigEncodeResult, SledZigEncoder
+from repro.sledzig.insertion import (
+    Cluster,
+    Constraint,
+    InsertionPlan,
+    build_stream,
+    plan_insertion,
+    verify_stream,
+)
+from repro.sledzig.pipeline import (
+    LENGTH_HEADER_OCTETS,
+    SledZigReceivedPacket,
+    SledZigReceiver,
+    SledZigTransmission,
+    SledZigTransmitter,
+)
+from repro.sledzig.significant import (
+    SignificantBit,
+    constraint_map_for_symbols,
+    extra_bits_per_symbol,
+    significant_bits_for_symbol,
+    significant_positions_paper,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,183 @@
+"""Literal transcription of the paper's Algorithm 1 (transmit bits generation).
+
+This is the reference implementation of the insertion procedure exactly as
+printed: scan the scrambled data bits; when the next encoder step carries a
+*single* significant bit, insert one extra bit x_n solved from Eq. 1; when
+it carries *twin* significant bits, insert two extra bits at positions n-1
+and n-5 (shifting the intervening bits up, lines 15-26 of the listing).
+
+The algorithm presumes the deinterleaver scattered significant bits so far
+apart that a twin never lands within six steps of another constraint.  That
+holds for the paper's bit-labelling; under this library's 802.11 labelling
+a few configurations violate it, in which case this function raises
+:class:`~repro.errors.InsertionError` — the production encoder
+(:mod:`repro.sledzig.insertion`) handles those with its cluster solver.
+Both implementations insert exactly one extra bit per significant bit and
+produce streams verified by the same :func:`verify_stream` check, which the
+test suite uses to cross-validate them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsertionError
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.significant import significant_bits_for_symbol
+from repro.utils.bits import BitsLike, as_bits
+from repro.wifi.convolutional import G0_TAPS, G1_TAPS
+from repro.wifi.params import Mcs, get_mcs
+
+
+def _window(stream: List[int], n: int, override: Dict[int, int]) -> List[int]:
+    """X_n = [x_n, x_{n-1}, ..., x_{n-6}] with zeros before the stream."""
+    out = []
+    for lag in range(7):
+        idx = n - lag
+        if idx in override:
+            out.append(override[idx])
+        elif idx < 0:
+            out.append(0)
+        else:
+            out.append(stream[idx])
+    return out
+
+
+def _output(window: Sequence[int], branch: int) -> int:
+    taps = G0_TAPS if branch == 0 else G1_TAPS
+    return int(np.bitwise_and(taps, np.asarray(window, dtype=np.uint8)).sum() & 1)
+
+
+def generate_transmit_bits(
+    scrambled_data: BitsLike,
+    mcs: "Mcs | str",
+    channel: "int | str | OverlapChannel",
+) -> Tuple[np.ndarray, List[int]]:
+    """Run Algorithm 1 over scrambled data bits.
+
+    Args:
+        scrambled_data: the paper's {x'_i} — scrambled WiFi data bits.
+        mcs: must use coding rate 1/2 (the case the listing covers).
+        channel: overlap channel supplying the significant bits.
+
+    Returns ``(transmit_stream, extra_positions)`` where the stream is the
+    paper's {x_n} (scrambled domain) and positions are 0-based indices of
+    inserted extra bits.  The stream ends when the data bits are exhausted,
+    mid-symbol if need be (framing is the encoder's job, not the
+    algorithm's).
+    """
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    if mcs.coding_rate != "1/2":
+        raise InsertionError(
+            "Algorithm 1 as printed covers rate-1/2 encoding; use the "
+            "cluster solver for punctured rates"
+        )
+    ch = get_channel(channel)
+    data = list(as_bits(scrambled_data))
+
+    per_symbol = significant_bits_for_symbol(mcs, ch)
+    # Constraint lookup: mother-code position (0-based) -> value, unbounded
+    # over symbols via the per-symbol stride.
+    stride = 2 * mcs.n_dbps
+    per_symbol_map = {bit.position: bit.value for bit in per_symbol}
+
+    def constraint_at(position: int) -> "int | None":
+        return per_symbol_map.get(position % stride)
+
+    stream: List[int] = []
+    extra_positions: List[int] = []
+    guard_until = -1  # steps <= guard_until must not be re-shifted
+    i = 0
+    n = 0
+    while i < len(data):
+        c0 = constraint_at(2 * n)      # y_{2n-1} in the paper's 1-based terms
+        c1 = constraint_at(2 * n + 1)  # y_{2n}
+        if c0 is not None and c1 is not None:
+            # Twin significant bits: extra bits at positions n-1 and n-5.
+            if n - 5 <= guard_until:
+                raise InsertionError(
+                    f"twin at step {n} overlaps a previously satisfied "
+                    "constraint — Algorithm 1's precondition is violated"
+                )
+            if n < 6:
+                raise InsertionError(
+                    f"twin at step {n} < 6: the printed shifts would reach "
+                    "before the stream start"
+                )
+            # Shift: [.., x_{n-6}, e1, old_{n-5}, old_{n-4}, old_{n-3}, e0, old_{n-2}] ...
+            tmp = stream[n - 1]
+            old = stream[n - 5 : n - 1]  # old x_{n-5} .. x_{n-2}
+            # Solve the 2x2 system over (e0 at n-1, e1 at n-5).
+            # Window after insertion: [x_n=old_{n-2}, e0, old_{n-3}, old_{n-4},
+            #                          old_{n-5}, e1, x_{n-6}]
+            base = {
+                n: old[3],      # old x_{n-2}
+                n - 1: 0,       # e0 placeholder
+                n - 2: old[2],  # old x_{n-3}
+                n - 3: old[1],  # old x_{n-4}
+                n - 4: old[0],  # old x_{n-5}
+                n - 5: 0,       # e1 placeholder
+            }
+            window0 = _window(stream, n, base)
+            # Try the four (e0, e1) combinations; with an invertible 2x2
+            # exactly one satisfies both equations.
+            solved = None
+            for e0 in (0, 1):
+                for e1 in (0, 1):
+                    base[n - 1] = e0
+                    base[n - 5] = e1
+                    window = _window(stream, n, base)
+                    if _output(window, 0) == c0 and _output(window, 1) == c1:
+                        solved = (e0, e1)
+                        break
+                if solved:
+                    break
+            del window0
+            if solved is None:
+                raise InsertionError(f"twin at step {n} has no solution")
+            e0, e1 = solved
+            # Apply the shifts of lines 18-26.
+            stream.append(0)            # grow for position n
+            stream.append(0)            # grow for position n+1
+            stream[n] = old[3]
+            stream[n - 1] = e0
+            stream[n - 2] = old[2]
+            stream[n - 3] = old[1]
+            stream[n - 4] = old[0]
+            stream[n - 5] = e1
+            stream[n + 1] = tmp
+            extra_positions.extend([n - 5, n - 1])
+            guard_until = n + 1
+            # The listing places the next data bit immediately (lines 27-28);
+            # re-checking constraints first instead closes the gap where the
+            # very next encoder step is itself constrained (e.g. the paper's
+            # own Table II steps 86/87).
+            n += 2
+        elif c0 is not None or c1 is not None:
+            # Single significant bit: x_n is the extra bit.
+            value = c0 if c0 is not None else c1
+            branch = 0 if c0 is not None else 1
+            solved = None
+            for etr in (0, 1):
+                window = _window(stream, n, {n: etr})
+                if _output(window, branch) == value:
+                    solved = etr
+                    break
+            if solved is None:
+                raise InsertionError(f"single at step {n} has no solution")
+            stream_append(stream, solved)
+            extra_positions.append(n)
+            guard_until = max(guard_until, n)
+            n += 1
+        else:
+            stream_append(stream, data[i])
+            i += 1
+            n += 1
+    return np.array(stream, dtype=np.uint8), extra_positions
+
+
+def stream_append(stream: List[int], value: int) -> None:
+    """Append one bit, keeping the list the single source of positions."""
+    stream.append(int(value))

@@ -1,0 +1,170 @@
+"""Closed-form SledZig analysis: power decrease, extra bits, throughput loss.
+
+Reproduces the analytic results of the paper:
+
+* Section III-B: putting the four lowest constellation points on a
+  subcarrier reduces its power by P_avg / P_low — 7.0, 13.2 and 19.3 dB for
+  QAM-16/64/256.
+* Table III: number of extra bits per OFDM symbol per (modulation, rate,
+  channel group).
+* Table IV: WiFi throughput loss = extra bits / data bits per symbol.
+* The in-band (2 MHz) power decrease including the pilot dilution that
+  limits CH1-CH3 (Section IV-E), the first-order model behind Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sledzig.channels import OverlapChannel, all_channels, get_channel
+from repro.sledzig.significant import extra_bits_per_symbol
+from repro.wifi.constellation import lowest_point_power
+from repro.wifi.params import (
+    PAPER_MCS_NAMES,
+    Mcs,
+    average_constellation_power,
+    get_mcs,
+)
+
+
+def theoretical_power_decrease_db(modulation: str) -> float:
+    """P_avg / P_low in dB (Section III-B: 7.0 / 13.2 / 19.3 dB)."""
+    p_avg = average_constellation_power(modulation)
+    p_low = lowest_point_power(modulation)
+    return float(10.0 * np.log10(p_avg / p_low))
+
+
+def expected_band_decrease_db(
+    modulation: str, channel: "int | str | OverlapChannel"
+) -> float:
+    """First-order in-band power decrease for one overlap channel.
+
+    Normal WiFi puts unit average power on every used subcarrier of the
+    span; SledZig reduces the data subcarriers to P_low / P_avg but cannot
+    touch the pilot, so for CH1-CH3::
+
+        decrease = (n_data + n_pilot) / (n_data * P_low/P_avg + n_pilot)
+
+    For CH4 (no pilot) the decrease equals the full constellation ratio.
+    Spectral leakage makes measured values slightly smaller; the waveform
+    experiments (Fig. 11/12) quantify that.
+    """
+    ch = get_channel(channel)
+    ratio = lowest_point_power(modulation) / average_constellation_power(modulation)
+    n_data = ch.n_data_subcarriers
+    n_pilot = len(ch.pilot_subcarriers)
+    normal = n_data + n_pilot
+    sled = n_data * ratio + n_pilot
+    return float(10.0 * np.log10(normal / sled))
+
+
+@dataclass(frozen=True)
+class ExtraBitsRow:
+    """One row of the paper's Table III.
+
+    Attributes:
+        mcs_name: <modulation>-<rate>.
+        n_dbps: data bits per OFDM symbol.
+        extra_ch13: extra bits per symbol on CH1-CH3.
+        extra_ch4: extra bits per symbol on CH4.
+    """
+
+    mcs_name: str
+    n_dbps: int
+    extra_ch13: int
+    extra_ch4: int
+
+
+def extra_bits_table(mcs_names: Tuple[str, ...] = PAPER_MCS_NAMES) -> List[ExtraBitsRow]:
+    """Recompute Table III from the significant-bit derivation."""
+    rows = []
+    for name in mcs_names:
+        mcs = get_mcs(name)
+        rows.append(
+            ExtraBitsRow(
+                mcs_name=name,
+                n_dbps=mcs.n_dbps,
+                extra_ch13=extra_bits_per_symbol(mcs, "CH1"),
+                extra_ch4=extra_bits_per_symbol(mcs, "CH4"),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ThroughputLossRow:
+    """One row of the paper's Table IV.
+
+    Attributes:
+        mcs_name: <modulation>-<rate>.
+        min_snr_db: minimum SNR for the mode (paper Table IV column).
+        loss_ch13: fractional throughput loss on CH1-CH3.
+        loss_ch4: fractional throughput loss on CH4.
+    """
+
+    mcs_name: str
+    min_snr_db: float
+    loss_ch13: float
+    loss_ch4: float
+
+
+def throughput_loss(mcs: "Mcs | str", channel: "int | str | OverlapChannel") -> float:
+    """Fractional WiFi throughput loss: extra bits / data bits per symbol."""
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    return extra_bits_per_symbol(mcs, channel) / mcs.n_dbps
+
+
+def throughput_loss_table(
+    mcs_names: Tuple[str, ...] = PAPER_MCS_NAMES,
+) -> List[ThroughputLossRow]:
+    """Recompute Table IV (loss ranges 6.94% .. 14.58%)."""
+    rows = []
+    for name in mcs_names:
+        mcs = get_mcs(name)
+        rows.append(
+            ThroughputLossRow(
+                mcs_name=name,
+                min_snr_db=mcs.min_snr_db,
+                loss_ch13=throughput_loss(mcs, "CH1"),
+                loss_ch4=throughput_loss(mcs, "CH4"),
+            )
+        )
+    return rows
+
+
+def rssi_offset_db(modulation: str, channel: "int | str | OverlapChannel") -> float:
+    """SledZig's in-band power offset (negative dB) vs normal WiFi.
+
+    The coexistence simulator applies this to the WiFi interference power a
+    ZigBee node observes during the SledZig *payload*; the preamble stays
+    at 0 dB offset.
+    """
+    return -expected_band_decrease_db(modulation, channel)
+
+
+def summary() -> str:
+    """Human-readable analytic summary across all channels and QAM modes."""
+    lines = ["SledZig analytic summary", "=" * 60]
+    for modulation in ("qam16", "qam64", "qam256"):
+        lines.append(
+            f"{modulation}: constellation decrease "
+            f"{theoretical_power_decrease_db(modulation):5.1f} dB"
+        )
+        for ch in all_channels():
+            lines.append(
+                f"    {ch.name}: expected in-band decrease "
+                f"{expected_band_decrease_db(modulation, ch):5.1f} dB"
+            )
+    lines.append("")
+    lines.append("mcs          N_DBPS  extra(CH1-3)  extra(CH4)  loss(CH1-3)  loss(CH4)")
+    for row in extra_bits_table():
+        mcs = get_mcs(row.mcs_name)
+        lines.append(
+            f"{row.mcs_name:<12} {row.n_dbps:>6} {row.extra_ch13:>12} "
+            f"{row.extra_ch4:>10} {row.extra_ch13 / mcs.n_dbps:>11.2%} "
+            f"{row.extra_ch4 / mcs.n_dbps:>9.2%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""ZigBee-channel <-> WiFi-subcarrier overlap geometry (paper Sections II-B, IV-B).
+
+A 20 MHz WiFi channel overlaps four 2 MHz ZigBee channels.  The paper's
+testbed puts WiFi on channel 13 (2472 MHz) and ZigBee on channels 23-26
+(2465/2470/2475/2480 MHz), called CH1..CH4; every WiFi channel overlaps four
+ZigBee channels in this same pattern, so CH1..CH4 generalise.
+
+In subcarrier units (312.5 kHz) the four ZigBee centres sit at offsets
+-22.4, -6.4, +9.6 and +25.6 from the WiFi centre.  A 2 MHz ZigBee channel
+covers 6.4 subcarriers; because OFDM subcarriers leak into their neighbours
+(paper Fig. 7), SledZig silences *eight* subcarriers per channel — the six
+fully-overlapped ones plus one on each side.  For CH1-CH3 one of the eight
+is a pilot (which SledZig cannot touch); for CH4 three are beyond +26 and
+therefore already null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import require, require_in
+from repro.wifi.params import (
+    DATA_SUBCARRIERS,
+    PILOT_SUBCARRIERS,
+    SUBCARRIER_SPACING_HZ,
+)
+
+#: ZigBee channel bandwidth in Hz.
+ZIGBEE_BANDWIDTH_HZ: float = 2e6
+
+#: ZigBee channel numbers overlapping one WiFi channel, in CH1..CH4 order.
+PAPER_ZIGBEE_CHANNELS: Tuple[int, ...] = (23, 24, 25, 26)
+
+#: The paper's WiFi channel number.
+PAPER_WIFI_CHANNEL: int = 13
+
+#: Short names used throughout the paper.
+CHANNEL_ALIASES: Dict[str, int] = {"CH1": 1, "CH2": 2, "CH3": 3, "CH4": 4}
+
+#: Number of subcarriers SledZig silences per ZigBee channel (Section IV-B).
+OVERLAP_SPAN: int = 8
+
+
+def wifi_center_frequency_mhz(channel: int) -> float:
+    """Centre frequency of a 2.4 GHz WiFi channel (1..13)."""
+    require(1 <= channel <= 13, f"WiFi channel must be 1..13, got {channel}")
+    return 2407.0 + 5.0 * channel
+
+
+def zigbee_center_frequency_mhz(channel: int) -> float:
+    """Centre frequency of a 2.4 GHz ZigBee channel (11..26)."""
+    require(11 <= channel <= 26, f"ZigBee channel must be 11..26, got {channel}")
+    return 2405.0 + 5.0 * (channel - 11)
+
+
+@dataclass(frozen=True)
+class OverlapChannel:
+    """The overlap of one ZigBee channel with one WiFi channel.
+
+    Attributes:
+        index: paper name index 1..4 (CH1..CH4).
+        zigbee_channel: 802.15.4 channel number (11..26).
+        wifi_channel: 802.11 channel number.
+        center_offset_hz: ZigBee centre relative to the WiFi centre.
+        subcarriers: the eight logical subcarrier indices SledZig silences.
+        data_subcarriers: the silenceable (data) subset.
+        pilot_subcarriers: pilots inside the span (cannot be silenced).
+        null_subcarriers: indices beyond the used band (already silent).
+    """
+
+    index: int
+    zigbee_channel: int
+    wifi_channel: int
+    center_offset_hz: float
+    subcarriers: Tuple[int, ...]
+    data_subcarriers: Tuple[int, ...]
+    pilot_subcarriers: Tuple[int, ...]
+    null_subcarriers: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        """Paper-style name (CH1..CH4)."""
+        return f"CH{self.index}"
+
+    @property
+    def n_data_subcarriers(self) -> int:
+        """How many data subcarriers SledZig controls in this channel."""
+        return len(self.data_subcarriers)
+
+    @property
+    def has_pilot(self) -> bool:
+        """True for CH1-CH3, whose span contains one pilot subcarrier."""
+        return bool(self.pilot_subcarriers)
+
+
+def _span_around(center_subcarriers: float, span: int) -> Tuple[int, ...]:
+    """The *span* consecutive subcarrier indices centred on a ZigBee channel.
+
+    The 2 MHz channel covers 6.4 subcarriers; with span = 8 we take the six
+    fully-overlapped subcarriers plus one on each side.  The span is the
+    range of integers nearest the centre.
+    """
+    first = int(round(center_subcarriers - span / 2.0 + 0.5))
+    return tuple(range(first, first + span))
+
+
+@lru_cache(maxsize=None)
+def overlap_channel(
+    index_or_zigbee: int,
+    wifi_channel: int = PAPER_WIFI_CHANNEL,
+    span: int = OVERLAP_SPAN,
+) -> OverlapChannel:
+    """Build the overlap description for one ZigBee channel.
+
+    Args:
+        index_or_zigbee: either a paper index 1..4 or a ZigBee channel
+            number 11..26 (must overlap the WiFi channel).
+        wifi_channel: 802.11 channel (default: the paper's channel 13).
+        span: number of subcarriers to silence (default 8; the Fig. 11
+            experiment sweeps this).
+    """
+    if 1 <= index_or_zigbee <= 4:
+        zigbee = _overlapping_zigbee_channels(wifi_channel)[index_or_zigbee - 1]
+        index = index_or_zigbee
+    else:
+        zigbee = index_or_zigbee
+        channels = _overlapping_zigbee_channels(wifi_channel)
+        if zigbee not in channels:
+            raise ConfigurationError(
+                f"ZigBee channel {zigbee} does not overlap WiFi channel "
+                f"{wifi_channel} (overlapping: {channels})"
+            )
+        index = channels.index(zigbee) + 1
+
+    offset_hz = (
+        zigbee_center_frequency_mhz(zigbee) - wifi_center_frequency_mhz(wifi_channel)
+    ) * 1e6
+    center_sc = offset_hz / SUBCARRIER_SPACING_HZ
+    span_indices = _span_around(center_sc, span)
+    data = tuple(k for k in span_indices if k in DATA_SUBCARRIERS)
+    pilots = tuple(k for k in span_indices if k in PILOT_SUBCARRIERS)
+    nulls = tuple(
+        k for k in span_indices if k not in DATA_SUBCARRIERS and k not in PILOT_SUBCARRIERS
+    )
+    return OverlapChannel(
+        index=index,
+        zigbee_channel=zigbee,
+        wifi_channel=wifi_channel,
+        center_offset_hz=offset_hz,
+        subcarriers=span_indices,
+        data_subcarriers=data,
+        pilot_subcarriers=pilots,
+        null_subcarriers=nulls,
+    )
+
+
+def _overlapping_zigbee_channels(wifi_channel: int) -> Tuple[int, ...]:
+    """The four ZigBee channels overlapping a WiFi channel, CH1..CH4 order."""
+    wifi_mhz = wifi_center_frequency_mhz(wifi_channel)
+    channels = tuple(
+        ch
+        for ch in range(11, 27)
+        if abs(zigbee_center_frequency_mhz(ch) - wifi_mhz) * 1e6
+        < 10e6 + ZIGBEE_BANDWIDTH_HZ / 2.0
+    )
+    if len(channels) != 4:
+        raise ConfigurationError(
+            f"WiFi channel {wifi_channel} overlaps {len(channels)} ZigBee "
+            f"channels; expected 4"
+        )
+    return channels
+
+
+def get_channel(channel: "int | str | OverlapChannel") -> OverlapChannel:
+    """Normalise a channel argument: CH-name, paper index, ZigBee number or
+    an existing :class:`OverlapChannel`."""
+    if isinstance(channel, OverlapChannel):
+        return channel
+    if isinstance(channel, str):
+        require_in(channel.upper(), CHANNEL_ALIASES, "channel name")
+        return overlap_channel(CHANNEL_ALIASES[channel.upper()])
+    return overlap_channel(int(channel))
+
+
+def all_channels(wifi_channel: int = PAPER_WIFI_CHANNEL) -> Tuple[OverlapChannel, ...]:
+    """CH1..CH4 for one WiFi channel."""
+    return tuple(overlap_channel(i, wifi_channel) for i in range(1, 5))

@@ -1,0 +1,182 @@
+"""SledZig transmit-side encoding (paper Fig. 6 and Algorithm 1's role).
+
+Given original WiFi data bits, the encoder:
+
+1. sizes the frame: each OFDM symbol donates ``n_dbps - K`` bits to payload,
+   where K is the number of significant bits per symbol;
+2. obtains the deterministic :class:`~repro.sledzig.insertion.InsertionPlan`
+   (extra-bit positions are data-independent, so the receiver can recompute
+   them from the SIGNAL field alone plus the detected ZigBee channel);
+3. lays SERVICE + PSDU + tail + pad into the non-extra stream slots, applying
+   the scrambler mask *at final stream positions* — this is exactly the
+   paper's "{x'_i} and {x_n} are the scrambled bits ... the final transmit
+   bits will be obtained through descrambling {x_n}";
+4. solves every constraint cluster over GF(2) and re-verifies the whole
+   stream against the standard convolutional encoder before returning.
+
+The resulting scrambled stream is handed unchanged to the standard
+transmitter (:meth:`repro.wifi.transmitter.WifiTransmitter.transmit_scrambled_field`),
+which is the compatibility core of SledZig: nothing after the payload
+encoding deviates from 802.11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InsertionError
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.insertion import InsertionPlan, build_stream, plan_insertion, verify_stream
+from repro.utils.bits import BitsLike, as_bits
+from repro.wifi.params import Mcs, get_mcs
+from repro.wifi.ppdu import SERVICE_BITS, TAIL_BITS, DataFieldLayout
+from repro.wifi.scrambler import DEFAULT_SEED, Scrambler
+
+#: Largest PSDU (bits) a single frame may carry, from the 12-bit LENGTH field.
+_MAX_STREAM_OCTETS = 4095
+
+
+@dataclass
+class SledZigEncodeResult:
+    """Output of one SledZig payload encoding.
+
+    Attributes:
+        stream: the scrambled-domain transmit stream (extra bits solved).
+        plan: the insertion plan used (positions, clusters).
+        layout: the DATA-field layout announced over the air; its
+            ``n_psdu_bits`` counts *transmitted* bits (data + extra), which
+            is what the SIGNAL LENGTH field covers.
+        n_data_bits: original WiFi data bits carried.
+        n_pad_bits: pad bits after the tail.
+        signal_length_octets: LENGTH value for the SIGNAL field.
+    """
+
+    stream: np.ndarray
+    plan: InsertionPlan
+    layout: DataFieldLayout
+    n_data_bits: int
+    n_pad_bits: int
+    signal_length_octets: int
+
+    @property
+    def n_extra_bits(self) -> int:
+        """Total extra bits inserted."""
+        return self.plan.n_extra
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra bits as a fraction of stream bits (the throughput loss)."""
+        return self.plan.n_extra / self.plan.n_stream_bits
+
+
+class SledZigEncoder:
+    """Builds SledZig transmit streams for one (MCS, ZigBee channel) pair."""
+
+    def __init__(
+        self,
+        mcs: "Mcs | str",
+        channel: "int | str | OverlapChannel",
+        scrambler_seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+        if self.mcs.modulation in ("bpsk", "qpsk"):
+            raise ConfigurationError(
+                "SledZig requires a QAM modulation (16/64/256); "
+                f"got {self.mcs.modulation}"
+            )
+        self.channel = get_channel(channel)
+        self.scrambler = Scrambler(scrambler_seed)
+
+    def frame_symbols(self, n_data_bits: int) -> int:
+        """OFDM symbols needed to carry *n_data_bits* of WiFi data."""
+        probe = plan_insertion(self.mcs, self.channel, 1)
+        per_symbol_capacity = self.mcs.n_dbps - probe.n_extra
+        if per_symbol_capacity <= 0:
+            raise ConfigurationError(
+                f"{self.mcs.name} leaves no payload capacity on {self.channel.name}"
+            )
+        needed = SERVICE_BITS + n_data_bits + TAIL_BITS
+        n_symbols = max(1, -(-needed // per_symbol_capacity))
+        # Clusters can straddle symbol boundaries; confirm against the real
+        # plan and grow if the estimate fell short.
+        while plan_insertion(self.mcs, self.channel, n_symbols).payload_capacity < needed:
+            n_symbols += 1
+        return n_symbols
+
+    def encode(self, data_bits: BitsLike) -> SledZigEncodeResult:
+        """Encode WiFi data bits into a verified SledZig transmit stream."""
+        data = as_bits(data_bits)
+        n_symbols = self.frame_symbols(data.size)
+        plan = plan_insertion(self.mcs, self.channel, n_symbols)
+
+        stream_octets = -(-plan.n_stream_bits // 8)
+        if stream_octets > _MAX_STREAM_OCTETS:
+            raise ConfigurationError(
+                f"frame of {plan.n_stream_bits} bits exceeds the 12-bit "
+                "LENGTH field; split the payload across frames"
+            )
+
+        payload_scrambled = self._scrambled_payload(data, plan)
+        stream = build_stream(plan, payload_scrambled)
+        violations = verify_stream(stream, self.mcs, self.channel)
+        if violations:
+            raise InsertionError(
+                f"{len(violations)} significant bits violated after solving — "
+                "this indicates an internal planning bug"
+            )
+
+        layout, length_octets = self._announced_layout(plan)
+        n_pad = plan.payload_capacity - (SERVICE_BITS + data.size + TAIL_BITS)
+        return SledZigEncodeResult(
+            stream=stream,
+            plan=plan,
+            layout=layout,
+            n_data_bits=data.size,
+            n_pad_bits=n_pad,
+            signal_length_octets=length_octets,
+        )
+
+    def _scrambled_payload(self, data: np.ndarray, plan: InsertionPlan) -> np.ndarray:
+        """Scramble SERVICE + data + tail + pad at their final positions."""
+        capacity = plan.payload_capacity
+        needed = SERVICE_BITS + data.size + TAIL_BITS
+        if needed > capacity:
+            raise InsertionError(
+                f"payload of {needed} bits exceeds capacity {capacity}"
+            )
+        unscrambled = np.zeros(capacity, dtype=np.uint8)
+        unscrambled[SERVICE_BITS : SERVICE_BITS + data.size] = data
+
+        # Final stream positions of the payload slots (non-extra, ascending).
+        occupied = np.ones(plan.n_stream_bits, dtype=bool)
+        occupied[list(plan.extra_positions)] = False
+        positions = np.flatnonzero(occupied)
+        mask = self.scrambler.sequence(plan.n_stream_bits)[positions]
+        scrambled = (unscrambled ^ mask).astype(np.uint8)
+
+        tail_slice = slice(SERVICE_BITS + data.size, SERVICE_BITS + data.size + TAIL_BITS)
+        scrambled[tail_slice] = 0  # the standard zeroes the scrambled tail
+        return scrambled
+
+    def _announced_layout(self, plan: InsertionPlan) -> "tuple[DataFieldLayout, int]":
+        """LENGTH and layout describing this frame to a standard receiver.
+
+        The SIGNAL LENGTH must make a standard receiver compute exactly
+        ``plan.n_symbols`` DATA symbols; we advertise the largest octet
+        count that does.
+        """
+        n_dbps = self.mcs.n_dbps
+        total = plan.n_symbols * n_dbps
+        length_octets = (total - SERVICE_BITS - TAIL_BITS) // 8
+        length_octets = max(1, min(length_octets, _MAX_STREAM_OCTETS))
+        layout = DataFieldLayout(
+            n_psdu_bits=length_octets * 8,
+            n_symbols=plan.n_symbols,
+            n_pad_bits=total - SERVICE_BITS - length_octets * 8 - TAIL_BITS,
+        )
+        if layout.n_total_bits != total:
+            raise InsertionError("announced layout does not match stream size")
+        return layout, length_octets

@@ -1,0 +1,331 @@
+"""Extra-bit insertion: the generalised solver behind SledZig encoding.
+
+The paper's Algorithm 1 handles two cases — *single* significant bits (one
+extra bit at the current encoder step) and *twin* significant bits (two
+extra bits at steps n-1 and n-5) — and relies on deinterleaving having
+scattered significant bits so far apart that twins never interact with other
+constraints.  That claim holds for the paper's bit-labelling; under the
+802.11 standard labelling used by this library a few configurations
+(e.g. QAM-256 rate 5/6) produce constraints at adjacent encoder steps.
+
+This module therefore implements a strictly more general, provably
+deterministic scheme:
+
+1. Constrained encoder steps are grouped into *clusters* — runs of steps
+   whose 7-bit encoder windows overlap (gap <= 6).
+2. Each cluster with C constraints reserves C *extra-bit positions* inside
+   the union of its windows, chosen (data-independently) so that the C x C
+   GF(2) coefficient matrix of the constraints w.r.t. the reserved unknowns
+   is full rank.  For an isolated single this degenerates to the paper's
+   "insert x_n"; for an isolated twin to a two-position insertion.
+3. While the transmit stream is built left to right, reserved positions are
+   skipped; when the sweep passes a cluster's last step the cluster's
+   constraints are solved jointly by Gaussian elimination over GF(2).
+
+Because the coefficient matrix depends only on the generator polynomials
+and the reserved-position offsets — never on payload data — feasibility is
+established once at planning time: encoding can then never fail at runtime.
+The number of extra bits still equals the number of significant bits, so
+the paper's Table III/IV accounting is unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsertionError
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.significant import significant_bits_for_symbol
+from repro.utils.galois import gf2_rank, gf2_solve
+from repro.wifi.convolutional import CONSTRAINT_LENGTH, G0_TAPS, G1_TAPS
+from repro.wifi.params import Mcs, get_mcs
+
+#: Tap value of generator *branch* at lag *l* (coefficient of x_{n-l}).
+_TAPS = (G0_TAPS, G1_TAPS)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One required mother-code output bit.
+
+    Attributes:
+        step: 0-based encoder step n (output pair index).
+        branch: 0 for the g0 output, 1 for the g1 output.
+        value: required bit value.
+    """
+
+    step: int
+    branch: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A maximal run of constraints with overlapping encoder windows.
+
+    Attributes:
+        constraints: the member constraints, ordered by (step, branch).
+        reserved: stream positions reserved for extra bits, ascending.
+    """
+
+    constraints: Tuple[Constraint, ...]
+    reserved: Tuple[int, ...]
+
+    @property
+    def first_step(self) -> int:
+        """Earliest constrained encoder step."""
+        return self.constraints[0].step
+
+    @property
+    def last_step(self) -> int:
+        """Latest constrained encoder step (cluster solve trigger)."""
+        return self.constraints[-1].step
+
+
+@dataclass(frozen=True)
+class InsertionPlan:
+    """Deterministic description of where extra bits go in a frame.
+
+    Attributes:
+        mcs_name: MCS the plan was built for.
+        channel_index: CH1..CH4 index.
+        n_symbols: OFDM symbols covered.
+        clusters: solved reservation clusters, in stream order.
+        extra_positions: all reserved positions, ascending.
+    """
+
+    mcs_name: str
+    channel_index: int
+    n_symbols: int
+    clusters: Tuple[Cluster, ...]
+    extra_positions: Tuple[int, ...]
+
+    @property
+    def n_extra(self) -> int:
+        """Total extra bits inserted over the frame."""
+        return len(self.extra_positions)
+
+    @property
+    def n_stream_bits(self) -> int:
+        """Total scrambled-stream bits of the frame."""
+        return get_mcs(self.mcs_name).n_dbps * self.n_symbols
+
+    @property
+    def payload_capacity(self) -> int:
+        """Stream bits available for SERVICE/PSDU/tail/pad."""
+        return self.n_stream_bits - self.n_extra
+
+
+def _coefficient(constraint: Constraint, position: int) -> int:
+    """GF(2) coefficient of stream bit *position* in *constraint*'s equation."""
+    lag = constraint.step - position
+    if not 0 <= lag < CONSTRAINT_LENGTH:
+        return 0
+    return int(_TAPS[constraint.branch][lag])
+
+
+def _cluster_constraints(
+    constraints: Sequence[Constraint], gap: int = CONSTRAINT_LENGTH - 1
+) -> List[List[Constraint]]:
+    """Split sorted constraints into clusters of window-overlapping steps."""
+    clusters: List[List[Constraint]] = []
+    for constraint in sorted(constraints, key=lambda c: (c.step, c.branch)):
+        if clusters and constraint.step - clusters[-1][-1].step <= gap:
+            clusters[-1].append(constraint)
+        else:
+            clusters.append([constraint])
+    return clusters
+
+
+def _reserve_positions(members: Sequence[Constraint]) -> Tuple[int, ...]:
+    """Choose full-rank extra-bit positions for one cluster.
+
+    Candidates are the union of the member windows, capped below at 0.
+    The search prefers positions at the constrained steps themselves (the
+    paper's choice for singles), widening combinatorially only for the rare
+    clusters where that fails.  Raises :class:`InsertionError` if no
+    full-rank reservation exists (never observed for valid configurations;
+    the check makes failure loud rather than silent).
+    """
+    n_unknowns = len(members)
+    low = max(0, members[0].step - (CONSTRAINT_LENGTH - 1))
+    high = members[-1].step
+    candidates = list(range(high, low - 1, -1))  # prefer late positions
+
+    def rank_of(subset: Sequence[int]) -> int:
+        matrix = [
+            [_coefficient(c, p) for p in subset] for c in members
+        ]
+        return gf2_rank(matrix)
+
+    # Fast path: the constrained steps themselves plus immediate neighbours.
+    preferred = sorted({c.step for c in members}, reverse=True)
+    if len(preferred) >= n_unknowns and rank_of(preferred[:n_unknowns]) == n_unknowns:
+        return tuple(sorted(preferred[:n_unknowns]))
+    for subset in itertools.combinations(candidates, n_unknowns):
+        if rank_of(subset) == n_unknowns:
+            return tuple(sorted(subset))
+    raise InsertionError(
+        f"no full-rank extra-bit reservation for cluster at steps "
+        f"{[c.step for c in members]}"
+    )
+
+
+def plan_from_constraints(
+    constraints: Sequence[Constraint],
+) -> "tuple[Tuple[Cluster, ...], Tuple[int, ...]]":
+    """Cluster arbitrary constraints and reserve full-rank extra positions.
+
+    The generic core of planning, shared by the 20 MHz path and the 40 MHz
+    extension (:mod:`repro.sledzig.wideband`): geometry-independent, it only
+    sees encoder steps and generator branches.
+    """
+    clusters: List[Cluster] = []
+    positions: List[int] = []
+    for members in _cluster_constraints(constraints):
+        reserved = _reserve_positions(members)
+        clusters.append(Cluster(tuple(members), reserved))
+        positions.extend(reserved)
+    positions.sort()
+    if len(positions) != len(set(positions)):
+        raise InsertionError("overlapping extra-bit reservations across clusters")
+    return tuple(clusters), tuple(positions)
+
+
+def solve_constraints(stream: np.ndarray, clusters: Sequence[Cluster]) -> None:
+    """Solve every cluster in stream order, writing extra bits in place."""
+    for cluster in clusters:
+        _solve_cluster(stream, cluster)
+
+
+@lru_cache(maxsize=None)
+def _plan_cached(
+    mcs_name: str, channel: OverlapChannel, n_symbols: int
+) -> InsertionPlan:
+    mcs = get_mcs(mcs_name)
+    per_symbol = significant_bits_for_symbol(mcs, channel)
+    constraints: List[Constraint] = []
+    for s in range(n_symbols):
+        base = s * mcs.n_dbps
+        for bit in per_symbol:
+            constraints.append(
+                Constraint(
+                    step=base + bit.encoder_step,
+                    branch=bit.branch,
+                    value=bit.value,
+                )
+            )
+    clusters, positions = plan_from_constraints(constraints)
+    return InsertionPlan(
+        mcs_name=mcs_name,
+        channel_index=channel.index,
+        n_symbols=n_symbols,
+        clusters=clusters,
+        extra_positions=positions,
+    )
+
+
+def plan_insertion(
+    mcs: "Mcs | str",
+    channel: "int | str | OverlapChannel",
+    n_symbols: int,
+) -> InsertionPlan:
+    """Build (or fetch) the deterministic insertion plan for a frame size."""
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    ch = get_channel(channel)
+    if n_symbols < 1:
+        raise InsertionError("a frame needs at least one OFDM symbol")
+    return _plan_cached(mcs.name, ch, n_symbols)
+
+
+def build_stream(plan: InsertionPlan, payload_scrambled: Sequence[int]) -> np.ndarray:
+    """Assemble the scrambled-domain transmit stream from a plan.
+
+    Args:
+        plan: the insertion plan for the frame.
+        payload_scrambled: the scrambled-domain values of every non-extra
+            stream bit, in order (SERVICE + PSDU + tail + pad, already
+            scrambled and tail-zeroed).  Must exactly fill
+            ``plan.payload_capacity`` bits.
+
+    Returns the complete stream with extra bits solved so that running the
+    standard convolutional encoder over it meets every constraint.
+    """
+    payload = np.asarray(payload_scrambled, dtype=np.uint8).ravel()
+    if payload.size != plan.payload_capacity:
+        raise InsertionError(
+            f"payload of {payload.size} bits does not fill the plan's "
+            f"capacity of {plan.payload_capacity}"
+        )
+    n = plan.n_stream_bits
+    stream = np.zeros(n, dtype=np.uint8)
+    is_extra = np.zeros(n, dtype=bool)
+    is_extra[list(plan.extra_positions)] = True
+    stream[~is_extra] = payload
+
+    for cluster in plan.clusters:
+        _solve_cluster(stream, cluster)
+    return stream
+
+
+def _solve_cluster(stream: np.ndarray, cluster: Cluster) -> None:
+    """Solve one cluster's constraints in place."""
+    unknowns = list(cluster.reserved)
+    matrix: List[List[int]] = []
+    rhs: List[int] = []
+    for constraint in cluster.constraints:
+        row = [_coefficient(constraint, p) for p in unknowns]
+        acc = constraint.value
+        low = max(0, constraint.step - (CONSTRAINT_LENGTH - 1))
+        for position in range(low, constraint.step + 1):
+            if position in cluster.reserved:
+                continue
+            coeff = _coefficient(constraint, position)
+            if coeff:
+                acc ^= int(stream[position]) & coeff
+        matrix.append(row)
+        rhs.append(acc)
+    solution, _ = gf2_solve(matrix, rhs)
+    for position, value in zip(unknowns, solution):
+        stream[position] = value
+
+
+def verify_stream(
+    stream: Sequence[int],
+    mcs: "Mcs | str",
+    channel: "int | str | OverlapChannel",
+) -> List[Constraint]:
+    """Re-encode *stream* with the standard coder and list violated constraints.
+
+    An empty list means every significant bit holds — the invariant the
+    SledZig encoder asserts before emitting a waveform.
+    """
+    from repro.wifi.convolutional import conv_encode  # local to avoid cycle
+
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    arr = np.asarray(stream, dtype=np.uint8).ravel()
+    if arr.size % mcs.n_dbps:
+        raise InsertionError(
+            f"stream of {arr.size} bits is not whole symbols of {mcs.n_dbps}"
+        )
+    n_symbols = arr.size // mcs.n_dbps
+    mother = conv_encode(arr)
+    per_symbol = significant_bits_for_symbol(mcs, channel)
+    violated: List[Constraint] = []
+    for s in range(n_symbols):
+        base = 2 * s * mcs.n_dbps
+        for bit in per_symbol:
+            if int(mother[base + bit.position]) != bit.value:
+                violated.append(
+                    Constraint(
+                        step=s * mcs.n_dbps + bit.encoder_step,
+                        branch=bit.branch,
+                        value=bit.value,
+                    )
+                )
+    return violated

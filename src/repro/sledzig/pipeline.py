@@ -1,0 +1,164 @@
+"""End-to-end SledZig pipeline: bytes in, waveform out, bytes back.
+
+This is the highest-level convenience API.  The transmitter prepends a
+2-octet little-endian length header to the payload (a library framing
+convention — the paper leaves payload delimiting to the MAC), encodes with
+SledZig, and emits a standard PPDU waveform.  The receiver runs the standard
+WiFi chain, detects the protected ZigBee channel from the constellation,
+strips the extra bits and returns the payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.decoder import ChannelDetection, SledZigDecoder
+from repro.sledzig.encoder import SledZigEncodeResult, SledZigEncoder
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.wifi.params import Mcs, get_mcs
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.scrambler import DEFAULT_SEED
+from repro.wifi.transmitter import WifiFrame, WifiTransmitter
+
+#: Octets of the pipeline's length header.
+LENGTH_HEADER_OCTETS: int = 2
+
+
+@dataclass
+class SledZigTransmission:
+    """A transmitted SledZig frame.
+
+    Attributes:
+        frame: the standard PPDU (waveform, spectra, layout).
+        encode_result: insertion plan and counters.
+        payload: the user bytes carried.
+    """
+
+    frame: WifiFrame
+    encode_result: SledZigEncodeResult
+    payload: bytes
+
+    @property
+    def waveform(self) -> np.ndarray:
+        """Complex baseband samples of the PPDU."""
+        return self.frame.waveform
+
+    @property
+    def duration_us(self) -> float:
+        """On-air duration in microseconds."""
+        return self.frame.duration_us
+
+
+@dataclass
+class SledZigReceivedPacket:
+    """A received and fully stripped SledZig frame.
+
+    Attributes:
+        payload: recovered user bytes.
+        channel: ZigBee channel the frame protected.
+        detection: constellation-based detection details (None if the
+            receiver was pinned to a channel).
+        mcs: MCS announced by the SIGNAL field.
+    """
+
+    payload: bytes
+    channel: OverlapChannel
+    detection: Optional[ChannelDetection]
+    mcs: Mcs
+
+
+class SledZigTransmitter:
+    """Transmit SledZig-encoded payload bytes over the standard WiFi PHY."""
+
+    def __init__(
+        self,
+        mcs: "Mcs | str",
+        channel: "int | str | OverlapChannel",
+        scrambler_seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+        self.channel = get_channel(channel)
+        self.encoder = SledZigEncoder(self.mcs, self.channel, scrambler_seed)
+        self._wifi = WifiTransmitter(self.mcs, scrambler_seed)
+
+    def send(self, payload: bytes) -> SledZigTransmission:
+        """Encode and modulate *payload*, returning the full transmission."""
+        if len(payload) >= 1 << (8 * LENGTH_HEADER_OCTETS):
+            raise DecodingError(
+                f"payload of {len(payload)} bytes exceeds the length header"
+            )
+        header = len(payload).to_bytes(LENGTH_HEADER_OCTETS, "little")
+        data_bits = bytes_to_bits(header + bytes(payload))
+        result = self.encoder.encode(data_bits)
+        frame = self._wifi.transmit_scrambled_field(
+            result.stream, result.layout, result.signal_length_octets
+        )
+        return SledZigTransmission(frame=frame, encode_result=result, payload=bytes(payload))
+
+    def max_payload_per_frame(self) -> int:
+        """Largest payload (octets) one frame can carry after overheads.
+
+        Bounded by the 12-bit LENGTH field: the stream (data + extra bits)
+        must fit 4095 octets, so the data budget shrinks by the Table IV
+        loss fraction for this (MCS, channel) pair, minus the pipeline's
+        length header.
+        """
+        from repro.sledzig.significant import extra_bits_per_symbol
+        from repro.wifi.ppdu import SERVICE_BITS, TAIL_BITS
+
+        per_symbol_capacity = self.mcs.n_dbps - extra_bits_per_symbol(
+            self.mcs, self.channel
+        )
+        max_symbols = (4095 * 8) // self.mcs.n_dbps
+        budget_bits = max_symbols * per_symbol_capacity - SERVICE_BITS - TAIL_BITS
+        return budget_bits // 8 - LENGTH_HEADER_OCTETS - 1
+
+    def send_stream(self, payload: bytes) -> "list[SledZigTransmission]":
+        """Split an arbitrarily large payload across as many frames as
+        needed (each independently decodable by :class:`SledZigReceiver`)."""
+        chunk = min(self.max_payload_per_frame(), (1 << (8 * LENGTH_HEADER_OCTETS)) - 1)
+        if chunk <= 0:
+            raise DecodingError("frame too small to carry any payload")
+        data = bytes(payload)
+        return [self.send(data[i : i + chunk]) for i in range(0, max(len(data), 1), chunk)]
+
+
+class SledZigReceiver:
+    """Receive SledZig frames with automatic ZigBee-channel detection."""
+
+    def __init__(
+        self,
+        channel: "int | str | OverlapChannel | None" = None,
+        scrambler_seed: int = DEFAULT_SEED,
+    ) -> None:
+        self._wifi = WifiReceiver(scrambler_seed)
+        self._decoder = SledZigDecoder(channel)
+
+    def receive(self, waveform: np.ndarray) -> SledZigReceivedPacket:
+        """Demodulate, decode, detect the channel, and strip extra bits."""
+        reception = self._wifi.receive(waveform)
+        stripped = self._decoder.decode(reception)
+        bits = stripped.data_bits
+        header_bits = 8 * LENGTH_HEADER_OCTETS
+        if bits.size < header_bits:
+            raise DecodingError("stripped stream shorter than the length header")
+        header = bits_to_bytes(bits[:header_bits])
+        n_payload = int.from_bytes(header, "little")
+        total_bits = header_bits + 8 * n_payload
+        if bits.size < total_bits:
+            raise DecodingError(
+                f"length header promises {n_payload} bytes but only "
+                f"{(bits.size - header_bits) // 8} are present"
+            )
+        payload = bits_to_bytes(bits[header_bits:total_bits])
+        return SledZigReceivedPacket(
+            payload=payload,
+            channel=stripped.channel,
+            detection=stripped.detection,
+            mcs=reception.mcs,
+        )

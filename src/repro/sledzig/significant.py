@@ -1,0 +1,152 @@
+"""Significant-bit derivation (paper Sections IV-A to IV-C).
+
+A *significant bit* is a transmitted coded bit whose value must be fixed so
+that the QAM point on an overlapped subcarrier is one of the four
+lowest-power points.  Walking the standard chain backwards:
+
+1. Constellation (Section IV-A): for QAM-2^(2m) the point's bit offsets
+   1..m-1 and m+1..2m-1 must be 1, 0, ..., 0 (Table I).
+2. Subcarrier mapping: the point on data subcarrier d (0..47) consumes
+   interleaved bits [d*N_BPSC, (d+1)*N_BPSC).
+3. Interleaver inverse (Section IV-C): output position j came from
+   post-puncture stream position k = deinterleave_permutation[j].
+4. Depuncture: post-puncture position k corresponds to mother-code position
+   y_p; at rate 1/2 they coincide.
+
+The result is the paper's {v_k, p_k}: values and positions in the
+pre-puncture coded stream of one OFDM symbol.  Positions repeat every
+symbol with a stride of 2 * N_DBPS mother-code bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.wifi.constellation import significant_bit_pattern
+from repro.wifi.interleaver import deinterleave_permutation
+from repro.wifi.params import Mcs, data_subcarrier_index, get_mcs
+from repro.wifi.puncture import kept_indices
+
+
+@dataclass(frozen=True)
+class SignificantBit:
+    """One constraint on the mother-code (pre-puncture) stream.
+
+    Attributes:
+        position: 0-based index into the mother-code stream of one OFDM
+            symbol (the paper's p_k is this + 1).
+        value: required bit value.
+        subcarrier: logical subcarrier index the bit lands on.
+        bit_offset: offset of the bit within its QAM point.
+    """
+
+    position: int
+    value: int
+    subcarrier: int
+    bit_offset: int
+
+    @property
+    def encoder_step(self) -> int:
+        """0-based convolutional-encoder step n producing this output."""
+        return self.position // 2
+
+    @property
+    def branch(self) -> int:
+        """Which generator produced it: 0 -> g0 (y_{2n-1}), 1 -> g1 (y_{2n})."""
+        return self.position % 2
+
+
+@lru_cache(maxsize=None)
+def _significant_bits_cached(
+    mcs_name: str, channel_key: Tuple[int, int, Tuple[int, ...]]
+) -> Tuple[SignificantBit, ...]:
+    mcs = get_mcs(mcs_name)
+    _, _, data_subcarriers = channel_key
+    if mcs.modulation in ("bpsk", "qpsk"):
+        raise ConfigurationError(
+            f"SledZig requires QAM-16 or higher; {mcs.modulation} has no "
+            "reduced-power constellation points"
+        )
+    pattern = significant_bit_pattern(mcs.modulation)
+    inverse = deinterleave_permutation(mcs.n_cbps, mcs.n_bpsc)
+    kept = kept_indices(2 * mcs.n_dbps, mcs.coding_rate)
+    bits: List[SignificantBit] = []
+    for logical in data_subcarriers:
+        d = data_subcarrier_index(logical)
+        for offset, value in pattern.items():
+            output_index = d * mcs.n_bpsc + offset
+            post_puncture = inverse[output_index]
+            mother_position = int(kept[post_puncture])
+            bits.append(
+                SignificantBit(
+                    position=mother_position,
+                    value=int(value),
+                    subcarrier=logical,
+                    bit_offset=offset,
+                )
+            )
+    bits.sort(key=lambda b: b.position)
+    positions = [b.position for b in bits]
+    if len(set(positions)) != len(positions):
+        raise ConfigurationError(
+            "two significant bits map to the same coded position — "
+            "inconsistent chain configuration"
+        )
+    return tuple(bits)
+
+
+def significant_bits_for_symbol(
+    mcs: "Mcs | str", channel: "int | str | OverlapChannel"
+) -> Tuple[SignificantBit, ...]:
+    """All significant bits of one OFDM symbol, sorted by position.
+
+    Positions are 0-based indices into the symbol's mother-code stream of
+    2 * N_DBPS bits; add ``s * 2 * N_DBPS`` for symbol s of a frame.
+    """
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    ch = get_channel(channel)
+    key = (ch.index, ch.wifi_channel, ch.data_subcarriers)
+    return _significant_bits_cached(mcs.name, key)
+
+
+def significant_positions_paper(
+    mcs: "Mcs | str", channel: "int | str | OverlapChannel"
+) -> List[int]:
+    """The paper's 1-based p_k list for one OFDM symbol (Table II format)."""
+    return [b.position + 1 for b in significant_bits_for_symbol(mcs, channel)]
+
+
+def extra_bits_per_symbol(
+    mcs: "Mcs | str", channel: "int | str | OverlapChannel"
+) -> int:
+    """Number of extra bits SledZig inserts per OFDM symbol.
+
+    One extra bit satisfies one significant bit (paper Section IV-D), so the
+    count equals the number of significant bits: (data subcarriers in the
+    overlap) x (significant bits per QAM point).
+    """
+    return len(significant_bits_for_symbol(mcs, channel))
+
+
+def constraint_map_for_symbols(
+    mcs: "Mcs | str",
+    channel: "int | str | OverlapChannel",
+    n_symbols: int,
+) -> Dict[int, Tuple[int, SignificantBit]]:
+    """Constraints for a whole frame, keyed by global mother-code position.
+
+    Returns ``{global position: (value, per-symbol SignificantBit)}`` for
+    *n_symbols* OFDM symbols.
+    """
+    mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+    per_symbol = significant_bits_for_symbol(mcs, channel)
+    stride = 2 * mcs.n_dbps
+    out: Dict[int, Tuple[int, SignificantBit]] = {}
+    for s in range(n_symbols):
+        for bit in per_symbol:
+            out[s * stride + bit.position] = (bit.value, bit)
+    return out

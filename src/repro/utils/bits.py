@@ -1,0 +1,160 @@
+"""Bit-array helpers shared by every PHY stage.
+
+The whole library represents bit streams as one-dimensional ``numpy`` arrays
+of dtype ``uint8`` holding only the values 0 and 1.  These helpers convert
+between that canonical form and bytes/integers/strings, and provide the
+small structural operations (grouping, padding, interleaved indexing) the
+802.11 and 802.15.4 chains need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+BitsLike = Union[Sequence[int], np.ndarray, str]
+
+
+def as_bits(bits: BitsLike) -> np.ndarray:
+    """Return *bits* as a canonical uint8 0/1 array.
+
+    Accepts any integer sequence, an existing ndarray, or a string of '0'/'1'
+    characters (whitespace ignored).  Raises :class:`EncodingError` if any
+    element is not 0 or 1.
+    """
+    if isinstance(bits, str):
+        cleaned = "".join(bits.split())
+        arr = np.frombuffer(cleaned.encode("ascii"), dtype=np.uint8) - ord("0")
+    else:
+        arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size and int(arr.max(initial=0)) > 1:
+        raise EncodingError("bit arrays may contain only 0 and 1")
+    return arr.astype(np.uint8, copy=False)
+
+
+def bits_to_string(bits: BitsLike) -> str:
+    """Render a bit array as a compact '0101...' string (for logs/tests)."""
+    return "".join(str(int(b)) for b in as_bits(bits))
+
+
+def bytes_to_bits(data: bytes, lsb_first: bool = True) -> np.ndarray:
+    """Expand *data* into bits.
+
+    802.11 and 802.15.4 both serialise octets least-significant-bit first,
+    which is the default here.
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    table = np.unpackbits(arr.reshape(-1, 1), axis=1)
+    if lsb_first:
+        table = table[:, ::-1]
+    return table.ravel().astype(np.uint8)
+
+
+def bits_to_bytes(bits: BitsLike, lsb_first: bool = True) -> bytes:
+    """Pack a bit array (length divisible by 8) back into bytes."""
+    arr = as_bits(bits)
+    if arr.size % 8:
+        raise EncodingError(
+            f"cannot pack {arr.size} bits into whole octets (need multiple of 8)"
+        )
+    table = arr.reshape(-1, 8)
+    if lsb_first:
+        table = table[:, ::-1]
+    return np.packbits(table, axis=1).ravel().tobytes()
+
+
+def int_to_bits(value: int, width: int, lsb_first: bool = True) -> np.ndarray:
+    """Encode a non-negative integer into exactly *width* bits."""
+    if value < 0:
+        raise EncodingError("cannot encode a negative integer as bits")
+    if width < 0 or (width < value.bit_length()):
+        raise EncodingError(f"{value} does not fit in {width} bits")
+    bits = [(value >> i) & 1 for i in range(width)]
+    if not lsb_first:
+        bits.reverse()
+    return np.array(bits, dtype=np.uint8)
+
+
+def bits_to_int(bits: BitsLike, lsb_first: bool = True) -> int:
+    """Collapse a bit array into an integer."""
+    arr = as_bits(bits)
+    if not lsb_first:
+        arr = arr[::-1]
+    return int(sum(int(b) << i for i, b in enumerate(arr)))
+
+
+def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw *n* i.i.d. uniform bits from *rng*."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def pad_bits(bits: BitsLike, multiple: int, value: int = 0) -> np.ndarray:
+    """Right-pad *bits* with *value* up to the next multiple of *multiple*."""
+    arr = as_bits(bits)
+    remainder = arr.size % multiple
+    if remainder == 0:
+        return arr
+    pad = np.full(multiple - remainder, value, dtype=np.uint8)
+    return np.concatenate([arr, pad])
+
+
+def group_bits(bits: BitsLike, group_size: int) -> np.ndarray:
+    """Reshape a bit array into rows of *group_size* bits."""
+    arr = as_bits(bits)
+    if arr.size % group_size:
+        raise EncodingError(
+            f"{arr.size} bits do not divide into groups of {group_size}"
+        )
+    return arr.reshape(-1, group_size)
+
+
+def hamming_distance(a: BitsLike, b: BitsLike) -> int:
+    """Number of differing positions between two equal-length bit arrays."""
+    xa, xb = as_bits(a), as_bits(b)
+    if xa.size != xb.size:
+        raise EncodingError(
+            f"hamming_distance needs equal lengths ({xa.size} != {xb.size})"
+        )
+    return int(np.count_nonzero(xa != xb))
+
+
+def bit_error_rate(reference: BitsLike, received: BitsLike) -> float:
+    """Fraction of bit positions that differ (0.0 when both are empty)."""
+    ref = as_bits(reference)
+    if ref.size == 0:
+        return 0.0
+    return hamming_distance(reference, received) / ref.size
+
+
+def insert_bits(
+    stream: BitsLike, positions: Iterable[int], values: Iterable[int]
+) -> np.ndarray:
+    """Insert *values* so they land at *positions* of the final stream.
+
+    Positions index the stream *after* all insertions (0-based), matching how
+    SledZig describes extra-bit locations in the transmit stream.
+    """
+    base = list(as_bits(stream))
+    pairs = sorted(zip(positions, as_bits(list(values))), key=lambda p: p[0])
+    for pos, val in pairs:
+        if pos > len(base):
+            raise EncodingError(
+                f"insertion position {pos} beyond stream length {len(base)}"
+            )
+        base.insert(pos, int(val))
+    return np.array(base, dtype=np.uint8)
+
+
+def remove_positions(stream: BitsLike, positions: Iterable[int]) -> np.ndarray:
+    """Drop the bits at the given (final-stream, 0-based) positions."""
+    arr = as_bits(stream)
+    drop = set(int(p) for p in positions)
+    bad = [p for p in drop if p < 0 or p >= arr.size]
+    if bad:
+        raise EncodingError(f"removal positions out of range: {sorted(bad)}")
+    keep = np.ones(arr.size, dtype=bool)
+    keep[list(drop)] = False
+    return arr[keep]

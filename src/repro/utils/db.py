@@ -1,0 +1,79 @@
+"""Decibel/linear conversions and power aggregation helpers.
+
+Every RSSI, SINR and path-loss quantity in the library flows through these
+functions so the dB conventions live in exactly one place.  Zero linear power
+maps to ``-inf`` dB rather than raising, because "no signal present" is a
+normal state for the coexistence simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+Number = Union[float, np.ndarray]
+
+
+def db_to_linear(db: Number) -> Number:
+    """Convert a power ratio in dB to linear scale."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0) if isinstance(
+        db, np.ndarray
+    ) else 10.0 ** (float(db) / 10.0)
+
+
+def linear_to_db(linear: Number) -> Number:
+    """Convert a linear power ratio to dB (0 -> -inf, negatives rejected)."""
+    arr = np.asarray(linear, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("linear power must be non-negative")
+    with np.errstate(divide="ignore"):
+        out = 10.0 * np.log10(arr)
+    return out if isinstance(linear, np.ndarray) else float(out)
+
+
+def dbm_to_watt(dbm: float) -> float:
+    """Convert dBm to watts."""
+    return 10.0 ** ((float(dbm) - 30.0) / 10.0)
+
+
+def watt_to_dbm(watt: float) -> float:
+    """Convert watts to dBm (0 W -> -inf dBm)."""
+    if watt < 0:
+        raise ValueError("power in watts must be non-negative")
+    if watt == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(watt) + 30.0
+
+
+def power_sum_db(levels_db: Iterable[float]) -> float:
+    """Sum powers expressed in dB, returning the total in dB.
+
+    Used when several interferers are on the air simultaneously: powers add
+    linearly, so the combined level is ``10 log10(sum(10^(L/10)))``.
+    """
+    levels = [float(level) for level in levels_db]
+    finite = [level for level in levels if level != float("-inf")]
+    if not finite:
+        return float("-inf")
+    total = float(np.sum([10.0 ** (level / 10.0) for level in finite]))
+    return float(10.0 * np.log10(total))
+
+
+def signal_power(samples: np.ndarray) -> float:
+    """Mean power of a complex baseband waveform (linear units)."""
+    arr = np.asarray(samples)
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(arr) ** 2))
+
+
+def signal_power_db(samples: np.ndarray) -> float:
+    """Mean power of a waveform in dB relative to unit power."""
+    return linear_to_db(signal_power(samples))
+
+
+def sinr_db(signal_db: float, interference_db_levels: Iterable[float], noise_db: float) -> float:
+    """Signal-to-interference-plus-noise ratio, all arguments in dB."""
+    denom = power_sum_db(list(interference_db_levels) + [noise_db])
+    return float(signal_db - denom)

@@ -1,0 +1,115 @@
+"""Small GF(2) linear-algebra toolkit.
+
+SledZig's extra-bit determination (paper Section IV-D, Eq. 1) reduces to
+solving tiny linear systems over GF(2): each convolutional-encoder output bit
+is an inner product of a generator polynomial with the last seven input bits.
+This module provides exactly that — inner products, matrix-vector products,
+and a Gaussian-elimination solver — with no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+
+def gf2_dot(a: Sequence[int], b: Sequence[int]) -> int:
+    """Inner product of two equal-length GF(2) vectors (i.e. parity of AND)."""
+    xa = np.asarray(a, dtype=np.uint8)
+    xb = np.asarray(b, dtype=np.uint8)
+    if xa.size != xb.size:
+        raise EncodingError(f"gf2_dot length mismatch ({xa.size} != {xb.size})")
+    return int(np.bitwise_and(xa, xb).sum() & 1)
+
+
+def gf2_matvec(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> np.ndarray:
+    """Matrix-vector product over GF(2)."""
+    mat = np.asarray(matrix, dtype=np.uint8)
+    vec = np.asarray(vector, dtype=np.uint8)
+    return (mat @ vec % 2).astype(np.uint8)
+
+
+def poly_to_taps(poly: int, constraint_length: int) -> np.ndarray:
+    """Expand a generator polynomial into its tap vector.
+
+    The 802.11 convention writes g0 = 133 (octal) = 1011011 (binary) with the
+    most significant bit multiplying the *current* input bit x_n and the
+    least significant bit multiplying x_{n-6}; the returned vector is ordered
+    [x_n, x_{n-1}, ..., x_{n-K+1}] to match the paper's X_n layout.
+    """
+    bits = [(poly >> shift) & 1 for shift in range(constraint_length - 1, -1, -1)]
+    return np.array(bits, dtype=np.uint8)
+
+
+def gf2_solve(
+    matrix: Sequence[Sequence[int]], rhs: Sequence[int]
+) -> Tuple[np.ndarray, bool]:
+    """Solve ``A x = b`` over GF(2) by Gaussian elimination.
+
+    Returns ``(solution, unique)``.  When the system is under-determined a
+    particular solution is returned with free variables set to 0 and
+    ``unique`` is False.  Raises :class:`EncodingError` if inconsistent.
+    """
+    a = np.asarray(matrix, dtype=np.uint8).copy()
+    b = np.asarray(rhs, dtype=np.uint8).copy()
+    if a.ndim != 2 or a.shape[0] != b.size:
+        raise EncodingError("gf2_solve shape mismatch between matrix and rhs")
+    rows, cols = a.shape
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(row, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            b[[row, pivot]] = b[[pivot, row]]
+        for r in range(rows):
+            if r != row and a[r, col]:
+                a[r] ^= a[row]
+                b[r] ^= b[row]
+        pivot_cols.append(col)
+        row += 1
+        if row == rows:
+            break
+    # Inconsistency: a zero row of A with nonzero rhs.
+    for r in range(row, rows):
+        if b[r] and not a[r].any():
+            raise EncodingError("gf2_solve: inconsistent linear system")
+    solution = np.zeros(cols, dtype=np.uint8)
+    for r, col in enumerate(pivot_cols):
+        solution[col] = b[r]
+    return solution, len(pivot_cols) == cols
+
+
+def gf2_rank(matrix: Sequence[Sequence[int]]) -> int:
+    """Rank of a GF(2) matrix (row-reduction count)."""
+    a = np.asarray(matrix, dtype=np.uint8).copy()
+    if a.ndim != 2:
+        raise EncodingError("gf2_rank expects a 2-D matrix")
+    rows, cols = a.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != rank:
+            a[[rank, pivot]] = a[[pivot, rank]]
+        for r in range(rows):
+            if r != rank and a[r, col]:
+                a[r] ^= a[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank

@@ -1,0 +1,53 @@
+"""Parameter-validation helpers used across the library.
+
+These wrap the common "validate and raise ConfigurationError" pattern so
+constructors stay short and error messages stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_in(value: Any, allowed: Iterable[Any], name: str) -> None:
+    """Require *value* to be one of *allowed*."""
+    options = list(allowed)
+    if value not in options:
+        raise ConfigurationError(
+            f"{name} must be one of {options}, got {value!r}"
+        )
+
+
+def require_range(
+    value: float,
+    name: str,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> None:
+    """Require ``minimum <= value <= maximum`` (bounds optional)."""
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(f"{name} must be <= {maximum}, got {value}")
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require a strictly positive value."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def require_length(seq: Sequence[Any], length: int, name: str) -> None:
+    """Require an exact sequence length."""
+    if len(seq) != length:
+        raise ConfigurationError(
+            f"{name} must have length {length}, got {len(seq)}"
+        )

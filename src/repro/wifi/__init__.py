@@ -1,0 +1,109 @@
+"""802.11 OFDM PHY: the standard transmit/receive chain SledZig rides on."""
+
+from repro.wifi.constellation import (
+    constellation_points,
+    demodulate_hard,
+    demodulate_soft,
+    gray_code,
+    gray_decode,
+    lowest_point_power,
+    lowest_power_axis_groups,
+    modulate,
+    normalisation_factor,
+    significant_bit_pattern,
+)
+from repro.wifi.convolutional import (
+    CONSTRAINT_LENGTH,
+    ERASURE,
+    G0_TAPS,
+    G1_TAPS,
+    ConvolutionalEncoder,
+    conv_encode,
+    encode_output_bit,
+    viterbi_decode,
+    viterbi_decode_soft,
+)
+from repro.wifi.interleaver import (
+    deinterleave,
+    deinterleave_permutation,
+    deinterleave_soft,
+    interleave,
+    interleave_permutation,
+    source_index,
+)
+from repro.wifi.ofdm import (
+    TIME_SCALE,
+    extract_subcarriers,
+    map_subcarriers,
+    ofdm_demodulate,
+    ofdm_modulate,
+    symbols_to_waveform,
+    waveform_to_symbols,
+)
+from repro.wifi.params import (
+    BITS_PER_SUBCARRIER,
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    MCS_TABLE,
+    N_DATA_SUBCARRIERS,
+    PAPER_MCS_NAMES,
+    PILOT_SUBCARRIERS,
+    SAMPLE_RATE_HZ,
+    SUBCARRIER_SPACING_HZ,
+    SYMBOL_DURATION_US,
+    SYMBOL_LENGTH,
+    Mcs,
+    average_constellation_power,
+    data_subcarrier_index,
+    fft_bin,
+    get_mcs,
+    subcarrier_frequency_hz,
+)
+from repro.wifi.ppdu import (
+    SERVICE_BITS,
+    TAIL_BITS,
+    DataFieldLayout,
+    assemble_data_field,
+    descramble_data_field,
+    extract_psdu,
+    plan_data_field,
+    scramble_data_field,
+)
+from repro.wifi.preamble import (
+    PREAMBLE_DURATION_US,
+    PREAMBLE_LENGTH,
+    detect_preamble,
+    long_training_field,
+    preamble_waveform,
+    short_training_field,
+)
+from repro.wifi.puncture import (
+    PUNCTURE_PATTERNS,
+    depuncture,
+    depuncture_soft,
+    is_punctured,
+    kept_indices,
+    puncture,
+    punctured_length,
+    transmitted_index,
+)
+from repro.wifi.receiver import WifiReceiver, WifiReception
+from repro.wifi.scrambler import DEFAULT_SEED, Scrambler, descramble, scramble
+from repro.wifi.signal_field import (
+    RATE_CODES,
+    build_signal_bits,
+    decode_signal_symbol,
+    encode_signal_symbol,
+    parse_signal_bits,
+)
+from repro.wifi.spectral import (
+    band_power,
+    band_power_db,
+    power_spectrum,
+    subcarrier_powers,
+    total_power_db,
+)
+from repro.wifi.transmitter import WifiFrame, WifiTransmitter, encode_data_symbols
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,272 @@
+"""Rate-1/2 convolutional encoder and Viterbi decoder (802.11, K = 7).
+
+The encoder uses the industry-standard generator polynomials g0 = 133 and
+g1 = 171 (octal) — written in binary these are 1011011 and 1111001, exactly
+the vectors the paper's Eq. 1 multiplies against X_n = [x_n ... x_{n-6}].
+One input bit produces the output pair (A, B) = (g0 . X_n, g1 . X_n); the
+pairs are serialised A first.
+
+The Viterbi decoder is a hard-decision implementation over the 64-state
+trellis, with erasure support so punctured streams can be decoded after
+depuncturing marks the missing bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DecodingError, EncodingError
+from repro.utils.bits import BitsLike, as_bits
+from repro.utils.galois import poly_to_taps
+
+#: Constraint length of the 802.11 code.
+CONSTRAINT_LENGTH: int = 7
+
+#: Number of trellis states (2^(K-1)).
+N_STATES: int = 64
+
+#: Generator polynomials, octal 133 and 171.
+G0: int = 0o133
+G1: int = 0o171
+
+#: Tap vectors ordered [x_n, x_{n-1}, ..., x_{n-6}] as in the paper's X_n.
+G0_TAPS: np.ndarray = poly_to_taps(G0, CONSTRAINT_LENGTH)
+G1_TAPS: np.ndarray = poly_to_taps(G1, CONSTRAINT_LENGTH)
+
+#: Erasure marker inside depunctured streams (neither 0 nor 1).
+ERASURE: int = 2
+
+
+def _build_trellis() -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute next-state and output tables for all (state, input) pairs.
+
+    A state encodes the previous six input bits [x_{n-1} .. x_{n-6}], with
+    x_{n-1} in the most significant position.  Returns ``(next_state,
+    outputs)`` where ``outputs[state, input]`` packs (A << 1) | B.
+    """
+    next_state = np.zeros((N_STATES, 2), dtype=np.int64)
+    outputs = np.zeros((N_STATES, 2), dtype=np.int64)
+    for state in range(N_STATES):
+        history = [(state >> (5 - i)) & 1 for i in range(6)]  # x_{n-1}..x_{n-6}
+        for bit in range(2):
+            window = np.array([bit] + history, dtype=np.uint8)
+            a = int(np.bitwise_and(G0_TAPS, window).sum() & 1)
+            b = int(np.bitwise_and(G1_TAPS, window).sum() & 1)
+            outputs[state, bit] = (a << 1) | b
+            next_state[state, bit] = ((state >> 1) | (bit << 5)) & 0x3F
+    return next_state, outputs
+
+
+_NEXT_STATE, _OUTPUTS = _build_trellis()
+
+
+class ConvolutionalEncoder:
+    """Streaming rate-1/2 encoder holding the six-bit shift register."""
+
+    def __init__(self) -> None:
+        self._state = 0
+
+    @property
+    def state(self) -> int:
+        """Current 6-bit register contents (x_{n-1} in the MSB)."""
+        return self._state
+
+    def reset(self) -> None:
+        """Clear the shift register (start of a new DATA field)."""
+        self._state = 0
+
+    def encode_bit(self, bit: int) -> Tuple[int, int]:
+        """Encode one input bit, returning the output pair (A, B)."""
+        if bit not in (0, 1):
+            raise EncodingError(f"input bit must be 0 or 1, got {bit!r}")
+        packed = int(_OUTPUTS[self._state, bit])
+        self._state = int(_NEXT_STATE[self._state, bit])
+        return packed >> 1, packed & 1
+
+    def encode(self, bits: BitsLike) -> np.ndarray:
+        """Encode a block of bits, returning the serialised A/B stream."""
+        arr = as_bits(bits)
+        out = np.empty(2 * arr.size, dtype=np.uint8)
+        state = self._state
+        for i, bit in enumerate(arr):
+            packed = int(_OUTPUTS[state, bit])
+            out[2 * i] = packed >> 1
+            out[2 * i + 1] = packed & 1
+            state = int(_NEXT_STATE[state, bit])
+        self._state = state
+        return out
+
+
+def conv_encode(bits: BitsLike) -> np.ndarray:
+    """One-shot encode from the all-zero state (standard DATA field usage)."""
+    encoder = ConvolutionalEncoder()
+    return encoder.encode(bits)
+
+
+def encode_output_bit(window: BitsLike, branch: int) -> int:
+    """Evaluate the paper's Eq. 1 for one output bit.
+
+    *window* is X_n = [x_n, x_{n-1}, ..., x_{n-6}] and *branch* selects the
+    generator: 0 -> g0 (y_{2n-1}), 1 -> g1 (y_{2n}).
+    """
+    arr = as_bits(window)
+    if arr.size != CONSTRAINT_LENGTH:
+        raise EncodingError(
+            f"window must have {CONSTRAINT_LENGTH} bits, got {arr.size}"
+        )
+    taps = G0_TAPS if branch == 0 else G1_TAPS
+    return int(np.bitwise_and(taps, arr).sum() & 1)
+
+
+def viterbi_decode_soft(
+    soft: np.ndarray,
+    n_data_bits: Optional[int] = None,
+    assume_zero_tail: bool = False,
+) -> np.ndarray:
+    """Soft-decision Viterbi decode of a rate-1/2 stream.
+
+    Args:
+        soft: serialised A/B soft values; positive means "this coded bit is
+            more likely 1".  Punctured positions carry 0.0 (no information)
+            — :func:`repro.wifi.puncture.depuncture_soft` produces exactly
+            that, which is why erasures need no special casing here.
+        n_data_bits: expected decoded length (default: every pair).
+        assume_zero_tail: select the survivor ending in state 0.
+
+    The path metric is the correlation sum(soft * (2 * expected - 1)),
+    maximised; soft decisions buy roughly 2 dB over hard decisions on an
+    AWGN channel.
+    """
+    stream = np.asarray(soft, dtype=np.float64).ravel()
+    if stream.size % 2:
+        raise DecodingError("soft stream must contain A/B pairs (even length)")
+    n_steps = stream.size // 2
+    if n_data_bits is None:
+        n_data_bits = n_steps
+    if n_data_bits > n_steps:
+        raise DecodingError(
+            f"requested {n_data_bits} data bits from only {n_steps} soft pairs"
+        )
+    pairs = stream.reshape(-1, 2)
+    out_a = ((_OUTPUTS >> 1) * 2 - 1).astype(np.float64)  # +-1 expected signs
+    out_b = ((_OUTPUTS & 1) * 2 - 1).astype(np.float64)
+
+    preds = np.zeros((N_STATES, 2), dtype=np.int64)
+    pred_inputs = np.zeros((N_STATES, 2), dtype=np.int64)
+    fill = np.zeros(N_STATES, dtype=np.int64)
+    for state in range(N_STATES):
+        for bit in range(2):
+            dst = _NEXT_STATE[state, bit]
+            preds[dst, fill[dst]] = state
+            pred_inputs[dst, fill[dst]] = bit
+            fill[dst] += 1
+
+    neg_inf = -1e18
+    metrics = np.full(N_STATES, neg_inf, dtype=np.float64)
+    metrics[0] = 0.0
+    decisions = np.zeros((n_steps, N_STATES), dtype=np.uint8)
+    for step in range(n_steps):
+        a, b = pairs[step]
+        gain = out_a * a + out_b * b  # [state, input] correlation gain
+        cand = np.empty((N_STATES, 2), dtype=np.float64)
+        for slot in range(2):
+            src = preds[:, slot]
+            inp = pred_inputs[:, slot]
+            cand[:, slot] = metrics[src] + gain[src, inp]
+        choice = np.argmax(cand, axis=1)
+        metrics = cand[np.arange(N_STATES), choice]
+        decisions[step] = pred_inputs[np.arange(N_STATES), choice] | (
+            choice.astype(np.uint8) << 1
+        )
+
+    state = 0 if assume_zero_tail else int(np.argmax(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for step in range(n_steps - 1, -1, -1):
+        packed = int(decisions[step, state])
+        decoded[step] = packed & 1
+        state = int(preds[state, packed >> 1])
+    return decoded[:n_data_bits]
+
+
+def viterbi_decode(
+    coded: BitsLike,
+    n_data_bits: Optional[int] = None,
+    assume_zero_tail: bool = True,
+) -> np.ndarray:
+    """Hard-decision Viterbi decode of a rate-1/2 stream.
+
+    Args:
+        coded: serialised A/B stream; values of :data:`ERASURE` (2) are
+            treated as punctured and contribute no branch metric.
+        n_data_bits: expected number of decoded bits (defaults to half the
+            coded length, rounded down).
+        assume_zero_tail: when True the survivor path ending in state 0 is
+            selected, matching the standard's six zero tail bits.
+
+    Returns the decoded bit array.
+    """
+    stream = np.asarray(coded, dtype=np.uint8).ravel()
+    if stream.size % 2:
+        raise DecodingError("coded stream must contain A/B pairs (even length)")
+    n_steps = stream.size // 2
+    if n_data_bits is None:
+        n_data_bits = n_steps
+    if n_data_bits > n_steps:
+        raise DecodingError(
+            f"requested {n_data_bits} data bits from only {n_steps} coded pairs"
+        )
+
+    pairs = stream.reshape(-1, 2)
+    inf = np.iinfo(np.int64).max // 4
+    metrics = np.full(N_STATES, inf, dtype=np.int64)
+    metrics[0] = 0
+    decisions = np.zeros((n_steps, N_STATES), dtype=np.uint8)
+
+    out_a = (_OUTPUTS >> 1).astype(np.int64)  # [state, input]
+    out_b = (_OUTPUTS & 1).astype(np.int64)
+    next_state = _NEXT_STATE
+
+    # For the backward recursion we need, for each destination state, its two
+    # predecessor (state, input) pairs.
+    preds = np.zeros((N_STATES, 2), dtype=np.int64)  # predecessor states
+    pred_inputs = np.zeros((N_STATES, 2), dtype=np.int64)
+    fill = np.zeros(N_STATES, dtype=np.int64)
+    for state in range(N_STATES):
+        for bit in range(2):
+            dst = next_state[state, bit]
+            slot = fill[dst]
+            preds[dst, slot] = state
+            pred_inputs[dst, slot] = bit
+            fill[dst] += 1
+    if not np.all(fill == 2):
+        raise DecodingError("trellis construction failed (predecessor count)")
+
+    for step in range(n_steps):
+        a, b = int(pairs[step, 0]), int(pairs[step, 1])
+        cost = np.zeros((N_STATES, 2), dtype=np.int64)
+        if a != ERASURE:
+            cost += out_a != a
+        if b != ERASURE:
+            cost += out_b != b
+        cand = np.empty((N_STATES, 2), dtype=np.int64)
+        for slot in range(2):
+            src = preds[:, slot]
+            inp = pred_inputs[:, slot]
+            cand[:, slot] = metrics[src] + cost[src, inp]
+        choice = np.argmin(cand, axis=1)
+        metrics = cand[np.arange(N_STATES), choice]
+        decisions[step] = pred_inputs[np.arange(N_STATES), choice] | (
+            choice.astype(np.uint8) << 1
+        )
+
+    state = 0 if assume_zero_tail else int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for step in range(n_steps - 1, -1, -1):
+        packed = int(decisions[step, state])
+        bit = packed & 1
+        slot = packed >> 1
+        decoded[step] = bit
+        state = int(preds[state, slot])
+    return decoded[:n_data_bits]

@@ -1,0 +1,163 @@
+"""802.11n HT40 (40 MHz) PHY parameters and interleaver.
+
+The paper's footnote 1: "The WiFi channel can be up to 40 MHz in 802.11n
+... the similar idea can be easily extended to wider channel scenarios."
+This module supplies the pieces the extension needs:
+
+* the HT40 subcarrier plan: a 128-point FFT, used subcarriers -58..58
+  excluding {-1, 0, +1}, six pilots at +-11, +-25, +-53 -> 108 data
+  subcarriers;
+* the HT interleaver for 40 MHz: N_COL = 18, N_ROW = 6 x N_BPSC, with the
+  same two-permutation structure as the 20 MHz code (single spatial
+  stream, so no frequency rotation);
+* the HT40 MCS ladder (single stream) for the paper's three QAM orders.
+
+The modulation, coding and SledZig machinery are channel-width agnostic, so
+:mod:`repro.sledzig.wideband` composes these tables with the existing
+solver to protect ZigBee channels under a 40 MHz transmitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.wifi.params import BITS_PER_SUBCARRIER, CODING_RATES
+
+#: Baseband sample rate of a 40 MHz channel.
+SAMPLE_RATE_HZ: float = 40e6
+
+#: FFT size.
+FFT_SIZE: int = 128
+
+#: Subcarrier spacing is unchanged: 312.5 kHz.
+SUBCARRIER_SPACING_HZ: float = SAMPLE_RATE_HZ / FFT_SIZE
+
+#: HT40 pilot subcarriers (single stream).
+PILOT_SUBCARRIERS: Tuple[int, ...] = (-53, -25, -11, 11, 25, 53)
+
+#: HT40 data subcarriers: -58..58 minus {0, +-1} and the pilots.
+DATA_SUBCARRIERS: Tuple[int, ...] = tuple(
+    k
+    for k in range(-58, 59)
+    if k not in (-1, 0, 1) and k not in PILOT_SUBCARRIERS
+)
+
+#: Number of data subcarriers (108 for HT40).
+N_DATA_SUBCARRIERS: int = len(DATA_SUBCARRIERS)
+
+#: HT interleaver column count for 40 MHz.
+N_COLUMNS: int = 18
+
+
+@dataclass(frozen=True)
+class Ht40Mcs:
+    """One single-stream HT40 modulation-and-coding scheme.
+
+    Attributes:
+        modulation: qam16 / qam64 / qam256.
+        coding_rate: 1/2, 2/3, 3/4 or 5/6.
+        n_bpsc: coded bits per subcarrier.
+        n_cbps: coded bits per symbol (108 x n_bpsc).
+        n_dbps: data bits per symbol.
+    """
+
+    modulation: str
+    coding_rate: str
+    n_bpsc: int
+    n_cbps: int
+    n_dbps: int
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``ht40-qam64-5/6``."""
+        return f"ht40-{self.modulation}-{self.coding_rate}"
+
+    @property
+    def data_rate_mbps(self) -> float:
+        """PHY rate with the 4 us symbol (long guard interval)."""
+        return self.n_dbps / 4.0
+
+
+def _make(modulation: str, coding_rate: str) -> Ht40Mcs:
+    n_bpsc = BITS_PER_SUBCARRIER[modulation]
+    num, den = CODING_RATES[coding_rate]
+    n_cbps = N_DATA_SUBCARRIERS * n_bpsc
+    if (n_cbps * num) % den:
+        raise ConfigurationError(
+            f"HT40 {modulation} rate {coding_rate} yields fractional data bits"
+        )
+    return Ht40Mcs(modulation, coding_rate, n_bpsc, n_cbps, n_cbps * num // den)
+
+
+#: HT40 single-stream ladder covering the paper's modulations.
+HT40_MCS_TABLE: Dict[str, Ht40Mcs] = {
+    mcs.name: mcs
+    for mcs in (
+        _make("qam16", "1/2"),
+        _make("qam16", "3/4"),
+        _make("qam64", "2/3"),
+        _make("qam64", "3/4"),
+        _make("qam64", "5/6"),
+        _make("qam256", "3/4"),
+        _make("qam256", "5/6"),
+    )
+}
+
+
+def get_ht40_mcs(name: str) -> Ht40Mcs:
+    """Look up an HT40 MCS by name (``ht40-<modulation>-<rate>``)."""
+    key = name if name.startswith("ht40-") else f"ht40-{name}"
+    try:
+        return HT40_MCS_TABLE[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown HT40 MCS {name!r}; valid: {sorted(HT40_MCS_TABLE)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def ht40_interleave_permutation(n_cbps: int, n_bpsc: int) -> Tuple[int, ...]:
+    """HT40 interleaver permutation ``perm[k] = j`` (single stream).
+
+    IEEE 802.11n 20.3.11.8.2 with N_COL = 18 and N_ROW = 6 x N_BPSC:
+
+        i = N_ROW * (k mod N_COL) + floor(k / N_COL)
+        j = s * floor(i/s) + (i + N_CBPS - floor(N_COL * i / N_CBPS)) mod s
+    """
+    n_row = 6 * n_bpsc
+    if n_cbps != N_COLUMNS * n_row:
+        raise ConfigurationError(
+            f"N_CBPS {n_cbps} does not equal N_COL({N_COLUMNS}) x N_ROW({n_row})"
+        )
+    s = max(n_bpsc // 2, 1)
+    perm = []
+    for k in range(n_cbps):
+        i = n_row * (k % N_COLUMNS) + k // N_COLUMNS
+        j = s * (i // s) + (i + n_cbps - (N_COLUMNS * i) // n_cbps) % s
+        perm.append(j)
+    if sorted(perm) != list(range(n_cbps)):
+        raise ConfigurationError("HT40 interleaver permutation is not a bijection")
+    return tuple(perm)
+
+
+@lru_cache(maxsize=None)
+def ht40_deinterleave_permutation(n_cbps: int, n_bpsc: int) -> Tuple[int, ...]:
+    """Inverse of :func:`ht40_interleave_permutation`."""
+    perm = ht40_interleave_permutation(n_cbps, n_bpsc)
+    inv = [0] * n_cbps
+    for k, j in enumerate(perm):
+        inv[j] = k
+    return tuple(inv)
+
+
+def data_subcarrier_index(logical: int) -> int:
+    """Position (0..107) of a logical data subcarrier in the QAM sequence."""
+    try:
+        return DATA_SUBCARRIERS.index(logical)
+    except ValueError:
+        raise ConfigurationError(
+            f"subcarrier {logical} is not an HT40 data subcarrier"
+        ) from None

@@ -1,0 +1,128 @@
+"""OFDM symbol assembly: subcarrier mapping, IFFT/FFT and cyclic prefix.
+
+One 20 MHz 802.11 symbol is a 64-point IFFT over 48 data subcarriers, 4
+pilots and 12 nulls, preceded by a 16-sample cyclic prefix.  Frequency-domain
+vectors use *logical* subcarrier indices -32..31 (0 = DC); the natural-order
+FFT bin of logical index k is k mod 64.
+
+Normalisation: time-domain symbols are scaled by 64/sqrt(52) after numpy's
+ifft, so a symbol whose 52 used subcarriers each carry unit average power has
+unit average sample power.  This keeps waveform-level power measurements
+(e.g. the RSSI experiments) directly comparable across modulations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.wifi.params import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    PILOT_POLARITY,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    SYMBOL_LENGTH,
+)
+
+#: IFFT output scaling so 52 unit-power subcarriers give unit sample power.
+TIME_SCALE: float = FFT_SIZE / np.sqrt(52.0)
+
+
+def map_subcarriers(
+    data_symbols: Sequence[complex],
+    symbol_index: int = 0,
+    pilot_enabled: bool = True,
+) -> np.ndarray:
+    """Place 48 data QAM points and the 4 pilots into a 64-bin spectrum.
+
+    Args:
+        data_symbols: exactly 48 complex points, in logical subcarrier order
+            (-26 upwards, skipping pilots and DC).
+        symbol_index: index of this symbol within the PPDU *including* the
+            SIGNAL symbol, selecting the pilot polarity p_n (SIGNAL uses
+            n = 0, the first DATA symbol n = 1, ...).
+        pilot_enabled: set False to zero the pilots (used by analysis code
+            isolating data-subcarrier power).
+
+    Returns the length-64 frequency vector indexed by FFT bin.
+    """
+    points = np.asarray(data_symbols, dtype=np.complex128).ravel()
+    if points.size != N_DATA_SUBCARRIERS:
+        raise EncodingError(
+            f"need exactly {N_DATA_SUBCARRIERS} data points, got {points.size}"
+        )
+    spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for point, logical in zip(points, DATA_SUBCARRIERS):
+        spectrum[logical % FFT_SIZE] = point
+    if pilot_enabled:
+        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+        for value, logical in zip(PILOT_VALUES, PILOT_SUBCARRIERS):
+            spectrum[logical % FFT_SIZE] = polarity * value
+    return spectrum
+
+
+def extract_subcarriers(spectrum: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a 64-bin spectrum into (48 data points, 4 pilot values)."""
+    spec = np.asarray(spectrum, dtype=np.complex128).ravel()
+    if spec.size != FFT_SIZE:
+        raise EncodingError(f"spectrum must have {FFT_SIZE} bins, got {spec.size}")
+    data = np.array([spec[k % FFT_SIZE] for k in DATA_SUBCARRIERS])
+    pilots = np.array([spec[k % FFT_SIZE] for k in PILOT_SUBCARRIERS])
+    return data, pilots
+
+
+def ofdm_modulate(spectrum: np.ndarray, add_cp: bool = True) -> np.ndarray:
+    """IFFT a 64-bin spectrum into time samples, prepending the CP."""
+    spec = np.asarray(spectrum, dtype=np.complex128).ravel()
+    if spec.size != FFT_SIZE:
+        raise EncodingError(f"spectrum must have {FFT_SIZE} bins, got {spec.size}")
+    time = np.fft.ifft(spec) * TIME_SCALE
+    if not add_cp:
+        return time
+    return np.concatenate([time[-CP_LENGTH:], time])
+
+
+def ofdm_demodulate(samples: np.ndarray, has_cp: bool = True) -> np.ndarray:
+    """FFT one received symbol (CP stripped first) back to 64 bins."""
+    arr = np.asarray(samples, dtype=np.complex128).ravel()
+    expected = SYMBOL_LENGTH if has_cp else FFT_SIZE
+    if arr.size != expected:
+        raise EncodingError(
+            f"symbol must have {expected} samples, got {arr.size}"
+        )
+    body = arr[CP_LENGTH:] if has_cp else arr
+    return np.fft.fft(body) / TIME_SCALE
+
+
+def symbols_to_waveform(spectra: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate per-symbol spectra into one CP-prefixed waveform."""
+    if len(spectra) == 0:
+        return np.zeros(0, dtype=np.complex128)
+    return np.concatenate([ofdm_modulate(spec) for spec in spectra])
+
+
+def waveform_to_symbols(
+    waveform: np.ndarray, n_symbols: Optional[int] = None, offset: int = 0
+) -> np.ndarray:
+    """Slice a waveform into per-symbol spectra starting at *offset*.
+
+    Returns an array of shape (n_symbols, 64).
+    """
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    available = (arr.size - offset) // SYMBOL_LENGTH
+    if n_symbols is None:
+        n_symbols = available
+    if n_symbols > available:
+        raise EncodingError(
+            f"waveform holds {available} symbols after offset, need {n_symbols}"
+        )
+    out = np.empty((n_symbols, FFT_SIZE), dtype=np.complex128)
+    for s in range(n_symbols):
+        start = offset + s * SYMBOL_LENGTH
+        out[s] = ofdm_demodulate(arr[start : start + SYMBOL_LENGTH])
+    return out

@@ -1,0 +1,223 @@
+"""802.11 OFDM PHY parameters (20 MHz channel).
+
+Defines the subcarrier layout (48 data + 4 pilot + 12 null subcarriers of a
+64-point FFT), symbol timing, and the modulation-and-coding table used by the
+paper: QAM-16, QAM-64 and QAM-256 with their recommended coding rates, plus
+BPSK/QPSK for the SIGNAL field and completeness.
+
+A note on the paper's rate labels: Table III of the paper lists "2/3" for
+QAM-16 with 144 data bits per OFDM symbol.  144 = 192 x 3/4, i.e. that row is
+the standard 16-QAM rate-3/4 mode (36 Mbps in 802.11a); the 802.11 standard
+defines no 16-QAM 2/3 mode.  This library uses the standard-consistent rates
+and the experiment harness annotates the relabelling (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Baseband sample rate of a 20 MHz 802.11 channel.
+SAMPLE_RATE_HZ: float = 20e6
+
+#: FFT size of the OFDM modulator.
+FFT_SIZE: int = 64
+
+#: Cyclic-prefix length in samples (0.8 us guard interval).
+CP_LENGTH: int = 16
+
+#: Samples per OFDM symbol including the cyclic prefix (4 us).
+SYMBOL_LENGTH: int = FFT_SIZE + CP_LENGTH
+
+#: OFDM symbol duration in microseconds.
+SYMBOL_DURATION_US: float = 4.0
+
+#: Subcarrier spacing: 20 MHz / 64 = 312.5 kHz.
+SUBCARRIER_SPACING_HZ: float = SAMPLE_RATE_HZ / FFT_SIZE
+
+#: Pilot subcarrier logical indices (relative to the channel centre).
+PILOT_SUBCARRIERS: Tuple[int, ...] = (-21, -7, 7, 21)
+
+#: Data subcarrier logical indices: -26..26 excluding 0 and the pilots.
+DATA_SUBCARRIERS: Tuple[int, ...] = tuple(
+    k for k in range(-26, 27) if k != 0 and k not in PILOT_SUBCARRIERS
+)
+
+#: Indices carrying any energy (data + pilots).
+USED_SUBCARRIERS: Tuple[int, ...] = tuple(
+    k for k in range(-26, 27) if k != 0
+)
+
+#: Number of data subcarriers per OFDM symbol.
+N_DATA_SUBCARRIERS: int = len(DATA_SUBCARRIERS)  # 48
+
+#: Pilot BPSK values for subcarriers (-21, -7, 7, 21) before polarity.
+PILOT_VALUES: Tuple[int, ...] = (1, 1, 1, -1)
+
+#: The 127-element pilot polarity sequence p_n of 802.11-2012 Eq. 18-25.
+PILOT_POLARITY: Tuple[int, ...] = (
+    1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+    -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+    1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+    -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+    -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+    -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+    -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+    -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+)
+
+#: Bits per subcarrier for each modulation name.
+BITS_PER_SUBCARRIER: Dict[str, int] = {
+    "bpsk": 1,
+    "qpsk": 2,
+    "qam16": 4,
+    "qam64": 6,
+    "qam256": 8,
+}
+
+#: Coding rates expressed as (numerator, denominator).
+CODING_RATES: Dict[str, Tuple[int, int]] = {
+    "1/2": (1, 2),
+    "2/3": (2, 3),
+    "3/4": (3, 4),
+    "5/6": (5, 6),
+}
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One modulation-and-coding scheme of the 20 MHz OFDM PHY.
+
+    Attributes:
+        modulation: one of ``bpsk``, ``qpsk``, ``qam16``, ``qam64``, ``qam256``.
+        coding_rate: ``1/2``, ``2/3``, ``3/4`` or ``5/6``.
+        n_bpsc: coded bits per subcarrier.
+        n_cbps: coded bits per OFDM symbol (48 x n_bpsc).
+        n_dbps: data bits per OFDM symbol (n_cbps x rate).
+        min_snr_db: minimum receive SNR for a successful link, from the
+            paper's Table IV.
+    """
+
+    modulation: str
+    coding_rate: str
+    n_bpsc: int
+    n_cbps: int
+    n_dbps: int
+    min_snr_db: float
+
+    @property
+    def data_rate_mbps(self) -> float:
+        """PHY data rate in Mbit/s (one OFDM symbol each 4 us)."""
+        return self.n_dbps / SYMBOL_DURATION_US
+
+    @property
+    def rate_fraction(self) -> Tuple[int, int]:
+        """Coding rate as an (numerator, denominator) tuple."""
+        return CODING_RATES[self.coding_rate]
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``qam64-3/4``."""
+        return f"{self.modulation}-{self.coding_rate}"
+
+
+def _make_mcs(modulation: str, coding_rate: str, min_snr_db: float) -> Mcs:
+    n_bpsc = BITS_PER_SUBCARRIER[modulation]
+    n_cbps = N_DATA_SUBCARRIERS * n_bpsc
+    num, den = CODING_RATES[coding_rate]
+    if (n_cbps * num) % den:
+        raise ConfigurationError(
+            f"{modulation} with rate {coding_rate} does not yield whole data bits"
+        )
+    n_dbps = n_cbps * num // den
+    return Mcs(modulation, coding_rate, n_bpsc, n_cbps, n_dbps, min_snr_db)
+
+
+#: All MCS entries the library supports, keyed by ``<modulation>-<rate>``.
+#: Minimum-SNR values for the QAM modes come from the paper's Table IV;
+#: BPSK/QPSK values use the classic 802.11a receiver sensitivities.
+MCS_TABLE: Dict[str, Mcs] = {
+    mcs.name: mcs
+    for mcs in (
+        _make_mcs("bpsk", "1/2", 4.0),
+        _make_mcs("bpsk", "3/4", 6.0),
+        _make_mcs("qpsk", "1/2", 7.0),
+        _make_mcs("qpsk", "3/4", 9.0),
+        _make_mcs("qam16", "1/2", 11.0),
+        _make_mcs("qam16", "3/4", 15.0),
+        _make_mcs("qam64", "2/3", 18.0),
+        _make_mcs("qam64", "3/4", 20.0),
+        _make_mcs("qam64", "5/6", 25.0),
+        _make_mcs("qam256", "3/4", 29.0),
+        _make_mcs("qam256", "5/6", 31.0),
+    )
+}
+
+#: The seven (modulation, rate) combinations evaluated in the paper's
+#: Tables III/IV, in the paper's row order.  The second QAM-16 row is
+#: labelled "2/3" in the paper but is the standard rate-3/4 mode (see module
+#: docstring).
+PAPER_MCS_NAMES: Tuple[str, ...] = (
+    "qam16-1/2",
+    "qam16-3/4",
+    "qam64-2/3",
+    "qam64-3/4",
+    "qam64-5/6",
+    "qam256-3/4",
+    "qam256-5/6",
+)
+
+
+def get_mcs(name: str) -> Mcs:
+    """Look up an MCS by ``<modulation>-<rate>`` name.
+
+    Raises :class:`ConfigurationError` for unknown combinations, listing the
+    valid choices.
+    """
+    try:
+        return MCS_TABLE[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown MCS {name!r}; valid: {sorted(MCS_TABLE)}"
+        ) from None
+
+
+def data_subcarrier_index(logical: int) -> int:
+    """Position (0..47) of a logical data subcarrier within a symbol's QAM
+    point sequence, i.e. the order the interleaved bits fill subcarriers."""
+    try:
+        return DATA_SUBCARRIERS.index(logical)
+    except ValueError:
+        raise ConfigurationError(
+            f"subcarrier {logical} is not a data subcarrier"
+        ) from None
+
+
+def subcarrier_frequency_hz(logical: int) -> float:
+    """Baseband centre frequency of a logical subcarrier."""
+    if not -32 <= logical <= 31:
+        raise ConfigurationError(f"subcarrier index {logical} out of range")
+    return logical * SUBCARRIER_SPACING_HZ
+
+
+def fft_bin(logical: int) -> int:
+    """Map a logical subcarrier index (-32..31) to its FFT bin (0..63)."""
+    if not -32 <= logical <= 31:
+        raise ConfigurationError(f"subcarrier index {logical} out of range")
+    return logical % FFT_SIZE
+
+
+def average_constellation_power(modulation: str) -> float:
+    """Average un-normalised constellation power (e.g. 10 for QAM-16)."""
+    m = BITS_PER_SUBCARRIER.get(modulation)
+    if m is None:
+        raise ConfigurationError(f"unknown modulation {modulation!r}")
+    if m == 1:
+        return 1.0
+    levels = np.arange(1, 2 ** (m // 2), 2, dtype=float)
+    per_axis = float(np.mean(levels**2))
+    return 2.0 * per_axis

@@ -1,0 +1,117 @@
+"""DATA-field framing: SERVICE, tail and pad bits (802.11 Section 18.3.5.2).
+
+The DATA field of an OFDM PPDU is::
+
+    SERVICE (16 zero bits) | PSDU | tail (6 zero bits) | pad (to N_DBPS)
+
+The entire field is scrambled; the six *scrambled* tail bits are then forced
+back to zero so the convolutional encoder is flushed to the all-zero state.
+
+SledZig inserts its extra bits into this same stream (in the scrambled
+domain), so helpers here expose the exact index arithmetic both the plain
+and the SledZig transmit paths need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import BitsLike, as_bits
+from repro.wifi.params import Mcs
+from repro.wifi.scrambler import Scrambler
+
+#: Number of SERVICE bits preceding the PSDU.
+SERVICE_BITS: int = 16
+
+#: Number of tail bits flushing the convolutional encoder.
+TAIL_BITS: int = 6
+
+
+@dataclass(frozen=True)
+class DataFieldLayout:
+    """Index layout of one DATA field.
+
+    Attributes:
+        n_psdu_bits: PSDU payload length in bits.
+        n_symbols: number of OFDM DATA symbols.
+        n_pad_bits: number of pad bits after the tail.
+    """
+
+    n_psdu_bits: int
+    n_symbols: int
+    n_pad_bits: int
+
+    @property
+    def n_total_bits(self) -> int:
+        """Total DATA-field bits (SERVICE + PSDU + tail + pad)."""
+        return SERVICE_BITS + self.n_psdu_bits + TAIL_BITS + self.n_pad_bits
+
+    @property
+    def tail_start(self) -> int:
+        """Index of the first tail bit within the DATA field."""
+        return SERVICE_BITS + self.n_psdu_bits
+
+    @property
+    def pad_start(self) -> int:
+        """Index of the first pad bit within the DATA field."""
+        return self.tail_start + TAIL_BITS
+
+
+def plan_data_field(n_psdu_bits: int, mcs: Mcs) -> DataFieldLayout:
+    """Compute symbol count and pad length for a PSDU of *n_psdu_bits*."""
+    if n_psdu_bits < 0:
+        raise ConfigurationError("PSDU length cannot be negative")
+    needed = SERVICE_BITS + n_psdu_bits + TAIL_BITS
+    n_symbols = max(1, -(-needed // mcs.n_dbps))
+    n_pad = n_symbols * mcs.n_dbps - needed
+    return DataFieldLayout(n_psdu_bits, n_symbols, n_pad)
+
+
+def assemble_data_field(psdu_bits: BitsLike, mcs: Mcs) -> np.ndarray:
+    """Build the unscrambled DATA-field bit stream for *psdu_bits*."""
+    psdu = as_bits(psdu_bits)
+    layout = plan_data_field(psdu.size, mcs)
+    field = np.zeros(layout.n_total_bits, dtype=np.uint8)
+    field[SERVICE_BITS : SERVICE_BITS + psdu.size] = psdu
+    return field
+
+
+def scramble_data_field(
+    field_bits: BitsLike, layout: DataFieldLayout, scrambler: Scrambler
+) -> np.ndarray:
+    """Scramble a DATA field and zero the scrambled tail bits."""
+    field = as_bits(field_bits)
+    if field.size != layout.n_total_bits:
+        raise EncodingError(
+            f"field has {field.size} bits, layout expects {layout.n_total_bits}"
+        )
+    scrambled = scrambler.scramble(field)
+    scrambled[layout.tail_start : layout.tail_start + TAIL_BITS] = 0
+    return scrambled
+
+
+def descramble_data_field(
+    scrambled_bits: BitsLike, layout: DataFieldLayout, scrambler: Scrambler
+) -> np.ndarray:
+    """Invert :func:`scramble_data_field`, recovering SERVICE + PSDU.
+
+    The tail and pad regions are descrambled too but their contents are
+    meaningless to callers; the PSDU slice is what matters.
+    """
+    scrambled = as_bits(scrambled_bits)
+    if scrambled.size != layout.n_total_bits:
+        raise EncodingError(
+            f"stream has {scrambled.size} bits, layout expects {layout.n_total_bits}"
+        )
+    return scrambler.descramble(scrambled)
+
+
+def extract_psdu(field_bits: BitsLike, layout: DataFieldLayout) -> np.ndarray:
+    """Slice the PSDU out of an unscrambled DATA field."""
+    field = as_bits(field_bits)
+    if field.size < layout.tail_start:
+        raise EncodingError("field shorter than SERVICE + PSDU")
+    return field[SERVICE_BITS : layout.tail_start]

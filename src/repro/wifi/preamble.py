@@ -1,0 +1,127 @@
+"""802.11 OFDM PLCP preamble: short and long training fields.
+
+The preamble is 16 us: ten repetitions of a 0.8 us short training symbol
+(STS) for AGC/coarse sync, then a 1.6 us guard plus two 3.2 us long training
+symbols (LTS) for channel estimation and fine synchronisation.  SledZig does
+not touch the preamble — the paper's Section IV-F analyses precisely the
+consequence: the first 16 us of every packet stay at full power, which is
+why the preamble window is modelled explicitly in the coexistence simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+from repro.wifi.params import CP_LENGTH, FFT_SIZE
+
+#: STS occupies every 4th subcarrier; sqrt(13/6) restores unit average power.
+_STS_SCALE = np.sqrt(13.0 / 6.0)
+
+#: Non-zero STS entries: logical subcarrier -> un-scaled value.
+_STS_FREQ = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j,
+    -4: 1 + 1j, 4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j,
+    20: 1 + 1j, 24: 1 + 1j,
+}
+
+#: LTS values on subcarriers -26..26 (index 26 is DC = 0).
+_LTS_SEQUENCE = np.array(
+    [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1,
+     -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1,
+     1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1],
+    dtype=np.float64,
+)
+
+#: Duration of the full preamble in samples (16 us at 20 MHz).
+PREAMBLE_LENGTH: int = 320
+
+#: Duration of the preamble in microseconds.
+PREAMBLE_DURATION_US: float = 16.0
+
+
+def sts_spectrum() -> np.ndarray:
+    """64-bin frequency-domain short training symbol."""
+    spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for logical, value in _STS_FREQ.items():
+        spectrum[logical % FFT_SIZE] = _STS_SCALE * value
+    return spectrum
+
+
+def lts_spectrum() -> np.ndarray:
+    """64-bin frequency-domain long training symbol."""
+    spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for offset, value in enumerate(_LTS_SEQUENCE):
+        logical = offset - 26
+        if logical == 0:
+            continue
+        spectrum[logical % FFT_SIZE] = value
+    return spectrum
+
+
+def short_training_field() -> np.ndarray:
+    """The 8 us short training field: ten 16-sample STS periods.
+
+    The sqrt(13/6) factor in the STS spectrum makes its total subcarrier
+    power equal the 52-tone data symbols, so the same 64/sqrt(52) time
+    scaling yields unit average sample power across the whole preamble.
+    """
+    time = np.fft.ifft(sts_spectrum()) * (FFT_SIZE / np.sqrt(52.0))
+    period = time[:16]
+    return np.tile(period, 10)
+
+
+def long_training_field() -> np.ndarray:
+    """The 8 us long training field: 32-sample guard + two LTS symbols."""
+    time = np.fft.ifft(lts_spectrum()) * (FFT_SIZE / np.sqrt(52.0))
+    guard = time[-2 * CP_LENGTH:]
+    return np.concatenate([guard, time, time])
+
+
+def preamble_waveform() -> np.ndarray:
+    """Full 320-sample (16 us) preamble: STF followed by LTF."""
+    return np.concatenate([short_training_field(), long_training_field()])
+
+
+def lts_reference_symbol() -> np.ndarray:
+    """One LTS symbol in the time domain (64 samples, no guard)."""
+    return np.fft.ifft(lts_spectrum()) * (FFT_SIZE / np.sqrt(52.0))
+
+
+def detect_preamble(
+    waveform: np.ndarray, threshold: float = 0.5
+) -> Tuple[int, float]:
+    """Locate the preamble via cross-correlation with the known LTS.
+
+    Returns ``(data_start, peak_metric)`` where *data_start* is the sample
+    index of the first OFDM symbol after the preamble (the SIGNAL symbol).
+    Raises :class:`SynchronizationError` if no sufficiently strong LTS
+    correlation peak is found.
+    """
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    ref = lts_reference_symbol()
+    if arr.size < PREAMBLE_LENGTH:
+        raise SynchronizationError(
+            f"waveform of {arr.size} samples is shorter than a preamble"
+        )
+    corr = np.abs(np.correlate(arr, ref, mode="valid"))
+    energy = np.sqrt(
+        np.convolve(np.abs(arr) ** 2, np.ones(ref.size), mode="valid")
+    )
+    ref_energy = np.sqrt(np.sum(np.abs(ref) ** 2))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        metric = np.where(energy > 0, corr / (energy * ref_energy), 0.0)
+    # The two LTS symbols give twin peaks 64 samples apart; take the second.
+    peak = int(np.argmax(metric))
+    if metric[peak] < threshold:
+        raise SynchronizationError(
+            f"no LTS found: best correlation {metric[peak]:.3f} < {threshold}"
+        )
+    second = peak + FFT_SIZE
+    if second < metric.size and metric[second] > threshold:
+        data_start = second + FFT_SIZE
+    else:
+        data_start = peak + FFT_SIZE
+    return data_start, float(metric[peak])

@@ -1,0 +1,151 @@
+"""Puncturing for coding rates 2/3, 3/4 and 5/6 (802.11 Section 18.3.5.6).
+
+Every 802.11 coding rate starts from the rate-1/2 mother code; higher rates
+transmit only a subset of the coded bits.  The keep-patterns below are over
+the serialised (A1 B1 A2 B2 ...) stream:
+
+    2/3: keep A1 B1 A2     drop B2             (period 4 -> 3)
+    3/4: keep A1 B1 A2 B3  drop B2 A3          (period 6 -> 4)
+    5/6: keep A1 B1 A2 B3 A4 B5  drop B2 A3 B4 A5  (period 10 -> 6)
+
+SledZig needs both directions: :func:`puncture` for the transmit chain and
+the index maps for translating significant-bit positions between the
+transmitted stream and the pre-puncture ``y`` stream of the paper's Eq. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import BitsLike, as_bits
+from repro.wifi.convolutional import ERASURE
+
+#: Keep-patterns over the serialised pre-puncture stream, one per rate.
+PUNCTURE_PATTERNS: Dict[str, Tuple[int, ...]] = {
+    "1/2": (1, 1),
+    "2/3": (1, 1, 1, 0),
+    "3/4": (1, 1, 1, 0, 0, 1),
+    "5/6": (1, 1, 1, 0, 0, 1, 1, 0, 0, 1),
+}
+
+
+def _pattern(coding_rate: str) -> np.ndarray:
+    try:
+        return np.array(PUNCTURE_PATTERNS[coding_rate], dtype=bool)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown coding rate {coding_rate!r}; valid: {sorted(PUNCTURE_PATTERNS)}"
+        ) from None
+
+
+def punctured_length(n_prepuncture: int, coding_rate: str) -> int:
+    """Transmitted bits resulting from *n_prepuncture* mother-code bits."""
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    if n_prepuncture % period:
+        raise EncodingError(
+            f"pre-puncture length {n_prepuncture} is not a multiple of the "
+            f"rate-{coding_rate} pattern period {period}"
+        )
+    return n_prepuncture // period * int(pattern.sum())
+
+
+def puncture(coded: BitsLike, coding_rate: str) -> np.ndarray:
+    """Drop the punctured positions from a rate-1/2 coded stream."""
+    arr = as_bits(coded)
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    if arr.size % period:
+        raise EncodingError(
+            f"coded length {arr.size} is not a multiple of the "
+            f"rate-{coding_rate} pattern period {period}"
+        )
+    mask = np.tile(pattern, arr.size // period)
+    return arr[mask]
+
+
+def depuncture(received: BitsLike, coding_rate: str) -> np.ndarray:
+    """Re-expand a punctured stream, marking missing bits as erasures.
+
+    The output length is the original mother-code length; punctured positions
+    hold :data:`repro.wifi.convolutional.ERASURE` so the Viterbi decoder
+    skips them in its branch metrics.
+    """
+    arr = np.asarray(as_bits(received) if not isinstance(received, np.ndarray) else received)
+    arr = np.asarray(arr, dtype=np.uint8).ravel()
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    kept_per_period = int(pattern.sum())
+    if arr.size % kept_per_period:
+        raise EncodingError(
+            f"received length {arr.size} is not a multiple of {kept_per_period} "
+            f"kept bits per rate-{coding_rate} period"
+        )
+    n_periods = arr.size // kept_per_period
+    out = np.full(n_periods * period, ERASURE, dtype=np.uint8)
+    mask = np.tile(pattern, n_periods)
+    out[mask] = arr
+    return out
+
+
+def depuncture_soft(received: np.ndarray, coding_rate: str) -> np.ndarray:
+    """Re-expand punctured *soft* values; missing bits become 0.0.
+
+    Zero is the natural soft erasure — it contributes nothing to a
+    correlation path metric — so the soft Viterbi needs no erasure marker.
+    """
+    arr = np.asarray(received, dtype=np.float64).ravel()
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    kept_per_period = int(pattern.sum())
+    if arr.size % kept_per_period:
+        raise EncodingError(
+            f"received length {arr.size} is not a multiple of {kept_per_period} "
+            f"kept bits per rate-{coding_rate} period"
+        )
+    n_periods = arr.size // kept_per_period
+    out = np.zeros(n_periods * period, dtype=np.float64)
+    out[np.tile(pattern, n_periods)] = arr
+    return out
+
+
+def kept_indices(n_prepuncture: int, coding_rate: str) -> np.ndarray:
+    """Pre-puncture indices of the bits that survive puncturing, in order.
+
+    ``kept_indices(n, rate)[q]`` is the mother-code position of transmitted
+    bit *q* — the map SledZig uses to push significant-bit positions from the
+    interleaver domain back to the paper's y-stream.
+    """
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    if n_prepuncture % period:
+        raise EncodingError(
+            f"pre-puncture length {n_prepuncture} is not a multiple of {period}"
+        )
+    mask = np.tile(pattern, n_prepuncture // period)
+    return np.flatnonzero(mask)
+
+
+def transmitted_index(pre_index: int, coding_rate: str) -> int:
+    """Position of mother-code bit *pre_index* in the transmitted stream.
+
+    Raises :class:`EncodingError` if that bit is punctured away.
+    """
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    phase = pre_index % period
+    if not pattern[phase]:
+        raise EncodingError(
+            f"mother-code bit {pre_index} is punctured at rate {coding_rate}"
+        )
+    kept_before_phase = int(pattern[:phase].sum())
+    return (pre_index // period) * int(pattern.sum()) + kept_before_phase
+
+
+def is_punctured(pre_index: int, coding_rate: str) -> bool:
+    """Whether mother-code bit *pre_index* is dropped at this rate."""
+    pattern = _pattern(coding_rate)
+    return not bool(pattern[pre_index % pattern.size])

@@ -1,0 +1,212 @@
+"""Standard 802.11 OFDM receiver.
+
+Mirrors the transmit chain: preamble synchronisation, LTS channel estimate,
+SIGNAL decode, then per-symbol FFT -> equalise -> hard demap -> deinterleave
+-> depuncture -> Viterbi -> descramble.  The result exposes both the raw
+descrambled DATA-field stream (what SledZig's extra-bit stripping consumes,
+paper Section IV-G) and the recovered PSDU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.wifi.constellation import demodulate_hard, demodulate_soft
+from repro.wifi.convolutional import viterbi_decode, viterbi_decode_soft
+from repro.wifi.interleaver import deinterleave, deinterleave_soft
+from repro.wifi.ofdm import extract_subcarriers, waveform_to_symbols
+from repro.wifi.params import SAMPLE_RATE_HZ, Mcs
+from repro.wifi.ppdu import (
+    SERVICE_BITS,
+    DataFieldLayout,
+    descramble_data_field,
+    plan_data_field,
+)
+from repro.wifi.preamble import PREAMBLE_LENGTH, detect_preamble, lts_spectrum
+from repro.wifi.puncture import depuncture, depuncture_soft
+from repro.wifi.scrambler import DEFAULT_SEED, Scrambler
+from repro.wifi.signal_field import decode_signal_symbol
+
+
+@dataclass
+class WifiReception:
+    """Everything recovered from one PPDU.
+
+    Attributes:
+        mcs: MCS announced by the SIGNAL field.
+        layout: DATA-field layout implied by the SIGNAL LENGTH.
+        psdu_bits: recovered PSDU payload bits.
+        descrambled_field: the full descrambled DATA field (SERVICE + PSDU +
+            tail + pad) — the stream SledZig strips extra bits from.
+        data_points: per-symbol equalised constellation points (48 each),
+            used by the SledZig receiver to detect the ZigBee channel.
+    """
+
+    mcs: Mcs
+    layout: DataFieldLayout
+    psdu_bits: np.ndarray
+    descrambled_field: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0, dtype=np.uint8))
+    data_points: List[np.ndarray] = field(repr=False, default_factory=list)
+
+
+class WifiReceiver:
+    """Counterpart of :class:`repro.wifi.transmitter.WifiTransmitter`."""
+
+    def __init__(self, scrambler_seed: int = DEFAULT_SEED) -> None:
+        self.scrambler = Scrambler(scrambler_seed)
+
+    def receive(
+        self,
+        waveform: np.ndarray,
+        data_start: Optional[int] = None,
+        equalise: bool = True,
+        soft: bool = False,
+        correct_cfo: bool = True,
+        track_phase: bool = True,
+    ) -> WifiReception:
+        """Decode one PPDU from complex baseband samples.
+
+        Args:
+            waveform: samples containing the full PPDU from its first sample.
+            data_start: sample index of the SIGNAL symbol; when None the
+                preamble correlator locates it (a clean frame starts its
+                SIGNAL symbol at sample 320).
+            equalise: apply the LTS-based channel estimate (harmless on an
+                ideal channel, required after any filtering channel).
+            soft: use max-log LLR demapping and soft-decision Viterbi
+                (roughly 2 dB better at the waterfall than hard decisions).
+            correct_cfo: estimate the carrier frequency offset from the
+                preamble (STS coarse + LTS fine) and de-rotate the samples.
+            track_phase: remove the per-symbol common phase error using the
+                pilot subcarriers (mops up residual CFO).
+        """
+        arr = np.asarray(waveform, dtype=np.complex128).ravel()
+        if data_start is None:
+            data_start, _ = detect_preamble(arr)
+        if correct_cfo and data_start >= PREAMBLE_LENGTH:
+            cfo_hz = self.estimate_cfo(arr, data_start)
+            if abs(cfo_hz) > 1.0:
+                n = np.arange(arr.size)
+                arr = arr * np.exp(-2j * np.pi * cfo_hz * n / SAMPLE_RATE_HZ)
+        channel = self._estimate_channel(arr, data_start) if equalise else None
+
+        signal_spec = waveform_to_symbols(arr, 1, offset=data_start)[0]
+        if channel is not None:
+            signal_spec = self._apply_equaliser(signal_spec, channel)
+        mcs, length_octets = decode_signal_symbol(signal_spec)
+
+        layout = plan_data_field(length_octets * 8, mcs)
+        spectra = waveform_to_symbols(
+            arr, layout.n_symbols, offset=data_start + 80
+        )
+        data_points: List[np.ndarray] = []
+        per_symbol = []
+        for s, spec in enumerate(spectra):
+            if channel is not None:
+                spec = self._apply_equaliser(spec, channel)
+            points, pilots = extract_subcarriers(spec)
+            if track_phase:
+                points = self._pilot_phase_correct(points, pilots, s + 1)
+            data_points.append(points)
+            if soft:
+                per_symbol.append(demodulate_soft(points, mcs.modulation))
+            else:
+                per_symbol.append(demodulate_hard(points, mcs.modulation))
+        interleaved = np.concatenate(per_symbol)
+        if soft:
+            coded = deinterleave_soft(interleaved, mcs.n_cbps, mcs.n_bpsc)
+            mother = depuncture_soft(coded, mcs.coding_rate)
+            scrambled = viterbi_decode_soft(
+                mother, n_data_bits=layout.n_total_bits
+            )
+        else:
+            coded = deinterleave(interleaved, mcs.n_cbps, mcs.n_bpsc)
+            mother = depuncture(coded, mcs.coding_rate)
+            scrambled = viterbi_decode(
+                mother, n_data_bits=layout.n_total_bits, assume_zero_tail=True
+            )
+        descrambled = descramble_data_field(scrambled, layout, self.scrambler)
+        psdu = descrambled[SERVICE_BITS : SERVICE_BITS + layout.n_psdu_bits]
+        return WifiReception(
+            mcs=mcs,
+            layout=layout,
+            psdu_bits=psdu.astype(np.uint8),
+            descrambled_field=descrambled.astype(np.uint8),
+            data_points=data_points,
+        )
+
+    @staticmethod
+    def estimate_cfo(waveform: np.ndarray, data_start: int) -> float:
+        """Carrier-frequency-offset estimate from the preamble, in Hz.
+
+        Coarse stage: the STS repeats every 16 samples, so the phase of
+        sum(x[n+16] conj(x[n])) over the short training field advances by
+        2*pi*f*16/fs per period — unambiguous to +-625 kHz.  Fine stage:
+        the LTS repeats every 64 samples (+-156 kHz ambiguity) and refines
+        the estimate after coarse removal.
+        """
+        preamble_start = data_start - PREAMBLE_LENGTH
+        stf = waveform[preamble_start + 16 : preamble_start + 160]
+        if stf.size < 32:
+            return 0.0
+        lag = 16
+        corr = np.sum(stf[lag:] * np.conj(stf[:-lag]))
+        coarse = float(np.angle(corr)) / (2 * np.pi * lag) * SAMPLE_RATE_HZ
+
+        n = np.arange(waveform.size)
+        derotated = waveform * np.exp(-2j * np.pi * coarse * n / SAMPLE_RATE_HZ)
+        lts_start = data_start - 128
+        first = derotated[lts_start : lts_start + 64]
+        second = derotated[lts_start + 64 : lts_start + 128]
+        if first.size == 64 and second.size == 64:
+            corr = np.sum(second * np.conj(first))
+            fine = float(np.angle(corr)) / (2 * np.pi * 64) * SAMPLE_RATE_HZ
+        else:
+            fine = 0.0
+        return coarse + fine
+
+    @staticmethod
+    def _pilot_phase_correct(
+        points: np.ndarray, pilots: np.ndarray, symbol_index: int
+    ) -> np.ndarray:
+        """Remove the common phase error measured on the four pilots."""
+        from repro.wifi.params import PILOT_POLARITY, PILOT_VALUES
+
+        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+        expected = polarity * np.asarray(PILOT_VALUES, dtype=np.float64)
+        corr = np.sum(pilots * expected)  # expected values are +-1 (real)
+        if abs(corr) < 1e-12:
+            return points
+        phase = np.angle(corr)
+        return points * np.exp(-1j * phase)
+
+    @staticmethod
+    def _estimate_channel(waveform: np.ndarray, data_start: int) -> np.ndarray:
+        """LTS-based frequency-domain channel estimate (64 bins)."""
+        if data_start < PREAMBLE_LENGTH:
+            raise DecodingError(
+                f"SIGNAL at sample {data_start} leaves no room for a preamble"
+            )
+        lts_start = data_start - 128
+        ref = lts_spectrum()
+        est = np.zeros(64, dtype=np.complex128)
+        used = np.abs(ref) > 0
+        for rep in range(2):
+            chunk = waveform[lts_start + 64 * rep : lts_start + 64 * (rep + 1)]
+            if chunk.size != 64:
+                raise DecodingError("waveform too short for LTS channel estimate")
+            fft = np.fft.fft(chunk) / (64 / np.sqrt(52.0))
+            est[used] += fft[used] / ref[used]
+        est[used] /= 2.0
+        est[~used] = 1.0
+        return est
+
+    @staticmethod
+    def _apply_equaliser(spectrum: np.ndarray, channel: np.ndarray) -> np.ndarray:
+        """Zero-forcing equalisation of one symbol spectrum."""
+        safe = np.where(np.abs(channel) > 1e-12, channel, 1.0)
+        return spectrum / safe

@@ -1,0 +1,106 @@
+"""SIGNAL field (PLCP header) encode/decode.
+
+The SIGNAL symbol is one BPSK rate-1/2 OFDM symbol carrying 24 bits:
+
+    RATE (4) | reserved (1) | LENGTH (12, LSB first) | parity (1, even) | tail (6)
+
+It is never scrambled and never SledZig-encoded, and it tells the receiver
+the modulation and coding rate — two of the three pieces of information the
+SledZig receiver needs to strip extra bits (paper Section IV-G); the third
+(the ZigBee channel) is recovered from the constellation itself.
+
+802.11a defines RATE codes for eight modes; the 256-QAM modes the paper
+evaluates come from later amendments, so this library assigns them unused
+4-bit codes (documented in :data:`RATE_CODES`) to keep a self-contained
+header format.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.bits import as_bits, bits_to_int, int_to_bits
+from repro.wifi.constellation import demodulate_hard, modulate
+from repro.wifi.convolutional import conv_encode, viterbi_decode
+from repro.wifi.interleaver import deinterleave, interleave
+from repro.wifi.ofdm import extract_subcarriers, map_subcarriers
+from repro.wifi.params import Mcs, get_mcs
+
+#: RATE code (MSB-first) for each supported MCS name.  The first eight are
+#: the 802.11a codes; the last three are library-assigned extensions.
+RATE_CODES = {
+    "bpsk-1/2": 0b1101,
+    "bpsk-3/4": 0b1111,
+    "qpsk-1/2": 0b0101,
+    "qpsk-3/4": 0b0111,
+    "qam16-1/2": 0b1001,
+    "qam16-3/4": 0b1011,
+    "qam64-2/3": 0b0001,
+    "qam64-3/4": 0b0011,
+    "qam64-5/6": 0b0010,
+    "qam256-3/4": 0b0110,
+    "qam256-5/6": 0b1110,
+}
+
+_MCS_BY_CODE = {code: name for name, code in RATE_CODES.items()}
+
+#: Maximum PSDU length the 12-bit LENGTH field can express, in octets.
+MAX_LENGTH_OCTETS: int = 4095
+
+#: Number of information bits in the SIGNAL field.
+SIGNAL_BITS: int = 24
+
+
+def build_signal_bits(mcs: Mcs, length_octets: int) -> np.ndarray:
+    """Assemble the 24 SIGNAL bits for the given MCS and PSDU length."""
+    if mcs.name not in RATE_CODES:
+        raise ConfigurationError(f"no RATE code for MCS {mcs.name}")
+    if not 1 <= length_octets <= MAX_LENGTH_OCTETS:
+        raise ConfigurationError(
+            f"LENGTH must be 1..{MAX_LENGTH_OCTETS} octets, got {length_octets}"
+        )
+    rate_bits = int_to_bits(RATE_CODES[mcs.name], 4, lsb_first=False)
+    length_bits = int_to_bits(length_octets, 12, lsb_first=True)
+    body = np.concatenate([rate_bits, [0], length_bits])
+    parity = int(body.sum()) & 1
+    return np.concatenate([body, [parity], np.zeros(6, dtype=np.uint8)]).astype(
+        np.uint8
+    )
+
+
+def parse_signal_bits(bits: np.ndarray) -> Tuple[Mcs, int]:
+    """Parse 24 SIGNAL bits back into (MCS, PSDU length in octets)."""
+    arr = as_bits(bits)
+    if arr.size != SIGNAL_BITS:
+        raise DecodingError(f"SIGNAL field must be 24 bits, got {arr.size}")
+    if int(arr[:17].sum()) & 1 != int(arr[17]):
+        raise DecodingError("SIGNAL parity check failed")
+    rate_code = bits_to_int(arr[:4], lsb_first=False)
+    name = _MCS_BY_CODE.get(rate_code)
+    if name is None:
+        raise DecodingError(f"unknown RATE code {rate_code:04b}")
+    length = bits_to_int(arr[5:17], lsb_first=True)
+    if length == 0:
+        raise DecodingError("SIGNAL LENGTH of zero octets")
+    return get_mcs(name), length
+
+
+def encode_signal_symbol(mcs: Mcs, length_octets: int) -> np.ndarray:
+    """Produce the SIGNAL symbol's 64-bin frequency-domain spectrum."""
+    bits = build_signal_bits(mcs, length_octets)
+    coded = conv_encode(bits)
+    interleaved = interleave(coded, n_cbps=48, n_bpsc=1)
+    points = modulate(interleaved, "bpsk")
+    return map_subcarriers(points, symbol_index=0)
+
+
+def decode_signal_symbol(spectrum: np.ndarray) -> Tuple[Mcs, int]:
+    """Recover (MCS, length) from a received SIGNAL symbol spectrum."""
+    data_points, _ = extract_subcarriers(spectrum)
+    bits = demodulate_hard(data_points, "bpsk")
+    coded = deinterleave(bits, n_cbps=48, n_bpsc=1)
+    decoded = viterbi_decode(coded, n_data_bits=SIGNAL_BITS)
+    return parse_signal_bits(decoded)

@@ -1,0 +1,158 @@
+"""Standard 802.11 OFDM transmitter (Fig. 1 of the paper).
+
+The chain is: scramble -> convolutional encode -> puncture -> interleave ->
+QAM modulate -> map onto OFDM subcarriers -> IFFT + CP, preceded by the
+16 us preamble and the SIGNAL symbol.
+
+The class exposes two entry points:
+
+* :meth:`WifiTransmitter.transmit` — the plain standard path from PSDU bits.
+* :meth:`WifiTransmitter.transmit_scrambled_field` — takes an
+  already-scrambled DATA-field stream.  SledZig builds its transmit stream in
+  the scrambled domain (paper Fig. 6), then hands it to this method so that
+  every subsequent stage is *exactly* the standard one — the central
+  compatibility claim of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import BitsLike, as_bits
+from repro.wifi.constellation import modulate
+from repro.wifi.convolutional import ConvolutionalEncoder
+from repro.wifi.interleaver import interleave
+from repro.wifi.ofdm import map_subcarriers, ofdm_modulate
+from repro.wifi.params import Mcs, get_mcs
+from repro.wifi.ppdu import (
+    DataFieldLayout,
+    assemble_data_field,
+    plan_data_field,
+    scramble_data_field,
+)
+from repro.wifi.preamble import preamble_waveform
+from repro.wifi.puncture import puncture
+from repro.wifi.scrambler import DEFAULT_SEED, Scrambler
+from repro.wifi.signal_field import encode_signal_symbol
+
+
+@dataclass
+class WifiFrame:
+    """A fully assembled PPDU plus the intermediate stages tests need.
+
+    Attributes:
+        mcs: modulation and coding scheme of the DATA field.
+        layout: SERVICE/PSDU/tail/pad index layout.
+        scrambled_field: the scrambled DATA-field bit stream actually fed to
+            the encoder (after tail zeroing / SledZig insertion).
+        data_spectra: per-DATA-symbol 64-bin frequency vectors.
+        waveform: complex baseband samples (preamble + SIGNAL + DATA).
+        psdu_octets: value carried in the SIGNAL LENGTH field.
+    """
+
+    mcs: Mcs
+    layout: DataFieldLayout
+    scrambled_field: np.ndarray
+    data_spectra: List[np.ndarray] = field(repr=False, default_factory=list)
+    waveform: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    psdu_octets: int = 0
+
+    @property
+    def n_data_symbols(self) -> int:
+        """Number of OFDM DATA symbols in the frame."""
+        return len(self.data_spectra)
+
+    @property
+    def duration_us(self) -> float:
+        """On-air duration: 16 us preamble + 4 us SIGNAL + 4 us per symbol."""
+        return 16.0 + 4.0 + 4.0 * self.n_data_symbols
+
+
+def encode_data_symbols(
+    scrambled_field: BitsLike, mcs: Mcs, first_symbol_index: int = 1
+) -> List[np.ndarray]:
+    """Run the post-scrambler transmit chain on a scrambled DATA field.
+
+    Returns one 64-bin spectrum per OFDM symbol.  *first_symbol_index* sets
+    the pilot-polarity index of the first DATA symbol (the SIGNAL symbol is
+    index 0).
+    """
+    bits = as_bits(scrambled_field)
+    if bits.size % mcs.n_dbps:
+        raise EncodingError(
+            f"scrambled field of {bits.size} bits is not whole OFDM symbols "
+            f"of {mcs.n_dbps} data bits"
+        )
+    encoder = ConvolutionalEncoder()
+    mother = encoder.encode(bits)
+    coded = puncture(mother, mcs.coding_rate)
+    interleaved = interleave(coded, mcs.n_cbps, mcs.n_bpsc)
+    spectra: List[np.ndarray] = []
+    n_symbols = bits.size // mcs.n_dbps
+    for s in range(n_symbols):
+        chunk = interleaved[s * mcs.n_cbps : (s + 1) * mcs.n_cbps]
+        points = modulate(chunk, mcs.modulation)
+        spectra.append(map_subcarriers(points, symbol_index=first_symbol_index + s))
+    return spectra
+
+
+class WifiTransmitter:
+    """Standard-compliant 802.11 OFDM transmitter for one MCS."""
+
+    def __init__(self, mcs: "Mcs | str", scrambler_seed: int = DEFAULT_SEED) -> None:
+        self.mcs = get_mcs(mcs) if isinstance(mcs, str) else mcs
+        if self.mcs.modulation == "bpsk" and self.mcs.coding_rate == "1/2":
+            # Allowed, but note: SledZig needs QAM; plain frames are fine.
+            pass
+        self.scrambler = Scrambler(scrambler_seed)
+
+    def transmit(self, psdu_bits: BitsLike) -> WifiFrame:
+        """Build the complete PPDU waveform for a PSDU (whole octets)."""
+        psdu = as_bits(psdu_bits)
+        if psdu.size == 0 or psdu.size % 8:
+            raise ConfigurationError(
+                f"PSDU must be a non-empty whole number of octets, got "
+                f"{psdu.size} bits"
+            )
+        layout = plan_data_field(psdu.size, self.mcs)
+        unscrambled = assemble_data_field(psdu, self.mcs)
+        scrambled = scramble_data_field(unscrambled, layout, self.scrambler)
+        return self.transmit_scrambled_field(scrambled, layout, psdu.size // 8)
+
+    def transmit_scrambled_field(
+        self,
+        scrambled_field: BitsLike,
+        layout: DataFieldLayout,
+        psdu_octets: Optional[int] = None,
+    ) -> WifiFrame:
+        """Assemble a PPDU from an already-scrambled DATA field stream.
+
+        This is the SledZig entry point: the caller (the SledZig encoder)
+        has built the scrambled stream with extra bits inserted; everything
+        from the convolutional encoder onwards is untouched standard code.
+        """
+        scrambled = as_bits(scrambled_field)
+        if psdu_octets is None:
+            psdu_octets = max(1, -(-layout.n_psdu_bits // 8))
+        spectra = encode_data_symbols(scrambled, self.mcs)
+        if len(spectra) != layout.n_symbols:
+            raise EncodingError(
+                f"scrambled stream made {len(spectra)} symbols, layout "
+                f"expects {layout.n_symbols}"
+            )
+        signal_spectrum = encode_signal_symbol(self.mcs, psdu_octets)
+        pieces = [preamble_waveform(), ofdm_modulate(signal_spectrum)]
+        pieces.extend(ofdm_modulate(spec) for spec in spectra)
+        waveform = np.concatenate(pieces)
+        return WifiFrame(
+            mcs=self.mcs,
+            layout=layout,
+            scrambled_field=scrambled,
+            data_spectra=spectra,
+            waveform=waveform,
+            psdu_octets=psdu_octets,
+        )

@@ -1,0 +1,45 @@
+"""802.15.4 ZigBee PHY: DSSS spreading, O-QPSK modulation, framing, link model."""
+
+from repro.zigbee.chips import (
+    bipolar_table,
+    chip_table,
+    chips_for_symbol,
+    correlate_symbol,
+    min_hamming_distance,
+)
+from repro.zigbee.dsss import bits_to_symbols, despread, spread, symbols_to_bits
+from repro.zigbee.frame import (
+    ZigbeeFrame,
+    build_ppdu_bits,
+    frame_duration_us,
+    parse_ppdu_bits,
+)
+from repro.zigbee.link_model import (
+    chip_error_probability,
+    packet_error_probability,
+    q_function,
+    sinr_threshold_db,
+    symbol_error_probability,
+)
+from repro.zigbee.oqpsk import demodulate_chips, half_sine_pulse, modulate_chips
+from repro.zigbee.params import (
+    BACKOFF_PERIOD_US,
+    BITS_PER_SYMBOL,
+    CCA_DURATION_US,
+    CCA_THRESHOLD_DB,
+    CHIP_RATE_HZ,
+    CHIPS_PER_SYMBOL,
+    DATA_RATE_BPS,
+    DIFS_US,
+    MAX_PSDU_OCTETS,
+    PREAMBLE_SYMBOLS,
+    SAMPLE_RATE_HZ,
+    SAMPLES_PER_CHIP,
+    SFD_OCTET,
+    SYMBOL_DURATION_US,
+    SYMBOL_RATE_HZ,
+)
+from repro.zigbee.receiver import ZigbeeReceiver, ZigbeeReception
+from repro.zigbee.transmitter import ZigbeeTransmission, ZigbeeTransmitter
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,95 @@
+"""802.15.4 PPDU framing: SHR (preamble + SFD), PHR, PSDU.
+
+The synchronisation header is eight zero symbols (128 us) followed by the
+SFD octet 0xA7; the PHY header carries the 7-bit frame length.  The paper's
+CCA/preamble timing arguments (Section IV-F) all stem from these sizes:
+a ZigBee receiver needs the full 128 us preamble, while a WiFi preamble is
+only 16 us — hence a WiFi preamble inside a ZigBee CCA window barely moves
+the average, but one on top of a payload symbol kills that symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.zigbee.params import (
+    BITS_PER_SYMBOL,
+    MAX_PSDU_OCTETS,
+    PREAMBLE_SYMBOLS,
+    SFD_OCTET,
+    SYMBOL_DURATION_US,
+)
+
+
+@dataclass(frozen=True)
+class ZigbeeFrame:
+    """One PHY frame.
+
+    Attributes:
+        psdu: payload octets.
+    """
+
+    psdu: bytes
+
+    @property
+    def n_symbols(self) -> int:
+        """Total symbols on air: SHR (10) + PHR (2) + 2 per PSDU octet."""
+        return PREAMBLE_SYMBOLS + 2 + 2 + 2 * len(self.psdu)
+
+    @property
+    def duration_us(self) -> float:
+        """On-air duration in microseconds."""
+        return self.n_symbols * SYMBOL_DURATION_US
+
+
+def build_ppdu_bits(psdu: bytes) -> np.ndarray:
+    """Serialise preamble + SFD + PHR + PSDU into the PHY bit stream."""
+    if not 1 <= len(psdu) <= MAX_PSDU_OCTETS:
+        raise ConfigurationError(
+            f"PSDU must be 1..{MAX_PSDU_OCTETS} octets, got {len(psdu)}"
+        )
+    preamble = np.zeros(PREAMBLE_SYMBOLS * BITS_PER_SYMBOL, dtype=np.uint8)
+    sfd = bytes_to_bits(bytes([SFD_OCTET]))
+    phr = bytes_to_bits(bytes([len(psdu) & 0x7F]))
+    payload = bytes_to_bits(psdu)
+    return np.concatenate([preamble, sfd, phr, payload])
+
+
+def parse_ppdu_bits(bits: np.ndarray, max_bad_preamble_symbols: int = 3) -> ZigbeeFrame:
+    """Parse a PHY bit stream back into a frame (starting at the preamble).
+
+    Up to *max_bad_preamble_symbols* of the eight preamble symbols may be
+    corrupted — the redundancy the paper's Section IV-F relies on when a
+    WiFi preamble lands on the ZigBee SHR.  The SFD and PHR must be exact.
+    """
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    header = PREAMBLE_SYMBOLS * BITS_PER_SYMBOL
+    if arr.size < header + 16:
+        raise DecodingError("bit stream shorter than SHR + PHR")
+    preamble_symbols = arr[:header].reshape(PREAMBLE_SYMBOLS, BITS_PER_SYMBOL)
+    bad = int(np.count_nonzero(preamble_symbols.any(axis=1)))
+    if bad > max_bad_preamble_symbols:
+        raise DecodingError(
+            f"{bad} of {PREAMBLE_SYMBOLS} preamble symbols corrupted "
+            f"(tolerance {max_bad_preamble_symbols})"
+        )
+    sfd = bits_to_bytes(arr[header : header + 8])[0]
+    if sfd != SFD_OCTET:
+        raise DecodingError(f"SFD mismatch: got {sfd:#04x}, want {SFD_OCTET:#04x}")
+    length = bits_to_bytes(arr[header + 8 : header + 16])[0] & 0x7F
+    start = header + 16
+    end = start + 8 * length
+    if arr.size < end:
+        raise DecodingError(
+            f"PHR announces {length} octets but the stream holds fewer bits"
+        )
+    return ZigbeeFrame(psdu=bits_to_bytes(arr[start:end]))
+
+
+def frame_duration_us(psdu_octets: int) -> float:
+    """On-air duration of a frame with *psdu_octets* of payload."""
+    return ZigbeeFrame(psdu=bytes(psdu_octets)).duration_us

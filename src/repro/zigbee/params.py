@@ -1,0 +1,65 @@
+"""802.15.4 (2.4 GHz O-QPSK PHY) parameters and MAC timing constants.
+
+Numbers the paper leans on: a ZigBee symbol lasts 16 us (62.5 ksym/s, four
+bits per symbol -> 250 kbit/s), the CCA window is eight symbols = 128 us,
+and the contention timing (320 us backoff periods) is what loses the channel
+race against WiFi's 9/28 us slots (paper Sections II-B, IV-F).
+"""
+
+from __future__ import annotations
+
+#: Chip rate of the 2.4 GHz O-QPSK PHY.
+CHIP_RATE_HZ: float = 2e6
+
+#: Chips per DSSS symbol.
+CHIPS_PER_SYMBOL: int = 32
+
+#: Data bits per symbol (one nibble).
+BITS_PER_SYMBOL: int = 4
+
+#: Symbol rate: 2 Mchip/s / 32 chips = 62.5 ksym/s.
+SYMBOL_RATE_HZ: float = CHIP_RATE_HZ / CHIPS_PER_SYMBOL
+
+#: Symbol duration in microseconds (16 us).
+SYMBOL_DURATION_US: float = 1e6 / SYMBOL_RATE_HZ
+
+#: PHY data rate: 250 kbit/s.
+DATA_RATE_BPS: float = SYMBOL_RATE_HZ * BITS_PER_SYMBOL
+
+#: Baseband oversampling used by the waveform model (samples per chip).
+SAMPLES_PER_CHIP: int = 4
+
+#: Baseband sample rate of generated ZigBee waveforms.
+SAMPLE_RATE_HZ: float = CHIP_RATE_HZ * SAMPLES_PER_CHIP
+
+#: Samples per O-QPSK symbol.
+SAMPLES_PER_SYMBOL: int = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP
+
+#: Preamble: eight zero symbols (32 zero bits), 128 us.
+PREAMBLE_SYMBOLS: int = 8
+
+#: Start-of-frame delimiter octet.
+SFD_OCTET: int = 0xA7
+
+#: Maximum PSDU size in octets (7-bit PHR length field).
+MAX_PSDU_OCTETS: int = 127
+
+#: CCA duration: eight symbol periods (128 us), per IEEE 802.15.4.
+CCA_DURATION_US: float = 8 * SYMBOL_DURATION_US
+
+#: Unit backoff period: 20 symbols = 320 us (the paper's "ZigBee backoff slot").
+BACKOFF_PERIOD_US: float = 20 * SYMBOL_DURATION_US
+
+#: The paper's effective ZigBee DIFS (Section II-B): 320 us.
+DIFS_US: float = 320.0
+
+#: macMinBE / macMaxBE defaults of unslotted CSMA-CA.
+MIN_BE: int = 3
+MAX_BE: int = 5
+
+#: macMaxCSMABackoffs default.
+MAX_CSMA_BACKOFFS: int = 4
+
+#: Default CC2420-style clear-channel threshold, in the paper's reported-dB
+#: domain (see repro.channel.calibration).
+CCA_THRESHOLD_DB: float = -77.0

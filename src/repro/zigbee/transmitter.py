@@ -1,0 +1,47 @@
+"""ZigBee transmitter: PSDU octets -> DSSS chips -> O-QPSK waveform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.zigbee.dsss import spread
+from repro.zigbee.frame import ZigbeeFrame, build_ppdu_bits
+from repro.zigbee.oqpsk import modulate_chips
+
+
+@dataclass
+class ZigbeeTransmission:
+    """A transmitted ZigBee frame.
+
+    Attributes:
+        frame: the framing metadata (PSDU, durations).
+        chips: the full chip stream.
+        waveform: complex baseband samples at
+            :data:`repro.zigbee.params.SAMPLE_RATE_HZ`.
+    """
+
+    frame: ZigbeeFrame
+    chips: np.ndarray
+    waveform: np.ndarray
+
+    @property
+    def duration_us(self) -> float:
+        """On-air duration in microseconds."""
+        return self.frame.duration_us
+
+
+class ZigbeeTransmitter:
+    """Builds standard 802.15.4 waveforms from payload octets."""
+
+    def send(self, psdu: bytes) -> ZigbeeTransmission:
+        """Frame, spread and modulate *psdu*."""
+        bits = build_ppdu_bits(psdu)
+        chips = spread(bits)
+        waveform = modulate_chips(chips)
+        return ZigbeeTransmission(
+            frame=ZigbeeFrame(psdu=bytes(psdu)),
+            chips=chips,
+            waveform=waveform,
+        )

@@ -1,0 +1,60 @@
+"""Tests for AWGN and waveform mixing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn, frequency_shift, mix_at_offset
+from repro.errors import ConfigurationError
+from repro.utils.db import signal_power
+
+
+class TestAwgn:
+    def test_snr_is_honoured(self, rng):
+        signal = np.exp(1j * np.linspace(0, 100, 50_000))
+        noisy = awgn(signal, 10.0, rng)
+        noise_power = signal_power(noisy - signal)
+        assert 10 * np.log10(1.0 / noise_power) == pytest.approx(10.0, abs=0.3)
+
+    def test_silent_waveform_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            awgn(np.zeros(100, complex), 10.0, rng)
+
+    def test_deterministic_with_seed(self):
+        signal = np.ones(100, complex)
+        a = awgn(signal, 5.0, np.random.default_rng(7))
+        b = awgn(signal, 5.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestMix:
+    def test_lengths(self):
+        out = mix_at_offset(np.ones(10, complex), np.ones(5, complex), 8)
+        assert out.size == 13
+        assert out[9] == pytest.approx(2.0)
+        assert out[12] == pytest.approx(1.0)
+
+    def test_gain_applied(self):
+        out = mix_at_offset(np.zeros(4, complex), np.ones(4, complex), 0, gain_db=20.0)
+        assert abs(out[0]) == pytest.approx(10.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mix_at_offset(np.ones(4, complex), np.ones(4, complex), -1)
+
+
+class TestFrequencyShift:
+    def test_shift_moves_tone(self):
+        fs = 20e6
+        t = np.arange(2048) / fs
+        tone = np.exp(2j * np.pi * 1e6 * t)
+        shifted = frequency_shift(tone, 2e6, fs)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak_bin = int(np.argmax(spectrum))
+        freq = np.fft.fftfreq(2048, 1 / fs)[peak_bin]
+        assert freq == pytest.approx(3e6, abs=2e4)
+
+    def test_zero_shift_identity(self):
+        x = np.random.default_rng(0).normal(size=64) + 0j
+        assert np.allclose(frequency_shift(x, 0.0, 1e6), x)

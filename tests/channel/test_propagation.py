@@ -1,0 +1,88 @@
+"""Tests for reported-RSSI propagation against the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.propagation import (
+    distance,
+    wifi_at_wifi_rx,
+    wifi_inband_at_zigbee,
+    wifi_profile,
+    zigbee_at_wifi_rx,
+    zigbee_rssi,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWifiProfile:
+    def test_normal_profile_flat(self):
+        profile = wifi_profile("CH2")
+        assert profile.preamble_db_at_1m == profile.payload_db_at_1m == -60.0
+
+    def test_sledzig_reduces_payload_only(self):
+        profile = wifi_profile("CH2", sledzig_modulation="qam64")
+        assert profile.preamble_db_at_1m == -60.0
+        assert profile.payload_db_at_1m == pytest.approx(-66.9)
+
+    def test_ch4_base_lower(self):
+        assert wifi_profile("CH4").payload_db_at_1m == -64.0
+
+    def test_gain_shifts_linearly(self):
+        hot = wifi_profile("CH1", tx_gain_db=20.0)
+        assert hot.payload_db_at_1m == -55.0
+
+
+class TestDistances:
+    def test_paper_fig14_crossover_normal(self):
+        """Normal WiFi in-band sinks to ~the noise floor near 8.5-9.5 m."""
+        profile = wifi_profile("CH3")
+        at_85 = wifi_inband_at_zigbee(profile, 8.5)
+        assert at_85 == pytest.approx(-87.9, abs=0.5)
+
+    def test_paper_fig14_crossover_qam256(self):
+        """SledZig QAM-256 reaches the same level near 3.5-4 m (CH1-CH3)."""
+        profile = wifi_profile("CH3", sledzig_modulation="qam256")
+        at_4 = wifi_inband_at_zigbee(profile, 4.0)
+        assert at_4 == pytest.approx(-85.4, abs=1.0)
+
+    def test_preamble_always_full_power(self):
+        profile = wifi_profile("CH4", sledzig_modulation="qam256")
+        payload = wifi_inband_at_zigbee(profile, 2.0)
+        preamble = wifi_inband_at_zigbee(profile, 2.0, during_preamble=True)
+        assert preamble - payload == pytest.approx(15.2)
+
+    def test_floor(self):
+        profile = wifi_profile("CH4", sledzig_modulation="qam256")
+        assert wifi_inband_at_zigbee(profile, 50.0, floor=True) == -91.0
+
+
+class TestZigbeeRssi:
+    def test_paper_anchor_half_metre(self):
+        assert zigbee_rssi(0.5, 31) == pytest.approx(-75.0, abs=0.1)
+
+    def test_gain15_submerged_at_1m(self):
+        """Paper Fig. 13: gain below 15 at 1 m sits at the noise floor."""
+        assert zigbee_rssi(1.0, 15, floor=True) == -91.0
+
+    def test_three_metres_submerged(self):
+        assert zigbee_rssi(3.0, 25, floor=True) == -91.0
+
+    def test_at_wifi_band_penalty(self):
+        assert zigbee_rssi(0.5, 31) - zigbee_at_wifi_rx(0.5, 31) == pytest.approx(10.0)
+
+    def test_paper_fig17_anchor(self):
+        """ZigBee at the WiFi receiver: ~-85 dB at 0.5 m, ~30 dB under WiFi."""
+        z = zigbee_at_wifi_rx(0.5, 31)
+        w = wifi_at_wifi_rx(0.5)
+        assert z == pytest.approx(-85.0, abs=0.1)
+        assert w - z == pytest.approx(30.0, abs=0.5)
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_coincident_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distance((1.0, 1.0), (1.0, 1.0))

@@ -1,0 +1,24 @@
+"""Shared fixtures for the SledZig reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG so failures reproduce exactly."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["qam16-1/2", "qam64-2/3", "qam256-3/4"])
+def qam_mcs_name(request) -> str:
+    """One representative MCS per QAM order."""
+    return request.param
+
+
+@pytest.fixture(params=["CH1", "CH2", "CH3", "CH4"])
+def channel_name(request) -> str:
+    """All four overlap channels."""
+    return request.param

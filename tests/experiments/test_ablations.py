@@ -1,0 +1,72 @@
+"""Tests for the ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestSpanAblation:
+    def test_rssi_saturates_past_seven(self):
+        result = ablations.span_ablation(n_data_values=(5, 7, 9))
+        rssi = {row[0]: row[1] for row in result.rows}
+        # Going 5 -> 7 buys > 1 dB; 7 -> 9 buys < 1.5 dB more.
+        assert rssi[7] < rssi[5] - 1.0
+        assert abs(rssi[9] - rssi[7]) < 1.5
+
+    def test_overhead_linear(self):
+        result = ablations.span_ablation(n_data_values=(5, 6, 7))
+        extras = [row[2] for row in result.rows]
+        assert extras == [20, 24, 28]
+
+
+class TestSolverAblation:
+    def test_cluster_always_ok(self):
+        result = ablations.solver_ablation()
+        assert all(row[3] == "ok" for row in result.rows)
+
+    def test_algorithm1_ok_where_applicable(self):
+        result = ablations.solver_ablation()
+        rate_half_rows = [r for r in result.rows if r[0] == "qam16-1/2"]
+        assert len(rate_half_rows) == 4
+        assert all(r[2] == "ok" for r in rate_half_rows)
+
+    def test_extra_counts_reported(self):
+        result = ablations.solver_ablation()
+        by_key = {(r[0], r[1]): r[4] for r in result.rows}
+        assert by_key[("qam256-3/4", "CH1")] == 42
+        assert by_key[("qam16-1/2", "CH4")] == 10
+
+
+class TestPreambleAblation:
+    def test_preamble_costs_throughput_at_margin(self):
+        result = ablations.preamble_ablation(
+            d_z_values=(1.6,), duration_us=200_000.0
+        )
+        with_pre, without_pre = result.rows[0][1], result.rows[0][2]
+        assert without_pre >= with_pre
+
+    def test_no_effect_at_strong_signal(self):
+        result = ablations.preamble_ablation(
+            d_z_values=(1.0,), duration_us=200_000.0
+        )
+        with_pre, without_pre = result.rows[0][1], result.rows[0][2]
+        assert with_pre == pytest.approx(without_pre, abs=5.0)
+
+
+class TestCcaAblation:
+    def test_deaf_threshold_collides(self):
+        result = ablations.cca_threshold_ablation(
+            thresholds_db=(-77.0, -60.0), duration_us=200_000.0
+        )
+        sensitive, deaf = result.rows[0], result.rows[1]
+        # The deaf setting transmits into WiFi bursts and loses packets.
+        assert deaf[3] > sensitive[3]
+        assert deaf[1] < sensitive[1]
+
+    def test_columns(self):
+        result = ablations.cca_threshold_ablation(
+            thresholds_db=(-77.0,), duration_us=150_000.0
+        )
+        assert result.columns == ["threshold dB", "throughput", "cca busy %", "failed %"]

@@ -1,0 +1,44 @@
+"""Tests for the extension experiments (collision lab, 40 MHz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext40mhz, xtech_collision
+
+
+class TestXtechCollision:
+    def test_sledzig_outlasts_normal(self):
+        curves = xtech_collision.sweep(levels_db=(14.0, 20.0), n_frames=4)
+        # At 20 dB on-air advantage the SledZig waveform is still decodable,
+        # the normal one is not.
+        assert curves["sledzig"][1] > curves["normal"][1]
+
+    def test_both_fine_when_wifi_weak(self):
+        curves = xtech_collision.sweep(levels_db=(8.0,), n_frames=4)
+        assert curves["normal"][0] == 1.0
+        assert curves["sledzig"][0] == 1.0
+
+    def test_run_renders(self):
+        result = xtech_collision.run(levels_db=(14.0,), n_frames=3)
+        assert len(result.rows) == 1
+        assert "collision" in result.title.lower()
+
+
+class TestExt40:
+    def test_all_spans_verified(self):
+        result = ext40mhz.run()
+        assert len(result.rows) == 8
+        assert all(row[7] is True for row in result.rows)
+
+    def test_losses_below_20mhz_worst_case(self):
+        result = ext40mhz.run()
+        assert max(row[5] for row in result.rows) < 8.0
+
+    def test_pilot_limited_spans(self):
+        result = ext40mhz.run()
+        for row in result.rows:
+            if row[3]:  # has a pilot
+                assert row[6] < 9.0  # decrease capped by the pilot
+            else:
+                assert row[6] == pytest.approx(13.2, abs=0.1)

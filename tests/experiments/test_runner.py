@@ -1,0 +1,47 @@
+"""Tests for the experiment runner CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import registry, run_experiments
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        reg = registry()
+        for key in (
+            "theory", "t2", "t3", "t4",
+            "fig5", "fig11", "fig12", "fig13",
+            "fig14a", "fig14b", "fig15", "fig16", "fig17",
+        ):
+            assert key in reg
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_experiments(["nope"])
+
+    def test_run_subset(self, capsys):
+        results = run_experiments(["theory", "t3"])
+        assert len(results) == 2
+        assert all(isinstance(r, ExperimentResult) for r in results)
+        out = capsys.readouterr().out
+        assert "Sec III-B" in out and "Table III" in out
+
+
+class TestResultFormatting:
+    def test_row_arity_enforced(self):
+        result = ExperimentResult("X", "t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_format_empty(self):
+        result = ExperimentResult("X", "t", columns=["a"])
+        text = result.format_table()
+        assert "X: t" in text
+
+    def test_float_formatting(self):
+        result = ExperimentResult("X", "t", columns=["v"])
+        result.add_row(3.14159)
+        assert "3.14" in result.format_table()

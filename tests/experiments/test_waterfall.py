@@ -1,0 +1,33 @@
+"""Tests for the SNR-waterfall validation experiment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import snr_waterfall
+
+
+class TestWaterfall:
+    def test_thresholds_at_or_below_paper(self):
+        """The software receiver (soft decoding) needs no more SNR than the
+        paper's quoted minima."""
+        result = snr_waterfall.run(n_frames=5)
+        for row in result.rows:
+            name, paper, measured, margin = row
+            assert not math.isnan(measured), name
+            assert measured <= paper + 0.5, name
+
+    def test_qam_order_needs_more_snr(self):
+        """Across modulations the measured thresholds rise with QAM order."""
+        t16 = snr_waterfall.measured_threshold("qam16-1/2", n_frames=5)
+        t64 = snr_waterfall.measured_threshold("qam64-2/3", n_frames=5)
+        t256 = snr_waterfall.measured_threshold("qam256-3/4", n_frames=5)
+        assert t16 < t64 < t256
+
+    def test_delivery_monotone_in_snr(self):
+        low = snr_waterfall.delivery_at_snr("qam64-2/3", 10.0, n_frames=6)
+        high = snr_waterfall.delivery_at_snr("qam64-2/3", 25.0, n_frames=6)
+        assert high >= low
+        assert high == 1.0

@@ -1,0 +1,67 @@
+"""Tests for simulation configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.config import (
+    WIFI_DIFS_US,
+    WIFI_PREAMBLE_US,
+    WIFI_SLOT_US,
+    CoexistenceConfig,
+    Topology,
+    WifiConfig,
+    ZigbeeConfig,
+)
+from repro.zigbee.params import BACKOFF_PERIOD_US, CCA_DURATION_US, DIFS_US
+
+
+class TestPaperTimings:
+    def test_wifi_vs_zigbee_asymmetry(self):
+        """Section II-B: WiFi DIFS 28 us vs ZigBee 320 us; slots 9 vs 320."""
+        assert WIFI_DIFS_US == 28.0
+        assert WIFI_SLOT_US == 9.0
+        assert DIFS_US == 320.0
+        assert BACKOFF_PERIOD_US == 320.0
+        assert CCA_DURATION_US == 128.0
+
+    def test_preamble_duration(self):
+        assert WIFI_PREAMBLE_US == 20.0  # 16 us preamble + 4 us SIGNAL
+
+
+class TestTopology:
+    def test_paper_geometry(self):
+        topo = Topology(d_wz=4.0, d_z=1.0, d_w=2.0)
+        assert topo.wifi_tx == (0.0, 0.0)
+        assert topo.zigbee_tx == (4.0, 0.0)
+        assert topo.zigbee_rx == (5.0, 0.0)
+        assert topo.wifi_rx == (-2.0, 0.0)
+
+    def test_positive_distances(self):
+        with pytest.raises(ConfigurationError):
+            Topology(d_wz=0.0)
+
+
+class TestConfigs:
+    def test_sledzig_flag(self):
+        assert not WifiConfig().sledzig_enabled
+        assert WifiConfig(sledzig_channel=4).sledzig_enabled
+
+    def test_zigbee_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZigbeeConfig(channel_index=5)
+        with pytest.raises(ConfigurationError):
+            ZigbeeConfig(payload_octets=0)
+        with pytest.raises(ConfigurationError):
+            ZigbeeConfig(tx_gain=40)
+
+    def test_duty_ratio_validated(self):
+        with pytest.raises(ConfigurationError):
+            CoexistenceConfig(wifi=WifiConfig(duty_ratio=0.0))
+        with pytest.raises(ConfigurationError):
+            CoexistenceConfig(wifi=WifiConfig(duty_ratio=1.5))
+
+    def test_duration_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoexistenceConfig(duration_us=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.events import EventScheduler
+
+
+class TestScheduler:
+    def test_ordering(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(5.0, lambda: log.append("b"))
+        sched.schedule(1.0, lambda: log.append("a"))
+        sched.schedule(9.0, lambda: log.append("c"))
+        sched.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert sched.now == 10.0
+
+    def test_tie_break_by_insertion(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(1.0, lambda: log.append(1))
+        sched.schedule(1.0, lambda: log.append(2))
+        sched.run_until(2.0)
+        assert log == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        log = []
+
+        def chain():
+            log.append(sched.now)
+            if sched.now < 5.0:
+                sched.schedule(1.0, chain)
+
+        sched.schedule(1.0, chain)
+        sched.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        log = []
+        event = sched.schedule(1.0, lambda: log.append("x"))
+        sched.cancel(event)
+        sched.run_until(5.0)
+        assert log == []
+
+    def test_events_beyond_horizon_pending(self):
+        sched = EventScheduler()
+        sched.schedule(100.0, lambda: None)
+        sched.run_until(10.0)
+        assert sched.pending() == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_backwards_clock_rejected(self):
+        sched = EventScheduler()
+        sched.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sched.run_until(5.0)

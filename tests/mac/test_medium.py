@@ -1,0 +1,111 @@
+"""Tests for the shared-medium power queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.calibration import DEFAULT_CALIBRATION
+from repro.errors import SimulationError
+from repro.mac.medium import Medium, WifiBurst
+
+
+def _burst(start, end, preamble_us=20.0, pre_db=-60.0, pay_db=-67.0):
+    return WifiBurst(
+        start_us=start,
+        end_us=end,
+        preamble_until_us=start + preamble_us,
+        preamble_db_at_1m=pre_db,
+        payload_db_at_1m=pay_db,
+    )
+
+
+class TestBursts:
+    def test_order_enforced(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(100, 200))
+        with pytest.raises(SimulationError):
+            medium.add_burst(_burst(50, 80))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Medium(DEFAULT_CALIBRATION).add_burst(_burst(10, 10))
+
+    def test_overlap_query(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(0, 100))
+        medium.add_burst(_burst(200, 300))
+        medium.add_burst(_burst(400, 500))
+        hits = medium.bursts_overlapping(250, 450)
+        assert [b.start_us for b in hits] == [200, 400]
+
+    def test_long_span_catches_all(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        for k in range(20):
+            medium.add_burst(_burst(100 * k, 100 * k + 50))
+        assert len(medium.bursts_overlapping(0, 2000)) == 20
+
+    def test_prune(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        for k in range(5):
+            medium.add_burst(_burst(100 * k, 100 * k + 50))
+        medium.prune_before(250)
+        assert len(medium.bursts_overlapping(0, 10_000)) == 3
+
+
+class TestTrace:
+    def test_segments_cover_interval(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(100, 300))
+        trace = medium.interference_trace(50, 400, distance_m=1.0)
+        assert trace[0][0] == 50 and trace[-1][1] == 400
+        for (a, b, _), (c, d, _) in zip(trace, trace[1:]):
+            assert b == c
+
+    def test_preamble_level_distinct(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(100, 300))
+        trace = {(a, b): level for a, b, level in medium.interference_trace(100, 300, 1.0)}
+        assert trace[(100.0, 120.0)] == pytest.approx(-60.0)
+        assert trace[(120.0, 300.0)] == pytest.approx(-67.0)
+
+    def test_idle_is_minus_inf(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        trace = medium.interference_trace(0, 100, 1.0)
+        assert trace == [(0, 100, float("-inf"))]
+
+    def test_distance_scaling(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(0, 100, preamble_us=0.0))
+        level_1m = medium.interference_trace(10, 20, 1.0)[0][2]
+        level_2m = medium.interference_trace(10, 20, 2.0)[0][2]
+        assert level_1m - level_2m == pytest.approx(9.03, abs=0.01)
+
+
+class TestAveragePower:
+    def test_idle_equals_noise(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        level = medium.average_power_db(0, 128, 1.0)
+        assert level == pytest.approx(-91.0, abs=0.01)
+
+    def test_full_overlap(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(0, 1000, preamble_us=0.0))
+        level = medium.average_power_db(100, 228, 1.0)
+        assert level == pytest.approx(-67.0, abs=0.05)
+
+    def test_paper_cca_preamble_argument(self):
+        """A 20 us full-power preamble inside a 128 us CCA window keeps the
+        window average well below the preamble's own level (Section IV-F's
+        'very limited impact on the CCA result')."""
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_burst(_burst(0, 1000, preamble_us=20.0, pre_db=-60.0, pay_db=-75.0))
+        with_preamble = medium.average_power_db(0, 128, 1.0)
+        payload_only = medium.average_power_db(200, 328, 1.0)
+        # The average sits much closer to the payload level than to the
+        # 15 dB hotter preamble level.
+        assert with_preamble < -65.0
+        assert with_preamble - payload_only > 0.5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Medium(DEFAULT_CALIBRATION).average_power_db(5, 5, 1.0)

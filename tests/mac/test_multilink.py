@@ -1,0 +1,110 @@
+"""Tests for multi-link ZigBee scenarios (paper Fig. 4 motivation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.calibration import DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
+from repro.mac.medium import Medium, ZigbeeBurst
+from repro.mac.multilink import LinkPlacement, run_multilink
+
+
+def _config(wifi=None, duration_us=300_000.0, seed=3):
+    return CoexistenceConfig(
+        wifi=wifi or WifiConfig(),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=4.0, d_z=1.0),
+        duration_us=duration_us,
+        seed=seed,
+    )
+
+
+class TestMediumPeerQueries:
+    def test_source_exclusion(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_zigbee_burst(ZigbeeBurst(0, 100, -84.0, source=1))
+        own = medium.zigbee_average_power_db(0, 100, 1.0, exclude_source=1)
+        other = medium.zigbee_average_power_db(0, 100, 1.0, exclude_source=2)
+        assert own == float("-inf")
+        assert other == pytest.approx(-84.0, abs=0.01)
+
+    def test_positional_path_loss(self):
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_zigbee_burst(
+            ZigbeeBurst(0, 100, -84.0, source=1, position=(0.0, 0.0))
+        )
+        near = medium.zigbee_average_power_db(0, 100, 1.0, at_position=(0.5, 0.0))
+        far = medium.zigbee_average_power_db(0, 100, 1.0, at_position=(2.0, 0.0))
+        assert near > far
+        assert near == pytest.approx(-84.0 + 9.03, abs=0.05)
+
+    def test_peer_detectable_by_cca_level(self):
+        """A peer transmitting 0.5 m away reads well above the -70 dB CCA
+        threshold — the same-technology carrier sense input."""
+        medium = Medium(DEFAULT_CALIBRATION)
+        medium.add_zigbee_burst(
+            ZigbeeBurst(0, 1000, -84.0, source=2, position=(0.0, 0.0))
+        )
+        level = medium.zigbee_average_power_db(
+            0, 128, 1.0, exclude_source=1, at_position=(0.5, 0.0)
+        )
+        assert level > -75.0
+
+
+class TestFig4Scenario:
+    def test_sledzig_frees_both_failure_modes(self):
+        """Fig. 4: one link silenced by carrier sense, one corrupted by
+        interference; SledZig recovers both."""
+        placements = [
+            LinkPlacement(tx=(2.0, 0.0), rx=(3.0, 0.0)),
+            LinkPlacement(tx=(5.0, 2.0), rx=(6.0, 2.0)),
+        ]
+        normal = run_multilink(_config(), placements)
+        sled = run_multilink(
+            _config(WifiConfig(mcs_name="qam256-3/4", sledzig_channel=4)),
+            placements,
+        )
+        assert normal.throughput_kbps(0) < 5.0          # silenced near link
+        assert sled.throughput_kbps(0) > 45.0           # freed
+        assert sled.total_zigbee_kbps > normal.total_zigbee_kbps + 40.0
+
+    def test_per_link_stats_exposed(self):
+        placements = [LinkPlacement(tx=(8.0, 0.0), rx=(9.0, 0.0))]
+        result = run_multilink(_config(), placements)
+        assert len(result.per_link) == 1
+        assert result.per_link[0].packets_attempted > 0
+        assert result.wifi.bursts_sent >= 1
+
+    def test_empty_placements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_multilink(_config(), [])
+
+    def test_close_links_share_capacity(self):
+        """Two links nearly on top of each other cannot both get the full
+        single-link rate — CSMA and mutual interference split it."""
+        placements = [
+            LinkPlacement(tx=(10.0, 0.0), rx=(10.5, 0.0)),
+            LinkPlacement(tx=(10.2, 0.4), rx=(10.8, 0.6)),
+        ]
+        result = run_multilink(
+            _config(WifiConfig(saturated=False), duration_us=800_000.0),
+            placements,
+        )
+        single = 63.0
+        assert result.throughput_kbps(0) < single - 5.0 or (
+            result.throughput_kbps(1) < single - 5.0
+        )
+
+    def test_far_apart_links_both_full_rate(self):
+        placements = [
+            LinkPlacement(tx=(10.0, 0.0), rx=(11.0, 0.0)),
+            LinkPlacement(tx=(10.0, 40.0), rx=(11.0, 40.0)),
+        ]
+        result = run_multilink(
+            _config(WifiConfig(saturated=False), duration_us=600_000.0),
+            placements,
+        )
+        assert result.throughput_kbps(0) > 55.0
+        assert result.throughput_kbps(1) > 55.0

@@ -1,0 +1,89 @@
+"""Tests for SledZig-aware WiFi rate selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.rate_control import (
+    RateChoice,
+    effective_goodput_mbps,
+    select_mcs,
+    select_mcs_for_protection,
+)
+
+
+class TestGoodput:
+    def test_plain_is_phy_rate(self):
+        assert effective_goodput_mbps("qam64-2/3", None) == pytest.approx(48.0)
+
+    def test_sledzig_subtracts_table4_loss(self):
+        # 48 Mbps x (1 - 14.58%) on CH1-CH3.
+        assert effective_goodput_mbps("qam64-2/3", 1) == pytest.approx(41.0, abs=0.1)
+        # CH4 costs less.
+        assert effective_goodput_mbps("qam64-2/3", 4) == pytest.approx(43.0, abs=0.1)
+
+
+class TestSelect:
+    def test_high_snr_picks_fastest(self):
+        choice = select_mcs(35.0)
+        assert choice.mcs.name == "qam256-5/6"
+        assert choice.goodput_mbps == pytest.approx(80.0)
+
+    def test_medium_snr_steps_down(self):
+        choice = select_mcs(21.0)  # below qam64-5/6 (25) and qam256 (29/31)
+        assert choice.mcs.name == "qam64-3/4"
+
+    def test_too_low_snr_gives_none(self):
+        choice = select_mcs(5.0)
+        assert choice.mcs is None
+        assert choice.goodput_mbps == 0.0
+
+    def test_margin_is_enforced(self):
+        # 21 dB fits qam64-3/4 (20 dB) only without margin.
+        assert select_mcs(21.0).mcs.name == "qam64-3/4"
+        assert select_mcs(21.0, margin_db=2.0).mcs.name == "qam64-2/3"
+
+    def test_sledzig_orders_by_goodput_not_phy_rate(self):
+        """With the overhead included the ordering can differ from the PHY
+        ladder; the chosen mode must top effective goodput."""
+        choice = select_mcs(35.0, sledzig_channel=1)
+        candidates = [
+            effective_goodput_mbps(name, 1)
+            for name in ("qam16-1/2", "qam64-5/6", "qam256-5/6")
+        ]
+        assert choice.goodput_mbps == pytest.approx(max(candidates), abs=0.5)
+
+    def test_protection_reported(self):
+        choice = select_mcs(35.0, sledzig_channel=4)
+        assert choice.protection_db > 10.0
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_mcs(30.0, sledzig_channel=5)
+
+
+class TestProtectionFirst:
+    def test_requires_deep_notch(self):
+        """Demanding 12 dB of relief forces QAM-64+ on CH4."""
+        choice = select_mcs_for_protection(35.0, 4, min_protection_db=12.0)
+        assert choice.mcs.modulation in ("qam256",)
+        assert choice.protection_db >= 12.0
+
+    def test_moderate_requirement_allows_faster_modes(self):
+        choice = select_mcs_for_protection(35.0, 4, min_protection_db=5.0)
+        assert choice.mcs is not None
+        assert choice.protection_db >= 5.0
+
+    def test_infeasible_requirement(self):
+        # No modulation decreases CH1 by 20 dB (pilot-limited ~7 dB).
+        choice = select_mcs_for_protection(35.0, 1, min_protection_db=20.0)
+        assert choice.mcs is None
+
+    def test_snr_still_binding(self):
+        # Deep protection needs QAM-256 whose min SNR is 29 dB.
+        choice = select_mcs_for_protection(20.0, 4, min_protection_db=12.0)
+        assert choice.mcs is None
+
+    def test_returns_ratechoice(self):
+        assert isinstance(select_mcs_for_protection(35.0, 4, 5.0), RateChoice)

@@ -1,0 +1,141 @@
+"""Integration tests for the coexistence simulator against paper behaviour."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
+from repro.mac.simulator import run_coexistence, sweep
+
+QUICK = 300_000.0  # 0.3 simulated seconds
+
+
+def _config(**kwargs) -> CoexistenceConfig:
+    defaults = dict(
+        wifi=WifiConfig(),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=4.0, d_z=1.0),
+        duration_us=QUICK,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return CoexistenceConfig(**defaults)
+
+
+class TestBaselines:
+    def test_clean_channel_throughput_near_63kbps(self):
+        """Paper Section V-C1: ~63 kbps without interference."""
+        result = run_coexistence(
+            _config(wifi=WifiConfig(saturated=False), duration_us=1_000_000.0)
+        )
+        assert result.zigbee_throughput_kbps == pytest.approx(63.0, abs=3.0)
+
+    def test_continuous_wifi_close_kills_zigbee(self):
+        """Normal WiFi at 1 m blocks ZigBee completely."""
+        result = run_coexistence(_config(topology=Topology(d_wz=1.0, d_z=1.0)))
+        assert result.zigbee_throughput_kbps == pytest.approx(0.0, abs=1.0)
+
+    def test_far_wifi_harmless(self):
+        result = run_coexistence(_config(topology=Topology(d_wz=12.0, d_z=1.0)))
+        assert result.zigbee_throughput_kbps > 55.0
+
+    def test_wifi_throughput_positive(self):
+        result = run_coexistence(_config())
+        assert result.wifi_throughput_mbps > 10.0
+
+    def test_zigbee_never_hurts_wifi(self):
+        """Paper Section V-D2: WiFi SINR over ZigBee is enormous."""
+        result = run_coexistence(_config())
+        assert result.wifi_sinr_db > 25.0
+
+
+class TestSledZigEffect:
+    def test_sledzig_enables_close_transmission(self):
+        """At d_WZ = 2 m (CH4): normal blocks ZigBee, QAM-256 SledZig does not."""
+        topo = Topology(d_wz=2.0, d_z=1.0)
+        normal = run_coexistence(_config(topology=topo))
+        sled = run_coexistence(
+            _config(
+                topology=topo,
+                wifi=WifiConfig(mcs_name="qam256-3/4", sledzig_channel=4),
+            )
+        )
+        assert normal.zigbee_throughput_kbps < 5.0
+        assert sled.zigbee_throughput_kbps > 50.0
+
+    def test_modulation_ordering_at_fixed_distance(self):
+        """QAM-256 >= QAM-64 >= QAM-16 at the crossover distances."""
+        topo = Topology(d_wz=1.5, d_z=1.0)
+        values = {}
+        for name in ("qam16-1/2", "qam64-2/3", "qam256-3/4"):
+            result = run_coexistence(
+                _config(topology=topo, wifi=WifiConfig(mcs_name=name, sledzig_channel=4))
+            )
+            values[name] = result.zigbee_throughput_kbps
+        assert values["qam256-3/4"] >= values["qam64-2/3"] >= values["qam16-1/2"]
+
+    def test_sledzig_costs_wifi_throughput(self):
+        """SledZig reduces WiFi application throughput by the Table IV loss."""
+        normal = run_coexistence(_config())
+        sled = run_coexistence(
+            _config(wifi=WifiConfig(mcs_name="qam64-2/3", sledzig_channel=4))
+        )
+        loss = 1 - sled.wifi_throughput_mbps / normal.wifi_throughput_mbps
+        assert loss == pytest.approx(20 / 192, abs=0.01)
+
+    def test_wifi_link_ok_property(self):
+        result = run_coexistence(_config())
+        assert result.wifi_link_ok
+
+
+class TestDutyRatio:
+    def test_lower_ratio_more_zigbee(self):
+        topo = Topology(d_wz=1.0, d_z=0.5)
+        low = run_coexistence(
+            _config(topology=topo, wifi=WifiConfig(duty_ratio=0.2, burst_duration_us=4000))
+        )
+        high = run_coexistence(
+            _config(topology=topo, wifi=WifiConfig(duty_ratio=0.9, burst_duration_us=4000))
+        )
+        assert low.zigbee_throughput_kbps > high.zigbee_throughput_kbps
+
+    def test_wifi_airtime_tracks_ratio(self):
+        result = run_coexistence(
+            _config(wifi=WifiConfig(duty_ratio=0.5, burst_duration_us=4000))
+        )
+        airtime_fraction = result.wifi.airtime_us / QUICK
+        assert airtime_fraction == pytest.approx(0.5, abs=0.1)
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        base = _config()
+        points = sweep(
+            base,
+            values=[2.0, 6.0],
+            apply_value=lambda cfg, v: replace(cfg, topology=Topology(d_wz=v, d_z=1.0)),
+            n_seeds=2,
+        )
+        assert len(points) == 2
+        assert all(len(p.throughputs_kbps) == 2 for p in points)
+        assert points[1].mean > points[0].mean
+        q1, q3 = points[1].quartiles()
+        assert q1 <= points[1].median <= q3
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_coexistence(_config())
+        b = run_coexistence(_config())
+        assert a.zigbee_throughput_kbps == b.zigbee_throughput_kbps
+        assert a.zigbee.packets_sent == b.zigbee.packets_sent
+
+    def test_different_seed_differs_somewhere(self):
+        a = run_coexistence(_config(seed=1, fading_sigma_db=2.0))
+        b = run_coexistence(_config(seed=2, fading_sigma_db=2.0))
+        assert (
+            a.zigbee.packets_delivered != b.zigbee.packets_delivered
+            or a.zigbee.cca_busy != b.zigbee.cca_busy
+        )

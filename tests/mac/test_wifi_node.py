@@ -1,0 +1,102 @@
+"""Unit tests for the WiFi transmitter device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
+from repro.mac.events import EventScheduler
+from repro.mac.medium import Medium
+from repro.mac.wifi_node import WifiNode
+
+
+def _node(wifi=None, duration_us=100_000.0, seed=1):
+    config = CoexistenceConfig(
+        wifi=wifi or WifiConfig(),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=4.0, d_z=1.0),
+        duration_us=duration_us,
+        seed=seed,
+    )
+    scheduler = EventScheduler()
+    medium = Medium(config.calibration)
+    node = WifiNode(config, scheduler, medium, np.random.default_rng(seed))
+    return node, scheduler, medium
+
+
+class TestStreamMode:
+    def test_single_burst_to_horizon(self):
+        node, scheduler, medium = _node()
+        node.start()
+        scheduler.run_until(100_000.0)
+        assert node.stats.bursts_sent == 1
+        bursts = medium.bursts_overlapping(0, 100_000.0)
+        assert len(bursts) == 1
+        assert bursts[0].end_us == 100_000.0
+
+    def test_stream_preamble_only_at_start(self):
+        node, scheduler, medium = _node()
+        node.start()
+        scheduler.run_until(100_000.0)
+        burst = medium.bursts_overlapping(0, 100_000.0)[0]
+        assert burst.preamble_until_us - burst.start_us == pytest.approx(20.0)
+
+    def test_silent_when_unsaturated(self):
+        node, scheduler, medium = _node(WifiConfig(saturated=False))
+        node.start()
+        scheduler.run_until(100_000.0)
+        assert node.stats.bursts_sent == 0
+
+
+class TestBurstMode:
+    def test_airtime_tracks_duty(self):
+        node, scheduler, _ = _node(
+            WifiConfig(duty_ratio=0.3, burst_duration_us=2000.0),
+            duration_us=300_000.0,
+        )
+        node.start()
+        scheduler.run_until(300_000.0)
+        assert node.stats.airtime_us / 300_000.0 == pytest.approx(0.3, abs=0.08)
+
+    def test_every_burst_has_preamble(self):
+        node, scheduler, medium = _node(
+            WifiConfig(duty_ratio=0.5, burst_duration_us=3000.0),
+            duration_us=50_000.0,
+        )
+        node.start()
+        scheduler.run_until(50_000.0)
+        for burst in medium.bursts_overlapping(0, 50_000.0):
+            assert burst.preamble_until_us - burst.start_us == pytest.approx(20.0)
+
+    def test_preamble_ablation_switch(self):
+        node, scheduler, medium = _node(
+            WifiConfig(duty_ratio=0.5, burst_duration_us=3000.0, preamble_modelled=False),
+            duration_us=30_000.0,
+        )
+        node.start()
+        scheduler.run_until(30_000.0)
+        for burst in medium.bursts_overlapping(0, 30_000.0):
+            assert burst.preamble_until_us == burst.start_us
+
+
+class TestAccounting:
+    def test_sledzig_overhead_split(self):
+        node, scheduler, _ = _node(
+            WifiConfig(mcs_name="qam64-2/3", sledzig_channel=1), duration_us=80_000.0
+        )
+        node.start()
+        scheduler.run_until(80_000.0)
+        total = node.stats.payload_bits + node.stats.extra_bits
+        assert node.stats.extra_bits / total == pytest.approx(28 / 192, abs=1e-6)
+
+    def test_normal_has_no_extra_bits(self):
+        node, scheduler, _ = _node(duration_us=80_000.0)
+        node.start()
+        scheduler.run_until(80_000.0)
+        assert node.stats.extra_bits == 0.0
+
+    def test_throughput_positive_duration_required(self):
+        node, _, _ = _node()
+        with pytest.raises(Exception):
+            node.stats.throughput_mbps(0.0)

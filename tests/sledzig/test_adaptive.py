@@ -1,0 +1,153 @@
+"""Tests for adaptive SledZig: detection, estimation, control policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import frequency_shift
+from repro.errors import ConfigurationError
+from repro.sledzig.adaptive import (
+    AdaptiveSledZigController,
+    EnergySnapshot,
+    ZigbeeChannelEstimator,
+    detect_zigbee_activity,
+)
+from repro.sledzig.channels import all_channels
+from repro.wifi.params import SAMPLE_RATE_HZ
+
+
+def _zigbee_like_capture(channel_index: int, rng, snr_db: float = 20.0) -> np.ndarray:
+    """A 20 MHz capture holding a 2 MHz-ish tone at one overlap channel."""
+    n = 8192
+    noise = (rng.normal(size=n) + 1j * rng.normal(size=n)) / np.sqrt(2)
+    noise *= 10 ** (-snr_db / 20)
+    ch = all_channels()[channel_index - 1]
+    # Narrowband occupant: noise-modulated carrier ~1.5 MHz wide.
+    base = (rng.normal(size=n) + 1j * rng.normal(size=n)) / np.sqrt(2)
+    kernel = np.ones(16) / 16.0
+    base = np.convolve(base, kernel, mode="same")
+    occupant = frequency_shift(base, ch.center_offset_hz, SAMPLE_RATE_HZ)
+    return occupant + noise
+
+
+class TestWaveformDetection:
+    @pytest.mark.parametrize("index", [1, 2, 3, 4])
+    def test_detects_each_channel(self, index, rng):
+        capture = _zigbee_like_capture(index, rng)
+        detected = detect_zigbee_activity(capture)
+        assert detected is not None
+        assert detected.index == index
+
+    def test_flat_noise_detects_nothing(self, rng):
+        noise = (rng.normal(size=8192) + 1j * rng.normal(size=8192)) / np.sqrt(2)
+        assert detect_zigbee_activity(noise) is None
+
+    def test_short_capture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_zigbee_activity(np.zeros(10, complex))
+
+    def test_real_zigbee_waveform_detected(self, rng):
+        """An actual 802.15.4 frame (resampled into the WiFi band) trips
+        the detector on the right channel."""
+        from scipy.signal import resample_poly
+
+        from repro.zigbee.transmitter import ZigbeeTransmitter
+
+        frame = ZigbeeTransmitter().send(bytes(rng.integers(0, 256, 20, dtype=np.uint8)))
+        at_20mhz = resample_poly(frame.waveform, 5, 2)  # 8 -> 20 MHz
+        ch = all_channels()[2]  # CH3
+        shifted = frequency_shift(at_20mhz, ch.center_offset_hz, SAMPLE_RATE_HZ)
+        noise = 0.02 * (rng.normal(size=shifted.size) + 1j * rng.normal(size=shifted.size))
+        detected = detect_zigbee_activity(shifted + noise)
+        assert detected is not None and detected.index == 3
+
+
+class TestEstimator:
+    def _snapshot(self, t, active=None, level=-70.0, floor=-91.0):
+        levels = [floor, floor, floor, floor]
+        if active is not None:
+            levels[active - 1] = level
+        return EnergySnapshot(time_us=t, levels_db=levels)
+
+    def test_estimates_busy_channel(self):
+        est = ZigbeeChannelEstimator()
+        for t in range(20):
+            est.observe(self._snapshot(t, active=2 if t % 3 == 0 else None))
+        assert est.estimate() == 2
+
+    def test_all_quiet_is_none(self):
+        est = ZigbeeChannelEstimator()
+        for t in range(20):
+            est.observe(self._snapshot(t))
+        assert est.estimate() is None
+
+    def test_min_activity_threshold(self):
+        est = ZigbeeChannelEstimator(min_activity=0.5)
+        for t in range(20):
+            est.observe(self._snapshot(t, active=1 if t < 4 else None))
+        assert est.estimate() is None  # 20% activity < 50% requirement
+
+    def test_window_forgets_old_traffic(self):
+        est = ZigbeeChannelEstimator(window=10)
+        for t in range(10):
+            est.observe(self._snapshot(t, active=1))
+        for t in range(10, 20):
+            est.observe(self._snapshot(t, active=4))
+        assert est.estimate() == 4
+        assert est.n_observations == 10
+
+    def test_activity_fractions(self):
+        est = ZigbeeChannelEstimator()
+        est.observe_many(self._snapshot(t, active=3) for t in range(4))
+        fractions = est.activity_fractions()
+        assert fractions == [0.0, 0.0, 1.0, 0.0]
+
+    def test_bad_snapshot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergySnapshot(time_us=0, levels_db=[-91.0])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZigbeeChannelEstimator(window=0)
+        with pytest.raises(ConfigurationError):
+            ZigbeeChannelEstimator(min_activity=0.0)
+
+
+class TestController:
+    def test_requires_confirmations(self):
+        ctrl = AdaptiveSledZigController(confirmations=3)
+        assert ctrl.update(2) is None
+        assert ctrl.update(2) is None
+        assert ctrl.update(2) == 2  # third confirmation applies
+
+    def test_noise_does_not_flap(self):
+        ctrl = AdaptiveSledZigController(confirmations=3)
+        for _ in range(3):
+            ctrl.update(1)
+        assert ctrl.protected_channel == 1
+        # A single stray estimate must not move the target.
+        ctrl.update(4)
+        ctrl.update(1)
+        assert ctrl.protected_channel == 1
+        assert ctrl.n_switches == 1
+
+    def test_disable_also_needs_confirmation(self):
+        ctrl = AdaptiveSledZigController(confirmations=2)
+        ctrl.update(3)
+        ctrl.update(3)
+        assert ctrl.protected_channel == 3
+        ctrl.update(None)
+        assert ctrl.protected_channel == 3
+        ctrl.update(None)
+        assert ctrl.protected_channel is None
+
+    def test_switch_between_channels(self):
+        ctrl = AdaptiveSledZigController(confirmations=1)
+        assert ctrl.update(1) == 1
+        assert ctrl.update(4) == 4
+        assert ctrl.n_switches == 2
+
+    def test_bad_confirmations(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSledZigController(confirmations=0)

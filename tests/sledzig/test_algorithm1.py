@@ -1,0 +1,74 @@
+"""Tests for the literal Algorithm 1 transcription, cross-validated against
+the production cluster solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsertionError
+from repro.sledzig.algorithm1 import generate_transmit_bits
+from repro.sledzig.insertion import verify_stream
+from repro.sledzig.significant import extra_bits_per_symbol
+from repro.utils.bits import random_bits
+from repro.wifi.convolutional import conv_encode
+from repro.sledzig.significant import significant_bits_for_symbol
+from repro.wifi.params import get_mcs
+
+#: Rate-1/2 configurations where Algorithm 1's preconditions hold.
+RATE_HALF_COMBOS = [("qam16-1/2", ch) for ch in ("CH1", "CH2", "CH3", "CH4")]
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("mcs_name,channel", RATE_HALF_COMBOS)
+    def test_constraints_satisfied(self, mcs_name, channel, rng):
+        mcs = get_mcs(mcs_name)
+        data = random_bits(3 * mcs.n_dbps, rng)
+        stream, extra = generate_transmit_bits(data, mcs, channel)
+        # Check every whole symbol of the produced stream.
+        whole = stream[: (stream.size // mcs.n_dbps) * mcs.n_dbps]
+        assert whole.size >= mcs.n_dbps
+        assert verify_stream(whole, mcs, channel) == []
+
+    @pytest.mark.parametrize("mcs_name,channel", RATE_HALF_COMBOS)
+    def test_one_extra_per_significant_bit(self, mcs_name, channel, rng):
+        """Algorithm 1 inserts exactly K extra bits per symbol."""
+        mcs = get_mcs(mcs_name)
+        k = extra_bits_per_symbol(mcs, channel)
+        data = random_bits(2 * mcs.n_dbps, rng)
+        stream, extra = generate_transmit_bits(data, mcs, channel)
+        n_whole_symbols = stream.size // mcs.n_dbps
+        in_whole = [p for p in extra if p < n_whole_symbols * mcs.n_dbps]
+        assert len(in_whole) >= k * (n_whole_symbols - 1)
+
+    def test_data_preserved(self, rng):
+        mcs = get_mcs("qam16-1/2")
+        data = random_bits(mcs.n_dbps, rng)
+        stream, extra = generate_transmit_bits(data, mcs, "CH2")
+        keep = np.ones(stream.size, dtype=bool)
+        keep[extra] = False
+        assert np.array_equal(stream[keep], data)
+
+    def test_extra_positions_data_independent(self, rng):
+        mcs = get_mcs("qam16-1/2")
+        a = random_bits(mcs.n_dbps, rng)
+        b = random_bits(mcs.n_dbps, rng)
+        _, extra_a = generate_transmit_bits(a, mcs, "CH3")
+        _, extra_b = generate_transmit_bits(b, mcs, "CH3")
+        assert extra_a == extra_b
+
+    def test_punctured_rate_rejected(self, rng):
+        with pytest.raises(InsertionError):
+            generate_transmit_bits(random_bits(100, rng), "qam64-2/3", "CH1")
+
+    def test_agrees_with_cluster_solver_on_counts(self, rng):
+        """Both implementations insert the same number of extra bits."""
+        from repro.sledzig.insertion import plan_insertion
+
+        mcs = get_mcs("qam16-1/2")
+        data = random_bits(3 * mcs.n_dbps, rng)
+        stream, extra = generate_transmit_bits(data, mcs, "CH2")
+        plan = plan_insertion(mcs, "CH2", 3)
+        per_symbol_alg1 = len([p for p in extra if p < mcs.n_dbps])
+        per_symbol_plan = len([p for p in plan.extra_positions if p < mcs.n_dbps])
+        assert per_symbol_alg1 == per_symbol_plan

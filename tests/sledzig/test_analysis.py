@@ -1,0 +1,68 @@
+"""Tests for the closed-form analysis against the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sledzig.analysis import (
+    expected_band_decrease_db,
+    extra_bits_table,
+    rssi_offset_db,
+    summary,
+    theoretical_power_decrease_db,
+    throughput_loss,
+    throughput_loss_table,
+)
+
+
+class TestTheory:
+    def test_paper_section3b_values(self):
+        """7.0 / 13.2 / 19.3 dB for QAM-16/64/256."""
+        assert theoretical_power_decrease_db("qam16") == pytest.approx(7.0, abs=0.05)
+        assert theoretical_power_decrease_db("qam64") == pytest.approx(13.2, abs=0.05)
+        assert theoretical_power_decrease_db("qam256") == pytest.approx(19.3, abs=0.05)
+
+    def test_band_decrease_pilot_limited(self):
+        """CH1-CH3 saturate near 8-9 dB because of the pilot."""
+        for modulation in ("qam64", "qam256"):
+            ch13 = expected_band_decrease_db(modulation, "CH1")
+            ch4 = expected_band_decrease_db(modulation, "CH4")
+            assert ch4 > ch13
+        assert expected_band_decrease_db("qam256", "CH1") < 9.0
+        assert expected_band_decrease_db("qam256", "CH4") == pytest.approx(19.3, abs=0.05)
+
+    def test_rssi_offset_is_negative(self):
+        assert rssi_offset_db("qam64", "CH2") == pytest.approx(-7.78, abs=0.1)
+
+
+class TestTables:
+    def test_table3_counts(self):
+        rows = {r.mcs_name: r for r in extra_bits_table()}
+        assert rows["qam16-1/2"].extra_ch13 == 14
+        assert rows["qam16-1/2"].extra_ch4 == 10
+        assert rows["qam64-2/3"].extra_ch13 == 28
+        assert rows["qam256-5/6"].extra_ch4 == 30
+
+    def test_table4_paper_range(self):
+        """All losses between 6.94% and 14.58% (the paper's headline)."""
+        rows = throughput_loss_table()
+        losses = [r.loss_ch13 for r in rows] + [r.loss_ch4 for r in rows]
+        assert min(losses) == pytest.approx(0.0694, abs=0.0005)
+        assert max(losses) == pytest.approx(0.1458, abs=0.0005)
+
+    def test_specific_paper_cells(self):
+        assert throughput_loss("qam16-1/2", "CH1") == pytest.approx(14 / 96)
+        assert throughput_loss("qam16-3/4", "CH4") == pytest.approx(10 / 144)
+        assert throughput_loss("qam64-5/6", "CH2") == pytest.approx(28 / 240)
+        assert throughput_loss("qam256-5/6", "CH4") == pytest.approx(30 / 320)
+
+    def test_loss_decreases_with_rate(self):
+        """Within one modulation, higher code rate -> lower loss (paper)."""
+        assert throughput_loss("qam64-2/3", "CH1") > throughput_loss(
+            "qam64-3/4", "CH1"
+        ) > throughput_loss("qam64-5/6", "CH1")
+
+    def test_summary_renders(self):
+        text = summary()
+        assert "qam256" in text
+        assert "14.58%" in text

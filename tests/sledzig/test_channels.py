@@ -1,0 +1,102 @@
+"""Tests for ZigBee/WiFi channel overlap geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sledzig.channels import (
+    OVERLAP_SPAN,
+    all_channels,
+    get_channel,
+    overlap_channel,
+    wifi_center_frequency_mhz,
+    zigbee_center_frequency_mhz,
+)
+
+
+class TestFrequencies:
+    def test_wifi_channel_13(self):
+        assert wifi_center_frequency_mhz(13) == 2472.0
+
+    def test_wifi_channel_1(self):
+        assert wifi_center_frequency_mhz(1) == 2412.0
+
+    def test_zigbee_channels(self):
+        assert zigbee_center_frequency_mhz(11) == 2405.0
+        assert zigbee_center_frequency_mhz(26) == 2480.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            wifi_center_frequency_mhz(14)
+        with pytest.raises(ConfigurationError):
+            zigbee_center_frequency_mhz(27)
+
+
+class TestOverlap:
+    def test_four_channels(self):
+        channels = all_channels()
+        assert [ch.zigbee_channel for ch in channels] == [23, 24, 25, 26]
+        assert [ch.name for ch in channels] == ["CH1", "CH2", "CH3", "CH4"]
+
+    def test_paper_offsets(self):
+        """Fig. 2 geometry: offsets -7, -2, +3, +8 MHz from WiFi ch13."""
+        offsets = [ch.center_offset_hz / 1e6 for ch in all_channels()]
+        assert offsets == [-7.0, -2.0, 3.0, 8.0]
+
+    def test_ch1_to_ch3_contain_one_pilot(self):
+        for ch in all_channels()[:3]:
+            assert len(ch.pilot_subcarriers) == 1
+            assert ch.n_data_subcarriers == 7
+            assert ch.has_pilot
+
+    def test_ch4_contains_three_nulls(self):
+        ch4 = all_channels()[3]
+        assert len(ch4.null_subcarriers) == 3
+        assert ch4.n_data_subcarriers == 5
+        assert not ch4.has_pilot
+
+    def test_span_is_eight(self):
+        for ch in all_channels():
+            assert len(ch.subcarriers) == OVERLAP_SPAN == 8
+
+    def test_exact_subcarrier_sets(self):
+        """The spans derived from the centre offsets (paper Section IV-B)."""
+        ch1, ch2, ch3, ch4 = all_channels()
+        assert ch1.subcarriers == tuple(range(-26, -18))
+        assert ch2.subcarriers == tuple(range(-10, -2))
+        assert ch3.subcarriers == tuple(range(6, 14))
+        assert ch4.subcarriers == tuple(range(22, 30))
+        assert ch1.pilot_subcarriers == (-21,)
+        assert ch2.pilot_subcarriers == (-7,)
+        assert ch3.pilot_subcarriers == (7,)
+
+    def test_other_wifi_channels_same_pattern(self):
+        """Every WiFi channel overlaps four ZigBee channels similarly."""
+        for wifi_ch in (1, 6, 13):
+            channels = all_channels(wifi_ch)
+            assert len(channels) == 4
+
+    def test_non_overlapping_zigbee_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overlap_channel(11, wifi_channel=13)
+
+
+class TestGetChannel:
+    def test_by_name(self):
+        assert get_channel("ch2").index == 2
+        assert get_channel("CH4").index == 4
+
+    def test_by_paper_index(self):
+        assert get_channel(1).zigbee_channel == 23
+
+    def test_by_zigbee_number(self):
+        assert get_channel(26).index == 4
+
+    def test_passthrough(self):
+        ch = get_channel("CH1")
+        assert get_channel(ch) is ch
+
+    def test_bad_name(self):
+        with pytest.raises(ConfigurationError):
+            get_channel("CH5")

@@ -1,0 +1,94 @@
+"""Tests for extra-bit stripping and ZigBee-channel detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError
+from repro.sledzig.channels import all_channels
+from repro.sledzig.decoder import SledZigDecoder, detect_zigbee_channel
+from repro.sledzig.encoder import SledZigEncoder
+from repro.utils.bits import random_bits
+from repro.wifi.params import get_mcs
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.transmitter import WifiTransmitter
+
+
+def _roundtrip(mcs_name, channel, n_data, rng):
+    encoder = SledZigEncoder(mcs_name, channel)
+    data = random_bits(n_data, rng)
+    result = encoder.encode(data)
+    frame = WifiTransmitter(mcs_name).transmit_scrambled_field(
+        result.stream, result.layout, result.signal_length_octets
+    )
+    reception = WifiReceiver().receive(frame.waveform)
+    return data, result, reception
+
+
+class TestStrip:
+    @pytest.mark.parametrize("mcs_name", ["qam16-1/2", "qam64-5/6", "qam256-3/4"])
+    def test_recovers_data_with_known_channel(self, mcs_name, channel_name, rng):
+        data, result, reception = _roundtrip(mcs_name, channel_name, 480, rng)
+        decoder = SledZigDecoder(channel_name)
+        out = decoder.decode(reception, n_data_bits=data.size)
+        assert np.array_equal(out.data_bits, data)
+        assert out.n_extra_bits == result.n_extra_bits
+
+    def test_without_length_returns_tail_and_pad(self, rng):
+        data, result, reception = _roundtrip("qam16-1/2", "CH2", 200, rng)
+        out = SledZigDecoder("CH2").decode(reception)
+        assert out.data_bits.size >= data.size
+        assert np.array_equal(out.data_bits[: data.size], data)
+
+    def test_requesting_too_much_rejected(self, rng):
+        _, _, reception = _roundtrip("qam16-1/2", "CH2", 100, rng)
+        with pytest.raises(DecodingError):
+            SledZigDecoder("CH2").decode(reception, n_data_bits=10_000)
+
+    def test_strip_static_method(self, rng):
+        data, result, reception = _roundtrip("qam64-2/3", "CH4", 300, rng)
+        out = SledZigDecoder.strip(
+            reception.descrambled_field, reception.mcs, "CH4", n_data_bits=300
+        )
+        assert np.array_equal(out.data_bits, data)
+
+
+class TestChannelDetection:
+    @pytest.mark.parametrize("mcs_name", ["qam16-1/2", "qam64-2/3", "qam256-5/6"])
+    def test_detects_each_channel(self, mcs_name, channel_name, rng):
+        _, _, reception = _roundtrip(mcs_name, channel_name, 600, rng)
+        detection = detect_zigbee_channel(reception.data_points)
+        assert detection.channel is not None
+        assert detection.channel.name == channel_name
+
+    def test_normal_wifi_detects_nothing(self, rng):
+        frame = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 100, rng))
+        reception = WifiReceiver().receive(frame.waveform)
+        detection = detect_zigbee_channel(reception.data_points)
+        assert detection.channel is None
+
+    def test_auto_decode_uses_detection(self, rng):
+        data, _, reception = _roundtrip("qam64-3/4", "CH3", 400, rng)
+        out = SledZigDecoder().decode(reception, n_data_bits=400)
+        assert np.array_equal(out.data_bits, data)
+        assert out.detection is not None
+        assert out.detection.channel.name == "CH3"
+
+    def test_decode_normal_frame_raises(self, rng):
+        frame = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 60, rng))
+        reception = WifiReceiver().receive(frame.waveform)
+        with pytest.raises(DecodingError):
+            SledZigDecoder().decode(reception)
+
+    def test_ratio_ordering(self, rng):
+        """The protected channel's ratio is far below all others."""
+        _, _, reception = _roundtrip("qam256-3/4", "CH1", 500, rng)
+        detection = detect_zigbee_channel(reception.data_points)
+        ratios = list(detection.ratios_db)
+        protected = ratios[0]  # CH1
+        assert protected < min(ratios[1:]) - 3.0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(DecodingError):
+            detect_zigbee_channel([np.zeros(10)])

@@ -1,0 +1,80 @@
+"""Tests for the SledZig encoder (framing, scrambling, verification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sledzig.encoder import SledZigEncoder
+from repro.sledzig.insertion import verify_stream
+from repro.sledzig.significant import extra_bits_per_symbol
+from repro.utils.bits import random_bits
+from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
+from repro.wifi.ppdu import SERVICE_BITS, TAIL_BITS
+
+
+class TestFraming:
+    def test_symbol_count_accounts_for_overhead(self, rng):
+        mcs = get_mcs("qam16-1/2")  # 96 - 14 = 82 payload bits per symbol
+        encoder = SledZigEncoder(mcs, "CH1")
+        n_data = 500
+        expected = -(-(SERVICE_BITS + n_data + TAIL_BITS) // (96 - 14))
+        assert encoder.frame_symbols(n_data) == expected
+
+    def test_more_symbols_than_plain_wifi(self, rng):
+        """SledZig frames are longer — that is the throughput loss."""
+        from repro.wifi.ppdu import plan_data_field
+
+        mcs = get_mcs("qam64-2/3")
+        n_data = 4000
+        plain = plan_data_field(n_data, mcs).n_symbols
+        sled = SledZigEncoder(mcs, "CH1").frame_symbols(n_data)
+        assert sled > plain
+        # Ratio approximates the Table IV loss (14.58% for this combo).
+        assert (1 - plain / sled) == pytest.approx(0.1458, abs=0.02)
+
+    @pytest.mark.parametrize("name", PAPER_MCS_NAMES)
+    def test_encode_verifies(self, name, channel_name, rng):
+        encoder = SledZigEncoder(name, channel_name)
+        result = encoder.encode(random_bits(700, rng))
+        assert verify_stream(result.stream, name, channel_name) == []
+        assert result.n_extra_bits == (
+            extra_bits_per_symbol(name, channel_name) * result.plan.n_symbols
+        )
+
+    def test_overhead_fraction(self, rng):
+        result = SledZigEncoder("qam16-3/4", "CH4").encode(random_bits(800, rng))
+        assert result.overhead_fraction == pytest.approx(10 / 144)
+
+    def test_layout_consistent(self, rng):
+        result = SledZigEncoder("qam64-3/4", "CH2").encode(random_bits(300, rng))
+        assert result.layout.n_total_bits == result.stream.size
+        assert result.layout.n_symbols == result.plan.n_symbols
+
+    def test_tail_zeroed_in_stream(self, rng):
+        """The six scrambled tail bits sit at their (post-insertion) slots
+        as zeros."""
+        result = SledZigEncoder("qam16-1/2", "CH1").encode(random_bits(100, rng))
+        occupied = np.ones(result.stream.size, dtype=bool)
+        occupied[list(result.plan.extra_positions)] = False
+        payload_positions = np.flatnonzero(occupied)
+        tail_slots = payload_positions[
+            SERVICE_BITS + 100 : SERVICE_BITS + 100 + TAIL_BITS
+        ]
+        assert np.all(result.stream[tail_slots] == 0)
+
+
+class TestRejections:
+    def test_bpsk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SledZigEncoder("bpsk-1/2", "CH1")
+
+    def test_qpsk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SledZigEncoder("qpsk-3/4", "CH1")
+
+    def test_giant_payload_rejected(self, rng):
+        encoder = SledZigEncoder("qam16-1/2", "CH1")
+        with pytest.raises(ConfigurationError):
+            encoder.encode(random_bits(40_000, rng))

@@ -1,0 +1,116 @@
+"""Tests for the cluster-based extra-bit insertion solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsertionError
+from repro.sledzig.insertion import (
+    Constraint,
+    build_stream,
+    plan_insertion,
+    verify_stream,
+)
+from repro.sledzig.significant import extra_bits_per_symbol
+from repro.utils.bits import random_bits
+from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
+
+ALL_COMBOS = [(m, c) for m in PAPER_MCS_NAMES for c in ("CH1", "CH2", "CH3", "CH4")]
+
+
+class TestPlan:
+    @pytest.mark.parametrize("mcs_name,channel", ALL_COMBOS)
+    def test_extra_count_is_k_per_symbol(self, mcs_name, channel):
+        """One extra bit per significant bit — the paper's accounting."""
+        k = extra_bits_per_symbol(mcs_name, channel)
+        for n_symbols in (1, 3):
+            plan = plan_insertion(mcs_name, channel, n_symbols)
+            assert plan.n_extra == k * n_symbols
+
+    def test_positions_sorted_unique(self):
+        plan = plan_insertion("qam256-5/6", "CH2", 4)
+        positions = list(plan.extra_positions)
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_positions_within_stream(self, qam_mcs_name, channel_name):
+        plan = plan_insertion(qam_mcs_name, channel_name, 2)
+        assert all(0 <= p < plan.n_stream_bits for p in plan.extra_positions)
+
+    def test_capacity_accounting(self):
+        mcs = get_mcs("qam16-1/2")
+        plan = plan_insertion(mcs, "CH1", 5)
+        assert plan.payload_capacity == 5 * 96 - 5 * 14
+
+    def test_plan_is_cached(self):
+        a = plan_insertion("qam16-1/2", "CH1", 2)
+        b = plan_insertion("qam16-1/2", "CH1", 2)
+        assert a is b
+
+    def test_zero_symbols_rejected(self):
+        with pytest.raises(InsertionError):
+            plan_insertion("qam16-1/2", "CH1", 0)
+
+    def test_clusters_cover_all_constraints(self, qam_mcs_name, channel_name):
+        plan = plan_insertion(qam_mcs_name, channel_name, 3)
+        total = sum(len(c.constraints) for c in plan.clusters)
+        assert total == plan.n_extra
+
+
+class TestBuildStream:
+    @pytest.mark.parametrize("mcs_name,channel", ALL_COMBOS)
+    def test_all_constraints_satisfied(self, mcs_name, channel, rng):
+        """The core invariant: re-encoding meets every significant bit."""
+        plan = plan_insertion(mcs_name, channel, 3)
+        payload = random_bits(plan.payload_capacity, rng)
+        stream = build_stream(plan, payload)
+        assert verify_stream(stream, mcs_name, channel) == []
+
+    @pytest.mark.parametrize("mcs_name,channel", ALL_COMBOS)
+    def test_payload_preserved_in_order(self, mcs_name, channel, rng):
+        plan = plan_insertion(mcs_name, channel, 2)
+        payload = random_bits(plan.payload_capacity, rng)
+        stream = build_stream(plan, payload)
+        keep = np.ones(plan.n_stream_bits, dtype=bool)
+        keep[list(plan.extra_positions)] = False
+        assert np.array_equal(stream[keep], payload)
+
+    def test_wrong_payload_size_rejected(self, rng):
+        plan = plan_insertion("qam16-1/2", "CH1", 1)
+        with pytest.raises(InsertionError):
+            build_stream(plan, random_bits(plan.payload_capacity + 1, rng))
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_payloads(self, seed):
+        """For any payload, the solved stream satisfies the constraints and
+        the extra positions are payload-independent."""
+        rng = np.random.default_rng(seed)
+        plan = plan_insertion("qam64-5/6", "CH2", 2)
+        payload = random_bits(plan.payload_capacity, rng)
+        stream = build_stream(plan, payload)
+        assert verify_stream(stream, "qam64-5/6", "CH2") == []
+
+    def test_deterministic_for_same_payload(self, rng):
+        plan = plan_insertion("qam256-3/4", "CH4", 2)
+        payload = random_bits(plan.payload_capacity, rng)
+        a = build_stream(plan, payload)
+        b = build_stream(plan, payload.copy())
+        assert np.array_equal(a, b)
+
+
+class TestVerifyStream:
+    def test_detects_violations(self, rng):
+        """A plain random stream violates roughly half the constraints."""
+        mcs = get_mcs("qam16-1/2")
+        stream = random_bits(2 * mcs.n_dbps, rng)
+        violated = verify_stream(stream, mcs, "CH1")
+        assert len(violated) > 0
+        assert all(isinstance(v, Constraint) for v in violated)
+
+    def test_partial_symbol_rejected(self, rng):
+        with pytest.raises(InsertionError):
+            verify_stream(random_bits(10, rng), "qam16-1/2", "CH1")

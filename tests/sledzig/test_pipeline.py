@@ -1,0 +1,85 @@
+"""End-to-end SledZig pipeline tests (bytes -> waveform -> bytes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.errors import DecodingError
+from repro.sledzig.pipeline import SledZigReceiver, SledZigTransmitter
+from repro.wifi.params import PAPER_MCS_NAMES
+
+
+def _payload(rng, n=60) -> bytes:
+    return bytes(rng.integers(0, 256, size=n, dtype=np.uint8))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("mcs_name", PAPER_MCS_NAMES)
+    def test_all_mcs_all_channels(self, mcs_name, channel_name, rng):
+        payload = _payload(rng)
+        tx = SledZigTransmitter(mcs_name, channel_name)
+        packet = tx.send(payload)
+        received = SledZigReceiver().receive(packet.waveform)
+        assert received.payload == payload
+        assert received.channel.name == channel_name
+        assert received.mcs.name == mcs_name
+
+    def test_pinned_receiver(self, rng):
+        payload = _payload(rng)
+        packet = SledZigTransmitter("qam64-2/3", "CH2").send(payload)
+        received = SledZigReceiver(channel="CH2").receive(packet.waveform)
+        assert received.payload == payload
+        assert received.detection is None
+
+    def test_empty_payload(self, rng):
+        packet = SledZigTransmitter("qam16-1/2", "CH1").send(b"")
+        assert SledZigReceiver().receive(packet.waveform).payload == b""
+
+    def test_duration_reflects_overhead(self, rng):
+        from repro.wifi.transmitter import WifiTransmitter
+
+        payload = _payload(rng, 400)
+        sled = SledZigTransmitter("qam16-1/2", "CH1").send(payload)
+        plain = WifiTransmitter("qam16-1/2").transmit(
+            np.frombuffer(payload, dtype=np.uint8).repeat(8) % 2
+        )
+        assert sled.duration_us > plain.duration_us
+
+    def test_noise_tolerance(self, rng):
+        """SledZig frames decode at the same SNR as plain WiFi frames."""
+        payload = _payload(rng, 40)
+        packet = SledZigTransmitter("qam16-1/2", "CH3").send(payload)
+        noisy = awgn(packet.waveform, 16.0, rng)
+        assert SledZigReceiver().receive(noisy).payload == payload
+
+    def test_oversized_payload_rejected(self, rng):
+        tx = SledZigTransmitter("qam256-5/6", "CH4")
+        with pytest.raises(Exception):
+            tx.send(bytes(70_000))
+
+
+class TestInteroperability:
+    def test_standard_receiver_sees_valid_frame(self, rng):
+        """A stock 802.11 receiver decodes the PPDU without any SledZig
+        knowledge — the compatibility claim."""
+        from repro.wifi.receiver import WifiReceiver
+
+        packet = SledZigTransmitter("qam64-2/3", "CH1").send(_payload(rng))
+        reception = WifiReceiver().receive(packet.waveform)
+        assert reception.mcs.name == "qam64-2/3"
+        assert reception.psdu_bits.size == reception.layout.n_psdu_bits
+
+    def test_transmit_power_unchanged(self, rng):
+        """Total transmit power stays within a fraction of a dB of normal
+        WiFi (the energy moves, it does not disappear... only the protected
+        subcarriers lose power)."""
+        from repro.utils.db import signal_power_db
+        from repro.utils.bits import random_bits
+        from repro.wifi.transmitter import WifiTransmitter
+
+        sled = SledZigTransmitter("qam16-1/2", "CH4").send(_payload(rng, 200))
+        plain = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 220, rng))
+        delta = signal_power_db(sled.waveform) - signal_power_db(plain.waveform)
+        assert abs(delta) < 1.0

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the SledZig core invariants.
+
+These are the invariants a downstream user implicitly relies on:
+
+1. *Roundtrip*: for any payload, encode -> standard chain -> decode returns
+   the payload, on every (MCS, channel) pair.
+2. *Constraint satisfaction*: for any payload, every significant bit holds
+   after the standard convolutional encoder.
+3. *Position determinism*: extra-bit positions never depend on payload.
+4. *Power*: the protected subcarriers of any frame carry exactly the
+   lowest-point power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sledzig.channels import get_channel
+from repro.sledzig.encoder import SledZigEncoder
+from repro.sledzig.insertion import verify_stream
+from repro.sledzig.pipeline import SledZigReceiver, SledZigTransmitter
+from repro.utils.bits import random_bits
+from repro.wifi.constellation import normalisation_factor
+from repro.wifi.params import data_subcarrier_index, get_mcs
+
+MCS_NAMES = st.sampled_from(["qam16-1/2", "qam64-2/3", "qam64-5/6", "qam256-3/4"])
+CHANNELS = st.sampled_from(["CH1", "CH2", "CH3", "CH4"])
+
+_slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRoundtripProperty:
+    @given(payload=st.binary(min_size=0, max_size=120), mcs=MCS_NAMES, channel=CHANNELS)
+    @_slow
+    def test_any_payload_roundtrips(self, payload, mcs, channel):
+        packet = SledZigTransmitter(mcs, channel).send(payload)
+        received = SledZigReceiver().receive(packet.waveform)
+        assert received.payload == payload
+        assert received.channel.name == channel
+
+
+class TestConstraintProperty:
+    @given(seed=st.integers(0, 2**16), mcs=MCS_NAMES, channel=CHANNELS)
+    @_slow
+    def test_constraints_always_hold(self, seed, mcs, channel):
+        rng = np.random.default_rng(seed)
+        n_bits = int(rng.integers(8, 1600))
+        result = SledZigEncoder(mcs, channel).encode(random_bits(n_bits, rng))
+        assert verify_stream(result.stream, mcs, channel) == []
+
+    @given(seed=st.integers(0, 2**16))
+    @_slow
+    def test_positions_payload_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        encoder = SledZigEncoder("qam64-3/4", "CH2")
+        a = encoder.encode(random_bits(600, rng))
+        b = encoder.encode(random_bits(600, rng))
+        assert a.plan.extra_positions == b.plan.extra_positions
+
+
+class TestPowerProperty:
+    @given(seed=st.integers(0, 2**16), mcs=MCS_NAMES, channel=CHANNELS)
+    @_slow
+    def test_protected_points_are_lowest_power(self, seed, mcs, channel):
+        """Every QAM point on a protected data subcarrier of every DATA
+        symbol has magnitude sqrt(2) * K_mod exactly."""
+        rng = np.random.default_rng(seed)
+        payload = bytes(rng.integers(0, 256, size=int(rng.integers(4, 80)), dtype=np.uint8))
+        packet = SledZigTransmitter(mcs, channel).send(payload)
+        ch = get_channel(channel)
+        modulation = get_mcs(mcs).modulation
+        lowest = normalisation_factor(modulation) * np.sqrt(2.0)
+        indices = [data_subcarrier_index(k) for k in ch.data_subcarriers]
+        for spectrum in packet.frame.data_spectra:
+            from repro.wifi.ofdm import extract_subcarriers
+
+            points, _ = extract_subcarriers(spectrum)
+            magnitudes = np.abs(points[indices])
+            assert np.allclose(magnitudes, lowest, atol=1e-9)
+
+    @given(seed=st.integers(0, 2**16))
+    @_slow
+    def test_unprotected_power_distribution_unchanged(self, seed):
+        """Subcarriers outside the span keep the full constellation: their
+        average power stays near 1 (unit-power normalisation)."""
+        rng = np.random.default_rng(seed)
+        payload = bytes(rng.integers(0, 256, size=150, dtype=np.uint8))
+        packet = SledZigTransmitter("qam64-2/3", "CH1").send(payload)
+        ch = get_channel("CH1")
+        outside = [
+            data_subcarrier_index(k)
+            for k in range(-26, 27)
+            if k != 0
+            and k not in (-21, -7, 7, 21)
+            and k not in ch.subcarriers
+        ]
+        powers = []
+        for spectrum in packet.frame.data_spectra:
+            from repro.wifi.ofdm import extract_subcarriers
+
+            points, _ = extract_subcarriers(spectrum)
+            powers.append(np.mean(np.abs(points[outside]) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, abs=0.15)

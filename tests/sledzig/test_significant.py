@@ -1,0 +1,102 @@
+"""Tests for significant-bit derivation (Sections IV-A to IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sledzig.significant import (
+    constraint_map_for_symbols,
+    extra_bits_per_symbol,
+    significant_bits_for_symbol,
+    significant_positions_paper,
+)
+from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
+
+#: Expected counts per symbol (paper Tables II/III, corrected for the
+#: QAM-64 2/3 typo — see EXPERIMENTS.md).
+EXPECTED_COUNTS = {
+    ("qam16", "CH1"): 14, ("qam16", "CH4"): 10,
+    ("qam64", "CH1"): 28, ("qam64", "CH4"): 20,
+    ("qam256", "CH1"): 42, ("qam256", "CH4"): 30,
+}
+
+
+class TestCounts:
+    @pytest.mark.parametrize("name", PAPER_MCS_NAMES)
+    @pytest.mark.parametrize("channel", ["CH1", "CH2", "CH3", "CH4"])
+    def test_paper_counts(self, name, channel):
+        mcs = get_mcs(name)
+        group = "CH4" if channel == "CH4" else "CH1"
+        expected = EXPECTED_COUNTS[(mcs.modulation, group)]
+        assert extra_bits_per_symbol(mcs, channel) == expected
+
+    def test_count_independent_of_rate(self):
+        """The paper's observation: puncturing never hits significant bits."""
+        for rate in ("2/3", "3/4", "5/6"):
+            assert extra_bits_per_symbol(f"qam64-{rate}", "CH2") == 28
+
+
+class TestPositions:
+    def test_sorted_unique(self, qam_mcs_name, channel_name):
+        bits = significant_bits_for_symbol(qam_mcs_name, channel_name)
+        positions = [b.position for b in bits]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_positions_inside_symbol(self, qam_mcs_name, channel_name):
+        mcs = get_mcs(qam_mcs_name)
+        for bit in significant_bits_for_symbol(mcs, channel_name):
+            assert 0 <= bit.position < 2 * mcs.n_dbps
+
+    def test_positions_survive_puncturing(self, channel_name):
+        """Every significant position maps to a transmitted bit."""
+        from repro.wifi.puncture import is_punctured
+
+        for name in PAPER_MCS_NAMES:
+            mcs = get_mcs(name)
+            for bit in significant_bits_for_symbol(mcs, channel_name):
+                assert not is_punctured(bit.position, mcs.coding_rate)
+
+    def test_encoder_step_and_branch(self):
+        bits = significant_bits_for_symbol("qam16-1/2", "CH2")
+        for bit in bits:
+            assert bit.encoder_step == bit.position // 2
+            assert bit.branch == bit.position % 2
+
+    def test_values_match_constellation_pattern(self, qam_mcs_name):
+        from repro.wifi.constellation import significant_bit_pattern
+
+        mcs = get_mcs(qam_mcs_name)
+        pattern = significant_bit_pattern(mcs.modulation)
+        for bit in significant_bits_for_symbol(mcs, "CH3"):
+            assert bit.value == pattern[bit.bit_offset]
+
+    def test_one_based_helper(self):
+        zero_based = [b.position for b in significant_bits_for_symbol("qam16-1/2", "CH2")]
+        one_based = significant_positions_paper("qam16-1/2", "CH2")
+        assert one_based == [p + 1 for p in zero_based]
+
+
+class TestConstraintMap:
+    def test_repeats_per_symbol(self):
+        mcs = get_mcs("qam16-1/2")
+        per_symbol = significant_bits_for_symbol(mcs, "CH1")
+        cmap = constraint_map_for_symbols(mcs, "CH1", 3)
+        assert len(cmap) == 3 * len(per_symbol)
+        stride = 2 * mcs.n_dbps
+        for bit in per_symbol:
+            for s in range(3):
+                value, _ = cmap[s * stride + bit.position]
+                assert value == bit.value
+
+
+class TestRejections:
+    def test_bpsk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            significant_bits_for_symbol("bpsk-1/2", "CH1")
+
+    def test_qpsk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            significant_bits_for_symbol("qpsk-1/2", "CH1")

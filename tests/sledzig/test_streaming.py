@@ -1,0 +1,49 @@
+"""Tests for the multi-frame streaming API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sledzig.pipeline import SledZigReceiver, SledZigTransmitter
+
+
+class TestStreaming:
+    def test_large_payload_splits_and_roundtrips(self, rng):
+        tx = SledZigTransmitter("qam16-1/2", "CH1")
+        rx = SledZigReceiver()
+        payload = bytes(rng.integers(0, 256, size=8000, dtype=np.uint8))
+        frames = tx.send_stream(payload)
+        assert len(frames) >= 2
+        recovered = b"".join(rx.receive(f.waveform).payload for f in frames)
+        assert recovered == payload
+
+    def test_small_payload_single_frame(self, rng):
+        tx = SledZigTransmitter("qam64-2/3", "CH4")
+        frames = tx.send_stream(b"tiny")
+        assert len(frames) == 1
+        assert frames[0].payload == b"tiny"
+
+    def test_empty_payload(self):
+        tx = SledZigTransmitter("qam256-3/4", "CH2")
+        frames = tx.send_stream(b"")
+        assert len(frames) == 1
+        assert SledZigReceiver().receive(frames[0].waveform).payload == b""
+
+    def test_max_payload_respects_length_field(self):
+        """Every (MCS, channel) pair must fit its max payload in one frame."""
+        for name in ("qam16-1/2", "qam64-5/6", "qam256-3/4"):
+            for channel in ("CH1", "CH4"):
+                tx = SledZigTransmitter(name, channel)
+                limit = tx.max_payload_per_frame()
+                assert limit > 0
+                packet = tx.send(bytes(limit))
+                assert packet.frame.psdu_octets <= 4095
+
+    def test_chunking_boundaries_exact(self, rng):
+        tx = SledZigTransmitter("qam64-2/3", "CH3")
+        chunk = min(tx.max_payload_per_frame(), 65535)
+        payload = bytes(rng.integers(0, 256, size=2 * chunk, dtype=np.uint8))
+        frames = tx.send_stream(payload)
+        assert len(frames) == 2
+        assert len(frames[0].payload) == chunk

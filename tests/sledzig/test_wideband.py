@@ -1,0 +1,132 @@
+"""Tests for the 40 MHz (HT40) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InsertionError
+from repro.sledzig.wideband import (
+    build_wide_stream,
+    wide_expected_decrease_db,
+    wide_extra_bits_per_symbol,
+    wide_overlap_channels,
+    wide_significant_positions,
+    wide_throughput_loss,
+    wide_wifi_center_mhz,
+)
+from repro.utils.bits import random_bits
+from repro.wifi.ht40 import HT40_MCS_TABLE, get_ht40_mcs
+
+ALL_HT40 = sorted(HT40_MCS_TABLE)
+
+
+class TestGeometry:
+    def test_eight_channels(self):
+        channels = wide_overlap_channels()
+        assert len(channels) == 8
+        assert [ch.zigbee_channel for ch in channels] == list(range(19, 27))
+
+    def test_span_is_eight_subcarriers(self):
+        for ch in wide_overlap_channels():
+            assert len(ch.subcarriers) == 8
+
+    def test_pilot_and_null_accounting(self):
+        channels = {ch.name: ch for ch in wide_overlap_channels()}
+        # Four of the eight spans contain one pilot each (6 HT40 pilots,
+        # two fall outside any ZigBee span).
+        with_pilot = [ch for ch in channels.values() if ch.pilot_subcarriers]
+        assert len(with_pilot) == 4
+        # The edge channel overlaps the guard band.
+        assert channels["W8"].null_subcarriers == (59, 60, 61)
+        assert len(channels["W8"].data_subcarriers) == 5
+
+    def test_ht40_center_below_primary(self):
+        assert wide_wifi_center_mhz(13) == 2462.0
+
+    def test_unknown_zigbee_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wide_significant_positions("ht40-qam16-1/2", 11)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("name", ALL_HT40)
+    def test_count_formula(self, name):
+        """Extra bits = data subcarriers in span x significant bits/point."""
+        mcs = get_ht40_mcs(name)
+        per_point = {"qam16": 2, "qam64": 4, "qam256": 6}[mcs.modulation]
+        for ch in wide_overlap_channels():
+            expected = len(ch.data_subcarriers) * per_point
+            assert wide_extra_bits_per_symbol(name, ch.zigbee_channel) == expected
+
+    @pytest.mark.parametrize("name", ALL_HT40)
+    def test_loss_cheaper_than_20mhz(self, name):
+        """Doubling the channel roughly halves the relative overhead."""
+        losses = [
+            wide_throughput_loss(name, ch.zigbee_channel)
+            for ch in wide_overlap_channels()
+        ]
+        assert max(losses) < 0.08  # vs up to 14.58% at 20 MHz
+
+    def test_positions_sorted_unique(self):
+        pairs = wide_significant_positions("ht40-qam256-5/6", 24)
+        positions = [p for p, _ in pairs]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_expected_decrease_ordering(self):
+        """Pilot-free spans reach the full constellation decrease."""
+        pilot_free = wide_expected_decrease_db("ht40-qam64-2/3", 20)
+        pilot_limited = wide_expected_decrease_db("ht40-qam64-2/3", 19)
+        assert pilot_free == pytest.approx(13.2, abs=0.1)
+        assert pilot_limited < pilot_free
+
+
+class TestStreamBuilding:
+    @pytest.mark.parametrize("name", ["ht40-qam16-1/2", "ht40-qam64-5/6", "ht40-qam256-3/4"])
+    @pytest.mark.parametrize("zigbee", [19, 20, 26])
+    def test_build_and_verify(self, name, zigbee, rng):
+        mcs = get_ht40_mcs(name)
+        k = wide_extra_bits_per_symbol(name, zigbee)
+        n_symbols = 2
+        capacity = n_symbols * (mcs.n_dbps - k)
+        payload = random_bits(capacity, rng)
+        stream, extra = build_wide_stream(name, zigbee, payload, n_symbols)
+        assert stream.size == n_symbols * mcs.n_dbps
+        assert len(extra) == n_symbols * k
+        # Payload preserved in order.
+        keep = np.ones(stream.size, dtype=bool)
+        keep[list(extra)] = False
+        assert np.array_equal(stream[keep], payload)
+
+    def test_wrong_capacity_rejected(self, rng):
+        with pytest.raises(InsertionError):
+            build_wide_stream("ht40-qam16-1/2", 20, random_bits(10, rng), 1)
+
+
+class TestHt40Tables:
+    def test_interleaver_bijection(self):
+        from repro.wifi.ht40 import ht40_deinterleave_permutation, ht40_interleave_permutation
+
+        for name in ALL_HT40:
+            mcs = get_ht40_mcs(name)
+            perm = ht40_interleave_permutation(mcs.n_cbps, mcs.n_bpsc)
+            inv = ht40_deinterleave_permutation(mcs.n_cbps, mcs.n_bpsc)
+            assert sorted(perm) == list(range(mcs.n_cbps))
+            assert all(inv[perm[k]] == k for k in range(0, mcs.n_cbps, 37))
+
+    def test_data_rates(self):
+        # HT40 single stream long-GI: QAM-64 5/6 -> 135 Mbps.
+        assert get_ht40_mcs("qam64-5/6").data_rate_mbps == pytest.approx(135.0)
+        assert get_ht40_mcs("ht40-qam16-1/2").data_rate_mbps == pytest.approx(54.0)
+
+    def test_subcarrier_counts(self):
+        from repro.wifi.ht40 import DATA_SUBCARRIERS, N_DATA_SUBCARRIERS, PILOT_SUBCARRIERS
+
+        assert N_DATA_SUBCARRIERS == 108
+        assert len(PILOT_SUBCARRIERS) == 6
+        assert 0 not in DATA_SUBCARRIERS and 1 not in DATA_SUBCARRIERS
+
+    def test_unknown_mcs(self):
+        with pytest.raises(ConfigurationError):
+            get_ht40_mcs("qam1024-7/8")

@@ -1,0 +1,138 @@
+"""Unit and property tests for repro.utils.bits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.utils import bits as B
+
+bit_lists = st.lists(st.integers(0, 1), max_size=200)
+
+
+class TestAsBits:
+    def test_from_list(self):
+        out = B.as_bits([1, 0, 1])
+        assert out.dtype == np.uint8
+        assert out.tolist() == [1, 0, 1]
+
+    def test_from_string_with_whitespace(self):
+        assert B.as_bits("10 01\n1").tolist() == [1, 0, 0, 1, 1]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            B.as_bits([0, 2, 1])
+
+    def test_empty(self):
+        assert B.as_bits([]).size == 0
+
+    @given(bit_lists)
+    def test_idempotent(self, bits):
+        once = B.as_bits(bits)
+        assert np.array_equal(B.as_bits(once), once)
+
+
+class TestBytesRoundtrip:
+    @given(st.binary(max_size=64))
+    def test_roundtrip_lsb(self, data):
+        assert B.bits_to_bytes(B.bytes_to_bits(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_roundtrip_msb(self, data):
+        bits = B.bytes_to_bits(data, lsb_first=False)
+        assert B.bits_to_bytes(bits, lsb_first=False) == data
+
+    def test_known_value(self):
+        # 0x01 LSB-first is 1 followed by seven zeros.
+        assert B.bytes_to_bits(b"\x01").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_partial_octet_rejected(self):
+        with pytest.raises(EncodingError):
+            B.bits_to_bytes([1, 0, 1])
+
+
+class TestIntConversion:
+    @given(st.integers(0, 2**16 - 1))
+    def test_roundtrip(self, value):
+        assert B.bits_to_int(B.int_to_bits(value, 16)) == value
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_roundtrip_msb(self, value):
+        bits = B.int_to_bits(value, 12, lsb_first=False)
+        assert B.bits_to_int(bits, lsb_first=False) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            B.int_to_bits(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            B.int_to_bits(-1, 8)
+
+
+class TestPadGroup:
+    def test_pad(self):
+        assert B.pad_bits([1, 1], 4).tolist() == [1, 1, 0, 0]
+
+    def test_pad_noop_when_aligned(self):
+        assert B.pad_bits([1, 0, 1, 1], 4).tolist() == [1, 0, 1, 1]
+
+    def test_group(self):
+        grouped = B.group_bits([1, 0, 1, 1], 2)
+        assert grouped.shape == (2, 2)
+
+    def test_group_misaligned_rejected(self):
+        with pytest.raises(EncodingError):
+            B.group_bits([1, 0, 1], 2)
+
+
+class TestDistanceMetrics:
+    def test_hamming(self):
+        assert B.hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            B.hamming_distance([1], [1, 0])
+
+    def test_ber_empty_is_zero(self):
+        assert B.bit_error_rate([], []) == 0.0
+
+    @given(bit_lists)
+    def test_ber_self_is_zero(self, bits):
+        assert B.bit_error_rate(bits, bits) == 0.0
+
+
+class TestInsertRemove:
+    def test_insert_then_remove_roundtrip(self, rng):
+        stream = B.random_bits(50, rng)
+        positions = [0, 10, 25, 52]
+        values = [1, 0, 1, 1]
+        inserted = B.insert_bits(stream, positions, values)
+        assert inserted.size == 54
+        for pos, val in zip(positions, values):
+            assert inserted[pos] == val
+        assert np.array_equal(B.remove_positions(inserted, positions), stream)
+
+    @given(st.data())
+    def test_property_roundtrip(self, data):
+        stream = data.draw(st.lists(st.integers(0, 1), min_size=1, max_size=80))
+        n = len(stream)
+        k = data.draw(st.integers(0, min(10, n)))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, n + k - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        positions = sorted(positions)
+        values = data.draw(st.lists(st.integers(0, 1), min_size=k, max_size=k))
+        inserted = B.insert_bits(stream, positions, values)
+        assert np.array_equal(
+            B.remove_positions(inserted, positions), B.as_bits(stream)
+        )
+
+    def test_remove_out_of_range(self):
+        with pytest.raises(EncodingError):
+            B.remove_positions([1, 0], [5])

@@ -1,0 +1,64 @@
+"""Unit and property tests for dB conversions and power sums."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import db as D
+
+finite_db = st.floats(min_value=-120.0, max_value=60.0)
+
+
+class TestConversions:
+    @given(finite_db)
+    def test_db_roundtrip(self, level):
+        assert D.linear_to_db(D.db_to_linear(level)) == pytest.approx(level, abs=1e-9)
+
+    def test_zero_linear_is_minus_inf(self):
+        assert D.linear_to_db(0.0) == float("-inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            D.linear_to_db(-1.0)
+
+    def test_dbm_watt(self):
+        assert D.dbm_to_watt(30.0) == pytest.approx(1.0)
+        assert D.watt_to_dbm(0.001) == pytest.approx(0.0)
+        assert D.watt_to_dbm(0.0) == float("-inf")
+
+
+class TestPowerSum:
+    def test_equal_levels_add_3db(self):
+        assert D.power_sum_db([-60.0, -60.0]) == pytest.approx(-56.99, abs=0.01)
+
+    def test_dominant_level_wins(self):
+        assert D.power_sum_db([-40.0, -90.0]) == pytest.approx(-40.0, abs=0.01)
+
+    def test_empty_is_minus_inf(self):
+        assert D.power_sum_db([]) == float("-inf")
+
+    def test_minus_inf_ignored(self):
+        assert D.power_sum_db([float("-inf"), -50.0]) == pytest.approx(-50.0)
+
+    @given(st.lists(finite_db, min_size=1, max_size=8))
+    def test_sum_at_least_max(self, levels):
+        assert D.power_sum_db(levels) >= max(levels) - 1e-9
+
+
+class TestSignalPower:
+    def test_unit_tone(self):
+        tone = np.exp(1j * np.linspace(0, 20, 1000))
+        assert D.signal_power(tone) == pytest.approx(1.0, abs=1e-6)
+        assert D.signal_power_db(tone) == pytest.approx(0.0, abs=1e-4)
+
+    def test_empty_is_zero(self):
+        assert D.signal_power(np.array([])) == 0.0
+
+    def test_sinr(self):
+        # Signal -60, interference -70, noise -90: denominator is
+        # -70 dB + 10log10(1.01) ~ -69.96 dB, so SINR ~ 9.96 dB.
+        out = D.sinr_db(-60.0, [-70.0], -90.0)
+        assert out == pytest.approx(9.96, abs=0.05)

@@ -1,0 +1,88 @@
+"""Unit and property tests for the GF(2) toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.galois import gf2_dot, gf2_matvec, gf2_rank, gf2_solve, poly_to_taps
+
+
+class TestDot:
+    def test_basic(self):
+        assert gf2_dot([1, 1, 0], [1, 0, 1]) == 1
+        assert gf2_dot([1, 1, 0], [1, 1, 0]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            gf2_dot([1], [1, 0])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=32))
+    def test_self_dot_is_parity(self, vec):
+        assert gf2_dot(vec, vec) == sum(vec) % 2
+
+
+class TestPolyToTaps:
+    def test_g0(self):
+        # 133 octal = 1011011 binary.
+        assert poly_to_taps(0o133, 7).tolist() == [1, 0, 1, 1, 0, 1, 1]
+
+    def test_g1(self):
+        # 171 octal = 1111001 binary.
+        assert poly_to_taps(0o171, 7).tolist() == [1, 1, 1, 1, 0, 0, 1]
+
+
+class TestSolve:
+    def test_unique_2x2(self):
+        # [[0,1],[1,0]] x = [1,0] -> x = [0,1]
+        solution, unique = gf2_solve([[0, 1], [1, 0]], [1, 0])
+        assert unique
+        assert solution.tolist() == [0, 1]
+
+    def test_identity(self):
+        solution, unique = gf2_solve(np.eye(4, dtype=int), [1, 0, 1, 1])
+        assert unique
+        assert solution.tolist() == [1, 0, 1, 1]
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(EncodingError):
+            gf2_solve([[1, 1], [1, 1]], [0, 1])
+
+    def test_underdetermined_returns_particular(self):
+        solution, unique = gf2_solve([[1, 1]], [1])
+        assert not unique
+        assert (int(solution[0]) ^ int(solution[1])) == 1
+
+    @given(st.integers(1, 6), st.data())
+    def test_random_invertible_systems(self, n, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        # Build a random invertible matrix by accepting only full-rank draws.
+        for _ in range(50):
+            matrix = rng.integers(0, 2, size=(n, n))
+            if gf2_rank(matrix) == n:
+                break
+        else:
+            pytest.skip("no invertible matrix drawn")
+        x = rng.integers(0, 2, size=n)
+        b = matrix @ x % 2
+        solution, unique = gf2_solve(matrix, b)
+        assert unique
+        assert np.array_equal(solution, x % 2)
+
+
+class TestRank:
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 3), dtype=int)) == 0
+
+    def test_identity(self):
+        assert gf2_rank(np.eye(5, dtype=int)) == 5
+
+    def test_duplicate_rows(self):
+        assert gf2_rank([[1, 0, 1], [1, 0, 1]]) == 1
+
+    def test_matvec(self):
+        out = gf2_matvec([[1, 1], [0, 1]], [1, 1])
+        assert out.tolist() == [0, 1]

@@ -1,0 +1,56 @@
+"""Unit tests for parameter validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import validation as V
+
+
+class TestRequire:
+    def test_pass(self):
+        V.require(True, "never raised")
+
+    def test_fail(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            V.require(False, "broken")
+
+
+class TestRequireIn:
+    def test_pass(self):
+        V.require_in("a", ["a", "b"], "choice")
+
+    def test_fail_lists_options(self):
+        with pytest.raises(ConfigurationError, match="choice"):
+            V.require_in("c", ["a", "b"], "choice")
+
+
+class TestRequireRange:
+    def test_within(self):
+        V.require_range(5, "x", 0, 10)
+
+    def test_below(self):
+        with pytest.raises(ConfigurationError):
+            V.require_range(-1, "x", minimum=0)
+
+    def test_above(self):
+        with pytest.raises(ConfigurationError):
+            V.require_range(11, "x", maximum=10)
+
+    def test_unbounded(self):
+        V.require_range(1e9, "x")
+
+
+class TestRequirePositiveLength:
+    def test_positive(self):
+        V.require_positive(0.1, "x")
+
+    def test_zero_fails(self):
+        with pytest.raises(ConfigurationError):
+            V.require_positive(0, "x")
+
+    def test_length(self):
+        V.require_length([1, 2], 2, "pair")
+        with pytest.raises(ConfigurationError):
+            V.require_length([1], 2, "pair")

@@ -1,0 +1,157 @@
+"""Tests for Gray-coded QAM constellations and the significant-bit pattern."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import random_bits
+from repro.wifi.constellation import (
+    constellation_points,
+    demodulate_hard,
+    gray_code,
+    gray_decode,
+    lowest_point_power,
+    lowest_power_axis_groups,
+    modulate,
+    normalisation_factor,
+    significant_bit_pattern,
+)
+from repro.wifi.params import BITS_PER_SUBCARRIER, average_constellation_power
+
+QAMS = ("qam16", "qam64", "qam256")
+ALL = ("bpsk", "qpsk") + QAMS
+
+
+class TestGray:
+    @given(st.integers(0, 1023))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_code(value)) == value
+
+    @given(st.integers(0, 1022))
+    def test_adjacent_codes_differ_in_one_bit(self, value):
+        diff = gray_code(value) ^ gray_code(value + 1)
+        assert bin(diff).count("1") == 1
+
+
+class TestPoints:
+    @pytest.mark.parametrize("mod", ALL)
+    def test_unit_average_power(self, mod):
+        points = constellation_points(mod)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mod", ALL)
+    def test_point_count(self, mod):
+        assert constellation_points(mod).size == 2 ** BITS_PER_SUBCARRIER[mod]
+
+    @pytest.mark.parametrize("mod", ALL)
+    def test_all_points_distinct(self, mod):
+        points = constellation_points(mod)
+        assert len(set(np.round(points, 9))) == points.size
+
+    def test_qam16_gray_axis(self):
+        """802.11 mapping: I from b0b1 with 00->-3, 01->-1, 11->1, 10->3."""
+        k = normalisation_factor("qam16")
+        points = constellation_points("qam16")
+        # Group value is MSB-first [b0 b1 b2 b3].
+        assert points[0b0000] == pytest.approx(k * (-3 - 3j))
+        assert points[0b0111] == pytest.approx(k * (-1 + 1j))
+        assert points[0b1111] == pytest.approx(k * (1 + 1j))
+        assert points[0b1010] == pytest.approx(k * (3 + 3j))
+        assert points[0b1100] == pytest.approx(k * (1 - 3j))
+
+    @pytest.mark.parametrize("mod,avg", [("qam16", 10), ("qam64", 42), ("qam256", 170)])
+    def test_average_unnormalised_power(self, mod, avg):
+        assert average_constellation_power(mod) == avg
+
+
+class TestModDemod:
+    @pytest.mark.parametrize("mod", ALL)
+    def test_roundtrip(self, mod, rng):
+        bits = random_bits(BITS_PER_SUBCARRIER[mod] * 64, rng)
+        assert np.array_equal(demodulate_hard(modulate(bits, mod), mod), bits)
+
+    @pytest.mark.parametrize("mod", QAMS)
+    def test_roundtrip_with_small_noise(self, mod, rng):
+        bits = random_bits(BITS_PER_SUBCARRIER[mod] * 64, rng)
+        symbols = modulate(bits, mod)
+        # Noise well inside half the minimum distance cannot flip decisions.
+        k = normalisation_factor(mod)
+        symbols = symbols + (k * 0.3) * (rng.normal(size=symbols.size)
+                                         + 1j * rng.normal(size=symbols.size)) / 3
+        assert np.array_equal(demodulate_hard(symbols, mod), bits)
+
+    def test_misaligned_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            modulate([1, 0, 1], "qam16")
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ConfigurationError):
+            modulate([1], "qam1024")
+
+    def test_clipping_outliers(self):
+        # Points far outside the grid clamp to the edge level, not crash.
+        bits = demodulate_hard(np.array([100 + 100j]), "qam16")
+        assert bits.size == 4
+
+
+class TestSignificantBits:
+    @pytest.mark.parametrize("mod,count", [("qam16", 2), ("qam64", 4), ("qam256", 6)])
+    def test_pattern_size_matches_paper_table1(self, mod, count):
+        assert len(significant_bit_pattern(mod)) == count
+
+    @pytest.mark.parametrize("mod", QAMS)
+    def test_pattern_forces_lowest_power(self, mod, rng):
+        """Any point whose significant bits hold is one of the 4 lowest."""
+        n = BITS_PER_SUBCARRIER[mod]
+        pattern = significant_bit_pattern(mod)
+        k = normalisation_factor(mod)
+        lowest = k * np.sqrt(2.0)
+        for _ in range(64):
+            bits = random_bits(n, rng)
+            for offset, value in pattern.items():
+                bits[offset] = value
+            point = modulate(bits, mod)[0]
+            assert abs(point) == pytest.approx(lowest)
+
+    @pytest.mark.parametrize("mod", QAMS)
+    def test_violating_pattern_is_not_lowest(self, mod):
+        """Flipping any single significant bit leaves the lowest set."""
+        n = BITS_PER_SUBCARRIER[mod]
+        pattern = significant_bit_pattern(mod)
+        k = normalisation_factor(mod)
+        lowest = k * np.sqrt(2.0)
+        base = np.zeros(n, dtype=np.uint8)
+        for offset, value in pattern.items():
+            base[offset] = value
+        for offset in pattern:
+            flipped = base.copy()
+            flipped[offset] ^= 1
+            assert abs(modulate(flipped, mod)[0]) > lowest * 1.01
+
+    def test_exactly_four_lowest_points(self):
+        for mod in QAMS:
+            points = constellation_points(mod)
+            k = normalisation_factor(mod)
+            n_lowest = int(np.sum(np.isclose(np.abs(points), k * np.sqrt(2))))
+            assert n_lowest == 4
+
+    def test_lowest_point_power_is_two(self):
+        for mod in QAMS:
+            assert lowest_point_power(mod) == 2.0
+
+    def test_bpsk_has_no_pattern(self):
+        with pytest.raises(ConfigurationError):
+            significant_bit_pattern("bpsk")
+
+    def test_qpsk_pattern_empty(self):
+        # All QPSK points have equal power: nothing to force.
+        assert significant_bit_pattern("qpsk") == {}
+
+    def test_axis_groups_have_amplitude_one(self):
+        for bits_per_axis in (2, 3, 4):
+            groups = lowest_power_axis_groups(bits_per_axis)
+            assert len(groups) == 2

@@ -1,0 +1,118 @@
+"""Tests for the K=7 convolutional encoder and Viterbi decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.utils.bits import random_bits
+from repro.wifi.convolutional import (
+    CONSTRAINT_LENGTH,
+    ERASURE,
+    ConvolutionalEncoder,
+    conv_encode,
+    encode_output_bit,
+    viterbi_decode,
+)
+
+
+class TestEncoder:
+    def test_rate_is_half(self, rng):
+        bits = random_bits(100, rng)
+        assert conv_encode(bits).size == 200
+
+    def test_known_impulse_response(self):
+        # A single 1 followed by zeros emits the generator taps interleaved.
+        out = conv_encode([1, 0, 0, 0, 0, 0, 0])
+        # g0 = 1011011, g1 = 1111001 read over successive steps.
+        expected_a = [1, 0, 1, 1, 0, 1, 1]
+        expected_b = [1, 1, 1, 1, 0, 0, 1]
+        assert out[0::2].tolist() == expected_a
+        assert out[1::2].tolist() == expected_b
+
+    def test_linearity(self, rng):
+        """Encoding is linear over GF(2): enc(a^b) = enc(a)^enc(b)."""
+        a = random_bits(64, rng)
+        b = random_bits(64, rng)
+        combined = conv_encode((a ^ b).astype(np.uint8))
+        assert np.array_equal(combined, conv_encode(a) ^ conv_encode(b))
+
+    def test_streaming_matches_block(self, rng):
+        bits = random_bits(90, rng)
+        enc = ConvolutionalEncoder()
+        stream = np.concatenate([enc.encode(bits[:40]), enc.encode(bits[40:])])
+        assert np.array_equal(stream, conv_encode(bits))
+
+    def test_state_tracking(self):
+        enc = ConvolutionalEncoder()
+        enc.encode([1, 1, 0])
+        # State holds the last inputs, newest in the MSB: 011000.
+        assert enc.state == 0b011000
+        enc.reset()
+        assert enc.state == 0
+
+    def test_encode_bit_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            ConvolutionalEncoder().encode_bit(2)
+
+    def test_encode_output_bit_matches_encoder(self, rng):
+        bits = random_bits(30, rng)
+        coded = conv_encode(bits)
+        padded = np.concatenate([np.zeros(6, np.uint8), bits])
+        for n in range(bits.size):
+            window = padded[n : n + 7][::-1]  # [x_n, x_{n-1}, ..., x_{n-6}]
+            assert encode_output_bit(window, 0) == coded[2 * n]
+            assert encode_output_bit(window, 1) == coded[2 * n + 1]
+
+    def test_encode_output_bit_wrong_window(self):
+        with pytest.raises(EncodingError):
+            encode_output_bit([1, 0], 0)
+
+
+class TestViterbi:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_clean_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        data = np.concatenate([random_bits(120, rng), np.zeros(6, np.uint8)])
+        decoded = viterbi_decode(conv_encode(data), n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_corrects_scattered_errors(self, rng):
+        data = np.concatenate([random_bits(200, rng), np.zeros(6, np.uint8)])
+        coded = conv_encode(data)
+        corrupted = coded.copy()
+        # Flip well-separated bits: free distance 10 corrects these easily.
+        for pos in (10, 90, 170, 250, 330):
+            corrupted[pos] ^= 1
+        decoded = viterbi_decode(corrupted, n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_erasures_recoverable(self, rng):
+        data = np.concatenate([random_bits(100, rng), np.zeros(6, np.uint8)])
+        coded = conv_encode(data).copy()
+        coded[5] = ERASURE
+        coded[50] = ERASURE
+        decoded = viterbi_decode(coded, n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DecodingError):
+            viterbi_decode([1, 0, 1])
+
+    def test_too_many_data_bits_rejected(self):
+        with pytest.raises(DecodingError):
+            viterbi_decode([1, 0, 1, 1], n_data_bits=3)
+
+    def test_without_zero_tail_assumption(self, rng):
+        data = random_bits(100, rng)  # no tail
+        decoded = viterbi_decode(
+            conv_encode(data), n_data_bits=data.size, assume_zero_tail=False
+        )
+        assert np.array_equal(decoded, data)
+
+    def test_constraint_length(self):
+        assert CONSTRAINT_LENGTH == 7

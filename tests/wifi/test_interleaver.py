@@ -1,0 +1,107 @@
+"""Tests for the two-permutation 802.11 interleaver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import random_bits
+from repro.wifi.interleaver import (
+    deinterleave,
+    deinterleave_permutation,
+    interleave,
+    interleave_permutation,
+    source_index,
+)
+from repro.wifi.params import MCS_TABLE
+
+MCS_SHAPES = sorted({(m.n_cbps, m.n_bpsc) for m in MCS_TABLE.values()})
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", MCS_SHAPES)
+    def test_is_bijection(self, n_cbps, n_bpsc):
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        assert sorted(perm) == list(range(n_cbps))
+
+    @pytest.mark.parametrize("n_cbps,n_bpsc", MCS_SHAPES)
+    def test_inverse_is_inverse(self, n_cbps, n_bpsc):
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        inv = deinterleave_permutation(n_cbps, n_bpsc)
+        for k, j in enumerate(perm):
+            assert inv[j] == k
+
+    @pytest.mark.parametrize("n_cbps,n_bpsc", MCS_SHAPES)
+    def test_adjacent_bits_on_nonadjacent_subcarriers(self, n_cbps, n_bpsc):
+        """The standard's first-permutation property."""
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        for k in range(n_cbps - 1):
+            sc_a = perm[k] // n_bpsc
+            sc_b = perm[k + 1] // n_bpsc
+            assert abs(sc_a - sc_b) > 1
+
+    def test_bad_ncbps(self):
+        with pytest.raises(ConfigurationError):
+            interleave_permutation(100, 4)
+
+    def test_bpsk_identity_like(self):
+        # BPSK (s=1) second permutation is trivial; still a bijection.
+        perm = interleave_permutation(48, 1)
+        assert sorted(perm) == list(range(48))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", MCS_SHAPES)
+    def test_single_symbol(self, n_cbps, n_bpsc, rng):
+        bits = random_bits(n_cbps, rng)
+        assert np.array_equal(
+            deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc), bits
+        )
+
+    def test_multi_symbol_blocks_independent(self, rng):
+        n_cbps, n_bpsc = 192, 4
+        a = random_bits(n_cbps, rng)
+        b = random_bits(n_cbps, rng)
+        both = interleave(np.concatenate([a, b]), n_cbps, n_bpsc)
+        assert np.array_equal(both[:n_cbps], interleave(a, n_cbps, n_bpsc))
+        assert np.array_equal(both[n_cbps:], interleave(b, n_cbps, n_bpsc))
+
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            interleave([1, 0, 1], 192, 4)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        for n_cbps, n_bpsc in ((192, 4), (288, 6), (384, 8)):
+            bits = random_bits(2 * n_cbps, rng)
+            out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+            assert np.array_equal(out, bits)
+
+
+class TestSourceIndex:
+    def test_matches_permutation(self):
+        n_cbps, n_bpsc = 192, 4
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        for k in (0, 5, 100, 191):
+            assert source_index(perm[k], n_cbps, n_bpsc) == k
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            source_index(192, 192, 4)
+
+    def test_moves_single_bit(self, rng):
+        """Flipping one pre-interleave bit flips exactly the mapped output."""
+        n_cbps, n_bpsc = 288, 6
+        bits = random_bits(n_cbps, rng)
+        flipped = bits.copy()
+        flipped[37] ^= 1
+        a = interleave(bits, n_cbps, n_bpsc)
+        b = interleave(flipped, n_cbps, n_bpsc)
+        diff = np.flatnonzero(a != b)
+        assert diff.size == 1
+        assert source_index(int(diff[0]), n_cbps, n_bpsc) == 37

@@ -1,0 +1,126 @@
+"""Tests for OFDM subcarrier mapping, IFFT/FFT and cyclic prefix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.wifi.constellation import modulate
+from repro.wifi.ofdm import (
+    TIME_SCALE,
+    extract_subcarriers,
+    map_subcarriers,
+    ofdm_demodulate,
+    ofdm_modulate,
+    symbols_to_waveform,
+    waveform_to_symbols,
+)
+from repro.wifi.params import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    PILOT_SUBCARRIERS,
+    SYMBOL_LENGTH,
+    fft_bin,
+)
+from repro.utils.bits import random_bits
+
+
+def _random_points(rng, n=48):
+    return modulate(random_bits(4 * n, rng), "qam16")
+
+
+class TestMapping:
+    def test_dc_and_guard_bins_empty(self, rng):
+        spectrum = map_subcarriers(_random_points(rng))
+        assert spectrum[0] == 0  # DC
+        for k in range(27, 38):  # guard band bins (logical 27..-27)
+            assert spectrum[k] == 0
+
+    def test_pilots_present(self, rng):
+        spectrum = map_subcarriers(_random_points(rng), symbol_index=1)
+        for logical in PILOT_SUBCARRIERS:
+            assert abs(spectrum[fft_bin(logical)]) == pytest.approx(1.0)
+
+    def test_pilot_polarity_changes_with_symbol_index(self, rng):
+        points = _random_points(rng)
+        s0 = map_subcarriers(points, symbol_index=0)
+        s4 = map_subcarriers(points, symbol_index=4)  # polarity -1
+        assert s0[fft_bin(21)] == -s4[fft_bin(21)] or s0[fft_bin(-21)] == -s4[fft_bin(-21)]
+
+    def test_pilots_disabled(self, rng):
+        spectrum = map_subcarriers(_random_points(rng), pilot_enabled=False)
+        for logical in PILOT_SUBCARRIERS:
+            assert spectrum[fft_bin(logical)] == 0
+
+    def test_extract_roundtrip(self, rng):
+        points = _random_points(rng)
+        data, pilots = extract_subcarriers(map_subcarriers(points, symbol_index=2))
+        assert np.allclose(data, points)
+        assert pilots.size == 4
+
+    def test_wrong_point_count(self, rng):
+        with pytest.raises(EncodingError):
+            map_subcarriers(np.ones(47))
+
+
+class TestModDemod:
+    def test_roundtrip(self, rng):
+        spectrum = map_subcarriers(_random_points(rng), symbol_index=1)
+        time = ofdm_modulate(spectrum)
+        assert time.size == SYMBOL_LENGTH
+        assert np.allclose(ofdm_demodulate(time), spectrum, atol=1e-12)
+
+    def test_cp_is_cyclic(self, rng):
+        time = ofdm_modulate(map_subcarriers(_random_points(rng)))
+        assert np.allclose(time[:CP_LENGTH], time[-CP_LENGTH:])
+
+    def test_no_cp(self, rng):
+        spectrum = map_subcarriers(_random_points(rng))
+        time = ofdm_modulate(spectrum, add_cp=False)
+        assert time.size == FFT_SIZE
+        assert np.allclose(ofdm_demodulate(time, has_cp=False), spectrum)
+
+    def test_unit_power_normalisation(self, rng):
+        """52 unit-power subcarriers give ~unit mean sample power."""
+        powers = []
+        for _ in range(50):
+            spectrum = map_subcarriers(_random_points(rng), symbol_index=1)
+            time = ofdm_modulate(spectrum, add_cp=False)
+            powers.append(np.mean(np.abs(time) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.05)
+
+    def test_wrong_sizes_rejected(self):
+        with pytest.raises(EncodingError):
+            ofdm_modulate(np.zeros(63))
+        with pytest.raises(EncodingError):
+            ofdm_demodulate(np.zeros(10))
+
+
+class TestWaveformAssembly:
+    def test_roundtrip_multi_symbol(self, rng):
+        spectra = [map_subcarriers(_random_points(rng), symbol_index=i) for i in range(3)]
+        waveform = symbols_to_waveform(spectra)
+        assert waveform.size == 3 * SYMBOL_LENGTH
+        recovered = waveform_to_symbols(waveform)
+        assert recovered.shape == (3, FFT_SIZE)
+        for a, b in zip(recovered, spectra):
+            assert np.allclose(a, b, atol=1e-12)
+
+    def test_offset_slicing(self, rng):
+        spectra = [map_subcarriers(_random_points(rng), symbol_index=i) for i in range(2)]
+        waveform = np.concatenate([np.zeros(7, complex), symbols_to_waveform(spectra)])
+        recovered = waveform_to_symbols(waveform, n_symbols=2, offset=7)
+        assert np.allclose(recovered[1], spectra[1], atol=1e-12)
+
+    def test_too_many_symbols_requested(self, rng):
+        waveform = symbols_to_waveform([map_subcarriers(_random_points(rng))])
+        with pytest.raises(EncodingError):
+            waveform_to_symbols(waveform, n_symbols=2)
+
+    def test_empty(self):
+        assert symbols_to_waveform([]).size == 0
+
+    def test_time_scale(self):
+        assert TIME_SCALE == pytest.approx(64 / np.sqrt(52))

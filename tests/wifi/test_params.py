@@ -1,0 +1,90 @@
+"""Tests for the 802.11 parameter tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.params import (
+    DATA_SUBCARRIERS,
+    MCS_TABLE,
+    N_DATA_SUBCARRIERS,
+    PAPER_MCS_NAMES,
+    PILOT_POLARITY,
+    PILOT_SUBCARRIERS,
+    SUBCARRIER_SPACING_HZ,
+    average_constellation_power,
+    data_subcarrier_index,
+    fft_bin,
+    get_mcs,
+    subcarrier_frequency_hz,
+)
+
+
+class TestSubcarrierLayout:
+    def test_counts(self):
+        assert N_DATA_SUBCARRIERS == 48
+        assert len(PILOT_SUBCARRIERS) == 4
+        assert len(set(DATA_SUBCARRIERS) & set(PILOT_SUBCARRIERS)) == 0
+
+    def test_no_dc(self):
+        assert 0 not in DATA_SUBCARRIERS
+
+    def test_range(self):
+        assert min(DATA_SUBCARRIERS) == -26
+        assert max(DATA_SUBCARRIERS) == 26
+
+    def test_spacing(self):
+        assert SUBCARRIER_SPACING_HZ == pytest.approx(312_500.0)
+        assert subcarrier_frequency_hz(1) == pytest.approx(312_500.0)
+
+    def test_fft_bin_wraparound(self):
+        assert fft_bin(-1) == 63
+        assert fft_bin(1) == 1
+        with pytest.raises(ConfigurationError):
+            fft_bin(40)
+
+    def test_data_subcarrier_index(self):
+        assert data_subcarrier_index(-26) == 0
+        assert data_subcarrier_index(26) == 47
+        with pytest.raises(ConfigurationError):
+            data_subcarrier_index(7)  # pilot
+
+    def test_pilot_polarity_length(self):
+        assert len(PILOT_POLARITY) == 127
+        assert set(PILOT_POLARITY) == {1, -1}
+
+
+class TestMcsTable:
+    def test_paper_modes_present(self):
+        for name in PAPER_MCS_NAMES:
+            assert name in MCS_TABLE
+
+    @pytest.mark.parametrize("name", sorted(MCS_TABLE))
+    def test_consistency(self, name):
+        mcs = MCS_TABLE[name]
+        assert mcs.n_cbps == 48 * mcs.n_bpsc
+        num, den = mcs.rate_fraction
+        assert mcs.n_dbps == mcs.n_cbps * num // den
+        assert mcs.data_rate_mbps == mcs.n_dbps / 4.0
+
+    def test_paper_data_rates(self):
+        # The classic 802.11a ladder plus 256-QAM extensions.
+        assert get_mcs("qam16-1/2").data_rate_mbps == 24.0
+        assert get_mcs("qam16-3/4").data_rate_mbps == 36.0
+        assert get_mcs("qam64-2/3").data_rate_mbps == 48.0
+        assert get_mcs("qam64-3/4").data_rate_mbps == 54.0
+        assert get_mcs("qam256-5/6").data_rate_mbps == 80.0
+
+    def test_paper_min_snr(self):
+        # Table IV column.
+        assert get_mcs("qam16-1/2").min_snr_db == 11.0
+        assert get_mcs("qam256-5/6").min_snr_db == 31.0
+
+    def test_unknown_mcs(self):
+        with pytest.raises(ConfigurationError):
+            get_mcs("qam1024-9/10")
+
+    def test_average_power_unknown_mod(self):
+        with pytest.raises(ConfigurationError):
+            average_constellation_power("pam4")

@@ -1,0 +1,80 @@
+"""Tests for DATA-field framing (SERVICE, tail, pad)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import random_bits
+from repro.wifi.params import get_mcs
+from repro.wifi.ppdu import (
+    SERVICE_BITS,
+    TAIL_BITS,
+    assemble_data_field,
+    descramble_data_field,
+    extract_psdu,
+    plan_data_field,
+    scramble_data_field,
+)
+from repro.wifi.scrambler import Scrambler
+
+
+class TestPlan:
+    def test_alignment(self):
+        mcs = get_mcs("qam16-1/2")  # 96 data bits per symbol
+        layout = plan_data_field(800, mcs)
+        assert layout.n_total_bits % mcs.n_dbps == 0
+        assert layout.n_symbols == -(-(16 + 800 + 6) // 96)
+        assert layout.n_pad_bits == layout.n_symbols * 96 - 822
+
+    def test_minimum_one_symbol(self):
+        layout = plan_data_field(0, get_mcs("qam256-5/6"))
+        assert layout.n_symbols == 1
+
+    def test_exact_fit_no_pad(self):
+        mcs = get_mcs("qam16-1/2")
+        layout = plan_data_field(96 * 3 - 22, mcs)
+        assert layout.n_pad_bits == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_data_field(-1, get_mcs("qam16-1/2"))
+
+    def test_index_properties(self):
+        layout = plan_data_field(100, get_mcs("qam64-2/3"))
+        assert layout.tail_start == SERVICE_BITS + 100
+        assert layout.pad_start == layout.tail_start + TAIL_BITS
+
+
+class TestAssembly:
+    def test_service_and_tail_zero(self, rng):
+        mcs = get_mcs("qam64-2/3")
+        psdu = random_bits(500, rng)
+        field = assemble_data_field(psdu, mcs)
+        layout = plan_data_field(psdu.size, mcs)
+        assert np.all(field[:SERVICE_BITS] == 0)
+        assert np.all(field[layout.tail_start :] == 0)
+        assert np.array_equal(extract_psdu(field, layout), psdu)
+
+    def test_scramble_roundtrip(self, rng):
+        mcs = get_mcs("qam16-3/4")
+        psdu = random_bits(300, rng)
+        layout = plan_data_field(psdu.size, mcs)
+        field = assemble_data_field(psdu, mcs)
+        scrambler = Scrambler()
+        scrambled = scramble_data_field(field, layout, scrambler)
+        # Tail bits forced to zero post-scramble.
+        assert np.all(
+            scrambled[layout.tail_start : layout.tail_start + TAIL_BITS] == 0
+        )
+        back = descramble_data_field(scrambled, layout, scrambler)
+        assert np.array_equal(extract_psdu(back, layout), psdu)
+
+    def test_length_mismatch_rejected(self, rng):
+        mcs = get_mcs("qam16-1/2")
+        layout = plan_data_field(100, mcs)
+        with pytest.raises(EncodingError):
+            scramble_data_field(random_bits(10, rng), layout, Scrambler())
+        with pytest.raises(EncodingError):
+            descramble_data_field(random_bits(10, rng), layout, Scrambler())

@@ -1,0 +1,93 @@
+"""Tests for the STS/LTS preamble and its detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SynchronizationError
+from repro.wifi.preamble import (
+    PREAMBLE_DURATION_US,
+    PREAMBLE_LENGTH,
+    detect_preamble,
+    long_training_field,
+    lts_spectrum,
+    preamble_waveform,
+    short_training_field,
+    sts_spectrum,
+)
+
+
+class TestStructure:
+    def test_lengths(self):
+        assert short_training_field().size == 160
+        assert long_training_field().size == 160
+        assert preamble_waveform().size == PREAMBLE_LENGTH == 320
+
+    def test_duration(self):
+        assert PREAMBLE_DURATION_US == 16.0
+
+    def test_sts_periodicity(self):
+        stf = short_training_field()
+        # Ten identical 16-sample periods.
+        for rep in range(1, 10):
+            assert np.allclose(stf[:16], stf[16 * rep : 16 * (rep + 1)])
+
+    def test_lts_repetition(self):
+        ltf = long_training_field()
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+    def test_lts_guard_is_cyclic(self):
+        ltf = long_training_field()
+        assert np.allclose(ltf[:32], ltf[128:160])
+
+    def test_sts_occupies_every_fourth_subcarrier(self):
+        spectrum = sts_spectrum()
+        used = [k % 64 for k in range(-32, 32) if spectrum[k % 64] != 0]
+        assert len(used) == 12
+        for k in range(-32, 32):
+            if spectrum[k % 64] != 0:
+                assert k % 4 == 0
+
+    def test_lts_uses_52_subcarriers(self):
+        spectrum = lts_spectrum()
+        assert int(np.sum(np.abs(spectrum) > 0)) == 52
+        assert spectrum[0] == 0
+
+    def test_preamble_is_full_power(self):
+        """SledZig never reduces the preamble; mean power stays ~1."""
+        power = np.mean(np.abs(preamble_waveform()) ** 2)
+        assert power == pytest.approx(1.0, rel=0.15)
+
+
+class TestDetection:
+    def test_clean_detection(self):
+        pre = preamble_waveform()
+        tail = np.zeros(200, complex)
+        start, metric = detect_preamble(np.concatenate([pre, tail]))
+        assert start == PREAMBLE_LENGTH
+        assert metric > 0.95
+
+    def test_detection_with_offset(self):
+        waveform = np.concatenate(
+            [np.zeros(111, complex), preamble_waveform(), np.zeros(100, complex)]
+        )
+        start, _ = detect_preamble(waveform)
+        assert start == 111 + PREAMBLE_LENGTH
+
+    def test_detection_under_noise(self, rng):
+        waveform = np.concatenate([preamble_waveform(), np.zeros(64, complex)])
+        noisy = waveform + 0.2 * (
+            rng.normal(size=waveform.size) + 1j * rng.normal(size=waveform.size)
+        )
+        start, _ = detect_preamble(noisy)
+        assert start == PREAMBLE_LENGTH
+
+    def test_noise_only_raises(self, rng):
+        noise = 0.1 * (rng.normal(size=600) + 1j * rng.normal(size=600))
+        with pytest.raises(SynchronizationError):
+            detect_preamble(noise)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SynchronizationError):
+            detect_preamble(np.zeros(10, complex))

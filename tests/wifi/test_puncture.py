@@ -1,0 +1,94 @@
+"""Tests for puncturing/depuncturing and its index maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.utils.bits import random_bits
+from repro.wifi.convolutional import ERASURE, conv_encode, viterbi_decode
+from repro.wifi.puncture import (
+    PUNCTURE_PATTERNS,
+    depuncture,
+    is_punctured,
+    kept_indices,
+    puncture,
+    punctured_length,
+    transmitted_index,
+)
+
+RATES = ("1/2", "2/3", "3/4", "5/6")
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("rate,expected", [
+        ("1/2", 1.0), ("2/3", 3 / 4), ("3/4", 4 / 6), ("5/6", 6 / 10),
+    ])
+    def test_kept_fraction(self, rate, expected):
+        pattern = PUNCTURE_PATTERNS[rate]
+        assert sum(pattern) / len(pattern) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_effective_code_rate(self, rate):
+        # n input bits -> 2n mother bits -> kept bits; rate = n / kept.
+        n = 60
+        kept = punctured_length(2 * n, rate)
+        num, den = (int(x) for x in rate.split("/"))
+        assert n / kept == pytest.approx(num / den)
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            puncture([1, 1], "7/8")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("rate", RATES)
+    def test_depuncture_restores_positions(self, rate, rng):
+        mother = random_bits(120, rng)
+        sent = puncture(mother, rate)
+        restored = depuncture(sent, rate)
+        assert restored.size == mother.size
+        kept = kept_indices(mother.size, rate)
+        assert np.array_equal(restored[kept], mother[kept])
+        erased = np.setdiff1d(np.arange(mother.size), kept)
+        assert np.all(restored[erased] == ERASURE)
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_misaligned_rejected(self, rate):
+        if rate == "1/2":
+            pytest.skip("any even length divides the trivial pattern")
+        with pytest.raises(EncodingError):
+            puncture([1] * 7, rate)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_viterbi_through_all_rates(self, seed):
+        rng = np.random.default_rng(seed)
+        data = np.concatenate([random_bits(114, rng), np.zeros(6, np.uint8)])
+        mother = conv_encode(data)
+        for rate in RATES:
+            sent = puncture(mother, rate)
+            decoded = viterbi_decode(depuncture(sent, rate), n_data_bits=data.size)
+            assert np.array_equal(decoded, data), rate
+
+
+class TestIndexMaps:
+    @pytest.mark.parametrize("rate", RATES)
+    def test_kept_indices_consistent_with_mask(self, rate):
+        kept = kept_indices(60, rate)
+        for q, pre in enumerate(kept):
+            assert not is_punctured(int(pre), rate)
+            assert transmitted_index(int(pre), rate) == q
+
+    def test_transmitted_index_of_punctured_bit(self):
+        # At rate 2/3 the 4th bit of each period (index 3) is dropped.
+        assert is_punctured(3, "2/3")
+        with pytest.raises(EncodingError):
+            transmitted_index(3, "2/3")
+
+    def test_punctured_length_requires_whole_periods(self):
+        with pytest.raises(EncodingError):
+            punctured_length(5, "3/4")

@@ -1,0 +1,83 @@
+"""Tests for the 802.11 scrambler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import random_bits
+from repro.wifi.scrambler import (
+    DEFAULT_SEED,
+    SEQUENCE_PERIOD,
+    Scrambler,
+    descramble,
+    scramble,
+    scrambler_sequence,
+)
+
+
+class TestSequence:
+    def test_period_is_127(self):
+        seq = scrambler_sequence(length=2 * SEQUENCE_PERIOD)
+        assert np.array_equal(seq[:SEQUENCE_PERIOD], seq[SEQUENCE_PERIOD:])
+
+    def test_nonzero(self):
+        seq = scrambler_sequence(length=SEQUENCE_PERIOD)
+        assert seq.sum() > 0
+        # A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+        assert int(seq.sum()) == 64
+
+    def test_all_seeds_give_shifts_of_same_sequence(self):
+        base = scrambler_sequence(seed=1, length=SEQUENCE_PERIOD)
+        other = scrambler_sequence(seed=0b1011101, length=SEQUENCE_PERIOD)
+        # m-sequence property: any seed produces a cyclic shift.
+        found = any(
+            np.array_equal(np.roll(base, shift), other)
+            for shift in range(SEQUENCE_PERIOD)
+        )
+        assert found
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(seed=0)
+
+    def test_eight_bit_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(seed=0x80)
+
+
+class TestScrambler:
+    @given(st.lists(st.integers(0, 1), max_size=500))
+    def test_roundtrip(self, bits):
+        s = Scrambler()
+        assert np.array_equal(s.descramble(s.scramble(bits)), np.array(bits, dtype=np.uint8))
+
+    def test_scramble_changes_bits(self, rng):
+        bits = random_bits(300, rng)
+        assert not np.array_equal(scramble(bits), bits)
+
+    def test_position_preserving(self, rng):
+        """Flipping input bit i flips exactly output bit i (SledZig relies
+        on the scrambler being a positionwise involution)."""
+        bits = random_bits(64, rng)
+        flipped = bits.copy()
+        flipped[10] ^= 1
+        a, b = scramble(bits), scramble(flipped)
+        diff = np.flatnonzero(a != b)
+        assert diff.tolist() == [10]
+
+    def test_different_seeds_differ(self, rng):
+        bits = random_bits(200, rng)
+        assert not np.array_equal(scramble(bits, seed=1), scramble(bits, seed=2))
+
+    def test_module_level_helpers_match_class(self, rng):
+        bits = random_bits(100, rng)
+        assert np.array_equal(scramble(bits), Scrambler(DEFAULT_SEED).scramble(bits))
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    def test_sequence_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scrambler().sequence(-1)

@@ -1,0 +1,78 @@
+"""Tests for the SIGNAL field (PLCP header)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.wifi.params import MCS_TABLE, get_mcs
+from repro.wifi.signal_field import (
+    MAX_LENGTH_OCTETS,
+    RATE_CODES,
+    build_signal_bits,
+    decode_signal_symbol,
+    encode_signal_symbol,
+    parse_signal_bits,
+)
+
+
+class TestBits:
+    def test_layout(self):
+        bits = build_signal_bits(get_mcs("qam16-1/2"), 100)
+        assert bits.size == 24
+        assert np.all(bits[18:] == 0)  # tail
+
+    def test_even_parity(self):
+        for length in (1, 77, 4095):
+            bits = build_signal_bits(get_mcs("qam64-3/4"), length)
+            assert int(bits[:18].sum()) % 2 == 0
+
+    @given(st.sampled_from(sorted(RATE_CODES)), st.integers(1, MAX_LENGTH_OCTETS))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, name, length):
+        mcs = get_mcs(name)
+        parsed_mcs, parsed_len = parse_signal_bits(build_signal_bits(mcs, length))
+        assert parsed_mcs.name == name
+        assert parsed_len == length
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_signal_bits(get_mcs("qam16-1/2"), 0)
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_signal_bits(get_mcs("qam16-1/2"), MAX_LENGTH_OCTETS + 1)
+
+    def test_parity_error_detected(self):
+        bits = build_signal_bits(get_mcs("qam16-1/2"), 5)
+        bits[2] ^= 1
+        with pytest.raises(DecodingError):
+            parse_signal_bits(bits)
+
+    def test_rate_codes_unique(self):
+        assert len(set(RATE_CODES.values())) == len(RATE_CODES)
+
+    def test_every_mcs_has_a_code(self):
+        for name in MCS_TABLE:
+            assert name in RATE_CODES
+
+
+class TestSymbol:
+    @pytest.mark.parametrize("name", ["qam16-1/2", "qam64-5/6", "qam256-3/4"])
+    def test_encode_decode(self, name):
+        mcs = get_mcs(name)
+        spectrum = encode_signal_symbol(mcs, 321)
+        decoded_mcs, length = decode_signal_symbol(spectrum)
+        assert decoded_mcs.name == name
+        assert length == 321
+
+    def test_signal_symbol_is_bpsk(self):
+        spectrum = encode_signal_symbol(get_mcs("qam256-5/6"), 10)
+        from repro.wifi.ofdm import extract_subcarriers
+
+        data, _ = extract_subcarriers(spectrum)
+        assert np.allclose(np.abs(data.real), 1.0)
+        assert np.allclose(data.imag, 0.0)

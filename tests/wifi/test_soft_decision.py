@@ -1,0 +1,116 @@
+"""Tests for soft-decision demapping and Viterbi decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.errors import DecodingError
+from repro.utils.bits import random_bits
+from repro.wifi.constellation import demodulate_hard, demodulate_soft, modulate
+from repro.wifi.convolutional import conv_encode, viterbi_decode_soft
+from repro.wifi.interleaver import deinterleave_soft, interleave
+from repro.wifi.params import BITS_PER_SUBCARRIER
+from repro.wifi.puncture import depuncture_soft, puncture
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.transmitter import WifiTransmitter
+
+QAMS = ("qam16", "qam64", "qam256")
+
+
+class TestSoftDemap:
+    @pytest.mark.parametrize("mod", ("bpsk",) + QAMS)
+    def test_signs_match_hard_decisions_clean(self, mod, rng):
+        bits = random_bits(BITS_PER_SUBCARRIER[mod] * 64, rng)
+        symbols = modulate(bits, mod)
+        soft = demodulate_soft(symbols, mod)
+        hard = (soft > 0).astype(np.uint8)
+        assert np.array_equal(hard, demodulate_hard(symbols, mod))
+        assert np.array_equal(hard, bits)
+
+    def test_confidence_scales_with_distance(self):
+        """A point near a decision boundary yields a weaker soft value."""
+        k = 1 / np.sqrt(10.0)
+        confident = demodulate_soft(np.array([k * (3 + 3j)]), "qam16")
+        marginal = demodulate_soft(np.array([k * (0.2 + 3j)]), "qam16")
+        assert abs(confident[0]) > abs(marginal[0])
+
+    def test_boundary_point_is_zero(self):
+        # Real part exactly between -1 and +1 for the sign bit (b0).
+        soft = demodulate_soft(np.array([0.0 + 1j / np.sqrt(10)]), "qam16")
+        assert soft[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSoftViterbi:
+    def test_clean_roundtrip(self, rng):
+        data = np.concatenate([random_bits(150, rng), np.zeros(6, np.uint8)])
+        soft = conv_encode(data).astype(np.float64) * 2 - 1
+        decoded = viterbi_decode_soft(soft, n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_weak_noisy_values(self, rng):
+        data = np.concatenate([random_bits(150, rng), np.zeros(6, np.uint8)])
+        soft = (conv_encode(data).astype(np.float64) * 2 - 1) + rng.normal(
+            0, 0.6, size=2 * data.size
+        )
+        decoded = viterbi_decode_soft(soft, n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_zero_values_are_erasures(self, rng):
+        data = np.concatenate([random_bits(120, rng), np.zeros(6, np.uint8)])
+        soft = conv_encode(data).astype(np.float64) * 2 - 1
+        soft[10] = 0.0
+        soft[55] = 0.0
+        decoded = viterbi_decode_soft(soft, n_data_bits=data.size)
+        assert np.array_equal(decoded, data)
+
+    def test_punctured_roundtrip(self, rng):
+        for rate in ("2/3", "3/4", "5/6"):
+            data = np.concatenate([random_bits(114, rng), np.zeros(6, np.uint8)])
+            sent = puncture(conv_encode(data), rate).astype(np.float64) * 2 - 1
+            soft = depuncture_soft(sent, rate)
+            decoded = viterbi_decode_soft(soft, n_data_bits=data.size)
+            assert np.array_equal(decoded, data), rate
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DecodingError):
+            viterbi_decode_soft(np.ones(3))
+
+
+class TestSoftReceiver:
+    def test_soft_matches_hard_on_clean_channel(self, rng):
+        psdu = random_bits(8 * 50, rng)
+        frame = WifiTransmitter("qam64-3/4").transmit(psdu)
+        rx = WifiReceiver()
+        hard = rx.receive(frame.waveform, soft=False)
+        soft = rx.receive(frame.waveform, soft=True)
+        assert np.array_equal(hard.psdu_bits, psdu)
+        assert np.array_equal(soft.psdu_bits, psdu)
+
+    def test_soft_beats_hard_at_waterfall(self, rng):
+        """At an SNR where hard decisions mostly fail, soft still decodes."""
+        tx = WifiTransmitter("qam16-1/2")
+        rx = WifiReceiver()
+        hard_ok = soft_ok = 0
+        for _ in range(8):
+            psdu = random_bits(8 * 40, rng)
+            noisy = awgn(tx.transmit(psdu).waveform, 9.5, rng)
+            hard = rx.receive(noisy, data_start=320, soft=False)
+            soft = rx.receive(noisy, data_start=320, soft=True)
+            hard_ok += int(np.array_equal(hard.psdu_bits, psdu))
+            soft_ok += int(np.array_equal(soft.psdu_bits, psdu))
+        assert soft_ok > hard_ok
+        assert soft_ok >= 7
+
+    def test_deinterleave_soft_matches_bit_permutation(self, rng):
+        from repro.wifi.interleaver import deinterleave
+
+        bits = random_bits(192, rng)
+        soft = interleave(bits, 192, 4).astype(np.float64) * 2 - 1
+        out = deinterleave_soft(soft, 192, 4)
+        assert np.array_equal((out > 0).astype(np.uint8), bits)
+        assert np.array_equal(
+            (out > 0).astype(np.uint8),
+            deinterleave(interleave(bits, 192, 4), 192, 4),
+        )

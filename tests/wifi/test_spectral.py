@@ -1,0 +1,86 @@
+"""Tests for waveform spectral measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import random_bits
+from repro.wifi.spectral import (
+    band_power,
+    band_power_db,
+    power_spectrum,
+    subcarrier_powers,
+    total_power_db,
+)
+from repro.wifi.transmitter import WifiTransmitter
+
+
+def _tone(freq_hz: float, n: int = 4096, fs: float = 20e6) -> np.ndarray:
+    t = np.arange(n) / fs
+    return np.exp(2j * np.pi * freq_hz * t)
+
+
+class TestPowerSpectrum:
+    def test_parseval(self):
+        tone = _tone(3e6)
+        _, psd = power_spectrum(tone)
+        assert float(psd.sum()) == pytest.approx(1.0, rel=0.05)
+
+    def test_tone_localised(self):
+        freqs, psd = power_spectrum(_tone(5e6))
+        peak_freq = freqs[int(np.argmax(psd))]
+        assert peak_freq == pytest.approx(5e6, abs=60e3)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_spectrum(np.zeros(10, complex))
+
+    def test_short_waveform_degrades_nfft(self):
+        # 200 samples < 512: resolution drops but the call succeeds.
+        _, psd = power_spectrum(_tone(1e6, n=200))
+        assert psd.size in (128, 64)
+
+
+class TestBandPower:
+    def test_tone_inside_band(self):
+        power = band_power(_tone(2e6), center_hz=2e6, bandwidth_hz=2e6)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_tone_outside_band(self):
+        power = band_power(_tone(8e6), center_hz=-8e6, bandwidth_hz=2e6)
+        assert power < 1e-4
+
+    def test_band_outside_spectrum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            band_power(_tone(0.0), center_hz=30e6, bandwidth_hz=1e6)
+
+    def test_db_of_silence(self):
+        assert band_power_db(np.zeros(1024, complex) + 0j, 0.0, 1e6) == float("-inf")
+
+    def test_wifi_signal_total(self, rng):
+        frame = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 200, rng))
+        # Full 20 MHz band recovers roughly the total power.
+        full = band_power(frame.waveform, 0.0, 20e6)
+        assert 10 * np.log10(full) == pytest.approx(total_power_db(frame.waveform), abs=0.5)
+
+
+class TestSubcarrierPowers:
+    def test_shape(self, rng):
+        frame = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 50, rng))
+        powers = subcarrier_powers(np.stack(frame.data_spectra))
+        assert powers.shape == (64,)
+        assert powers[0] == pytest.approx(0.0, abs=1e-12)  # DC empty
+
+    def test_single_spectrum_accepted(self, rng):
+        frame = WifiTransmitter("qam16-1/2").transmit(random_bits(8 * 10, rng))
+        powers = subcarrier_powers(frame.data_spectra[0])
+        assert powers.shape == (64,)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            subcarrier_powers(np.zeros((3, 32)))
+
+    def test_total_power_db_empty(self):
+        assert total_power_db(np.array([])) == float("-inf")

@@ -1,0 +1,79 @@
+"""Tests for the 802.15.4 PN chip table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.zigbee.chips import (
+    bipolar_table,
+    chip_table,
+    chips_for_symbol,
+    correlate_symbol,
+    min_hamming_distance,
+)
+
+
+class TestTable:
+    def test_shape(self):
+        assert chip_table().shape == (16, 32)
+
+    def test_symbol0_matches_standard(self):
+        expected = "11011001110000110101001000101110"
+        assert "".join(str(c) for c in chip_table()[0]) == expected
+
+    def test_symbols_1_to_7_are_cyclic_shifts(self):
+        table = chip_table()
+        for symbol in range(1, 8):
+            assert np.array_equal(table[symbol], np.roll(table[0], 4 * symbol))
+
+    def test_symbols_8_to_15_conjugate_odd_chips(self):
+        table = chip_table()
+        flip = np.zeros(32, dtype=np.uint8)
+        flip[1::2] = 1
+        for symbol in range(8):
+            assert np.array_equal(table[8 + symbol], table[symbol] ^ flip)
+
+    def test_all_sequences_distinct(self):
+        rows = {bytes(row) for row in chip_table()}
+        assert len(rows) == 16
+
+    def test_min_hamming_distance(self):
+        # The 802.15.4 quasi-orthogonal set: d_min = 12.
+        assert min_hamming_distance() == 12
+
+    def test_chips_for_symbol_bounds(self):
+        with pytest.raises(ConfigurationError):
+            chips_for_symbol(16)
+
+    def test_bipolar(self):
+        assert set(np.unique(bipolar_table())) == {-1.0, 1.0}
+
+
+class TestCorrelation:
+    @pytest.mark.parametrize("symbol", range(16))
+    def test_perfect_match(self, symbol):
+        chips = bipolar_table()[symbol]
+        decoded, score = correlate_symbol(chips)
+        assert decoded == symbol
+        assert score == pytest.approx(1.0)
+
+    def test_tolerates_five_chip_errors(self, rng):
+        """d_min = 12, so < 6 chip flips can never change the winner."""
+        for symbol in range(16):
+            chips = bipolar_table()[symbol].copy()
+            flips = rng.choice(32, size=5, replace=False)
+            chips[flips] *= -1
+            decoded, _ = correlate_symbol(chips)
+            assert decoded == symbol
+
+    def test_soft_chips(self):
+        chips = bipolar_table()[3] * 0.1  # weak but clean
+        decoded, score = correlate_symbol(chips)
+        assert decoded == 3
+        assert score == pytest.approx(1.0)
+
+    def test_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            correlate_symbol(np.ones(31))

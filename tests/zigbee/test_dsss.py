@@ -1,0 +1,70 @@
+"""Tests for DSSS spreading/despreading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.utils.bits import bytes_to_bits, random_bits
+from repro.zigbee.dsss import bits_to_symbols, despread, spread, symbols_to_bits
+
+
+class TestSymbolConversion:
+    def test_nibble_order_lsb_first(self):
+        # Octet 0xA7 -> low nibble 0x7 first, then 0xA.
+        bits = bytes_to_bits(b"\xa7")
+        assert bits_to_symbols(bits).tolist() == [0x7, 0xA]
+
+    @given(st.lists(st.integers(0, 15), max_size=50))
+    def test_roundtrip(self, symbols):
+        arr = np.array(symbols, dtype=np.int64)
+        assert np.array_equal(bits_to_symbols(symbols_to_bits(arr)), arr)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(EncodingError):
+            bits_to_symbols([1, 0, 1])
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            symbols_to_bits(np.array([16]))
+
+
+class TestSpreadDespread:
+    def test_expansion_factor(self, rng):
+        bits = random_bits(40, rng)
+        assert spread(bits).size == 40 * 8  # 32 chips per 4 bits
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = random_bits(48, rng)
+        out, scores = despread(spread(bits))
+        assert np.array_equal(out, bits)
+        assert all(s == pytest.approx(1.0) for s in scores)
+
+    def test_processing_gain(self, rng):
+        """Corrupting 5 chips of every symbol still decodes (d_min 12)."""
+        bits = random_bits(32, rng)
+        chips = spread(bits).astype(np.float64) * 2 - 1
+        for sym in range(chips.size // 32):
+            flips = rng.choice(32, size=5, replace=False)
+            chips[sym * 32 + flips] *= -1
+        out, scores = despread(chips)
+        assert np.array_equal(out, bits)
+        assert all(s < 1.0 for s in scores)
+
+    def test_burst_interference_half_symbol(self, rng):
+        """Erasing half a symbol's chips (burst) is survivable."""
+        bits = random_bits(8, rng)
+        chips = spread(bits).astype(np.float64) * 2 - 1
+        chips[0:11] = 0.0  # 11 erased chips: strictly below d_min = 12
+        out, _ = despread(chips)
+        assert np.array_equal(out, bits)
+
+    def test_misaligned_chips_rejected(self):
+        with pytest.raises(DecodingError):
+            despread(np.ones(33))

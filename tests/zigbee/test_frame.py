@@ -1,0 +1,73 @@
+"""Tests for 802.15.4 framing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.zigbee.frame import (
+    ZigbeeFrame,
+    build_ppdu_bits,
+    frame_duration_us,
+    parse_ppdu_bits,
+)
+from repro.zigbee.params import PREAMBLE_SYMBOLS, SYMBOL_DURATION_US
+
+
+class TestBuild:
+    def test_roundtrip(self, rng):
+        psdu = bytes(rng.integers(0, 256, size=50, dtype=np.uint8))
+        frame = parse_ppdu_bits(build_ppdu_bits(psdu))
+        assert frame.psdu == psdu
+
+    def test_preamble_is_zero(self):
+        bits = build_ppdu_bits(b"\xff")
+        assert not bits[: PREAMBLE_SYMBOLS * 4].any()
+
+    def test_length_limits(self):
+        with pytest.raises(ConfigurationError):
+            build_ppdu_bits(b"")
+        with pytest.raises(ConfigurationError):
+            build_ppdu_bits(bytes(128))
+
+    def test_sfd_validated(self):
+        bits = build_ppdu_bits(b"ok")
+        bits[PREAMBLE_SYMBOLS * 4 + 3] ^= 1  # corrupt the SFD
+        with pytest.raises(DecodingError):
+            parse_ppdu_bits(bits)
+
+    def test_truncated_stream(self):
+        bits = build_ppdu_bits(b"hello")[:-8]
+        with pytest.raises(DecodingError):
+            parse_ppdu_bits(bits)
+
+    def test_few_corrupt_preamble_symbols_tolerated(self):
+        """Paper Section IV-F: the redundant preamble absorbs a burst."""
+        bits = build_ppdu_bits(b"x")
+        bits[0] = 1   # symbol 0 corrupted
+        bits[5] = 1   # symbol 1 corrupted
+        assert parse_ppdu_bits(bits).psdu == b"x"
+
+    def test_mostly_corrupt_preamble_rejected(self):
+        bits = build_ppdu_bits(b"x")
+        for symbol in range(5):
+            bits[symbol * 4] = 1
+        with pytest.raises(DecodingError):
+            parse_ppdu_bits(bits)
+
+
+class TestDurations:
+    def test_symbol_accounting(self):
+        frame = ZigbeeFrame(psdu=bytes(10))
+        # SHR 10 symbols + PHR 2 + 2 per octet.
+        assert frame.n_symbols == 10 + 2 + 20
+
+    def test_duration(self):
+        # The paper's example rate: 16 us per symbol.
+        assert SYMBOL_DURATION_US == 16.0
+        assert frame_duration_us(60) == (12 + 120) * 16.0
+
+    def test_paper_preamble_duration(self):
+        """The ZigBee preamble lasts 128 us (Section IV-F)."""
+        assert PREAMBLE_SYMBOLS * SYMBOL_DURATION_US == 128.0

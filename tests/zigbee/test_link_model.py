@@ -1,0 +1,73 @@
+"""Tests for the analytic ZigBee link model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.zigbee.link_model import (
+    chip_error_probability,
+    packet_error_probability,
+    q_function,
+    sinr_threshold_db,
+    symbol_error_probability,
+)
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.0) == pytest.approx(0.1587, abs=1e-3)
+        assert q_function(3.0) == pytest.approx(1.35e-3, rel=0.05)
+
+    def test_monotone(self):
+        xs = np.linspace(-3, 5, 50)
+        values = [q_function(x) for x in xs]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestChipErrors:
+    def test_high_sinr_near_zero(self):
+        assert chip_error_probability(15.0) < 1e-12
+
+    def test_very_low_sinr_near_half(self):
+        assert chip_error_probability(-30.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_monotone_in_sinr(self):
+        sinrs = np.linspace(-10, 10, 40)
+        values = [chip_error_probability(s) for s in sinrs]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestSymbolErrors:
+    def test_threshold_behaviour(self):
+        """The SER curve has a sharp knee around 1-3 dB."""
+        assert symbol_error_probability(-5.0) > 0.5
+        assert symbol_error_probability(5.0) < 1e-6
+
+    def test_monotone(self):
+        sinrs = np.linspace(-8, 8, 30)
+        values = [symbol_error_probability(s) for s in sinrs]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_threshold_matches_dsss_gain(self):
+        """Decoding threshold sits near +2 dB — far below what an unspread
+        link would need, reflecting the 32-chip processing gain."""
+        threshold = sinr_threshold_db(1e-3)
+        assert 0.0 < threshold < 4.0
+
+
+class TestPacketErrors:
+    def test_zero_symbols(self):
+        assert packet_error_probability(0.0, 0) == 0.0
+
+    def test_compounds_with_length(self):
+        short = packet_error_probability(1.0, 10)
+        long = packet_error_probability(1.0, 100)
+        assert long > short
+
+    def test_certain_loss(self):
+        assert packet_error_probability(-20.0, 50) == pytest.approx(1.0)
+
+    def test_clean(self):
+        assert packet_error_probability(20.0, 200) < 1e-9

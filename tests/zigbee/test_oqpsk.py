@@ -1,0 +1,64 @@
+"""Tests for half-sine O-QPSK modulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, EncodingError
+from repro.utils.bits import random_bits
+from repro.zigbee.oqpsk import demodulate_chips, half_sine_pulse, modulate_chips
+from repro.zigbee.params import SAMPLES_PER_CHIP
+
+
+class TestPulse:
+    def test_shape(self):
+        pulse = half_sine_pulse()
+        assert pulse.size == 2 * SAMPLES_PER_CHIP
+        assert pulse[0] == pytest.approx(0.0)
+        assert pulse.max() <= 1.0
+
+    def test_symmetric_peak(self):
+        pulse = half_sine_pulse()
+        assert np.argmax(pulse) == pulse.size // 2
+
+
+class TestModDemod:
+    def test_roundtrip_hard_chips(self, rng):
+        chips = random_bits(64, rng)
+        soft = demodulate_chips(modulate_chips(chips), 64)
+        assert np.array_equal((soft > 0).astype(np.uint8), chips)
+
+    def test_roundtrip_with_noise(self, rng):
+        chips = random_bits(128, rng)
+        waveform = modulate_chips(chips)
+        noisy = waveform + 0.15 * (
+            rng.normal(size=waveform.size) + 1j * rng.normal(size=waveform.size)
+        )
+        soft = demodulate_chips(noisy, 128)
+        assert np.array_equal((soft > 0).astype(np.uint8), chips)
+
+    def test_near_constant_envelope(self, rng):
+        """The O-QPSK offset keeps the envelope from collapsing to zero."""
+        chips = random_bits(256, rng)
+        waveform = modulate_chips(chips)
+        # Skip edges where only one rail is active.
+        core = np.abs(waveform[16:-16])
+        assert core.min() > 0.3
+        assert core.max() < 1.3
+
+    def test_odd_chips_rejected(self):
+        with pytest.raises(EncodingError):
+            modulate_chips(np.ones(33))
+        with pytest.raises(DecodingError):
+            demodulate_chips(np.zeros(100, complex), 33)
+
+    def test_short_waveform_rejected(self):
+        with pytest.raises(DecodingError):
+            demodulate_chips(np.zeros(8, complex), 64)
+
+    def test_unit_mean_power(self, rng):
+        chips = random_bits(512, rng)
+        waveform = modulate_chips(chips)
+        power = np.mean(np.abs(waveform[16:-16]) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
