@@ -1,0 +1,90 @@
+"""Shared vectorized DSP core for the WiFi / ZigBee / SledZig chains.
+
+``repro.dsp`` is the single home of the hot bit/symbol-domain primitives;
+the per-technology packages (:mod:`repro.wifi`, :mod:`repro.zigbee`,
+:mod:`repro.sledzig`) keep the standard-facing APIs and delegate their
+inner loops here.  Every kernel is batch-first (a leading frame/symbol
+axis) and backed by precomputed tables held in a module-level cache:
+
+========================  =====================================================
+Module                    Owns
+========================  =====================================================
+:mod:`repro.dsp.cache`    parameter-keyed table registry with hit/miss stats
+:mod:`repro.dsp.trellis`  K=7 trellis tables, GF(2)-FIR encoder, batched
+                          hard/soft Viterbi add-compare-select
+:mod:`repro.dsp.scrambling`  127-bit scrambler periods per seed, batch XOR
+:mod:`repro.dsp.interleaving`  (N_CBPS, N_BPSC) permutations, block apply
+:mod:`repro.dsp.qam`      Gray map/demap tables, batch (de)modulation, LLRs
+:mod:`repro.dsp.ofdm`     subcarrier bin tables, batched IFFT/FFT + CP
+:mod:`repro.dsp.dsss`     16x32 PN chip matrix, batch spread/correlate
+:mod:`repro.dsp.oqpsk`    half-sine pulse, vectorized rails + matched filter
+========================  =====================================================
+
+See DESIGN.md ("The repro.dsp layer") for the layering contract, cache key
+conventions, and batch semantics.
+"""
+
+from repro.dsp.cache import TableCache, cache_stats, cached_table, clear_cache
+from repro.dsp.trellis import (
+    ERASURE,
+    Trellis,
+    conv_encode_batch,
+    get_trellis,
+    viterbi_decode_batch,
+    viterbi_decode_soft_batch,
+)
+from repro.dsp.scrambling import scramble_batch, scrambler_sequence
+from repro.dsp.interleaving import (
+    deinterleave_blocks,
+    deinterleave_permutation,
+    interleave_blocks,
+    interleave_permutation,
+)
+from repro.dsp.qam import (
+    constellation_table,
+    demodulate_hard_batch,
+    demodulate_soft_batch,
+    modulate_batch,
+)
+from repro.dsp.ofdm import (
+    extract_subcarriers_batch,
+    map_subcarriers_batch,
+    ofdm_demodulate_batch,
+    ofdm_modulate_batch,
+    waveform_to_spectra,
+)
+from repro.dsp.dsss import correlate_batch, despread_batch, spread_batch
+from repro.dsp.oqpsk import demodulate_chips_batch, modulate_chips_batch
+
+__all__ = [
+    "TableCache",
+    "cache_stats",
+    "cached_table",
+    "clear_cache",
+    "ERASURE",
+    "Trellis",
+    "conv_encode_batch",
+    "get_trellis",
+    "viterbi_decode_batch",
+    "viterbi_decode_soft_batch",
+    "scramble_batch",
+    "scrambler_sequence",
+    "deinterleave_blocks",
+    "deinterleave_permutation",
+    "interleave_blocks",
+    "interleave_permutation",
+    "constellation_table",
+    "demodulate_hard_batch",
+    "demodulate_soft_batch",
+    "modulate_batch",
+    "extract_subcarriers_batch",
+    "map_subcarriers_batch",
+    "ofdm_demodulate_batch",
+    "ofdm_modulate_batch",
+    "waveform_to_spectra",
+    "correlate_batch",
+    "despread_batch",
+    "spread_batch",
+    "demodulate_chips_batch",
+    "modulate_chips_batch",
+]

@@ -1,0 +1,84 @@
+"""Module-level cache for precomputed DSP tables.
+
+Every hot primitive in :mod:`repro.dsp` is driven by small, parameter-keyed
+lookup tables — the 64-state trellis, interleaver permutations per
+(N_CBPS, N_BPSC), Gray QAM maps per modulation, the 16x32 DSSS chip matrix,
+scrambler periods per seed.  Building them is cheap but not free, and the
+batched experiment suite asks for the same tables millions of times, so they
+are built once per process and kept in a single registry with hit/miss
+accounting (tested by ``tests/dsp/test_cache.py``).
+
+Keys are plain hashable tuples whose first element names the table family,
+e.g. ``("trellis", 0o133, 0o171, 7)``.  Worker processes spawned by the
+experiment runner each hold their own registry; tables are derived purely
+from the key, so there is nothing to synchronise across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+class TableCache:
+    """A tiny thread-safe build-once registry for precomputed tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the table for *key*, building it on first request."""
+        with self._lock:
+            if key in self._tables:
+                self.hits += 1
+                return self._tables[key]
+        value = builder()
+        with self._lock:
+            # Another thread may have raced us; keep the first entry so every
+            # caller sees the same (possibly aliased) table object.
+            self.misses += 1
+            return self._tables.setdefault(key, value)
+
+    def clear(self) -> None:
+        """Drop every table and reset the hit/miss counters."""
+        with self._lock:
+            self._tables.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._tables
+
+    def stats(self) -> Dict[str, int]:
+        """Current ``{"entries", "hits", "misses"}`` counters."""
+        with self._lock:
+            return {
+                "entries": len(self._tables),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: The process-wide registry used by every repro.dsp module.
+_GLOBAL_CACHE = TableCache()
+
+
+def cached_table(key: Tuple, builder: Callable[[], Any]) -> Any:
+    """Fetch *key* from the global registry, building with *builder* once."""
+    return _GLOBAL_CACHE.get(key, builder)
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss/entry counters of the global registry."""
+    return _GLOBAL_CACHE.stats()
+
+
+def clear_cache() -> None:
+    """Reset the global registry (used by tests)."""
+    _GLOBAL_CACHE.clear()

@@ -1,0 +1,124 @@
+"""DSSS chip tables and vectorized spread/correlate kernels (802.15.4).
+
+The sixteen 32-chip PN sequences (IEEE 802.15.4-2015 Table 12-1) are built
+once and cached, in both 0/1 and bipolar form.  Spreading is a table
+lookup; despreading correlates *every* received symbol against all sixteen
+sequences with a single matrix product instead of a Python loop per symbol
+— the kernel behind :mod:`repro.zigbee.dsss`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.cache import cached_table
+from repro.errors import DecodingError, EncodingError
+from repro.dsp.params import BITS_PER_SYMBOL, CHIPS_PER_SYMBOL
+
+#: Chip sequence of data symbol 0 (c0 first), IEEE 802.15.4 Table 12-1.
+SYMBOL0_CHIPS: str = "11011001110000110101001000101110"
+
+
+def chip_table() -> np.ndarray:
+    """All sixteen chip sequences as a cached (16, 32) uint8 array.
+
+    Symbols 1-7 are 4-chip cyclic shifts of symbol 0; symbols 8-15 repeat
+    0-7 with the odd-indexed (Q) chips inverted.
+    """
+
+    def build() -> np.ndarray:
+        base = np.array([int(c) for c in SYMBOL0_CHIPS], dtype=np.uint8)
+        table = np.zeros((16, CHIPS_PER_SYMBOL), dtype=np.uint8)
+        for symbol in range(8):
+            table[symbol] = np.roll(base, 4 * symbol)
+        flip = np.zeros(CHIPS_PER_SYMBOL, dtype=np.uint8)
+        flip[1::2] = 1  # invert the odd-indexed (Q) chips
+        for symbol in range(8):
+            table[8 + symbol] = table[symbol] ^ flip
+        table.setflags(write=False)
+        return table
+
+    return cached_table(("dsss-chips",), build)
+
+
+def bipolar_table() -> np.ndarray:
+    """Cached chip table mapped to +-1 floats, for correlation receivers."""
+
+    def build() -> np.ndarray:
+        table = (chip_table().astype(np.float64) * 2.0) - 1.0
+        table.setflags(write=False)
+        return table
+
+    return cached_table(("dsss-bipolar",), build)
+
+
+def bits_to_symbols(bits: np.ndarray) -> np.ndarray:
+    """Group bits (LSB-first nibbles, trailing axis) into symbols 0..15."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.shape[-1] % BITS_PER_SYMBOL:
+        raise EncodingError(
+            f"{arr.shape[-1]} bits do not form whole {BITS_PER_SYMBOL}-bit symbols"
+        )
+    groups = arr.reshape(arr.shape[:-1] + (-1, BITS_PER_SYMBOL))
+    weights = (1 << np.arange(BITS_PER_SYMBOL)).astype(np.int64)  # b0 is the LSB
+    return groups @ weights
+
+
+def symbols_to_bits(symbols: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bits_to_symbols` (trailing axis expands 4x)."""
+    arr = np.asarray(symbols, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() > 15):
+        raise EncodingError("data symbols must be 0..15")
+    out = np.empty(arr.shape + (BITS_PER_SYMBOL,), dtype=np.uint8)
+    for bit in range(BITS_PER_SYMBOL):
+        out[..., bit] = (arr >> bit) & 1
+    return out.reshape(arr.shape[:-1] + (-1,)) if arr.ndim else out.ravel()
+
+
+def spread_batch(bits: np.ndarray) -> np.ndarray:
+    """Spread bits (trailing axis) into the 32-chips-per-nibble stream."""
+    symbols = bits_to_symbols(bits)
+    chips = chip_table()[symbols]
+    return chips.reshape(symbols.shape[:-1] + (-1,)).astype(np.uint8)
+
+
+def correlate_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Correlate soft chips against all sixteen sequences, per symbol.
+
+    Args:
+        chips: real-valued bipolar chip estimates with trailing axis a
+            whole number of 32-chip symbols (any leading batch shape).
+
+    Returns ``(symbols, scores)`` where *symbols* holds the winning data
+    symbols and *scores* the normalised correlation of each winner
+    (1.0 = perfect match).
+    """
+    arr = np.asarray(chips, dtype=np.float64)
+    if arr.shape[-1] % CHIPS_PER_SYMBOL:
+        raise DecodingError(
+            f"{arr.shape[-1]} chips do not form whole "
+            f"{CHIPS_PER_SYMBOL}-chip symbols"
+        )
+    chunks = arr.reshape(arr.shape[:-1] + (-1, CHIPS_PER_SYMBOL))
+    scores_all = chunks @ bipolar_table().T  # (..., n_symbols, 16)
+    symbols = np.argmax(scores_all, axis=-1)
+    winning = np.take_along_axis(scores_all, symbols[..., None], axis=-1)[..., 0]
+    norms = np.abs(chunks).sum(axis=-1)
+    norms = np.where(norms == 0.0, 1.0, norms)
+    return symbols.astype(np.int64), winning / norms
+
+
+def despread_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Correlate a chip stream (hard 0/1 or soft bipolar) back to bits.
+
+    Hard chip streams (all values in [0, 1]) are mapped to bipolar first,
+    matching the scalar :func:`repro.zigbee.dsss.despread` semantics.
+    Returns ``(bits, scores)``.
+    """
+    arr = np.asarray(chips, dtype=np.float64)
+    if arr.size and arr.min() >= 0.0 and arr.max() <= 1.0:
+        arr = arr * 2.0 - 1.0  # hard chips -> bipolar
+    symbols, scores = correlate_batch(arr)
+    return symbols_to_bits(symbols), scores

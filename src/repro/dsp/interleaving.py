@@ -1,0 +1,88 @@
+"""802.11 block-interleaver permutations, cached and applied to 2-D blocks.
+
+The permutation for one OFDM symbol depends only on (N_CBPS, N_BPSC); both
+directions are cached as index arrays so interleaving a whole batch of
+symbols is a single fancy-indexing operation.  The scalar helpers in
+:mod:`repro.wifi.interleaver` (including SledZig's inverse position lookup)
+are thin views over these tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.cache import cached_table
+from repro.errors import ConfigurationError, EncodingError
+
+
+def _build_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    if n_cbps % 16:
+        raise ConfigurationError(f"N_CBPS must be a multiple of 16, got {n_cbps}")
+    if n_bpsc < 1 or n_cbps % n_bpsc:
+        raise ConfigurationError(
+            f"N_BPSC {n_bpsc} incompatible with N_CBPS {n_cbps}"
+        )
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+    perm = j.astype(np.int64)
+    if not np.array_equal(np.sort(perm), k):
+        raise ConfigurationError("interleaver permutation is not a bijection")
+    perm.setflags(write=False)
+    return perm
+
+
+def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Cached permutation ``perm[k] = j`` (input index to output index)."""
+    return cached_table(
+        ("interleave", n_cbps, n_bpsc), lambda: _build_permutation(n_cbps, n_bpsc)
+    )
+
+
+def deinterleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Cached inverse permutation ``inv[j] = k``."""
+
+    def build() -> np.ndarray:
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        inv.setflags(write=False)
+        return inv
+
+    return cached_table(("deinterleave", n_cbps, n_bpsc), build)
+
+
+def _as_blocks(values: np.ndarray, n_cbps: int) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise EncodingError("interleaver kernels expect a 1-D or 2-D array")
+    if arr.shape[1] % n_cbps:
+        raise EncodingError(
+            f"stream of {arr.shape[1]} values is not whole symbols of {n_cbps}"
+        )
+    return arr.reshape(-1, n_cbps)
+
+
+def interleave_blocks(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave rows of whole symbols; any leading shape is preserved.
+
+    Accepts ``(n_bits,)`` or ``(batch, n_bits)`` with ``n_bits`` a multiple
+    of N_CBPS and permutes every N_CBPS-sized block independently.
+    """
+    arr = np.asarray(values)
+    blocks = _as_blocks(arr, n_cbps)
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(blocks)
+    out[:, perm] = blocks
+    return out.reshape(arr.shape)
+
+
+def deinterleave_blocks(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Invert :func:`interleave_blocks` (same shape contract)."""
+    arr = np.asarray(values)
+    blocks = _as_blocks(arr, n_cbps)
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    return blocks[:, perm].reshape(arr.shape)

@@ -1,0 +1,137 @@
+"""Batched FFT-based OFDM (de)modulation and subcarrier mapping.
+
+One 20 MHz 802.11 symbol is a 64-point (I)FFT plus a 16-sample cyclic
+prefix.  These kernels operate on whole stacks of symbols at once — the
+IFFT/FFT runs along axis 1 of an ``(n_symbols, 64)`` array and the cyclic
+prefix is attached/stripped with pure slicing — so modulating a frame (or a
+batch of frames) costs one FFT call instead of one per symbol.
+
+Subcarrier index tables (FFT bins of the 48 data and 4 pilot subcarriers)
+are cached in :mod:`repro.dsp.cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.cache import cached_table
+from repro.errors import EncodingError
+from repro.dsp.params import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    PILOT_POLARITY,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    SYMBOL_LENGTH,
+)
+
+#: IFFT output scaling so 52 unit-power subcarriers give unit sample power.
+TIME_SCALE: float = FFT_SIZE / np.sqrt(52.0)
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def data_bins() -> np.ndarray:
+    """FFT bins of the 48 data subcarriers, in logical order."""
+    return cached_table(
+        ("ofdm-data-bins",),
+        lambda: _frozen(np.array([k % FFT_SIZE for k in DATA_SUBCARRIERS])),
+    )
+
+
+def pilot_bins() -> np.ndarray:
+    """FFT bins of the 4 pilot subcarriers, in logical order."""
+    return cached_table(
+        ("ofdm-pilot-bins",),
+        lambda: _frozen(np.array([k % FFT_SIZE for k in PILOT_SUBCARRIERS])),
+    )
+
+
+def pilot_polarities(symbol_indices: np.ndarray) -> np.ndarray:
+    """Pilot polarity p_n for each symbol index (SIGNAL symbol is n = 0)."""
+    polarity = cached_table(
+        ("ofdm-pilot-polarity",),
+        lambda: _frozen(np.array(PILOT_POLARITY, dtype=np.float64)),
+    )
+    return polarity[np.asarray(symbol_indices) % len(PILOT_POLARITY)]
+
+
+def map_subcarriers_batch(
+    points: np.ndarray,
+    symbol_indices: np.ndarray,
+    pilot_enabled: bool = True,
+) -> np.ndarray:
+    """Place stacks of 48 data points (plus pilots) into 64-bin spectra.
+
+    Args:
+        points: ``(n_symbols, 48)`` complex data points.
+        symbol_indices: per-symbol pilot-polarity index (PPDU position
+            *including* the SIGNAL symbol).
+        pilot_enabled: set False to zero the pilots.
+    """
+    pts = np.asarray(points, dtype=np.complex128)
+    if pts.ndim != 2 or pts.shape[1] != N_DATA_SUBCARRIERS:
+        raise EncodingError(
+            f"need (n_symbols, {N_DATA_SUBCARRIERS}) data points, got {pts.shape}"
+        )
+    spectra = np.zeros((pts.shape[0], FFT_SIZE), dtype=np.complex128)
+    spectra[:, data_bins()] = pts
+    if pilot_enabled:
+        polarity = pilot_polarities(symbol_indices)
+        values = np.asarray(PILOT_VALUES, dtype=np.float64)
+        spectra[:, pilot_bins()] = polarity[:, None] * values[None, :]
+    return spectra
+
+
+def extract_subcarriers_batch(
+    spectra: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``(n_symbols, 64)`` spectra into (data points, pilot values)."""
+    spec = np.asarray(spectra, dtype=np.complex128)
+    if spec.ndim != 2 or spec.shape[1] != FFT_SIZE:
+        raise EncodingError(f"spectra must be (n_symbols, {FFT_SIZE}), got {spec.shape}")
+    return spec[:, data_bins()], spec[:, pilot_bins()]
+
+
+def ofdm_modulate_batch(spectra: np.ndarray, add_cp: bool = True) -> np.ndarray:
+    """IFFT ``(n_symbols, 64)`` spectra to time samples, prepending the CP."""
+    spec = np.asarray(spectra, dtype=np.complex128)
+    if spec.ndim != 2 or spec.shape[1] != FFT_SIZE:
+        raise EncodingError(f"spectra must be (n_symbols, {FFT_SIZE}), got {spec.shape}")
+    time = np.fft.ifft(spec, axis=1) * TIME_SCALE
+    if not add_cp:
+        return time
+    return np.concatenate([time[:, -CP_LENGTH:], time], axis=1)
+
+
+def ofdm_demodulate_batch(symbols: np.ndarray, has_cp: bool = True) -> np.ndarray:
+    """FFT received symbol rows (CP stripped first) back to 64-bin spectra."""
+    arr = np.asarray(symbols, dtype=np.complex128)
+    expected = SYMBOL_LENGTH if has_cp else FFT_SIZE
+    if arr.ndim != 2 or arr.shape[1] != expected:
+        raise EncodingError(
+            f"symbols must be (n_symbols, {expected}), got {arr.shape}"
+        )
+    body = arr[:, CP_LENGTH:] if has_cp else arr
+    return np.fft.fft(body, axis=1) / TIME_SCALE
+
+
+def waveform_to_spectra(
+    waveform: np.ndarray, n_symbols: int, offset: int = 0
+) -> np.ndarray:
+    """Slice a waveform into ``(n_symbols, 64)`` spectra starting at *offset*."""
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    available = (arr.size - offset) // SYMBOL_LENGTH
+    if n_symbols > available:
+        raise EncodingError(
+            f"waveform holds {available} symbols after offset, need {n_symbols}"
+        )
+    block = arr[offset : offset + n_symbols * SYMBOL_LENGTH]
+    return ofdm_demodulate_batch(block.reshape(n_symbols, SYMBOL_LENGTH))

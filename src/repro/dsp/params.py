@@ -1,0 +1,86 @@
+"""PHY constants shared by the :mod:`repro.dsp` kernels.
+
+This is a leaf module — it imports nothing from the technology packages —
+so every ``repro.dsp`` kernel can be imported on its own without touching
+:mod:`repro.wifi` or :mod:`repro.zigbee`.  The technology ``params``
+modules re-export these values (they are properties of the 802.11 and
+802.15.4 PHYs, not of any one chain), keeping a single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# --- 802.11 OFDM (20 MHz channel) ------------------------------------------
+
+#: FFT size of the OFDM modulator.
+FFT_SIZE: int = 64
+
+#: Cyclic-prefix length in samples (0.8 us guard interval).
+CP_LENGTH: int = 16
+
+#: Samples per OFDM symbol including the cyclic prefix (4 us).
+SYMBOL_LENGTH: int = FFT_SIZE + CP_LENGTH
+
+#: Pilot subcarrier logical indices (relative to the channel centre).
+PILOT_SUBCARRIERS: Tuple[int, ...] = (-21, -7, 7, 21)
+
+#: Data subcarrier logical indices: -26..26 excluding 0 and the pilots.
+DATA_SUBCARRIERS: Tuple[int, ...] = tuple(
+    k for k in range(-26, 27) if k != 0 and k not in PILOT_SUBCARRIERS
+)
+
+#: Number of data subcarriers per OFDM symbol.
+N_DATA_SUBCARRIERS: int = len(DATA_SUBCARRIERS)  # 48
+
+#: Pilot BPSK values for subcarriers (-21, -7, 7, 21) before polarity.
+PILOT_VALUES: Tuple[int, ...] = (1, 1, 1, -1)
+
+#: The 127-element pilot polarity sequence p_n of 802.11-2012 Eq. 18-25.
+PILOT_POLARITY: Tuple[int, ...] = (
+    1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+    -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+    1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+    -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+    -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+    -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+    -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+    -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+)
+
+#: Bits per subcarrier for each modulation name.
+BITS_PER_SUBCARRIER: Dict[str, int] = {
+    "bpsk": 1,
+    "qpsk": 2,
+    "qam16": 4,
+    "qam64": 6,
+    "qam256": 8,
+}
+
+
+def average_constellation_power(modulation: str) -> float:
+    """Average un-normalised constellation power (e.g. 10 for QAM-16)."""
+    m = BITS_PER_SUBCARRIER.get(modulation)
+    if m is None:
+        raise ConfigurationError(f"unknown modulation {modulation!r}")
+    if m == 1:
+        return 1.0
+    levels = np.arange(1, 2 ** (m // 2), 2, dtype=float)
+    per_axis = float(np.mean(levels**2))
+    return 2.0 * per_axis
+
+
+# --- 802.15.4 O-QPSK (2.4 GHz) ---------------------------------------------
+
+#: Chips per DSSS symbol.
+CHIPS_PER_SYMBOL: int = 32
+
+#: Data bits per symbol (one nibble).
+BITS_PER_SYMBOL: int = 4
+
+#: Baseband oversampling used by the waveform model (samples per chip).
+SAMPLES_PER_CHIP: int = 4

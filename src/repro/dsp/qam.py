@@ -1,0 +1,197 @@
+"""Gray-coded QAM map/demap tables and batch (de)modulation kernels.
+
+Home of the constellation hot path shared by the WiFi transmitter, the
+receiver, and SledZig's significant-bit machinery.  All lookup tables —
+per-axis Gray amplitude maps, full constellation point tables, per-bit
+level sets for max-log LLRs, and the bit-group weight vectors — are cached
+per modulation in :mod:`repro.dsp.cache`.
+
+The kernels are batch-first: bits and symbols may carry any leading batch
+shape; only the trailing axis is interpreted (bit groups / points).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.cache import cached_table
+from repro.errors import ConfigurationError, EncodingError
+from repro.dsp.params import BITS_PER_SUBCARRIER, average_constellation_power
+
+
+def gray_code(index: int) -> int:
+    """Binary-reflected Gray code of *index*."""
+    return index ^ (index >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    index = 0
+    while code:
+        index ^= code
+        code >>= 1
+    return index
+
+
+def bits_per_point(modulation: str) -> int:
+    """N_BPSC of one constellation point."""
+    n_bpsc = BITS_PER_SUBCARRIER.get(modulation)
+    if n_bpsc is None:
+        raise ConfigurationError(f"unknown modulation {modulation!r}")
+    return n_bpsc
+
+
+def normalisation_factor(modulation: str) -> float:
+    """K_mod such that the normalised constellation has unit average power."""
+    return 1.0 / float(np.sqrt(average_constellation_power(modulation)))
+
+
+def axis_tables(bits_per_axis: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached (amplitude_by_group, group_by_level) tables for one QAM axis.
+
+    ``amplitude_by_group[g]`` is the (un-normalised) amplitude selected by
+    the axis bit-group *g* read MSB-first; ``group_by_level[L]`` is the
+    group for level L (0 = most negative amplitude).
+    """
+
+    def build() -> Tuple[np.ndarray, np.ndarray]:
+        n_levels = 2**bits_per_axis
+        amplitude_by_group = np.zeros(n_levels, dtype=np.int64)
+        group_by_level = np.zeros(n_levels, dtype=np.int64)
+        for level in range(n_levels):
+            group = gray_code(level)
+            amplitude_by_group[group] = 2 * level - (n_levels - 1)
+            group_by_level[level] = group
+        amplitude_by_group.setflags(write=False)
+        group_by_level.setflags(write=False)
+        return amplitude_by_group, group_by_level
+
+    return cached_table(("qam-axis", bits_per_axis), build)
+
+
+def constellation_table(modulation: str) -> np.ndarray:
+    """Cached normalised points indexed by the MSB-first bit-group value."""
+
+    def build() -> np.ndarray:
+        n_bpsc = bits_per_point(modulation)
+        if modulation == "bpsk":
+            points = np.array([-1.0 + 0j, 1.0 + 0j])
+        else:
+            half = n_bpsc // 2
+            amp, _ = axis_tables(half)
+            k_mod = normalisation_factor(modulation)
+            values = np.arange(2**n_bpsc)
+            i_group = values >> half
+            q_group = values & ((1 << half) - 1)
+            points = k_mod * (amp[i_group] + 1j * amp[q_group])
+        points.setflags(write=False)
+        return points
+
+    return cached_table(("qam-points", modulation), build)
+
+
+def axis_level_sets(bits_per_axis: int) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    """Cached per axis-bit (amplitudes with bit=0, amplitudes with bit=1)."""
+
+    def build() -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+        n_levels = 2**bits_per_axis
+        _, group_by_level = axis_tables(bits_per_axis)
+        sets = []
+        for bit in range(bits_per_axis):
+            zeros, ones = [], []
+            for level in range(n_levels):
+                amplitude = 2 * level - (n_levels - 1)
+                group = int(group_by_level[level])
+                if (group >> (bits_per_axis - 1 - bit)) & 1:
+                    ones.append(amplitude)
+                else:
+                    zeros.append(amplitude)
+            sets.append(
+                (np.array(zeros, dtype=float), np.array(ones, dtype=float))
+            )
+        return tuple(sets)
+
+    return cached_table(("qam-level-sets", bits_per_axis), build)
+
+
+def _group_weights(n_bpsc: int) -> np.ndarray:
+    """Cached MSB-first weight vector collapsing bit groups to integers."""
+
+    def build() -> np.ndarray:
+        weights = (1 << np.arange(n_bpsc - 1, -1, -1)).astype(np.int64)
+        weights.setflags(write=False)
+        return weights
+
+    return cached_table(("qam-weights", n_bpsc), build)
+
+
+def modulate_batch(bits: np.ndarray, modulation: str) -> np.ndarray:
+    """Map bits to constellation points; trailing axis is the bit stream.
+
+    An input of shape ``(..., n)`` with ``n`` a multiple of N_BPSC yields
+    points of shape ``(..., n / N_BPSC)``.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    n_bpsc = bits_per_point(modulation)
+    if arr.shape[-1] % n_bpsc:
+        raise EncodingError(
+            f"{arr.shape[-1]} bits do not form whole {modulation} points "
+            f"({n_bpsc} bits each)"
+        )
+    groups = arr.reshape(arr.shape[:-1] + (-1, n_bpsc))
+    values = groups @ _group_weights(n_bpsc)
+    return constellation_table(modulation)[values]
+
+
+def _hard_axis_bits(component: np.ndarray, half: int, k_mod: float) -> np.ndarray:
+    """Nearest-level hard decisions for one axis -> ``(..., half)`` bits."""
+    n_levels = 2**half
+    _, group_by_level = axis_tables(half)
+    level = np.round((component / k_mod + (n_levels - 1)) / 2.0)
+    level = np.clip(level, 0, n_levels - 1).astype(np.int64)
+    groups = group_by_level[level]
+    out = np.empty(component.shape + (half,), dtype=np.uint8)
+    for bit in range(half):
+        out[..., bit] = (groups >> (half - 1 - bit)) & 1
+    return out
+
+
+def demodulate_hard_batch(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Hard demap points of shape ``(..., n)`` to bits ``(..., n * N_BPSC)``."""
+    syms = np.asarray(symbols, dtype=np.complex128)
+    n_bpsc = bits_per_point(modulation)
+    if modulation == "bpsk":
+        return (syms.real > 0).astype(np.uint8)
+    half = n_bpsc // 2
+    k_mod = normalisation_factor(modulation)
+    i_bits = _hard_axis_bits(syms.real, half, k_mod)
+    q_bits = _hard_axis_bits(syms.imag, half, k_mod)
+    out = np.concatenate([i_bits, q_bits], axis=-1)
+    return out.reshape(syms.shape[:-1] + (-1,)) if syms.ndim else out
+
+
+def _soft_axis(component: np.ndarray, half: int, k_mod: float) -> np.ndarray:
+    """Max-log LLRs for one axis -> ``(..., half)`` soft values."""
+    y = component / k_mod
+    out = np.empty(y.shape + (half,), dtype=np.float64)
+    for bit, (zeros, ones) in enumerate(axis_level_sets(half)):
+        d0 = np.min((y[..., None] - zeros) ** 2, axis=-1)
+        d1 = np.min((y[..., None] - ones) ** 2, axis=-1)
+        out[..., bit] = d0 - d1
+    return out
+
+
+def demodulate_soft_batch(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Max-log LLR demap; positive soft value means the bit is 1."""
+    syms = np.asarray(symbols, dtype=np.complex128)
+    n_bpsc = bits_per_point(modulation)
+    if modulation == "bpsk":
+        return syms.real.copy()
+    half = n_bpsc // 2
+    k_mod = normalisation_factor(modulation)
+    i_soft = _soft_axis(syms.real, half, k_mod)
+    q_soft = _soft_axis(syms.imag, half, k_mod)
+    out = np.concatenate([i_soft, q_soft], axis=-1)
+    return out.reshape(syms.shape[:-1] + (-1,)) if syms.ndim else out

@@ -1,0 +1,57 @@
+"""Additive-scrambler sequences, cached per seed, applied batch-wise.
+
+The 802.11 frame-synchronous scrambler is a 7-bit LFSR with a 127-bit
+period; scrambling is a pure XOR mask, so applying it to a whole batch of
+frames is one vectorized operation once the period is known.  The period
+for each non-zero seed is generated once and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.cache import cached_table
+from repro.errors import ConfigurationError
+
+#: Period of the x^7 + x^4 + 1 scrambling sequence.
+SEQUENCE_PERIOD: int = 127
+
+
+def _build_period(seed: int) -> np.ndarray:
+    state = [(seed >> i) & 1 for i in range(7)]  # state[i] holds x^(i+1)
+    out = np.empty(SEQUENCE_PERIOD, dtype=np.uint8)
+    for i in range(SEQUENCE_PERIOD):
+        feedback = state[6] ^ state[3]  # x^7 XOR x^4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    out.setflags(write=False)
+    return out
+
+
+def scrambler_period(seed: int) -> np.ndarray:
+    """One full 127-bit period of the scrambling sequence for *seed*."""
+    if not 0 < seed < 128:
+        raise ConfigurationError(
+            f"scrambler seed must be a non-zero 7-bit value, got {seed}"
+        )
+    return cached_table(("scrambler", seed), lambda: _build_period(seed))
+
+
+def scrambler_sequence(seed: int, length: int) -> np.ndarray:
+    """First *length* bits of the scrambling sequence for *seed*."""
+    if length < 0:
+        raise ConfigurationError("sequence length must be non-negative")
+    period = scrambler_period(seed)
+    reps = -(-length // SEQUENCE_PERIOD) if length else 0
+    return np.tile(period, max(reps, 1))[:length]
+
+
+def scramble_batch(bits: np.ndarray, seed: int) -> np.ndarray:
+    """XOR a ``(batch, n)`` bit array with the scrambling sequence.
+
+    The scrambler is additive, so this function is its own inverse.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ConfigurationError("scramble_batch expects a (batch, n) array")
+    return (arr ^ scrambler_sequence(seed, arr.shape[1])[None, :]).astype(np.uint8)

@@ -2,21 +2,26 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # everything
-    python -m repro.experiments.runner fig12 t4   # a subset
-    sledzig-experiments --quick                   # shorter MAC sweeps
+    python -m repro.experiments.runner             # everything
+    python -m repro.experiments.runner fig12 t4    # a subset
+    sledzig-experiments --quick                    # shorter MAC sweeps
+    sledzig-experiments --workers 4                # parallel across processes
 
-Each experiment regenerates one table or figure of the paper; see
-EXPERIMENTS.md for the paper-vs-measured record.
+Result tables (or ``--json`` lines) go to stdout; progress and timing go to
+a module logger on stderr (``--verbose`` raises it to DEBUG).  Each
+experiment regenerates one table or figure of the paper; see EXPERIMENTS.md
+for the paper-vs-measured record.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
-from typing import Callable, Dict, List
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Tuple
 
 from repro.experiments import (
     ablations,
@@ -38,6 +43,9 @@ from repro.experiments import (
     xtech_collision,
 )
 from repro.experiments.base import ExperimentResult
+from repro.utils.serialization import jsonable
+
+logger = logging.getLogger(__name__)
 
 
 def _fig14a(quick: bool) -> ExperimentResult:
@@ -90,47 +98,80 @@ def registry(quick: bool = False) -> Dict[str, Callable[[], ExperimentResult]]:
     }
 
 
+def _run_one(name: str, quick: bool) -> Tuple[ExperimentResult, float]:
+    """Execute one registered experiment, returning (result, seconds).
+
+    Module-level (rather than the registry's lambdas) so worker processes
+    can run experiments by *name* — lambdas do not pickle.
+    """
+    start = time.perf_counter()
+    result = registry(quick)[name]()
+    return result, time.perf_counter() - start
+
+
+def _report(name: str, result: ExperimentResult, seconds: float,
+            as_json: bool) -> None:
+    """Emit one experiment's table (stdout) and timing (logger)."""
+    if as_json:
+        print(json.dumps({
+            "experiment": name,
+            "id": result.experiment_id,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": [jsonable(row) for row in result.rows],
+            "notes": result.notes,
+            "seconds": round(seconds, 2),
+        }))
+    else:
+        print(result.format_table())
+        print()
+    n_rows = len(result.rows)
+    rate = n_rows / seconds if seconds > 0 else float("inf")
+    logger.info(
+        "%s (%s) finished: %d rows in %.2fs (%.1f rows/s)",
+        name, result.experiment_id, n_rows, seconds, rate,
+    )
+
+
 def run_experiments(
-    names: List[str], quick: bool = False, as_json: bool = False
+    names: List[str],
+    quick: bool = False,
+    as_json: bool = False,
+    workers: int = 0,
 ) -> List[ExperimentResult]:
-    """Execute the named experiments (all when *names* is empty)."""
+    """Execute the named experiments (all when *names* is empty).
+
+    Args:
+        names: registry keys to run; empty means every experiment.
+        quick: shrink the MAC sweeps for faster runs.
+        as_json: emit one JSON object per experiment instead of tables.
+        workers: if > 1, run experiments across that many worker
+            processes; output order still follows *names*.
+    """
     reg = registry(quick)
     selected = names or list(reg)
     unknown = [n for n in selected if n not in reg]
     if unknown:
         raise SystemExit(f"unknown experiments {unknown}; choose from {list(reg)}")
-    results = []
-    for name in selected:
-        start = time.time()
-        result = reg[name]()
-        if as_json:
-            print(json.dumps({
-                "experiment": name,
-                "id": result.experiment_id,
-                "title": result.title,
-                "columns": result.columns,
-                "rows": [list(map(_jsonable, row)) for row in result.rows],
-                "notes": result.notes,
-                "seconds": round(time.time() - start, 2),
-            }))
-        else:
-            print(result.format_table())
-            print(f"  [{name} in {time.time() - start:.1f}s]")
-            print()
-        results.append(result)
+    wall_start = time.perf_counter()
+    results: List[ExperimentResult] = []
+    if workers > 1:
+        logger.info("running %d experiments on %d workers", len(selected), workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_one, name, quick) for name in selected]
+            for name, future in zip(selected, futures):
+                result, seconds = future.result()
+                _report(name, result, seconds, as_json)
+                results.append(result)
+    else:
+        for name in selected:
+            logger.debug("starting %s", name)
+            result, seconds = _run_one(name, quick)
+            _report(name, result, seconds, as_json)
+            results.append(result)
+    wall = time.perf_counter() - wall_start
+    logger.info("%d experiments in %.2fs wall-clock", len(selected), wall)
     return results
-
-
-def _jsonable(value):
-    """Coerce numpy scalars and other leaves into JSON-safe values."""
-    try:
-        import numpy as np
-
-        if isinstance(value, np.generic):
-            return value.item()
-    except ImportError:
-        pass
-    return value
 
 
 def main(argv: "List[str] | None" = None) -> int:
@@ -139,8 +180,22 @@ def main(argv: "List[str] | None" = None) -> int:
     parser.add_argument("experiments", nargs="*", help="subset to run")
     parser.add_argument("--quick", action="store_true", help="shorter MAC sweeps")
     parser.add_argument("--json", action="store_true", help="one JSON object per line")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run experiments across N worker processes (default: in-process)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="debug-level progress on stderr"
+    )
     args = parser.parse_args(argv)
-    run_experiments(args.experiments, quick=args.quick, as_json=args.json)
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s: %(message)s",
+    )
+    run_experiments(
+        args.experiments, quick=args.quick, as_json=args.json, workers=args.workers
+    )
     return 0
 
 

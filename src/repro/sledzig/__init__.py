@@ -51,6 +51,8 @@ from repro.sledzig.pipeline import (
     SledZigReceiver,
     SledZigTransmission,
     SledZigTransmitter,
+    decode_frames,
+    encode_frames,
 )
 from repro.sledzig.significant import (
     SignificantBit,

@@ -11,7 +11,7 @@ strips the extra bits and returns the payload bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,17 +88,43 @@ class SledZigTransmitter:
 
     def send(self, payload: bytes) -> SledZigTransmission:
         """Encode and modulate *payload*, returning the full transmission."""
-        if len(payload) >= 1 << (8 * LENGTH_HEADER_OCTETS):
-            raise DecodingError(
-                f"payload of {len(payload)} bytes exceeds the length header"
+        return self.send_frames([payload])[0]
+
+    def send_frames(self, payloads: Sequence[bytes]) -> List[SledZigTransmission]:
+        """Encode and modulate many payloads, batching the PHY stages.
+
+        The scrambled-domain SledZig encoding runs per payload (the
+        insertion plan is payload-dependent); payloads whose streams share
+        a layout then go through the standard transmit chain as one batch
+        via :meth:`repro.wifi.WifiTransmitter.transmit_scrambled_fields`.
+        """
+        results: List[SledZigEncodeResult] = []
+        for payload in payloads:
+            if len(payload) >= 1 << (8 * LENGTH_HEADER_OCTETS):
+                raise DecodingError(
+                    f"payload of {len(payload)} bytes exceeds the length header"
+                )
+            header = len(payload).to_bytes(LENGTH_HEADER_OCTETS, "little")
+            data_bits = bytes_to_bits(header + bytes(payload))
+            results.append(self.encoder.encode(data_bits))
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for idx, result in enumerate(results):
+            key = (int(result.stream.size), result.signal_length_octets)
+            groups.setdefault(key, []).append(idx)
+        out: List[Optional[SledZigTransmission]] = [None] * len(results)
+        for indices in groups.values():
+            first = results[indices[0]]
+            stacked = np.stack([results[i].stream for i in indices])
+            frames = self._wifi.transmit_scrambled_fields(
+                stacked, first.layout, first.signal_length_octets
             )
-        header = len(payload).to_bytes(LENGTH_HEADER_OCTETS, "little")
-        data_bits = bytes_to_bits(header + bytes(payload))
-        result = self.encoder.encode(data_bits)
-        frame = self._wifi.transmit_scrambled_field(
-            result.stream, result.layout, result.signal_length_octets
-        )
-        return SledZigTransmission(frame=frame, encode_result=result, payload=bytes(payload))
+            for row, idx in enumerate(indices):
+                out[idx] = SledZigTransmission(
+                    frame=frames[row],
+                    encode_result=results[idx],
+                    payload=bytes(payloads[idx]),
+                )
+        return out  # type: ignore[return-value]
 
     def max_payload_per_frame(self) -> int:
         """Largest payload (octets) one frame can carry after overheads.
@@ -141,24 +167,71 @@ class SledZigReceiver:
 
     def receive(self, waveform: np.ndarray) -> SledZigReceivedPacket:
         """Demodulate, decode, detect the channel, and strip extra bits."""
-        reception = self._wifi.receive(waveform)
-        stripped = self._decoder.decode(reception)
-        bits = stripped.data_bits
-        header_bits = 8 * LENGTH_HEADER_OCTETS
-        if bits.size < header_bits:
-            raise DecodingError("stripped stream shorter than the length header")
-        header = bits_to_bytes(bits[:header_bits])
-        n_payload = int.from_bytes(header, "little")
-        total_bits = header_bits + 8 * n_payload
-        if bits.size < total_bits:
-            raise DecodingError(
-                f"length header promises {n_payload} bytes but only "
-                f"{(bits.size - header_bits) // 8} are present"
+        return self.receive_frames([waveform])[0]
+
+    def receive_frames(
+        self, waveforms: Sequence[np.ndarray]
+    ) -> List[SledZigReceivedPacket]:
+        """Decode many frames; the WiFi stage batches across frames.
+
+        The waveform/bit-domain heavy lifting happens inside
+        :meth:`repro.wifi.WifiReceiver.receive_frames`; channel detection
+        and extra-bit stripping are per-frame bit operations.
+        """
+        receptions = self._wifi.receive_frames(waveforms)
+        packets: List[SledZigReceivedPacket] = []
+        for reception in receptions:
+            stripped = self._decoder.decode(reception)
+            bits = stripped.data_bits
+            header_bits = 8 * LENGTH_HEADER_OCTETS
+            if bits.size < header_bits:
+                raise DecodingError(
+                    "stripped stream shorter than the length header"
+                )
+            header = bits_to_bytes(bits[:header_bits])
+            n_payload = int.from_bytes(header, "little")
+            total_bits = header_bits + 8 * n_payload
+            if bits.size < total_bits:
+                raise DecodingError(
+                    f"length header promises {n_payload} bytes but only "
+                    f"{(bits.size - header_bits) // 8} are present"
+                )
+            payload = bits_to_bytes(bits[header_bits:total_bits])
+            packets.append(
+                SledZigReceivedPacket(
+                    payload=payload,
+                    channel=stripped.channel,
+                    detection=stripped.detection,
+                    mcs=reception.mcs,
+                )
             )
-        payload = bits_to_bytes(bits[header_bits:total_bits])
-        return SledZigReceivedPacket(
-            payload=payload,
-            channel=stripped.channel,
-            detection=stripped.detection,
-            mcs=reception.mcs,
-        )
+        return packets
+
+
+def encode_frames(
+    payloads: Sequence[bytes],
+    mcs: "Mcs | str",
+    channel: "int | str | OverlapChannel",
+    scrambler_seed: int = DEFAULT_SEED,
+) -> List[np.ndarray]:
+    """Batch-encode payload byte strings straight to PPDU waveforms.
+
+    Thin convenience over :meth:`SledZigTransmitter.send_frames` returning
+    just the complex baseband waveforms, in input order.
+    """
+    transmitter = SledZigTransmitter(mcs, channel, scrambler_seed)
+    return [tx.waveform for tx in transmitter.send_frames(payloads)]
+
+
+def decode_frames(
+    waveforms: Sequence[np.ndarray],
+    channel: "int | str | OverlapChannel | None" = None,
+    scrambler_seed: int = DEFAULT_SEED,
+) -> List[bytes]:
+    """Batch-decode PPDU waveforms straight to payload bytes.
+
+    Thin convenience over :meth:`SledZigReceiver.receive_frames`, in input
+    order.
+    """
+    receiver = SledZigReceiver(channel, scrambler_seed)
+    return [pkt.payload for pkt in receiver.receive_frames(waveforms)]

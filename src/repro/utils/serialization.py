@@ -1,0 +1,30 @@
+"""JSON coercion helpers for experiment results and reports.
+
+Experiment rows mix Python scalars with numpy scalars/arrays; ``jsonable``
+maps any such leaf (or nested container of leaves) onto plain Python types
+that :mod:`json` can serialise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce *value* into JSON-serialisable Python types.
+
+    Handles numpy scalars (including ``np.bool_``), numpy arrays (become
+    nested lists), dicts, and arbitrary sequences (lists/tuples/sets become
+    lists).  Anything else passes through unchanged.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {jsonable(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    return value

@@ -88,7 +88,7 @@ from repro.wifi.puncture import (
     punctured_length,
     transmitted_index,
 )
-from repro.wifi.receiver import WifiReceiver, WifiReception
+from repro.wifi.receiver import WifiReceiver, WifiReception, decode_frames
 from repro.wifi.scrambler import DEFAULT_SEED, Scrambler, descramble, scramble
 from repro.wifi.signal_field import (
     RATE_CODES,
@@ -104,6 +104,12 @@ from repro.wifi.spectral import (
     subcarrier_powers,
     total_power_db,
 )
-from repro.wifi.transmitter import WifiFrame, WifiTransmitter, encode_data_symbols
+from repro.wifi.transmitter import (
+    WifiFrame,
+    WifiTransmitter,
+    encode_data_symbols,
+    encode_data_symbols_batch,
+    encode_frames,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -9,144 +9,66 @@ constellation power is 1 (K_mod = 1/sqrt(10), 1/sqrt(42), 1/sqrt(170) for
 QAM-16/64/256).
 
 The four lowest-power points of any square QAM are (+-1 +-1j)/K_mod; the
-axis bit-groups selecting amplitude +-1 are gray(2^(m-1) - 1) = 01...1 -> 010...0?
-No — see :func:`lowest_power_axis_groups`; concretely the last m-1 bits of
-the axis group must equal 1, 0, 0, ... 0 while the leading (sign) bit is
-free.  That is exactly the paper's Table I: QAM-16 has 2 significant bits
-per point, QAM-64 has 4, QAM-256 has 6.
+axis bit-groups selecting amplitude +-1 agree on every bit except the
+leading (sign) bit — exactly the paper's Table I: QAM-16 has 2 significant
+bits per point, QAM-64 has 4, QAM-256 has 6
+(see :func:`significant_bit_pattern`).
+
+All lookup tables and the hot map/demap kernels live in
+:mod:`repro.dsp.qam`; this module keeps the stream-oriented scalar API plus
+the SledZig-specific significant-bit derivations.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EncodingError
+from repro.dsp.qam import (
+    axis_level_sets as _axis_level_sets,
+    axis_tables as _axis_tables,
+    bits_per_point as _bits_per_point,
+    constellation_table,
+    demodulate_hard_batch,
+    demodulate_soft_batch,
+    gray_code,
+    gray_decode,
+    modulate_batch,
+    normalisation_factor,
+)
+from repro.errors import ConfigurationError
 from repro.utils.bits import BitsLike, as_bits
-from repro.wifi.params import BITS_PER_SUBCARRIER, average_constellation_power
 
-
-def gray_code(index: int) -> int:
-    """Binary-reflected Gray code of *index*."""
-    return index ^ (index >> 1)
-
-
-def gray_decode(code: int) -> int:
-    """Inverse of :func:`gray_code`."""
-    index = 0
-    while code:
-        index ^= code
-        code >>= 1
-    return index
-
-
-def normalisation_factor(modulation: str) -> float:
-    """K_mod such that the normalised constellation has unit average power."""
-    return 1.0 / float(np.sqrt(average_constellation_power(modulation)))
-
-
-@lru_cache(maxsize=None)
-def _axis_tables(bits_per_axis: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Return (amplitude_by_group, group_by_level) for one QAM axis.
-
-    ``amplitude_by_group[g]`` is the (un-normalised) amplitude selected by
-    the axis bit-group *g* read MSB-first; ``group_by_level[L]`` is the group
-    for level L (0 = most negative amplitude).
-    """
-    n_levels = 2**bits_per_axis
-    amplitude_by_group = np.zeros(n_levels, dtype=np.int64)
-    group_by_level = np.zeros(n_levels, dtype=np.int64)
-    for level in range(n_levels):
-        group = gray_code(level)
-        amplitude_by_group[group] = 2 * level - (n_levels - 1)
-        group_by_level[level] = group
-    return amplitude_by_group, group_by_level
+__all__ = [
+    "gray_code",
+    "gray_decode",
+    "normalisation_factor",
+    "constellation_points",
+    "modulate",
+    "demodulate_hard",
+    "demodulate_soft",
+    "lowest_power_axis_groups",
+    "significant_bit_pattern",
+    "lowest_point_power",
+]
 
 
 def constellation_points(modulation: str) -> np.ndarray:
     """All normalised points, indexed by the integer value of the bit group
     (MSB-first over [I bits | Q bits])."""
-    n_bpsc = _bits_per_point(modulation)
-    if modulation == "bpsk":
-        return np.array([-1.0 + 0j, 1.0 + 0j])
-    half = n_bpsc // 2
-    amp, _ = _axis_tables(half)
-    k_mod = normalisation_factor(modulation)
-    points = np.empty(2**n_bpsc, dtype=np.complex128)
-    for value in range(2**n_bpsc):
-        i_group = value >> half
-        q_group = value & ((1 << half) - 1)
-        points[value] = k_mod * (amp[i_group] + 1j * amp[q_group])
-    return points
-
-
-def _bits_per_point(modulation: str) -> int:
-    n_bpsc = BITS_PER_SUBCARRIER.get(modulation)
-    if n_bpsc is None:
-        raise ConfigurationError(f"unknown modulation {modulation!r}")
-    return n_bpsc
+    return constellation_table(modulation)
 
 
 def modulate(bits: BitsLike, modulation: str) -> np.ndarray:
     """Map a bit stream (length multiple of N_BPSC) to complex symbols."""
-    arr = as_bits(bits)
-    n_bpsc = _bits_per_point(modulation)
-    if arr.size % n_bpsc:
-        raise EncodingError(
-            f"{arr.size} bits do not form whole {modulation} points "
-            f"({n_bpsc} bits each)"
-        )
-    groups = arr.reshape(-1, n_bpsc)
-    weights = 1 << np.arange(n_bpsc - 1, -1, -1)
-    values = groups @ weights
-    return constellation_points(modulation)[values]
+    return modulate_batch(as_bits(bits), modulation)
 
 
 def demodulate_hard(symbols: np.ndarray, modulation: str) -> np.ndarray:
     """Hard-decision demap: nearest axis level, Gray-encoded back to bits."""
     syms = np.asarray(symbols, dtype=np.complex128).ravel()
-    n_bpsc = _bits_per_point(modulation)
-    if modulation == "bpsk":
-        return (syms.real > 0).astype(np.uint8)
-    half = n_bpsc // 2
-    n_levels = 2**half
-    _, group_by_level = _axis_tables(half)
-    k_mod = normalisation_factor(modulation)
-
-    def axis_bits(component: np.ndarray) -> np.ndarray:
-        # Quantise to the nearest odd level, clamp to the constellation edge.
-        level = np.round((component / k_mod + (n_levels - 1)) / 2.0)
-        level = np.clip(level, 0, n_levels - 1).astype(np.int64)
-        groups = group_by_level[level]
-        out = np.empty((component.size, half), dtype=np.uint8)
-        for bit in range(half):
-            out[:, bit] = (groups >> (half - 1 - bit)) & 1
-        return out
-
-    i_bits = axis_bits(syms.real)
-    q_bits = axis_bits(syms.imag)
-    return np.concatenate([i_bits, q_bits], axis=1).ravel()
-
-
-@lru_cache(maxsize=None)
-def _axis_level_sets(bits_per_axis: int) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
-    """Per axis-bit: (amplitudes with bit=0, amplitudes with bit=1)."""
-    n_levels = 2**bits_per_axis
-    _, group_by_level = _axis_tables(bits_per_axis)
-    sets = []
-    for bit in range(bits_per_axis):
-        zeros, ones = [], []
-        for level in range(n_levels):
-            amplitude = 2 * level - (n_levels - 1)
-            group = int(group_by_level[level])
-            if (group >> (bits_per_axis - 1 - bit)) & 1:
-                ones.append(amplitude)
-            else:
-                zeros.append(amplitude)
-        sets.append((np.array(zeros, dtype=float), np.array(ones, dtype=float)))
-    return tuple(sets)
+    return demodulate_hard_batch(syms, modulation)
 
 
 def demodulate_soft(symbols: np.ndarray, modulation: str) -> np.ndarray:
@@ -159,25 +81,7 @@ def demodulate_soft(symbols: np.ndarray, modulation: str) -> np.ndarray:
     needed.
     """
     syms = np.asarray(symbols, dtype=np.complex128).ravel()
-    n_bpsc = _bits_per_point(modulation)
-    if modulation == "bpsk":
-        return syms.real.copy()
-    half = n_bpsc // 2
-    k_mod = normalisation_factor(modulation)
-    level_sets = _axis_level_sets(half)
-
-    def axis_soft(component: np.ndarray) -> np.ndarray:
-        y = component / k_mod
-        out = np.empty((y.size, half), dtype=np.float64)
-        for bit, (zeros, ones) in enumerate(level_sets):
-            d0 = np.min((y[:, None] - zeros[None, :]) ** 2, axis=1)
-            d1 = np.min((y[:, None] - ones[None, :]) ** 2, axis=1)
-            out[:, bit] = d0 - d1
-        return out
-
-    i_soft = axis_soft(syms.real)
-    q_soft = axis_soft(syms.imag)
-    return np.concatenate([i_soft, q_soft], axis=1).ravel()
+    return demodulate_soft_batch(syms, modulation)
 
 
 def lowest_power_axis_groups(bits_per_axis: int) -> List[int]:

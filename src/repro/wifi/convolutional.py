@@ -6,9 +6,11 @@ the vectors the paper's Eq. 1 multiplies against X_n = [x_n ... x_{n-6}].
 One input bit produces the output pair (A, B) = (g0 . X_n, g1 . X_n); the
 pairs are serialised A first.
 
-The Viterbi decoder is a hard-decision implementation over the 64-state
-trellis, with erasure support so punctured streams can be decoded after
-depuncturing marks the missing bits.
+The trellis tables and the hot encode/decode recursions live in
+:mod:`repro.dsp.trellis`; this module keeps the standard-facing scalar API
+(streaming encoder, one-shot encode, hard/soft Viterbi) as thin wrappers
+over the batched kernels.  Hard decoding supports erasures so punctured
+streams can be decoded after depuncturing marks the missing bits.
 """
 
 from __future__ import annotations
@@ -17,6 +19,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.dsp.trellis import (
+    ERASURE,
+    conv_encode_batch,
+    get_trellis,
+    viterbi_decode_batch,
+    viterbi_decode_soft_batch,
+)
 from repro.errors import DecodingError, EncodingError
 from repro.utils.bits import BitsLike, as_bits
 from repro.utils.galois import poly_to_taps
@@ -35,31 +44,20 @@ G1: int = 0o171
 G0_TAPS: np.ndarray = poly_to_taps(G0, CONSTRAINT_LENGTH)
 G1_TAPS: np.ndarray = poly_to_taps(G1, CONSTRAINT_LENGTH)
 
-#: Erasure marker inside depunctured streams (neither 0 nor 1).
-ERASURE: int = 2
-
-
-def _build_trellis() -> Tuple[np.ndarray, np.ndarray]:
-    """Precompute next-state and output tables for all (state, input) pairs.
-
-    A state encodes the previous six input bits [x_{n-1} .. x_{n-6}], with
-    x_{n-1} in the most significant position.  Returns ``(next_state,
-    outputs)`` where ``outputs[state, input]`` packs (A << 1) | B.
-    """
-    next_state = np.zeros((N_STATES, 2), dtype=np.int64)
-    outputs = np.zeros((N_STATES, 2), dtype=np.int64)
-    for state in range(N_STATES):
-        history = [(state >> (5 - i)) & 1 for i in range(6)]  # x_{n-1}..x_{n-6}
-        for bit in range(2):
-            window = np.array([bit] + history, dtype=np.uint8)
-            a = int(np.bitwise_and(G0_TAPS, window).sum() & 1)
-            b = int(np.bitwise_and(G1_TAPS, window).sum() & 1)
-            outputs[state, bit] = (a << 1) | b
-            next_state[state, bit] = ((state >> 1) | (bit << 5)) & 0x3F
-    return next_state, outputs
-
-
-_NEXT_STATE, _OUTPUTS = _build_trellis()
+__all__ = [
+    "CONSTRAINT_LENGTH",
+    "N_STATES",
+    "G0",
+    "G1",
+    "G0_TAPS",
+    "G1_TAPS",
+    "ERASURE",
+    "ConvolutionalEncoder",
+    "conv_encode",
+    "encode_output_bit",
+    "viterbi_decode",
+    "viterbi_decode_soft",
+]
 
 
 class ConvolutionalEncoder:
@@ -81,28 +79,22 @@ class ConvolutionalEncoder:
         """Encode one input bit, returning the output pair (A, B)."""
         if bit not in (0, 1):
             raise EncodingError(f"input bit must be 0 or 1, got {bit!r}")
-        packed = int(_OUTPUTS[self._state, bit])
-        self._state = int(_NEXT_STATE[self._state, bit])
+        trellis = get_trellis()
+        packed = int(trellis.outputs[self._state, bit])
+        self._state = int(trellis.next_state[self._state, bit])
         return packed >> 1, packed & 1
 
     def encode(self, bits: BitsLike) -> np.ndarray:
         """Encode a block of bits, returning the serialised A/B stream."""
         arr = as_bits(bits)
-        out = np.empty(2 * arr.size, dtype=np.uint8)
-        state = self._state
-        for i, bit in enumerate(arr):
-            packed = int(_OUTPUTS[state, bit])
-            out[2 * i] = packed >> 1
-            out[2 * i + 1] = packed & 1
-            state = int(_NEXT_STATE[state, bit])
-        self._state = state
-        return out
+        coded, self._state = conv_encode_batch(arr[None, :], self._state)
+        return coded[0]
 
 
 def conv_encode(bits: BitsLike) -> np.ndarray:
     """One-shot encode from the all-zero state (standard DATA field usage)."""
-    encoder = ConvolutionalEncoder()
-    return encoder.encode(bits)
+    coded, _ = conv_encode_batch(as_bits(bits)[None, :])
+    return coded[0]
 
 
 def encode_output_bit(window: BitsLike, branch: int) -> int:
@@ -140,54 +132,9 @@ def viterbi_decode_soft(
     AWGN channel.
     """
     stream = np.asarray(soft, dtype=np.float64).ravel()
-    if stream.size % 2:
-        raise DecodingError("soft stream must contain A/B pairs (even length)")
-    n_steps = stream.size // 2
-    if n_data_bits is None:
-        n_data_bits = n_steps
-    if n_data_bits > n_steps:
-        raise DecodingError(
-            f"requested {n_data_bits} data bits from only {n_steps} soft pairs"
-        )
-    pairs = stream.reshape(-1, 2)
-    out_a = ((_OUTPUTS >> 1) * 2 - 1).astype(np.float64)  # +-1 expected signs
-    out_b = ((_OUTPUTS & 1) * 2 - 1).astype(np.float64)
-
-    preds = np.zeros((N_STATES, 2), dtype=np.int64)
-    pred_inputs = np.zeros((N_STATES, 2), dtype=np.int64)
-    fill = np.zeros(N_STATES, dtype=np.int64)
-    for state in range(N_STATES):
-        for bit in range(2):
-            dst = _NEXT_STATE[state, bit]
-            preds[dst, fill[dst]] = state
-            pred_inputs[dst, fill[dst]] = bit
-            fill[dst] += 1
-
-    neg_inf = -1e18
-    metrics = np.full(N_STATES, neg_inf, dtype=np.float64)
-    metrics[0] = 0.0
-    decisions = np.zeros((n_steps, N_STATES), dtype=np.uint8)
-    for step in range(n_steps):
-        a, b = pairs[step]
-        gain = out_a * a + out_b * b  # [state, input] correlation gain
-        cand = np.empty((N_STATES, 2), dtype=np.float64)
-        for slot in range(2):
-            src = preds[:, slot]
-            inp = pred_inputs[:, slot]
-            cand[:, slot] = metrics[src] + gain[src, inp]
-        choice = np.argmax(cand, axis=1)
-        metrics = cand[np.arange(N_STATES), choice]
-        decisions[step] = pred_inputs[np.arange(N_STATES), choice] | (
-            choice.astype(np.uint8) << 1
-        )
-
-    state = 0 if assume_zero_tail else int(np.argmax(metrics))
-    decoded = np.empty(n_steps, dtype=np.uint8)
-    for step in range(n_steps - 1, -1, -1):
-        packed = int(decisions[step, state])
-        decoded[step] = packed & 1
-        state = int(preds[state, packed >> 1])
-    return decoded[:n_data_bits]
+    return viterbi_decode_soft_batch(
+        stream[None, :], n_data_bits=n_data_bits, assume_zero_tail=assume_zero_tail
+    )[0]
 
 
 def viterbi_decode(
@@ -208,65 +155,8 @@ def viterbi_decode(
     Returns the decoded bit array.
     """
     stream = np.asarray(coded, dtype=np.uint8).ravel()
-    if stream.size % 2:
-        raise DecodingError("coded stream must contain A/B pairs (even length)")
-    n_steps = stream.size // 2
-    if n_data_bits is None:
-        n_data_bits = n_steps
-    if n_data_bits > n_steps:
-        raise DecodingError(
-            f"requested {n_data_bits} data bits from only {n_steps} coded pairs"
-        )
-
-    pairs = stream.reshape(-1, 2)
-    inf = np.iinfo(np.int64).max // 4
-    metrics = np.full(N_STATES, inf, dtype=np.int64)
-    metrics[0] = 0
-    decisions = np.zeros((n_steps, N_STATES), dtype=np.uint8)
-
-    out_a = (_OUTPUTS >> 1).astype(np.int64)  # [state, input]
-    out_b = (_OUTPUTS & 1).astype(np.int64)
-    next_state = _NEXT_STATE
-
-    # For the backward recursion we need, for each destination state, its two
-    # predecessor (state, input) pairs.
-    preds = np.zeros((N_STATES, 2), dtype=np.int64)  # predecessor states
-    pred_inputs = np.zeros((N_STATES, 2), dtype=np.int64)
-    fill = np.zeros(N_STATES, dtype=np.int64)
-    for state in range(N_STATES):
-        for bit in range(2):
-            dst = next_state[state, bit]
-            slot = fill[dst]
-            preds[dst, slot] = state
-            pred_inputs[dst, slot] = bit
-            fill[dst] += 1
-    if not np.all(fill == 2):
-        raise DecodingError("trellis construction failed (predecessor count)")
-
-    for step in range(n_steps):
-        a, b = int(pairs[step, 0]), int(pairs[step, 1])
-        cost = np.zeros((N_STATES, 2), dtype=np.int64)
-        if a != ERASURE:
-            cost += out_a != a
-        if b != ERASURE:
-            cost += out_b != b
-        cand = np.empty((N_STATES, 2), dtype=np.int64)
-        for slot in range(2):
-            src = preds[:, slot]
-            inp = pred_inputs[:, slot]
-            cand[:, slot] = metrics[src] + cost[src, inp]
-        choice = np.argmin(cand, axis=1)
-        metrics = cand[np.arange(N_STATES), choice]
-        decisions[step] = pred_inputs[np.arange(N_STATES), choice] | (
-            choice.astype(np.uint8) << 1
-        )
-
-    state = 0 if assume_zero_tail else int(np.argmin(metrics))
-    decoded = np.empty(n_steps, dtype=np.uint8)
-    for step in range(n_steps - 1, -1, -1):
-        packed = int(decisions[step, state])
-        bit = packed & 1
-        slot = packed >> 1
-        decoded[step] = bit
-        state = int(preds[state, slot])
-    return decoded[:n_data_bits]
+    if stream.size and int(stream.max()) > ERASURE:
+        raise DecodingError("hard-decision stream may contain only 0, 1 and 2")
+    return viterbi_decode_batch(
+        stream[None, :], n_data_bits=n_data_bits, assume_zero_tail=assume_zero_tail
+    )[0]

@@ -17,85 +17,49 @@ SledZig works this permutation *backwards*: significant bits defined at the
 constellation (output) side are mapped to their pre-interleaver positions,
 which the paper notes also scatters them — the property that makes Algorithm
 1's twin-insertion always solvable.
+
+The permutation tables and the block-apply kernels are owned by
+:mod:`repro.dsp.interleaving`; this module re-exposes them with the
+stream-oriented scalar signatures the rest of the WiFi chain uses.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Tuple
-
 import numpy as np
 
-from repro.errors import ConfigurationError, EncodingError
+from repro.dsp.interleaving import (
+    deinterleave_blocks,
+    deinterleave_permutation,
+    interleave_blocks,
+    interleave_permutation,
+)
+from repro.errors import EncodingError
 from repro.utils.bits import BitsLike, as_bits
 
-
-@lru_cache(maxsize=None)
-def interleave_permutation(n_cbps: int, n_bpsc: int) -> Tuple[int, ...]:
-    """Permutation ``perm[k] = j`` from input index k to output index j."""
-    if n_cbps % 16:
-        raise ConfigurationError(f"N_CBPS must be a multiple of 16, got {n_cbps}")
-    if n_bpsc < 1 or n_cbps % n_bpsc:
-        raise ConfigurationError(
-            f"N_BPSC {n_bpsc} incompatible with N_CBPS {n_cbps}"
-        )
-    s = max(n_bpsc // 2, 1)
-    perm = []
-    for k in range(n_cbps):
-        i = (n_cbps // 16) * (k % 16) + k // 16
-        j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
-        perm.append(j)
-    if sorted(perm) != list(range(n_cbps)):
-        raise ConfigurationError("interleaver permutation is not a bijection")
-    return tuple(perm)
-
-
-@lru_cache(maxsize=None)
-def deinterleave_permutation(n_cbps: int, n_bpsc: int) -> Tuple[int, ...]:
-    """Inverse permutation ``inv[j] = k`` (output index back to input)."""
-    perm = interleave_permutation(n_cbps, n_bpsc)
-    inv = [0] * n_cbps
-    for k, j in enumerate(perm):
-        inv[j] = k
-    return tuple(inv)
+__all__ = [
+    "interleave_permutation",
+    "deinterleave_permutation",
+    "interleave",
+    "deinterleave",
+    "deinterleave_soft",
+    "source_index",
+]
 
 
 def interleave(bits: BitsLike, n_cbps: int, n_bpsc: int) -> np.ndarray:
     """Interleave a stream of whole OFDM symbols (length multiple of N_CBPS)."""
-    arr = as_bits(bits)
-    if arr.size % n_cbps:
-        raise EncodingError(
-            f"stream of {arr.size} bits is not whole symbols of {n_cbps}"
-        )
-    perm = np.array(interleave_permutation(n_cbps, n_bpsc))
-    blocks = arr.reshape(-1, n_cbps)
-    out = np.empty_like(blocks)
-    out[:, perm] = blocks
-    return out.ravel()
+    return interleave_blocks(as_bits(bits), n_cbps, n_bpsc)
 
 
 def deinterleave(bits: BitsLike, n_cbps: int, n_bpsc: int) -> np.ndarray:
     """Invert :func:`interleave` on a stream of whole OFDM symbols."""
-    arr = as_bits(bits)
-    if arr.size % n_cbps:
-        raise EncodingError(
-            f"stream of {arr.size} bits is not whole symbols of {n_cbps}"
-        )
-    perm = np.array(interleave_permutation(n_cbps, n_bpsc))
-    blocks = arr.reshape(-1, n_cbps)
-    out = blocks[:, perm]
-    return out.ravel()
+    return deinterleave_blocks(as_bits(bits), n_cbps, n_bpsc)
 
 
 def deinterleave_soft(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
     """Deinterleave real-valued soft decisions (same permutation as bits)."""
     arr = np.asarray(values, dtype=np.float64).ravel()
-    if arr.size % n_cbps:
-        raise EncodingError(
-            f"stream of {arr.size} values is not whole symbols of {n_cbps}"
-        )
-    perm = np.array(interleave_permutation(n_cbps, n_bpsc))
-    return arr.reshape(-1, n_cbps)[:, perm].ravel()
+    return deinterleave_blocks(arr, n_cbps, n_bpsc)
 
 
 def source_index(output_index: int, n_cbps: int, n_bpsc: int) -> int:
@@ -109,4 +73,4 @@ def source_index(output_index: int, n_cbps: int, n_bpsc: int) -> int:
         raise EncodingError(
             f"output index {output_index} outside one symbol of {n_cbps} bits"
         )
-    return deinterleave_permutation(n_cbps, n_bpsc)[output_index]
+    return int(deinterleave_permutation(n_cbps, n_bpsc)[output_index])

@@ -9,6 +9,9 @@ Normalisation: time-domain symbols are scaled by 64/sqrt(52) after numpy's
 ifft, so a symbol whose 52 used subcarriers each carry unit average power has
 unit average sample power.  This keeps waveform-level power measurements
 (e.g. the RSSI experiments) directly comparable across modulations.
+
+The batched FFT kernels and cached bin tables live in
+:mod:`repro.dsp.ofdm`; the per-symbol helpers here are one-row wrappers.
 """
 
 from __future__ import annotations
@@ -17,20 +20,30 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dsp.ofdm import (
+    TIME_SCALE,
+    extract_subcarriers_batch,
+    map_subcarriers_batch,
+    ofdm_demodulate_batch,
+    ofdm_modulate_batch,
+    waveform_to_spectra,
+)
 from repro.errors import EncodingError
 from repro.wifi.params import (
-    CP_LENGTH,
-    DATA_SUBCARRIERS,
     FFT_SIZE,
     N_DATA_SUBCARRIERS,
-    PILOT_POLARITY,
-    PILOT_SUBCARRIERS,
-    PILOT_VALUES,
     SYMBOL_LENGTH,
 )
 
-#: IFFT output scaling so 52 unit-power subcarriers give unit sample power.
-TIME_SCALE: float = FFT_SIZE / np.sqrt(52.0)
+__all__ = [
+    "TIME_SCALE",
+    "map_subcarriers",
+    "extract_subcarriers",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "symbols_to_waveform",
+    "waveform_to_symbols",
+]
 
 
 def map_subcarriers(
@@ -56,14 +69,9 @@ def map_subcarriers(
         raise EncodingError(
             f"need exactly {N_DATA_SUBCARRIERS} data points, got {points.size}"
         )
-    spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
-    for point, logical in zip(points, DATA_SUBCARRIERS):
-        spectrum[logical % FFT_SIZE] = point
-    if pilot_enabled:
-        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
-        for value, logical in zip(PILOT_VALUES, PILOT_SUBCARRIERS):
-            spectrum[logical % FFT_SIZE] = polarity * value
-    return spectrum
+    return map_subcarriers_batch(
+        points[None, :], np.array([symbol_index]), pilot_enabled
+    )[0]
 
 
 def extract_subcarriers(spectrum: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -71,9 +79,8 @@ def extract_subcarriers(spectrum: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     spec = np.asarray(spectrum, dtype=np.complex128).ravel()
     if spec.size != FFT_SIZE:
         raise EncodingError(f"spectrum must have {FFT_SIZE} bins, got {spec.size}")
-    data = np.array([spec[k % FFT_SIZE] for k in DATA_SUBCARRIERS])
-    pilots = np.array([spec[k % FFT_SIZE] for k in PILOT_SUBCARRIERS])
-    return data, pilots
+    data, pilots = extract_subcarriers_batch(spec[None, :])
+    return data[0].copy(), pilots[0].copy()
 
 
 def ofdm_modulate(spectrum: np.ndarray, add_cp: bool = True) -> np.ndarray:
@@ -81,10 +88,7 @@ def ofdm_modulate(spectrum: np.ndarray, add_cp: bool = True) -> np.ndarray:
     spec = np.asarray(spectrum, dtype=np.complex128).ravel()
     if spec.size != FFT_SIZE:
         raise EncodingError(f"spectrum must have {FFT_SIZE} bins, got {spec.size}")
-    time = np.fft.ifft(spec) * TIME_SCALE
-    if not add_cp:
-        return time
-    return np.concatenate([time[-CP_LENGTH:], time])
+    return ofdm_modulate_batch(spec[None, :], add_cp=add_cp)[0]
 
 
 def ofdm_demodulate(samples: np.ndarray, has_cp: bool = True) -> np.ndarray:
@@ -95,15 +99,19 @@ def ofdm_demodulate(samples: np.ndarray, has_cp: bool = True) -> np.ndarray:
         raise EncodingError(
             f"symbol must have {expected} samples, got {arr.size}"
         )
-    body = arr[CP_LENGTH:] if has_cp else arr
-    return np.fft.fft(body) / TIME_SCALE
+    return ofdm_demodulate_batch(arr[None, :], has_cp=has_cp)[0]
 
 
 def symbols_to_waveform(spectra: Sequence[np.ndarray]) -> np.ndarray:
     """Concatenate per-symbol spectra into one CP-prefixed waveform."""
     if len(spectra) == 0:
         return np.zeros(0, dtype=np.complex128)
-    return np.concatenate([ofdm_modulate(spec) for spec in spectra])
+    stacked = np.asarray(spectra, dtype=np.complex128)
+    if stacked.ndim != 2 or stacked.shape[1] != FFT_SIZE:
+        raise EncodingError(
+            f"spectra must stack to (n_symbols, {FFT_SIZE}), got {stacked.shape}"
+        )
+    return ofdm_modulate_batch(stacked).ravel()
 
 
 def waveform_to_symbols(
@@ -114,15 +122,6 @@ def waveform_to_symbols(
     Returns an array of shape (n_symbols, 64).
     """
     arr = np.asarray(waveform, dtype=np.complex128).ravel()
-    available = (arr.size - offset) // SYMBOL_LENGTH
     if n_symbols is None:
-        n_symbols = available
-    if n_symbols > available:
-        raise EncodingError(
-            f"waveform holds {available} symbols after offset, need {n_symbols}"
-        )
-    out = np.empty((n_symbols, FFT_SIZE), dtype=np.complex128)
-    for s in range(n_symbols):
-        start = offset + s * SYMBOL_LENGTH
-        out[s] = ofdm_demodulate(arr[start : start + SYMBOL_LENGTH])
-    return out
+        n_symbols = (arr.size - offset) // SYMBOL_LENGTH
+    return waveform_to_spectra(arr, n_symbols, offset)

@@ -17,21 +17,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
-
+from repro.dsp.params import (
+    BITS_PER_SUBCARRIER,
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    PILOT_POLARITY,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    SYMBOL_LENGTH,
+    average_constellation_power,
+)
 from repro.errors import ConfigurationError
 
 #: Baseband sample rate of a 20 MHz 802.11 channel.
 SAMPLE_RATE_HZ: float = 20e6
-
-#: FFT size of the OFDM modulator.
-FFT_SIZE: int = 64
-
-#: Cyclic-prefix length in samples (0.8 us guard interval).
-CP_LENGTH: int = 16
-
-#: Samples per OFDM symbol including the cyclic prefix (4 us).
-SYMBOL_LENGTH: int = FFT_SIZE + CP_LENGTH
 
 #: OFDM symbol duration in microseconds.
 SYMBOL_DURATION_US: float = 4.0
@@ -39,45 +40,10 @@ SYMBOL_DURATION_US: float = 4.0
 #: Subcarrier spacing: 20 MHz / 64 = 312.5 kHz.
 SUBCARRIER_SPACING_HZ: float = SAMPLE_RATE_HZ / FFT_SIZE
 
-#: Pilot subcarrier logical indices (relative to the channel centre).
-PILOT_SUBCARRIERS: Tuple[int, ...] = (-21, -7, 7, 21)
-
-#: Data subcarrier logical indices: -26..26 excluding 0 and the pilots.
-DATA_SUBCARRIERS: Tuple[int, ...] = tuple(
-    k for k in range(-26, 27) if k != 0 and k not in PILOT_SUBCARRIERS
-)
-
 #: Indices carrying any energy (data + pilots).
 USED_SUBCARRIERS: Tuple[int, ...] = tuple(
     k for k in range(-26, 27) if k != 0
 )
-
-#: Number of data subcarriers per OFDM symbol.
-N_DATA_SUBCARRIERS: int = len(DATA_SUBCARRIERS)  # 48
-
-#: Pilot BPSK values for subcarriers (-21, -7, 7, 21) before polarity.
-PILOT_VALUES: Tuple[int, ...] = (1, 1, 1, -1)
-
-#: The 127-element pilot polarity sequence p_n of 802.11-2012 Eq. 18-25.
-PILOT_POLARITY: Tuple[int, ...] = (
-    1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
-    -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
-    1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
-    -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
-    -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
-    -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
-    -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
-    -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
-)
-
-#: Bits per subcarrier for each modulation name.
-BITS_PER_SUBCARRIER: Dict[str, int] = {
-    "bpsk": 1,
-    "qpsk": 2,
-    "qam16": 4,
-    "qam64": 6,
-    "qam256": 8,
-}
 
 #: Coding rates expressed as (numerator, denominator).
 CODING_RATES: Dict[str, Tuple[int, int]] = {
@@ -209,15 +175,3 @@ def fft_bin(logical: int) -> int:
     if not -32 <= logical <= 31:
         raise ConfigurationError(f"subcarrier index {logical} out of range")
     return logical % FFT_SIZE
-
-
-def average_constellation_power(modulation: str) -> float:
-    """Average un-normalised constellation power (e.g. 10 for QAM-16)."""
-    m = BITS_PER_SUBCARRIER.get(modulation)
-    if m is None:
-        raise ConfigurationError(f"unknown modulation {modulation!r}")
-    if m == 1:
-        return 1.0
-    levels = np.arange(1, 2 ** (m // 2), 2, dtype=float)
-    per_axis = float(np.mean(levels**2))
-    return 2.0 * per_axis

@@ -112,6 +112,60 @@ def depuncture_soft(received: np.ndarray, coding_rate: str) -> np.ndarray:
     return out
 
 
+def puncture_blocks(coded: np.ndarray, coding_rate: str) -> np.ndarray:
+    """Batch :func:`puncture`: drop punctured columns of a ``(batch, n)`` array."""
+    arr = np.asarray(coded, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise EncodingError("puncture_blocks expects a (batch, n) array")
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    if arr.shape[1] % period:
+        raise EncodingError(
+            f"coded length {arr.shape[1]} is not a multiple of the "
+            f"rate-{coding_rate} pattern period {period}"
+        )
+    mask = np.tile(pattern, arr.shape[1] // period)
+    return arr[:, mask]
+
+
+def depuncture_blocks(received: np.ndarray, coding_rate: str) -> np.ndarray:
+    """Batch :func:`depuncture`: erasure-expand every row of ``(batch, n)``."""
+    arr = np.asarray(received, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise EncodingError("depuncture_blocks expects a (batch, n) array")
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    kept_per_period = int(pattern.sum())
+    if arr.shape[1] % kept_per_period:
+        raise EncodingError(
+            f"received length {arr.shape[1]} is not a multiple of "
+            f"{kept_per_period} kept bits per rate-{coding_rate} period"
+        )
+    n_periods = arr.shape[1] // kept_per_period
+    out = np.full((arr.shape[0], n_periods * period), ERASURE, dtype=np.uint8)
+    out[:, np.tile(pattern, n_periods)] = arr
+    return out
+
+
+def depuncture_soft_blocks(received: np.ndarray, coding_rate: str) -> np.ndarray:
+    """Batch :func:`depuncture_soft`: zero-fill punctured columns."""
+    arr = np.asarray(received, dtype=np.float64)
+    if arr.ndim != 2:
+        raise EncodingError("depuncture_soft_blocks expects a (batch, n) array")
+    pattern = _pattern(coding_rate)
+    period = pattern.size
+    kept_per_period = int(pattern.sum())
+    if arr.shape[1] % kept_per_period:
+        raise EncodingError(
+            f"received length {arr.shape[1]} is not a multiple of "
+            f"{kept_per_period} kept bits per rate-{coding_rate} period"
+        )
+    n_periods = arr.shape[1] // kept_per_period
+    out = np.zeros((arr.shape[0], n_periods * period), dtype=np.float64)
+    out[:, np.tile(pattern, n_periods)] = arr
+    return out
+
+
 def kept_indices(n_prepuncture: int, coding_rate: str) -> np.ndarray:
     """Pre-puncture indices of the bits that survive puncturing, in order.
 

@@ -5,29 +5,37 @@ SIGNAL decode, then per-symbol FFT -> equalise -> hard demap -> deinterleave
 -> depuncture -> Viterbi -> descramble.  The result exposes both the raw
 descrambled DATA-field stream (what SledZig's extra-bit stripping consumes,
 paper Section IV-G) and the recovered PSDU.
+
+Batching: :meth:`WifiReceiver.receive_frames` runs the waveform-domain front
+end per frame (synchronisation is inherently per-frame) but stacks every
+frame that announced the same MCS and symbol count into one batched
+deinterleave -> depuncture -> Viterbi -> descramble pass over the
+:mod:`repro.dsp` kernels — the Viterbi recursion dominates receive cost, so
+this is where the batch axis pays.  The scalar :meth:`WifiReceiver.receive`
+is a batch-of-one wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dsp.interleaving import deinterleave_blocks
+from repro.dsp.ofdm import extract_subcarriers_batch, waveform_to_spectra
+from repro.dsp.qam import demodulate_hard_batch, demodulate_soft_batch
+from repro.dsp.scrambling import scramble_batch
+from repro.dsp.trellis import viterbi_decode_batch, viterbi_decode_soft_batch
 from repro.errors import DecodingError
-from repro.wifi.constellation import demodulate_hard, demodulate_soft
-from repro.wifi.convolutional import viterbi_decode, viterbi_decode_soft
-from repro.wifi.interleaver import deinterleave, deinterleave_soft
-from repro.wifi.ofdm import extract_subcarriers, waveform_to_symbols
 from repro.wifi.params import SAMPLE_RATE_HZ, Mcs
 from repro.wifi.ppdu import (
     SERVICE_BITS,
     DataFieldLayout,
-    descramble_data_field,
     plan_data_field,
 )
 from repro.wifi.preamble import PREAMBLE_LENGTH, detect_preamble, lts_spectrum
-from repro.wifi.puncture import depuncture, depuncture_soft
+from repro.wifi.puncture import depuncture_blocks, depuncture_soft_blocks
 from repro.wifi.scrambler import DEFAULT_SEED, Scrambler
 from repro.wifi.signal_field import decode_signal_symbol
 
@@ -51,6 +59,16 @@ class WifiReception:
     psdu_bits: np.ndarray
     descrambled_field: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0, dtype=np.uint8))
     data_points: List[np.ndarray] = field(repr=False, default_factory=list)
+
+
+@dataclass
+class _FrontEndResult:
+    """Per-frame waveform-domain state awaiting the batched bit-domain pass."""
+
+    mcs: Mcs
+    layout: DataFieldLayout
+    data_points: List[np.ndarray]
+    interleaved: np.ndarray  # hard bits (uint8) or soft LLRs (float64)
 
 
 class WifiReceiver:
@@ -84,7 +102,88 @@ class WifiReceiver:
             track_phase: remove the per-symbol common phase error using the
                 pilot subcarriers (mops up residual CFO).
         """
-        arr = np.asarray(waveform, dtype=np.complex128).ravel()
+        return self.receive_frames(
+            [waveform],
+            data_start=data_start,
+            equalise=equalise,
+            soft=soft,
+            correct_cfo=correct_cfo,
+            track_phase=track_phase,
+        )[0]
+
+    def receive_frames(
+        self,
+        waveforms: Sequence[np.ndarray],
+        data_start: Optional[int] = None,
+        equalise: bool = True,
+        soft: bool = False,
+        correct_cfo: bool = True,
+        track_phase: bool = True,
+    ) -> List[WifiReception]:
+        """Decode many PPDUs, batching the bit-domain stages across frames.
+
+        Synchronisation, channel estimation and demapping run per frame;
+        frames whose SIGNAL fields announce the same MCS and symbol count
+        are then deinterleaved, depunctured, Viterbi-decoded and
+        descrambled together.  Results come back in input order.
+        """
+        fronts = [
+            self._front_end(
+                np.asarray(w, dtype=np.complex128).ravel(),
+                data_start,
+                equalise,
+                soft,
+                correct_cfo,
+                track_phase,
+            )
+            for w in waveforms
+        ]
+        groups: Dict[Tuple[Mcs, int], List[int]] = {}
+        for idx, front in enumerate(fronts):
+            groups.setdefault((front.mcs, front.layout.n_symbols), []).append(idx)
+        results: List[Optional[WifiReception]] = [None] * len(fronts)
+        for indices in groups.values():
+            mcs = fronts[indices[0]].mcs
+            layout = fronts[indices[0]].layout
+            stacked = np.stack([fronts[i].interleaved for i in indices])
+            coded = deinterleave_blocks(stacked, mcs.n_cbps, mcs.n_bpsc)
+            if soft:
+                mother = depuncture_soft_blocks(coded, mcs.coding_rate)
+                scrambled = viterbi_decode_soft_batch(
+                    mother, n_data_bits=layout.n_total_bits
+                )
+            else:
+                mother = depuncture_blocks(coded, mcs.coding_rate)
+                scrambled = viterbi_decode_batch(
+                    mother, n_data_bits=layout.n_total_bits, assume_zero_tail=True
+                )
+            descrambled = scramble_batch(scrambled, self.scrambler.seed)
+            for row, idx in enumerate(indices):
+                # Frames in a group share MCS and symbol count but may carry
+                # different PSDU lengths (pad absorbs the difference).
+                frame_layout = fronts[idx].layout
+                psdu = descrambled[
+                    row, SERVICE_BITS : SERVICE_BITS + frame_layout.n_psdu_bits
+                ]
+                results[idx] = WifiReception(
+                    mcs=mcs,
+                    layout=frame_layout,
+                    psdu_bits=psdu.astype(np.uint8),
+                    descrambled_field=descrambled[row].astype(np.uint8),
+                    data_points=fronts[idx].data_points,
+                )
+        return results  # type: ignore[return-value]
+
+    def _front_end(
+        self,
+        arr: np.ndarray,
+        data_start: Optional[int],
+        equalise: bool,
+        soft: bool,
+        correct_cfo: bool,
+        track_phase: bool,
+    ) -> _FrontEndResult:
+        """Waveform domain: sync, CFO, channel, SIGNAL, demap to one stream."""
         if data_start is None:
             data_start, _ = detect_preamble(arr)
         if correct_cfo and data_start >= PREAMBLE_LENGTH:
@@ -94,49 +193,31 @@ class WifiReceiver:
                 arr = arr * np.exp(-2j * np.pi * cfo_hz * n / SAMPLE_RATE_HZ)
         channel = self._estimate_channel(arr, data_start) if equalise else None
 
-        signal_spec = waveform_to_symbols(arr, 1, offset=data_start)[0]
+        signal_spec = waveform_to_spectra(arr, 1, offset=data_start)[0]
         if channel is not None:
             signal_spec = self._apply_equaliser(signal_spec, channel)
         mcs, length_octets = decode_signal_symbol(signal_spec)
 
         layout = plan_data_field(length_octets * 8, mcs)
-        spectra = waveform_to_symbols(
+        spectra = waveform_to_spectra(
             arr, layout.n_symbols, offset=data_start + 80
         )
-        data_points: List[np.ndarray] = []
-        per_symbol = []
-        for s, spec in enumerate(spectra):
-            if channel is not None:
-                spec = self._apply_equaliser(spec, channel)
-            points, pilots = extract_subcarriers(spec)
-            if track_phase:
-                points = self._pilot_phase_correct(points, pilots, s + 1)
-            data_points.append(points)
-            if soft:
-                per_symbol.append(demodulate_soft(points, mcs.modulation))
-            else:
-                per_symbol.append(demodulate_hard(points, mcs.modulation))
-        interleaved = np.concatenate(per_symbol)
+        if channel is not None:
+            spectra = self._apply_equaliser(spectra, channel)
+        points, pilots = extract_subcarriers_batch(spectra)
+        if track_phase:
+            points = self._pilot_phase_correct_batch(
+                points, pilots, first_symbol_index=1
+            )
         if soft:
-            coded = deinterleave_soft(interleaved, mcs.n_cbps, mcs.n_bpsc)
-            mother = depuncture_soft(coded, mcs.coding_rate)
-            scrambled = viterbi_decode_soft(
-                mother, n_data_bits=layout.n_total_bits
-            )
+            interleaved = demodulate_soft_batch(points, mcs.modulation).ravel()
         else:
-            coded = deinterleave(interleaved, mcs.n_cbps, mcs.n_bpsc)
-            mother = depuncture(coded, mcs.coding_rate)
-            scrambled = viterbi_decode(
-                mother, n_data_bits=layout.n_total_bits, assume_zero_tail=True
-            )
-        descrambled = descramble_data_field(scrambled, layout, self.scrambler)
-        psdu = descrambled[SERVICE_BITS : SERVICE_BITS + layout.n_psdu_bits]
-        return WifiReception(
+            interleaved = demodulate_hard_batch(points, mcs.modulation).ravel()
+        return _FrontEndResult(
             mcs=mcs,
             layout=layout,
-            psdu_bits=psdu.astype(np.uint8),
-            descrambled_field=descrambled.astype(np.uint8),
-            data_points=data_points,
+            data_points=list(points),
+            interleaved=interleaved,
         )
 
     @staticmethod
@@ -174,15 +255,31 @@ class WifiReceiver:
         points: np.ndarray, pilots: np.ndarray, symbol_index: int
     ) -> np.ndarray:
         """Remove the common phase error measured on the four pilots."""
-        from repro.wifi.params import PILOT_POLARITY, PILOT_VALUES
+        corrected = WifiReceiver._pilot_phase_correct_batch(
+            np.asarray(points)[None, :],
+            np.asarray(pilots)[None, :],
+            first_symbol_index=symbol_index,
+        )
+        return corrected[0]
 
-        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
-        expected = polarity * np.asarray(PILOT_VALUES, dtype=np.float64)
-        corr = np.sum(pilots * expected)  # expected values are +-1 (real)
-        if abs(corr) < 1e-12:
-            return points
-        phase = np.angle(corr)
-        return points * np.exp(-1j * phase)
+    @staticmethod
+    def _pilot_phase_correct_batch(
+        points: np.ndarray, pilots: np.ndarray, first_symbol_index: int
+    ) -> np.ndarray:
+        """Per-symbol common-phase-error removal over stacked symbols.
+
+        *points* is ``(n_symbols, 48)`` and *pilots* ``(n_symbols, 4)``;
+        symbol s uses pilot polarity index ``first_symbol_index + s``.
+        """
+        from repro.dsp.ofdm import pilot_polarities
+        from repro.wifi.params import PILOT_VALUES
+
+        n_symbols = points.shape[0]
+        polarity = pilot_polarities(np.arange(n_symbols) + first_symbol_index)
+        expected = polarity[:, None] * np.asarray(PILOT_VALUES, dtype=np.float64)
+        corr = np.sum(pilots * expected, axis=1)  # expected values are +-1 (real)
+        phase = np.where(np.abs(corr) < 1e-12, 0.0, np.angle(corr))
+        return points * np.exp(-1j * phase)[:, None]
 
     @staticmethod
     def _estimate_channel(waveform: np.ndarray, data_start: int) -> np.ndarray:
@@ -207,6 +304,22 @@ class WifiReceiver:
 
     @staticmethod
     def _apply_equaliser(spectrum: np.ndarray, channel: np.ndarray) -> np.ndarray:
-        """Zero-forcing equalisation of one symbol spectrum."""
+        """Zero-forcing equalisation of symbol spectra (last axis = 64 bins)."""
         safe = np.where(np.abs(channel) > 1e-12, channel, 1.0)
         return spectrum / safe
+
+
+def decode_frames(
+    waveforms: Sequence[np.ndarray],
+    scrambler_seed: int = DEFAULT_SEED,
+    **kwargs: object,
+) -> List[np.ndarray]:
+    """Batch-decode PPDU waveforms straight to PSDU bit arrays.
+
+    Thin convenience over :meth:`WifiReceiver.receive_frames`; keyword
+    arguments are forwarded (``soft=``, ``equalise=``, ...).
+    """
+    receiver = WifiReceiver(scrambler_seed)
+    return [
+        rec.psdu_bits for rec in receiver.receive_frames(waveforms, **kwargs)
+    ]

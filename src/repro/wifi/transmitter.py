@@ -2,40 +2,48 @@
 
 The chain is: scramble -> convolutional encode -> puncture -> interleave ->
 QAM modulate -> map onto OFDM subcarriers -> IFFT + CP, preceded by the
-16 us preamble and the SIGNAL symbol.
+16 us preamble and the SIGNAL symbol.  Every stage runs on the batched
+kernels in :mod:`repro.dsp`, so a whole frame — or a whole batch of frames —
+moves through each stage in one vectorized call.
 
-The class exposes two entry points:
+The class exposes two families of entry points:
 
-* :meth:`WifiTransmitter.transmit` — the plain standard path from PSDU bits.
-* :meth:`WifiTransmitter.transmit_scrambled_field` — takes an
-  already-scrambled DATA-field stream.  SledZig builds its transmit stream in
-  the scrambled domain (paper Fig. 6), then hands it to this method so that
-  every subsequent stage is *exactly* the standard one — the central
+* :meth:`WifiTransmitter.transmit` / :meth:`WifiTransmitter.transmit_frames`
+  — the plain standard path from PSDU bits, scalar and batched.
+* :meth:`WifiTransmitter.transmit_scrambled_field` /
+  :meth:`WifiTransmitter.transmit_scrambled_fields` — take
+  already-scrambled DATA-field streams.  SledZig builds its transmit stream
+  in the scrambled domain (paper Fig. 6), then hands it to these methods so
+  that every subsequent stage is *exactly* the standard one — the central
   compatibility claim of the paper.
+
+:func:`encode_frames` is the module-level batch convenience: payloads in,
+waveforms out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.dsp.ofdm import map_subcarriers_batch, ofdm_modulate_batch
+from repro.dsp.qam import modulate_batch
+from repro.dsp.scrambling import scramble_batch
+from repro.dsp.trellis import conv_encode_batch
 from repro.errors import ConfigurationError, EncodingError
 from repro.utils.bits import BitsLike, as_bits
-from repro.wifi.constellation import modulate
-from repro.wifi.convolutional import ConvolutionalEncoder
-from repro.wifi.interleaver import interleave
-from repro.wifi.ofdm import map_subcarriers, ofdm_modulate
+from repro.wifi.interleaver import interleave_permutation
 from repro.wifi.params import Mcs, get_mcs
 from repro.wifi.ppdu import (
+    SERVICE_BITS,
+    TAIL_BITS,
     DataFieldLayout,
-    assemble_data_field,
     plan_data_field,
-    scramble_data_field,
 )
 from repro.wifi.preamble import preamble_waveform
-from repro.wifi.puncture import puncture
+from repro.wifi.puncture import puncture_blocks
 from repro.wifi.scrambler import DEFAULT_SEED, Scrambler
 from repro.wifi.signal_field import encode_signal_symbol
 
@@ -72,32 +80,56 @@ class WifiFrame:
         return 16.0 + 4.0 + 4.0 * self.n_data_symbols
 
 
+def encode_data_symbols_batch(
+    scrambled_fields: np.ndarray, mcs: Mcs, first_symbol_index: int = 1
+) -> np.ndarray:
+    """Run the post-scrambler transmit chain on a batch of DATA fields.
+
+    Args:
+        scrambled_fields: ``(batch, n_bits)`` scrambled streams, all the same
+            length and a whole number of OFDM symbols.
+        mcs: modulation and coding scheme.
+        first_symbol_index: pilot-polarity index of the first DATA symbol
+            (the SIGNAL symbol is index 0).
+
+    Returns ``(batch, n_symbols, 64)`` frequency-domain DATA symbols.
+    """
+    bits = np.asarray(scrambled_fields, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise EncodingError("encode_data_symbols_batch expects (batch, n_bits)")
+    if bits.shape[1] == 0 or bits.shape[1] % mcs.n_dbps:
+        raise EncodingError(
+            f"scrambled field of {bits.shape[1]} bits is not whole OFDM "
+            f"symbols of {mcs.n_dbps} data bits"
+        )
+    n_frames = bits.shape[0]
+    n_symbols = bits.shape[1] // mcs.n_dbps
+    mother, _ = conv_encode_batch(bits)
+    coded = puncture_blocks(mother, mcs.coding_rate)
+    # Interleave all symbols of all frames with one fancy-indexing op.
+    blocks = coded.reshape(-1, mcs.n_cbps)
+    interleaved = np.empty_like(blocks)
+    interleaved[:, interleave_permutation(mcs.n_cbps, mcs.n_bpsc)] = blocks
+    points = modulate_batch(interleaved, mcs.modulation)  # (B*S, 48)
+    symbol_indices = np.tile(
+        np.arange(n_symbols) + first_symbol_index, n_frames
+    )
+    spectra = map_subcarriers_batch(points, symbol_indices)
+    return spectra.reshape(n_frames, n_symbols, 64)
+
+
 def encode_data_symbols(
     scrambled_field: BitsLike, mcs: Mcs, first_symbol_index: int = 1
 ) -> List[np.ndarray]:
-    """Run the post-scrambler transmit chain on a scrambled DATA field.
+    """Run the post-scrambler transmit chain on one scrambled DATA field.
 
     Returns one 64-bin spectrum per OFDM symbol.  *first_symbol_index* sets
     the pilot-polarity index of the first DATA symbol (the SIGNAL symbol is
     index 0).
     """
     bits = as_bits(scrambled_field)
-    if bits.size % mcs.n_dbps:
-        raise EncodingError(
-            f"scrambled field of {bits.size} bits is not whole OFDM symbols "
-            f"of {mcs.n_dbps} data bits"
-        )
-    encoder = ConvolutionalEncoder()
-    mother = encoder.encode(bits)
-    coded = puncture(mother, mcs.coding_rate)
-    interleaved = interleave(coded, mcs.n_cbps, mcs.n_bpsc)
-    spectra: List[np.ndarray] = []
-    n_symbols = bits.size // mcs.n_dbps
-    for s in range(n_symbols):
-        chunk = interleaved[s * mcs.n_cbps : (s + 1) * mcs.n_cbps]
-        points = modulate(chunk, mcs.modulation)
-        spectra.append(map_subcarriers(points, symbol_index=first_symbol_index + s))
-    return spectra
+    spectra = encode_data_symbols_batch(bits[None, :], mcs, first_symbol_index)
+    return list(spectra[0])
 
 
 class WifiTransmitter:
@@ -112,16 +144,37 @@ class WifiTransmitter:
 
     def transmit(self, psdu_bits: BitsLike) -> WifiFrame:
         """Build the complete PPDU waveform for a PSDU (whole octets)."""
-        psdu = as_bits(psdu_bits)
-        if psdu.size == 0 or psdu.size % 8:
-            raise ConfigurationError(
-                f"PSDU must be a non-empty whole number of octets, got "
-                f"{psdu.size} bits"
-            )
-        layout = plan_data_field(psdu.size, self.mcs)
-        unscrambled = assemble_data_field(psdu, self.mcs)
-        scrambled = scramble_data_field(unscrambled, layout, self.scrambler)
-        return self.transmit_scrambled_field(scrambled, layout, psdu.size // 8)
+        return self.transmit_frames([psdu_bits])[0]
+
+    def transmit_frames(self, psdu_payloads: Sequence[BitsLike]) -> List[WifiFrame]:
+        """Build PPDUs for many PSDUs, batching equal-length payloads.
+
+        Payloads of the same bit length share one DATA-field layout and run
+        through scrambling, coding, interleaving, QAM and the IFFT as a
+        single batch; results come back in input order.
+        """
+        payloads = [as_bits(p) for p in psdu_payloads]
+        for psdu in payloads:
+            if psdu.size == 0 or psdu.size % 8:
+                raise ConfigurationError(
+                    f"PSDU must be a non-empty whole number of octets, got "
+                    f"{psdu.size} bits"
+                )
+        groups: Dict[int, List[int]] = {}
+        for idx, psdu in enumerate(payloads):
+            groups.setdefault(psdu.size, []).append(idx)
+        frames: List[Optional[WifiFrame]] = [None] * len(payloads)
+        for n_bits, indices in groups.items():
+            layout = plan_data_field(n_bits, self.mcs)
+            fields = np.zeros((len(indices), layout.n_total_bits), dtype=np.uint8)
+            for row, idx in enumerate(indices):
+                fields[row, SERVICE_BITS : SERVICE_BITS + n_bits] = payloads[idx]
+            scrambled = scramble_batch(fields, self.scrambler.seed)
+            scrambled[:, layout.tail_start : layout.tail_start + TAIL_BITS] = 0
+            built = self.transmit_scrambled_fields(scrambled, layout, n_bits // 8)
+            for row, idx in enumerate(indices):
+                frames[idx] = built[row]
+        return frames  # type: ignore[return-value]
 
     def transmit_scrambled_field(
         self,
@@ -136,23 +189,66 @@ class WifiTransmitter:
         from the convolutional encoder onwards is untouched standard code.
         """
         scrambled = as_bits(scrambled_field)
+        return self.transmit_scrambled_fields(
+            scrambled[None, :], layout, psdu_octets
+        )[0]
+
+    def transmit_scrambled_fields(
+        self,
+        scrambled_fields: np.ndarray,
+        layout: DataFieldLayout,
+        psdu_octets: Optional[int] = None,
+    ) -> List[WifiFrame]:
+        """Batch form of :meth:`transmit_scrambled_field`.
+
+        All rows of *scrambled_fields* share *layout* (and hence the SIGNAL
+        symbol); the whole batch is coded, modulated and IFFT'd together.
+        """
+        scrambled = np.asarray(scrambled_fields, dtype=np.uint8)
+        if scrambled.ndim != 2:
+            raise EncodingError(
+                "transmit_scrambled_fields expects a (batch, n_bits) array"
+            )
         if psdu_octets is None:
             psdu_octets = max(1, -(-layout.n_psdu_bits // 8))
-        spectra = encode_data_symbols(scrambled, self.mcs)
-        if len(spectra) != layout.n_symbols:
+        spectra = encode_data_symbols_batch(scrambled, self.mcs)
+        if spectra.shape[1] != layout.n_symbols:
             raise EncodingError(
-                f"scrambled stream made {len(spectra)} symbols, layout "
+                f"scrambled stream made {spectra.shape[1]} symbols, layout "
                 f"expects {layout.n_symbols}"
             )
+        n_frames, n_symbols = spectra.shape[:2]
         signal_spectrum = encode_signal_symbol(self.mcs, psdu_octets)
-        pieces = [preamble_waveform(), ofdm_modulate(signal_spectrum)]
-        pieces.extend(ofdm_modulate(spec) for spec in spectra)
-        waveform = np.concatenate(pieces)
-        return WifiFrame(
-            mcs=self.mcs,
-            layout=layout,
-            scrambled_field=scrambled,
-            data_spectra=spectra,
-            waveform=waveform,
-            psdu_octets=psdu_octets,
+        head = np.concatenate(
+            [preamble_waveform(), ofdm_modulate_batch(signal_spectrum[None, :])[0]]
         )
+        data_waves = ofdm_modulate_batch(spectra.reshape(-1, 64)).reshape(
+            n_frames, -1
+        )
+        frames = []
+        for row in range(n_frames):
+            frames.append(
+                WifiFrame(
+                    mcs=self.mcs,
+                    layout=layout,
+                    scrambled_field=scrambled[row],
+                    data_spectra=list(spectra[row]),
+                    waveform=np.concatenate([head, data_waves[row]]),
+                    psdu_octets=psdu_octets,
+                )
+            )
+        return frames
+
+
+def encode_frames(
+    psdu_payloads: Sequence[BitsLike],
+    mcs: "Mcs | str",
+    scrambler_seed: int = DEFAULT_SEED,
+) -> List[np.ndarray]:
+    """Batch-encode PSDUs straight to PPDU waveforms.
+
+    Thin convenience over :meth:`WifiTransmitter.transmit_frames` returning
+    just the complex baseband waveforms, in input order.
+    """
+    transmitter = WifiTransmitter(mcs, scrambler_seed)
+    return [frame.waveform for frame in transmitter.transmit_frames(psdu_payloads)]

@@ -39,7 +39,11 @@ from repro.zigbee.params import (
     SYMBOL_DURATION_US,
     SYMBOL_RATE_HZ,
 )
-from repro.zigbee.receiver import ZigbeeReceiver, ZigbeeReception
-from repro.zigbee.transmitter import ZigbeeTransmission, ZigbeeTransmitter
+from repro.zigbee.receiver import ZigbeeReceiver, ZigbeeReception, decode_frames
+from repro.zigbee.transmitter import (
+    ZigbeeTransmission,
+    ZigbeeTransmitter,
+    encode_frames,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

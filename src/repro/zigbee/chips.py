@@ -7,6 +7,10 @@ inverted.  Their large mutual Hamming distance is the processing gain that
 lets ZigBee tolerate partial-band interference — the property the paper
 invokes when arguing a full-power pilot inside the channel does not break
 reception (Section IV-E).
+
+The chip matrices themselves are owned by :mod:`repro.dsp.dsss` (shared with
+the batched correlation kernels); this module keeps the symbol-at-a-time
+helpers.
 """
 
 from __future__ import annotations
@@ -16,24 +20,16 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.dsp.dsss import bipolar_table, chip_table, correlate_batch
 from repro.errors import ConfigurationError
 
-#: Chip sequence of data symbol 0 (c0 first), IEEE 802.15.4 Table 12-1.
-_SYMBOL0 = "11011001110000110101001000101110"
-
-
-@lru_cache(maxsize=1)
-def chip_table() -> np.ndarray:
-    """All sixteen chip sequences as a (16, 32) uint8 array."""
-    base = np.array([int(c) for c in _SYMBOL0], dtype=np.uint8)
-    table = np.zeros((16, 32), dtype=np.uint8)
-    for symbol in range(8):
-        table[symbol] = np.roll(base, 4 * symbol)
-    flip = np.zeros(32, dtype=np.uint8)
-    flip[1::2] = 1  # invert the odd-indexed (Q) chips
-    for symbol in range(8):
-        table[8 + symbol] = table[symbol] ^ flip
-    return table
+__all__ = [
+    "chip_table",
+    "chips_for_symbol",
+    "bipolar_table",
+    "min_hamming_distance",
+    "correlate_symbol",
+]
 
 
 def chips_for_symbol(symbol: int) -> np.ndarray:
@@ -41,12 +37,6 @@ def chips_for_symbol(symbol: int) -> np.ndarray:
     if not 0 <= symbol <= 15:
         raise ConfigurationError(f"data symbol must be 0..15, got {symbol}")
     return chip_table()[symbol].copy()
-
-
-@lru_cache(maxsize=1)
-def bipolar_table() -> np.ndarray:
-    """Chip table mapped to +-1 floats, for correlation receivers."""
-    return (chip_table().astype(np.float64) * 2.0) - 1.0
 
 
 @lru_cache(maxsize=1)
@@ -72,7 +62,5 @@ def correlate_symbol(chips: np.ndarray) -> Tuple[int, float]:
     arr = np.asarray(chips, dtype=np.float64).ravel()
     if arr.size != 32:
         raise ConfigurationError(f"need 32 chips, got {arr.size}")
-    scores = bipolar_table() @ arr
-    symbol = int(np.argmax(scores))
-    norm = float(np.sum(np.abs(arr))) or 1.0
-    return symbol, float(scores[symbol] / norm)
+    symbols, scores = correlate_batch(arr)
+    return int(symbols[0]), float(scores[0])

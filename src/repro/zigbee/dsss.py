@@ -5,6 +5,10 @@ nibble is spread to its 32-chip PN sequence.  Despreading correlates
 received (possibly corrupted) chips against all sixteen sequences and takes
 the maximum — this is where the processing gain against partial-band and
 burst interference comes from.
+
+The chip tables and the matrix-product correlation kernel live in
+:mod:`repro.dsp.dsss`; these wrappers keep the stream-in/stream-out scalar
+signatures.
 """
 
 from __future__ import annotations
@@ -13,40 +17,24 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.errors import DecodingError, EncodingError
+from repro.dsp import dsss as _dsp
 from repro.utils.bits import BitsLike, as_bits
-from repro.zigbee.chips import chip_table, correlate_symbol
-from repro.zigbee.params import BITS_PER_SYMBOL, CHIPS_PER_SYMBOL
 
 
 def bits_to_symbols(bits: BitsLike) -> np.ndarray:
     """Group a bit stream (LSB-first nibbles) into data symbols 0..15."""
-    arr = as_bits(bits)
-    if arr.size % BITS_PER_SYMBOL:
-        raise EncodingError(
-            f"{arr.size} bits do not form whole {BITS_PER_SYMBOL}-bit symbols"
-        )
-    groups = arr.reshape(-1, BITS_PER_SYMBOL)
-    weights = 1 << np.arange(BITS_PER_SYMBOL)  # b0 is the LSB
-    return (groups @ weights).astype(np.int64)
+    return np.asarray(_dsp.bits_to_symbols(as_bits(bits)), dtype=np.int64)
 
 
 def symbols_to_bits(symbols: np.ndarray) -> np.ndarray:
     """Inverse of :func:`bits_to_symbols`."""
     arr = np.asarray(symbols, dtype=np.int64).ravel()
-    if arr.size and (arr.min() < 0 or arr.max() > 15):
-        raise EncodingError("data symbols must be 0..15")
-    out = np.empty((arr.size, BITS_PER_SYMBOL), dtype=np.uint8)
-    for bit in range(BITS_PER_SYMBOL):
-        out[:, bit] = (arr >> bit) & 1
-    return out.ravel()
+    return _dsp.symbols_to_bits(arr)
 
 
 def spread(bits: BitsLike) -> np.ndarray:
     """Spread data bits to the chip stream (32 chips per nibble)."""
-    symbols = bits_to_symbols(bits)
-    table = chip_table()
-    return table[symbols].reshape(-1).astype(np.uint8)
+    return _dsp.spread_batch(as_bits(bits))
 
 
 def despread(chips: np.ndarray) -> Tuple[np.ndarray, List[float]]:
@@ -61,17 +49,5 @@ def despread(chips: np.ndarray) -> Tuple[np.ndarray, List[float]]:
     confidence threshold.
     """
     arr = np.asarray(chips, dtype=np.float64).ravel()
-    if arr.size % CHIPS_PER_SYMBOL:
-        raise DecodingError(
-            f"{arr.size} chips do not form whole {CHIPS_PER_SYMBOL}-chip symbols"
-        )
-    if arr.size and arr.min() >= 0.0 and arr.max() <= 1.0:
-        arr = arr * 2.0 - 1.0  # hard chips -> bipolar
-    symbols = []
-    scores: List[float] = []
-    for i in range(arr.size // CHIPS_PER_SYMBOL):
-        chunk = arr[i * CHIPS_PER_SYMBOL : (i + 1) * CHIPS_PER_SYMBOL]
-        symbol, score = correlate_symbol(chunk)
-        symbols.append(symbol)
-        scores.append(score)
-    return symbols_to_bits(np.array(symbols, dtype=np.int64)), scores
+    bits, scores = _dsp.despread_batch(arr)
+    return bits, [float(s) for s in scores]

@@ -9,23 +9,24 @@ saturation.
 The demodulator is a matched filter per rail sampled at pulse centres,
 returning *soft* chip values so the DSSS despreader keeps its full
 processing gain under interference.
+
+The vectorized rail assembly and matched filter are
+:func:`repro.dsp.oqpsk.modulate_chips_batch` /
+:func:`repro.dsp.oqpsk.demodulate_chips_batch`; these wrappers keep the
+one-stream signatures.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DecodingError, EncodingError
-from repro.zigbee.params import SAMPLES_PER_CHIP
+from repro.dsp.oqpsk import (
+    demodulate_chips_batch,
+    half_sine_pulse,
+    modulate_chips_batch,
+)
 
-#: Samples of one half-sine pulse (duration 2 Tc).
-_PULSE_SAMPLES = 2 * SAMPLES_PER_CHIP
-
-
-def half_sine_pulse() -> np.ndarray:
-    """One half-sine pulse spanning two chip periods."""
-    t = np.arange(_PULSE_SAMPLES, dtype=np.float64)
-    return np.sin(np.pi * t / _PULSE_SAMPLES)
+__all__ = ["half_sine_pulse", "modulate_chips", "demodulate_chips"]
 
 
 def modulate_chips(chips: np.ndarray) -> np.ndarray:
@@ -35,27 +36,7 @@ def modulate_chips(chips: np.ndarray) -> np.ndarray:
     pulse tail (the Q rail's offset).
     """
     arr = np.asarray(chips, dtype=np.float64).ravel()
-    if arr.size % 2:
-        raise EncodingError("O-QPSK needs an even number of chips")
-    bipolar = arr * 2.0 - 1.0 if arr.min() >= 0 else arr
-    i_chips = bipolar[0::2]
-    q_chips = bipolar[1::2]
-    pulse = half_sine_pulse()
-    n_pairs = i_chips.size
-    total = n_pairs * _PULSE_SAMPLES + SAMPLES_PER_CHIP + _PULSE_SAMPLES
-    i_rail = np.zeros(total, dtype=np.float64)
-    q_rail = np.zeros(total, dtype=np.float64)
-    for k in range(n_pairs):
-        start = k * _PULSE_SAMPLES
-        i_rail[start : start + _PULSE_SAMPLES] += i_chips[k] * pulse
-        q_start = start + SAMPLES_PER_CHIP
-        q_rail[q_start : q_start + _PULSE_SAMPLES] += q_chips[k] * pulse
-    # Half-sine pulses on offset rails give sin^2 + cos^2 = 1: a constant
-    # unit envelope (the MSK property), so no further normalisation.
-    waveform = i_rail + 1j * q_rail
-    # Trim the unused allocation tail: signal ends after the last Q pulse.
-    end = (n_pairs - 1) * _PULSE_SAMPLES + SAMPLES_PER_CHIP + _PULSE_SAMPLES
-    return waveform[:end]
+    return modulate_chips_batch(arr)
 
 
 def demodulate_chips(waveform: np.ndarray, n_chips: int) -> np.ndarray:
@@ -69,21 +50,4 @@ def demodulate_chips(waveform: np.ndarray, n_chips: int) -> np.ndarray:
     Returns bipolar soft chip estimates (positive means chip value 1).
     """
     arr = np.asarray(waveform, dtype=np.complex128).ravel()
-    if n_chips % 2:
-        raise DecodingError("O-QPSK chip count must be even")
-    pulse = half_sine_pulse()
-    pulse_energy = float(np.sum(pulse**2))
-    n_pairs = n_chips // 2
-    soft = np.empty(n_chips, dtype=np.float64)
-    for k in range(n_pairs):
-        start = k * _PULSE_SAMPLES
-        i_seg = arr[start : start + _PULSE_SAMPLES]
-        if i_seg.size < _PULSE_SAMPLES:
-            raise DecodingError("waveform too short for requested chips")
-        soft[2 * k] = float(np.real(i_seg) @ pulse) / pulse_energy
-        q_start = start + SAMPLES_PER_CHIP
-        q_seg = arr[q_start : q_start + _PULSE_SAMPLES]
-        if q_seg.size < _PULSE_SAMPLES:
-            raise DecodingError("waveform too short for requested chips")
-        soft[2 * k + 1] = float(np.imag(q_seg) @ pulse) / pulse_energy
-    return soft
+    return demodulate_chips_batch(arr, n_chips)

@@ -8,14 +8,14 @@ race against WiFi's 9/28 us slots (paper Sections II-B, IV-F).
 
 from __future__ import annotations
 
+from repro.dsp.params import (
+    BITS_PER_SYMBOL,
+    CHIPS_PER_SYMBOL,
+    SAMPLES_PER_CHIP,
+)
+
 #: Chip rate of the 2.4 GHz O-QPSK PHY.
 CHIP_RATE_HZ: float = 2e6
-
-#: Chips per DSSS symbol.
-CHIPS_PER_SYMBOL: int = 32
-
-#: Data bits per symbol (one nibble).
-BITS_PER_SYMBOL: int = 4
 
 #: Symbol rate: 2 Mchip/s / 32 chips = 62.5 ksym/s.
 SYMBOL_RATE_HZ: float = CHIP_RATE_HZ / CHIPS_PER_SYMBOL
@@ -25,9 +25,6 @@ SYMBOL_DURATION_US: float = 1e6 / SYMBOL_RATE_HZ
 
 #: PHY data rate: 250 kbit/s.
 DATA_RATE_BPS: float = SYMBOL_RATE_HZ * BITS_PER_SYMBOL
-
-#: Baseband oversampling used by the waveform model (samples per chip).
-SAMPLES_PER_CHIP: int = 4
 
 #: Baseband sample rate of generated ZigBee waveforms.
 SAMPLE_RATE_HZ: float = CHIP_RATE_HZ * SAMPLES_PER_CHIP

@@ -10,15 +10,15 @@ Section IV-E relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SynchronizationError
+from repro.dsp.dsss import despread_batch
+from repro.dsp.oqpsk import PULSE_SAMPLES, demodulate_chips_batch
+from repro.errors import DecodingError, SynchronizationError
 from repro.zigbee.chips import chip_table
-from repro.zigbee.dsss import despread
 from repro.zigbee.frame import ZigbeeFrame, parse_ppdu_bits
-from repro.zigbee.oqpsk import demodulate_chips
 from repro.zigbee.params import (
     CHIPS_PER_SYMBOL,
     PREAMBLE_SYMBOLS,
@@ -58,22 +58,56 @@ class ZigbeeReceiver:
             start_sample: first sample of the frame if known; otherwise the
                 preamble correlator searches for it.
         """
-        arr = np.asarray(waveform, dtype=np.complex128).ravel()
-        if start_sample is None:
-            start_sample = self._synchronise(arr)
-        available = arr.size - start_sample
-        n_chips = (available // SAMPLES_PER_CHIP) & ~1
-        n_chips -= n_chips % CHIPS_PER_SYMBOL
-        if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
-            raise SynchronizationError("waveform too short for SHR + PHR")
-        soft = demodulate_chips(arr[start_sample:], n_chips)
-        bits, scores = despread(soft)
-        frame = parse_ppdu_bits(bits)
-        return ZigbeeReception(
-            frame=frame,
-            symbol_scores=scores[: frame.n_symbols],
-            start_sample=start_sample,
-        )
+        return self.receive_frames([waveform], [start_sample])[0]
+
+    def receive_frames(
+        self,
+        waveforms: Sequence[np.ndarray],
+        start_samples: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[ZigbeeReception]:
+        """Decode many frames, batching demodulation across equal lengths.
+
+        Synchronisation runs per frame; frames that yield the same chip
+        count share one matched-filter and one DSSS-correlation batch.
+        Results keep input order.
+        """
+        if start_samples is None:
+            start_samples = [None] * len(waveforms)
+        arrs = [np.asarray(w, dtype=np.complex128).ravel() for w in waveforms]
+        starts: List[int] = []
+        chip_counts: List[int] = []
+        for arr, start in zip(arrs, start_samples):
+            if start is None:
+                start = self._synchronise(arr)
+            available = arr.size - start
+            n_chips = (available // SAMPLES_PER_CHIP) & ~1
+            n_chips -= n_chips % CHIPS_PER_SYMBOL
+            if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
+                raise SynchronizationError("waveform too short for SHR + PHR")
+            starts.append(start)
+            chip_counts.append(n_chips)
+        groups: Dict[int, List[int]] = {}
+        for idx, n_chips in enumerate(chip_counts):
+            groups.setdefault(n_chips, []).append(idx)
+        results: List[Optional[ZigbeeReception]] = [None] * len(arrs)
+        for n_chips, indices in groups.items():
+            needed = (n_chips // 2) * PULSE_SAMPLES + SAMPLES_PER_CHIP
+            segments = np.empty((len(indices), needed), dtype=np.complex128)
+            for row, idx in enumerate(indices):
+                chunk = arrs[idx][starts[idx] : starts[idx] + needed]
+                if chunk.size < needed:
+                    raise DecodingError("waveform too short for requested chips")
+                segments[row] = chunk
+            soft = demodulate_chips_batch(segments, n_chips)
+            bits, scores = despread_batch(soft)
+            for row, idx in enumerate(indices):
+                frame = parse_ppdu_bits(bits[row])
+                results[idx] = ZigbeeReception(
+                    frame=frame,
+                    symbol_scores=[float(s) for s in scores[row][: frame.n_symbols]],
+                    start_sample=starts[idx],
+                )
+        return results  # type: ignore[return-value]
 
     def _synchronise(self, waveform: np.ndarray) -> int:
         """Find the frame start by correlating against the zero symbol.
@@ -105,3 +139,12 @@ class ZigbeeReceiver:
         window_end = min(first + period // 2, metric.size)
         peak = first + int(np.argmax(metric[first:window_end]))
         return peak
+
+
+def decode_frames(waveforms: Sequence[np.ndarray]) -> List[bytes]:
+    """Batch-decode O-QPSK waveforms straight to PSDU octet strings.
+
+    Thin convenience over :meth:`ZigbeeReceiver.receive_frames`, in input
+    order.
+    """
+    return [rx.frame.psdu for rx in ZigbeeReceiver().receive_frames(waveforms)]

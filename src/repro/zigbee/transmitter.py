@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.zigbee.dsss import spread
+from repro.dsp.dsss import spread_batch
+from repro.dsp.oqpsk import modulate_chips_batch
 from repro.zigbee.frame import ZigbeeFrame, build_ppdu_bits
-from repro.zigbee.oqpsk import modulate_chips
 
 
 @dataclass
@@ -37,11 +38,36 @@ class ZigbeeTransmitter:
 
     def send(self, psdu: bytes) -> ZigbeeTransmission:
         """Frame, spread and modulate *psdu*."""
-        bits = build_ppdu_bits(psdu)
-        chips = spread(bits)
-        waveform = modulate_chips(chips)
-        return ZigbeeTransmission(
-            frame=ZigbeeFrame(psdu=bytes(psdu)),
-            chips=chips,
-            waveform=waveform,
-        )
+        return self.send_frames([psdu])[0]
+
+    def send_frames(self, psdus: Sequence[bytes]) -> List[ZigbeeTransmission]:
+        """Frame, spread and modulate many PSDUs, batching equal lengths.
+
+        Equal-length payloads are spread and O-QPSK-modulated as one batch
+        through the :mod:`repro.dsp` kernels; results keep input order.
+        """
+        bit_streams = [build_ppdu_bits(psdu) for psdu in psdus]
+        groups: Dict[int, List[int]] = {}
+        for idx, bits in enumerate(bit_streams):
+            groups.setdefault(bits.size, []).append(idx)
+        out: List[Optional[ZigbeeTransmission]] = [None] * len(psdus)
+        for indices in groups.values():
+            stacked = np.stack([bit_streams[i] for i in indices])
+            chips = spread_batch(stacked)
+            waveforms = modulate_chips_batch(chips)
+            for row, idx in enumerate(indices):
+                out[idx] = ZigbeeTransmission(
+                    frame=ZigbeeFrame(psdu=bytes(psdus[idx])),
+                    chips=chips[row],
+                    waveform=waveforms[row],
+                )
+        return out  # type: ignore[return-value]
+
+
+def encode_frames(psdus: Sequence[bytes]) -> List[np.ndarray]:
+    """Batch-encode PSDU octet strings straight to O-QPSK waveforms.
+
+    Thin convenience over :meth:`ZigbeeTransmitter.send_frames` returning
+    just the complex baseband waveforms, in input order.
+    """
+    return [tx.waveform for tx in ZigbeeTransmitter().send_frames(psdus)]

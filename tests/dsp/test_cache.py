@@ -1,0 +1,73 @@
+"""Tests for the repro.dsp parameter-keyed table cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.cache import TableCache, cache_stats, cached_table, clear_cache
+
+
+class TestTableCache:
+    def test_build_once(self):
+        cache = TableCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(4)
+
+        first = cache.get(("x", 1), build)
+        second = cache.get(("x", 1), build)
+        assert len(calls) == 1
+        assert first is second
+
+    def test_hit_miss_accounting(self):
+        cache = TableCache()
+        cache.get(("a",), lambda: 1)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["entries"] == 2
+
+    def test_distinct_keys_distinct_tables(self):
+        cache = TableCache()
+        one = cache.get(("k", 1), lambda: np.zeros(1))
+        two = cache.get(("k", 2), lambda: np.ones(1))
+        assert one is not two
+
+    def test_clear_resets(self):
+        cache = TableCache()
+        cache.get(("a",), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+
+class TestGlobalCache:
+    def test_module_cache_hit_on_reuse(self):
+        clear_cache()
+        try:
+            before = cache_stats()
+            cached_table(("test-table", 7), lambda: np.arange(7))
+            cached_table(("test-table", 7), lambda: np.arange(7))
+            after = cache_stats()
+            assert after["misses"] == before["misses"] + 1
+            assert after["hits"] == before["hits"] + 1
+        finally:
+            clear_cache()
+
+    def test_kernels_share_the_cache(self):
+        from repro.dsp.interleaving import interleave_permutation
+
+        clear_cache()
+        try:
+            interleave_permutation(192, 4)
+            misses = cache_stats()["misses"]
+            interleave_permutation(192, 4)
+            stats = cache_stats()
+            assert stats["misses"] == misses  # second call was a pure hit
+            assert stats["hits"] >= 1
+        finally:
+            clear_cache()
