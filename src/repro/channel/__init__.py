@@ -1,6 +1,13 @@
 """Propagation, calibration and noise: the RF environment substrate."""
 
 from repro.channel.awgn import awgn, frequency_shift, mix_at_offset
+from repro.channel.batch import (
+    apply_gain_db,
+    awgn_batch,
+    frequency_shift_batch,
+    mix_at_offset_batch,
+    stack_waveforms,
+)
 from repro.channel.downconvert import (
     band_power_ratio_db,
     extract_zigbee_band,

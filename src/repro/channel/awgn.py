@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -13,18 +11,27 @@ from repro.utils.db import db_to_linear, signal_power
 def awgn(
     waveform: np.ndarray,
     snr_db: float,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator,
 ) -> np.ndarray:
     """Add complex AWGN so the result has the requested SNR.
 
     The noise power is set relative to the measured mean power of
     *waveform*, which must be non-silent.
+
+    *rng* is mandatory: noise is the one place an experiment's randomness
+    enters the channel, so the generator must be threaded from the caller's
+    trial stream (see :mod:`repro.montecarlo.seeding`) — a silent fallback
+    to a fresh unseeded generator would break bit-reproducibility.
     """
+    if not isinstance(rng, np.random.Generator):
+        raise ConfigurationError(
+            "awgn requires an explicit numpy Generator; derive one from the "
+            "trial stream (repro.montecarlo.seeding.trial_rng)"
+        )
     arr = np.asarray(waveform, dtype=np.complex128).ravel()
     power = signal_power(arr)
     if power <= 0.0:
         raise ConfigurationError("cannot set an SNR on a silent waveform")
-    rng = rng or np.random.default_rng()
     noise_power = power / db_to_linear(snr_db)
     noise = rng.normal(size=arr.size) + 1j * rng.normal(size=arr.size)
     noise *= np.sqrt(noise_power / 2.0)

@@ -1,0 +1,193 @@
+"""Vectorized channel operations over stacked frame batches.
+
+The Monte-Carlo engine evaluates N trials at once; these kernels apply the
+channel layer (noise, interference mixing, gain/path-loss scaling,
+frequency shift) to a ``(batch, samples)`` matrix in one NumPy pass.
+
+Determinism contract: :func:`awgn_batch` draws each row's noise from that
+row's own :class:`~numpy.random.Generator` — the *same* draws, in the same
+order, that the scalar :func:`repro.channel.awgn.awgn` would make for that
+trial.  Stacking therefore changes the arithmetic layout but never the
+bits: batch-of-N equals N batch-of-1 exactly (pinned by
+``tests/channel/test_batch.py`` and the engine determinism tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.db import db_to_linear
+
+__all__ = [
+    "stack_waveforms",
+    "awgn_batch",
+    "mix_at_offset_batch",
+    "apply_gain_db",
+    "frequency_shift_batch",
+]
+
+FloatOrVector = Union[float, Sequence[float], np.ndarray]
+
+
+def stack_waveforms(
+    waveforms: Sequence[np.ndarray], length: Optional[int] = None
+) -> np.ndarray:
+    """Stack 1-D complex waveforms into a zero-padded ``(batch, L)`` matrix.
+
+    *length* defaults to the longest input; shorter rows are zero-padded on
+    the right (padding is silence, which every kernel here treats as such).
+    """
+    arrays = [np.asarray(w, dtype=np.complex128).ravel() for w in waveforms]
+    if not arrays:
+        raise ConfigurationError("cannot stack an empty list of waveforms")
+    longest = max(a.size for a in arrays)
+    if length is None:
+        length = longest
+    elif length < longest:
+        raise ConfigurationError(
+            f"length {length} is shorter than the longest waveform ({longest})"
+        )
+    out = np.zeros((len(arrays), length), dtype=np.complex128)
+    for row, arr in zip(out, arrays):
+        row[: arr.size] = arr
+    return out
+
+
+def _as_batch(waveforms: "np.ndarray | Sequence[np.ndarray]") -> np.ndarray:
+    if isinstance(waveforms, (list, tuple)):
+        return stack_waveforms(waveforms)
+    arr = np.asarray(waveforms, dtype=np.complex128)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ConfigurationError("expected a (batch, samples) waveform matrix")
+    return arr
+
+
+def awgn_batch(
+    waveforms: "np.ndarray | Sequence[np.ndarray]",
+    snr_db: FloatOrVector,
+    rngs: Sequence[np.random.Generator],
+    lengths: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Add per-trial AWGN to a batch of waveforms at the requested SNRs.
+
+    Args:
+        waveforms: ``(batch, L)`` matrix (or list of equal/padded rows).
+        snr_db: one SNR for the whole batch or one per row.
+        rngs: one generator per row; row *k*'s noise comes only from
+            ``rngs[k]``, reproducing the scalar ``awgn`` draws exactly.
+        lengths: true (pre-padding) length per row.  Noise covers — and
+            signal power is measured over — only the true samples, so a
+            padded batch matches the unpadded scalar calls bit for bit.
+
+    Returns a new ``(batch, L)`` matrix; padding samples stay zero.
+    """
+    stack = _as_batch(waveforms)
+    n, total = stack.shape
+    if len(rngs) != n:
+        raise ConfigurationError(f"got {len(rngs)} generators for {n} waveforms")
+    if lengths is None:
+        true_lengths = [total] * n
+    else:
+        if len(lengths) != n:
+            raise ConfigurationError(f"got {len(lengths)} lengths for {n} waveforms")
+        true_lengths = [int(ell) for ell in lengths]
+        if any(ell <= 0 or ell > total for ell in true_lengths):
+            raise ConfigurationError("lengths must lie in [1, row width]")
+    snrs = np.broadcast_to(np.asarray(snr_db, dtype=float).ravel(), (n,)) \
+        if np.ndim(snr_db) else np.full(n, float(snr_db))
+    # Vectorized power measurement over the true samples of every row.
+    mask = np.arange(total)[np.newaxis, :] < np.asarray(true_lengths)[:, np.newaxis]
+    powers = np.sum(np.abs(stack) ** 2 * mask, axis=1) / np.asarray(true_lengths)
+    if np.any(powers <= 0.0):
+        raise ConfigurationError("cannot set an SNR on a silent waveform")
+    noise_powers = powers / db_to_linear(np.asarray(snrs))
+    out = stack.copy()
+    for k, (rng, ell) in enumerate(zip(rngs, true_lengths)):
+        # Same draw order as the scalar path: real vector, then imaginary.
+        noise = rng.normal(size=ell) + 1j * rng.normal(size=ell)
+        out[k, :ell] += noise * np.sqrt(noise_powers[k] / 2.0)
+    return out
+
+
+def mix_at_offset_batch(
+    bases: "np.ndarray | Sequence[np.ndarray]",
+    interferers: "np.ndarray | Sequence[np.ndarray]",
+    offsets_samples: "int | Sequence[int] | np.ndarray",
+    gains_db: FloatOrVector = 0.0,
+) -> np.ndarray:
+    """Batched :func:`repro.channel.awgn.mix_at_offset`.
+
+    Each row of *interferers* is scaled by its gain and added into the
+    matching row of *bases* at its offset.  The output width covers the
+    worst-case overlap across the batch; rows beyond their own extent stay
+    zero, so per-row slices equal the scalar results exactly.
+    """
+    base = _as_batch(bases)
+    interf = _as_batch(interferers)
+    if base.shape[0] != interf.shape[0]:
+        raise ConfigurationError("bases and interferers must have equal batch size")
+    n = base.shape[0]
+    offsets = np.broadcast_to(
+        np.asarray(offsets_samples, dtype=int).ravel()
+        if np.ndim(offsets_samples) else np.full(n, int(offsets_samples)),
+        (n,),
+    )
+    if np.any(offsets < 0):
+        raise ConfigurationError("offset must be non-negative")
+    gains = np.broadcast_to(np.asarray(gains_db, dtype=float).ravel(), (n,)) \
+        if np.ndim(gains_db) else np.full(n, float(gains_db))
+    total = max(base.shape[1], int(offsets.max()) + interf.shape[1])
+    out = np.zeros((n, total), dtype=np.complex128)
+    out[:, : base.shape[1]] = base
+    scaled = interf * np.sqrt(db_to_linear(gains))[:, np.newaxis]
+    # Scatter-add every row's interferer at its own offset with one
+    # fancy-indexed accumulate (offsets differ per row, so no single slice).
+    cols = offsets[:, np.newaxis] + np.arange(interf.shape[1])[np.newaxis, :]
+    rows = np.broadcast_to(np.arange(n)[:, np.newaxis], cols.shape)
+    np.add.at(out, (rows.ravel(), cols.ravel()), scaled.ravel())
+    return out
+
+
+def apply_gain_db(
+    waveforms: "np.ndarray | Sequence[np.ndarray]",
+    gains_db: FloatOrVector,
+) -> np.ndarray:
+    """Scale each row by a power gain in dB (path-loss application).
+
+    One multiply for the whole batch: ``gains_db`` may be a scalar or a
+    per-row vector of (negative) path-loss values in dB.
+    """
+    stack = _as_batch(waveforms)
+    gains = np.asarray(gains_db, dtype=float)
+    if gains.ndim == 0:
+        amplitude = np.sqrt(db_to_linear(float(gains)))
+        return stack * amplitude
+    if gains.ravel().size != stack.shape[0]:
+        raise ConfigurationError(
+            f"got {gains.ravel().size} gains for {stack.shape[0]} waveforms"
+        )
+    return stack * np.sqrt(db_to_linear(gains.ravel()))[:, np.newaxis]
+
+
+def frequency_shift_batch(
+    waveforms: "np.ndarray | Sequence[np.ndarray]",
+    shifts_hz: FloatOrVector,
+    sample_rate_hz: float,
+) -> np.ndarray:
+    """Complex-rotate each row by its own frequency offset.
+
+    The downconversion workhorse: mixing a batch of WiFi waveforms to a
+    ZigBee channel centre is ``frequency_shift_batch(stack, -offset, fs)``
+    followed by one filter pass.
+    """
+    stack = _as_batch(waveforms)
+    n, total = stack.shape
+    shifts = np.broadcast_to(np.asarray(shifts_hz, dtype=float).ravel(), (n,)) \
+        if np.ndim(shifts_hz) else np.full(n, float(shifts_hz))
+    phases = np.outer(shifts, np.arange(total)) / float(sample_rate_hz)
+    return stack * np.exp(2j * np.pi * phases)

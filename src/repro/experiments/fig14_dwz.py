@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.base import ExperimentResult
 from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
 from repro.mac.simulator import run_coexistence
+from repro.montecarlo import seeding
 
 #: Curves: label -> (mcs, sledzig?).
 CURVES: "Tuple[Tuple[str, Tuple[str, bool]], ...]" = (
@@ -33,7 +34,11 @@ def throughput_at(
     duration_us: float = 400_000.0,
     seed: int = 2,
 ) -> float:
-    """ZigBee throughput (kbps) for one point of the sweep."""
+    """ZigBee throughput (kbps) for one point of the sweep.
+
+    The simulation stream is addressed by the sweep point (channel, curve,
+    distance), so any subset of the grid reproduces the full run's values.
+    """
     config = CoexistenceConfig(
         wifi=WifiConfig(
             mcs_name=mcs_name,
@@ -44,7 +49,10 @@ def throughput_at(
         duration_us=duration_us,
         seed=seed,
     )
-    return run_coexistence(config).zigbee_throughput_kbps
+    rng = seeding.trial_rng(
+        seed, f"fig14/ch{channel_index}/{mcs_name}/sledzig={sledzig}/d={d_wz}", 0
+    )
+    return run_coexistence(config, rng=rng).zigbee_throughput_kbps
 
 
 def sweep_channel(
@@ -67,10 +75,11 @@ def run(
     channel_index: int = 3,
     distances: Sequence[float] = DEFAULT_DISTANCES,
     duration_us: float = 400_000.0,
+    master_seed: int = 2,
 ) -> ExperimentResult:
     """One Fig. 14 panel as a table (channel 3 -> panel (a), 4 -> (b))."""
     panel = "a" if channel_index != 4 else "b"
-    curves = sweep_channel(channel_index, distances, duration_us)
+    curves = sweep_channel(channel_index, distances, duration_us, master_seed)
     result = ExperimentResult(
         experiment_id=f"Fig. 14{panel}",
         title=(

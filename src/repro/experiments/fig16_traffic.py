@@ -17,12 +17,15 @@ feasible — the ordering and degradation shape match the paper either way
 
 from __future__ import annotations
 
-from dataclasses import replace
+from functools import partial
 from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
 from repro.mac.simulator import SweepPoint, run_coexistence
+from repro.montecarlo import MonteCarloEngine
 
 CURVES: "Tuple[Tuple[str, Tuple[str, bool]], ...]" = (
     ("normal", ("qam64-2/3", False)),
@@ -34,37 +37,74 @@ CURVES: "Tuple[Tuple[str, Tuple[str, bool]], ...]" = (
 DEFAULT_RATIOS: Tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 
+def _traffic_trial(
+    rng: np.random.Generator,
+    index: int,
+    mcs_name: str,
+    sledzig: bool,
+    channel_index: int,
+    ratio: float,
+    duration_us: float,
+    base_seed: int,
+) -> float:
+    """One seed-repetition of one (curve, ratio) point."""
+    config = CoexistenceConfig(
+        wifi=WifiConfig(
+            mcs_name=mcs_name,
+            sledzig_channel=channel_index if sledzig else None,
+            duty_ratio=ratio,
+            burst_duration_us=4000.0,
+        ),
+        zigbee=ZigbeeConfig(channel_index=channel_index),
+        topology=Topology(d_wz=1.0, d_z=0.5),
+        duration_us=duration_us,
+        seed=base_seed,
+        fading_sigma_db=2.0,
+    )
+    return run_coexistence(config, rng=rng).zigbee_throughput_kbps
+
+
 def sweep(
     ratios: Sequence[float] = DEFAULT_RATIOS,
     channel_index: int = 4,
     duration_us: float = 600_000.0,
     n_seeds: int = 5,
     base_seed: int = 2,
+    workers: int = 0,
 ) -> Dict[str, List[SweepPoint]]:
-    """Per-curve sweep with multiple seeds (box-plot statistics)."""
+    """Per-curve sweep with multiple seeds (box-plot statistics).
+
+    Each (curve, ratio) point is a Monte-Carlo campaign: repetition *k*
+    draws from the stream addressed by ``(base_seed, point key, k)``, so
+    the box-plot spread is bit-identical at any worker count.
+    """
     out: Dict[str, List[SweepPoint]] = {}
     for label, (mcs_name, sledzig) in CURVES:
         points: List[SweepPoint] = []
         for ratio in ratios:
-            point = SweepPoint(value=ratio)
-            for k in range(n_seeds):
-                config = CoexistenceConfig(
-                    wifi=WifiConfig(
-                        mcs_name=mcs_name,
-                        sledzig_channel=channel_index if sledzig else None,
-                        duty_ratio=ratio,
-                        burst_duration_us=4000.0,
-                    ),
-                    zigbee=ZigbeeConfig(channel_index=channel_index),
-                    topology=Topology(d_wz=1.0, d_z=0.5),
+            engine = MonteCarloEngine(
+                f"fig16/ch{channel_index}/{label}/ratio={ratio}",
+                master_seed=base_seed,
+            )
+            result = engine.run(
+                partial(
+                    _traffic_trial,
+                    mcs_name=mcs_name,
+                    sledzig=sledzig,
+                    channel_index=channel_index,
+                    ratio=ratio,
                     duration_us=duration_us,
-                    seed=base_seed + 97 * k,
-                    fading_sigma_db=2.0,
+                    base_seed=base_seed,
+                ),
+                n_seeds,
+                workers=workers,
+            )
+            points.append(
+                SweepPoint(
+                    value=ratio,
+                    throughputs_kbps=[float(v) for v in result.outcomes],
                 )
-                point.throughputs_kbps.append(
-                    run_coexistence(config).zigbee_throughput_kbps
-                )
-            points.append(point)
+            )
         out[label] = points
     return out
 
@@ -74,9 +114,10 @@ def run(
     channel_index: int = 4,
     duration_us: float = 600_000.0,
     n_seeds: int = 3,
+    master_seed: int = 2,
 ) -> ExperimentResult:
     """Fig. 16 as a table of medians (quartiles in brackets)."""
-    data = sweep(ratios, channel_index, duration_us, n_seeds)
+    data = sweep(ratios, channel_index, duration_us, n_seeds, base_seed=master_seed)
     result = ExperimentResult(
         experiment_id="Fig. 16",
         title=(

@@ -30,10 +30,16 @@ def normal_band_db(
     channel: "OverlapChannel | str | int",
     payload_octets: int = 150,
     seed: int = 13,
+    rng: "np.random.Generator | None" = None,
 ) -> float:
-    """In-band power of a normal WiFi frame's DATA portion (unit-power dB)."""
+    """In-band power of a normal WiFi frame's DATA portion (unit-power dB).
+
+    *rng* (when given) supplies the payload draw — the Monte-Carlo path
+    threads the trial's addressed stream here; *seed* is the legacy scalar
+    entry point.
+    """
     ch = get_channel(channel)
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     frame = WifiTransmitter(mcs_name).transmit(random_bits(8 * payload_octets, rng))
     return band_power_db(frame.waveform[_DATA_START:], ch.center_offset_hz, 2e6)
 
@@ -43,10 +49,11 @@ def sledzig_band_db(
     channel: "OverlapChannel | str | int",
     payload_octets: int = 150,
     seed: int = 13,
+    rng: "np.random.Generator | None" = None,
 ) -> float:
     """In-band power of a SledZig frame's DATA portion (unit-power dB)."""
     ch = get_channel(channel)
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     encoder = SledZigEncoder(mcs_name, ch)
     result = encoder.encode(random_bits(8 * payload_octets, rng))
     frame = WifiTransmitter(mcs_name).transmit_scrambled_field(

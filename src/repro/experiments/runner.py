@@ -48,20 +48,34 @@ from repro.utils.serialization import jsonable
 logger = logging.getLogger(__name__)
 
 
-def _fig14a(quick: bool) -> ExperimentResult:
+def _fig14a(quick: bool, seed: "int | None") -> ExperimentResult:
     distances = (2, 3, 3.5, 4, 4.5, 5, 7, 8.5) if quick else fig14_dwz.DEFAULT_DISTANCES
     return fig14_dwz.run(channel_index=3, distances=distances,
-                         duration_us=200_000.0 if quick else 400_000.0)
+                         duration_us=200_000.0 if quick else 400_000.0,
+                         **_seed_kw(seed))
 
 
-def _fig14b(quick: bool) -> ExperimentResult:
+def _fig14b(quick: bool, seed: "int | None") -> ExperimentResult:
     distances = (1, 1.5, 2, 3, 4, 5, 6) if quick else (1, 1.5, 2, 2.5, 3, 4, 5, 6, 7)
     return fig14_dwz.run(channel_index=4, distances=distances,
-                         duration_us=200_000.0 if quick else 400_000.0)
+                         duration_us=200_000.0 if quick else 400_000.0,
+                         **_seed_kw(seed))
 
 
-def registry(quick: bool = False) -> Dict[str, Callable[[], ExperimentResult]]:
-    """All experiments keyed by short name."""
+def _seed_kw(seed: "int | None") -> Dict[str, int]:
+    """``master_seed=...`` kwargs when a seed override is given."""
+    return {} if seed is None else {"master_seed": seed}
+
+
+def registry(
+    quick: bool = False, master_seed: "int | None" = None
+) -> Dict[str, Callable[[], ExperimentResult]]:
+    """All experiments keyed by short name.
+
+    *master_seed* overrides the default master seed of every stochastic
+    experiment (the deterministic tables/figures ignore it); with the same
+    seed, results are bit-identical at any ``--workers`` count.
+    """
     return {
         "theory": theory.run,
         "t2": table2_positions.run,
@@ -72,21 +86,29 @@ def registry(quick: bool = False) -> Dict[str, Callable[[], ExperimentResult]]:
         ),
         "fig5": fig05_spectrum.run,
         "fig11": fig11_subcarriers.run,
-        "fig12": fig12_rssi_decrease.run,
+        "fig12": lambda: fig12_rssi_decrease.run(
+            **({} if master_seed is None else {"seed": master_seed})
+        ),
         "fig13": fig13_zigbee_rssi.run,
-        "fig14a": lambda: _fig14a(quick),
-        "fig14b": lambda: _fig14b(quick),
+        "fig14a": lambda: _fig14a(quick, master_seed),
+        "fig14b": lambda: _fig14b(quick, master_seed),
         "fig15": lambda: fig15_dz.run(
-            duration_us=200_000.0 if quick else 400_000.0
+            duration_us=200_000.0 if quick else 400_000.0,
+            **_seed_kw(master_seed),
         ),
         "fig16": lambda: fig16_traffic.run(
             duration_us=300_000.0 if quick else 600_000.0,
             n_seeds=2 if quick else 3,
+            **_seed_kw(master_seed),
         ),
         "fig17": fig17_wifi_rssi.run,
-        "xtech": lambda: xtech_collision.run(n_frames=4 if quick else 8),
+        "xtech": lambda: xtech_collision.run(
+            n_frames=4 if quick else 8, **_seed_kw(master_seed)
+        ),
         "ext40": ext40mhz.run,
-        "waterfall": lambda: snr_waterfall.run(n_frames=5 if quick else 10),
+        "waterfall": lambda: snr_waterfall.run(
+            n_frames=5 if quick else 10, **_seed_kw(master_seed)
+        ),
         "ablation-span": ablations.span_ablation,
         "ablation-solver": ablations.solver_ablation,
         "ablation-preamble": lambda: ablations.preamble_ablation(
@@ -98,14 +120,16 @@ def registry(quick: bool = False) -> Dict[str, Callable[[], ExperimentResult]]:
     }
 
 
-def _run_one(name: str, quick: bool) -> Tuple[ExperimentResult, float]:
+def _run_one(
+    name: str, quick: bool, master_seed: "int | None" = None
+) -> Tuple[ExperimentResult, float]:
     """Execute one registered experiment, returning (result, seconds).
 
     Module-level (rather than the registry's lambdas) so worker processes
     can run experiments by *name* — lambdas do not pickle.
     """
     start = time.perf_counter()
-    result = registry(quick)[name]()
+    result = registry(quick, master_seed)[name]()
     return result, time.perf_counter() - start
 
 
@@ -138,6 +162,7 @@ def run_experiments(
     quick: bool = False,
     as_json: bool = False,
     workers: int = 0,
+    master_seed: "int | None" = None,
 ) -> List[ExperimentResult]:
     """Execute the named experiments (all when *names* is empty).
 
@@ -147,8 +172,12 @@ def run_experiments(
         as_json: emit one JSON object per experiment instead of tables.
         workers: if > 1, run experiments across that many worker
             processes; output order still follows *names*.
+        master_seed: override the stochastic experiments' master seed;
+            results with the same seed are bit-identical at any *workers*
+            count (Monte-Carlo streams are addressed, not consumed in
+            sequence).
     """
-    reg = registry(quick)
+    reg = registry(quick, master_seed)
     selected = names or list(reg)
     unknown = [n for n in selected if n not in reg]
     if unknown:
@@ -158,7 +187,10 @@ def run_experiments(
     if workers > 1:
         logger.info("running %d experiments on %d workers", len(selected), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one, name, quick) for name in selected]
+            futures = [
+                pool.submit(_run_one, name, quick, master_seed)
+                for name in selected
+            ]
             for name, future in zip(selected, futures):
                 result, seconds = future.result()
                 _report(name, result, seconds, as_json)
@@ -166,7 +198,7 @@ def run_experiments(
     else:
         for name in selected:
             logger.debug("starting %s", name)
-            result, seconds = _run_one(name, quick)
+            result, seconds = _run_one(name, quick, master_seed)
             _report(name, result, seconds, as_json)
             results.append(result)
     wall = time.perf_counter() - wall_start
@@ -185,6 +217,11 @@ def main(argv: "List[str] | None" = None) -> int:
         help="run experiments across N worker processes (default: in-process)",
     )
     parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="master seed for the stochastic experiments; the same seed "
+             "reproduces every figure bit-exactly at any --workers count",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="debug-level progress on stderr"
     )
     args = parser.parse_args(argv)
@@ -194,7 +231,8 @@ def main(argv: "List[str] | None" = None) -> int:
         format="%(asctime)s %(name)s %(levelname)s: %(message)s",
     )
     run_experiments(
-        args.experiments, quick=args.quick, as_json=args.json, workers=args.workers
+        args.experiments, quick=args.quick, as_json=args.json,
+        workers=args.workers, master_seed=args.seed,
     )
     return 0
 

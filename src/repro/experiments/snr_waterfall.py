@@ -6,20 +6,73 @@ for each mode — with soft-decision decoding — and reports the lowest SNR
 with >= 90 % delivery.  The measured thresholds should sit at or below the
 paper's quoted minima (which include real-hardware implementation margins),
 and preserve their ordering.
+
+Trials run on :class:`repro.montecarlo.MonteCarloEngine`: each (MCS, SNR)
+point is its own experiment key, every trial draws payload and noise from
+its addressed stream, and the whole batch moves through the transmitter,
+:func:`repro.channel.batch.awgn_batch` and the batched receiver in stacked
+passes — bit-identical to the scalar per-trial loop at any batch size.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.channel.awgn import awgn
+from repro.channel.batch import awgn_batch, stack_waveforms
 from repro.experiments.base import ExperimentResult
+from repro.montecarlo import MonteCarloEngine
 from repro.utils.bits import random_bits
 from repro.wifi.params import PAPER_MCS_NAMES, get_mcs
 from repro.wifi.receiver import WifiReceiver
 from repro.wifi.transmitter import WifiTransmitter
+
+#: Sample index of the SIGNAL symbol in a clean locally-generated frame.
+_DATA_START = 320
+
+
+def _delivery_batch(
+    rngs: List[np.random.Generator],
+    indices: Sequence[int],
+    mcs_name: str,
+    snr_db: float,
+    psdu_octets: int,
+    soft: bool,
+) -> List[float]:
+    """One batch of delivery trials, vectorized end to end.
+
+    Per trial: draw a payload from the trial stream, then noise from the
+    same stream — the exact draw order of the scalar path — but transmit,
+    add noise and decode as one stacked batch.
+    """
+    tx = WifiTransmitter(mcs_name)
+    rx = WifiReceiver()
+    psdus = [random_bits(8 * psdu_octets, rng) for rng in rngs]
+    frames = tx.transmit_frames(psdus)
+    noisy = awgn_batch(
+        stack_waveforms([f.waveform for f in frames]), snr_db, rngs
+    )
+    receptions = rx.receive_frames(
+        list(noisy), data_start=_DATA_START, soft=soft, on_error="none"
+    )
+    return [
+        float(r is not None and np.array_equal(r.psdu_bits, psdu))
+        for r, psdu in zip(receptions, psdus)
+    ]
+
+
+def _delivery_trial(
+    rng: np.random.Generator,
+    index: int,
+    mcs_name: str,
+    snr_db: float,
+    psdu_octets: int,
+    soft: bool,
+) -> float:
+    """Scalar reference trial (kept for the batch-equivalence tests)."""
+    return _delivery_batch([rng], [index], mcs_name, snr_db, psdu_octets, soft)[0]
 
 
 def delivery_at_snr(
@@ -29,21 +82,47 @@ def delivery_at_snr(
     psdu_octets: int = 50,
     seed: int = 7,
     soft: bool = True,
+    workers: int = 0,
 ) -> float:
     """Fraction of frames fully delivered at one SNR point."""
-    rng = np.random.default_rng(seed)
-    tx = WifiTransmitter(mcs_name)
-    rx = WifiReceiver()
-    delivered = 0
-    for _ in range(n_frames):
-        psdu = random_bits(8 * psdu_octets, rng)
-        noisy = awgn(tx.transmit(psdu).waveform, snr_db, rng)
-        try:
-            reception = rx.receive(noisy, data_start=320, soft=soft)
-            delivered += int(np.array_equal(reception.psdu_bits, psdu))
-        except Exception:
-            pass
-    return delivered / n_frames
+    return delivery_summary(
+        mcs_name, snr_db, n_frames, psdu_octets, seed, soft, workers
+    ).summary.mean
+
+
+def delivery_summary(
+    mcs_name: str,
+    snr_db: float,
+    n_frames: int = 10,
+    psdu_octets: int = 50,
+    seed: int = 7,
+    soft: bool = True,
+    workers: int = 0,
+):
+    """Full Monte-Carlo result (Wilson CI included) for one SNR point."""
+    engine = MonteCarloEngine(
+        f"snr_waterfall/{mcs_name}/{snr_db:.2f}dB/{psdu_octets}o/soft={soft}",
+        master_seed=seed,
+        kind="proportion",
+    )
+    return engine.run(
+        partial(
+            _delivery_trial,
+            mcs_name=mcs_name,
+            snr_db=snr_db,
+            psdu_octets=psdu_octets,
+            soft=soft,
+        ),
+        n_frames,
+        batch_fn=partial(
+            _delivery_batch,
+            mcs_name=mcs_name,
+            snr_db=snr_db,
+            psdu_octets=psdu_octets,
+            soft=soft,
+        ),
+        workers=workers,
+    )
 
 
 def measured_threshold(
@@ -66,6 +145,7 @@ def measured_threshold(
 def run(
     mcs_names: Sequence[str] = PAPER_MCS_NAMES,
     n_frames: int = 8,
+    master_seed: int = 7,
 ) -> ExperimentResult:
     """Thresholds for every paper MCS against the Table IV column."""
     result = ExperimentResult(
@@ -75,7 +155,7 @@ def run(
     )
     for name in mcs_names:
         mcs = get_mcs(name)
-        measured = measured_threshold(name, n_frames)
+        measured = measured_threshold(name, n_frames, seed=master_seed)
         result.add_row(name, mcs.min_snr_db, measured, mcs.min_snr_db - measured)
     result.notes.append(
         "measured thresholds sit below the paper's quoted minima (which "

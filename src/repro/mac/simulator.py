@@ -9,13 +9,15 @@ statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.channel.propagation import distance, wifi_at_wifi_rx, zigbee_at_wifi_rx
 from repro.mac.config import CoexistenceConfig
+from repro.montecarlo import MonteCarloEngine, TrialSummary, summarize_mean
 from repro.mac.events import EventScheduler
 from repro.mac.medium import Medium
 from repro.mac.wifi_node import WifiNode, WifiStats
@@ -57,11 +59,23 @@ class CoexistenceResult:
         return self.wifi_sinr_db >= get_mcs(self.config.wifi.mcs_name).min_snr_db
 
 
-def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
-    """Run one coexistence scenario to completion."""
+def run_coexistence(
+    config: CoexistenceConfig,
+    rng: "np.random.Generator | None" = None,
+) -> CoexistenceResult:
+    """Run one coexistence scenario to completion.
+
+    Args:
+        config: the scenario.
+        rng: the generator driving every random draw (backoffs, payloads,
+            fading).  When None it is derived from ``config.seed``; the
+            Monte-Carlo engine instead passes the trial's addressed stream
+            so sweeps are reproducible under any execution order.
+    """
     scheduler = EventScheduler()
     medium = Medium(config.calibration)
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     wifi = WifiNode(config, scheduler, medium, rng)
     zigbee = ZigbeeLink(config, scheduler, medium, rng)
     wifi.start()
@@ -119,21 +133,59 @@ class SweepPoint:
         q1, q3 = np.percentile(self.throughputs_kbps, [25, 75])
         return (float(q1), float(q3))
 
+    def summary(self) -> TrialSummary:
+        """Mean with 95 % confidence interval over the per-seed runs."""
+        return summarize_mean(self.throughputs_kbps)
+
+
+def _sweep_trial(
+    rng: np.random.Generator,
+    index: int,
+    base_config: CoexistenceConfig,
+    value: float,
+    apply_value: Callable[[CoexistenceConfig, float], CoexistenceConfig],
+) -> float:
+    """One repetition of one sweep point, driven by its addressed stream."""
+    config = apply_value(base_config, value)
+    return run_coexistence(config, rng=rng).zigbee_throughput_kbps
+
 
 def sweep(
     base_config: CoexistenceConfig,
     values: Sequence[float],
     apply_value: Callable[[CoexistenceConfig, float], CoexistenceConfig],
     n_seeds: int = 3,
+    experiment: str = "mac.sweep",
+    workers: int = 0,
+    target_halfwidth: "float | None" = None,
 ) -> List[SweepPoint]:
-    """Run a parameter sweep with *n_seeds* repetitions per value."""
+    """Run a parameter sweep with *n_seeds* repetitions per value.
+
+    Each repetition runs on the Monte-Carlo engine under the experiment key
+    ``"{experiment}/value={value}"`` and ``base_config.seed`` as the master
+    seed, so results are bit-identical for any *workers* count and the
+    per-seed runs of different points are statistically independent.
+    *target_halfwidth* stops a point early once its 95 % CI is tight
+    enough (*n_seeds* then acts as the budget).
+    """
     points: List[SweepPoint] = []
     for value in values:
-        point = SweepPoint(value=value)
-        for seed_offset in range(n_seeds):
-            config = apply_value(base_config, value)
-            config = replace(config, seed=base_config.seed + seed_offset * 101)
-            result = run_coexistence(config)
-            point.throughputs_kbps.append(result.zigbee_throughput_kbps)
-        points.append(point)
+        engine = MonteCarloEngine(
+            f"{experiment}/value={value}", master_seed=base_config.seed
+        )
+        result = engine.run(
+            partial(
+                _sweep_trial,
+                base_config=base_config,
+                value=value,
+                apply_value=apply_value,
+            ),
+            n_seeds,
+            workers=workers,
+            target_halfwidth=target_halfwidth,
+            min_trials=min(2, n_seeds),
+        )
+        points.append(
+            SweepPoint(value=value, throughputs_kbps=[float(v) for v in result.outcomes])
+        )
     return points

@@ -1,0 +1,53 @@
+"""Deterministic, batched Monte-Carlo infrastructure for the experiments.
+
+Three pieces:
+
+* :mod:`repro.montecarlo.seeding` — per-trial RNG streams addressed by
+  ``(master seed, experiment key, trial index)``, bit-identical under any
+  execution order or process partition;
+* :mod:`repro.montecarlo.stats` — Wilson/normal confidence summaries of
+  trial outcomes;
+* :mod:`repro.montecarlo.engine` — the campaign runner: batch-vectorized
+  trial evaluation, optional process pool, CI-targeted early stop.
+
+See DESIGN.md ("The Monte-Carlo engine") for the seeding scheme and the
+batching contract.
+"""
+
+from repro.montecarlo.engine import (
+    BatchFn,
+    MonteCarloEngine,
+    MonteCarloResult,
+    TrialFn,
+)
+from repro.montecarlo.seeding import (
+    experiment_sequence,
+    trial_rng,
+    trial_rngs,
+    trial_seed,
+    trial_sequence,
+)
+from repro.montecarlo.stats import (
+    TrialSummary,
+    Z_95,
+    summarize_mean,
+    summarize_proportion,
+    wilson_interval,
+)
+
+__all__ = [
+    "BatchFn",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "TrialFn",
+    "TrialSummary",
+    "Z_95",
+    "experiment_sequence",
+    "summarize_mean",
+    "summarize_proportion",
+    "trial_rng",
+    "trial_rngs",
+    "trial_seed",
+    "trial_sequence",
+    "wilson_interval",
+]

@@ -1,0 +1,229 @@
+"""Deterministic batched Monte-Carlo trial engine.
+
+The engine turns "run this trial N times and summarise" into one call with
+three guarantees:
+
+1. **Bit-reproducibility.**  Trial *i* of experiment *e* under master seed
+   *s* always sees the generator ``seeding.trial_rng(s, e, i)`` — so the
+   outcome array is identical whether trials run one by one, stacked in
+   batches of any size, or sharded across any number of worker processes.
+2. **Batch execution.**  A ``batch_fn`` receives the per-trial generators
+   for a whole batch and may evaluate them in one vectorized pass (stacked
+   waveforms through :mod:`repro.channel.batch`, batched decode through the
+   ``*_frames`` APIs).  The contract — checked by the equivalence tests —
+   is that ``batch_fn(rngs, indices)[k]`` equals ``trial_fn(rngs[k],
+   indices[k])`` exactly.
+3. **Statistical qualification.**  Outcomes aggregate into a
+   :class:`~repro.montecarlo.stats.TrialSummary` (Wilson interval for 0/1
+   outcomes); an optional early stop ends the campaign at the first batch
+   boundary where the confidence halfwidth reaches a target.
+
+Worker processes evaluate whole batches; because outcomes are keyed by
+trial index and early stopping is decided in batch order, parallel runs
+stop at exactly the same boundary as serial ones.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.montecarlo import seeding
+from repro.montecarlo.stats import (
+    TrialSummary,
+    Z_95,
+    summarize_mean,
+    summarize_proportion,
+)
+
+__all__ = ["TrialFn", "BatchFn", "MonteCarloResult", "MonteCarloEngine"]
+
+#: A single trial: (trial generator, trial index) -> scalar outcome.
+TrialFn = Callable[[np.random.Generator, int], float]
+
+#: A batch of trials: (per-trial generators, trial indices) -> outcomes.
+BatchFn = Callable[[List[np.random.Generator], Sequence[int]], Sequence[float]]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """One completed trial campaign.
+
+    Attributes:
+        experiment: the experiment key the streams were derived from.
+        master_seed: the master seed.
+        outcomes: per-trial scalar outcomes, indexed by trial number.
+        summary: aggregate statistics over ``outcomes``.
+        stopped_early: whether the CI target ended the campaign before
+            ``n_trials``.
+    """
+
+    experiment: str
+    master_seed: int
+    outcomes: np.ndarray
+    summary: TrialSummary
+    stopped_early: bool = False
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials actually executed."""
+        return int(self.outcomes.size)
+
+
+def _evaluate_batch(
+    experiment: str,
+    master_seed: int,
+    trial_fn: Optional[TrialFn],
+    batch_fn: Optional[BatchFn],
+    indices: Sequence[int],
+) -> List[float]:
+    """Evaluate one batch of trials (also the worker-process entry point).
+
+    Generators are re-derived from the trial addresses here, so the same
+    streams materialise no matter which process runs the batch.
+    """
+    rngs = seeding.trial_rngs(master_seed, experiment, indices)
+    if batch_fn is not None:
+        outcomes = [float(v) for v in batch_fn(rngs, list(indices))]
+        if len(outcomes) != len(indices):
+            raise ConfigurationError(
+                f"batch_fn returned {len(outcomes)} outcomes for "
+                f"{len(indices)} trials"
+            )
+        return outcomes
+    assert trial_fn is not None
+    return [float(trial_fn(rng, i)) for rng, i in zip(rngs, indices)]
+
+
+class MonteCarloEngine:
+    """Seed-addressable trial campaigns for one experiment key.
+
+    Args:
+        experiment: stable key naming the experiment (include swept
+            parameters, e.g. ``"snr_waterfall/qam64-2/3/12.0dB"``, so each
+            sweep point has its own independent streams).
+        master_seed: the campaign's master seed.
+        kind: "mean" or "proportion" — selects the summary rule.
+        z: confidence quantile (default two-sided 95 %).
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        master_seed: int = 0,
+        kind: str = "mean",
+        z: float = Z_95,
+    ) -> None:
+        if kind not in ("mean", "proportion"):
+            raise ConfigurationError(f"unknown summary kind {kind!r}")
+        self.experiment = experiment
+        self.master_seed = int(master_seed)
+        self.kind = kind
+        self.z = z
+
+    def rng(self, trial_index: int) -> np.random.Generator:
+        """The generator trial *trial_index* sees."""
+        return seeding.trial_rng(self.master_seed, self.experiment, trial_index)
+
+    def rngs(self, trial_indices: Sequence[int]) -> List[np.random.Generator]:
+        """Per-trial generators for a batch."""
+        return seeding.trial_rngs(self.master_seed, self.experiment, trial_indices)
+
+    def _summarize(self, outcomes: Sequence[float]) -> TrialSummary:
+        if self.kind == "proportion":
+            return summarize_proportion(outcomes, self.z)
+        return summarize_mean(outcomes, self.z)
+
+    def run(
+        self,
+        trial_fn: Optional[TrialFn] = None,
+        n_trials: int = 0,
+        *,
+        batch_fn: Optional[BatchFn] = None,
+        batch_size: int = 32,
+        workers: int = 0,
+        target_halfwidth: Optional[float] = None,
+        min_trials: int = 8,
+    ) -> MonteCarloResult:
+        """Run up to *n_trials* trials and summarise.
+
+        Args:
+            trial_fn: scalar trial evaluator; required unless *batch_fn* is
+                given (when both are given, *batch_fn* runs and *trial_fn*
+                is ignored — they must agree, see the module contract).
+            n_trials: trial budget (trials are numbered 0..n_trials-1).
+            batch_fn: vectorized evaluator for whole batches.
+            batch_size: trials per batch (also the early-stop granularity).
+            workers: > 1 runs batches in a process pool; results and any
+                early stop are identical to the serial run.
+            target_halfwidth: stop at the first batch boundary where the
+                confidence halfwidth is at or below this (after at least
+                *min_trials* trials).
+            min_trials: floor before early stopping may trigger.
+        """
+        if trial_fn is None and batch_fn is None:
+            raise ConfigurationError("need a trial_fn or a batch_fn")
+        if n_trials <= 0:
+            raise ConfigurationError("n_trials must be positive")
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        chunks = [
+            list(range(start, min(start + batch_size, n_trials)))
+            for start in range(0, n_trials, batch_size)
+        ]
+        outcomes: List[float] = []
+        stopped_early = False
+
+        def should_stop() -> bool:
+            if target_halfwidth is None or len(outcomes) < max(min_trials, 2):
+                return False
+            return self._summarize(outcomes).halfwidth <= target_halfwidth
+
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _evaluate_batch,
+                        self.experiment,
+                        self.master_seed,
+                        trial_fn if batch_fn is None else None,
+                        batch_fn,
+                        chunk,
+                    )
+                    for chunk in chunks
+                ]
+                # Consume in submission order so early stopping lands on
+                # the same batch boundary as the serial path.
+                for future in futures:
+                    if stopped_early:
+                        future.cancel()
+                        continue
+                    outcomes.extend(future.result())
+                    if should_stop():
+                        stopped_early = True
+        else:
+            for chunk in chunks:
+                outcomes.extend(
+                    _evaluate_batch(
+                        self.experiment,
+                        self.master_seed,
+                        trial_fn if batch_fn is None else None,
+                        batch_fn,
+                        chunk,
+                    )
+                )
+                if should_stop():
+                    stopped_early = True
+                    break
+        stopped_early = stopped_early and len(outcomes) < n_trials
+        return MonteCarloResult(
+            experiment=self.experiment,
+            master_seed=self.master_seed,
+            outcomes=np.asarray(outcomes, dtype=float),
+            summary=self._summarize(outcomes),
+            stopped_early=stopped_early,
+        )

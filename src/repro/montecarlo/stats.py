@@ -1,0 +1,109 @@
+"""Trial-outcome aggregation: means, proportions and confidence intervals.
+
+The experiments report two kinds of Monte-Carlo estimates:
+
+* *proportions* (frame delivery ratio, collision rate) — summarised with the
+  Wilson score interval, which stays inside [0, 1] and behaves sensibly at
+  0/n and n/n where the normal approximation collapses;
+* *means* (throughput, RSSI) — summarised with the usual normal-approximation
+  interval on the sample mean.
+
+Both produce a :class:`TrialSummary`, the unit the engine's early-stop rule
+operates on (stop when ``halfwidth`` reaches the target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Two-sided 95 % normal quantile — the default confidence level throughout.
+Z_95 = 1.959963984540054
+
+__all__ = ["Z_95", "TrialSummary", "wilson_interval", "summarize_mean", "summarize_proportion"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate of one Monte-Carlo outcome series.
+
+    Attributes:
+        n: number of trials aggregated.
+        mean: sample mean (for proportions: the raw success fraction).
+        std: sample standard deviation (ddof=1; 0.0 when n < 2).
+        ci_low / ci_high: confidence interval on the mean.
+        kind: "mean" or "proportion" (which interval rule produced it).
+    """
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    kind: str = "mean"
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the confidence-interval width — the early-stop criterion."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def wilson_interval(successes: int, n: int, z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the Wald interval it never leaves [0, 1] and gives non-degenerate
+    bounds at 0 or n successes — exactly the regimes the delivery-ratio
+    experiments hit at the ends of an SNR sweep.
+    """
+    if n <= 0:
+        raise ConfigurationError("Wilson interval needs at least one trial")
+    if not 0 <= successes <= n:
+        raise ConfigurationError("successes must lie in [0, n]")
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2.0 * n)) / denom
+    margin = (z / denom) * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return (float(max(0.0, centre - margin)), float(min(1.0, centre + margin)))
+
+
+def summarize_mean(values: Sequence[float], z: float = Z_95) -> TrialSummary:
+    """Normal-approximation summary of a real-valued outcome series."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarise zero trials")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    sem = std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return TrialSummary(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        ci_low=mean - z * sem,
+        ci_high=mean + z * sem,
+        kind="mean",
+    )
+
+
+def summarize_proportion(values: Sequence[float], z: float = Z_95) -> TrialSummary:
+    """Wilson summary of a 0/1 outcome series."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarise zero trials")
+    if np.any((arr != 0.0) & (arr != 1.0)):
+        raise ConfigurationError("proportion outcomes must be 0 or 1")
+    successes = int(arr.sum())
+    low, high = wilson_interval(successes, arr.size, z)
+    p = successes / arr.size
+    return TrialSummary(
+        n=int(arr.size),
+        mean=p,
+        std=float(np.sqrt(p * (1.0 - p))),
+        ci_low=low,
+        ci_high=high,
+        kind="proportion",
+    )

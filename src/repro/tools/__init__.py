@@ -1,0 +1,4 @@
+"""Maintenance tools (regeneration scripts, corpus management).
+
+Run as modules, e.g. ``python -m repro.tools.regen_vectors``.
+"""

@@ -1,0 +1,146 @@
+"""Regenerate the golden-vector regression corpus under ``tests/vectors/``.
+
+Usage::
+
+    python -m repro.tools.regen_vectors             # refresh tests/vectors/
+    python -m repro.tools.regen_vectors --outdir X  # write elsewhere
+
+Each vector freezes one end-to-end artefact of the library — a WiFi
+encode/decode roundtrip, a ZigBee chip/frame roundtrip, a SledZig insertion
+output — as an ``.npz`` of the exact arrays, with a ``manifest.json``
+recording how every file was produced.  ``tests/test_golden_vectors.py``
+diffs the current code's output against the corpus, so any unintended
+change to the bit chains or waveform synthesis fails loudly.
+
+Regenerate (and commit the diff) only when an intentional change to the
+chains makes the old vectors obsolete — the test failure message says so.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.montecarlo import seeding
+from repro.sledzig.channels import get_channel
+from repro.sledzig.encoder import SledZigEncoder
+from repro.sledzig.pipeline import SledZigTransmitter
+from repro.utils.bits import bytes_to_bits, random_bits
+from repro.wifi.transmitter import WifiTransmitter
+from repro.zigbee.transmitter import ZigbeeTransmitter
+
+#: Master seed addressing every payload draw in the corpus.
+CORPUS_SEED = 2022
+
+#: Parameterisation of each frozen vector (also recorded in the manifest).
+SPECS: Dict[str, Dict[str, Any]] = {
+    "wifi_roundtrip": {"mcs": "qam64-2/3", "psdu_octets": 60},
+    "zigbee_roundtrip": {"psdu_octets": 24},
+    "sledzig_insertion": {"mcs": "qam64-2/3", "channel": "CH2", "payload_octets": 40},
+}
+
+
+def build_wifi_roundtrip() -> Dict[str, np.ndarray]:
+    """A standard 802.11 frame: PSDU bits, scrambled field, waveform."""
+    spec = SPECS["wifi_roundtrip"]
+    rng = seeding.trial_rng(CORPUS_SEED, "vectors/wifi_roundtrip", 0)
+    psdu = random_bits(8 * spec["psdu_octets"], rng)
+    frame = WifiTransmitter(spec["mcs"]).transmit(psdu)
+    return {
+        "psdu_bits": psdu,
+        "scrambled_field": frame.scrambled_field,
+        "waveform": frame.waveform,
+    }
+
+
+def build_zigbee_roundtrip() -> Dict[str, np.ndarray]:
+    """An 802.15.4 frame: PSDU octets, chip stream, O-QPSK waveform."""
+    spec = SPECS["zigbee_roundtrip"]
+    rng = seeding.trial_rng(CORPUS_SEED, "vectors/zigbee_roundtrip", 0)
+    psdu = bytes(rng.integers(0, 256, size=spec["psdu_octets"], dtype=np.uint8))
+    trans = ZigbeeTransmitter().send(psdu)
+    return {
+        "psdu": np.frombuffer(psdu, dtype=np.uint8),
+        "chips": np.asarray(trans.chips, dtype=np.uint8),
+        "waveform": trans.waveform,
+    }
+
+
+def build_sledzig_insertion() -> Dict[str, np.ndarray]:
+    """A SledZig encode: payload, inserted stream, positions, waveform."""
+    spec = SPECS["sledzig_insertion"]
+    rng = seeding.trial_rng(CORPUS_SEED, "vectors/sledzig_insertion", 0)
+    payload = bytes(
+        rng.integers(0, 256, size=spec["payload_octets"], dtype=np.uint8)
+    )
+    encoder = SledZigEncoder(spec["mcs"], get_channel(spec["channel"]))
+    encoded = encoder.encode(bytes_to_bits(payload))
+    packet = SledZigTransmitter(spec["mcs"], spec["channel"]).send(payload)
+    return {
+        "payload": np.frombuffer(payload, dtype=np.uint8),
+        "stream": np.asarray(encoded.stream, dtype=np.uint8),
+        "extra_positions": np.asarray(
+            sorted(encoded.plan.extra_positions), dtype=np.int64
+        ),
+        "waveform": packet.waveform,
+    }
+
+
+BUILDERS = {
+    "wifi_roundtrip": build_wifi_roundtrip,
+    "zigbee_roundtrip": build_zigbee_roundtrip,
+    "sledzig_insertion": build_sledzig_insertion,
+}
+
+
+def regenerate(outdir: Path) -> Dict[str, Any]:
+    """Write every vector and the manifest; returns the manifest dict."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, Any] = {
+        "corpus_seed": CORPUS_SEED,
+        "regen_command": "python -m repro.tools.regen_vectors",
+        "vectors": {},
+    }
+    for name, builder in BUILDERS.items():
+        arrays = builder()
+        path = outdir / f"{name}.npz"
+        np.savez_compressed(path, **arrays)
+        manifest["vectors"][name] = {
+            "file": path.name,
+            "spec": SPECS[name],
+            "arrays": {
+                key: {"shape": list(arr.shape), "dtype": str(arr.dtype)}
+                for key, arr in arrays.items()
+            },
+        }
+    with open(outdir / "manifest.json", "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return manifest
+
+
+def default_outdir() -> Path:
+    """``tests/vectors`` relative to the repository root (cwd-independent)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "vectors"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--outdir", type=Path, default=None,
+        help="corpus directory (default: the repo's tests/vectors/)",
+    )
+    args = parser.parse_args(argv)
+    outdir = args.outdir or default_outdir()
+    manifest = regenerate(outdir)
+    for name, entry in manifest["vectors"].items():
+        print(f"wrote {outdir / entry['file']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

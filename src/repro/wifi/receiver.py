@@ -119,27 +119,45 @@ class WifiReceiver:
         soft: bool = False,
         correct_cfo: bool = True,
         track_phase: bool = True,
-    ) -> List[WifiReception]:
+        on_error: str = "raise",
+    ) -> "List[Optional[WifiReception]]":
         """Decode many PPDUs, batching the bit-domain stages across frames.
 
         Synchronisation, channel estimation and demapping run per frame;
         frames whose SIGNAL fields announce the same MCS and symbol count
         are then deinterleaved, depunctured, Viterbi-decoded and
         descrambled together.  Results come back in input order.
+
+        Args:
+            on_error: "raise" propagates the first per-frame decode failure
+                (scalar semantics); "none" records a ``None`` result for
+                that frame and keeps decoding the rest — the mode the
+                Monte-Carlo batch trials rely on, where a frame lost at the
+                waterfall is an outcome, not an error.
         """
-        fronts = [
-            self._front_end(
-                np.asarray(w, dtype=np.complex128).ravel(),
-                data_start,
-                equalise,
-                soft,
-                correct_cfo,
-                track_phase,
-            )
-            for w in waveforms
-        ]
+        if on_error not in ("raise", "none"):
+            raise DecodingError(f"unknown on_error mode {on_error!r}")
+        fronts: List[Optional[_FrontEndResult]] = []
+        for w in waveforms:
+            try:
+                fronts.append(
+                    self._front_end(
+                        np.asarray(w, dtype=np.complex128).ravel(),
+                        data_start,
+                        equalise,
+                        soft,
+                        correct_cfo,
+                        track_phase,
+                    )
+                )
+            except Exception:
+                if on_error == "raise":
+                    raise
+                fronts.append(None)
         groups: Dict[Tuple[Mcs, int], List[int]] = {}
         for idx, front in enumerate(fronts):
+            if front is None:
+                continue
             groups.setdefault((front.mcs, front.layout.n_symbols), []).append(idx)
         results: List[Optional[WifiReception]] = [None] * len(fronts)
         for indices in groups.values():

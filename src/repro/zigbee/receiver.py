@@ -64,30 +64,48 @@ class ZigbeeReceiver:
         self,
         waveforms: Sequence[np.ndarray],
         start_samples: Optional[Sequence[Optional[int]]] = None,
-    ) -> List[ZigbeeReception]:
+        on_error: str = "raise",
+    ) -> "List[Optional[ZigbeeReception]]":
         """Decode many frames, batching demodulation across equal lengths.
 
         Synchronisation runs per frame; frames that yield the same chip
         count share one matched-filter and one DSSS-correlation batch.
         Results keep input order.
+
+        Args:
+            on_error: "raise" propagates the first per-frame failure
+                (scalar semantics); "none" records a ``None`` result for a
+                frame that fails synchronisation or parsing and keeps
+                decoding the rest (the Monte-Carlo batch-trial mode).
         """
+        if on_error not in ("raise", "none"):
+            raise DecodingError(f"unknown on_error mode {on_error!r}")
         if start_samples is None:
             start_samples = [None] * len(waveforms)
         arrs = [np.asarray(w, dtype=np.complex128).ravel() for w in waveforms]
-        starts: List[int] = []
+        starts: List[Optional[int]] = []
         chip_counts: List[int] = []
         for arr, start in zip(arrs, start_samples):
-            if start is None:
-                start = self._synchronise(arr)
-            available = arr.size - start
-            n_chips = (available // SAMPLES_PER_CHIP) & ~1
-            n_chips -= n_chips % CHIPS_PER_SYMBOL
-            if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
-                raise SynchronizationError("waveform too short for SHR + PHR")
+            try:
+                if start is None:
+                    start = self._synchronise(arr)
+                available = arr.size - start
+                n_chips = (available // SAMPLES_PER_CHIP) & ~1
+                n_chips -= n_chips % CHIPS_PER_SYMBOL
+                if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
+                    raise SynchronizationError("waveform too short for SHR + PHR")
+            except Exception:
+                if on_error == "raise":
+                    raise
+                starts.append(None)
+                chip_counts.append(0)
+                continue
             starts.append(start)
             chip_counts.append(n_chips)
         groups: Dict[int, List[int]] = {}
         for idx, n_chips in enumerate(chip_counts):
+            if starts[idx] is None:
+                continue
             groups.setdefault(n_chips, []).append(idx)
         results: List[Optional[ZigbeeReception]] = [None] * len(arrs)
         for n_chips, indices in groups.items():
@@ -101,7 +119,12 @@ class ZigbeeReceiver:
             soft = demodulate_chips_batch(segments, n_chips)
             bits, scores = despread_batch(soft)
             for row, idx in enumerate(indices):
-                frame = parse_ppdu_bits(bits[row])
+                try:
+                    frame = parse_ppdu_bits(bits[row])
+                except Exception:
+                    if on_error == "raise":
+                        raise
+                    continue
                 results[idx] = ZigbeeReception(
                     frame=frame,
                     symbol_scores=[float(s) for s in scores[row][: frame.n_symbols]],

@@ -1,0 +1,126 @@
+"""Batch channel kernels must be bit-exact against the scalar functions."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn, frequency_shift, mix_at_offset
+from repro.channel.batch import (
+    apply_gain_db,
+    awgn_batch,
+    frequency_shift_batch,
+    mix_at_offset_batch,
+    stack_waveforms,
+)
+from repro.errors import ConfigurationError
+from repro.montecarlo import seeding
+from repro.utils.db import db_to_linear
+
+
+def _waveforms(n, lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=ell) + 1j * rng.normal(size=ell) for ell in lengths[:n]
+    ]
+
+
+class TestStackWaveforms:
+    def test_pads_to_longest(self):
+        waves = _waveforms(3, [5, 8, 3])
+        stack = stack_waveforms(waves)
+        assert stack.shape == (3, 8)
+        for row, wave in zip(stack, waves):
+            assert np.array_equal(row[: wave.size], wave)
+            assert np.all(row[wave.size :] == 0)
+
+    def test_explicit_length_and_errors(self):
+        waves = _waveforms(2, [4, 6])
+        assert stack_waveforms(waves, length=10).shape == (2, 10)
+        with pytest.raises(ConfigurationError):
+            stack_waveforms(waves, length=5)
+        with pytest.raises(ConfigurationError):
+            stack_waveforms([])
+
+
+class TestAwgnBatch:
+    def test_matches_scalar_bit_for_bit(self):
+        waves = _waveforms(4, [100, 100, 100, 100])
+        rngs = seeding.trial_rngs(7, "test/awgn", range(4))
+        batched = awgn_batch(np.stack(waves), 10.0, rngs)
+        for k, wave in enumerate(waves):
+            scalar = awgn(wave, 10.0, seeding.trial_rng(7, "test/awgn", k))
+            assert np.array_equal(batched[k], scalar)
+
+    def test_padded_ragged_matches_scalar(self):
+        lengths = [80, 120, 60]
+        waves = _waveforms(3, lengths)
+        rngs = seeding.trial_rngs(3, "test/ragged", range(3))
+        batched = awgn_batch(stack_waveforms(waves), [8.0, 10.0, 12.0], rngs,
+                             lengths=lengths)
+        for k, (wave, snr) in enumerate(zip(waves, [8.0, 10.0, 12.0])):
+            scalar = awgn(wave, snr, seeding.trial_rng(3, "test/ragged", k))
+            assert np.array_equal(batched[k, : wave.size], scalar)
+            assert np.all(batched[k, wave.size :] == 0)
+
+    def test_validates_inputs(self):
+        waves = np.ones((2, 10), dtype=np.complex128)
+        rngs = seeding.trial_rngs(0, "x", range(2))
+        with pytest.raises(ConfigurationError):
+            awgn_batch(waves, 10.0, rngs[:1])
+        with pytest.raises(ConfigurationError):
+            awgn_batch(waves, 10.0, rngs, lengths=[10])
+        with pytest.raises(ConfigurationError):
+            awgn_batch(waves, 10.0, rngs, lengths=[10, 11])
+        with pytest.raises(ConfigurationError):
+            awgn_batch(np.zeros((2, 10), dtype=np.complex128), 10.0, rngs)
+
+
+class TestMixAtOffsetBatch:
+    def test_matches_scalar_per_row(self):
+        bases = _waveforms(3, [50, 50, 50], seed=1)
+        interfs = _waveforms(3, [20, 20, 20], seed=2)
+        offsets = [0, 17, 35]
+        gains = [-3.0, 0.0, 6.0]
+        batched = mix_at_offset_batch(bases, interfs, offsets, gains)
+        for k in range(3):
+            scalar = mix_at_offset(bases[k], interfs[k], offsets[k], gains[k])
+            assert np.allclose(batched[k, : scalar.size], scalar, atol=1e-15)
+            assert np.all(batched[k, scalar.size :] == 0)
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(ConfigurationError):
+            mix_at_offset_batch(np.ones((1, 4)), np.ones((1, 2)), -1)
+
+
+class TestApplyGain:
+    def test_scalar_and_vector_gains(self):
+        stack = np.stack(_waveforms(2, [30, 30], seed=3))
+        assert np.allclose(
+            apply_gain_db(stack, -6.0),
+            stack * np.sqrt(db_to_linear(-6.0)),
+        )
+        per_row = apply_gain_db(stack, [-6.0, 3.0])
+        assert np.allclose(per_row[0], stack[0] * np.sqrt(db_to_linear(-6.0)))
+        assert np.allclose(per_row[1], stack[1] * np.sqrt(db_to_linear(3.0)))
+        with pytest.raises(ConfigurationError):
+            apply_gain_db(stack, [1.0, 2.0, 3.0])
+
+
+class TestFrequencyShiftBatch:
+    def test_matches_scalar(self):
+        waves = _waveforms(2, [64, 64], seed=4)
+        shifts = [5e6, -2e6]
+        batched = frequency_shift_batch(np.stack(waves), shifts, 20e6)
+        for k in range(2):
+            scalar = frequency_shift(waves[k], shifts[k], 20e6)
+            assert np.allclose(batched[k], scalar, atol=1e-12)
+
+
+class TestAwgnRequiresGenerator:
+    def test_missing_rng_raises(self):
+        wave = np.ones(16, dtype=np.complex128)
+        with pytest.raises(TypeError):
+            awgn(wave, 10.0)
+        with pytest.raises(ConfigurationError):
+            awgn(wave, 10.0, None)
+        with pytest.raises(ConfigurationError):
+            awgn(wave, 10.0, np.random.RandomState(0))

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the repro.dsp kernel invariants.
+
+The algebra a downstream caller leans on without thinking:
+
+1. *Scrambling* is an involution (XOR with a fixed PRBS), with period 127.
+2. *Interleaving* is a permutation, exactly undone by deinterleaving, in
+   either composition order, for every modulation's block geometry.
+3. *QAM map/demap* roundtrips bits at all orders, and the soft demapper's
+   signs agree with the hard decisions on noiseless symbols.
+4. *Puncturing* drops exactly the patterned positions; depuncturing
+   restores the kept bits and marks the rest as erasures, and the full
+   encode -> puncture -> depuncture -> Viterbi chain recovers the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.interleaving import (
+    deinterleave_blocks,
+    deinterleave_permutation,
+    interleave_blocks,
+    interleave_permutation,
+)
+from repro.dsp.qam import (
+    bits_per_point,
+    demodulate_hard_batch,
+    demodulate_soft_batch,
+    modulate_batch,
+)
+from repro.dsp.scrambling import scramble_batch, scrambler_sequence
+from repro.dsp.trellis import ERASURE, conv_encode_batch, viterbi_decode_batch
+from repro.wifi.puncture import (
+    PUNCTURE_PATTERNS,
+    depuncture,
+    punctured_length,
+    puncture,
+)
+
+MODULATIONS = st.sampled_from(["bpsk", "qpsk", "qam16", "qam64", "qam256"])
+CODING_RATES = st.sampled_from(sorted(PUNCTURE_PATTERNS))
+SEEDS = st.integers(min_value=1, max_value=127)
+
+_prop = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _bits(rng_seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(rng_seed).integers(0, 2, size=n, dtype=np.uint8)
+
+
+class TestScrambler:
+    @given(seed=SEEDS, rng_seed=st.integers(0, 2**16), n=st.integers(0, 500))
+    @_prop
+    def test_involution(self, seed, rng_seed, n):
+        bits = _bits(rng_seed, n)[None, :]
+        assert np.array_equal(scramble_batch(scramble_batch(bits, seed), seed), bits)
+
+    @given(seed=SEEDS)
+    @_prop
+    def test_period_127(self, seed):
+        seq = scrambler_sequence(seed, 3 * 127)
+        assert np.array_equal(seq[:127], seq[127:254])
+        assert np.array_equal(seq[:127], seq[254:])
+
+    @given(seed=SEEDS, rng_seed=st.integers(0, 2**16), n=st.integers(1, 300))
+    @_prop
+    def test_is_fixed_mask_xor(self, seed, rng_seed, n):
+        bits = _bits(rng_seed, n)[None, :]
+        mask = scramble_batch(np.zeros((1, n), dtype=np.uint8), seed)
+        assert np.array_equal(scramble_batch(bits, seed), bits ^ mask)
+
+
+class TestInterleaver:
+    @given(modulation=MODULATIONS, rng_seed=st.integers(0, 2**16),
+           n_blocks=st.integers(1, 4))
+    @_prop
+    def test_roundtrip_both_orders(self, modulation, rng_seed, n_blocks):
+        n_bpsc = bits_per_point(modulation)
+        n_cbps = 48 * n_bpsc
+        bits = _bits(rng_seed, n_blocks * n_cbps)
+        assert np.array_equal(
+            deinterleave_blocks(interleave_blocks(bits, n_cbps, n_bpsc),
+                                n_cbps, n_bpsc),
+            bits,
+        )
+        assert np.array_equal(
+            interleave_blocks(deinterleave_blocks(bits, n_cbps, n_bpsc),
+                              n_cbps, n_bpsc),
+            bits,
+        )
+
+    @given(modulation=MODULATIONS)
+    @_prop
+    def test_permutations_are_inverse(self, modulation):
+        n_bpsc = bits_per_point(modulation)
+        n_cbps = 48 * n_bpsc
+        fwd = interleave_permutation(n_cbps, n_bpsc)
+        inv = deinterleave_permutation(n_cbps, n_bpsc)
+        identity = np.arange(n_cbps)
+        assert np.array_equal(np.sort(fwd), identity)
+        assert np.array_equal(fwd[inv], identity)
+        assert np.array_equal(inv[fwd], identity)
+
+
+class TestQam:
+    @given(modulation=MODULATIONS, rng_seed=st.integers(0, 2**16),
+           n_points=st.integers(1, 96))
+    @_prop
+    def test_hard_roundtrip(self, modulation, rng_seed, n_points):
+        n_bpsc = bits_per_point(modulation)
+        bits = _bits(rng_seed, n_points * n_bpsc)[None, :]
+        symbols = modulate_batch(bits, modulation)
+        assert symbols.shape == (1, n_points)
+        assert np.array_equal(demodulate_hard_batch(symbols, modulation), bits)
+
+    @given(modulation=MODULATIONS, rng_seed=st.integers(0, 2**16),
+           n_points=st.integers(1, 96))
+    @_prop
+    def test_soft_signs_match_hard_bits(self, modulation, rng_seed, n_points):
+        n_bpsc = bits_per_point(modulation)
+        bits = _bits(rng_seed, n_points * n_bpsc)[None, :]
+        soft = demodulate_soft_batch(modulate_batch(bits, modulation), modulation)
+        assert np.all(soft != 0)  # noiseless points are never ambiguous
+        assert np.array_equal((soft > 0).astype(np.uint8), bits)
+
+    @given(modulation=MODULATIONS, rng_seed=st.integers(0, 2**16),
+           n_points=st.integers(1, 64))
+    @_prop
+    def test_unit_average_power_tables(self, modulation, rng_seed, n_points):
+        # Any all-points batch has exactly the table's unit average power.
+        n_bpsc = bits_per_point(modulation)
+        groups = np.arange(2**n_bpsc, dtype=np.uint8)
+        bits = ((groups[:, None] >> np.arange(n_bpsc - 1, -1, -1)) & 1).astype(
+            np.uint8
+        )
+        symbols = modulate_batch(bits.reshape(1, -1), modulation)
+        assert np.isclose(np.mean(np.abs(symbols) ** 2), 1.0)
+
+
+class TestPuncture:
+    @given(rate=CODING_RATES, rng_seed=st.integers(0, 2**16),
+           n_periods=st.integers(1, 40))
+    @_prop
+    def test_depuncture_restores_kept_and_marks_erasures(
+        self, rate, rng_seed, n_periods
+    ):
+        pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+        coded = _bits(rng_seed, n_periods * pattern.size)
+        sent = puncture(coded, rate)
+        assert sent.size == punctured_length(coded.size, rate)
+        restored = depuncture(sent, rate)
+        assert restored.size == coded.size
+        mask = np.tile(pattern, n_periods)
+        assert np.array_equal(restored[mask], coded[mask])
+        assert np.all(restored[~mask] == ERASURE)
+
+    @given(rate=CODING_RATES, rng_seed=st.integers(0, 2**16),
+           k=st.integers(1, 3))
+    @_prop
+    def test_encode_puncture_viterbi_roundtrip(self, rate, rng_seed, k):
+        # 30k total bits (incl. the 6-zero tail) keeps every pattern aligned.
+        data = _bits(rng_seed, 30 * k - 6)
+        padded = np.concatenate([data, np.zeros(6, dtype=np.uint8)])[None, :]
+        coded, _ = conv_encode_batch(padded)
+        received = depuncture(puncture(coded[0], rate), rate)[None, :]
+        decoded = viterbi_decode_batch(received, n_data_bits=padded.shape[1])
+        assert np.array_equal(decoded[0][: data.size], data)

@@ -1,0 +1,142 @@
+"""The Monte-Carlo engine: bit-reproducibility, batching, early stop, workers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.montecarlo import MonteCarloEngine, seeding
+
+
+def gauss_trial(rng, index):
+    """A trial whose outcome is one draw from the trial's own stream."""
+    return float(rng.normal())
+
+
+def gauss_batch(rngs, indices):
+    return [float(rng.normal()) for rng in rngs]
+
+
+def coin_trial(rng, index):
+    return float(rng.integers(0, 2))
+
+
+def constant_batch(rngs, indices):
+    return [1.0 for _ in rngs]
+
+
+def short_batch(rngs, indices):
+    return [0.0]
+
+
+def multi_draw_trial(rng, index):
+    """Several draws of mixed kinds — exercises draw-order preservation."""
+    a = rng.normal(size=3)
+    b = float(rng.integers(0, 100))
+    return float(a.sum() + b)
+
+
+class TestReproducibility:
+    def test_batch_of_n_equals_n_batches_of_one(self):
+        engine = MonteCarloEngine("engine/batching", master_seed=11)
+        whole = engine.run(gauss_trial, 24, batch_size=24)
+        singles = engine.run(gauss_trial, 24, batch_size=1)
+        odd = engine.run(gauss_trial, 24, batch_size=5)
+        assert np.array_equal(whole.outcomes, singles.outcomes)
+        assert np.array_equal(whole.outcomes, odd.outcomes)
+
+    def test_batch_fn_matches_trial_fn(self):
+        engine = MonteCarloEngine("engine/contract", master_seed=2)
+        scalar = engine.run(gauss_trial, 16, batch_size=4)
+        batched = engine.run(batch_fn=gauss_batch, n_trials=16, batch_size=4)
+        assert np.array_equal(scalar.outcomes, batched.outcomes)
+
+    def test_workers_match_serial(self):
+        engine = MonteCarloEngine("engine/workers", master_seed=5)
+        serial = engine.run(multi_draw_trial, 20, batch_size=4, workers=0)
+        parallel = engine.run(multi_draw_trial, 20, batch_size=4, workers=3)
+        assert np.array_equal(serial.outcomes, parallel.outcomes)
+
+    def test_outcome_k_uses_trial_k_stream(self):
+        engine = MonteCarloEngine("engine/address", master_seed=3)
+        result = engine.run(gauss_trial, 8, batch_size=3)
+        for k in range(8):
+            rng = seeding.trial_rng(3, "engine/address", k)
+            assert result.outcomes[k] == float(rng.normal())
+
+    def test_different_experiments_differ(self):
+        a = MonteCarloEngine("engine/a", master_seed=1).run(gauss_trial, 8)
+        b = MonteCarloEngine("engine/b", master_seed=1).run(gauss_trial, 8)
+        assert not np.array_equal(a.outcomes, b.outcomes)
+
+
+class TestSummaries:
+    def test_proportion_kind_uses_wilson(self):
+        engine = MonteCarloEngine("engine/coin", master_seed=0, kind="proportion")
+        result = engine.run(coin_trial, 40)
+        assert result.summary.kind == "proportion"
+        assert 0.0 <= result.summary.ci_low <= result.summary.mean
+        assert result.summary.mean <= result.summary.ci_high <= 1.0
+
+    def test_mean_kind(self):
+        result = MonteCarloEngine("engine/mean", master_seed=0).run(gauss_trial, 40)
+        assert result.summary.kind == "mean"
+        assert result.n_trials == 40
+
+
+class TestEarlyStop:
+    def test_stops_at_batch_boundary(self):
+        engine = MonteCarloEngine("engine/stop", master_seed=0)
+        result = engine.run(
+            batch_fn=constant_batch, n_trials=100, batch_size=10,
+            target_halfwidth=0.01, min_trials=8,
+        )
+        # Constant outcomes: halfwidth hits 0 after the first batch.
+        assert result.stopped_early
+        assert result.n_trials == 10
+
+    def test_min_trials_floor(self):
+        engine = MonteCarloEngine("engine/stop-floor", master_seed=0)
+        result = engine.run(
+            batch_fn=constant_batch, n_trials=100, batch_size=5,
+            target_halfwidth=0.01, min_trials=20,
+        )
+        assert result.n_trials == 20
+
+    def test_workers_stop_at_same_boundary(self):
+        engine = MonteCarloEngine("engine/stop-workers", master_seed=4)
+        kwargs = dict(
+            batch_fn=constant_batch, n_trials=60, batch_size=6,
+            target_halfwidth=0.01, min_trials=6,
+        )
+        serial = engine.run(**kwargs, workers=0)
+        parallel = engine.run(**kwargs, workers=4)
+        assert serial.n_trials == parallel.n_trials
+        assert np.array_equal(serial.outcomes, parallel.outcomes)
+        assert serial.stopped_early and parallel.stopped_early
+
+    def test_full_run_not_marked_early(self):
+        engine = MonteCarloEngine("engine/full", master_seed=0)
+        result = engine.run(
+            batch_fn=constant_batch, n_trials=10, batch_size=10,
+            target_halfwidth=0.01, min_trials=10,
+        )
+        assert result.n_trials == 10
+        assert not result.stopped_early
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        engine = MonteCarloEngine("engine/bad", master_seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run(n_trials=4)
+        with pytest.raises(ConfigurationError):
+            engine.run(gauss_trial, 0)
+        with pytest.raises(ConfigurationError):
+            engine.run(gauss_trial, 4, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MonteCarloEngine("engine/kind", kind="median")
+
+    def test_batch_fn_length_mismatch_detected(self):
+        engine = MonteCarloEngine("engine/len", master_seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run(batch_fn=short_batch, n_trials=4, batch_size=4)

@@ -1,0 +1,85 @@
+"""Summary statistics: Wilson intervals, mean CIs, halfwidths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.montecarlo.stats import (
+    Z_95,
+    TrialSummary,
+    summarize_mean,
+    summarize_proportion,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_stays_in_unit_interval_at_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.3
+        low, high = wilson_interval(20, 20)
+        assert 0.7 < low < 1.0 and high == 1.0
+
+    def test_contains_point_estimate(self):
+        for successes, n in [(1, 10), (5, 10), (9, 10), (50, 100)]:
+            low, high = wilson_interval(successes, n)
+            assert low <= successes / n <= high
+
+    def test_narrows_with_n(self):
+        w_small = np.diff(wilson_interval(5, 10))[0]
+        w_large = np.diff(wilson_interval(500, 1000))[0]
+        assert w_large < w_small
+
+    def test_returns_plain_floats(self):
+        low, high = wilson_interval(3, 7)
+        assert type(low) is float and type(high) is float
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 4)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(-1, 4)
+
+
+class TestSummarizeMean:
+    def test_known_values(self):
+        s = summarize_mean([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        sem = s.std / 2.0
+        assert s.ci_low == pytest.approx(2.5 - Z_95 * sem)
+        assert s.ci_high == pytest.approx(2.5 + Z_95 * sem)
+        assert s.halfwidth == pytest.approx(Z_95 * sem)
+        assert s.kind == "mean"
+
+    def test_single_trial_degenerate(self):
+        s = summarize_mean([7.0])
+        assert s.std == 0.0 and s.halfwidth == 0.0 and s.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_mean([])
+
+
+class TestSummarizeProportion:
+    def test_mean_is_success_fraction(self):
+        s = summarize_proportion([1.0, 0.0, 1.0, 1.0])
+        assert s.n == 4 and s.mean == 0.75 and s.kind == "proportion"
+        assert (s.ci_low, s.ci_high) == wilson_interval(3, 4)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_proportion([0.5, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_proportion([])
+
+
+class TestTrialSummary:
+    def test_halfwidth(self):
+        s = TrialSummary(n=3, mean=0.0, std=1.0, ci_low=-2.0, ci_high=4.0)
+        assert s.halfwidth == 3.0

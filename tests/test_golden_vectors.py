@@ -1,0 +1,85 @@
+"""Golden-vector regression: current output must match the frozen corpus.
+
+The corpus under ``tests/vectors/`` freezes end-to-end artefacts (bit
+streams exactly, waveforms to double precision).  A failure here means the
+encode chains changed behaviour; if the change is intentional, regenerate
+with ``python -m repro.tools.regen_vectors`` and commit the new vectors.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sledzig.pipeline import SledZigReceiver
+from repro.tools import regen_vectors
+from repro.wifi.receiver import WifiReceiver
+from repro.zigbee.receiver import ZigbeeReceiver
+
+VECTOR_DIR = Path(__file__).parent / "vectors"
+
+REGEN_HINT = (
+    "golden vector mismatch — if the encode chain changed intentionally, "
+    "run `python -m repro.tools.regen_vectors` and commit the new corpus"
+)
+
+
+def load(name):
+    path = VECTOR_DIR / f"{name}.npz"
+    assert path.exists(), f"missing corpus file {path}; run regen_vectors"
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def assert_same(current, frozen, label):
+    assert current.shape == frozen.shape, f"{label}: shape changed; {REGEN_HINT}"
+    if np.issubdtype(frozen.dtype, np.complexfloating) or np.issubdtype(
+        frozen.dtype, np.floating
+    ):
+        np.testing.assert_allclose(
+            current, frozen, rtol=0, atol=1e-10, err_msg=f"{label}: {REGEN_HINT}"
+        )
+    else:
+        assert np.array_equal(current, frozen), f"{label}: {REGEN_HINT}"
+
+
+@pytest.mark.parametrize("name", sorted(regen_vectors.BUILDERS))
+def test_regenerated_arrays_match_corpus(name):
+    frozen = load(name)
+    current = regen_vectors.BUILDERS[name]()
+    assert sorted(current) == sorted(frozen), f"{name}: array set changed"
+    for key in frozen:
+        assert_same(np.asarray(current[key]), frozen[key], f"{name}/{key}")
+
+
+def test_manifest_matches_corpus():
+    with open(VECTOR_DIR / "manifest.json") as fh:
+        manifest = json.load(fh)
+    assert manifest["corpus_seed"] == regen_vectors.CORPUS_SEED
+    assert sorted(manifest["vectors"]) == sorted(regen_vectors.BUILDERS)
+    for name, entry in manifest["vectors"].items():
+        arrays = load(name)
+        assert entry["spec"] == regen_vectors.SPECS[name]
+        for key, meta in entry["arrays"].items():
+            assert list(arrays[key].shape) == meta["shape"]
+            assert str(arrays[key].dtype) == meta["dtype"]
+
+
+def test_wifi_vector_decodes_to_frozen_psdu():
+    vec = load("wifi_roundtrip")
+    reception = WifiReceiver().receive(vec["waveform"])
+    assert np.array_equal(reception.psdu_bits, vec["psdu_bits"])
+
+
+def test_zigbee_vector_decodes_to_frozen_psdu():
+    vec = load("zigbee_roundtrip")
+    reception = ZigbeeReceiver().receive(vec["waveform"])
+    assert reception.frame.psdu == vec["psdu"].tobytes()
+
+
+def test_sledzig_vector_decodes_to_frozen_payload():
+    vec = load("sledzig_insertion")
+    spec = regen_vectors.SPECS["sledzig_insertion"]
+    packet = SledZigReceiver(spec["channel"]).receive(vec["waveform"])
+    assert packet.payload == vec["payload"].tobytes()
