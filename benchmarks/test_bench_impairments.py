@@ -1,0 +1,64 @@
+"""Impairment-pipeline benchmarks: the batched kernels over frame stacks.
+
+The robustness experiment pushes every Monte-Carlo batch through the full
+impairment chain before the noise stage; these benchmarks pin the chain's
+throughput on a WiFi-sized batch and sanity-check that the arithmetic
+stays the deterministic contract (same generators, same samples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.impairments import (
+    Adc,
+    CarrierFrequencyOffset,
+    ImpairmentPipeline,
+    IQImbalance,
+    Multipath,
+    PhaseNoise,
+)
+from repro.montecarlo.seeding import trial_rng
+
+#: A Monte-Carlo-default batch of WiFi-frame-sized rows.
+BATCH = 32
+SAMPLES = 4000
+
+
+def _pipeline() -> ImpairmentPipeline:
+    return ImpairmentPipeline((
+        CarrierFrequencyOffset(97_600.0, 20e6),
+        Multipath(n_taps=4, tap_spacing_samples=2),
+        PhaseNoise(1e-3),
+        IQImbalance(gain_db=0.5, phase_deg=1.0),
+        Adc(n_bits=10, full_scale=4.0),
+    ))
+
+
+@pytest.fixture
+def stack(rng) -> np.ndarray:
+    return rng.normal(size=(BATCH, SAMPLES)) + 1j * rng.normal(
+        size=(BATCH, SAMPLES)
+    )
+
+
+def _rngs():
+    return [trial_rng(2022, "bench/impair", k) for k in range(BATCH)]
+
+
+def test_bench_full_chain_batch32(benchmark, stack):
+    """Five-kernel chain over a (32, 4000) batch."""
+    pipeline = _pipeline()
+    out = benchmark(lambda: pipeline.apply(stack, _rngs()))
+    assert out.shape == stack.shape
+    # Deterministic contract: same addressed generators, same samples.
+    again = pipeline.apply(stack, _rngs())
+    assert np.array_equal(out, again)
+
+
+def test_bench_cfo_only_batch32(benchmark, stack):
+    """The cheapest kernel alone — the per-batch overhead floor."""
+    kernel = CarrierFrequencyOffset(97_600.0, 20e6)
+    out = benchmark(lambda: kernel.apply(stack))
+    assert out.shape == stack.shape

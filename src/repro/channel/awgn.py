@@ -64,9 +64,24 @@ def mix_at_offset(
 
 
 def frequency_shift(
-    waveform: np.ndarray, shift_hz: float, sample_rate_hz: float
+    waveform: np.ndarray,
+    shift_hz: float,
+    sample_rate_hz: float,
+    phase_origin_sample: int = 0,
 ) -> np.ndarray:
-    """Shift a baseband waveform by *shift_hz* (complex rotation)."""
+    """Shift a baseband waveform by *shift_hz* (complex rotation).
+
+    Phase-continuity contract: array index *n* is rotated by
+    ``exp(2j*pi*shift_hz*(n + phase_origin_sample)/sample_rate_hz)`` — the
+    phase origin sits at array index ``-phase_origin_sample``, i.e. at the
+    first sample by default.  Because the phase reference is the array
+    index (not any accumulated state), chained shifts compose exactly:
+    shifting by ``+f`` then ``-f`` is the identity to machine precision,
+    and shifting by ``f1`` then ``f2`` equals one shift by ``f1 + f2``
+    (pinned by ``tests/channel/test_awgn.py``).  Pass the slice's absolute
+    start as *phase_origin_sample* to keep a shift applied to a slice
+    phase-continuous with the same shift applied to the full timeline.
+    """
     arr = np.asarray(waveform, dtype=np.complex128).ravel()
-    n = np.arange(arr.size)
+    n = np.arange(arr.size) + int(phase_origin_sample)
     return arr * np.exp(2j * np.pi * shift_hz * n / sample_rate_hz)

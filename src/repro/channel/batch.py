@@ -100,9 +100,12 @@ def awgn_batch(
             raise ConfigurationError("lengths must lie in [1, row width]")
     snrs = np.broadcast_to(np.asarray(snr_db, dtype=float).ravel(), (n,)) \
         if np.ndim(snr_db) else np.full(n, float(snr_db))
-    # Vectorized power measurement over the true samples of every row.
-    mask = np.arange(total)[np.newaxis, :] < np.asarray(true_lengths)[:, np.newaxis]
-    powers = np.sum(np.abs(stack) ** 2 * mask, axis=1) / np.asarray(true_lengths)
+    # Power per row over its true samples, with the scalar path's exact
+    # summation order: summing a padded full-width row can change NumPy's
+    # pairwise-summation blocks and flip the last ulp of the noise scale.
+    powers = np.array(
+        [np.mean(np.abs(stack[k, :ell]) ** 2) for k, ell in enumerate(true_lengths)]
+    )
     if np.any(powers <= 0.0):
         raise ConfigurationError("cannot set an SNR on a silent waveform")
     noise_powers = powers / db_to_linear(np.asarray(snrs))
@@ -178,16 +181,27 @@ def frequency_shift_batch(
     waveforms: "np.ndarray | Sequence[np.ndarray]",
     shifts_hz: FloatOrVector,
     sample_rate_hz: float,
+    phase_origin_sample: int = 0,
 ) -> np.ndarray:
     """Complex-rotate each row by its own frequency offset.
 
     The downconversion workhorse: mixing a batch of WiFi waveforms to a
     ZigBee channel centre is ``frequency_shift_batch(stack, -offset, fs)``
     followed by one filter pass.
+
+    Phase-continuity contract (same as the scalar
+    :func:`repro.channel.awgn.frequency_shift`): column *n* is rotated by
+    ``exp(2j*pi*shift*(n + phase_origin_sample)/fs)``, so the phase
+    reference is the column index and chained shifts compose exactly —
+    per-row slices equal the scalar results bit for bit.
     """
     stack = _as_batch(waveforms)
     n, total = stack.shape
     shifts = np.broadcast_to(np.asarray(shifts_hz, dtype=float).ravel(), (n,)) \
         if np.ndim(shifts_hz) else np.full(n, float(shifts_hz))
-    phases = np.outer(shifts, np.arange(total)) / float(sample_rate_hz)
-    return stack * np.exp(2j * np.pi * phases)
+    samples = np.arange(total) + int(phase_origin_sample)
+    # Same operation order as the scalar path ((2j*pi*f) * n / fs), so a
+    # batched row is bit-identical to its scalar frequency_shift.
+    factors = 2j * np.pi * shifts
+    return stack * np.exp(factors[:, np.newaxis] * samples[np.newaxis, :]
+                          / float(sample_rate_hz))

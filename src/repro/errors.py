@@ -44,5 +44,15 @@ class SynchronizationError(DecodingError):
     """A receiver failed to locate a preamble in the waveform."""
 
 
+class InvalidWaveformError(DecodingError):
+    """A receiver was handed samples it cannot process (NaN/Inf values).
+
+    Raised by the waveform-domain front ends before any arithmetic runs on
+    the samples, so injected faults surface as a typed error (or a ``None``
+    result under ``on_error="none"``) instead of propagating NaNs through
+    the decode chain.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event coexistence simulator reached an invalid state."""

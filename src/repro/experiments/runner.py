@@ -38,6 +38,7 @@ from repro.experiments import (
     table3_extra_bits,
     table4_throughput_loss,
     ext40mhz,
+    robustness_waterfall,
     snr_waterfall,
     theory,
     xtech_collision,
@@ -108,6 +109,12 @@ def registry(
         "ext40": ext40mhz.run,
         "waterfall": lambda: snr_waterfall.run(
             n_frames=5 if quick else 10, **_seed_kw(master_seed)
+        ),
+        "robustness": lambda: robustness_waterfall.run(
+            axes=("cfo_ppm", "multipath_taps") if quick
+            else ("cfo_ppm", "multipath_taps", "phase_noise_mrad"),
+            n_frames=4 if quick else 8,
+            **_seed_kw(master_seed),
         ),
         "ablation-span": ablations.span_ablation,
         "ablation-solver": ablations.solver_ablation,

@@ -1,0 +1,35 @@
+"""Channel impairment and fault-injection subsystem.
+
+Composable, batched, seed-deterministic models of the RF imperfections the
+paper's USRP/TelosB testbed exposes SledZig to — carrier frequency offset,
+sampling clock drift, IQ imbalance, phase noise, multipath fading and ADC
+quantization — so the reproduction's claims can be validated under
+realistic distortion rather than idealised path loss + AWGN.
+
+See :mod:`repro.impairments.kernels` for the kernel contract and
+:mod:`repro.impairments.pipeline` for composition; the
+``robustness_waterfall`` experiment sweeps these against the WiFi, SledZig
+and ZigBee receivers.
+"""
+
+from repro.impairments.kernels import (
+    Adc,
+    CarrierFrequencyOffset,
+    ImpairmentKernel,
+    IQImbalance,
+    Multipath,
+    PhaseNoise,
+    SamplingClockOffset,
+)
+from repro.impairments.pipeline import ImpairmentPipeline
+
+__all__ = [
+    "Adc",
+    "CarrierFrequencyOffset",
+    "ImpairmentKernel",
+    "ImpairmentPipeline",
+    "IQImbalance",
+    "Multipath",
+    "PhaseNoise",
+    "SamplingClockOffset",
+]

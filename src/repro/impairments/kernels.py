@@ -1,0 +1,335 @@
+"""Stateless channel-impairment kernels over ``(batch, samples)`` matrices.
+
+Each kernel models one RF imperfection of the paper's USRP/TelosB testbed
+that the idealised path-loss + AWGN substitute channel leaves out:
+
+* :class:`CarrierFrequencyOffset` — crystal mismatch between transmitter
+  and receiver (802.11 allows +-20 ppm per side, +-40 ppm net).
+* :class:`SamplingClockOffset` — the same crystal error applied to the ADC
+  sampling instants (samples slowly drift against the symbol grid).
+* :class:`IQImbalance` — gain/phase mismatch between the I and Q rails of
+  a direct-conversion front end (image leakage).
+* :class:`PhaseNoise` — oscillator phase as a Wiener random walk.
+* :class:`Multipath` — tapped-delay-line fading (Rayleigh or Rician taps,
+  exponentially decaying power profile, or explicit taps).
+* :class:`Adc` — mid-tread quantization plus clipping of each rail.
+
+Kernel contract
+---------------
+
+Every kernel is a frozen dataclass with an ``apply(batch, rngs=None,
+lengths=None)`` method mapping a ``(batch, samples)`` complex matrix to a
+new matrix of the same shape:
+
+* **Statelessness** — all configuration lives in the dataclass fields; the
+  kernel object carries no mutable state, so one instance can serve any
+  number of batches concurrently.
+* **Determinism** — a stochastic kernel (``uses_rng`` True) draws row *k*'s
+  randomness only from ``rngs[k]``, in an order fixed by the kernel's
+  definition.  Because a trial's generator is addressed by trial index (see
+  :mod:`repro.montecarlo.seeding`) and never shared between rows, impaired
+  trials are bit-identical at any batch size or worker count.
+* **Padding is silence** — when *lengths* gives each row's true
+  (pre-padding) sample count, a kernel confines its effect (and any
+  per-sample randomness) to the first ``lengths[k]`` samples, and padding
+  stays exactly zero.  Stochastic draws are sized by the true length, so a
+  padded batch reproduces the unpadded scalar calls bit for bit.
+
+The pipeline composing kernels lives in
+:mod:`repro.impairments.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.batch import _as_batch
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ImpairmentKernel",
+    "CarrierFrequencyOffset",
+    "SamplingClockOffset",
+    "IQImbalance",
+    "PhaseNoise",
+    "Multipath",
+    "Adc",
+]
+
+
+def _true_lengths(
+    batch: np.ndarray, lengths: Optional[Sequence[int]]
+) -> np.ndarray:
+    """Per-row true sample counts, defaulting to the full row width."""
+    n, total = batch.shape
+    if lengths is None:
+        return np.full(n, total, dtype=np.int64)
+    if len(lengths) != n:
+        raise ConfigurationError(f"got {len(lengths)} lengths for {n} rows")
+    out = np.asarray([int(ell) for ell in lengths], dtype=np.int64)
+    if np.any(out <= 0) or np.any(out > total):
+        raise ConfigurationError("lengths must lie in [1, row width]")
+    return out
+
+
+def _check_rngs(rngs: Optional[Sequence[np.random.Generator]], n: int) -> None:
+    if rngs is None:
+        raise ConfigurationError(
+            "this impairment draws randomness; pass one Generator per row "
+            "(derive them from the trial streams, repro.montecarlo.seeding)"
+        )
+    if len(rngs) != n:
+        raise ConfigurationError(f"got {len(rngs)} generators for {n} rows")
+
+
+@dataclass(frozen=True)
+class ImpairmentKernel:
+    """Base class: a stateless ``(batch, samples) -> (batch, samples)`` map."""
+
+    #: Whether :meth:`apply` consumes randomness from the per-row generators.
+    uses_rng = False
+
+    def apply(
+        self,
+        batch: "np.ndarray | Sequence[np.ndarray]",
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        lengths: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def apply_one(
+        self,
+        waveform: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Scalar convenience: impair one waveform (batch-of-one)."""
+        rngs = None if rng is None else [rng]
+        return self.apply(np.asarray(waveform)[np.newaxis, :], rngs)[0]
+
+
+@dataclass(frozen=True)
+class CarrierFrequencyOffset(ImpairmentKernel):
+    """Constant carrier offset: rotate each sample by ``2*pi*f*n/fs``.
+
+    The phase origin is sample 0 of each row (the
+    :func:`repro.channel.awgn.frequency_shift` convention), so an offset of
+    0 Hz is the exact identity and +f followed by -f composes back to the
+    input bit for bit.
+    """
+
+    offset_hz: float
+    sample_rate_hz: float
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        if self.offset_hz == 0.0:
+            return stack.copy()
+        n = np.arange(stack.shape[1])
+        phase = np.exp(2j * np.pi * self.offset_hz * n / self.sample_rate_hz)
+        return stack * phase[np.newaxis, :]
+
+
+@dataclass(frozen=True)
+class SamplingClockOffset(ImpairmentKernel):
+    """Sampling-clock error of *ppm* parts per million.
+
+    The receiver's ADC samples at ``fs * (1 + ppm * 1e-6)`` relative to the
+    transmit clock; the kernel resamples each row onto that grid by linear
+    interpolation.  Reads past a row's true extent return silence, and the
+    output keeps the input width.  ``ppm=0`` is the exact identity.
+    """
+
+    ppm: float
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        if self.ppm == 0.0:
+            return stack.copy()
+        n, total = stack.shape
+        ells = _true_lengths(stack, lengths)
+        out = np.zeros_like(stack)
+        step = 1.0 + self.ppm * 1e-6
+        for k in range(n):
+            ell = int(ells[k])
+            positions = np.arange(ell) * step
+            base = np.floor(positions).astype(np.int64)
+            frac = positions - base
+            valid = base < ell
+            left = np.where(valid, stack[k, np.minimum(base, ell - 1)], 0.0)
+            has_right = base + 1 < ell
+            right = np.where(
+                has_right, stack[k, np.minimum(base + 1, ell - 1)], 0.0
+            )
+            row = np.where(valid, left * (1.0 - frac) + right * frac, 0.0)
+            out[k, :ell] = row
+        return out
+
+
+@dataclass(frozen=True)
+class IQImbalance(ImpairmentKernel):
+    """Gain/phase mismatch between the I and Q rails (image leakage).
+
+    Uses the standard two-coefficient model ``y = k1*x + k2*conj(x)`` with
+    ``k1 = (1 + g*exp(-j*phi)) / 2`` and ``k2 = (1 - g*exp(j*phi)) / 2``
+    where *g* is the amplitude ratio and *phi* the quadrature error.  At
+    0 dB / 0 degrees both collapse to the identity.  The map is real-linear
+    in the waveform, so it commutes with any real gain.
+    """
+
+    gain_db: float = 0.0
+    phase_deg: float = 0.0
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        if self.gain_db == 0.0 and self.phase_deg == 0.0:
+            return stack.copy()
+        g = 10.0 ** (self.gain_db / 20.0)
+        phi = np.deg2rad(self.phase_deg)
+        k1 = (1.0 + g * np.exp(-1j * phi)) / 2.0
+        k2 = (1.0 - g * np.exp(1j * phi)) / 2.0
+        return k1 * stack + k2 * np.conj(stack)
+
+
+@dataclass(frozen=True)
+class PhaseNoise(ImpairmentKernel):
+    """Oscillator phase noise as a Wiener (random-walk) process.
+
+    Each row is rotated by ``exp(j * cumsum(steps))`` where the steps are
+    zero-mean Gaussian with standard deviation *rms_step_rad* per sample,
+    drawn from that row's generator (one ``normal(size=true_length)`` call,
+    so the draw count never depends on batch padding).
+    """
+
+    rms_step_rad: float
+
+    uses_rng = True
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        _check_rngs(rngs, stack.shape[0])
+        ells = _true_lengths(stack, lengths)
+        out = stack.copy()
+        for k, rng in enumerate(rngs):
+            ell = int(ells[k])
+            steps = rng.normal(size=ell) * self.rms_step_rad
+            out[k, :ell] *= np.exp(1j * np.cumsum(steps))
+        return out
+
+
+@dataclass(frozen=True)
+class Multipath(ImpairmentKernel):
+    """Tapped-delay-line multipath fading.
+
+    Without explicit *taps*, each row draws its own tap gains from its
+    generator: an exponentially decaying power profile
+    (``decay_db_per_tap`` per tap, normalised to unit total power so the
+    channel is SNR-neutral on average), Rayleigh taps by default, or a
+    Rician first tap of the given K-factor with ``profile="rician"``.  One
+    ``normal(size=(n_taps, 2))`` draw per row, independent of batch layout.
+
+    With ``taps=(...)`` the kernel is deterministic and convolves every row
+    with exactly those complex gains — ``taps=(1,)`` is the identity.
+
+    The output keeps the input extent: echo tails beyond a row's true
+    length are truncated (the frame window a receiver would capture).
+    """
+
+    n_taps: int = 4
+    tap_spacing_samples: int = 1
+    profile: str = "rayleigh"
+    k_factor_db: float = 6.0
+    decay_db_per_tap: float = 3.0
+    taps: Optional[Tuple[complex, ...]] = None
+
+    uses_rng = True
+
+    def __post_init__(self) -> None:
+        if self.profile not in ("rayleigh", "rician"):
+            raise ConfigurationError(f"unknown multipath profile {self.profile!r}")
+        if self.taps is None and self.n_taps < 1:
+            raise ConfigurationError("n_taps must be at least 1")
+        if self.tap_spacing_samples < 1:
+            raise ConfigurationError("tap_spacing_samples must be at least 1")
+        # Explicit taps need no randomness; announce that to the pipeline.
+        if self.taps is not None:
+            object.__setattr__(self, "uses_rng", False)
+
+    def _profile_powers(self) -> np.ndarray:
+        powers = 10.0 ** (
+            -self.decay_db_per_tap * np.arange(self.n_taps) / 10.0
+        )
+        return powers / powers.sum()
+
+    def _draw_taps(self, rng: np.random.Generator) -> np.ndarray:
+        powers = self._profile_powers()
+        raw = rng.normal(size=(self.n_taps, 2))
+        scattered = (raw[:, 0] + 1j * raw[:, 1]) * np.sqrt(powers / 2.0)
+        if self.profile == "rayleigh":
+            return scattered
+        # Rician: the first tap carries a deterministic LOS component of
+        # K/(K+1) of its power plus a scattered part of 1/(K+1).
+        k_lin = 10.0 ** (self.k_factor_db / 10.0)
+        taps = scattered.copy()
+        taps[0] = np.sqrt(powers[0] * k_lin / (k_lin + 1.0)) + scattered[
+            0
+        ] * np.sqrt(1.0 / (k_lin + 1.0))
+        return taps
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        n = stack.shape[0]
+        if self.taps is None:
+            _check_rngs(rngs, n)
+            all_taps = [self._draw_taps(rng) for rng in rngs]
+        else:
+            all_taps = [np.asarray(self.taps, dtype=np.complex128)] * n
+        ells = _true_lengths(stack, lengths)
+        out = np.zeros_like(stack)
+        for k in range(n):
+            ell = int(ells[k])
+            row = stack[k, :ell]
+            acc = np.zeros(ell, dtype=np.complex128)
+            for i, h in enumerate(all_taps[k]):
+                delay = i * self.tap_spacing_samples
+                if delay >= ell:
+                    break
+                acc[delay:] += h * row[: ell - delay]
+            out[k, :ell] = acc
+        return out
+
+
+@dataclass(frozen=True)
+class Adc(ImpairmentKernel):
+    """ADC model: per-rail clipping and mid-tread uniform quantization.
+
+    Each rail (real and imaginary) is clipped to ``[-full_scale,
+    +full_scale]`` and rounded to one of ``2**n_bits - 1`` mid-tread levels
+    (level spacing ``full_scale / (2**(n_bits-1) - 1)``).  Mid-tread keeps
+    zero exactly representable — silence stays silence — and makes the
+    kernel idempotent: every output level is its own quantization, clipped
+    samples included.
+    """
+
+    n_bits: int = 10
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 2:
+            raise ConfigurationError("Adc needs at least 2 bits")
+        if self.full_scale <= 0.0:
+            raise ConfigurationError("full_scale must be positive")
+
+    def _quantize_rail(self, rail: np.ndarray) -> np.ndarray:
+        levels = 2 ** (self.n_bits - 1) - 1
+        delta = self.full_scale / levels
+        idx = np.clip(np.round(rail / delta), -levels, levels)
+        return idx * delta
+
+    def apply(self, batch, rngs=None, lengths=None):
+        stack = _as_batch(batch)
+        return self._quantize_rail(stack.real) + 1j * self._quantize_rail(
+            stack.imag
+        )

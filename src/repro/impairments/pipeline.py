@@ -1,0 +1,89 @@
+"""Composable impairment pipelines over batched waveforms.
+
+An :class:`ImpairmentPipeline` chains impairment kernels in order; applying
+it to a ``(batch, samples)`` matrix runs every kernel's ``apply`` in
+sequence under the same per-row generators.  Because each kernel draws row
+*k*'s randomness only from ``rngs[k]`` and the kernel order is fixed, the
+draw sequence a trial sees depends only on its addressed generator — never
+on the batch it happens to share — which keeps impaired Monte-Carlo trials
+bit-identical at any batch size or worker count (pinned by
+``tests/impairments/test_conformance.py``).
+
+Typical wiring inside a Monte-Carlo ``batch_fn``::
+
+    pipeline = ImpairmentPipeline((
+        CarrierFrequencyOffset(96e3, SAMPLE_RATE_HZ),
+        Multipath(n_taps=4),
+    ))
+    impaired = pipeline.apply(stack_waveforms(waves), rngs)
+    noisy = awgn_batch(impaired, snr_db, rngs)
+
+The impairments draw from the trial streams *before* ``awgn_batch`` does,
+so the scalar reference path must apply them in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.batch import _as_batch
+from repro.errors import ConfigurationError
+from repro.impairments.kernels import ImpairmentKernel
+
+__all__ = ["ImpairmentPipeline"]
+
+
+@dataclass(frozen=True)
+class ImpairmentPipeline:
+    """An ordered chain of impairment kernels with one ``apply`` call."""
+
+    kernels: Tuple[ImpairmentKernel, ...] = ()
+
+    def __post_init__(self) -> None:
+        for kernel in self.kernels:
+            if not isinstance(kernel, ImpairmentKernel):
+                raise ConfigurationError(
+                    f"{kernel!r} is not an ImpairmentKernel"
+                )
+
+    @property
+    def uses_rng(self) -> bool:
+        """Whether any stage consumes per-row randomness."""
+        return any(kernel.uses_rng for kernel in self.kernels)
+
+    def apply(
+        self,
+        batch: "np.ndarray | Sequence[np.ndarray]",
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        lengths: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Run every kernel in order over the batch.
+
+        Args:
+            batch: ``(batch, samples)`` matrix or list of rows.
+            rngs: one generator per row; required iff :attr:`uses_rng`.
+                Stochastic stages consume their draws in pipeline order.
+            lengths: true (pre-padding) sample count per row; kernels keep
+                padding silent and size their draws by the true length.
+        """
+        stack = _as_batch(batch)
+        if self.uses_rng and rngs is not None and len(rngs) != stack.shape[0]:
+            raise ConfigurationError(
+                f"got {len(rngs)} generators for {stack.shape[0]} rows"
+            )
+        out = stack.copy() if not self.kernels else stack
+        for kernel in self.kernels:
+            out = kernel.apply(out, rngs, lengths)
+        return out
+
+    def apply_one(
+        self,
+        waveform: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Scalar convenience: impair one waveform (batch-of-one)."""
+        rngs = None if rng is None else [rng]
+        return self.apply(np.asarray(waveform)[np.newaxis, :], rngs)[0]

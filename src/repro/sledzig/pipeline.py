@@ -170,42 +170,59 @@ class SledZigReceiver:
         return self.receive_frames([waveform])[0]
 
     def receive_frames(
-        self, waveforms: Sequence[np.ndarray]
-    ) -> List[SledZigReceivedPacket]:
+        self, waveforms: Sequence[np.ndarray], on_error: str = "raise"
+    ) -> "List[Optional[SledZigReceivedPacket]]":
         """Decode many frames; the WiFi stage batches across frames.
 
         The waveform/bit-domain heavy lifting happens inside
         :meth:`repro.wifi.WifiReceiver.receive_frames`; channel detection
         and extra-bit stripping are per-frame bit operations.
+
+        Args:
+            on_error: "raise" propagates the first per-frame failure
+                (scalar semantics); "none" records a ``None`` result for a
+                frame that fails at any stage — WiFi decode, channel
+                detection, or extra-bit stripping — and keeps decoding the
+                rest (the Monte-Carlo batch-trial mode).
         """
-        receptions = self._wifi.receive_frames(waveforms)
-        packets: List[SledZigReceivedPacket] = []
+        receptions = self._wifi.receive_frames(waveforms, on_error=on_error)
+        packets: "List[Optional[SledZigReceivedPacket]]" = []
         for reception in receptions:
-            stripped = self._decoder.decode(reception)
-            bits = stripped.data_bits
-            header_bits = 8 * LENGTH_HEADER_OCTETS
-            if bits.size < header_bits:
-                raise DecodingError(
-                    "stripped stream shorter than the length header"
-                )
-            header = bits_to_bytes(bits[:header_bits])
-            n_payload = int.from_bytes(header, "little")
-            total_bits = header_bits + 8 * n_payload
-            if bits.size < total_bits:
-                raise DecodingError(
-                    f"length header promises {n_payload} bytes but only "
-                    f"{(bits.size - header_bits) // 8} are present"
-                )
-            payload = bits_to_bytes(bits[header_bits:total_bits])
-            packets.append(
-                SledZigReceivedPacket(
-                    payload=payload,
-                    channel=stripped.channel,
-                    detection=stripped.detection,
-                    mcs=reception.mcs,
-                )
-            )
+            if reception is None:
+                packets.append(None)
+                continue
+            try:
+                packets.append(self._strip_one(reception))
+            except Exception:
+                if on_error == "raise":
+                    raise
+                packets.append(None)
         return packets
+
+    def _strip_one(self, reception) -> SledZigReceivedPacket:
+        """Channel detection, extra-bit stripping and payload framing."""
+        stripped = self._decoder.decode(reception)
+        bits = stripped.data_bits
+        header_bits = 8 * LENGTH_HEADER_OCTETS
+        if bits.size < header_bits:
+            raise DecodingError(
+                "stripped stream shorter than the length header"
+            )
+        header = bits_to_bytes(bits[:header_bits])
+        n_payload = int.from_bytes(header, "little")
+        total_bits = header_bits + 8 * n_payload
+        if bits.size < total_bits:
+            raise DecodingError(
+                f"length header promises {n_payload} bytes but only "
+                f"{(bits.size - header_bits) // 8} are present"
+            )
+        payload = bits_to_bytes(bits[header_bits:total_bits])
+        return SledZigReceivedPacket(
+            payload=payload,
+            channel=stripped.channel,
+            detection=stripped.detection,
+            mcs=reception.mcs,
+        )
 
 
 def encode_frames(

@@ -25,6 +25,12 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.channel.batch import awgn_batch
+from repro.impairments import (
+    CarrierFrequencyOffset,
+    ImpairmentPipeline,
+    Multipath,
+)
 from repro.montecarlo import seeding
 from repro.sledzig.channels import get_channel
 from repro.sledzig.encoder import SledZigEncoder
@@ -41,6 +47,11 @@ SPECS: Dict[str, Dict[str, Any]] = {
     "wifi_roundtrip": {"mcs": "qam64-2/3", "psdu_octets": 60},
     "zigbee_roundtrip": {"psdu_octets": 24},
     "sledzig_insertion": {"mcs": "qam64-2/3", "channel": "CH2", "payload_octets": 40},
+    "impaired_wifi": {
+        "mcs": "qpsk-1/2", "psdu_octets": 40,
+        "cfo_hz": 97_600.0, "multipath_taps": 4, "snr_db": 15.0,
+    },
+    "impaired_zigbee": {"psdu_octets": 24, "cfo_hz": 97_600.0, "snr_db": 10.0},
 }
 
 
@@ -90,10 +101,50 @@ def build_sledzig_insertion() -> Dict[str, np.ndarray]:
     }
 
 
+def build_impaired_wifi() -> Dict[str, np.ndarray]:
+    """A WiFi frame through CFO + 4-tap Rayleigh multipath + AWGN.
+
+    Freezes the :mod:`repro.impairments` arithmetic end to end: the frame,
+    the fading/noise draws (one addressed stream) and the impaired
+    waveform the hardened receiver must still decode.
+    """
+    from repro.wifi.params import SAMPLE_RATE_HZ
+
+    spec = SPECS["impaired_wifi"]
+    rng = seeding.trial_rng(CORPUS_SEED, "vectors/impaired_wifi", 0)
+    psdu = random_bits(8 * spec["psdu_octets"], rng)
+    frame = WifiTransmitter(spec["mcs"]).transmit(psdu)
+    pipeline = ImpairmentPipeline((
+        CarrierFrequencyOffset(spec["cfo_hz"], SAMPLE_RATE_HZ),
+        Multipath(n_taps=spec["multipath_taps"], tap_spacing_samples=2),
+    ))
+    impaired = pipeline.apply_one(frame.waveform, rng)
+    noisy = awgn_batch(impaired[np.newaxis, :], spec["snr_db"], [rng])[0]
+    return {"psdu_bits": psdu, "waveform": noisy}
+
+
+def build_impaired_zigbee() -> Dict[str, np.ndarray]:
+    """A ZigBee frame through a 97.6 kHz CFO (40 ppm at 2.44 GHz) + AWGN."""
+    from repro.zigbee.params import SAMPLE_RATE_HZ
+
+    spec = SPECS["impaired_zigbee"]
+    rng = seeding.trial_rng(CORPUS_SEED, "vectors/impaired_zigbee", 0)
+    psdu = bytes(rng.integers(0, 256, size=spec["psdu_octets"], dtype=np.uint8))
+    trans = ZigbeeTransmitter().send(psdu)
+    pipeline = ImpairmentPipeline(
+        (CarrierFrequencyOffset(spec["cfo_hz"], SAMPLE_RATE_HZ),)
+    )
+    impaired = pipeline.apply_one(trans.waveform, rng)
+    noisy = awgn_batch(impaired[np.newaxis, :], spec["snr_db"], [rng])[0]
+    return {"psdu": np.frombuffer(psdu, dtype=np.uint8), "waveform": noisy}
+
+
 BUILDERS = {
     "wifi_roundtrip": build_wifi_roundtrip,
     "zigbee_roundtrip": build_zigbee_roundtrip,
     "sledzig_insertion": build_sledzig_insertion,
+    "impaired_wifi": build_impaired_wifi,
+    "impaired_zigbee": build_impaired_zigbee,
 }
 
 

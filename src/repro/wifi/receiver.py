@@ -27,7 +27,7 @@ from repro.dsp.ofdm import extract_subcarriers_batch, waveform_to_spectra
 from repro.dsp.qam import demodulate_hard_batch, demodulate_soft_batch
 from repro.dsp.scrambling import scramble_batch
 from repro.dsp.trellis import viterbi_decode_batch, viterbi_decode_soft_batch
-from repro.errors import DecodingError
+from repro.errors import DecodingError, InvalidWaveformError
 from repro.wifi.params import SAMPLE_RATE_HZ, Mcs
 from repro.wifi.ppdu import (
     SERVICE_BITS,
@@ -202,6 +202,8 @@ class WifiReceiver:
         track_phase: bool,
     ) -> _FrontEndResult:
         """Waveform domain: sync, CFO, channel, SIGNAL, demap to one stream."""
+        if not np.all(np.isfinite(arr)):
+            raise InvalidWaveformError("waveform contains NaN or Inf samples")
         if data_start is None:
             data_start, _ = detect_preamble(arr)
         if correct_cfo and data_start >= PREAMBLE_LENGTH:
@@ -228,7 +230,10 @@ class WifiReceiver:
                 points, pilots, first_symbol_index=1
             )
         if soft:
-            interleaved = demodulate_soft_batch(points, mcs.modulation).ravel()
+            llrs = demodulate_soft_batch(points, mcs.modulation)
+            if channel is not None:
+                llrs = self._csi_weight(llrs, channel, mcs.n_bpsc)
+            interleaved = llrs.ravel()
         else:
             interleaved = demodulate_hard_batch(points, mcs.modulation).ravel()
         return _FrontEndResult(
@@ -298,6 +303,31 @@ class WifiReceiver:
         corr = np.sum(pilots * expected, axis=1)  # expected values are +-1 (real)
         phase = np.where(np.abs(corr) < 1e-12, 0.0, np.angle(corr))
         return points * np.exp(-1j * phase)[:, None]
+
+    @staticmethod
+    def _csi_weight(
+        llrs: np.ndarray, channel: np.ndarray, n_bpsc: int
+    ) -> np.ndarray:
+        """Scale each subcarrier's LLRs by its channel power (CSI weighting).
+
+        Zero-forcing equalisation amplifies the noise on a faded subcarrier
+        by ``1/|H|^2``, so its LLRs are far less reliable than their
+        magnitude suggests; weighting by ``|H|^2`` restores the max-log
+        metric under frequency-selective fading (on a flat channel the
+        weights are uniform and nothing changes).  Normalised by the mean
+        weight to keep LLR magnitudes comparable across channels.
+        """
+        from repro.dsp.ofdm import data_bins
+
+        csi = np.abs(channel[data_bins()]) ** 2
+        mean = float(csi.mean())
+        if mean <= 0.0:
+            return llrs
+        weights = csi / mean
+        shaped = llrs.reshape(llrs.shape[0], -1, n_bpsc)
+        return (shaped * weights[np.newaxis, :, np.newaxis]).reshape(
+            llrs.shape
+        )
 
     @staticmethod
     def _estimate_channel(waveform: np.ndarray, data_start: int) -> np.ndarray:

@@ -1,0 +1,75 @@
+"""Phase-continuity regressions for ``frequency_shift`` (scalar and batch).
+
+The contract (documented on both functions): sample *n* is rotated by
+``exp(2j*pi*shift*(n + phase_origin_sample)/fs)``.  Because the phase
+references the sample index — not accumulated state — chained shifts
+compose exactly and +f followed by -f returns the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import frequency_shift
+from repro.channel.batch import frequency_shift_batch
+
+
+@pytest.fixture
+def wave(rng):
+    return rng.normal(size=500) + 1j * rng.normal(size=500)
+
+
+class TestScalarPhaseContinuity:
+    def test_plus_then_minus_is_identity(self, wave):
+        fs = 20e6
+        for f in (97_600.0, 1.25e6, 3_333.333):
+            roundtrip = frequency_shift(frequency_shift(wave, f, fs), -f, fs)
+            np.testing.assert_allclose(roundtrip, wave, rtol=0, atol=1e-12)
+
+    def test_shifts_compose_additively(self, wave):
+        fs = 20e6
+        chained = frequency_shift(frequency_shift(wave, 40e3, fs), 60e3, fs)
+        direct = frequency_shift(wave, 100e3, fs)
+        np.testing.assert_allclose(chained, direct, rtol=0, atol=1e-12)
+
+    def test_phase_origin_matches_split_processing(self, wave):
+        """Shifting a stream in two chunks with the second chunk's origin
+        advanced equals shifting the whole stream at once."""
+        fs = 20e6
+        f = 71e3
+        whole = frequency_shift(wave, f, fs)
+        head = frequency_shift(wave[:200], f, fs)
+        tail = frequency_shift(wave[200:], f, fs, phase_origin_sample=200)
+        np.testing.assert_allclose(
+            np.concatenate([head, tail]), whole, rtol=0, atol=1e-12
+        )
+
+    def test_zero_origin_phase_reference_is_sample_zero(self):
+        fs = 1e6
+        out = frequency_shift(np.ones(4, dtype=complex), 1e5, fs)
+        assert out[0] == 1.0  # exp(0) at n=0: no rotation of sample zero
+
+
+class TestBatchPhaseContinuity:
+    def test_matches_scalar_including_origin(self, rng):
+        fs = 20e6
+        waves = [rng.normal(size=300) + 1j * rng.normal(size=300) for _ in range(3)]
+        shifts = [12e3, -47e3, 0.0]
+        batched = frequency_shift_batch(
+            np.stack(waves), shifts, fs, phase_origin_sample=160
+        )
+        for k in range(3):
+            scalar = frequency_shift(
+                waves[k], shifts[k], fs, phase_origin_sample=160
+            )
+            assert np.array_equal(batched[k], scalar)
+
+    def test_plus_then_minus_is_identity(self, rng):
+        fs = 20e6
+        stack = rng.normal(size=(4, 256)) + 1j * rng.normal(size=(4, 256))
+        shifts = np.array([10e3, 20e3, -5e3, 97.6e3])
+        roundtrip = frequency_shift_batch(
+            frequency_shift_batch(stack, shifts, fs), -shifts, fs
+        )
+        np.testing.assert_allclose(roundtrip, stack, rtol=0, atol=1e-12)

@@ -1,0 +1,100 @@
+"""Tests for the robustness-waterfall experiment and its acceptance bar.
+
+Two contracts live here:
+
+* the ISSUE acceptance criterion — with CFO at 40 ppm and 4-tap Rayleigh
+  multipath at 15 dB SNR, the hardened WiFi receiver recovers at least
+  95% of the frames the un-impaired receiver recovers;
+* the engine determinism contract — impaired Monte-Carlo trials are
+  bit-identical at batch sizes {1, 8, 32} and worker counts {1, 4}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import robustness_waterfall as rw
+
+#: The acceptance sweep point: CFO 40 ppm on top of 4-tap Rayleigh.
+_POINT = dict(system="wifi", axis="combined_cfo_mp", magnitude=40.0)
+
+
+class TestAcceptance:
+    def test_hardened_wifi_recovers_95_percent_of_clean(self):
+        """CFO <= 40 ppm + 4-tap Rayleigh at 15 dB: >= 95% of clean delivery."""
+        impaired = rw.delivery_at(
+            **_POINT, n_frames=32, mcs_name="bpsk-1/2"
+        )
+        clean = rw.delivery_at(
+            "wifi", "cfo_ppm", 0.0, n_frames=32, mcs_name="bpsk-1/2"
+        )
+        assert clean > 0.0
+        assert impaired >= 0.95 * clean
+
+    def test_zero_magnitude_matches_clean_channel(self):
+        """The identity point of an axis is literally the clean channel."""
+        ident = rw.delivery_summary(
+            "wifi", "cfo_ppm", 0.0, n_frames=8, mcs_name="qpsk-1/2"
+        )
+        assert ident.summary.mean == 1.0
+
+
+class TestBitIdentity:
+    """Impaired trials draw from addressed streams: layout never moves bits."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return rw.delivery_summary(
+            **_POINT, n_frames=32, mcs_name="bpsk-1/2", batch_size=32
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_batch_size_invariance(self, reference, batch_size):
+        result = rw.delivery_summary(
+            **_POINT, n_frames=32, mcs_name="bpsk-1/2", batch_size=batch_size
+        )
+        assert np.array_equal(result.outcomes, reference.outcomes)
+
+    @pytest.mark.parametrize("workers", [4])
+    def test_worker_count_invariance(self, reference, workers):
+        result = rw.delivery_summary(
+            **_POINT, n_frames=32, mcs_name="bpsk-1/2",
+            batch_size=8, workers=workers,
+        )
+        assert np.array_equal(result.outcomes, reference.outcomes)
+
+
+class TestExperiment:
+    def test_run_produces_full_table(self):
+        result = rw.run(
+            axes=("cfo_ppm",), systems=("wifi", "zigbee"), n_frames=2
+        )
+        assert result.columns == ["axis", "magnitude", "wifi", "zigbee"]
+        assert len(result.rows) == len(rw.AXES["cfo_ppm"])
+        for _, _, wifi, zigbee in result.rows:
+            assert 0.0 <= wifi <= 1.0
+            assert 0.0 <= zigbee <= 1.0
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rw.run(axes=("bogus",), n_frames=1)
+        with pytest.raises(ConfigurationError):
+            rw.build_pipeline("bogus", 1.0, 20e6)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rw.delivery_at("lora", "cfo_ppm", 0.0, n_frames=1)
+
+    def test_every_axis_builds_identity_free_pipeline(self):
+        """Every registered axis maps each magnitude to a pipeline."""
+        for axis, magnitudes in rw.AXES.items():
+            for magnitude in magnitudes:
+                pipeline = rw.build_pipeline(axis, magnitude, 20e6)
+                assert len(pipeline.kernels) >= 1
+
+    def test_zigbee_survives_40ppm_cfo(self):
+        """The segmented correlator + CFO estimator hold at 40 ppm."""
+        delivered = rw.delivery_at("zigbee", "cfo_ppm", 40.0, n_frames=8)
+        assert delivered == 1.0

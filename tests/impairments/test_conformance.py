@@ -1,0 +1,159 @@
+"""Differential conformance: scalar and batched paths are bit-identical.
+
+For every receiver, decoding a set of impaired waveforms one at a time must
+produce exactly the results of the batched ``receive_frames`` call on the
+same waveforms — the batch layout may change the arithmetic schedule but
+never the bits.  Impairments are drawn from the addressed trial streams, so
+the same comparison also pins impairment generation itself (batch-of-N
+equals N batch-of-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.batch import awgn_batch, stack_waveforms
+from repro.impairments import (
+    Adc,
+    CarrierFrequencyOffset,
+    ImpairmentPipeline,
+    IQImbalance,
+    Multipath,
+    PhaseNoise,
+)
+from repro.montecarlo.seeding import trial_rng
+from repro.sledzig.pipeline import SledZigReceiver, SledZigTransmitter
+from repro.utils.bits import random_bits
+from repro.wifi.params import SAMPLE_RATE_HZ as WIFI_FS
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.transmitter import WifiTransmitter
+from repro.zigbee.params import SAMPLE_RATE_HZ as ZIGBEE_FS
+from repro.zigbee.receiver import ZigbeeReceiver
+from repro.zigbee.transmitter import ZigbeeTransmitter
+
+_DATA_START = 320
+_N = 4
+
+
+def _pipeline(fs: float) -> ImpairmentPipeline:
+    return ImpairmentPipeline((
+        CarrierFrequencyOffset(40e-6 * 2.44e9, fs),
+        Multipath(n_taps=3, tap_spacing_samples=2),
+        PhaseNoise(5e-4),
+        IQImbalance(gain_db=0.3, phase_deg=1.0),
+        Adc(n_bits=10, full_scale=4.0),
+    ))
+
+
+def _impair(waveforms, fs: float, snr_db: float, experiment: str):
+    """Impair + noise each waveform twice from identical addressed streams.
+
+    Returns (batched rows, scalar rows): the batched rows come from one
+    stacked pipeline pass, the scalar rows from per-waveform batch-of-one
+    passes; both must already be bit-identical, and both decode paths see
+    the exact same samples.
+    """
+    pipeline = _pipeline(fs)
+    lengths = [w.size for w in waveforms]
+    stack = stack_waveforms(waveforms)
+    rngs = [trial_rng(11, experiment, k) for k in range(len(waveforms))]
+    impaired = pipeline.apply(stack, rngs, lengths=lengths)
+    noisy = awgn_batch(impaired, snr_db, rngs, lengths=lengths)
+    batched_rows = [noisy[k, :ell] for k, ell in enumerate(lengths)]
+    scalar_rows = []
+    for k, w in enumerate(waveforms):
+        rng = trial_rng(11, experiment, k)
+        one = pipeline.apply_one(w, rng)
+        scalar_rows.append(awgn_batch(one[np.newaxis, :], snr_db, [rng])[0])
+    for batched, scalar in zip(batched_rows, scalar_rows):
+        assert np.array_equal(batched, scalar)
+    return batched_rows, scalar_rows
+
+
+class TestWifiConformance:
+    def test_scalar_vs_batched_decode(self):
+        rng = np.random.default_rng(21)
+        tx = WifiTransmitter("qpsk-1/2")
+        psdus = [random_bits(8 * (30 + 10 * k), rng) for k in range(_N)]
+        frames = tx.transmit_frames(psdus)
+        rows, scalar_rows = _impair(
+            [f.waveform for f in frames], WIFI_FS, 20.0, "conf/wifi"
+        )
+        rx = WifiReceiver()
+        batched = rx.receive_frames(
+            rows, data_start=_DATA_START, soft=True, on_error="none"
+        )
+        for k, row in enumerate(scalar_rows):
+            try:
+                single = rx.receive(row, data_start=_DATA_START, soft=True)
+            except Exception:
+                single = None
+            if single is None or batched[k] is None:
+                assert single is None and batched[k] is None
+            else:
+                assert np.array_equal(single.psdu_bits, batched[k].psdu_bits)
+
+    def test_at_least_one_frame_decodes(self):
+        """The conformance fixture exercises the success path, not only
+        failure agreement."""
+        rng = np.random.default_rng(21)
+        tx = WifiTransmitter("qpsk-1/2")
+        psdus = [random_bits(8 * 30, rng)]
+        frames = tx.transmit_frames(psdus)
+        rows, _ = _impair(
+            [f.waveform for f in frames], WIFI_FS, 20.0, "conf/wifi-ok"
+        )
+        out = WifiReceiver().receive_frames(
+            rows, data_start=_DATA_START, soft=True, on_error="none"
+        )
+        assert out[0] is not None
+        assert np.array_equal(out[0].psdu_bits, psdus[0])
+
+
+class TestZigbeeConformance:
+    def test_scalar_vs_batched_decode(self):
+        rng = np.random.default_rng(22)
+        tx = ZigbeeTransmitter()
+        psdus = [
+            bytes(rng.integers(0, 256, 16 + 4 * k, dtype=np.uint8))
+            for k in range(_N)
+        ]
+        waves = [tx.send(p).waveform for p in psdus]
+        rows, scalar_rows = _impair(waves, ZIGBEE_FS, 12.0, "conf/zigbee")
+        rx = ZigbeeReceiver()
+        batched = rx.receive_frames(rows, on_error="none", correct_cfo=True)
+        decoded = 0
+        for k, row in enumerate(scalar_rows):
+            try:
+                single = rx.receive(row, correct_cfo=True)
+            except Exception:
+                single = None
+            if single is None or batched[k] is None:
+                assert single is None and batched[k] is None
+            else:
+                assert single.frame.psdu == batched[k].frame.psdu
+                decoded += 1
+        assert decoded >= 1  # exercise the success path too
+
+
+class TestSledZigConformance:
+    def test_scalar_vs_batched_decode(self):
+        rng = np.random.default_rng(23)
+        tx = SledZigTransmitter("qam16-1/2", "CH2")
+        payloads = [
+            bytes(rng.integers(0, 256, 20, dtype=np.uint8)) for _ in range(_N)
+        ]
+        waves = [p.waveform for p in tx.send_frames(payloads)]
+        rows, scalar_rows = _impair(waves, WIFI_FS, 22.0, "conf/sledzig")
+        rx = SledZigReceiver()
+        batched = rx.receive_frames(rows, on_error="none")
+        for k, row in enumerate(scalar_rows):
+            try:
+                single = rx.receive(row)
+            except Exception:
+                single = None
+            if single is None or batched[k] is None:
+                assert single is None and batched[k] is None
+            else:
+                assert single.payload == batched[k].payload

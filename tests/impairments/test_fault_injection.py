@@ -1,0 +1,163 @@
+"""Fault injection: receivers degrade gracefully, never crash or hang.
+
+Every fault class the Monte-Carlo campaigns can produce — truncated
+captures, corrupted SIGNAL headers, non-finite samples — must surface as a
+typed :mod:`repro.errors` exception under ``on_error="raise"`` and as a
+``None`` result under ``on_error="none"``, for all three receivers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.ofdm import ofdm_modulate_batch
+from repro.errors import DecodingError, InvalidWaveformError, ReproError
+from repro.sledzig.pipeline import SledZigReceiver, SledZigTransmitter
+from repro.utils.bits import random_bits
+from repro.wifi.constellation import modulate
+from repro.wifi.convolutional import conv_encode
+from repro.wifi.interleaver import interleave
+from repro.wifi.ofdm import map_subcarriers
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.signal_field import build_signal_bits
+from repro.wifi.transmitter import WifiTransmitter
+from repro.zigbee.receiver import ZigbeeReceiver
+from repro.zigbee.transmitter import ZigbeeTransmitter
+
+_DATA_START = 320
+
+
+@pytest.fixture(scope="module")
+def wifi_frame():
+    rng = np.random.default_rng(42)
+    psdu = random_bits(8 * 40, rng)
+    frame = WifiTransmitter("qpsk-1/2").transmit(psdu)
+    return frame, psdu
+
+
+@pytest.fixture(scope="module")
+def zigbee_frame():
+    rng = np.random.default_rng(43)
+    psdu = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+    return ZigbeeTransmitter().send(psdu), psdu
+
+
+class TestWifiFaults:
+    def test_truncated_payload_is_typed_or_none(self, wifi_frame):
+        frame, _ = wifi_frame
+        truncated = frame.waveform[: _DATA_START + 80 + 40]
+        rx = WifiReceiver()
+        with pytest.raises(ReproError):
+            rx.receive(truncated, data_start=_DATA_START)
+        results = rx.receive_frames(
+            [truncated], data_start=_DATA_START, on_error="none"
+        )
+        assert results == [None]
+
+    def test_flipped_rate_bit_fails_parity(self, wifi_frame):
+        """Flip the RATE MSB in the SIGNAL field at the waveform level."""
+        frame, psdu = wifi_frame
+        bits = build_signal_bits(frame.mcs, psdu.size // 8)
+        bits = bits.copy()
+        bits[0] ^= 1  # RATE is bits to the parity, so this breaks it
+        coded = conv_encode(bits)
+        points = modulate(interleave(coded, n_cbps=48, n_bpsc=1), "bpsk")
+        spectrum = map_subcarriers(points, symbol_index=0)
+        symbol = ofdm_modulate_batch(spectrum[np.newaxis, :])[0]
+        corrupted = frame.waveform.copy()
+        corrupted[_DATA_START : _DATA_START + 80] = symbol
+        rx = WifiReceiver()
+        with pytest.raises(DecodingError):
+            rx.receive(corrupted, data_start=_DATA_START)
+        results = rx.receive_frames(
+            [corrupted], data_start=_DATA_START, on_error="none"
+        )
+        assert results == [None]
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf, 1j * np.nan])
+    def test_non_finite_samples_rejected(self, wifi_frame, poison):
+        frame, _ = wifi_frame
+        bad = frame.waveform.copy()
+        bad[_DATA_START + 100] = poison
+        rx = WifiReceiver()
+        with pytest.raises(InvalidWaveformError):
+            rx.receive(bad, data_start=_DATA_START)
+        results = rx.receive_frames(
+            [bad], data_start=_DATA_START, on_error="none"
+        )
+        assert results == [None]
+
+    def test_good_frames_survive_a_bad_neighbour(self, wifi_frame):
+        """One poisoned row must not take down the rest of the batch."""
+        frame, psdu = wifi_frame
+        bad = frame.waveform.copy()
+        bad[:] = np.nan
+        results = WifiReceiver().receive_frames(
+            [frame.waveform, bad, frame.waveform],
+            data_start=_DATA_START,
+            on_error="none",
+        )
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+        assert np.array_equal(results[0].psdu_bits, psdu)
+        assert np.array_equal(results[2].psdu_bits, psdu)
+
+
+class TestZigbeeFaults:
+    def test_truncated_payload_is_typed_or_none(self, zigbee_frame):
+        trans, _ = zigbee_frame
+        truncated = trans.waveform[: trans.waveform.size // 3]
+        rx = ZigbeeReceiver()
+        with pytest.raises(ReproError):
+            rx.receive(truncated, start_sample=0)
+        assert rx.receive_frames(
+            [truncated], on_error="none"
+        ) == [None]
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf])
+    def test_non_finite_samples_rejected(self, zigbee_frame, poison):
+        trans, _ = zigbee_frame
+        bad = trans.waveform.copy()
+        bad[100] = poison
+        rx = ZigbeeReceiver()
+        with pytest.raises(InvalidWaveformError):
+            rx.receive(bad)
+        assert rx.receive_frames([bad], on_error="none") == [None]
+
+    def test_silence_never_hangs(self):
+        rx = ZigbeeReceiver()
+        silence = np.zeros(4096, dtype=complex)
+        with pytest.raises(ReproError):
+            rx.receive(silence)
+        assert rx.receive_frames([silence], on_error="none") == [None]
+
+
+class TestSledZigFaults:
+    @pytest.fixture(scope="class")
+    def packet(self):
+        tx = SledZigTransmitter("qam16-1/2", "CH2")
+        return tx.send(b"fault injection payload")
+
+    def test_truncated_payload_is_typed_or_none(self, packet):
+        truncated = packet.waveform[: packet.waveform.size // 2]
+        rx = SledZigReceiver()
+        with pytest.raises(ReproError):
+            rx.receive(truncated)
+        assert rx.receive_frames([truncated], on_error="none") == [None]
+
+    def test_non_finite_samples_rejected(self, packet):
+        bad = packet.waveform.copy()
+        bad[500] = np.nan
+        rx = SledZigReceiver()
+        with pytest.raises(InvalidWaveformError):
+            rx.receive(bad)
+        assert rx.receive_frames([bad], on_error="none") == [None]
+
+    def test_good_frames_survive_a_bad_neighbour(self, packet):
+        bad = np.full(packet.waveform.size, np.nan, dtype=complex)
+        results = SledZigReceiver().receive_frames(
+            [packet.waveform, bad], on_error="none"
+        )
+        assert results[0] is not None and results[0].payload == packet.payload
+        assert results[1] is None

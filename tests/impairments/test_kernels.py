@@ -1,0 +1,257 @@
+"""Unit tests for the individual channel-impairment kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.impairments import (
+    Adc,
+    CarrierFrequencyOffset,
+    ImpairmentPipeline,
+    IQImbalance,
+    Multipath,
+    PhaseNoise,
+    SamplingClockOffset,
+)
+from repro.montecarlo.seeding import trial_rng
+
+
+def _wave(rng: np.random.Generator, n: int = 256) -> np.ndarray:
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestCarrierFrequencyOffset:
+    def test_rotation_matches_closed_form(self, rng):
+        x = _wave(rng)
+        fs = 20e6
+        cfo = CarrierFrequencyOffset(97_600.0, fs)
+        y = cfo.apply_one(x)
+        n = np.arange(x.size)
+        expected = x * np.exp(2j * np.pi * 97_600.0 * n / fs)
+        np.testing.assert_allclose(y, expected, atol=1e-12)
+
+    def test_zero_offset_is_exact_copy(self, rng):
+        x = _wave(rng)
+        y = CarrierFrequencyOffset(0.0, 20e6).apply_one(x)
+        assert np.array_equal(y, x)
+        assert y is not x
+
+    def test_does_not_consume_rng(self, rng):
+        cfo = CarrierFrequencyOffset(1e3, 20e6)
+        assert not cfo.uses_rng
+        a = np.random.default_rng(1)
+        b = np.random.default_rng(1)
+        cfo.apply(_wave(rng)[np.newaxis, :], [a])
+        assert a.normal() == b.normal()
+
+
+class TestSamplingClockOffset:
+    def test_zero_ppm_is_exact_copy(self, rng):
+        x = _wave(rng)
+        assert np.array_equal(SamplingClockOffset(0.0).apply_one(x), x)
+
+    def test_small_offset_interpolates_linearly(self):
+        # A linear ramp is invariant under linear interpolation (interior).
+        x = np.arange(64, dtype=float).astype(complex)
+        y = SamplingClockOffset(1e5).apply_one(x)  # step 1.1
+        positions = np.arange(64) * 1.1
+        interior = positions < 63
+        np.testing.assert_allclose(
+            y[interior].real, positions[interior], atol=1e-9
+        )
+
+    def test_reads_past_extent_return_silence(self):
+        x = np.ones(50, dtype=complex)
+        y = SamplingClockOffset(1e5).apply_one(x)  # reads up to index ~54
+        assert y.size == x.size
+        assert np.all(y[np.abs(y) == 0.0].size > 0)
+
+    def test_padding_stays_silent(self, rng):
+        x = _wave(rng, 40)
+        batch = np.zeros((1, 64), dtype=complex)
+        batch[0, :40] = x
+        y = SamplingClockOffset(50.0).apply(batch, lengths=[40])
+        assert np.all(y[0, 40:] == 0.0)
+        np.testing.assert_array_equal(
+            y[0, :40], SamplingClockOffset(50.0).apply_one(x)
+        )
+
+
+class TestIQImbalance:
+    def test_identity_at_zero(self, rng):
+        x = _wave(rng)
+        assert np.array_equal(IQImbalance(0.0, 0.0).apply_one(x), x)
+
+    def test_matches_two_coefficient_model(self, rng):
+        x = _wave(rng)
+        imb = IQImbalance(gain_db=1.0, phase_deg=3.0)
+        g = 10.0 ** (1.0 / 20.0)
+        phi = np.deg2rad(3.0)
+        k1 = (1.0 + g * np.exp(-1j * phi)) / 2.0
+        k2 = (1.0 - g * np.exp(1j * phi)) / 2.0
+        np.testing.assert_allclose(
+            imb.apply_one(x), k1 * x + k2 * np.conj(x), atol=1e-12
+        )
+
+    def test_pure_gain_imbalance_scales_rails(self):
+        imb = IQImbalance(gain_db=6.0, phase_deg=0.0)
+        g = 10.0 ** (6.0 / 20.0)
+        y = imb.apply_one(np.array([1.0 + 1.0j]))
+        np.testing.assert_allclose(y[0].real, 1.0, atol=1e-12)
+        np.testing.assert_allclose(y[0].imag, g, atol=1e-12)
+
+
+class TestPhaseNoise:
+    def test_requires_rngs(self, rng):
+        with pytest.raises(ConfigurationError):
+            PhaseNoise(1e-3).apply(_wave(rng)[np.newaxis, :])
+
+    def test_preserves_magnitude(self, rng):
+        x = _wave(rng)
+        y = PhaseNoise(5e-3).apply_one(x, np.random.default_rng(0))
+        np.testing.assert_allclose(np.abs(y), np.abs(x), atol=1e-12)
+
+    def test_draws_sized_by_true_length(self, rng):
+        x = _wave(rng, 40)
+        padded = np.zeros((1, 64), dtype=complex)
+        padded[0, :40] = x
+        kernel = PhaseNoise(2e-3)
+        unpadded = kernel.apply_one(x, np.random.default_rng(7))
+        via_padding = kernel.apply(
+            padded, [np.random.default_rng(7)], lengths=[40]
+        )
+        assert np.array_equal(via_padding[0, :40], unpadded)
+        assert np.all(via_padding[0, 40:] == 0.0)
+
+    def test_rows_use_only_their_own_generator(self, rng):
+        a, b = _wave(rng), _wave(rng)
+        kernel = PhaseNoise(1e-3)
+        batch = kernel.apply(
+            np.stack([a, b]),
+            [np.random.default_rng(1), np.random.default_rng(2)],
+        )
+        alone = kernel.apply_one(b, np.random.default_rng(2))
+        assert np.array_equal(batch[1], alone)
+
+
+class TestMultipath:
+    def test_unit_tap_is_identity(self, rng):
+        x = _wave(rng)
+        mp = Multipath(taps=(1.0,))
+        assert not mp.uses_rng
+        np.testing.assert_allclose(mp.apply_one(x), x, atol=1e-12)
+
+    def test_explicit_taps_convolve(self):
+        x = np.array([1.0, 0.0, 0.0, 0.0], dtype=complex)
+        y = Multipath(taps=(1.0, 0.5j), tap_spacing_samples=2).apply_one(x)
+        np.testing.assert_allclose(y, [1.0, 0.0, 0.5j, 0.0], atol=1e-12)
+
+    def test_echo_tail_truncated_at_true_length(self):
+        x = np.ones(4, dtype=complex)
+        y = Multipath(taps=(1.0, 1.0), tap_spacing_samples=2).apply_one(x)
+        assert y.size == 4
+        np.testing.assert_allclose(y, [1.0, 1.0, 2.0, 2.0], atol=1e-12)
+
+    def test_random_taps_need_rngs(self, rng):
+        with pytest.raises(ConfigurationError):
+            Multipath(n_taps=2).apply(_wave(rng)[np.newaxis, :])
+
+    def test_profile_normalised_to_unit_power(self):
+        mp = Multipath(n_taps=4, decay_db_per_tap=3.0)
+        np.testing.assert_allclose(mp._profile_powers().sum(), 1.0, atol=1e-12)
+
+    def test_rician_first_tap_carries_los(self):
+        # With a huge K-factor the first tap converges to its LOS gain.
+        mp = Multipath(n_taps=2, profile="rician", k_factor_db=80.0)
+        taps = mp._draw_taps(np.random.default_rng(3))
+        los = np.sqrt(mp._profile_powers()[0])
+        np.testing.assert_allclose(taps[0], los, atol=1e-2)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Multipath(profile="nakagami")
+        with pytest.raises(ConfigurationError):
+            Multipath(n_taps=0)
+        with pytest.raises(ConfigurationError):
+            Multipath(tap_spacing_samples=0)
+
+
+class TestAdc:
+    def test_zero_stays_zero(self):
+        y = Adc(n_bits=6).apply_one(np.zeros(8, dtype=complex))
+        assert np.all(y == 0.0)
+
+    def test_idempotent(self, rng):
+        adc = Adc(n_bits=6, full_scale=1.0)
+        x = 3.0 * _wave(rng)  # drives both rails into clipping
+        once = adc.apply_one(x)
+        twice = adc.apply_one(once)
+        assert np.array_equal(once, twice)
+
+    def test_clips_to_full_scale(self):
+        adc = Adc(n_bits=8, full_scale=1.0)
+        y = adc.apply_one(np.array([10.0 - 10.0j]))
+        assert y[0].real == pytest.approx(1.0)
+        assert y[0].imag == pytest.approx(-1.0)
+
+    def test_quantization_error_bounded_by_half_step(self, rng):
+        adc = Adc(n_bits=8, full_scale=4.0)
+        x = _wave(rng)  # well inside full scale
+        y = adc.apply_one(x)
+        delta = 4.0 / (2 ** 7 - 1)
+        assert np.max(np.abs(y.real - x.real)) <= delta / 2 + 1e-12
+        assert np.max(np.abs(y.imag - x.imag)) <= delta / 2 + 1e-12
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adc(n_bits=1)
+        with pytest.raises(ConfigurationError):
+            Adc(full_scale=0.0)
+
+
+class TestPipeline:
+    def test_empty_pipeline_is_identity_copy(self, rng):
+        x = _wave(rng)
+        pipeline = ImpairmentPipeline()
+        y = pipeline.apply_one(x)
+        assert np.array_equal(y, x)
+        assert not pipeline.uses_rng
+
+    def test_kernels_run_in_order(self, rng):
+        x = _wave(rng)
+        cfo = CarrierFrequencyOffset(5e3, 20e6)
+        adc = Adc(n_bits=6, full_scale=4.0)
+        chained = ImpairmentPipeline((cfo, adc)).apply_one(x)
+        manual = adc.apply_one(cfo.apply_one(x))
+        assert np.array_equal(chained, manual)
+
+    def test_rejects_non_kernels(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentPipeline((lambda w: w,))
+
+    def test_uses_rng_reflects_stages(self):
+        assert ImpairmentPipeline((PhaseNoise(1e-3),)).uses_rng
+        assert not ImpairmentPipeline(
+            (CarrierFrequencyOffset(1e3, 20e6), Multipath(taps=(1.0,)))
+        ).uses_rng
+
+    def test_batch_matches_scalar_with_trial_streams(self, rng):
+        """Batch-of-N equals N batch-of-1 under the addressed streams."""
+        pipeline = ImpairmentPipeline((
+            CarrierFrequencyOffset(40e3, 20e6),
+            Multipath(n_taps=3, tap_spacing_samples=2),
+            PhaseNoise(1e-3),
+        ))
+        waves = [_wave(rng, 200 + 10 * k) for k in range(4)]
+        batch = np.zeros((4, 230), dtype=complex)
+        for k, w in enumerate(waves):
+            batch[k, : w.size] = w
+        lengths = [w.size for w in waves]
+        rngs = [trial_rng(9, "impair-test", k) for k in range(4)]
+        batched = pipeline.apply(batch, rngs, lengths=lengths)
+        for k, w in enumerate(waves):
+            alone = pipeline.apply_one(w, trial_rng(9, "impair-test", k))
+            assert np.array_equal(batched[k, : w.size], alone)
+            assert np.all(batched[k, w.size :] == 0.0)

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on the impairment-kernel invariants.
+
+The contract a downstream experiment relies on:
+
+1. *Identity points*: the zero magnitude of every kernel is the exact
+   identity (CFO at 0 Hz, SCO at 0 ppm, IQ at 0 dB/0 deg, a single unit
+   multipath tap).
+2. *Real-linearity*: the linear kernels commute with the channel's power
+   scaling (:func:`repro.channel.batch.apply_gain_db`), so impairing
+   before or after path loss is the same channel.
+3. *Idempotence*: the ADC re-quantizes to itself, saturated samples
+   included.
+4. *Determinism*: same generator state, same output, regardless of batch
+   company.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.batch import apply_gain_db
+from repro.impairments import (
+    Adc,
+    CarrierFrequencyOffset,
+    IQImbalance,
+    Multipath,
+    PhaseNoise,
+    SamplingClockOffset,
+)
+
+_quick = settings(max_examples=40, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+sizes = st.integers(min_value=1, max_value=300)
+
+
+def _wave(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestIdentityPoints:
+    @_quick
+    @given(seed=seeds, n=sizes)
+    def test_cfo_zero_hz_is_identity(self, seed, n):
+        x = _wave(seed, n)
+        assert np.array_equal(
+            CarrierFrequencyOffset(0.0, 20e6).apply_one(x), x
+        )
+
+    @_quick
+    @given(seed=seeds, n=sizes)
+    def test_sco_zero_ppm_is_identity(self, seed, n):
+        x = _wave(seed, n)
+        assert np.array_equal(SamplingClockOffset(0.0).apply_one(x), x)
+
+    @_quick
+    @given(seed=seeds, n=sizes)
+    def test_iq_zero_is_identity(self, seed, n):
+        x = _wave(seed, n)
+        assert np.array_equal(IQImbalance(0.0, 0.0).apply_one(x), x)
+
+    @_quick
+    @given(seed=seeds, n=sizes, spacing=st.integers(1, 8))
+    def test_multipath_unit_tap_is_identity(self, seed, n, spacing):
+        x = _wave(seed, n)
+        y = Multipath(taps=(1.0,), tap_spacing_samples=spacing).apply_one(x)
+        np.testing.assert_allclose(y, x, rtol=0, atol=1e-12)
+
+
+class TestGainCommutation:
+    """Linear kernels commute with path-loss scaling (up to rounding)."""
+
+    @_quick
+    @given(
+        seed=seeds,
+        n=sizes,
+        gain_db=st.floats(-40.0, 10.0),
+        offset_hz=st.floats(-200e3, 200e3),
+    )
+    def test_cfo_commutes_with_gain(self, seed, n, gain_db, offset_hz):
+        x = _wave(seed, n)[np.newaxis, :]
+        kernel = CarrierFrequencyOffset(offset_hz, 20e6)
+        before = kernel.apply(apply_gain_db(x, gain_db))
+        after = apply_gain_db(kernel.apply(x), gain_db)
+        np.testing.assert_allclose(before, after, rtol=1e-12, atol=1e-12)
+
+    @_quick
+    @given(
+        seed=seeds,
+        n=sizes,
+        gain_db=st.floats(-40.0, 10.0),
+        imb_db=st.floats(-3.0, 3.0),
+        phase=st.floats(-10.0, 10.0),
+    )
+    def test_iq_commutes_with_gain(self, seed, n, gain_db, imb_db, phase):
+        x = _wave(seed, n)[np.newaxis, :]
+        kernel = IQImbalance(imb_db, phase)
+        before = kernel.apply(apply_gain_db(x, gain_db))
+        after = apply_gain_db(kernel.apply(x), gain_db)
+        np.testing.assert_allclose(before, after, rtol=1e-12, atol=1e-12)
+
+    @_quick
+    @given(seed=seeds, n=sizes, gain_db=st.floats(-40.0, 10.0), rng_seed=seeds)
+    def test_multipath_commutes_with_gain(self, seed, n, gain_db, rng_seed):
+        x = _wave(seed, n)[np.newaxis, :]
+        kernel = Multipath(n_taps=3, tap_spacing_samples=2)
+        before = kernel.apply(
+            apply_gain_db(x, gain_db), [np.random.default_rng(rng_seed)]
+        )
+        after = apply_gain_db(
+            kernel.apply(x, [np.random.default_rng(rng_seed)]), gain_db
+        )
+        np.testing.assert_allclose(before, after, rtol=1e-12, atol=1e-12)
+
+    @_quick
+    @given(seed=seeds, n=sizes, gain_db=st.floats(-40.0, 10.0), rng_seed=seeds)
+    def test_phase_noise_commutes_with_gain(self, seed, n, gain_db, rng_seed):
+        x = _wave(seed, n)[np.newaxis, :]
+        kernel = PhaseNoise(2e-3)
+        before = kernel.apply(
+            apply_gain_db(x, gain_db), [np.random.default_rng(rng_seed)]
+        )
+        after = apply_gain_db(
+            kernel.apply(x, [np.random.default_rng(rng_seed)]), gain_db
+        )
+        np.testing.assert_allclose(before, after, rtol=1e-12, atol=1e-12)
+
+
+class TestAdcIdempotence:
+    @_quick
+    @given(
+        seed=seeds,
+        n=sizes,
+        n_bits=st.integers(2, 12),
+        scale=st.floats(0.25, 4.0),
+        drive=st.floats(0.1, 10.0),
+    )
+    def test_requantization_is_identity(self, seed, n, n_bits, scale, drive):
+        """Any output level — saturated rails included — is its own
+        quantization."""
+        adc = Adc(n_bits=n_bits, full_scale=scale)
+        x = drive * _wave(seed, n)
+        once = adc.apply_one(x)
+        assert np.array_equal(adc.apply_one(once), once)
+        assert np.max(np.abs(once.real)) <= scale + 1e-12
+        assert np.max(np.abs(once.imag)) <= scale + 1e-12
+
+
+class TestDeterminism:
+    @_quick
+    @given(seed=seeds, n=st.integers(8, 200), rng_seed=seeds)
+    def test_same_generator_state_same_output(self, seed, n, rng_seed):
+        x = _wave(seed, n)
+        kernel = Multipath(n_taps=4)
+        a = kernel.apply_one(x, np.random.default_rng(rng_seed))
+        b = kernel.apply_one(x, np.random.default_rng(rng_seed))
+        assert np.array_equal(a, b)

@@ -83,3 +83,17 @@ def test_sledzig_vector_decodes_to_frozen_payload():
     spec = regen_vectors.SPECS["sledzig_insertion"]
     packet = SledZigReceiver(spec["channel"]).receive(vec["waveform"])
     assert packet.payload == vec["payload"].tobytes()
+
+
+def test_impaired_wifi_vector_decodes_to_frozen_psdu():
+    """The hardened receiver recovers the frozen CFO+multipath frame."""
+    vec = load("impaired_wifi")
+    reception = WifiReceiver().receive(vec["waveform"], data_start=320, soft=True)
+    assert np.array_equal(reception.psdu_bits, vec["psdu_bits"])
+
+
+def test_impaired_zigbee_vector_decodes_to_frozen_psdu():
+    """The CFO-correcting O-QPSK receiver recovers the frozen frame."""
+    vec = load("impaired_zigbee")
+    reception = ZigbeeReceiver().receive(vec["waveform"], correct_cfo=True)
+    assert reception.frame.psdu == vec["psdu"].tobytes()
