@@ -23,6 +23,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Tuple
 
+from repro import telemetry
 from repro.experiments import (
     ablations,
     fig04_scenario,
@@ -129,15 +130,19 @@ def registry(
 
 def _run_one(
     name: str, quick: bool, master_seed: "int | None" = None
-) -> Tuple[ExperimentResult, float]:
-    """Execute one registered experiment, returning (result, seconds).
+) -> Tuple[ExperimentResult, float, telemetry.Snapshot]:
+    """Execute one registered experiment -> (result, seconds, snapshot).
 
     Module-level (rather than the registry's lambdas) so worker processes
-    can run experiments by *name* — lambdas do not pickle.
+    can run experiments by *name* — lambdas do not pickle.  The experiment
+    runs under a fresh telemetry collector; the caller merges the returned
+    snapshot in *names* order, so the parent's merged metrics are
+    bit-identical (counters/gauges) at any ``--workers`` count.
     """
     start = time.perf_counter()
-    result = registry(quick, master_seed)[name]()
-    return result, time.perf_counter() - start
+    with telemetry.collect() as tel:
+        result = registry(quick, master_seed)[name]()
+    return result, time.perf_counter() - start, tel.snapshot()
 
 
 def _report(name: str, result: ExperimentResult, seconds: float,
@@ -164,14 +169,27 @@ def _report(name: str, result: ExperimentResult, seconds: float,
     )
 
 
+def _experiment_config(
+    name: str, quick: bool, master_seed: "int | None"
+) -> Dict[str, object]:
+    """The effective per-experiment configuration the manifest digests."""
+    return {"experiment": name, "quick": quick, "seed": master_seed}
+
+
 def run_experiments(
     names: List[str],
     quick: bool = False,
     as_json: bool = False,
     workers: int = 0,
     master_seed: "int | None" = None,
+    metrics_out: "str | None" = None,
 ) -> List[ExperimentResult]:
     """Execute the named experiments (all when *names* is empty).
+
+    A failing experiment no longer takes the run down with it: its error
+    is logged (and recorded in the manifest), every other experiment's
+    table is still emitted, and a nonzero ``SystemExit`` naming the failed
+    experiments is raised at the end.
 
     Args:
         names: registry keys to run; empty means every experiment.
@@ -183,6 +201,9 @@ def run_experiments(
             results with the same seed are bit-identical at any *workers*
             count (Monte-Carlo streams are addressed, not consumed in
             sequence).
+        metrics_out: append one JSON manifest line per experiment to this
+            path (id, seed, config digest, per-stage timings, drop-cause
+            table; see EXPERIMENTS.md).
     """
     reg = registry(quick, master_seed)
     selected = names or list(reg)
@@ -191,6 +212,32 @@ def run_experiments(
         raise SystemExit(f"unknown experiments {unknown}; choose from {list(reg)}")
     wall_start = time.perf_counter()
     results: List[ExperimentResult] = []
+    failures: List[Tuple[str, str]] = []
+    parent_tel = telemetry.current()
+
+    def _finish(name: str, start: float,
+                outcome: "Tuple[ExperimentResult, float, telemetry.Snapshot] | Exception") -> None:
+        config = _experiment_config(name, quick, master_seed)
+        if isinstance(outcome, Exception):
+            error = f"{type(outcome).__name__}: {outcome}"
+            logger.error("experiment %s failed: %s", name, error)
+            failures.append((name, error))
+            if metrics_out:
+                telemetry.append_line(metrics_out, telemetry.run_record(
+                    name, config=config, seconds=time.perf_counter() - start,
+                    status="failed", error=error,
+                ))
+            return
+        result, seconds, snapshot = outcome
+        parent_tel.merge(snapshot)
+        _report(name, result, seconds, as_json)
+        results.append(result)
+        if metrics_out:
+            telemetry.append_line(metrics_out, telemetry.run_record(
+                name, config=config, seconds=seconds, snapshot=snapshot,
+                experiment_id=result.experiment_id, title=result.title,
+            ))
+
     if workers > 1:
         logger.info("running %d experiments on %d workers", len(selected), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -199,17 +246,29 @@ def run_experiments(
                 for name in selected
             ]
             for name, future in zip(selected, futures):
-                result, seconds = future.result()
-                _report(name, result, seconds, as_json)
-                results.append(result)
+                start = time.perf_counter()
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # deliberate per-experiment boundary
+                    outcome = exc
+                _finish(name, start, outcome)
     else:
         for name in selected:
             logger.debug("starting %s", name)
-            result, seconds = _run_one(name, quick, master_seed)
-            _report(name, result, seconds, as_json)
-            results.append(result)
+            start = time.perf_counter()
+            try:
+                outcome = _run_one(name, quick, master_seed)
+            except Exception as exc:  # deliberate per-experiment boundary
+                outcome = exc
+            _finish(name, start, outcome)
     wall = time.perf_counter() - wall_start
-    logger.info("%d experiments in %.2fs wall-clock", len(selected), wall)
+    logger.info(
+        "%d/%d experiments in %.2fs wall-clock",
+        len(results), len(selected), wall,
+    )
+    if failures:
+        summary = "; ".join(f"{name} ({error})" for name, error in failures)
+        raise SystemExit(f"{len(failures)} experiment(s) failed: {summary}")
     return results
 
 
@@ -229,6 +288,11 @@ def main(argv: "List[str] | None" = None) -> int:
              "reproduces every figure bit-exactly at any --workers count",
     )
     parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="append one JSON manifest line per experiment (id, seed, config "
+             "digest, per-stage timings, drop-cause table) to PATH",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="debug-level progress on stderr"
     )
     args = parser.parse_args(argv)
@@ -240,6 +304,7 @@ def main(argv: "List[str] | None" = None) -> int:
     run_experiments(
         args.experiments, quick=args.quick, as_json=args.json,
         workers=args.workers, master_seed=args.seed,
+        metrics_out=args.metrics_out,
     )
     return 0
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.channel.propagation import distance, wifi_at_wifi_rx, zigbee_at_wifi_rx
 from repro.mac.config import CoexistenceConfig
 from repro.montecarlo import MonteCarloEngine, TrialSummary, summarize_mean
@@ -96,12 +97,40 @@ def run_coexistence(
         floor=True,
     )
     wifi_sinr = wifi_signal - zigbee_interference
-    return CoexistenceResult(
+    result = CoexistenceResult(
         config=config,
         zigbee=zigbee.stats,
         wifi=wifi.stats,
         wifi_sinr_db=wifi_sinr,
     )
+    _export_run_telemetry(result)
+    return result
+
+
+def _export_run_telemetry(result: CoexistenceResult) -> None:
+    """Export one run's channel-occupancy and backoff counters.
+
+    Everything here derives from the (seed-deterministic) event-loop
+    outcome, so the counters satisfy the telemetry layer's merge
+    determinism across serial/batched/worker execution.
+    """
+    tel = telemetry.current()
+    z, w = result.zigbee, result.wifi
+    tel.count("mac.runs")
+    tel.count("mac.duration_us", result.config.duration_us)
+    tel.count("mac.zigbee.packets_attempted", z.packets_attempted)
+    tel.count("mac.zigbee.packets_sent", z.packets_sent)
+    tel.count("mac.zigbee.packets_delivered", z.packets_delivered)
+    tel.count("mac.zigbee.packets_dropped_cca", z.packets_dropped_cca)
+    tel.count("mac.zigbee.packets_failed", z.packets_failed)
+    tel.count("mac.zigbee.cca_attempts", z.cca_attempts)
+    tel.count("mac.zigbee.cca_busy", z.cca_busy)
+    tel.count("mac.wifi.bursts_sent", w.bursts_sent)
+    tel.count("mac.wifi.airtime_us", w.airtime_us)
+    if result.config.duration_us > 0:
+        tel.gauge(
+            "mac.wifi.occupancy", w.airtime_us / result.config.duration_us
+        )
 
 
 @dataclass

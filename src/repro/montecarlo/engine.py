@@ -27,10 +27,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.montecarlo import seeding
 from repro.montecarlo.stats import (
@@ -80,23 +81,34 @@ def _evaluate_batch(
     trial_fn: Optional[TrialFn],
     batch_fn: Optional[BatchFn],
     indices: Sequence[int],
-) -> List[float]:
+) -> "Tuple[List[float], telemetry.Snapshot]":
     """Evaluate one batch of trials (also the worker-process entry point).
 
     Generators are re-derived from the trial addresses here, so the same
-    streams materialise no matter which process runs the batch.
+    streams materialise no matter which process runs the batch.  The batch
+    runs under a fresh telemetry collector whose snapshot is returned with
+    the outcomes: the caller merges snapshots in batch order, so the
+    merged counters are bit-identical whether batches run serially or in
+    worker processes (timers are wall clock and exempt).
     """
-    rngs = seeding.trial_rngs(master_seed, experiment, indices)
-    if batch_fn is not None:
-        outcomes = [float(v) for v in batch_fn(rngs, list(indices))]
-        if len(outcomes) != len(indices):
-            raise ConfigurationError(
-                f"batch_fn returned {len(outcomes)} outcomes for "
-                f"{len(indices)} trials"
-            )
-        return outcomes
-    assert trial_fn is not None
-    return [float(trial_fn(rng, i)) for rng, i in zip(rngs, indices)]
+    with telemetry.collect() as tel:
+        tel.count("montecarlo.batches")
+        tel.count("montecarlo.trials", len(indices))
+        with tel.span("montecarlo.batch"):
+            rngs = seeding.trial_rngs(master_seed, experiment, indices)
+            if batch_fn is not None:
+                outcomes = [float(v) for v in batch_fn(rngs, list(indices))]
+                if len(outcomes) != len(indices):
+                    raise ConfigurationError(
+                        f"batch_fn returned {len(outcomes)} outcomes for "
+                        f"{len(indices)} trials"
+                    )
+            else:
+                assert trial_fn is not None
+                outcomes = [
+                    float(trial_fn(rng, i)) for rng, i in zip(rngs, indices)
+                ]
+    return outcomes, tel.snapshot()
 
 
 class MonteCarloEngine:
@@ -183,6 +195,7 @@ class MonteCarloEngine:
                 return False
             return self._summarize(outcomes).halfwidth <= target_halfwidth
 
+        tel = telemetry.current()
         if workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
@@ -197,29 +210,34 @@ class MonteCarloEngine:
                     for chunk in chunks
                 ]
                 # Consume in submission order so early stopping lands on
-                # the same batch boundary as the serial path.
+                # the same batch boundary as the serial path — and so batch
+                # snapshots merge in the serial path's order.
                 for future in futures:
                     if stopped_early:
                         future.cancel()
                         continue
-                    outcomes.extend(future.result())
+                    batch_outcomes, snapshot = future.result()
+                    tel.merge(snapshot)
+                    outcomes.extend(batch_outcomes)
                     if should_stop():
                         stopped_early = True
         else:
             for chunk in chunks:
-                outcomes.extend(
-                    _evaluate_batch(
-                        self.experiment,
-                        self.master_seed,
-                        trial_fn if batch_fn is None else None,
-                        batch_fn,
-                        chunk,
-                    )
+                batch_outcomes, snapshot = _evaluate_batch(
+                    self.experiment,
+                    self.master_seed,
+                    trial_fn if batch_fn is None else None,
+                    batch_fn,
+                    chunk,
                 )
+                tel.merge(snapshot)
+                outcomes.extend(batch_outcomes)
                 if should_stop():
                     stopped_early = True
                     break
         stopped_early = stopped_early and len(outcomes) < n_trials
+        if stopped_early:
+            tel.count("montecarlo.early_stops")
         return MonteCarloResult(
             experiment=self.experiment,
             master_seed=self.master_seed,

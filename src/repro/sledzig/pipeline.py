@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import DecodingError
+from repro import telemetry
+from repro.errors import DecodingError, ReproError
 from repro.sledzig.channels import OverlapChannel, get_channel
 from repro.sledzig.decoder import ChannelDetection, SledZigDecoder
 from repro.sledzig.encoder import SledZigEncodeResult, SledZigEncoder
@@ -185,18 +186,29 @@ class SledZigReceiver:
                 detection, or extra-bit stripping — and keeps decoding the
                 rest (the Monte-Carlo batch-trial mode).
         """
+        tel = telemetry.current()
+        tel.count("sledzig.rx.frames", len(waveforms))
         receptions = self._wifi.receive_frames(waveforms, on_error=on_error)
         packets: "List[Optional[SledZigReceivedPacket]]" = []
-        for reception in receptions:
-            if reception is None:
-                packets.append(None)
-                continue
-            try:
-                packets.append(self._strip_one(reception))
-            except Exception:
-                if on_error == "raise":
+        with tel.span("sledzig.rx.strip"):
+            for reception in receptions:
+                if reception is None:
+                    # The WiFi stage already counted the typed drop cause.
+                    packets.append(None)
+                    continue
+                try:
+                    packets.append(self._strip_one(reception))
+                except ReproError as exc:
+                    tel.count(f"sledzig.rx.drop.{type(exc).__name__}")
+                    if on_error == "raise":
+                        raise
+                    packets.append(None)
+                except Exception:
+                    # A non-ReproError strip failure is a genuine bug, never
+                    # a lost frame: propagate regardless of on_error.
+                    tel.count("sledzig.rx.error.unexpected")
                     raise
-                packets.append(None)
+        tel.count("sledzig.rx.ok", sum(1 for p in packets if p is not None))
         return packets
 
     def _strip_one(self, reception) -> SledZigReceivedPacket:

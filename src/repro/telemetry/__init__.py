@@ -1,0 +1,28 @@
+"""Lightweight metrics/tracing for the PHY/MC/MAC stack.
+
+See :mod:`repro.telemetry.core` for the collector model (context-local
+collectors, snapshot/merge discipline, determinism guarantees) and
+:mod:`repro.telemetry.manifest` for the ``--metrics-out`` run manifest.
+"""
+
+from repro.telemetry.core import (
+    Histogram,
+    Snapshot,
+    Telemetry,
+    collect,
+    current,
+    use,
+)
+from repro.telemetry.manifest import append_line, config_digest, run_record
+
+__all__ = [
+    "Histogram",
+    "Snapshot",
+    "Telemetry",
+    "append_line",
+    "collect",
+    "config_digest",
+    "current",
+    "run_record",
+    "use",
+]

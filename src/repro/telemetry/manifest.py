@@ -1,0 +1,79 @@
+"""Run-manifest records: one JSON line per executed experiment.
+
+The experiment runner's ``--metrics-out PATH`` appends one
+:func:`run_record` per experiment — experiment id, seed, a digest of the
+effective configuration, per-stage timings, the drop-cause table, and the
+full counter set — so a sweep's provenance and its failure taxonomy live
+next to its results instead of being scrolled away on stderr.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from repro.telemetry.core import Snapshot
+from repro.utils.serialization import jsonable
+
+__all__ = ["append_line", "config_digest", "run_record"]
+
+
+def config_digest(config: Any) -> str:
+    """Stable short digest of an experiment configuration.
+
+    Canonical-JSON (sorted keys) over the :func:`jsonable` form, hashed
+    with SHA-256 — the same digest on every platform and Python version,
+    so manifest lines from different machines are comparable.
+    """
+    canonical = json.dumps(jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def run_record(
+    name: str,
+    *,
+    config: Any,
+    seconds: float,
+    snapshot: Optional[Snapshot] = None,
+    experiment_id: Optional[str] = None,
+    title: Optional[str] = None,
+    status: str = "ok",
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one manifest record (a plain JSON-serialisable dict).
+
+    Args:
+        name: registry key of the experiment.
+        config: the effective run configuration (digested, and embedded).
+        seconds: wall-clock duration of the experiment.
+        snapshot: the experiment's metric snapshot (omitted on failure).
+        experiment_id / title: from the :class:`ExperimentResult`.
+        status: ``"ok"`` or ``"failed"``.
+        error: ``"ExcType: message"`` when *status* is ``"failed"``.
+    """
+    record: Dict[str, Any] = {
+        "experiment": name,
+        "id": experiment_id,
+        "title": title,
+        "status": status,
+        "config": jsonable(config),
+        "config_digest": config_digest(config),
+        "seconds": round(float(seconds), 4),
+    }
+    if error is not None:
+        record["error"] = error
+    if snapshot is not None:
+        record["counters"] = dict(snapshot.counters)
+        record["gauges"] = dict(snapshot.gauges)
+        record["drops"] = snapshot.drop_causes()
+        record["timings"] = {
+            k: h.to_jsonable() for k, h in snapshot.timers.items()
+        }
+    return record
+
+
+def append_line(path: str, record: Dict[str, Any]) -> None:
+    """Append *record* to the JSONL manifest at *path*."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -1,0 +1,127 @@
+"""Lint the library for blanket exception handlers (CI gate).
+
+Usage::
+
+    python -m repro.tools.check_exceptions            # lint src/repro
+    python -m repro.tools.check_exceptions path/...   # lint other trees
+
+A ``try``/``except Exception:`` (or a bare ``except:``) around a decode
+stage converts genuine bugs — ``TypeError``, ``IndexError`` — into "frame
+lost" statistics under ``on_error="none"``; exactly the failure mode the
+telemetry layer exists to expose.  This linter walks the AST of every
+Python file and flags handlers that catch ``Exception``/``BaseException``
+(or everything), **unless**:
+
+* the handler re-raises unconditionally (its last statement is a bare
+  ``raise``) — counting an unexpected error before propagating it is the
+  sanctioned pattern; or
+* the handler sits in :data:`ALLOWLIST` — deliberate process boundaries
+  where any failure must be reported rather than crash the run (the
+  experiment runner's per-experiment fence).
+
+Exit status is the number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: (path suffix, enclosing function) pairs of sanctioned blanket handlers.
+ALLOWLIST: Tuple[Tuple[str, str], ...] = (
+    ("repro/experiments/runner.py", "run_experiments"),
+)
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch everything (or effectively everything)?"""
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in _BROAD
+    if isinstance(handler.type, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD
+            for el in handler.type.elts
+        )
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler end in a bare ``raise`` (so nothing is swallowed)?"""
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
+
+
+def _enclosing_functions(tree: ast.AST) -> "dict[int, str]":
+    """Map every line to the name of its innermost enclosing function."""
+    spans: List[Tuple[int, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            spans.append((node.lineno, end, node.name))
+    owner: "dict[int, str]" = {}
+    # Later (inner) spans overwrite outer ones on overlapping lines.
+    for start, end, name in sorted(spans, key=lambda s: (s[0], -s[1])):
+        for line in range(start, end + 1):
+            owner[line] = name
+    return owner
+
+
+def _allowlisted(path: Path, function: str) -> bool:
+    posix = path.as_posix()
+    return any(
+        posix.endswith(suffix) and function == fn for suffix, fn in ALLOWLIST
+    )
+
+
+def lint_file(path: Path) -> List[str]:
+    """Violation messages ('path:line: ...') for one Python file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    owners = _enclosing_functions(tree)
+    violations: List[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node) or _reraises(node):
+            continue
+        function = owners.get(node.lineno, "<module>")
+        if _allowlisted(path, function):
+            continue
+        caught = "bare except" if node.type is None else "except Exception"
+        violations.append(
+            f"{path}:{node.lineno}: {caught} in {function}() swallows "
+            "unexpected errors; catch the typed repro.errors hierarchy "
+            "(or end the handler with a bare `raise`)"
+        )
+    return violations
+
+
+def lint_tree(roots: Iterable[Path]) -> List[str]:
+    """Violations across every ``*.py`` under the given roots."""
+    violations: List[str] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            violations.extend(lint_file(path))
+    return violations
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI entry point; exits nonzero on any violation."""
+    args = argv if argv is not None else sys.argv[1:]
+    roots = [Path(a) for a in args] if args else [Path("src/repro")]
+    violations = lint_tree(roots)
+    for message in violations:
+        print(message)
+    if violations:
+        print(f"{len(violations)} blanket exception handler(s) found")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,12 +22,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.dsp.interleaving import deinterleave_blocks
 from repro.dsp.ofdm import extract_subcarriers_batch, waveform_to_spectra
 from repro.dsp.qam import demodulate_hard_batch, demodulate_soft_batch
 from repro.dsp.scrambling import scramble_batch
 from repro.dsp.trellis import viterbi_decode_batch, viterbi_decode_soft_batch
-from repro.errors import DecodingError, InvalidWaveformError
+from repro.errors import DecodingError, InvalidWaveformError, ReproError
 from repro.wifi.params import SAMPLE_RATE_HZ, Mcs
 from repro.wifi.ppdu import (
     SERVICE_BITS,
@@ -137,59 +138,70 @@ class WifiReceiver:
         """
         if on_error not in ("raise", "none"):
             raise DecodingError(f"unknown on_error mode {on_error!r}")
+        tel = telemetry.current()
+        tel.count("wifi.rx.frames", len(waveforms))
         fronts: List[Optional[_FrontEndResult]] = []
-        for w in waveforms:
-            try:
-                fronts.append(
-                    self._front_end(
-                        np.asarray(w, dtype=np.complex128).ravel(),
-                        data_start,
-                        equalise,
-                        soft,
-                        correct_cfo,
-                        track_phase,
+        with tel.span("wifi.rx.front_end"):
+            for w in waveforms:
+                try:
+                    fronts.append(
+                        self._front_end(
+                            np.asarray(w, dtype=np.complex128).ravel(),
+                            data_start,
+                            equalise,
+                            soft,
+                            correct_cfo,
+                            track_phase,
+                        )
                     )
-                )
-            except Exception:
-                if on_error == "raise":
+                except ReproError as exc:
+                    tel.count(f"wifi.rx.drop.{type(exc).__name__}")
+                    if on_error == "raise":
+                        raise
+                    fronts.append(None)
+                except Exception:
+                    # A non-ReproError front-end failure is a genuine bug,
+                    # never a lost frame: propagate regardless of on_error.
+                    tel.count("wifi.rx.error.unexpected")
                     raise
-                fronts.append(None)
         groups: Dict[Tuple[Mcs, int], List[int]] = {}
         for idx, front in enumerate(fronts):
             if front is None:
                 continue
             groups.setdefault((front.mcs, front.layout.n_symbols), []).append(idx)
         results: List[Optional[WifiReception]] = [None] * len(fronts)
-        for indices in groups.values():
-            mcs = fronts[indices[0]].mcs
-            layout = fronts[indices[0]].layout
-            stacked = np.stack([fronts[i].interleaved for i in indices])
-            coded = deinterleave_blocks(stacked, mcs.n_cbps, mcs.n_bpsc)
-            if soft:
-                mother = depuncture_soft_blocks(coded, mcs.coding_rate)
-                scrambled = viterbi_decode_soft_batch(
-                    mother, n_data_bits=layout.n_total_bits
-                )
-            else:
-                mother = depuncture_blocks(coded, mcs.coding_rate)
-                scrambled = viterbi_decode_batch(
-                    mother, n_data_bits=layout.n_total_bits, assume_zero_tail=True
-                )
-            descrambled = scramble_batch(scrambled, self.scrambler.seed)
-            for row, idx in enumerate(indices):
-                # Frames in a group share MCS and symbol count but may carry
-                # different PSDU lengths (pad absorbs the difference).
-                frame_layout = fronts[idx].layout
-                psdu = descrambled[
-                    row, SERVICE_BITS : SERVICE_BITS + frame_layout.n_psdu_bits
-                ]
-                results[idx] = WifiReception(
-                    mcs=mcs,
-                    layout=frame_layout,
-                    psdu_bits=psdu.astype(np.uint8),
-                    descrambled_field=descrambled[row].astype(np.uint8),
-                    data_points=fronts[idx].data_points,
-                )
+        with tel.span("wifi.rx.bit_domain"):
+            for indices in groups.values():
+                mcs = fronts[indices[0]].mcs
+                layout = fronts[indices[0]].layout
+                stacked = np.stack([fronts[i].interleaved for i in indices])
+                coded = deinterleave_blocks(stacked, mcs.n_cbps, mcs.n_bpsc)
+                if soft:
+                    mother = depuncture_soft_blocks(coded, mcs.coding_rate)
+                    scrambled = viterbi_decode_soft_batch(
+                        mother, n_data_bits=layout.n_total_bits
+                    )
+                else:
+                    mother = depuncture_blocks(coded, mcs.coding_rate)
+                    scrambled = viterbi_decode_batch(
+                        mother, n_data_bits=layout.n_total_bits, assume_zero_tail=True
+                    )
+                descrambled = scramble_batch(scrambled, self.scrambler.seed)
+                for row, idx in enumerate(indices):
+                    # Frames in a group share MCS and symbol count but may carry
+                    # different PSDU lengths (pad absorbs the difference).
+                    frame_layout = fronts[idx].layout
+                    psdu = descrambled[
+                        row, SERVICE_BITS : SERVICE_BITS + frame_layout.n_psdu_bits
+                    ]
+                    results[idx] = WifiReception(
+                        mcs=mcs,
+                        layout=frame_layout,
+                        psdu_bits=psdu.astype(np.uint8),
+                        descrambled_field=descrambled[row].astype(np.uint8),
+                        data_points=fronts[idx].data_points,
+                    )
+        tel.count("wifi.rx.ok", sum(1 for r in results if r is not None))
         return results  # type: ignore[return-value]
 
     def _front_end(

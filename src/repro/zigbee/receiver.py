@@ -10,13 +10,19 @@ Section IV-E relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.dsp.dsss import despread_batch
 from repro.dsp.oqpsk import PULSE_SAMPLES, demodulate_chips_batch
-from repro.errors import DecodingError, InvalidWaveformError, SynchronizationError
+from repro.errors import (
+    DecodingError,
+    InvalidWaveformError,
+    ReproError,
+    SynchronizationError,
+)
 from repro.zigbee.chips import chip_table
 from repro.zigbee.frame import ZigbeeFrame, parse_ppdu_bits
 from repro.zigbee.params import (
@@ -122,65 +128,111 @@ class ZigbeeReceiver:
             raise DecodingError(f"unknown on_error mode {on_error!r}")
         if start_samples is None:
             start_samples = [None] * len(waveforms)
+        tel = telemetry.current()
+        tel.count("zigbee.rx.frames", len(waveforms))
         arrs = [np.asarray(w, dtype=np.complex128).ravel() for w in waveforms]
         starts: List[Optional[int]] = []
         chip_counts: List[int] = []
-        for idx, (arr, start) in enumerate(zip(arrs, start_samples)):
-            try:
-                if not np.all(np.isfinite(arr)):
-                    raise InvalidWaveformError(
-                        "waveform contains NaN or Inf samples"
-                    )
-                if start is None:
-                    start = self._synchronise(arr)
-                if correct_cfo:
-                    arrs[idx] = arr = self._correct_cfo(arr, start)
-                # The matched filter needs one trailing half-pulse (the Q
-                # rail's offset) beyond the last chip, so only chips whose
-                # tail fits count as available — a truncated capture simply
-                # yields fewer symbols instead of an out-of-range read.
-                available = arr.size - start
-                n_chips = ((available - SAMPLES_PER_CHIP) // SAMPLES_PER_CHIP) & ~1
-                n_chips -= n_chips % CHIPS_PER_SYMBOL
-                if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
-                    raise SynchronizationError("waveform too short for SHR + PHR")
-            except Exception:
-                if on_error == "raise":
+        with tel.span("zigbee.rx.sync"):
+            for idx, (arr, start) in enumerate(zip(arrs, start_samples)):
+                try:
+                    if not np.all(np.isfinite(arr)):
+                        raise InvalidWaveformError(
+                            "waveform contains NaN or Inf samples"
+                        )
+                    if start is None:
+                        start = self._synchronise(arr)
+                    if correct_cfo:
+                        arrs[idx] = arr = self._correct_cfo(arr, start)
+                    # The matched filter needs one trailing half-pulse (the Q
+                    # rail's offset) beyond the last chip, so only chips whose
+                    # tail fits count as available — a truncated capture simply
+                    # yields fewer symbols instead of an out-of-range read.
+                    available = arr.size - start
+                    n_chips = ((available - SAMPLES_PER_CHIP) // SAMPLES_PER_CHIP) & ~1
+                    n_chips -= n_chips % CHIPS_PER_SYMBOL
+                    if n_chips < CHIPS_PER_SYMBOL * (PREAMBLE_SYMBOLS + 4):
+                        raise SynchronizationError("waveform too short for SHR + PHR")
+                except ReproError as exc:
+                    tel.count(f"zigbee.rx.drop.{type(exc).__name__}")
+                    if on_error == "raise":
+                        raise
+                    starts.append(None)
+                    chip_counts.append(0)
+                    continue
+                except Exception:
+                    # A non-ReproError here is a genuine bug, never a lost
+                    # frame: propagate regardless of on_error.
+                    tel.count("zigbee.rx.error.unexpected")
                     raise
-                starts.append(None)
-                chip_counts.append(0)
-                continue
-            starts.append(start)
-            chip_counts.append(n_chips)
+                starts.append(start)
+                chip_counts.append(n_chips)
         groups: Dict[int, List[int]] = {}
         for idx, n_chips in enumerate(chip_counts):
             if starts[idx] is None:
                 continue
             groups.setdefault(n_chips, []).append(idx)
         results: List[Optional[ZigbeeReception]] = [None] * len(arrs)
-        for n_chips, indices in groups.items():
-            needed = (n_chips // 2) * PULSE_SAMPLES + SAMPLES_PER_CHIP
-            segments = np.empty((len(indices), needed), dtype=np.complex128)
-            for row, idx in enumerate(indices):
-                chunk = arrs[idx][starts[idx] : starts[idx] + needed]
-                if chunk.size < needed:
-                    raise DecodingError("waveform too short for requested chips")
-                segments[row] = chunk
-            soft = demodulate_chips_batch(segments, n_chips)
-            bits, scores = despread_batch(soft)
-            for row, idx in enumerate(indices):
-                try:
-                    frame = parse_ppdu_bits(bits[row])
-                except Exception:
-                    if on_error == "raise":
-                        raise
-                    continue
-                results[idx] = ZigbeeReception(
-                    frame=frame,
-                    symbol_scores=[float(s) for s in scores[row][: frame.n_symbols]],
-                    start_sample=starts[idx],
+        with tel.span("zigbee.rx.decode"):
+            for n_chips, indices in groups.items():
+                needed = (n_chips // 2) * PULSE_SAMPLES + SAMPLES_PER_CHIP
+                segments, kept = self._assemble_segments(
+                    arrs, starts, indices, needed, on_error, tel
                 )
+                if not kept:
+                    continue
+                soft = demodulate_chips_batch(segments, n_chips)
+                bits, scores = despread_batch(soft)
+                for row, idx in enumerate(kept):
+                    try:
+                        frame = parse_ppdu_bits(bits[row])
+                    except ReproError as exc:
+                        tel.count(f"zigbee.rx.drop.{type(exc).__name__}")
+                        if on_error == "raise":
+                            raise
+                        continue
+                    except Exception:
+                        tel.count("zigbee.rx.error.unexpected")
+                        raise
+                    results[idx] = ZigbeeReception(
+                        frame=frame,
+                        symbol_scores=[float(s) for s in scores[row][: frame.n_symbols]],
+                        start_sample=starts[idx],
+                    )
+        tel.count("zigbee.rx.ok", sum(1 for r in results if r is not None))
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _assemble_segments(
+        arrs: Sequence[np.ndarray],
+        starts: Sequence[Optional[int]],
+        indices: Sequence[int],
+        needed: int,
+        on_error: str,
+        tel: "telemetry.Telemetry",
+    ) -> "Tuple[np.ndarray, List[int]]":
+        """Stack the group's frame segments, honouring ``on_error``.
+
+        A capture too short for its announced chip count is a per-frame
+        failure: under ``on_error="none"`` the frame is dropped (counted as
+        a :class:`DecodingError`) and the rest of the batch decodes; under
+        ``"raise"`` the typed error propagates — either way one truncated
+        capture can no longer poison its whole batch.
+        """
+        rows: List[np.ndarray] = []
+        kept: List[int] = []
+        for idx in indices:
+            chunk = arrs[idx][starts[idx] : starts[idx] + needed]
+            if chunk.size < needed:
+                tel.count("zigbee.rx.drop.DecodingError")
+                if on_error == "raise":
+                    raise DecodingError("waveform too short for requested chips")
+                continue
+            rows.append(chunk)
+            kept.append(idx)
+        if not rows:
+            return np.empty((0, needed), dtype=np.complex128), kept
+        return np.stack(rows), kept
 
     def _synchronise(self, waveform: np.ndarray) -> int:
         """Find the frame start by correlating against the zero symbol.

@@ -45,3 +45,53 @@ class TestResultFormatting:
         result = ExperimentResult("X", "t", columns=["v"])
         result.add_row(3.14159)
         assert "3.14" in result.format_table()
+
+
+class TestPartialFailure:
+    """One failing experiment must not discard the others' results."""
+
+    @staticmethod
+    def _break_theory(monkeypatch):
+        from repro.experiments import theory
+
+        def boom():
+            raise RuntimeError("injected experiment failure")
+
+        monkeypatch.setattr(theory, "run", boom)
+
+    def test_serial_failure_reports_survivors(self, monkeypatch, capsys):
+        self._break_theory(monkeypatch)
+        with pytest.raises(SystemExit) as excinfo:
+            run_experiments(["theory", "t3"])
+        out = capsys.readouterr().out
+        assert "Table III" in out  # t3 was still emitted
+        assert "theory" in str(excinfo.value)
+        assert "injected experiment failure" in str(excinfo.value)
+
+    def test_worker_failure_reports_survivors(self, monkeypatch, capsys):
+        # The pool forks, so the patched module propagates to workers.
+        self._break_theory(monkeypatch)
+        with pytest.raises(SystemExit) as excinfo:
+            run_experiments(["theory", "t3"], workers=2)
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "theory" in str(excinfo.value)
+
+    def test_failure_recorded_in_manifest(self, monkeypatch, capsys, tmp_path):
+        import json
+
+        self._break_theory(monkeypatch)
+        path = tmp_path / "metrics.jsonl"
+        with pytest.raises(SystemExit):
+            run_experiments(["theory", "t3"], metrics_out=str(path))
+        capsys.readouterr()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        by_name = {line["experiment"]: line for line in lines}
+        assert by_name["theory"]["status"] == "failed"
+        assert "RuntimeError" in by_name["theory"]["error"]
+        assert by_name["t3"]["status"] == "ok"
+
+    def test_all_successes_returns_results(self, capsys):
+        results = run_experiments(["theory", "t3"])
+        assert len(results) == 2
+        capsys.readouterr()

@@ -161,3 +161,103 @@ class TestSledZigFaults:
         )
         assert results[0] is not None and results[0].payload == packet.payload
         assert results[1] is None
+
+
+class TestMixedBatchIsolation:
+    """One bad capture must only cost its own slot, never the batch."""
+
+    def test_truncated_zigbee_capture_returns_none_only_for_that_frame(self):
+        rng = np.random.default_rng(44)
+        tx = ZigbeeTransmitter()
+        frames = [
+            tx.send(bytes(rng.integers(0, 256, 20, dtype=np.uint8)))
+            for _ in range(3)
+        ]
+        payloads = [bytes(t.frame.psdu) for t in frames]
+        waveforms = [t.waveform for t in frames]
+        waveforms[1] = waveforms[1][: waveforms[1].size // 4]  # truncated capture
+
+        from repro import telemetry
+
+        with telemetry.collect() as tel:
+            results = ZigbeeReceiver().receive_frames(waveforms, on_error="none")
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+        assert bytes(results[0].frame.psdu) == payloads[0]
+        assert bytes(results[2].frame.psdu) == payloads[2]
+        assert sum(tel.snapshot().drop_causes().values()) == 1
+
+    def test_segment_assembly_honours_on_error_none(self):
+        """The batch-assembly guard records a per-frame drop, not a batch
+        failure (regression: it used to raise under on_error="none")."""
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        arrs = [np.zeros(10, dtype=complex), np.zeros(100, dtype=complex)]
+        starts = [0, 0]
+        segments, kept = ZigbeeReceiver._assemble_segments(
+            arrs, starts, [0, 1], 50, "none", tel
+        )
+        assert kept == [1]
+        assert segments.shape == (1, 50)
+        assert tel.counters["zigbee.rx.drop.DecodingError"] == 1
+        with pytest.raises(DecodingError):
+            ZigbeeReceiver._assemble_segments(
+                arrs, starts, [0, 1], 50, "raise", Telemetry()
+            )
+
+
+class TestGenuineBugsPropagate:
+    """Injected non-ReproError faults must escape even under on_error="none"
+    — a TypeError is a bug, not a lost frame."""
+
+    def test_zigbee_parse_typeerror_propagates(self, zigbee_frame, monkeypatch):
+        import repro.zigbee.receiver as zr
+
+        def boom(bits):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(zr, "parse_ppdu_bits", boom)
+        trans, _ = zigbee_frame
+        with pytest.raises(TypeError):
+            ZigbeeReceiver().receive_frames([trans.waveform], on_error="none")
+
+    def test_wifi_front_end_typeerror_propagates(self, wifi_frame, monkeypatch):
+        import repro.wifi.receiver as wr
+
+        def boom(spectrum):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(wr, "decode_signal_symbol", boom)
+        frame, _ = wifi_frame
+        with pytest.raises(TypeError):
+            WifiReceiver().receive_frames(
+                [frame.waveform], data_start=_DATA_START, on_error="none"
+            )
+
+    def test_sledzig_strip_typeerror_propagates(self, monkeypatch):
+        from repro.sledzig.decoder import SledZigDecoder
+
+        tx = SledZigTransmitter("qam16-1/2", "CH2")
+        packet = tx.send(b"genuine bug propagation")
+
+        def boom(self, reception):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(SledZigDecoder, "decode", boom)
+        with pytest.raises(TypeError):
+            SledZigReceiver().receive_frames([packet.waveform], on_error="none")
+
+    def test_unexpected_errors_are_counted(self, zigbee_frame, monkeypatch):
+        import repro.zigbee.receiver as zr
+        from repro import telemetry
+
+        def boom(bits):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(zr, "parse_ppdu_bits", boom)
+        trans, _ = zigbee_frame
+        with telemetry.collect() as tel:
+            with pytest.raises(TypeError):
+                ZigbeeReceiver().receive_frames([trans.waveform], on_error="none")
+        assert tel.counters["zigbee.rx.error.unexpected"] == 1

@@ -1,0 +1,212 @@
+"""The telemetry core: counters/gauges/timers, snapshot-merge discipline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Histogram,
+    Snapshot,
+    Telemetry,
+    append_line,
+    config_digest,
+    run_record,
+)
+
+
+class TestHistogram:
+    def test_observe_tracks_moments(self):
+        hist = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+
+    def test_merge_is_exact(self):
+        a, b, whole = Histogram(), Histogram(), Histogram()
+        for v in (1.0, 5.0):
+            a.observe(v)
+            whole.observe(v)
+        for v in (0.5, 2.0):
+            b.observe(v)
+            whole.observe(v)
+        a.merge(b)
+        assert a == whole
+
+    def test_empty_jsonable(self):
+        assert Histogram().to_jsonable()["count"] == 0
+
+
+class TestTelemetry:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("x")
+        tel.count("x", 2)
+        tel.count("y", 0.5)
+        assert tel.counters == {"x": 3, "y": 0.5}
+
+    def test_gauge_last_write_wins(self):
+        tel = Telemetry()
+        tel.gauge("g", 1.0)
+        tel.gauge("g", 2.5)
+        assert tel.gauges["g"] == 2.5
+
+    def test_span_records_elapsed_seconds(self):
+        tel = Telemetry()
+        with tel.span("stage"):
+            pass
+        hist = tel.timers["stage"]
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_span_records_even_on_error(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("stage"):
+                raise ValueError("boom")
+        assert tel.timers["stage"].count == 1
+
+    def test_reset_clears_everything(self):
+        tel = Telemetry()
+        tel.count("c")
+        tel.gauge("g", 1.0)
+        tel.observe("t", 0.1)
+        tel.reset()
+        assert not tel.counters and not tel.gauges and not tel.timers
+
+
+class TestSnapshotMerge:
+    def _snap(self, **counters):
+        tel = Telemetry()
+        for name, n in counters.items():
+            tel.count(name, n)
+        return tel.snapshot()
+
+    def test_merge_sums_counters(self):
+        parent = Telemetry()
+        parent.merge(self._snap(a=1, b=2))
+        parent.merge(self._snap(a=3))
+        assert parent.counters == {"a": 4, "b": 2}
+
+    def test_merge_order_equals_serial_for_counters(self):
+        # The determinism contract: merging per-batch snapshots in batch
+        # order produces exactly the counters of one serial collector.
+        serial = Telemetry()
+        parent = Telemetry()
+        for batch in range(4):
+            with telemetry.collect() as worker:
+                worker.count("trials", batch + 1)
+                worker.count("batches")
+                serial.count("trials", batch + 1)
+                serial.count("batches")
+            parent.merge(worker.snapshot())
+        assert parent.snapshot().deterministic() == serial.snapshot().deterministic()
+
+    def test_merge_combines_timers(self):
+        a, b = Telemetry(), Telemetry()
+        a.observe("t", 1.0)
+        b.observe("t", 3.0)
+        parent = Telemetry()
+        parent.merge(a.snapshot())
+        parent.merge(b.snapshot())
+        assert parent.timers["t"].count == 2
+        assert parent.timers["t"].mean == 2.0
+
+    def test_deterministic_view_excludes_timers(self):
+        tel = Telemetry()
+        tel.count("c")
+        tel.observe("t", 0.25)
+        view = tel.snapshot().deterministic()
+        assert view == {"counters": {"c": 1}, "gauges": {}}
+
+    def test_drop_causes_filters_counters(self):
+        tel = Telemetry()
+        tel.count("wifi.rx.drop.DecodingError", 2)
+        tel.count("wifi.rx.frames", 5)
+        assert tel.snapshot().drop_causes() == {"wifi.rx.drop.DecodingError": 2}
+
+    def test_snapshot_is_independent_copy(self):
+        tel = Telemetry()
+        tel.count("c")
+        tel.observe("t", 1.0)
+        snap = tel.snapshot()
+        tel.count("c")
+        tel.observe("t", 2.0)
+        assert snap.counters["c"] == 1
+        assert snap.timers["t"].count == 1
+
+    def test_snapshot_merge_returns_self(self):
+        snap = Snapshot(counters={"a": 1})
+        merged = snap.merge(Snapshot(counters={"a": 2}))
+        assert merged is snap and snap.counters["a"] == 3
+
+
+class TestContext:
+    def test_collect_isolates_from_parent(self):
+        outer = telemetry.current()
+        before = dict(outer.counters)
+        with telemetry.collect() as tel:
+            tel.count("inner")
+            assert telemetry.current() is tel
+        assert telemetry.current() is outer
+        assert outer.counters == before
+
+    def test_use_nests(self):
+        a, b = Telemetry(), Telemetry()
+        with telemetry.use(a):
+            with telemetry.use(b):
+                telemetry.current().count("x")
+            telemetry.current().count("y")
+        assert b.counters == {"x": 1}
+        assert a.counters == {"y": 1}
+
+
+class TestManifest:
+    def test_config_digest_is_stable_and_order_free(self):
+        a = config_digest({"seed": 1, "quick": False})
+        b = config_digest({"quick": False, "seed": 1})
+        assert a == b
+        assert len(a) == 16
+        assert a != config_digest({"seed": 2, "quick": False})
+
+    def test_run_record_carries_drops_and_timings(self):
+        tel = Telemetry()
+        tel.count("zigbee.rx.drop.SynchronizationError", 3)
+        tel.observe("zigbee.rx.decode", 0.5)
+        record = run_record(
+            "waterfall",
+            config={"experiment": "waterfall", "seed": 7},
+            seconds=1.234,
+            snapshot=tel.snapshot(),
+            experiment_id="Ext-1",
+            title="SNR waterfall",
+        )
+        assert record["status"] == "ok"
+        assert record["drops"] == {"zigbee.rx.drop.SynchronizationError": 3}
+        assert record["timings"]["zigbee.rx.decode"]["count"] == 1
+        assert record["config_digest"] == config_digest(
+            {"experiment": "waterfall", "seed": 7}
+        )
+        json.dumps(record)  # must be serialisable as-is
+
+    def test_failed_record_has_error(self):
+        record = run_record(
+            "t3", config={}, seconds=0.1, status="failed",
+            error="TypeError: boom",
+        )
+        assert record["status"] == "failed"
+        assert "TypeError" in record["error"]
+        assert "counters" not in record
+
+    def test_append_line_is_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_line(str(path), {"a": 1})
+        append_line(str(path), {"b": 2})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}]

@@ -1,0 +1,142 @@
+"""Instrumented hot paths: drop-cause counters, engine/MAC/runner metrics,
+and the serial-vs-workers merge determinism the snapshot model guarantees."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.experiments.runner import run_experiments
+from repro.mac.config import CoexistenceConfig
+from repro.mac.simulator import run_coexistence
+from repro.montecarlo import MonteCarloEngine
+from repro.utils.bits import random_bits
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.transmitter import WifiTransmitter
+from repro.zigbee.receiver import ZigbeeReceiver
+from repro.zigbee.transmitter import ZigbeeTransmitter
+
+
+def _draw_trial(rng, index):
+    # Module-level so worker processes can pickle it.
+    return float(rng.uniform())
+
+
+class TestReceiverCounters:
+    def test_zigbee_drops_counted_by_cause(self):
+        frame = ZigbeeTransmitter().send(b"payload-1").waveform
+        noise = np.zeros(4096, dtype=np.complex128)
+        bad = np.full(4096, np.nan + 0j)
+        with telemetry.collect() as tel:
+            results = ZigbeeReceiver().receive_frames(
+                [frame, noise, bad], on_error="none"
+            )
+        assert results[0] is not None
+        assert results[1] is None and results[2] is None
+        counters = tel.counters
+        assert counters["zigbee.rx.frames"] == 3
+        assert counters["zigbee.rx.ok"] == 1
+        assert counters["zigbee.rx.drop.SynchronizationError"] == 1
+        assert counters["zigbee.rx.drop.InvalidWaveformError"] == 1
+        assert "zigbee.rx.sync" in tel.timers
+        assert "zigbee.rx.decode" in tel.timers
+
+    def test_wifi_drops_counted_by_cause(self):
+        rng = np.random.default_rng(7)
+        frame = WifiTransmitter("qpsk-1/2").transmit(random_bits(8 * 30, rng))
+        bad = np.full(frame.waveform.size, np.inf + 0j)
+        with telemetry.collect() as tel:
+            results = WifiReceiver().receive_frames(
+                [frame.waveform, bad], on_error="none"
+            )
+        assert results[0] is not None and results[1] is None
+        assert tel.counters["wifi.rx.frames"] == 2
+        assert tel.counters["wifi.rx.ok"] == 1
+        assert tel.counters["wifi.rx.drop.InvalidWaveformError"] == 1
+        assert "wifi.rx.front_end" in tel.timers
+        assert "wifi.rx.bit_domain" in tel.timers
+
+    def test_drop_counted_even_when_raising(self):
+        bad = np.full(256, np.nan + 0j)
+        with telemetry.collect() as tel:
+            with pytest.raises(Exception):
+                ZigbeeReceiver().receive_frames([bad], on_error="raise")
+        assert tel.counters["zigbee.rx.drop.InvalidWaveformError"] == 1
+
+
+class TestEngineTelemetry:
+    def test_batch_and_trial_counters(self):
+        engine = MonteCarloEngine("telemetry/engine", master_seed=3)
+        with telemetry.collect() as tel:
+            engine.run(_draw_trial, 10, batch_size=4)
+        assert tel.counters["montecarlo.batches"] == 3
+        assert tel.counters["montecarlo.trials"] == 10
+        assert tel.timers["montecarlo.batch"].count == 3
+        assert "montecarlo.early_stops" not in tel.counters
+
+    def test_early_stop_counted(self):
+        engine = MonteCarloEngine("telemetry/stop", master_seed=3)
+        with telemetry.collect() as tel:
+            result = engine.run(
+                _draw_trial, 64, batch_size=8,
+                target_halfwidth=0.5, min_trials=8,
+            )
+        assert result.stopped_early
+        assert tel.counters["montecarlo.early_stops"] == 1
+
+    def test_workers_merge_bit_identical_with_serial(self):
+        engine = MonteCarloEngine("telemetry/workers", master_seed=11)
+        with telemetry.collect() as serial_tel:
+            serial = engine.run(_draw_trial, 24, batch_size=4, workers=0)
+        with telemetry.collect() as worker_tel:
+            parallel = engine.run(_draw_trial, 24, batch_size=4, workers=3)
+        assert np.array_equal(serial.outcomes, parallel.outcomes)
+        assert (
+            serial_tel.snapshot().deterministic()
+            == worker_tel.snapshot().deterministic()
+        )
+
+
+class TestMacTelemetry:
+    def test_run_exports_occupancy_and_backoff_counters(self):
+        config = CoexistenceConfig(duration_us=30_000.0, seed=9)
+        with telemetry.collect() as tel:
+            result = run_coexistence(config)
+        counters = tel.counters
+        assert counters["mac.runs"] == 1
+        assert counters["mac.duration_us"] == 30_000.0
+        assert counters["mac.zigbee.cca_attempts"] == result.zigbee.cca_attempts
+        assert counters["mac.zigbee.packets_attempted"] == result.zigbee.packets_attempted
+        assert counters["mac.wifi.airtime_us"] == result.wifi.airtime_us
+        assert tel.gauges["mac.wifi.occupancy"] == pytest.approx(
+            result.wifi.airtime_us / 30_000.0
+        )
+
+
+class TestRunnerTelemetry:
+    KW = dict(quick=True, master_seed=123)
+
+    def test_workers_merge_equals_serial(self, capsys):
+        with telemetry.collect() as serial_tel:
+            run_experiments(["xtech"], workers=0, **self.KW)
+        with telemetry.collect() as worker_tel:
+            run_experiments(["xtech"], workers=2, **self.KW)
+        capsys.readouterr()
+        serial = serial_tel.snapshot().deterministic()
+        merged = worker_tel.snapshot().deterministic()
+        assert serial["counters"]  # the experiment actually reported metrics
+        assert serial == merged
+
+    def test_metrics_out_writes_manifest(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        run_experiments(["theory", "t3"], metrics_out=str(path))
+        capsys.readouterr()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [line["experiment"] for line in lines] == ["theory", "t3"]
+        for line in lines:
+            assert line["status"] == "ok"
+            assert line["config_digest"]
+            assert "counters" in line and "timings" in line and "drops" in line

@@ -1,0 +1,109 @@
+"""The blanket-exception linter that gates CI."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.tools.check_exceptions import lint_file, lint_tree, main
+
+
+def _write(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestLintRules:
+    def test_swallowing_except_exception_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def decode():
+                try:
+                    pass
+                except Exception:
+                    return None
+        """)
+        violations = lint_file(path)
+        assert len(violations) == 1
+        assert "decode()" in violations[0]
+
+    def test_bare_except_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            try:
+                pass
+            except:
+                pass
+        """)
+        violations = lint_file(path)
+        assert len(violations) == 1
+        assert "<module>" in violations[0]
+
+    def test_typed_handler_ok(self, tmp_path):
+        path = _write(tmp_path, """
+            def decode():
+                try:
+                    pass
+                except (ValueError, KeyError):
+                    return None
+        """)
+        assert lint_file(path) == []
+
+    def test_count_then_reraise_ok(self, tmp_path):
+        path = _write(tmp_path, """
+            def decode(tel):
+                try:
+                    pass
+                except Exception:
+                    tel.count("unexpected")
+                    raise
+        """)
+        assert lint_file(path) == []
+
+    def test_tuple_including_exception_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def decode():
+                try:
+                    pass
+                except (ValueError, Exception):
+                    return None
+        """)
+        assert len(lint_file(path)) == 1
+
+    def test_allowlisted_runner_boundary_ok(self, tmp_path):
+        nested = tmp_path / "repro" / "experiments"
+        nested.mkdir(parents=True)
+        path = _write(nested, """
+            def run_experiments():
+                try:
+                    pass
+                except Exception as exc:
+                    return exc
+        """, name="runner.py")
+        assert lint_file(path) == []
+
+    def test_same_code_outside_allowlist_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def run_experiments():
+                try:
+                    pass
+                except Exception as exc:
+                    return exc
+        """, name="other.py")
+        assert len(lint_file(path)) == 1
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_blanket_handlers(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert root.is_dir()
+        assert lint_tree([root]) == []
+
+    def test_main_exit_status_counts_violations(self, tmp_path, capsys):
+        path = _write(tmp_path, """
+            try:
+                pass
+            except Exception:
+                pass
+        """)
+        assert main([str(path)]) == 1
+        assert "blanket exception handler" in capsys.readouterr().out
