@@ -8,6 +8,9 @@ silently regenerate the wrong numbers fast.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -16,3 +19,38 @@ import pytest
 def rng() -> np.random.Generator:
     """Deterministic RNG for benchmark payloads."""
     return np.random.default_rng(2022)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<suite>.json`` per benchmark module that ran.
+
+    The files land in the repository root (where CI collects them as
+    artifacts): timing stats keyed by test name, grouped by the
+    ``test_bench_<suite>.py`` module they came from.  Runs without
+    pytest-benchmark results (collection-only, ``--benchmark-disable``)
+    write nothing.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    suites: "dict[str, dict[str, dict]]" = {}
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue  # errored benchmark: nothing to record
+        module = Path(bench.fullname.split("::")[0]).stem
+        suite = module.removeprefix("test_bench_")
+        stat_dict = stats.as_dict()
+        suites.setdefault(suite, {})[bench.name] = {
+            "fullname": bench.fullname,
+            "rounds": stat_dict.get("rounds"),
+            "iterations": bench.iterations,
+            "min_s": stat_dict.get("min"),
+            "mean_s": stat_dict.get("mean"),
+            "stddev_s": stat_dict.get("stddev"),
+        }
+    for suite, entries in suites.items():
+        out = Path(session.config.rootpath) / f"BENCH_{suite}.json"
+        out.write_text(json.dumps({"suite": suite, "benchmarks": entries},
+                                  indent=2, sort_keys=True) + "\n")

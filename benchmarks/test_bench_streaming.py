@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the streaming receive layer.
+
+The streaming front ends buy constant memory with per-chunk state
+machinery; these benchmarks keep that overhead honest against the
+full-buffer batch path and pin the memory bound (ring high-water) that
+justifies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming import FrameEvent, iter_chunks
+from repro.utils.bits import random_bits
+from repro.wifi.streaming import WifiStreamReceiver
+from repro.wifi.transmitter import encode_frames as wifi_encode
+from repro.zigbee.streaming import ZigbeeStreamReceiver
+from repro.zigbee.transmitter import encode_frames as zigbee_encode
+
+_CHUNK = 4096
+
+
+def _stream(waveforms, gap=500):
+    silence = np.zeros(gap, dtype=np.complex128)
+    pieces = [silence]
+    for w in waveforms:
+        pieces.extend([w, silence])
+    return np.concatenate(pieces)
+
+
+def test_bench_wifi_stream_decode(benchmark, rng):
+    """Chunked 802.11 stream decode, 16 frames of 100-byte PSDUs."""
+    payloads = [random_bits(8 * 100, rng) for _ in range(16)]
+    stream = _stream(wifi_encode(payloads, "qam16-1/2"))
+
+    def stream_decode():
+        receiver = WifiStreamReceiver()
+        return receiver.receive_stream(iter_chunks(stream, _CHUNK))
+
+    decoded, drops = benchmark(stream_decode)
+    assert not drops
+    assert len(decoded) == 16
+    for sent, got in zip(payloads, decoded):
+        assert np.array_equal(got.psdu_bits, sent)
+
+
+def test_bench_zigbee_stream_decode(benchmark, rng):
+    """Chunked 802.15.4 stream decode, 8 frames of 40-octet PSDUs."""
+    psdus = [bytes(rng.integers(0, 256, size=40, dtype=np.uint8)) for _ in range(8)]
+    stream = _stream(zigbee_encode(psdus), gap=400)
+
+    def stream_decode():
+        receiver = ZigbeeStreamReceiver()
+        decoded, drops = receiver.receive_stream(iter_chunks(stream, _CHUNK))
+        return decoded, drops, receiver.sync.ring.high_water
+
+    decoded, drops, high_water = benchmark(stream_decode)
+    assert not drops
+    assert [bytes(d.frame.psdu) for d in decoded] == psdus
+    # The memory bound the layer exists for: peak retained samples stay
+    # near one frame + chunk slack, far below the whole stream.
+    assert high_water < stream.size / 2
+
+
+def test_bench_streaming_overhead_vs_scalar(benchmark, rng):
+    """Chunked streaming must stay within 2.5x of the per-frame scalar
+    receive loop — the apples-to-apples baseline, since streaming also
+    decodes one frame at a time.  What the bound covers is the streaming
+    machinery itself: ring bookkeeping, the sync state machine, and the
+    per-chunk stage dispatch.  (The *batched* full-buffer path is faster
+    still via its cross-frame Viterbi; that floor lives in
+    ``test_bench_core.py``.)
+    """
+    import time
+
+    from repro.wifi.receiver import WifiReceiver
+
+    payloads = [random_bits(8 * 100, rng) for _ in range(16)]
+    waveforms = wifi_encode(payloads, "qam16-1/2")
+    stream = _stream(waveforms)
+
+    def stream_decode():
+        return WifiStreamReceiver().receive_stream(iter_chunks(stream, _CHUNK))
+
+    decoded, drops = benchmark(stream_decode)
+    assert not drops and len(decoded) == 16
+
+    receiver = WifiReceiver()
+    start = time.perf_counter()
+    scalar = [receiver.receive(w).psdu_bits for w in waveforms]
+    scalar_seconds = time.perf_counter() - start
+    for got, ref in zip(decoded, scalar):
+        assert np.array_equal(got.psdu_bits, ref)
+
+    stream_seconds = benchmark.stats.stats.mean
+    slowdown = stream_seconds / scalar_seconds
+    assert slowdown <= 2.5, (
+        f"streaming {slowdown:.1f}x slower than the scalar per-frame loop "
+        f"({stream_seconds:.3f}s vs {scalar_seconds:.3f}s)"
+    )

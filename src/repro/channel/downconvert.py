@@ -39,6 +39,7 @@ def extract_zigbee_band(
     wifi_waveform: np.ndarray,
     channel: "OverlapChannel | str | int",
     cutoff_hz: float = 1.2e6,
+    phase_origin_sample: int = 0,
 ) -> np.ndarray:
     """The complex baseband a ZigBee front end receives from a WiFi signal.
 
@@ -48,15 +49,27 @@ def extract_zigbee_band(
     The output keeps physical power: its mean power equals the WiFi power
     that actually falls in the band (so SledZig's notch appears directly as
     a weaker interference waveform).
+
+    The mixer follows :func:`repro.channel.awgn.frequency_shift`'s
+    phase-continuity contract: pass the slice's absolute position in the
+    stream as *phase_origin_sample* and the local oscillator keeps its
+    phase across chunk boundaries, so chunked downconversion matches the
+    full-capture mix up to the filter/resampler edge effects.
     """
     from scipy.signal import resample_poly
+
+    from repro.channel.awgn import frequency_shift
 
     ch = get_channel(channel)
     arr = np.asarray(wifi_waveform, dtype=np.complex128).ravel()
     if arr.size < 256:
         raise ConfigurationError("WiFi waveform too short to extract a band")
-    n = np.arange(arr.size)
-    mixed = arr * np.exp(-2j * np.pi * ch.center_offset_hz * n / WIFI_RATE_HZ)
+    mixed = frequency_shift(
+        arr,
+        -ch.center_offset_hz,
+        WIFI_RATE_HZ,
+        phase_origin_sample=phase_origin_sample,
+    )
     taps = lowpass_fir(cutoff_hz, WIFI_RATE_HZ)
     filtered = np.convolve(mixed, taps, mode="same")
     # 20 MHz -> 8 MHz is a rational 2/5 resampling.

@@ -54,5 +54,27 @@ class InvalidWaveformError(DecodingError):
     """
 
 
+class TruncatedFrameError(DecodingError):
+    """A frame started inside a capture but its tail is missing.
+
+    Raised (or surfaced as a drop cause) when synchronisation succeeds but
+    the capture — or the flushed remainder of a sample stream — ends before
+    the frame's announced length is fully present.  Distinguishing this
+    from a generic :class:`DecodingError` matters for streaming receivers:
+    a truncated tail at ``flush()`` is an expected end-of-stream outcome,
+    not a corrupt frame.
+    """
+
+
+class StreamOverflowError(DecodingError):
+    """A streaming stage needed more lookahead than its ring buffer holds.
+
+    Raised as a drop cause when a detected frame announces a length larger
+    than the pipeline's bounded sample ring can ever buffer.  The frame is
+    dropped and the search resumes; the stream itself keeps flowing at
+    constant memory.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event coexistence simulator reached an invalid state."""

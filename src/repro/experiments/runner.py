@@ -41,6 +41,7 @@ from repro.experiments import (
     ext40mhz,
     robustness_waterfall,
     snr_waterfall,
+    streaming_capture,
     theory,
     xtech_collision,
 )
@@ -108,6 +109,10 @@ def registry(
             n_frames=4 if quick else 8, **_seed_kw(master_seed)
         ),
         "ext40": ext40mhz.run,
+        "streamcap": lambda: streaming_capture.run(
+            frame_counts=(10, 30) if quick else (25, 100),
+            **_seed_kw(master_seed),
+        ),
         "waterfall": lambda: snr_waterfall.run(
             n_frames=5 if quick else 10, **_seed_kw(master_seed)
         ),

@@ -1,0 +1,129 @@
+"""Extension experiment: long-capture streaming decode at constant memory.
+
+Not a numbered paper figure — an operational validation of the streaming
+receive layer.  A long recording (many SledZig frames separated by idle
+gaps, optionally with AWGN) is decoded through
+:class:`repro.sledzig.streaming.SledZigStreamReceiver` in bounded chunks,
+and the table reports what a deployment cares about: frames recovered,
+typed drops, and the sample ring's high-water mark against its fixed
+capacity.
+
+Expected outcome: the high-water mark depends on the longest frame plus
+the chunk size — *not* on the capture length — so doubling the recording
+leaves peak memory unchanged.  The constant-memory test pins exactly that
+via the ``stream.ring.sledzig.high_water`` telemetry gauge, which also
+lands in the ``--metrics-out`` manifest of every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.sledzig.pipeline import encode_frames
+from repro.sledzig.streaming import SledZigStreamReceiver
+from repro.streaming import DropEvent, FrameEvent, iter_chunks
+
+DEFAULT_MCS = "qam16-1/2"
+DEFAULT_CHANNEL = "CH2"
+
+
+def build_capture(
+    n_frames: int,
+    payload_octets: int = 40,
+    gap_samples: int = 600,
+    mcs: str = DEFAULT_MCS,
+    channel: str = DEFAULT_CHANNEL,
+    snr_db: "float | None" = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, List[bytes]]:
+    """A long recording: *n_frames* SledZig frames separated by idle gaps.
+
+    Payloads are drawn from a seeded stream; with *snr_db* set, AWGN is
+    added over the whole capture (gaps included, like a real front end).
+    Returns the capture and the transmitted payloads.
+    """
+    rng = np.random.default_rng(seed)
+    payloads = [
+        bytes(rng.integers(0, 256, size=payload_octets, dtype=np.uint8))
+        for _ in range(n_frames)
+    ]
+    waveforms = encode_frames(payloads, mcs, channel)
+    gap = np.zeros(gap_samples, dtype=np.complex128)
+    pieces: List[np.ndarray] = [gap]
+    for waveform in waveforms:
+        pieces.append(waveform)
+        pieces.append(gap)
+    capture = np.concatenate(pieces)
+    if snr_db is not None:
+        from repro.channel.awgn import awgn
+
+        capture = awgn(capture, snr_db, np.random.default_rng(seed + 1))
+    return capture, payloads
+
+
+def decode_capture(
+    capture: np.ndarray,
+    payloads: Sequence[bytes],
+    chunk_samples: int,
+    channel: str = DEFAULT_CHANNEL,
+) -> Tuple[int, int, int, int]:
+    """Stream one capture through the SledZig chain in fixed-size chunks.
+
+    Returns ``(frames_ok, frames_wrong, drops, ring_high_water)`` where
+    ``frames_ok`` counts payload-exact recoveries.
+    """
+    receiver = SledZigStreamReceiver(channel=channel)
+    events = receiver.pipeline.run(iter_chunks(capture, chunk_samples))
+    recovered = [e.result.payload for e in events if isinstance(e, FrameEvent)]
+    drops = sum(1 for e in events if isinstance(e, DropEvent))
+    ok = sum(1 for got, sent in zip(recovered, payloads) if got == sent)
+    wrong = len(recovered) - ok
+    return ok, wrong, drops, receiver.sync.ring.high_water
+
+
+def run(
+    frame_counts: Sequence[int] = (25, 100),
+    chunk_sizes: Sequence[int] = (512, 4096),
+    payload_octets: int = 40,
+    master_seed: int = 0,
+) -> ExperimentResult:
+    """The long-capture streaming sweep as a table."""
+    result = ExperimentResult(
+        experiment_id="Extension",
+        title=(
+            "Streaming long-capture decode: constant memory across "
+            f"capture lengths ({DEFAULT_MCS}, {DEFAULT_CHANNEL})"
+        ),
+        columns=[
+            "frames",
+            "capture (samples)",
+            "chunk (samples)",
+            "decoded",
+            "drops",
+            "ring high water",
+            "ring capacity",
+        ],
+    )
+    capacity = None
+    for n_frames in frame_counts:
+        capture, payloads = build_capture(
+            n_frames, payload_octets=payload_octets, seed=master_seed
+        )
+        for chunk in chunk_sizes:
+            ok, wrong, drops, high_water = decode_capture(
+                capture, payloads, chunk
+            )
+            if capacity is None:
+                capacity = SledZigStreamReceiver().sync.ring.capacity
+            result.add_row(
+                n_frames, capture.size, chunk, ok, drops, high_water, capacity
+            )
+    result.notes.append(
+        "the ring high-water mark tracks the longest frame plus one chunk, "
+        "independent of capture length — the constant-memory property the "
+        "streaming layer guarantees"
+    )
+    return result

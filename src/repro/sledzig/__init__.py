@@ -54,6 +54,11 @@ from repro.sledzig.pipeline import (
     decode_frames,
     encode_frames,
 )
+from repro.sledzig.streaming import (
+    OnlineChannelDetector,
+    SledZigStreamReceiver,
+    SledZigStripStage,
+)
 from repro.sledzig.significant import (
     SignificantBit,
     constraint_map_for_symbols,

@@ -171,7 +171,10 @@ class SledZigReceiver:
         return self.receive_frames([waveform])[0]
 
     def receive_frames(
-        self, waveforms: Sequence[np.ndarray], on_error: str = "raise"
+        self,
+        waveforms: Sequence[np.ndarray],
+        on_error: str = "raise",
+        data_start: Optional[int] = None,
     ) -> "List[Optional[SledZigReceivedPacket]]":
         """Decode many frames; the WiFi stage batches across frames.
 
@@ -185,10 +188,15 @@ class SledZigReceiver:
                 frame that fails at any stage — WiFi decode, channel
                 detection, or extra-bit stripping — and keeps decoding the
                 rest (the Monte-Carlo batch-trial mode).
+            data_start: SIGNAL-symbol offset when synchronisation is
+                already pinned (the streaming adapters pass their window
+                offset here), forwarded to the WiFi stage.
         """
         tel = telemetry.current()
         tel.count("sledzig.rx.frames", len(waveforms))
-        receptions = self._wifi.receive_frames(waveforms, on_error=on_error)
+        receptions = self._wifi.receive_frames(
+            waveforms, on_error=on_error, data_start=data_start
+        )
         packets: "List[Optional[SledZigReceivedPacket]]" = []
         with tel.span("sledzig.rx.strip"):
             for reception in receptions:
@@ -213,28 +221,39 @@ class SledZigReceiver:
 
     def _strip_one(self, reception) -> SledZigReceivedPacket:
         """Channel detection, extra-bit stripping and payload framing."""
-        stripped = self._decoder.decode(reception)
-        bits = stripped.data_bits
-        header_bits = 8 * LENGTH_HEADER_OCTETS
-        if bits.size < header_bits:
-            raise DecodingError(
-                "stripped stream shorter than the length header"
-            )
-        header = bits_to_bytes(bits[:header_bits])
-        n_payload = int.from_bytes(header, "little")
-        total_bits = header_bits + 8 * n_payload
-        if bits.size < total_bits:
-            raise DecodingError(
-                f"length header promises {n_payload} bytes but only "
-                f"{(bits.size - header_bits) // 8} are present"
-            )
-        payload = bits_to_bytes(bits[header_bits:total_bits])
-        return SledZigReceivedPacket(
-            payload=payload,
-            channel=stripped.channel,
-            detection=stripped.detection,
-            mcs=reception.mcs,
+        return strip_reception(self._decoder, reception)
+
+
+def strip_reception(decoder: SledZigDecoder, reception) -> SledZigReceivedPacket:
+    """Strip one WiFi reception into a SledZig packet.
+
+    Channel detection (when *decoder* is not pinned), extra-bit stripping
+    and length-header framing — the per-frame bit-domain half of
+    :class:`SledZigReceiver`, shared with the streaming strip stage in
+    :mod:`repro.sledzig.streaming`.
+    """
+    stripped = decoder.decode(reception)
+    bits = stripped.data_bits
+    header_bits = 8 * LENGTH_HEADER_OCTETS
+    if bits.size < header_bits:
+        raise DecodingError(
+            "stripped stream shorter than the length header"
         )
+    header = bits_to_bytes(bits[:header_bits])
+    n_payload = int.from_bytes(header, "little")
+    total_bits = header_bits + 8 * n_payload
+    if bits.size < total_bits:
+        raise DecodingError(
+            f"length header promises {n_payload} bytes but only "
+            f"{(bits.size - header_bits) // 8} are present"
+        )
+    payload = bits_to_bytes(bits[header_bits:total_bits])
+    return SledZigReceivedPacket(
+        payload=payload,
+        channel=stripped.channel,
+        detection=stripped.detection,
+        mcs=reception.mcs,
+    )
 
 
 def encode_frames(
@@ -259,8 +278,33 @@ def decode_frames(
 ) -> List[bytes]:
     """Batch-decode PPDU waveforms straight to payload bytes.
 
-    Thin convenience over :meth:`SledZigReceiver.receive_frames`, in input
-    order.
+    A full-buffer adapter over the streaming core: each capture goes
+    through :func:`repro.wifi.streaming.sync_capture` as one chunk, then
+    the located frame windows batch-decode through
+    :meth:`SledZigReceiver.receive_frames` with synchronisation pinned.
+    The first frame per capture is returned, in input order; a capture
+    with no decodable frame raises its typed drop cause.
     """
+    from repro.errors import SynchronizationError
+    from repro.wifi.streaming import sync_capture
+
+    chosen = []
+    for waveform in waveforms:
+        windows, drops = sync_capture(waveform)
+        if not windows:
+            if drops:
+                raise drops[0].error
+            raise SynchronizationError("no 802.11 preamble found in capture")
+        chosen.append(windows[0])
     receiver = SledZigReceiver(channel, scrambler_seed)
-    return [pkt.payload for pkt in receiver.receive_frames(waveforms)]
+    groups: Dict[int, List[int]] = {}
+    for idx, window in enumerate(chosen):
+        groups.setdefault(window.data_start, []).append(idx)
+    out: List[Optional[bytes]] = [None] * len(chosen)
+    for data_start, indices in groups.items():
+        packets = receiver.receive_frames(
+            [chosen[i].window for i in indices], data_start=data_start
+        )
+        for row, idx in enumerate(indices):
+            out[idx] = packets[row].payload
+    return out  # type: ignore[return-value]

@@ -1,0 +1,215 @@
+"""Streaming SledZig receive front end + online ZigBee-channel detection.
+
+SledZig frames *are* standard PPDUs, so the streaming chain reuses the
+WiFi stages from :mod:`repro.wifi.streaming` and appends one bit-domain
+stage:
+
+* :class:`SledZigStripStage` — channel detection and extra-bit stripping
+  per decoded frame (the same arithmetic as
+  :func:`repro.sledzig.pipeline.strip_reception`);
+* :class:`OnlineChannelDetector` — the continuous variant of
+  :func:`repro.sledzig.decoder.detect_zigbee_channel`: per-subcarrier
+  power accumulates across every decoded frame of the stream, so the
+  protected-channel decision sharpens as the capture runs instead of
+  resetting at each frame.  Its running ratios are published as
+  telemetry gauges (``sledzig.online.ratio_db.CHn``).
+
+:class:`SledZigStreamReceiver` composes sync → decode → strip into one
+push/flush unit whose output is bit-identical for any chunking of the
+stream (``detection="frame"``, the default, matches the classic
+:class:`~repro.sledzig.pipeline.SledZigReceiver` decision per frame;
+``detection="online"`` uses the accumulated estimate instead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError, DecodingError, ReproError
+from repro.sledzig.channels import OverlapChannel, all_channels, get_channel
+from repro.sledzig.decoder import ChannelDetection, SledZigDecoder
+from repro.sledzig.pipeline import SledZigReceivedPacket, strip_reception
+from repro.streaming.stage import DropEvent, FrameEvent, StreamPipeline
+from repro.wifi.params import data_subcarrier_index
+from repro.wifi.scrambler import DEFAULT_SEED
+from repro.wifi.streaming import (
+    DEFAULT_RING_CAPACITY,
+    WifiDecodeStage,
+    WifiSyncStage,
+)
+
+__all__ = [
+    "OnlineChannelDetector",
+    "SledZigStripStage",
+    "SledZigStreamReceiver",
+]
+
+
+class OnlineChannelDetector:
+    """Running ZigBee-channel detection over a stream of OFDM symbols.
+
+    Accumulates per-subcarrier power sums across every batch of equalised
+    data points it is fed; :meth:`detection` evaluates the same in/out
+    power-ratio rule as :func:`~repro.sledzig.decoder.
+    detect_zigbee_channel`, but over the whole stream so far.  After one
+    frame the two are numerically identical; after N frames the online
+    estimate averages N times more symbols.
+    """
+
+    def __init__(self, threshold_db: float = -4.0) -> None:
+        self.threshold_db = threshold_db
+        self._power_sum = np.zeros(48)
+        self._n_symbols = 0
+
+    @property
+    def n_symbols(self) -> int:
+        """OFDM symbols accumulated so far."""
+        return self._n_symbols
+
+    def update(self, data_points: Sequence[np.ndarray]) -> None:
+        """Fold one frame's per-symbol 48-point arrays into the running sums."""
+        stack = np.stack([np.asarray(p) for p in data_points])
+        if stack.ndim != 2 or stack.shape[1] != 48:
+            raise DecodingError("data_points must be per-symbol arrays of 48 points")
+        self._power_sum += np.sum(np.abs(stack) ** 2, axis=0)
+        self._n_symbols += stack.shape[0]
+        tel = telemetry.current()
+        tel.gauge("sledzig.online.symbols", self._n_symbols)
+        detection = self.detection()
+        for channel, ratio in zip(all_channels(), detection.ratios_db):
+            tel.gauge(f"sledzig.online.ratio_db.{channel.name}", ratio)
+
+    def detection(self) -> ChannelDetection:
+        """The channel decision given everything accumulated so far."""
+        if self._n_symbols == 0:
+            raise DecodingError("no symbols accumulated yet")
+        per_subcarrier = self._power_sum / self._n_symbols
+        ratios: List[float] = []
+        for candidate in all_channels():
+            inside = [data_subcarrier_index(k) for k in candidate.data_subcarriers]
+            outside = [i for i in range(48) if i not in inside]
+            p_in = float(np.mean(per_subcarrier[inside]))
+            p_out = float(np.mean(per_subcarrier[outside]))
+            if p_in <= 0 or p_out <= 0:
+                ratios.append(0.0)
+                continue
+            ratios.append(10.0 * float(np.log10(p_in / p_out)))
+        best = int(np.argmin(ratios))
+        if ratios[best] <= self.threshold_db:
+            return ChannelDetection(all_channels()[best], ratios, self.threshold_db)
+        return ChannelDetection(None, ratios, self.threshold_db)
+
+
+class SledZigStripStage:
+    """Strip extra bits from each decoded WiFi frame of the stream.
+
+    Args:
+        channel: pin the overlap channel (skips detection entirely).
+        detection: ``"frame"`` decides per frame from that frame's
+            constellation (classic behaviour); ``"online"`` feeds every
+            frame into an :class:`OnlineChannelDetector` and strips with
+            the accumulated decision.  Ignored when *channel* is given.
+    """
+
+    name = "strip"
+
+    def __init__(
+        self,
+        channel: "int | str | OverlapChannel | None" = None,
+        detection: str = "frame",
+        threshold_db: float = -4.0,
+    ) -> None:
+        if detection not in ("frame", "online"):
+            raise ConfigurationError(
+                f'detection must be "frame" or "online", got {detection!r}'
+            )
+        self._pinned = get_channel(channel) if channel is not None else None
+        self._mode = detection
+        self.detector = OnlineChannelDetector(threshold_db)
+        self._decoders: Dict[Optional[str], SledZigDecoder] = {}
+
+    def _decoder_for(self, channel: Optional[OverlapChannel]) -> SledZigDecoder:
+        key = channel.name if channel is not None else None
+        if key not in self._decoders:
+            self._decoders[key] = SledZigDecoder(channel)
+        return self._decoders[key]
+
+    def push(self, item: Any) -> List[Any]:
+        if not isinstance(item, FrameEvent):
+            return [item]
+        reception = item.result
+        try:
+            if self._pinned is not None:
+                packet = strip_reception(self._decoder_for(self._pinned), reception)
+            elif self._mode == "frame":
+                packet = strip_reception(self._decoder_for(None), reception)
+            else:
+                self.detector.update(reception.data_points)
+                decision = self.detector.detection()
+                if decision.channel is None:
+                    raise DecodingError(
+                        "no protected ZigBee channel detected in the "
+                        f"accumulated constellation (ratios {decision.ratios_db})"
+                    )
+                packet = strip_reception(
+                    self._decoder_for(decision.channel), reception
+                )
+                packet = SledZigReceivedPacket(
+                    payload=packet.payload,
+                    channel=decision.channel,
+                    detection=decision,
+                    mcs=packet.mcs,
+                )
+        except ReproError as exc:
+            telemetry.current().count(f"sledzig.stream.drop.{type(exc).__name__}")
+            return [
+                DropEvent(
+                    start_sample=item.start_sample, stage=self.name, error=exc
+                )
+            ]
+        telemetry.current().count("sledzig.stream.frames")
+        return [FrameEvent(start_sample=item.start_sample, result=packet)]
+
+    def flush(self) -> List[Any]:
+        return []
+
+
+class SledZigStreamReceiver:
+    """Chunked SledZig receiver: WiFi sync/decode stages plus stripping."""
+
+    def __init__(
+        self,
+        channel: "int | str | OverlapChannel | None" = None,
+        scrambler_seed: int = DEFAULT_SEED,
+        detection: str = "frame",
+        sync_threshold: float = 0.5,
+        capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        self.sync = WifiSyncStage(
+            threshold=sync_threshold, capacity=capacity, ring_name="sledzig"
+        )
+        self.strip = SledZigStripStage(channel=channel, detection=detection)
+        self.pipeline = StreamPipeline(
+            [self.sync, WifiDecodeStage(scrambler_seed), self.strip],
+            "sledzig.stream",
+        )
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Feed one chunk; returns the events it completed."""
+        return self.pipeline.push(chunk)
+
+    def flush(self) -> List[Any]:
+        """End the stream; returns the final events."""
+        return self.pipeline.flush()
+
+    def receive_stream(
+        self, chunks: Iterable[np.ndarray]
+    ) -> Tuple[List[SledZigReceivedPacket], List[DropEvent]]:
+        """Convenience: run a whole chunk iterator, split the outcome."""
+        events = self.pipeline.run(chunks)
+        frames = [e.result for e in events if isinstance(e, FrameEvent)]
+        drops = [e for e in events if isinstance(e, DropEvent)]
+        return frames, drops

@@ -1,0 +1,42 @@
+"""Streaming receive infrastructure: chunked, stateful, constant-memory.
+
+Every receiver in this library originally demanded the entire capture in
+memory before a single frame decoded.  This package provides the layer
+that lifts that limit:
+
+* :class:`~repro.streaming.ring.SampleRing` — a bounded ring buffer over
+  the tail of an unbounded sample stream, addressed by absolute stream
+  position, with occupancy/high-water telemetry gauges;
+* :class:`~repro.streaming.stage.Stage` — the ``push(chunk) -> events`` /
+  ``flush() -> events`` protocol streaming stages implement;
+* :class:`~repro.streaming.stage.StreamPipeline` — stage composition with
+  per-stage telemetry spans and cascaded flush.
+
+The technology-specific front ends live next to their batch receivers:
+:class:`repro.wifi.streaming.WifiStreamReceiver`,
+:class:`repro.zigbee.streaming.ZigbeeStreamReceiver` and
+:class:`repro.sledzig.streaming.SledZigStreamReceiver`.  Their decode
+output is bit-identical for *any* chunking of a capture — including the
+degenerate one-chunk push, which is exactly how the classic full-buffer
+``decode_frames`` entry points are now implemented.
+"""
+
+from repro.streaming.ring import SampleRing
+from repro.streaming.stage import (
+    DropEvent,
+    FrameEvent,
+    Stage,
+    StreamEvent,
+    StreamPipeline,
+    iter_chunks,
+)
+
+__all__ = [
+    "DropEvent",
+    "FrameEvent",
+    "SampleRing",
+    "Stage",
+    "StreamEvent",
+    "StreamPipeline",
+    "iter_chunks",
+]

@@ -1,0 +1,142 @@
+"""Bounded sample ring buffer with absolute stream indexing.
+
+The streaming receivers consume an unbounded sample stream in chunks but
+must hand their decode stages contiguous windows (a WiFi PPDU, a ZigBee
+frame).  :class:`SampleRing` provides exactly that: a fixed-capacity buffer
+addressed by *absolute* stream position, so stage state ("the SIGNAL symbol
+starts at sample 181_440") survives any chunking of the input.
+
+Implementation: a contiguous numpy array with left-compaction.  Appends
+copy each chunk exactly once; when the physical tail is reached, the
+retained window is moved to the front (amortised O(1) per sample, since a
+sample is moved at most once per ``capacity`` appended samples).  A true
+circular layout would save the compaction memmove but force a copy on
+every contiguous read — and reads dominate here.
+
+Memory bound: the buffer never grows.  ``high_water`` records the peak
+retained occupancy; the constant-memory experiments assert it stays flat
+as captures grow, via the ``stream.ring.<name>.high_water`` telemetry
+gauge published on every append.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError, StreamOverflowError
+
+__all__ = ["SampleRing"]
+
+
+class SampleRing:
+    """Fixed-capacity window over the tail of an unbounded sample stream.
+
+    Attributes:
+        capacity: maximum number of retained samples.
+        start: absolute index of the oldest retained sample.
+        end: absolute index one past the newest retained sample.
+        high_water: peak occupancy ever observed (samples).
+    """
+
+    __slots__ = ("_buf", "_offset", "_length", "start", "high_water", "_name")
+
+    def __init__(
+        self,
+        capacity: int,
+        dtype: "np.dtype | type" = np.complex128,
+        name: Optional[str] = None,
+    ) -> None:
+        """Args:
+        capacity: maximum retained samples; appends that would exceed it
+            raise :class:`repro.errors.StreamOverflowError`.
+        dtype: element type (complex baseband by default).
+        name: when given, occupancy and high-water gauges are published as
+            ``stream.ring.<name>.occupancy`` / ``...high_water`` on every
+            append, so run manifests capture the memory profile.
+        """
+        if capacity <= 0:
+            raise ConfigurationError(f"ring capacity must be positive, got {capacity}")
+        self._buf = np.zeros(int(capacity), dtype=dtype)
+        self._offset = 0  # physical index of the oldest retained sample
+        self._length = 0
+        self.start = 0  # absolute stream index of the oldest retained sample
+        self.high_water = 0
+        self._name = name
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._buf.size
+
+    @property
+    def end(self) -> int:
+        """Absolute index one past the newest retained sample."""
+        return self.start + self._length
+
+    @property
+    def occupancy(self) -> int:
+        """Currently retained samples."""
+        return self._length
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Append *chunk* at the stream tail (one copy).
+
+        Raises :class:`StreamOverflowError` if the retained window plus the
+        chunk cannot fit the capacity — the caller must release consumed
+        samples first (a streaming stage that cannot is asking for more
+        lookahead than its declared bound).
+        """
+        arr = np.asarray(chunk, dtype=self._buf.dtype).ravel()
+        if self._length + arr.size > self._buf.size:
+            raise StreamOverflowError(
+                f"ring of {self._buf.size} samples cannot hold "
+                f"{self._length} retained + {arr.size} new samples"
+            )
+        if self._offset + self._length + arr.size > self._buf.size:
+            # Compact: move the retained window to the physical front.
+            self._buf[: self._length] = self._buf[
+                self._offset : self._offset + self._length
+            ]
+            self._offset = 0
+        self._buf[
+            self._offset + self._length : self._offset + self._length + arr.size
+        ] = arr
+        self._length += arr.size
+        if self._length > self.high_water:
+            self.high_water = self._length
+        if self._name is not None:
+            tel = telemetry.current()
+            tel.gauge(f"stream.ring.{self._name}.occupancy", self._length)
+            tel.gauge(f"stream.ring.{self._name}.high_water", self.high_water)
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        """Read-only view of absolute sample range ``[lo, hi)``.
+
+        The range must be retained (``start <= lo <= hi <= end``).  The
+        view aliases the ring storage — copy it before the next append if
+        it must outlive this position of the stream.
+        """
+        if not self.start <= lo <= hi <= self.end:
+            raise ConfigurationError(
+                f"range [{lo}, {hi}) outside retained window "
+                f"[{self.start}, {self.end})"
+            )
+        phys = self._offset + (lo - self.start)
+        return self._buf[phys : phys + (hi - lo)]
+
+    def release(self, up_to: int) -> None:
+        """Discard samples with absolute index below *up_to* (no copy).
+
+        Releasing below ``start`` is a no-op; releasing beyond ``end`` is
+        clamped to ``end`` (the stream position may legitimately skip ahead
+        past a decoded frame whose tail samples have not arrived yet —
+        those samples are dropped on arrival by the caller, not here).
+        """
+        up_to = min(max(up_to, self.start), self.end)
+        drop = up_to - self.start
+        self._offset += drop
+        self._length -= drop
+        self.start = up_to

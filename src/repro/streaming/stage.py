@@ -1,0 +1,191 @@
+"""Stage protocol and pipeline composition for streaming receive chains.
+
+A streaming receive chain is a sequence of *stages*.  Each stage consumes
+items (sample chunks for the first stage, upstream events for the rest),
+carries whatever partial state it needs across calls, and emits zero or
+more events per push:
+
+* ``push(item) -> iterable of events`` — feed one item through the stage;
+* ``flush() -> iterable of events`` — the stream ended; emit everything
+  still decodable from buffered state (and typed drops for what is not).
+
+The composition contract that makes chunking invisible: a stage's output
+must depend only on the *content* of the stream, never on how the content
+was sliced into chunks.  Sync stages achieve this by addressing samples
+with absolute stream positions (see :class:`repro.streaming.ring.
+SampleRing`) and deferring every decision until its full lookahead window
+is buffered (or the stream is flushed).  The chunk-invariance property
+tests (``tests/streaming/test_chunk_invariance.py``) pin this: any
+chunking of a capture, including single-sample pushes and splits in the
+middle of a preamble, decodes bit-identically to a one-chunk push.
+
+:class:`StreamPipeline` composes stages, times each stage under a
+telemetry span (``<prefix>.<stage.name>``) and cascades ``flush()`` so a
+stage's flush output still flows through every downstream stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ReproError
+
+__all__ = [
+    "DropEvent",
+    "FrameEvent",
+    "Stage",
+    "StreamEvent",
+    "StreamPipeline",
+    "iter_chunks",
+]
+
+
+@dataclass
+class StreamEvent:
+    """Base class for everything a streaming stage emits.
+
+    Attributes:
+        start_sample: absolute stream position the event refers to (the
+            first sample of a frame, or where a drop was declared).
+    """
+
+    start_sample: int
+
+
+@dataclass
+class FrameEvent(StreamEvent):
+    """A fully decoded frame.
+
+    Attributes:
+        result: the technology-specific reception object
+            (:class:`~repro.wifi.receiver.WifiReception`,
+            :class:`~repro.zigbee.receiver.ZigbeeReception`, or
+            :class:`~repro.sledzig.pipeline.SledZigReceivedPacket`).
+    """
+
+    result: Any = None
+
+
+@dataclass
+class DropEvent(StreamEvent):
+    """A typed per-frame (or per-candidate) failure.
+
+    Attributes:
+        stage: name of the stage that declared the drop.
+        error: the typed :class:`~repro.errors.ReproError` describing it.
+        cause: the error's class name — the same token the receivers use
+            in their ``*.drop.<cause>`` telemetry counters.
+    """
+
+    stage: str = ""
+    error: Optional[ReproError] = None
+
+    @property
+    def cause(self) -> str:
+        """Class name of the typed error (the drop-cause token)."""
+        return type(self.error).__name__ if self.error is not None else "unknown"
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """Structural protocol every streaming stage implements."""
+
+    name: str
+
+    def push(self, item: Any) -> Iterable[Any]:
+        """Feed one item; return the events it produced."""
+        ...
+
+    def flush(self) -> Iterable[Any]:
+        """End of stream; drain buffered state into final events."""
+        ...
+
+
+class StreamPipeline:
+    """Compose stages into one push/flush unit with per-stage telemetry.
+
+    ``push(chunk)`` feeds the chunk to the first stage and threads every
+    produced event through the remaining stages in order.  ``flush()``
+    flushes stage *i*, runs its output through stages ``i+1..``, then
+    flushes stage ``i+1`` — so buffered tail state anywhere in the chain
+    still reaches the pipeline output.
+    """
+
+    def __init__(self, stages: Sequence[Stage], telemetry_prefix: str) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+        self._prefix = telemetry_prefix
+
+    def _through(self, items: List[Any], first_stage: int) -> List[Any]:
+        """Thread *items* through stages ``first_stage..`` in order."""
+        tel = telemetry.current()
+        for stage in self.stages[first_stage:]:
+            if not items:
+                break
+            produced: List[Any] = []
+            with tel.span(f"{self._prefix}.{stage.name}"):
+                for item in items:
+                    produced.extend(stage.push(item))
+            items = produced
+        return items
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Feed one sample chunk through the whole chain."""
+        tel = telemetry.current()
+        with tel.span(f"{self._prefix}.{self.stages[0].name}"):
+            items = list(self.stages[0].push(chunk))
+        return self._through(items, 1)
+
+    def flush(self) -> List[Any]:
+        """End of stream: cascade ``flush()`` down the chain.
+
+        Stage *i*'s flush output still passes through stages ``i+1..``
+        (as ordinary pushes) before stage ``i+1``'s own flush runs, so
+        event order matches the stream order end to end.
+        """
+        tel = telemetry.current()
+        out: List[Any] = []
+        for index, stage in enumerate(self.stages):
+            with tel.span(f"{self._prefix}.{stage.name}"):
+                produced = list(stage.flush())
+            out.extend(self._through(produced, index + 1))
+        return out
+
+    def run(self, chunks: Iterable[np.ndarray]) -> List[Any]:
+        """Convenience: push every chunk, flush, return all events."""
+        events: List[Any] = []
+        for chunk in chunks:
+            events.extend(self.push(chunk))
+        events.extend(self.flush())
+        return events
+
+
+def iter_chunks(
+    waveform: np.ndarray, sizes: "int | Sequence[int]"
+) -> Iterable[np.ndarray]:
+    """Split a full capture into chunks for feeding a pipeline.
+
+    *sizes* is either one fixed chunk length or an explicit sequence of
+    lengths (the property tests draw pathological sequences here); a
+    trailing remainder shorter than the requested size is yielded as-is,
+    and an exhausted explicit sequence falls back to its last size.
+    """
+    arr = np.asarray(waveform).ravel()
+    if np.ndim(sizes) == 0:
+        plan = [int(sizes)]
+    else:
+        plan = [int(s) for s in sizes]
+    if any(s <= 0 for s in plan):
+        raise ValueError(f"chunk sizes must be positive, got {plan}")
+    pos = 0
+    index = 0
+    while pos < arr.size:
+        size = plan[index] if index < len(plan) else plan[-1]
+        yield arr[pos : pos + size]
+        pos += size
+        index += 1

@@ -90,6 +90,13 @@ from repro.wifi.puncture import (
 )
 from repro.wifi.receiver import WifiReceiver, WifiReception, decode_frames
 from repro.wifi.scrambler import DEFAULT_SEED, Scrambler, descramble, scramble
+from repro.wifi.streaming import (
+    WifiDecodeStage,
+    WifiFrameWindow,
+    WifiStreamReceiver,
+    WifiSyncStage,
+    sync_capture,
+)
 from repro.wifi.signal_field import (
     RATE_CODES,
     build_signal_bits,

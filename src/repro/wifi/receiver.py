@@ -28,7 +28,12 @@ from repro.dsp.ofdm import extract_subcarriers_batch, waveform_to_spectra
 from repro.dsp.qam import demodulate_hard_batch, demodulate_soft_batch
 from repro.dsp.scrambling import scramble_batch
 from repro.dsp.trellis import viterbi_decode_batch, viterbi_decode_soft_batch
-from repro.errors import DecodingError, InvalidWaveformError, ReproError
+from repro.errors import (
+    DecodingError,
+    InvalidWaveformError,
+    ReproError,
+    SynchronizationError,
+)
 from repro.wifi.params import SAMPLE_RATE_HZ, Mcs
 from repro.wifi.ppdu import (
     SERVICE_BITS,
@@ -376,10 +381,43 @@ def decode_frames(
 ) -> List[np.ndarray]:
     """Batch-decode PPDU waveforms straight to PSDU bit arrays.
 
-    Thin convenience over :meth:`WifiReceiver.receive_frames`; keyword
-    arguments are forwarded (``soft=``, ``equalise=``, ...).
+    A full-buffer adapter over the streaming core: each capture goes
+    through :func:`repro.wifi.streaming.sync_capture` as one chunk (the
+    degenerate chunking), then every located frame window batch-decodes
+    through :meth:`WifiReceiver.receive_frames` — so the bit-domain
+    engine still amortises across frames.  Keyword arguments are
+    forwarded (``soft=``, ``equalise=``, ...); the first frame per
+    capture is returned, and a capture with no decodable frame raises its
+    typed drop cause (scalar semantics, as before).
     """
     receiver = WifiReceiver(scrambler_seed)
-    return [
-        rec.psdu_bits for rec in receiver.receive_frames(waveforms, **kwargs)
-    ]
+    if kwargs.get("data_start") is not None:
+        return [
+            rec.psdu_bits for rec in receiver.receive_frames(waveforms, **kwargs)
+        ]
+    kwargs.pop("data_start", None)
+    from repro.wifi.streaming import sync_capture
+
+    chosen = []
+    for waveform in waveforms:
+        windows, drops = sync_capture(
+            waveform,
+            equalise=bool(kwargs.get("equalise", True)),
+            correct_cfo=bool(kwargs.get("correct_cfo", True)),
+        )
+        if not windows:
+            if drops:
+                raise drops[0].error
+            raise SynchronizationError("no 802.11 preamble found in capture")
+        chosen.append(windows[0])
+    groups: Dict[int, List[int]] = {}
+    for idx, window in enumerate(chosen):
+        groups.setdefault(window.data_start, []).append(idx)
+    out: List[Optional[np.ndarray]] = [None] * len(chosen)
+    for data_start, indices in groups.items():
+        receptions = receiver.receive_frames(
+            [chosen[i].window for i in indices], data_start=data_start, **kwargs
+        )
+        for row, idx in enumerate(indices):
+            out[idx] = receptions[row].psdu_bits
+    return out  # type: ignore[return-value]

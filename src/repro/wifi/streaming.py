@@ -1,0 +1,472 @@
+"""Streaming 802.11 OFDM receive front end (chunked, constant memory).
+
+Splits the receive chain into two :class:`repro.streaming.stage.Stage`\\ s:
+
+* :class:`WifiSyncStage` — owns a bounded :class:`~repro.streaming.ring.
+  SampleRing` and a sync state machine.  It correlates incoming chunks
+  against the known LTS incrementally (absolute stream positions, partial
+  windows carried across chunk boundaries), probes each candidate's
+  SIGNAL symbol for the frame length, and emits one
+  :class:`WifiFrameWindow` per fully buffered PPDU.
+* :class:`WifiDecodeStage` — decodes each window through the standard
+  :class:`~repro.wifi.receiver.WifiReceiver` chain (sync is already
+  pinned, so the decode arithmetic is byte-for-byte the batch path's).
+
+Chunk invariance: every decision is deferred until the stage's full
+lookahead window is buffered (or the stream is flushed), and every
+correlation value is an independent, position-local dot product — so any
+chunking of a capture, including single-sample pushes, yields
+bit-identical events to a one-chunk push.  The classic full-buffer
+``decode_frames`` is exactly that one-chunk push (plus cross-frame
+batching of the bit domain).
+
+Unlike :func:`repro.wifi.preamble.detect_preamble` — which takes the
+*global* correlation argmax and therefore needs the whole capture — the
+streaming sync rule is local: the earliest threshold crossing, refined to
+the strongest peak within one preamble's lookahead.  On a capture holding
+one clean frame the two rules agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import (
+    DecodingError,
+    InvalidWaveformError,
+    ReproError,
+    StreamOverflowError,
+    TruncatedFrameError,
+)
+from repro.streaming.ring import SampleRing
+from repro.streaming.stage import DropEvent, FrameEvent, StreamPipeline
+from repro.wifi.ofdm import waveform_to_spectra
+from repro.wifi.params import Mcs, get_mcs
+from repro.wifi.ppdu import DataFieldLayout, plan_data_field
+from repro.wifi.preamble import PREAMBLE_LENGTH, lts_reference_symbol
+from repro.wifi.receiver import WifiReceiver, WifiReception
+from repro.wifi.scrambler import DEFAULT_SEED
+from repro.wifi.signal_field import decode_signal_symbol
+
+__all__ = [
+    "WifiFrameWindow",
+    "WifiSyncStage",
+    "WifiDecodeStage",
+    "WifiStreamReceiver",
+    "DEFAULT_RING_CAPACITY",
+]
+
+#: Samples per OFDM symbol (80 = 64-point FFT + 16 cyclic prefix).
+_SYMBOL_SAMPLES: int = 80
+
+#: Metric positions examined after a threshold crossing to find the LTS
+#: peak (covers both LTS repetitions with margin).
+_REFINE_WINDOW: int = 160
+
+#: Extra metric lookahead past the refine window: the twin-peak test reads
+#: ``metric[peak + 64]`` for a peak anywhere in the refine window.
+_CONFIRM_SPAN: int = _REFINE_WINDOW + 64
+
+#: Samples retained behind the search cursor so a detection at the cursor
+#: can still reach back to the start of its preamble.
+_SEARCH_LOOKBACK: int = PREAMBLE_LENGTH
+
+#: Default ring capacity: the longest legal PPDU (4095-octet PSDU at the
+#: lowest supported rate, ~110k samples) plus headroom, as a power of two.
+DEFAULT_RING_CAPACITY: int = 1 << 17
+
+#: States of the sync machine.
+_SEARCH, _CONFIRM, _WANT_SIGNAL, _WANT_FRAME = range(4)
+
+
+@dataclass
+class WifiFrameWindow:
+    """One fully buffered PPDU, cut out of the stream and ready to decode.
+
+    Attributes:
+        start_sample: absolute stream index of the window's first sample.
+        window: the samples (an owned copy — it outlives the ring).
+        data_start: SIGNAL-symbol offset *within the window* (320 when the
+            full preamble is present; less only when the frame started
+            before the stream did).
+        mcs: MCS announced by the SIGNAL probe.
+        layout: DATA-field layout implied by the SIGNAL LENGTH.
+    """
+
+    start_sample: int
+    window: np.ndarray
+    data_start: int
+    mcs: Mcs
+    layout: DataFieldLayout
+
+
+def _preamble_metric(arr: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Normalised LTS correlation metric for every position in *arr*.
+
+    Identical arithmetic to :func:`repro.wifi.preamble.detect_preamble`:
+    each output is an independent dot product over one ``ref``-length
+    window, so evaluating a slice of the stream yields bit-identical
+    values to evaluating the full capture.
+    """
+    corr = np.abs(np.correlate(arr, ref, mode="valid"))
+    energy = np.sqrt(np.convolve(np.abs(arr) ** 2, np.ones(ref.size), mode="valid"))
+    ref_energy = np.sqrt(np.sum(np.abs(ref) ** 2))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(energy > 0, corr / (energy * ref_energy), 0.0)
+
+
+def probe_signal(
+    arr: np.ndarray,
+    data_start: int,
+    equalise: bool = True,
+    correct_cfo: bool = True,
+) -> Tuple[Mcs, DataFieldLayout]:
+    """Decode just the SIGNAL symbol of a synchronised PPDU prefix.
+
+    *arr* must cover the preamble (as far back as available) through the
+    end of the SIGNAL symbol (``data_start + 80``).  Mirrors the front
+    end's preamble handling exactly — same CFO estimate, same channel
+    estimate — so the announced (MCS, layout) always matches what the full
+    decode will see.
+    """
+    if not np.all(np.isfinite(arr[: data_start + _SYMBOL_SAMPLES])):
+        raise InvalidWaveformError("waveform contains NaN or Inf samples")
+    if correct_cfo and data_start >= PREAMBLE_LENGTH:
+        cfo_hz = WifiReceiver.estimate_cfo(arr, data_start)
+        if abs(cfo_hz) > 1.0:
+            from repro.wifi.params import SAMPLE_RATE_HZ
+
+            n = np.arange(arr.size)
+            arr = arr * np.exp(-2j * np.pi * cfo_hz * n / SAMPLE_RATE_HZ)
+    channel = WifiReceiver._estimate_channel(arr, data_start) if equalise else None
+    signal_spec = waveform_to_spectra(arr, 1, offset=data_start)[0]
+    if channel is not None:
+        signal_spec = WifiReceiver._apply_equaliser(signal_spec, channel)
+    mcs, length_octets = decode_signal_symbol(signal_spec)
+    return mcs, plan_data_field(length_octets * 8, mcs)
+
+
+class WifiSyncStage:
+    """Incremental preamble search + SIGNAL length probe + window cutter."""
+
+    name = "sync"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        equalise: bool = True,
+        correct_cfo: bool = True,
+        ring_name: str = "wifi",
+    ) -> None:
+        self.threshold = threshold
+        self.equalise = equalise
+        self.correct_cfo = correct_cfo
+        self.ring = SampleRing(capacity, name=ring_name)
+        self._ref = lts_reference_symbol()
+        self._state = _SEARCH
+        self._search_pos = 0  # next metric position to evaluate
+        self._candidate = 0  # threshold-crossing position (CONFIRM)
+        self._data_start = 0  # absolute SIGNAL start (WANT_SIGNAL/WANT_FRAME)
+        self._mcs: Optional[Mcs] = None
+        self._layout: Optional[DataFieldLayout] = None
+        self._frame_end = 0
+
+    # -- event helpers ---------------------------------------------------
+
+    def _drop(self, error: ReproError, at: int) -> DropEvent:
+        telemetry.current().count(f"wifi.stream.drop.{type(error).__name__}")
+        return DropEvent(start_sample=at, stage=self.name, error=error)
+
+    def _window_start(self) -> int:
+        """First sample of the candidate frame's window (preamble start,
+        clamped to what the stream ever contained)."""
+        return max(self.ring.start, self._data_start - PREAMBLE_LENGTH)
+
+    def _resume_search(self, at: int) -> None:
+        """Abandon the current candidate and search again from *at*."""
+        self._state = _SEARCH
+        self._search_pos = at
+        self._mcs = None
+        self._layout = None
+        self.ring.release(at - _SEARCH_LOOKBACK)
+
+    # -- core ------------------------------------------------------------
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Ingest one chunk (any size) and emit what it completes."""
+        arr = np.asarray(chunk, dtype=np.complex128).ravel()
+        events: List[Any] = []
+        pos = 0
+        while pos < arr.size:
+            free = self.ring.capacity - self.ring.occupancy
+            if free == 0:
+                # Nothing consumable and no room: the pending frame plus
+                # lookback exceeds the ring — drop it and move on.
+                events.append(
+                    self._drop(
+                        StreamOverflowError(
+                            f"pending frame needs more than the ring's "
+                            f"{self.ring.capacity}-sample bound"
+                        ),
+                        self._window_start(),
+                    )
+                )
+                self._resume_search(self.ring.end)
+                free = self.ring.capacity - self.ring.occupancy
+            take = min(free, arr.size - pos)
+            self.ring.append(arr[pos : pos + take])
+            pos += take
+            events.extend(self._advance(final=False))
+        return events
+
+    def flush(self) -> List[Any]:
+        """End of stream: resolve what is resolvable, drop typed tails."""
+        events = list(self._advance(final=True))
+        if self._state in (_WANT_SIGNAL, _WANT_FRAME):
+            events.append(
+                self._drop(
+                    TruncatedFrameError(
+                        f"stream ended {self._frame_end - self.ring.end} "
+                        f"samples short of the frame at {self._window_start()}"
+                        if self._state == _WANT_FRAME
+                        else "stream ended inside a preamble, before the "
+                        "SIGNAL symbol arrived"
+                    ),
+                    self._window_start(),
+                )
+            )
+        self._resume_search(self.ring.end)
+        return events
+
+    def _advance(self, final: bool) -> Iterable[Any]:
+        """Run the state machine as far as buffered samples allow."""
+        events: List[Any] = []
+        ref_size = self._ref.size
+        while True:
+            end = self.ring.end
+            if self._state == _SEARCH:
+                evaluable = end - ref_size + 1  # metric needs [p, p + ref)
+                if evaluable <= self._search_pos:
+                    return events
+                metric = _preamble_metric(
+                    self.ring.view(self._search_pos, end), self._ref
+                )
+                hits = metric >= self.threshold
+                if not hits.any():
+                    self._search_pos = evaluable
+                    self.ring.release(self._search_pos - _SEARCH_LOOKBACK)
+                    return events
+                self._candidate = self._search_pos + int(np.argmax(hits))
+                self._search_pos = self._candidate
+                self._state = _CONFIRM
+            elif self._state == _CONFIRM:
+                # Need metric positions [c, c + _CONFIRM_SPAN) — i.e.
+                # samples through c + span + ref - 1 — before committing.
+                have_all = end >= self._candidate + _CONFIRM_SPAN + ref_size - 1
+                if not have_all and not final:
+                    return events
+                hi = min(self._candidate + _CONFIRM_SPAN + ref_size - 1, end)
+                metric = _preamble_metric(
+                    self.ring.view(self._candidate, hi), self._ref
+                )
+                if metric.size == 0:
+                    return events  # flush with < one ref of tail: nothing
+                window = metric[: min(_REFINE_WINDOW, metric.size)]
+                peak_rel = int(np.argmax(window))
+                second_rel = peak_rel + 64
+                if (
+                    second_rel < metric.size
+                    and metric[second_rel] > self.threshold
+                ):
+                    self._data_start = self._candidate + second_rel + 64
+                else:
+                    self._data_start = self._candidate + peak_rel + 64
+                self._state = _WANT_SIGNAL
+            elif self._state == _WANT_SIGNAL:
+                needed = self._data_start + _SYMBOL_SAMPLES
+                if end < needed:
+                    if not final:
+                        return events
+                    return events  # flush() emits the truncation drop
+                ws = self._window_start()
+                try:
+                    self._mcs, self._layout = probe_signal(
+                        self.ring.view(ws, needed),
+                        self._data_start - ws,
+                        equalise=self.equalise,
+                        correct_cfo=self.correct_cfo,
+                    )
+                except ReproError as exc:
+                    events.append(self._drop(exc, ws))
+                    self._resume_search(self._data_start)
+                    continue
+                self._frame_end = (
+                    self._data_start
+                    + _SYMBOL_SAMPLES * (1 + self._layout.n_symbols)
+                )
+                if self._frame_end - ws > self.ring.capacity:
+                    events.append(
+                        self._drop(
+                            StreamOverflowError(
+                                f"frame of {self._frame_end - ws} samples "
+                                f"exceeds the {self.ring.capacity}-sample "
+                                f"ring bound"
+                            ),
+                            ws,
+                        )
+                    )
+                    self._resume_search(self._data_start)
+                    continue
+                self._state = _WANT_FRAME
+            elif self._state == _WANT_FRAME:
+                if end < self._frame_end:
+                    return events  # flush() emits the truncation drop
+                ws = self._window_start()
+                telemetry.current().count("wifi.stream.frames")
+                events.append(
+                    WifiFrameWindow(
+                        start_sample=ws,
+                        window=np.array(self.ring.view(ws, self._frame_end)),
+                        data_start=self._data_start - ws,
+                        mcs=self._mcs,
+                        layout=self._layout,
+                    )
+                )
+                self._resume_search(self._frame_end)
+
+
+def sync_capture(
+    waveform: np.ndarray,
+    threshold: float = 0.5,
+    capacity: int = DEFAULT_RING_CAPACITY,
+    equalise: bool = True,
+    correct_cfo: bool = True,
+) -> Tuple[List[WifiFrameWindow], List[DropEvent]]:
+    """Streaming sync over one full capture (the one-chunk push).
+
+    This is the full-buffer adapter's core: the classic ``decode_frames``
+    runs this per capture, then batch-decodes the collected windows.  A
+    capture of NaN/Inf samples is reported as an
+    :class:`~repro.errors.InvalidWaveformError` drop, matching the batch
+    receiver's front-end check.
+    """
+    stage = WifiSyncStage(
+        threshold=threshold,
+        capacity=capacity,
+        equalise=equalise,
+        correct_cfo=correct_cfo,
+    )
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    if not np.all(np.isfinite(arr)):
+        error = InvalidWaveformError("waveform contains NaN or Inf samples")
+        return [], [stage._drop(error, 0)]
+    events = list(stage.push(arr)) + list(stage.flush())
+    windows = [e for e in events if isinstance(e, WifiFrameWindow)]
+    drops = [e for e in events if isinstance(e, DropEvent)]
+    return windows, drops
+
+
+class WifiDecodeStage:
+    """Decode each :class:`WifiFrameWindow` through the standard chain."""
+
+    name = "decode"
+
+    def __init__(
+        self,
+        scrambler_seed: int = DEFAULT_SEED,
+        equalise: bool = True,
+        soft: bool = False,
+        correct_cfo: bool = True,
+        track_phase: bool = True,
+    ) -> None:
+        self._receiver = WifiReceiver(scrambler_seed)
+        self._options = dict(
+            equalise=equalise,
+            soft=soft,
+            correct_cfo=correct_cfo,
+            track_phase=track_phase,
+        )
+
+    def push(self, item: Any) -> List[Any]:
+        if not isinstance(item, WifiFrameWindow):
+            return [item]  # pass upstream drops through
+        try:
+            reception = self._receiver.receive_frames(
+                [item.window], data_start=item.data_start, **self._options
+            )[0]
+        except ReproError as exc:
+            telemetry.current().count(f"wifi.stream.drop.{type(exc).__name__}")
+            return [
+                DropEvent(
+                    start_sample=item.start_sample, stage=self.name, error=exc
+                )
+            ]
+        return [FrameEvent(start_sample=item.start_sample, result=reception)]
+
+    def flush(self) -> List[Any]:
+        return []
+
+
+class WifiStreamReceiver:
+    """Chunked 802.11 receiver: push sample chunks, collect receptions.
+
+    The streaming counterpart of :class:`~repro.wifi.receiver.
+    WifiReceiver`: feed arbitrarily sliced complex baseband chunks with
+    :meth:`push`, finish with :meth:`flush`.  Events are
+    :class:`~repro.streaming.stage.FrameEvent`\\ s carrying
+    :class:`~repro.wifi.receiver.WifiReception` results and typed
+    :class:`~repro.streaming.stage.DropEvent`\\ s; output is bit-identical
+    for any chunking of the same stream.
+    """
+
+    def __init__(
+        self,
+        scrambler_seed: int = DEFAULT_SEED,
+        sync_threshold: float = 0.5,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        equalise: bool = True,
+        soft: bool = False,
+        correct_cfo: bool = True,
+        track_phase: bool = True,
+    ) -> None:
+        self.sync = WifiSyncStage(
+            threshold=sync_threshold,
+            capacity=capacity,
+            equalise=equalise,
+            correct_cfo=correct_cfo,
+        )
+        self.pipeline = StreamPipeline(
+            [
+                self.sync,
+                WifiDecodeStage(
+                    scrambler_seed,
+                    equalise=equalise,
+                    soft=soft,
+                    correct_cfo=correct_cfo,
+                    track_phase=track_phase,
+                ),
+            ],
+            "wifi.stream",
+        )
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Feed one chunk; returns the events it completed."""
+        return self.pipeline.push(chunk)
+
+    def flush(self) -> List[Any]:
+        """End the stream; returns the final events."""
+        return self.pipeline.flush()
+
+    def receive_stream(
+        self, chunks: Iterable[np.ndarray]
+    ) -> Tuple[List[WifiReception], List[DropEvent]]:
+        """Convenience: run a whole chunk iterator, split the outcome."""
+        events = self.pipeline.run(chunks)
+        frames = [e.result for e in events if isinstance(e, FrameEvent)]
+        drops = [e for e in events if isinstance(e, DropEvent)]
+        return frames, drops

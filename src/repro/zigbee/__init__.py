@@ -40,6 +40,13 @@ from repro.zigbee.params import (
     SYMBOL_RATE_HZ,
 )
 from repro.zigbee.receiver import ZigbeeReceiver, ZigbeeReception, decode_frames
+from repro.zigbee.streaming import (
+    ZigbeeDecodeStage,
+    ZigbeeFrameWindow,
+    ZigbeeStreamReceiver,
+    ZigbeeSyncStage,
+    sync_capture,
+)
 from repro.zigbee.transmitter import (
     ZigbeeTransmission,
     ZigbeeTransmitter,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DecodingError
+from repro.errors import ConfigurationError, DecodingError, TruncatedFrameError
 from repro.utils.bits import bits_to_bytes, bytes_to_bits
 from repro.zigbee.params import (
     BITS_PER_SYMBOL,
@@ -84,7 +84,7 @@ def parse_ppdu_bits(bits: np.ndarray, max_bad_preamble_symbols: int = 3) -> Zigb
     start = header + 16
     end = start + 8 * length
     if arr.size < end:
-        raise DecodingError(
+        raise TruncatedFrameError(
             f"PHR announces {length} octets but the stream holds fewer bits"
         )
     return ZigbeeFrame(psdu=bits_to_bytes(arr[start:end]))

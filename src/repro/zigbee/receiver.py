@@ -22,6 +22,7 @@ from repro.errors import (
     InvalidWaveformError,
     ReproError,
     SynchronizationError,
+    TruncatedFrameError,
 )
 from repro.zigbee.chips import chip_table
 from repro.zigbee.frame import ZigbeeFrame, parse_ppdu_bits
@@ -215,18 +216,20 @@ class ZigbeeReceiver:
 
         A capture too short for its announced chip count is a per-frame
         failure: under ``on_error="none"`` the frame is dropped (counted as
-        a :class:`DecodingError`) and the rest of the batch decodes; under
-        ``"raise"`` the typed error propagates — either way one truncated
-        capture can no longer poison its whole batch.
+        a :class:`TruncatedFrameError`) and the rest of the batch decodes;
+        under ``"raise"`` the typed error propagates — either way one
+        truncated capture can no longer poison its whole batch.
         """
         rows: List[np.ndarray] = []
         kept: List[int] = []
         for idx in indices:
             chunk = arrs[idx][starts[idx] : starts[idx] + needed]
             if chunk.size < needed:
-                tel.count("zigbee.rx.drop.DecodingError")
+                tel.count("zigbee.rx.drop.TruncatedFrameError")
                 if on_error == "raise":
-                    raise DecodingError("waveform too short for requested chips")
+                    raise TruncatedFrameError(
+                        "waveform too short for requested chips"
+                    )
                 continue
             rows.append(chunk)
             kept.append(idx)
@@ -346,7 +349,24 @@ class ZigbeeReceiver:
 def decode_frames(waveforms: Sequence[np.ndarray]) -> List[bytes]:
     """Batch-decode O-QPSK waveforms straight to PSDU octet strings.
 
-    Thin convenience over :meth:`ZigbeeReceiver.receive_frames`, in input
-    order.
+    A full-buffer adapter over the streaming core: each capture goes
+    through :func:`repro.zigbee.streaming.sync_capture` as one chunk,
+    then the exact-length frame windows batch-decode through
+    :meth:`ZigbeeReceiver.receive_frames` (which still groups equal chip
+    counts into one matched-filter/DSSS pass).  The first frame per
+    capture is returned, in input order; a capture with no decodable
+    frame raises its typed drop cause.
     """
-    return [rx.frame.psdu for rx in ZigbeeReceiver().receive_frames(waveforms)]
+    from repro.zigbee.streaming import sync_capture
+
+    windows: List[np.ndarray] = []
+    for waveform in waveforms:
+        found, drops = sync_capture(waveform)
+        if not found:
+            if drops:
+                raise drops[0].error
+            raise SynchronizationError("no 802.15.4 preamble found in capture")
+        windows.append(found[0].window)
+    receiver = ZigbeeReceiver()
+    receptions = receiver.receive_frames(windows, [0] * len(windows))
+    return [rx.frame.psdu for rx in receptions]

@@ -1,0 +1,404 @@
+"""Streaming 802.15.4 receive front end (chunked, constant memory).
+
+Mirrors :mod:`repro.wifi.streaming` for the ZigBee chain:
+
+* :class:`ZigbeeSyncStage` — incremental preamble correlation over a
+  bounded :class:`~repro.streaming.ring.SampleRing`, a 12-symbol header
+  despread to learn the PHR length, and exact-length frame windows cut
+  out of the stream;
+* :class:`ZigbeeDecodeStage` — each window decoded through the standard
+  :class:`~repro.zigbee.receiver.ZigbeeReceiver` batch chain.
+
+The legacy :meth:`~repro.zigbee.receiver.ZigbeeReceiver._synchronise`
+rule — earliest threshold crossing, refined to the strongest metric
+within half a symbol — is already local, so the streaming stage computes
+the *same* metric at the *same* absolute positions and locks to the same
+sample for any chunking of the capture.  The despread is symbol-local
+(matched filter + per-symbol PN correlation), so decoding an
+exact-length window is bit-identical to the legacy despread-everything-
+available path.
+
+A frame whose last sample coincides with the end of the capture decodes
+normally at ``flush()``; a frame whose tail is genuinely missing is
+surfaced as a typed :class:`~repro.errors.TruncatedFrameError` drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.dsp.dsss import despread_batch
+from repro.dsp.oqpsk import demodulate_chips_batch
+from repro.errors import (
+    DecodingError,
+    InvalidWaveformError,
+    ReproError,
+    StreamOverflowError,
+    TruncatedFrameError,
+)
+from repro.streaming.ring import SampleRing
+from repro.streaming.stage import DropEvent, FrameEvent, StreamPipeline
+from repro.utils.bits import bits_to_bytes
+from repro.zigbee.chips import chip_table
+from repro.zigbee.params import (
+    BITS_PER_SYMBOL,
+    CHIPS_PER_SYMBOL,
+    PREAMBLE_SYMBOLS,
+    SAMPLES_PER_CHIP,
+    SFD_OCTET,
+)
+from repro.zigbee.receiver import (
+    _SYNC_SEGMENT_SAMPLES,
+    ZigbeeReceiver,
+    ZigbeeReception,
+)
+
+__all__ = [
+    "ZigbeeFrameWindow",
+    "ZigbeeSyncStage",
+    "ZigbeeDecodeStage",
+    "ZigbeeStreamReceiver",
+    "DEFAULT_RING_CAPACITY",
+]
+
+#: Samples of one despread symbol (32 chips at 4 samples/chip).
+_SYMBOL_SAMPLES: int = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP
+
+#: Header symbols that must despread before the frame length is known:
+#: SHR (8 preamble + 2 SFD) + PHR (2).
+_HEADER_SYMBOLS: int = PREAMBLE_SYMBOLS + 2 + 2
+
+#: Metric positions examined after a threshold crossing (half a symbol,
+#: the legacy ``_synchronise`` refinement window).
+_REFINE_WINDOW: int = _SYMBOL_SAMPLES // 2
+
+#: Default ring capacity: the longest frame (127-octet PSDU, ~34k
+#: samples) plus headroom, as a power of two.
+DEFAULT_RING_CAPACITY: int = 1 << 16
+
+#: States of the sync machine.
+_SEARCH, _CONFIRM, _WANT_HEADER, _WANT_FRAME = range(4)
+
+
+def _samples_for_chips(n_chips: int) -> int:
+    """Samples the matched filter reads to demodulate *n_chips* chips.
+
+    ``demodulate_chips_batch`` reads half-pulse pairs plus one trailing
+    Q-rail offset: ``n_chips * 4 + 4`` samples.
+    """
+    from repro.dsp.oqpsk import PULSE_SAMPLES
+
+    return (n_chips // 2) * PULSE_SAMPLES + SAMPLES_PER_CHIP
+
+
+def _sync_reference() -> np.ndarray:
+    """One modulated symbol-0 (the legacy sync correlator's reference)."""
+    from repro.zigbee.oqpsk import modulate_chips
+
+    return modulate_chips(chip_table()[0])[:_SYMBOL_SAMPLES]
+
+
+def _sync_metric(arr: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """The segmented, CFO-tolerant sync metric of ``_synchronise``.
+
+    Position-local (each value reads exactly ``ref.size`` samples), so a
+    slice of the stream evaluates bit-identically to the full capture.
+    """
+    n_valid = arr.size - ref.size + 1
+    if n_valid <= 0:
+        return np.zeros(0)
+    corr = np.zeros(n_valid)
+    for seg in range(0, ref.size, _SYNC_SEGMENT_SAMPLES):
+        seg_corr = np.correlate(
+            arr[seg:], ref[seg : seg + _SYNC_SEGMENT_SAMPLES], mode="valid"
+        )
+        corr += np.abs(seg_corr[:n_valid])
+    energy = np.sqrt(np.convolve(np.abs(arr) ** 2, np.ones(ref.size), mode="valid"))
+    ref_energy = float(np.sqrt(np.sum(np.abs(ref) ** 2)))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(energy > 0, corr / (energy * ref_energy), 0.0)
+
+
+def _parse_header_bits(bits: np.ndarray) -> int:
+    """PSDU length from 12 despread header symbols (48 bits).
+
+    Same acceptance rules as :func:`repro.zigbee.frame.parse_ppdu_bits`:
+    up to three corrupt preamble symbols tolerated, SFD exact.
+    """
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    header = PREAMBLE_SYMBOLS * BITS_PER_SYMBOL
+    preamble_symbols = arr[:header].reshape(PREAMBLE_SYMBOLS, BITS_PER_SYMBOL)
+    bad = int(np.count_nonzero(preamble_symbols.any(axis=1)))
+    if bad > 3:
+        raise DecodingError(
+            f"{bad} of {PREAMBLE_SYMBOLS} preamble symbols corrupted (tolerance 3)"
+        )
+    sfd = bits_to_bytes(arr[header : header + 8])[0]
+    if sfd != SFD_OCTET:
+        raise DecodingError(f"SFD mismatch: got {sfd:#04x}, want {SFD_OCTET:#04x}")
+    return bits_to_bytes(arr[header + 8 : header + 16])[0] & 0x7F
+
+
+@dataclass
+class ZigbeeFrameWindow:
+    """One fully buffered ZigBee frame, cut to its exact announced length.
+
+    Attributes:
+        start_sample: absolute stream index of the frame's first sample.
+        window: the samples (an owned copy), exactly the announced frame.
+        psdu_octets: PHR length decoded by the header probe.
+    """
+
+    start_sample: int
+    window: np.ndarray
+    psdu_octets: int
+
+
+class ZigbeeSyncStage:
+    """Incremental preamble search + PHR length probe + window cutter."""
+
+    name = "sync"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        ring_name: str = "zigbee",
+    ) -> None:
+        self.threshold = threshold
+        self.ring = SampleRing(capacity, name=ring_name)
+        self._ref = _sync_reference()
+        self._state = _SEARCH
+        self._search_pos = 0
+        self._candidate = 0  # threshold-crossing position (CONFIRM)
+        self._frame_start = 0  # refined peak (WANT_HEADER/WANT_FRAME)
+        self._frame_end = 0
+        self._psdu_octets = 0
+
+    def _drop(self, error: ReproError, at: int) -> DropEvent:
+        telemetry.current().count(f"zigbee.stream.drop.{type(error).__name__}")
+        return DropEvent(start_sample=at, stage=self.name, error=error)
+
+    def _resume_search(self, at: int) -> None:
+        self._state = _SEARCH
+        self._search_pos = at
+        self.ring.release(at)
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Ingest one chunk (any size) and emit what it completes."""
+        arr = np.asarray(chunk, dtype=np.complex128).ravel()
+        events: List[Any] = []
+        pos = 0
+        while pos < arr.size:
+            free = self.ring.capacity - self.ring.occupancy
+            if free == 0:
+                events.append(
+                    self._drop(
+                        StreamOverflowError(
+                            f"pending frame needs more than the ring's "
+                            f"{self.ring.capacity}-sample bound"
+                        ),
+                        self._frame_start,
+                    )
+                )
+                self._resume_search(self.ring.end)
+                free = self.ring.capacity - self.ring.occupancy
+            take = min(free, arr.size - pos)
+            self.ring.append(arr[pos : pos + take])
+            pos += take
+            events.extend(self._advance(final=False))
+        return events
+
+    def flush(self) -> List[Any]:
+        """End of stream: a frame ending exactly here still decodes; a
+        missing tail becomes a :class:`TruncatedFrameError` drop."""
+        events = list(self._advance(final=True))
+        if self._state in (_WANT_HEADER, _WANT_FRAME):
+            needed = (
+                self._frame_end
+                if self._state == _WANT_FRAME
+                else self._frame_start + _samples_for_chips(
+                    _HEADER_SYMBOLS * CHIPS_PER_SYMBOL
+                )
+            )
+            events.append(
+                self._drop(
+                    TruncatedFrameError(
+                        f"stream ended {needed - self.ring.end} samples short "
+                        f"of the frame at {self._frame_start}"
+                    ),
+                    self._frame_start,
+                )
+            )
+        self._resume_search(self.ring.end)
+        return events
+
+    def _advance(self, final: bool) -> Iterable[Any]:
+        events: List[Any] = []
+        ref_size = self._ref.size
+        header_samples = _samples_for_chips(_HEADER_SYMBOLS * CHIPS_PER_SYMBOL)
+        while True:
+            end = self.ring.end
+            if self._state == _SEARCH:
+                evaluable = end - ref_size + 1
+                if evaluable <= self._search_pos:
+                    return events
+                metric = _sync_metric(
+                    self.ring.view(self._search_pos, end), self._ref
+                )
+                hits = metric >= self.threshold
+                if not hits.any():
+                    self._search_pos = evaluable
+                    self.ring.release(self._search_pos)
+                    return events
+                self._candidate = self._search_pos + int(np.argmax(hits))
+                self._search_pos = self._candidate
+                self._state = _CONFIRM
+            elif self._state == _CONFIRM:
+                # Refine over [first, first + 64): need samples through
+                # first + 63 + ref before committing (or a flushed tail).
+                have_all = end >= self._candidate + _REFINE_WINDOW + ref_size - 1
+                if not have_all and not final:
+                    return events
+                hi = min(self._candidate + _REFINE_WINDOW + ref_size - 1, end)
+                metric = _sync_metric(self.ring.view(self._candidate, hi), self._ref)
+                if metric.size == 0:
+                    return events
+                self._frame_start = self._candidate + int(np.argmax(metric))
+                self._state = _WANT_HEADER
+            elif self._state == _WANT_HEADER:
+                needed = self._frame_start + header_samples
+                if end < needed:
+                    return events  # flush() emits the truncation drop
+                segment = self.ring.view(self._frame_start, needed)
+                soft = demodulate_chips_batch(
+                    segment[np.newaxis, :], _HEADER_SYMBOLS * CHIPS_PER_SYMBOL
+                )
+                bits, _scores = despread_batch(soft)
+                try:
+                    self._psdu_octets = _parse_header_bits(bits[0])
+                except ReproError as exc:
+                    events.append(self._drop(exc, self._frame_start))
+                    # Skip one symbol past the false lock and search on.
+                    self._resume_search(self._frame_start + _SYMBOL_SAMPLES)
+                    continue
+                n_chips = (_HEADER_SYMBOLS + 2 * self._psdu_octets) * CHIPS_PER_SYMBOL
+                self._frame_end = self._frame_start + _samples_for_chips(n_chips)
+                if self._frame_end - self._frame_start > self.ring.capacity:
+                    events.append(
+                        self._drop(
+                            StreamOverflowError(
+                                f"frame of {self._frame_end - self._frame_start} "
+                                f"samples exceeds the {self.ring.capacity}-sample "
+                                f"ring bound"
+                            ),
+                            self._frame_start,
+                        )
+                    )
+                    self._resume_search(self._frame_start + _SYMBOL_SAMPLES)
+                    continue
+                self._state = _WANT_FRAME
+            elif self._state == _WANT_FRAME:
+                if end < self._frame_end:
+                    return events  # flush() emits the truncation drop
+                telemetry.current().count("zigbee.stream.frames")
+                events.append(
+                    ZigbeeFrameWindow(
+                        start_sample=self._frame_start,
+                        window=np.array(
+                            self.ring.view(self._frame_start, self._frame_end)
+                        ),
+                        psdu_octets=self._psdu_octets,
+                    )
+                )
+                self._resume_search(self._frame_end)
+
+
+def sync_capture(
+    waveform: np.ndarray,
+    threshold: float = 0.5,
+    capacity: int = DEFAULT_RING_CAPACITY,
+) -> Tuple[List[ZigbeeFrameWindow], List[DropEvent]]:
+    """Streaming sync over one full capture (the one-chunk push).
+
+    The full-buffer adapter's core: the classic ``decode_frames`` runs
+    this per capture, then batch-decodes the collected windows.  A capture
+    of NaN/Inf samples is reported as an
+    :class:`~repro.errors.InvalidWaveformError` drop, matching the batch
+    receiver's front-end check.
+    """
+    stage = ZigbeeSyncStage(threshold=threshold, capacity=capacity)
+    arr = np.asarray(waveform, dtype=np.complex128).ravel()
+    if not np.all(np.isfinite(arr)):
+        error = InvalidWaveformError("waveform contains NaN or Inf samples")
+        return [], [stage._drop(error, 0)]
+    events = list(stage.push(arr)) + list(stage.flush())
+    windows = [e for e in events if isinstance(e, ZigbeeFrameWindow)]
+    drops = [e for e in events if isinstance(e, DropEvent)]
+    return windows, drops
+
+
+class ZigbeeDecodeStage:
+    """Decode each :class:`ZigbeeFrameWindow` through the standard chain."""
+
+    name = "decode"
+
+    def __init__(self, correct_cfo: bool = False) -> None:
+        self._receiver = ZigbeeReceiver()
+        self._correct_cfo = correct_cfo
+
+    def push(self, item: Any) -> List[Any]:
+        if not isinstance(item, ZigbeeFrameWindow):
+            return [item]
+        try:
+            reception = self._receiver.receive_frames(
+                [item.window], [0], correct_cfo=self._correct_cfo
+            )[0]
+        except ReproError as exc:
+            telemetry.current().count(f"zigbee.stream.drop.{type(exc).__name__}")
+            return [
+                DropEvent(
+                    start_sample=item.start_sample, stage=self.name, error=exc
+                )
+            ]
+        return [FrameEvent(start_sample=item.start_sample, result=reception)]
+
+    def flush(self) -> List[Any]:
+        return []
+
+
+class ZigbeeStreamReceiver:
+    """Chunked 802.15.4 receiver: push sample chunks, collect receptions."""
+
+    def __init__(
+        self,
+        sync_threshold: float = 0.5,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        correct_cfo: bool = False,
+    ) -> None:
+        self.sync = ZigbeeSyncStage(threshold=sync_threshold, capacity=capacity)
+        self.pipeline = StreamPipeline(
+            [self.sync, ZigbeeDecodeStage(correct_cfo=correct_cfo)],
+            "zigbee.stream",
+        )
+
+    def push(self, chunk: np.ndarray) -> List[Any]:
+        """Feed one chunk; returns the events it completed."""
+        return self.pipeline.push(chunk)
+
+    def flush(self) -> List[Any]:
+        """End the stream; returns the final events."""
+        return self.pipeline.flush()
+
+    def receive_stream(
+        self, chunks: Iterable[np.ndarray]
+    ) -> Tuple[List[ZigbeeReception], List[DropEvent]]:
+        """Convenience: run a whole chunk iterator, split the outcome."""
+        events = self.pipeline.run(chunks)
+        frames = [e.result for e in events if isinstance(e, FrameEvent)]
+        drops = [e for e in events if isinstance(e, DropEvent)]
+        return frames, drops

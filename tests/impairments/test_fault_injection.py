@@ -200,7 +200,7 @@ class TestMixedBatchIsolation:
         )
         assert kept == [1]
         assert segments.shape == (1, 50)
-        assert tel.counters["zigbee.rx.drop.DecodingError"] == 1
+        assert tel.counters["zigbee.rx.drop.TruncatedFrameError"] == 1
         with pytest.raises(DecodingError):
             ZigbeeReceiver._assemble_segments(
                 arrs, starts, [0, 1], 50, "raise", Telemetry()

@@ -1,0 +1,177 @@
+"""Chunk-boundary invariance: ANY chunking decodes bit-identically.
+
+The contract the streaming layer is built on: a stage's output depends
+only on stream *content*, never on how the content was sliced into
+chunks.  These properties drive random chunkings (hypothesis), single-
+sample pushes across the sync-critical region, and deterministic splits
+in the middle of preambles and SFDs — against clean and noise-impaired
+streams, for all three receivers — and require event-for-event,
+bit-for-bit equality with the one-chunk reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.channel.awgn import awgn
+from repro.sledzig.pipeline import encode_frames as sledzig_encode
+from repro.sledzig.streaming import SledZigStreamReceiver
+from repro.streaming import DropEvent, FrameEvent, iter_chunks
+from repro.utils.bits import random_bits
+from repro.wifi.streaming import WifiStreamReceiver
+from repro.wifi.transmitter import encode_frames as wifi_encode
+from repro.zigbee.streaming import ZigbeeStreamReceiver
+from repro.zigbee.transmitter import encode_frames as zigbee_encode
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+#: Random chunking plans: iter_chunks repeats the last size, so a short
+#: list of sizes still covers the whole stream.
+_chunk_plans = st.lists(st.integers(1, 6000), min_size=1, max_size=12)
+
+
+def _make_receiver(kind):
+    return {
+        "wifi": WifiStreamReceiver,
+        "zigbee": ZigbeeStreamReceiver,
+        "sledzig": SledZigStreamReceiver,
+    }[kind]()
+
+
+def _canonical(events):
+    """Events reduced to comparable, bit-exact tuples."""
+    out = []
+    for event in events:
+        if isinstance(event, FrameEvent):
+            result = event.result
+            if hasattr(result, "psdu_bits"):  # WifiReception
+                key = result.psdu_bits.tobytes() + result.descrambled_field.tobytes()
+            elif hasattr(result, "frame"):  # ZigbeeReception
+                key = bytes(result.frame.psdu) + np.asarray(
+                    result.symbol_scores
+                ).tobytes()
+            else:  # SledZigReceivedPacket
+                key = result.payload + result.channel.name.encode()
+            out.append(("frame", event.start_sample, key))
+        elif isinstance(event, DropEvent):
+            out.append(("drop", event.start_sample, event.stage, event.cause))
+    return out
+
+
+def _decode(kind, stream, sizes):
+    receiver = _make_receiver(kind)
+    return _canonical(receiver.pipeline.run(iter_chunks(stream, sizes)))
+
+
+def _build_streams():
+    """Reference streams per technology: clean, impaired, truncated."""
+    rng = np.random.default_rng(1234)
+    gap = np.zeros(300, dtype=np.complex128)
+
+    wifi = wifi_encode([random_bits(8 * 40, rng) for _ in range(2)], "qam16-1/2")
+    wifi_clean = np.concatenate([gap, wifi[0], gap, wifi[1], gap])
+    zig = zigbee_encode(
+        [bytes(rng.integers(0, 256, size=18, dtype=np.uint8)) for _ in range(2)]
+    )
+    zig_clean = np.concatenate([gap, zig[0], gap, zig[1], gap])
+    sled = sledzig_encode(
+        [bytes(rng.integers(0, 256, size=20, dtype=np.uint8))], "qam16-1/2", "CH2"
+    )
+    sled_clean = np.concatenate([gap, sled[0], gap])
+
+    streams = {
+        "wifi": {
+            "clean": wifi_clean,
+            "impaired": awgn(wifi_clean, 22.0, np.random.default_rng(7)),
+            "truncated": wifi_clean[: 300 + wifi[0].size // 2],
+        },
+        "zigbee": {
+            "clean": zig_clean,
+            "impaired": awgn(zig_clean, 12.0, np.random.default_rng(8)),
+            "truncated": zig_clean[: 300 + zig[0].size - 500],
+        },
+        "sledzig": {
+            "clean": sled_clean,
+            "impaired": awgn(sled_clean, 25.0, np.random.default_rng(9)),
+            "truncated": sled_clean[: 300 + sled[0].size // 2],
+        },
+    }
+    return streams
+
+
+_STREAMS = _build_streams()
+
+_REFERENCE = {
+    (kind, variant): _decode(kind, stream, stream.size)
+    for kind, variants in _STREAMS.items()
+    for variant, stream in variants.items()
+}
+
+
+class TestReferenceSanity:
+    """The one-chunk references actually decode (or drop) as expected."""
+
+    @pytest.mark.parametrize("kind,n", [("wifi", 2), ("zigbee", 2), ("sledzig", 1)])
+    def test_clean_reference_has_all_frames(self, kind, n):
+        events = _REFERENCE[(kind, "clean")]
+        assert [e[0] for e in events] == ["frame"] * n
+
+    @pytest.mark.parametrize("kind", ["wifi", "zigbee", "sledzig"])
+    def test_truncated_reference_ends_in_typed_drop(self, kind):
+        events = _REFERENCE[(kind, "truncated")]
+        assert events and events[-1][0] == "drop"
+        assert events[-1][-1] == "TruncatedFrameError"
+
+
+class TestRandomChunkings:
+    @pytest.mark.parametrize("kind", ["wifi", "zigbee", "sledzig"])
+    @pytest.mark.parametrize("variant", ["clean", "impaired", "truncated"])
+    @given(sizes=_chunk_plans)
+    @_SETTINGS
+    def test_any_chunking_matches_one_chunk_reference(self, kind, variant, sizes):
+        stream = _STREAMS[kind][variant]
+        assert _decode(kind, stream, sizes) == _REFERENCE[(kind, variant)]
+
+
+class TestPathologicalSplits:
+    def test_single_sample_pushes_through_entire_zigbee_stream(self):
+        stream = _STREAMS["zigbee"]["clean"]
+        assert _decode("zigbee", stream, 1) == _REFERENCE[("zigbee", "clean")]
+
+    def test_single_sample_pushes_across_wifi_preamble_and_signal(self):
+        # Sample-level boundaries across gap + preamble + SIGNAL of the
+        # first frame (the sync-critical region), then large chunks.
+        stream = _STREAMS["wifi"]["clean"]
+        sizes = [1] * 800 + [4096]
+        assert _decode("wifi", stream, sizes) == _REFERENCE[("wifi", "clean")]
+
+    def test_split_mid_wifi_preamble(self):
+        stream = _STREAMS["wifi"]["clean"]
+        # Preamble occupies [300, 620): split inside the STS and the LTS.
+        for cut in (310, 400, 460, 540, 610):
+            sizes = [cut, 7, 4096]
+            assert _decode("wifi", stream, sizes) == _REFERENCE[("wifi", "clean")]
+
+    def test_split_mid_zigbee_sfd(self):
+        stream = _STREAMS["zigbee"]["clean"]
+        # Frame starts at 300; the SFD spans symbols 8..10, i.e. samples
+        # [300 + 8*128, 300 + 10*128).
+        for cut in (300 + 8 * 128, 300 + 9 * 128, 300 + 10 * 128 - 1):
+            sizes = [cut, 3, 2048]
+            assert _decode("zigbee", stream, sizes) == _REFERENCE[("zigbee", "clean")]
+
+    def test_split_exactly_at_frame_boundaries(self):
+        stream = _STREAMS["sledzig"]["clean"]
+        frame_size = stream.size - 600
+        for cut in (300, 300 + frame_size, 300 + frame_size - 1):
+            sizes = [cut, 1024]
+            assert _decode("sledzig", stream, sizes) == _REFERENCE[
+                ("sledzig", "clean")
+            ]

@@ -1,0 +1,84 @@
+"""Constant-memory acceptance: peak ring occupancy is capture-length-free.
+
+The tentpole's operational claim: decoding a recording through the
+streaming pipeline retains at most (longest frame + one chunk) samples,
+no matter how long the recording is.  Pinned here by decoding a >=100
+frame ZigBee capture chunk-by-chunk and asserting the ring's high-water
+mark — read from the ``stream.ring.zigbee.high_water`` telemetry gauge,
+the same value the ``--metrics-out`` manifests record — equals the
+high-water mark of a capture a quarter the length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.streaming import FrameEvent, iter_chunks
+from repro.zigbee.streaming import ZigbeeStreamReceiver
+from repro.zigbee.transmitter import ZigbeeTransmitter
+
+_CHUNK = 1024
+
+
+def _capture(n_frames: int, seed: int = 11) -> "tuple[np.ndarray, list[bytes]]":
+    """*n_frames* equal-length frames, aligned to the chunk grid.
+
+    The gap pads each (frame + gap) period to a whole number of chunks, so
+    every frame meets the ring at the same chunk phase — making the peak
+    occupancy of two captures exactly comparable, not just both bounded.
+    """
+    rng = np.random.default_rng(seed)
+    psdus = [
+        bytes(rng.integers(0, 256, size=24, dtype=np.uint8))
+        for _ in range(n_frames)
+    ]
+    waveforms = [t.waveform for t in ZigbeeTransmitter().send_frames(psdus)]
+    gap_samples = _CHUNK + (-waveforms[0].size) % _CHUNK
+    gap = np.zeros(gap_samples, dtype=np.complex128)
+    pieces = [gap]
+    for waveform in waveforms:
+        pieces.extend([waveform, gap])
+    return np.concatenate(pieces), psdus
+
+
+def _decode(capture: np.ndarray) -> "tuple[int, float]":
+    """Returns (frames decoded, ring high-water gauge)."""
+    receiver = ZigbeeStreamReceiver()
+    with telemetry.collect() as tel:
+        events = receiver.pipeline.run(iter_chunks(capture, _CHUNK))
+    frames = sum(1 for e in events if isinstance(e, FrameEvent))
+    return frames, tel.snapshot().gauges["stream.ring.zigbee.high_water"]
+
+
+class TestConstantMemory:
+    def test_100_frame_capture_peaks_no_higher_than_25_frame_capture(self):
+        short_capture, _ = _capture(25)
+        long_capture, long_psdus = _capture(100)
+        assert long_capture.size > 4 * short_capture.size * 0.9
+
+        short_frames, short_peak = _decode(short_capture)
+        long_frames, long_peak = _decode(long_capture)
+
+        assert short_frames == 25
+        assert long_frames == 100
+        # The acceptance bar: peak retained samples are identical, i.e.
+        # bounded by (frame + chunk slack), independent of capture length.
+        assert long_peak == short_peak
+        frame_samples = ZigbeeTransmitter().send_frames([bytes(24)])[0].waveform.size
+        assert long_peak <= frame_samples + 2 * _CHUNK
+
+    def test_high_water_far_below_capture_length(self):
+        capture, _ = _capture(100)
+        _, peak = _decode(capture)
+        assert peak < capture.size / 50
+
+    def test_every_frame_of_the_long_capture_decodes(self):
+        capture, psdus = _capture(100)
+        receiver = ZigbeeStreamReceiver()
+        events = receiver.pipeline.run(iter_chunks(capture, _CHUNK))
+        decoded = [
+            bytes(e.result.frame.psdu) for e in events if isinstance(e, FrameEvent)
+        ]
+        assert decoded == psdus

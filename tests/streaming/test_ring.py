@@ -1,0 +1,91 @@
+"""SampleRing: absolute indexing, compaction, bounds and telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError, StreamOverflowError
+from repro.streaming import SampleRing
+
+
+class TestAbsoluteIndexing:
+    def test_view_returns_appended_samples_by_stream_position(self):
+        ring = SampleRing(16)
+        ring.append(np.arange(5, dtype=complex))
+        ring.append(np.arange(5, 8, dtype=complex))
+        assert ring.start == 0 and ring.end == 8
+        assert np.array_equal(ring.view(2, 6), np.arange(2, 6, dtype=complex))
+
+    def test_release_advances_start_and_keeps_absolute_addresses(self):
+        ring = SampleRing(8)
+        ring.append(np.arange(8, dtype=complex))
+        ring.release(5)
+        assert ring.start == 5 and ring.occupancy == 3
+        assert np.array_equal(ring.view(5, 8), np.arange(5, 8, dtype=complex))
+
+    def test_compaction_preserves_content_across_many_wraps(self):
+        ring = SampleRing(10)
+        stream = np.arange(1000, dtype=complex)
+        pos = 0
+        while pos < stream.size:
+            chunk = stream[pos : pos + 3]
+            ring.release(ring.end - 4)  # keep a 4-sample tail
+            ring.append(chunk)
+            pos += chunk.size
+            lo = ring.start
+            assert np.array_equal(ring.view(lo, ring.end), stream[lo : ring.end])
+
+    def test_view_outside_retained_window_raises(self):
+        ring = SampleRing(8)
+        ring.append(np.arange(8, dtype=complex))
+        ring.release(4)
+        with pytest.raises(ConfigurationError):
+            ring.view(3, 6)
+        with pytest.raises(ConfigurationError):
+            ring.view(5, 9)
+
+
+class TestBounds:
+    def test_overfull_append_raises_stream_overflow(self):
+        ring = SampleRing(4)
+        ring.append(np.zeros(3, dtype=complex))
+        with pytest.raises(StreamOverflowError):
+            ring.append(np.zeros(2, dtype=complex))
+
+    def test_release_beyond_end_is_clamped(self):
+        ring = SampleRing(4)
+        ring.append(np.zeros(4, dtype=complex))
+        ring.release(100)
+        assert ring.start == ring.end == 4
+        assert ring.occupancy == 0
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SampleRing(0)
+
+    def test_high_water_tracks_peak_not_current(self):
+        ring = SampleRing(8)
+        ring.append(np.zeros(6, dtype=complex))
+        ring.release(6)
+        ring.append(np.zeros(2, dtype=complex))
+        assert ring.occupancy == 2
+        assert ring.high_water == 6
+
+
+class TestTelemetry:
+    def test_named_ring_publishes_occupancy_and_high_water_gauges(self):
+        with telemetry.collect() as tel:
+            ring = SampleRing(8, name="probe")
+            ring.append(np.zeros(5, dtype=complex))
+            ring.release(5)
+            ring.append(np.zeros(2, dtype=complex))
+        gauges = tel.snapshot().gauges
+        assert gauges["stream.ring.probe.occupancy"] == 2
+        assert gauges["stream.ring.probe.high_water"] == 5
+
+    def test_unnamed_ring_publishes_nothing(self):
+        with telemetry.collect() as tel:
+            SampleRing(8).append(np.zeros(3, dtype=complex))
+        assert tel.snapshot().gauges == {}

@@ -1,0 +1,98 @@
+"""SledZig streaming: stripping over the stream + online channel detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.sledzig.decoder import detect_zigbee_channel
+from repro.sledzig.pipeline import SledZigReceiver, encode_frames
+from repro.sledzig.streaming import OnlineChannelDetector, SledZigStreamReceiver
+from repro.streaming import FrameEvent, iter_chunks
+from repro.wifi.receiver import WifiReceiver
+
+
+@pytest.fixture(scope="module")
+def transmissions():
+    rng = np.random.default_rng(43)
+    payloads = [
+        bytes(rng.integers(0, 256, size=30, dtype=np.uint8)) for _ in range(3)
+    ]
+    return payloads, encode_frames(payloads, "qam16-1/2", "CH3")
+
+
+def _stream(waveforms, gap=600):
+    silence = np.zeros(gap, dtype=np.complex128)
+    pieces = [silence]
+    for w in waveforms:
+        pieces.extend([w, silence])
+    return np.concatenate(pieces)
+
+
+class TestStreamDecode:
+    @pytest.mark.parametrize("detection", ["frame", "online"])
+    def test_stream_recovers_payloads_and_channel(self, transmissions, detection):
+        payloads, waveforms = transmissions
+        receiver = SledZigStreamReceiver(detection=detection)
+        packets, drops = receiver.receive_stream(
+            iter_chunks(_stream(waveforms), 2048)
+        )
+        assert not drops
+        assert [p.payload for p in packets] == payloads
+        assert all(p.channel.name == "CH3" for p in packets)
+
+    def test_frame_mode_matches_classic_receiver(self, transmissions):
+        payloads, waveforms = transmissions
+        receiver = SledZigStreamReceiver()
+        packets, _ = receiver.receive_stream(iter_chunks(_stream(waveforms), 1024))
+        classic = SledZigReceiver().receive_frames(waveforms)
+        for stream_pkt, classic_pkt in zip(packets, classic):
+            assert stream_pkt.payload == classic_pkt.payload
+            assert stream_pkt.channel.name == classic_pkt.channel.name
+
+
+class TestOnlineDetection:
+    def test_single_frame_matches_per_frame_detector(self, transmissions):
+        _, waveforms = transmissions
+        reception = WifiReceiver().receive(waveforms[0])
+        online = OnlineChannelDetector()
+        online.update(reception.data_points)
+        per_frame = detect_zigbee_channel(reception.data_points)
+        decision = online.detection()
+        assert decision.channel.name == per_frame.channel.name
+        assert decision.ratios_db == pytest.approx(per_frame.ratios_db)
+
+    def test_accumulation_spans_frames(self, transmissions):
+        _, waveforms = transmissions
+        wifi = WifiReceiver()
+        online = OnlineChannelDetector()
+        total = 0
+        for waveform in waveforms:
+            reception = wifi.receive(waveform)
+            online.update(reception.data_points)
+            total += len(reception.data_points)
+        assert online.n_symbols == total
+        assert online.detection().channel.name == "CH3"
+
+    def test_online_ratios_published_as_gauges(self, transmissions):
+        _, waveforms = transmissions
+        receiver = SledZigStreamReceiver(detection="online")
+        with telemetry.collect() as tel:
+            receiver.receive_stream([_stream(waveforms[:1])])
+        gauges = tel.snapshot().gauges
+        assert gauges["sledzig.online.symbols"] > 0
+        assert "sledzig.online.ratio_db.CH3" in gauges
+        assert gauges["sledzig.online.ratio_db.CH3"] < -4.0
+
+    def test_empty_detector_refuses_decision(self):
+        from repro.errors import DecodingError
+
+        with pytest.raises(DecodingError):
+            OnlineChannelDetector().detection()
+
+    def test_invalid_detection_mode_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SledZigStreamReceiver(detection="sometimes")

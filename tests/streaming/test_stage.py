@@ -1,0 +1,103 @@
+"""Stage protocol, pipeline composition, flush cascade, chunk iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import DecodingError
+from repro.streaming import (
+    DropEvent,
+    FrameEvent,
+    Stage,
+    StreamPipeline,
+    iter_chunks,
+)
+
+
+class Doubler:
+    """Toy stage: emits each item twice; flush emits a sentinel."""
+
+    name = "doubler"
+
+    def __init__(self):
+        self.flushed = False
+
+    def push(self, item):
+        return [item, item]
+
+    def flush(self):
+        self.flushed = True
+        return ["tail"]
+
+
+class Tagger:
+    """Toy stage: tags items it sees; flush emits its own sentinel."""
+
+    name = "tagger"
+
+    def push(self, item):
+        return [f"tagged:{item}"]
+
+    def flush(self):
+        return ["tagger-tail"]
+
+
+class TestPipeline:
+    def test_push_threads_events_through_downstream_stages(self):
+        pipe = StreamPipeline([Doubler(), Tagger()], "test")
+        assert pipe.push("x") == ["tagged:x", "tagged:x"]
+
+    def test_flush_cascades_upstream_tails_through_downstream_stages(self):
+        pipe = StreamPipeline([Doubler(), Tagger()], "test")
+        # The doubler's buffered tail must still be tagged; the tagger's
+        # own tail comes after, preserving stream order end to end.
+        assert pipe.flush() == ["tagged:tail", "tagger-tail"]
+
+    def test_run_is_pushes_then_flush(self):
+        pipe = StreamPipeline([Doubler()], "test")
+        assert pipe.run(["a", "b"]) == ["a", "a", "b", "b", "tail"]
+
+    def test_stages_satisfy_protocol(self):
+        assert isinstance(Doubler(), Stage)
+        assert isinstance(Tagger(), Stage)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            StreamPipeline([], "test")
+
+    def test_per_stage_spans_recorded(self):
+        with telemetry.collect() as tel:
+            StreamPipeline([Doubler(), Tagger()], "test").run(["a"])
+        timers = tel.snapshot().timers
+        assert "test.doubler" in timers
+        assert "test.tagger" in timers
+
+
+class TestEvents:
+    def test_drop_event_cause_is_error_class_name(self):
+        drop = DropEvent(start_sample=7, stage="sync", error=DecodingError("x"))
+        assert drop.cause == "DecodingError"
+
+    def test_frame_event_carries_result(self):
+        event = FrameEvent(start_sample=0, result="payload")
+        assert event.result == "payload"
+
+
+class TestIterChunks:
+    def test_scalar_size_splits_with_remainder(self):
+        chunks = list(iter_chunks(np.arange(10), 4))
+        assert [c.size for c in chunks] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(chunks), np.arange(10))
+
+    def test_size_sequence_with_last_size_repeating(self):
+        chunks = list(iter_chunks(np.arange(10), [1, 2, 3]))
+        assert [c.size for c in chunks] == [1, 2, 3, 3, 1]
+        assert np.array_equal(np.concatenate(chunks), np.arange(10))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(np.arange(4), 0))
+        with pytest.raises(ValueError):
+            list(iter_chunks(np.arange(4), [2, -1]))

@@ -1,0 +1,129 @@
+"""WiFi streaming front end: multi-frame streams, tails, typed drops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.streaming import DropEvent, FrameEvent, iter_chunks
+from repro.utils.bits import random_bits
+from repro.wifi.receiver import WifiReceiver, decode_frames
+from repro.wifi.streaming import WifiStreamReceiver, sync_capture
+from repro.wifi.transmitter import encode_frames
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(41)
+    payloads = [random_bits(8 * 60, rng) for _ in range(3)]
+    return payloads, encode_frames(payloads, "qam16-1/2")
+
+
+def _stream(waveforms, gap=500):
+    silence = np.zeros(gap, dtype=np.complex128)
+    pieces = [silence]
+    for w in waveforms:
+        pieces.extend([w, silence])
+    return np.concatenate(pieces)
+
+
+class TestStreamDecode:
+    def test_multi_frame_stream_decodes_every_frame_in_order(self, frames):
+        payloads, waveforms = frames
+        stream = _stream(waveforms)
+        receiver = WifiStreamReceiver()
+        decoded, drops = receiver.receive_stream(iter_chunks(stream, 2048))
+        assert not drops
+        assert len(decoded) == len(payloads)
+        for sent, got in zip(payloads, decoded):
+            assert np.array_equal(got.psdu_bits, sent)
+
+    def test_stream_results_match_batch_receiver_bitwise(self, frames):
+        payloads, waveforms = frames
+        receiver = WifiStreamReceiver()
+        decoded, _ = receiver.receive_stream(iter_chunks(_stream(waveforms), 1024))
+        batch = WifiReceiver().receive_frames(waveforms)
+        for stream_rec, batch_rec in zip(decoded, batch):
+            assert np.array_equal(stream_rec.psdu_bits, batch_rec.psdu_bits)
+            assert np.array_equal(
+                stream_rec.descrambled_field, batch_rec.descrambled_field
+            )
+
+    def test_frame_ending_exactly_at_flush_is_recovered(self, frames):
+        payloads, waveforms = frames
+        stream = np.concatenate([np.zeros(300, dtype=complex), waveforms[0]])
+        receiver = WifiStreamReceiver()
+        events = receiver.push(stream)
+        events += receiver.flush()
+        got = [e for e in events if isinstance(e, FrameEvent)]
+        assert len(got) == 1
+        assert np.array_equal(got[0].result.psdu_bits, payloads[0])
+
+    def test_events_carry_absolute_start_samples(self, frames):
+        _, waveforms = frames
+        stream = _stream(waveforms, gap=700)
+        receiver = WifiStreamReceiver()
+        events = receiver.pipeline.run(iter_chunks(stream, 4096))
+        starts = [e.start_sample for e in events if isinstance(e, FrameEvent)]
+        expected = 700
+        for start, waveform in zip(starts, waveforms):
+            assert start == expected
+            expected += waveform.size + 700
+
+
+class TestTypedDrops:
+    def test_truncated_tail_surfaces_as_truncated_frame_drop(self, frames):
+        _, waveforms = frames
+        cut = np.concatenate(
+            [np.zeros(200, dtype=complex), waveforms[0][: waveforms[0].size // 2]]
+        )
+        receiver = WifiStreamReceiver()
+        with telemetry.collect() as tel:
+            decoded, drops = receiver.receive_stream([cut])
+        assert decoded == []
+        assert len(drops) == 1
+        assert drops[0].cause == "TruncatedFrameError"
+        counters = tel.snapshot().counters
+        assert counters["wifi.stream.drop.TruncatedFrameError"] == 1
+
+    def test_noise_only_stream_emits_nothing(self):
+        rng = np.random.default_rng(5)
+        noise = (rng.normal(size=4000) + 1j * rng.normal(size=4000)) * 0.1
+        receiver = WifiStreamReceiver()
+        decoded, drops = receiver.receive_stream(iter_chunks(noise, 512))
+        assert decoded == [] and drops == []
+
+
+class TestFullBufferAdapter:
+    def test_sync_capture_finds_every_frame_window(self, frames):
+        _, waveforms = frames
+        windows, drops = sync_capture(_stream(waveforms))
+        assert not drops
+        assert len(windows) == len(waveforms)
+        assert all(w.data_start == 320 for w in windows)
+
+    def test_decode_frames_matches_scalar_receive_bitwise(self, frames):
+        payloads, waveforms = frames
+        receiver = WifiReceiver()
+        batched = decode_frames(waveforms)
+        for payload, bits, waveform in zip(payloads, batched, waveforms):
+            assert np.array_equal(bits, payload)
+            assert np.array_equal(receiver.receive(waveform).psdu_bits, bits)
+
+    def test_nan_capture_still_raises_invalid_waveform(self, frames):
+        from repro.errors import InvalidWaveformError
+
+        _, waveforms = frames
+        bad = waveforms[0].copy()
+        bad[100] = np.nan
+        with pytest.raises(InvalidWaveformError):
+            decode_frames([bad])
+
+    def test_pure_noise_capture_raises_synchronization_error(self):
+        from repro.errors import SynchronizationError
+
+        rng = np.random.default_rng(6)
+        noise = (rng.normal(size=2000) + 1j * rng.normal(size=2000)) * 0.1
+        with pytest.raises(SynchronizationError):
+            decode_frames([noise])

@@ -1,0 +1,123 @@
+"""ZigBee streaming front end: streams, flush recovery, truncated tails."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import TruncatedFrameError
+from repro.streaming import DropEvent, FrameEvent, iter_chunks
+from repro.zigbee.receiver import ZigbeeReceiver, decode_frames
+from repro.zigbee.streaming import ZigbeeStreamReceiver, sync_capture
+from repro.zigbee.transmitter import encode_frames
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(42)
+    psdus = [
+        bytes(rng.integers(0, 256, size=n, dtype=np.uint8)) for n in (20, 36, 20)
+    ]
+    return psdus, encode_frames(psdus)
+
+
+def _stream(waveforms, gap=400):
+    silence = np.zeros(gap, dtype=np.complex128)
+    pieces = [silence]
+    for w in waveforms:
+        pieces.extend([w, silence])
+    return np.concatenate(pieces)
+
+
+class TestStreamDecode:
+    def test_multi_frame_stream_decodes_every_frame_in_order(self, frames):
+        psdus, waveforms = frames
+        receiver = ZigbeeStreamReceiver()
+        decoded, drops = receiver.receive_stream(
+            iter_chunks(_stream(waveforms), 1024)
+        )
+        assert not drops
+        assert [bytes(d.frame.psdu) for d in decoded] == psdus
+
+    def test_stream_results_match_batch_receiver(self, frames):
+        psdus, waveforms = frames
+        receiver = ZigbeeStreamReceiver()
+        decoded, _ = receiver.receive_stream(iter_chunks(_stream(waveforms), 777))
+        batch = ZigbeeReceiver().receive_frames(waveforms)
+        for stream_rec, batch_rec in zip(decoded, batch):
+            assert stream_rec.frame.psdu == batch_rec.frame.psdu
+            assert stream_rec.symbol_scores == pytest.approx(
+                batch_rec.symbol_scores
+            )
+
+    def test_frame_ending_exactly_at_capture_end_is_recovered(self, frames):
+        """The satellite case: the capture ends exactly where the frame
+        does, so nothing arrives after the payload.  The sync stage must
+        defer the decision until the last sample, then deliver the frame
+        rather than discard the buffered tail."""
+        psdus, waveforms = frames
+        stream = np.concatenate([np.zeros(250, dtype=complex), waveforms[0]])
+        receiver = ZigbeeStreamReceiver()
+        events = receiver.push(stream[:-1])
+        assert not any(isinstance(e, FrameEvent) for e in events)
+        events = receiver.push(stream[-1:])
+        events += receiver.flush()
+        got = [e for e in events if isinstance(e, FrameEvent)]
+        assert len(got) == 1
+        assert bytes(got[0].result.frame.psdu) == psdus[0]
+        assert not any(isinstance(e, DropEvent) for e in events)
+
+
+class TestTypedDrops:
+    def test_missing_tail_surfaces_as_truncated_frame_drop(self, frames):
+        _, waveforms = frames
+        cut = waveforms[0][: waveforms[0].size - 600]
+        receiver = ZigbeeStreamReceiver()
+        with telemetry.collect() as tel:
+            decoded, drops = receiver.receive_stream(iter_chunks(cut, 512))
+        assert decoded == []
+        assert len(drops) == 1
+        assert drops[0].cause == "TruncatedFrameError"
+        assert isinstance(drops[0].error, TruncatedFrameError)
+        assert (
+            tel.snapshot().counters["zigbee.stream.drop.TruncatedFrameError"] == 1
+        )
+
+    def test_stream_cut_before_phr_is_also_truncated(self, frames):
+        _, waveforms = frames
+        cut = waveforms[0][:900]  # inside the SHR, before the PHR despreads
+        receiver = ZigbeeStreamReceiver()
+        decoded, drops = receiver.receive_stream([cut])
+        assert decoded == []
+        assert [d.cause for d in drops] == ["TruncatedFrameError"]
+
+    def test_legacy_batch_truncation_now_typed(self, frames):
+        """The legacy despread path reports the same typed cause."""
+        _, waveforms = frames
+        cut = waveforms[0][: waveforms[0].size - 600]
+        with pytest.raises(TruncatedFrameError):
+            ZigbeeReceiver().receive(cut, start_sample=0)
+
+
+class TestFullBufferAdapter:
+    def test_decode_frames_roundtrip(self, frames):
+        psdus, waveforms = frames
+        assert decode_frames(waveforms) == psdus
+
+    def test_sync_capture_cuts_exact_length_windows(self, frames):
+        psdus, waveforms = frames
+        windows, drops = sync_capture(_stream([waveforms[0]]))
+        assert not drops and len(windows) == 1
+        assert windows[0].psdu_octets == len(psdus[0])
+        # Exact announced length: 12 header symbols + 2 per octet, at
+        # 32 chips/symbol and 4 samples/chip, plus the matched filter's
+        # trailing half-pulse.
+        n_chips = (12 + 2 * len(psdus[0])) * 32
+        assert windows[0].window.size == n_chips * 4 + 4
+
+    def test_truncated_capture_raises_typed_error(self, frames):
+        _, waveforms = frames
+        cut = waveforms[0][: waveforms[0].size - 600]
+        with pytest.raises(TruncatedFrameError):
+            decode_frames([cut])
