@@ -5,14 +5,20 @@ once and cached, in both 0/1 and bipolar form.  Spreading is a table
 lookup; despreading correlates *every* received symbol against all sixteen
 sequences with a single matrix product instead of a Python loop per symbol
 — the kernel behind :mod:`repro.zigbee.dsss`.
+
+The correlation itself dispatches through the :mod:`repro.kernels`
+registry (kernel ``dsss_correlate``); validation, the hard/soft mapping
+and score normalisation stay here, so every backend sees the same
+pre-shaped ``(..., n_symbols, 32)`` chip chunks.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.dsp.cache import cached_table
 from repro.errors import DecodingError, EncodingError
 from repro.dsp.params import BITS_PER_SYMBOL, CHIPS_PER_SYMBOL
@@ -61,7 +67,10 @@ def bits_to_symbols(bits: np.ndarray) -> np.ndarray:
         raise EncodingError(
             f"{arr.shape[-1]} bits do not form whole {BITS_PER_SYMBOL}-bit symbols"
         )
-    groups = arr.reshape(arr.shape[:-1] + (-1, BITS_PER_SYMBOL))
+    # Explicit group count: reshape(-1, 4) is ambiguous for size-0 inputs.
+    groups = arr.reshape(
+        arr.shape[:-1] + (arr.shape[-1] // BITS_PER_SYMBOL, BITS_PER_SYMBOL)
+    )
     weights = (1 << np.arange(BITS_PER_SYMBOL)).astype(np.int64)  # b0 is the LSB
     return groups @ weights
 
@@ -81,15 +90,19 @@ def spread_batch(bits: np.ndarray) -> np.ndarray:
     """Spread bits (trailing axis) into the 32-chips-per-nibble stream."""
     symbols = bits_to_symbols(bits)
     chips = chip_table()[symbols]
-    return chips.reshape(symbols.shape[:-1] + (-1,)).astype(np.uint8)
+    flat = symbols.shape[-1] * CHIPS_PER_SYMBOL  # explicit: -1 breaks on size 0
+    return chips.reshape(symbols.shape[:-1] + (flat,)).astype(np.uint8)
 
 
-def correlate_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def correlate_batch(
+    chips: np.ndarray, backend: Optional[str] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Correlate soft chips against all sixteen sequences, per symbol.
 
     Args:
         chips: real-valued bipolar chip estimates with trailing axis a
             whole number of 32-chip symbols (any leading batch shape).
+        backend: kernel-backend override (default: process selection).
 
     Returns ``(symbols, scores)`` where *symbols* holds the winning data
     symbols and *scores* the normalised correlation of each winner
@@ -101,16 +114,21 @@ def correlate_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
             f"{arr.shape[-1]} chips do not form whole "
             f"{CHIPS_PER_SYMBOL}-chip symbols"
         )
-    chunks = arr.reshape(arr.shape[:-1] + (-1, CHIPS_PER_SYMBOL))
-    scores_all = chunks @ bipolar_table().T  # (..., n_symbols, 16)
-    symbols = np.argmax(scores_all, axis=-1)
-    winning = np.take_along_axis(scores_all, symbols[..., None], axis=-1)[..., 0]
+    # Explicit symbol count (not -1): reshape(-1, 32) is ambiguous for
+    # size-0 inputs, and zero-length chip streams are legal.
+    n_symbols = arr.shape[-1] // CHIPS_PER_SYMBOL
+    chunks = arr.reshape(arr.shape[:-1] + (n_symbols, CHIPS_PER_SYMBOL))
+    symbols, winning = kernels.dispatch(
+        "dsss_correlate", chunks, bipolar_table(), backend=backend
+    )
     norms = np.abs(chunks).sum(axis=-1)
     norms = np.where(norms == 0.0, 1.0, norms)
-    return symbols.astype(np.int64), winning / norms
+    return symbols, winning / norms
 
 
-def despread_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def despread_batch(
+    chips: np.ndarray, backend: Optional[str] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Correlate a chip stream (hard 0/1 or soft bipolar) back to bits.
 
     Hard chip streams (all values in [0, 1]) are mapped to bipolar first,
@@ -120,5 +138,5 @@ def despread_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     arr = np.asarray(chips, dtype=np.float64)
     if arr.size and arr.min() >= 0.0 and arr.max() <= 1.0:
         arr = arr * 2.0 - 1.0  # hard chips -> bipolar
-    symbols, scores = correlate_batch(arr)
+    symbols, scores = correlate_batch(arr, backend=backend)
     return symbols_to_bits(symbols), scores

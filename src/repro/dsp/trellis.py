@@ -15,9 +15,16 @@ tables — is built once per (g0, g1, K) and cached in
   all frames and all states in one shot, which is where the batch-32
   speedup of ``benchmarks/test_bench_core.py`` comes from.
 
+The ACS recursions themselves are *kernels*: this module validates inputs
+and splits the A/B planes, then dispatches to the backend selected in
+:mod:`repro.kernels` (``reference`` numpy loop, ``optimized`` butterfly
+ACS, optional ``numba``), all of which are held bit-identical by the
+conformance matrix in ``tests/kernels/``.
+
 All kernels take and return 2-D arrays with the batch axis first; every
 frame in a batch must have the same length (callers group by length).
-Scalar decodes are the one-row special case.
+Scalar decodes are the one-row special case.  Zero-length frames and empty
+batches are legal and return well-formed empty arrays.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.dsp.cache import cached_table
 from repro.errors import DecodingError
 from repro.utils.galois import poly_to_taps
@@ -191,7 +199,9 @@ def conv_encode_batch(
     out = np.empty((arr.shape[0], 2 * arr.shape[1]), dtype=np.uint8)
     out[:, 0::2] = a
     out[:, 1::2] = b
-    if arr.shape[1] == 0:
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        # Zero-length frames (and empty batches) encode to a well-formed
+        # empty stream and leave the register untouched.
         final_state = initial_state
     else:
         tail = padded[0, -n_history:]  # x_{n-K+1} .. x_{n-1}, oldest first
@@ -214,62 +224,31 @@ def _check_pairs(coded: np.ndarray, n_data_bits: Optional[int]) -> int:
     return n_steps
 
 
-def _traceback(
-    decisions: np.ndarray, start_state: np.ndarray, preds: np.ndarray
-) -> np.ndarray:
-    """Vectorized survivor traceback over the batch axis."""
-    n_batch, n_steps, _ = decisions.shape
-    rows = np.arange(n_batch)
-    state = start_state.astype(np.int64)
-    decoded = np.empty((n_batch, n_steps), dtype=np.uint8)
-    for step in range(n_steps - 1, -1, -1):
-        packed = decisions[rows, step, state]
-        decoded[:, step] = packed & 1
-        state = preds[state, packed >> 1]
-    return decoded
-
-
 def viterbi_decode_batch(
     coded: np.ndarray,
     n_data_bits: Optional[int] = None,
     assume_zero_tail: bool = True,
     trellis: Optional[Trellis] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Hard-decision Viterbi over a ``(batch, 2n)`` coded array.
 
     Values of :data:`ERASURE` mark punctured positions and contribute no
     branch metric.  Semantics per row match the scalar decoder exactly
-    (same tie-breaking: lowest predecessor slot wins).
+    (same tie-breaking: lowest predecessor slot wins) on every backend;
+    *backend* overrides the process-wide :mod:`repro.kernels` selection.
     """
     t = trellis or get_trellis()
     arr = np.asarray(coded, dtype=np.uint8)
     n_steps = _check_pairs(arr, n_data_bits)
     if n_data_bits is None:
         n_data_bits = n_steps
-    n_batch = arr.shape[0]
     a = arr[:, 0::2].astype(np.int64)
     b = arr[:, 1::2].astype(np.int64)
-
-    inf = np.iinfo(np.int64).max // 4
-    metrics = np.full((n_batch, t.n_states), inf, dtype=np.int64)
-    metrics[:, 0] = 0
-    decisions = np.zeros((n_batch, n_steps, t.n_states), dtype=np.uint8)
-    preds, pred_inputs = t.preds, t.pred_inputs
-    states = np.arange(t.n_states)[None, :]
-    for step in range(n_steps):
-        cost = t.hard_costs[a[:, step], b[:, step]]  # (batch, states, 2)
-        cand = metrics[:, preds] + cost[:, preds, pred_inputs]
-        choice = np.argmin(cand, axis=2)
-        metrics = np.take_along_axis(cand, choice[:, :, None], axis=2)[:, :, 0]
-        decisions[:, step] = (pred_inputs[states, choice] | (choice << 1)).astype(
-            np.uint8
-        )
-
-    if assume_zero_tail:
-        start = np.zeros(n_batch, dtype=np.int64)
-    else:
-        start = np.argmin(metrics, axis=1)
-    return _traceback(decisions, start, preds)[:, :n_data_bits]
+    decoded = kernels.dispatch(
+        "viterbi_hard", a, b, t, assume_zero_tail, backend=backend
+    )
+    return decoded[:, :n_data_bits]
 
 
 def viterbi_decode_soft_batch(
@@ -277,41 +256,23 @@ def viterbi_decode_soft_batch(
     n_data_bits: Optional[int] = None,
     assume_zero_tail: bool = False,
     trellis: Optional[Trellis] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Soft-decision Viterbi over a ``(batch, 2n)`` array of LLR-like values.
 
     Positive means "this coded bit is more likely 1"; punctured positions
     carry 0.0 and thus no information.  The path metric is the correlation
-    ``sum(soft * (2 * expected - 1))``, maximised.
+    ``sum(soft * (2 * expected - 1))``, maximised.  *backend* overrides
+    the process-wide :mod:`repro.kernels` selection.
     """
     t = trellis or get_trellis()
     arr = np.asarray(soft, dtype=np.float64)
     n_steps = _check_pairs(arr, n_data_bits)
     if n_data_bits is None:
         n_data_bits = n_steps
-    n_batch = arr.shape[0]
-    a = arr[:, 0::2]
-    b = arr[:, 1::2]
-
-    metrics = np.full((n_batch, t.n_states), -1e18, dtype=np.float64)
-    metrics[:, 0] = 0.0
-    decisions = np.zeros((n_batch, n_steps, t.n_states), dtype=np.uint8)
-    preds, pred_inputs = t.preds, t.pred_inputs
-    states = np.arange(t.n_states)[None, :]
-    for step in range(n_steps):
-        gain = (
-            t.sign_a[None, :, :] * a[:, step, None, None]
-            + t.sign_b[None, :, :] * b[:, step, None, None]
-        )  # (batch, states, 2)
-        cand = metrics[:, preds] + gain[:, preds, pred_inputs]
-        choice = np.argmax(cand, axis=2)
-        metrics = np.take_along_axis(cand, choice[:, :, None], axis=2)[:, :, 0]
-        decisions[:, step] = (pred_inputs[states, choice] | (choice << 1)).astype(
-            np.uint8
-        )
-
-    if assume_zero_tail:
-        start = np.zeros(n_batch, dtype=np.int64)
-    else:
-        start = np.argmax(metrics, axis=1)
-    return _traceback(decisions, start, preds)[:, :n_data_bits]
+    a = np.ascontiguousarray(arr[:, 0::2])
+    b = np.ascontiguousarray(arr[:, 1::2])
+    decoded = kernels.dispatch(
+        "viterbi_soft", a, b, t, assume_zero_tail, backend=backend
+    )
+    return decoded[:, :n_data_bits]

@@ -178,7 +178,18 @@ def _experiment_config(
     name: str, quick: bool, master_seed: "int | None"
 ) -> Dict[str, object]:
     """The effective per-experiment configuration the manifest digests."""
-    return {"experiment": name, "quick": quick, "seed": master_seed}
+    from repro import kernels
+
+    return {
+        "experiment": name,
+        "quick": quick,
+        "seed": master_seed,
+        # Kernel provenance: which backend ran the hot kernels.  Part of
+        # the digested config because swapping backends is a legitimate
+        # run-to-run difference worth surfacing in manifest diffs (even
+        # though conformance holds them bit-identical).
+        "kernel_backend": kernels.get_backend(),
+    }
 
 
 def run_experiments(

@@ -1,0 +1,83 @@
+"""Pluggable backends for the hot compute kernels.
+
+Public surface of the kernel registry (see :mod:`repro.kernels.registry`
+for the selection/fallback model):
+
+>>> from repro import kernels
+>>> kernels.get_backend()
+'optimized'
+>>> with kernels.use_backend("reference"):
+...     pass  # every dispatching wrapper now runs the reference kernels
+
+Selection precedence: explicit ``backend=`` argument on a wrapper >
+:func:`set_backend` / :class:`use_backend` > the ``REPRO_KERNEL_BACKEND``
+environment variable > the default (``optimized``).  Resolution is per
+kernel: a backend missing a kernel falls back along its declared chain to
+``reference``, so partial backends (numba registers only the Viterbi
+kernels; optimized skips the DSSS matmul) are always safe to select.
+
+Registering a backend here is the *entire* integration story: the
+differential conformance matrix in ``tests/kernels/`` enumerates this
+registry and holds every backend to bit-identical outputs against
+``reference`` on golden vectors and hypothesis-generated inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.kernels.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    GLOBAL_REGISTRY,
+    KERNEL_NAMES,
+    REFERENCE_BACKEND,
+    dispatch,
+    get_backend,
+    reset_backend,
+    resolved_backend,
+    set_backend,
+    use_backend,
+)
+
+# Importing a backend module registers it; order fixes backend_names().
+from repro.kernels import reference as _reference  # noqa: F401  (registers)
+from repro.kernels import optimized as _optimized  # noqa: F401  (registers)
+from repro.kernels import numba_backend as _numba  # noqa: F401  (declares)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "GLOBAL_REGISTRY",
+    "KERNEL_NAMES",
+    "REFERENCE_BACKEND",
+    "available_backends",
+    "backend_report",
+    "dispatch",
+    "get_backend",
+    "reset_backend",
+    "resolved_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+def available_backends(kernel: Optional[str] = None) -> Tuple[str, ...]:
+    """Declared backend names; with *kernel*, only those implementing it."""
+    names = GLOBAL_REGISTRY.backend_names()
+    if kernel is None:
+        return names
+    return tuple(
+        name for name in names if GLOBAL_REGISTRY.implemented(name, kernel)
+    )
+
+
+def backend_report(backend: Optional[str] = None) -> Dict[str, str]:
+    """Kernel -> backend-that-actually-runs-it, under the given selection.
+
+    Recorded into run manifests and the golden-vector manifest so results
+    carry their kernel provenance.
+    """
+    return {
+        kernel: resolved_backend(kernel, backend) for kernel in KERNEL_NAMES
+    }

@@ -1,0 +1,146 @@
+"""Optional numba JIT backend for the Viterbi ACS kernels.
+
+Registered only when ``numba`` imports; on machines without it the backend
+is still *declared* (so ``REPRO_KERNEL_BACKEND=numba`` selects it without
+crashing) but every kernel resolves through the fallback chain
+``numba -> optimized -> reference``.  The jitted recursions mirror the
+reference semantics operation for operation:
+
+* hard ties break to the lower predecessor slot (strict ``<`` on slot 1);
+* the soft gain is evaluated as ``sign_a*a + sign_b*b`` in that order, and
+  ``metric + gain`` in that order, so every float rounds identically;
+* traceback follows the packed (input | slot << 1) decisions.
+
+Only the Viterbi kernels are registered — the DSSS matmul already runs in
+BLAS and the packed GF(2) elimination is memory-bound, so a JIT buys
+nothing there.  Conformance is enforced by the same differential matrix as
+every other backend (``tests/kernels/`` enumerates the registry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import GLOBAL_REGISTRY
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    numba = None
+    NUMBA_AVAILABLE = False
+
+__all__ = ["NUMBA_AVAILABLE"]
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - container image ships no numba
+
+    @numba.njit(cache=True)
+    def _viterbi_hard_core(a, b, hard_costs, preds, pred_inputs, n_states,
+                           assume_zero_tail):
+        n_batch, n_steps = a.shape
+        inf = np.iinfo(np.int64).max // 4
+        decoded = np.empty((n_batch, n_steps), dtype=np.uint8)
+        for row in range(n_batch):
+            metrics = np.full(n_states, inf, dtype=np.int64)
+            metrics[0] = 0
+            decisions = np.empty((n_steps, n_states), dtype=np.uint8)
+            nxt = np.empty(n_states, dtype=np.int64)
+            for step in range(n_steps):
+                av = a[row, step]
+                bv = b[row, step]
+                for state in range(n_states):
+                    p0 = preds[state, 0]
+                    p1 = preds[state, 1]
+                    c0 = metrics[p0] + hard_costs[av, bv, p0, pred_inputs[state, 0]]
+                    c1 = metrics[p1] + hard_costs[av, bv, p1, pred_inputs[state, 1]]
+                    if c1 < c0:  # strict: ties keep slot 0, like argmin
+                        nxt[state] = c1
+                        decisions[step, state] = pred_inputs[state, 1] | 2
+                    else:
+                        nxt[state] = c0
+                        decisions[step, state] = pred_inputs[state, 0]
+                metrics[:] = nxt
+            state = 0
+            if not assume_zero_tail:
+                best = metrics[0]
+                for s in range(1, n_states):
+                    if metrics[s] < best:
+                        best = metrics[s]
+                        state = s
+            for step in range(n_steps - 1, -1, -1):
+                packed = decisions[step, state]
+                decoded[row, step] = packed & 1
+                state = preds[state, packed >> 1]
+        return decoded
+
+    @numba.njit(cache=True)
+    def _viterbi_soft_core(a, b, sign_a, sign_b, preds, pred_inputs, n_states,
+                           assume_zero_tail):
+        n_batch, n_steps = a.shape
+        decoded = np.empty((n_batch, n_steps), dtype=np.uint8)
+        for row in range(n_batch):
+            metrics = np.full(n_states, -1e18, dtype=np.float64)
+            metrics[0] = 0.0
+            decisions = np.empty((n_steps, n_states), dtype=np.uint8)
+            nxt = np.empty(n_states, dtype=np.float64)
+            for step in range(n_steps):
+                av = a[row, step]
+                bv = b[row, step]
+                for state in range(n_states):
+                    p0 = preds[state, 0]
+                    p1 = preds[state, 1]
+                    u0 = pred_inputs[state, 0]
+                    u1 = pred_inputs[state, 1]
+                    g0 = sign_a[p0, u0] * av + sign_b[p0, u0] * bv
+                    g1 = sign_a[p1, u1] * av + sign_b[p1, u1] * bv
+                    c0 = metrics[p0] + g0
+                    c1 = metrics[p1] + g1
+                    if c1 > c0:  # strict: ties keep slot 0, like argmax
+                        nxt[state] = c1
+                        decisions[step, state] = u1 | 2
+                    else:
+                        nxt[state] = c0
+                        decisions[step, state] = u0
+                metrics[:] = nxt
+            state = 0
+            if not assume_zero_tail:
+                best = metrics[0]
+                for s in range(1, n_states):
+                    if metrics[s] > best:
+                        best = metrics[s]
+                        state = s
+            for step in range(n_steps - 1, -1, -1):
+                packed = decisions[step, state]
+                decoded[row, step] = packed & 1
+                state = preds[state, packed >> 1]
+        return decoded
+
+    def viterbi_hard(a, b, t, assume_zero_tail):
+        """JIT hard-decision Viterbi (semantics of the reference kernel)."""
+        return _viterbi_hard_core(
+            np.ascontiguousarray(a), np.ascontiguousarray(b),
+            t.hard_costs, t.preds, t.pred_inputs, t.n_states,
+            assume_zero_tail,
+        )
+
+    def viterbi_soft(a, b, t, assume_zero_tail):
+        """JIT soft-decision Viterbi (semantics of the reference kernel)."""
+        return _viterbi_soft_core(
+            np.ascontiguousarray(a), np.ascontiguousarray(b),
+            t.sign_a, t.sign_b, t.preds, t.pred_inputs, t.n_states,
+            assume_zero_tail,
+        )
+
+
+def _register() -> None:
+    GLOBAL_REGISTRY.declare_backend(
+        "numba", fallback="optimized", available=NUMBA_AVAILABLE
+    )
+    if NUMBA_AVAILABLE:  # pragma: no cover
+        GLOBAL_REGISTRY.register("numba", "viterbi_hard", viterbi_hard)
+        GLOBAL_REGISTRY.register("numba", "viterbi_soft", viterbi_soft)
+
+
+_register()

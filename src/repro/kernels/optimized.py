@@ -1,0 +1,263 @@
+"""Optimized pure-numpy kernel backend — bit-identical to ``reference``.
+
+Two rewrites, both proven bit-exact (argument below, enforced by the
+conformance matrix in ``tests/kernels/``):
+
+**Butterfly ACS.**  The trellis built by :func:`repro.dsp.trellis._build_trellis`
+has the classic shift-register structure ``next_state = (s >> 1) | (bit << (K-2))``,
+so destination state ``d`` always has exactly the predecessors
+``2*(d % half)`` and ``2*(d % half) + 1`` (``half = n_states / 2``) and the
+input bit on both edges is ``d // half``.  That turns the reference's three
+fancy-indexed gathers per step into one reshape + one LUT gather:
+
+* predecessor metrics are ``metrics.reshape(batch, half, 2)`` tiled over the
+  two input-bit halves — stride tricks instead of a ``(states, 2)`` gather;
+* branch metrics are bit-packed: the received ``(a, b)`` pair indexes a
+  precomputed ``(9, states, 2)`` edge-cost table (hard) or selects one of
+  the four ``±a±b`` combinations (soft), computed once per step instead of
+  128 multiply-adds per batch row.
+
+Integer path metrics are exact, so the hard kernel is trivially identical.
+The soft kernel is identical because IEEE-754 round-to-nearest negation is
+exact and symmetric: ``-(a+b) == (-a)+(-b)`` and ``-(a-b) == (-a)+b``
+bit-for-bit, and every remaining add happens in the same order as the
+reference.  Tie-breaking is reproduced by choosing slot 1 only on a
+*strict* win, matching ``argmin``/``argmax`` first-index semantics.
+
+**Packed GF(2) elimination.**  Rows are packed 64 columns per uint64 word
+(rhs appended as one extra bit for the solver), so pivot search is a
+vectorized column test and each elimination step XORs whole rows of words
+across all hit rows at once — the reference's per-row Python loop becomes
+one numpy op.  GF(2) arithmetic is exact, and the pivot order is identical,
+so outputs (and the inconsistency error) match bit-for-bit.
+
+A trellis without the shift-register structure falls back to the reference
+kernel at call time; the DSSS correlation is deliberately *not* registered
+here (no pure-numpy rewrite beats the BLAS matmul while preserving the
+exact summation order), which exercises the registry's per-kernel fallback.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.kernels import reference
+from repro.kernels.registry import GLOBAL_REGISTRY
+
+__all__ = ["viterbi_hard", "viterbi_soft", "gf2_rank", "gf2_solve"]
+
+#: Per-trellis precomputed butterfly tables, keyed by id().  The trellis
+#: object is stored alongside to pin its lifetime (ids are only unique
+#: among live objects); trellises are themselves cached per process in
+#: repro.dsp.cache, so this holds a handful of entries.
+_BUTTERFLY_CACHE: Dict[int, Tuple[object, Optional[tuple]]] = {}
+
+
+def _butterfly_tables(t) -> Optional[tuple]:
+    """Precompute (and cache) the butterfly tables for one trellis.
+
+    Returns None when the trellis does not have the shift-register
+    predecessor structure (caller falls back to the reference kernel).
+    """
+    cached = _BUTTERFLY_CACHE.get(id(t))
+    if cached is not None and cached[0] is t:
+        return cached[1]
+
+    n_states = t.n_states
+    half = n_states // 2
+    tables: Optional[tuple] = None
+    if half * 2 == n_states and n_states >= 2:
+        dst = np.arange(n_states)
+        expected_preds = np.stack([2 * (dst % half), 2 * (dst % half) + 1], axis=1)
+        expected_inputs = np.stack([dst // half, dst // half], axis=1)
+        if np.array_equal(t.preds, expected_preds) and np.array_equal(
+            t.pred_inputs, expected_inputs
+        ):
+            # Branch metrics gathered once per (received pair) instead of
+            # per (batch, state, slot): hard costs packed by code a*3+b,
+            # soft gains by the output-pair combination on each edge.
+            edge_costs = np.ascontiguousarray(
+                t.hard_costs[:, :, t.preds, t.pred_inputs].reshape(
+                    9, n_states, 2
+                )
+            )
+            combo_edge = np.ascontiguousarray(
+                (t.out_a[t.preds, t.pred_inputs] << 1)
+                | t.out_b[t.preds, t.pred_inputs]
+            )  # (states, 2) in 0..3 == (sign_a>0)<<1 | (sign_b>0)
+            input_bits = (dst // half).astype(np.uint8)
+            tables = (half, edge_costs, combo_edge, input_bits)
+
+    _BUTTERFLY_CACHE[id(t)] = (t, tables)
+    return tables
+
+
+def _traceback_butterfly(
+    decisions: np.ndarray, start_state: np.ndarray, half: int
+) -> np.ndarray:
+    """Survivor traceback with arithmetic predecessors (no gather table)."""
+    n_batch, n_steps, _ = decisions.shape
+    rows = np.arange(n_batch)
+    state = start_state.astype(np.int64)
+    decoded = np.empty((n_batch, n_steps), dtype=np.uint8)
+    for step in range(n_steps - 1, -1, -1):
+        packed = decisions[rows, step, state]
+        decoded[:, step] = packed & 1
+        state = ((state % half) << 1) | (packed >> 1)
+    return decoded
+
+
+def viterbi_hard(
+    a: np.ndarray, b: np.ndarray, t, assume_zero_tail: bool
+) -> np.ndarray:
+    """Butterfly hard-decision ACS; falls back on non-butterfly trellises."""
+    tables = _butterfly_tables(t)
+    if tables is None:
+        return reference.viterbi_hard(a, b, t, assume_zero_tail)
+    half, edge_costs, _, input_bits = tables
+
+    n_batch, n_steps = a.shape
+    code = a * 3 + b  # bit-packed received pair, indexes the (9, ...) LUT
+    inf = np.iinfo(np.int64).max // 4
+    metrics = np.full((n_batch, t.n_states), inf, dtype=np.int64)
+    metrics[:, 0] = 0
+    decisions = np.empty((n_batch, n_steps, t.n_states), dtype=np.uint8)
+    for step in range(n_steps):
+        edge = edge_costs[code[:, step]]  # (batch, states, 2)
+        pm = metrics.reshape(n_batch, half, 2)
+        cand = np.concatenate([pm, pm], axis=1) + edge
+        choice = cand[:, :, 1] < cand[:, :, 0]  # strict: argmin tie -> slot 0
+        metrics = np.where(choice, cand[:, :, 1], cand[:, :, 0])
+        decisions[:, step] = input_bits[None, :] | (choice.astype(np.uint8) << 1)
+
+    if assume_zero_tail:
+        start = np.zeros(n_batch, dtype=np.int64)
+    else:
+        start = np.argmin(metrics, axis=1)
+    return _traceback_butterfly(decisions, start, half)
+
+
+def viterbi_soft(
+    a: np.ndarray, b: np.ndarray, t, assume_zero_tail: bool
+) -> np.ndarray:
+    """Butterfly soft-decision ACS; falls back on non-butterfly trellises."""
+    tables = _butterfly_tables(t)
+    if tables is None:
+        return reference.viterbi_soft(a, b, t, assume_zero_tail)
+    half, _, combo_edge, input_bits = tables
+
+    n_batch, n_steps = a.shape
+    metrics = np.full((n_batch, t.n_states), -1e18, dtype=np.float64)
+    metrics[:, 0] = 0.0
+    decisions = np.empty((n_batch, n_steps, t.n_states), dtype=np.uint8)
+    for step in range(n_steps):
+        av, bv = a[:, step], b[:, step]
+        apb = av + bv
+        amb = av - bv
+        # The four ±a±b gains, indexed by (sign_a>0)<<1 | (sign_b>0); the
+        # negations are IEEE-exact so each equals the reference's
+        # sign_a*a + sign_b*b bit-for-bit.
+        combos = np.stack([-apb, -amb, amb, apb], axis=1)  # (batch, 4)
+        gain = combos[:, combo_edge]  # (batch, states, 2)
+        pm = metrics.reshape(n_batch, half, 2)
+        cand = np.concatenate([pm, pm], axis=1) + gain
+        choice = cand[:, :, 1] > cand[:, :, 0]  # strict: argmax tie -> slot 0
+        metrics = np.where(choice, cand[:, :, 1], cand[:, :, 0])
+        decisions[:, step] = input_bits[None, :] | (choice.astype(np.uint8) << 1)
+
+    if assume_zero_tail:
+        start = np.zeros(n_batch, dtype=np.int64)
+    else:
+        start = np.argmax(metrics, axis=1)
+    return _traceback_butterfly(decisions, start, half)
+
+
+def _pack_rows(bits: np.ndarray, total_bits: int) -> np.ndarray:
+    """Pack ``(rows, <=total_bits)`` 0/1 uint8 into little-endian uint64 words."""
+    n_words = (total_bits + 63) // 64
+    padded = np.zeros((bits.shape[0], n_words * 64), dtype=np.uint8)
+    padded[:, : bits.shape[1]] = bits
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def _column_mask(aug: np.ndarray, col: int) -> np.ndarray:
+    """Boolean vector: which rows of *aug* have bit *col* set."""
+    word, bit = divmod(col, 64)
+    return (aug[:, word] >> np.uint64(bit)) & np.uint64(1) != 0
+
+
+def gf2_solve(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """Packed-uint64 Gaussian elimination over the augmented matrix."""
+    rows, cols = a.shape
+    aug = _pack_rows(np.concatenate([a, b[:, None]], axis=1), cols + 1)
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(cols):
+        if row == rows:
+            break
+        hit = _column_mask(aug, col)
+        below = np.nonzero(hit[row:])[0]
+        if below.size == 0:
+            continue
+        pivot = row + int(below[0])
+        if pivot != row:
+            aug[[row, pivot]] = aug[[pivot, row]]
+            hit[row], hit[pivot] = hit[pivot], hit[row]
+        hit[row] = False
+        aug[hit] ^= aug[row]
+        pivot_cols.append(col)
+        row += 1
+    if row < rows:
+        # Below the pivot rows every A-part is zero (all columns were
+        # swept), so inconsistency is just "rhs bit still set".
+        if np.any(_column_mask(aug[row:], cols)):
+            raise EncodingError("gf2_solve: inconsistent linear system")
+    solution = np.zeros(cols, dtype=np.uint8)
+    if pivot_cols:
+        rhs_bits = _column_mask(aug[: len(pivot_cols)], cols)
+        solution[np.asarray(pivot_cols)] = rhs_bits.astype(np.uint8)
+    return solution, len(pivot_cols) == cols
+
+
+def gf2_rank(a: np.ndarray) -> int:
+    """Packed-uint64 row reduction; same pivot order as the reference."""
+    rows, cols = a.shape
+    if rows == 0 or cols == 0:
+        return 0
+    packed = _pack_rows(a, cols)
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        hit = _column_mask(packed, col)
+        below = np.nonzero(hit[rank:])[0]
+        if below.size == 0:
+            continue
+        pivot = rank + int(below[0])
+        if pivot != rank:
+            packed[[rank, pivot]] = packed[[pivot, rank]]
+            hit[rank], hit[pivot] = hit[pivot], hit[rank]
+        hit[rank] = False
+        packed[hit] ^= packed[rank]
+        rank += 1
+    return rank
+
+
+def _register() -> None:
+    info = GLOBAL_REGISTRY.declare_backend("optimized", fallback="reference")
+    GLOBAL_REGISTRY.register("optimized", "viterbi_hard", viterbi_hard)
+    GLOBAL_REGISTRY.register("optimized", "viterbi_soft", viterbi_soft)
+    # dsss_correlate intentionally not registered: resolves via fallback.
+    if sys.byteorder == "little":
+        # The uint64 view in _pack_rows assumes little-endian words.
+        GLOBAL_REGISTRY.register("optimized", "gf2_rank", gf2_rank)
+        GLOBAL_REGISTRY.register("optimized", "gf2_solve", gf2_solve)
+    del info
+
+
+_register()

@@ -1,0 +1,203 @@
+"""Reference kernel implementations: the semantics every backend must match.
+
+These are the plain numpy implementations that previously lived inline in
+:mod:`repro.dsp.trellis`, :mod:`repro.dsp.dsss` and
+:mod:`repro.utils.galois`.  They define the bit-level contract — including
+tie-breaking (lowest predecessor slot wins a hard-metric tie, first maximum
+wins a correlation tie) and the exact floating-point evaluation order — that
+the differential conformance matrix in ``tests/kernels/`` holds every other
+backend to.
+
+Backends receive pre-validated arrays: the public wrappers keep all shape /
+dtype / value checking, so kernels here are pure recursions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.kernels.registry import GLOBAL_REGISTRY, REFERENCE_BACKEND
+
+__all__ = [
+    "viterbi_hard",
+    "viterbi_soft",
+    "dsss_correlate",
+    "gf2_rank",
+    "gf2_solve",
+    "traceback",
+]
+
+
+def traceback(
+    decisions: np.ndarray, start_state: np.ndarray, preds: np.ndarray
+) -> np.ndarray:
+    """Vectorized survivor traceback over the batch axis."""
+    n_batch, n_steps, _ = decisions.shape
+    rows = np.arange(n_batch)
+    state = start_state.astype(np.int64)
+    decoded = np.empty((n_batch, n_steps), dtype=np.uint8)
+    for step in range(n_steps - 1, -1, -1):
+        packed = decisions[rows, step, state]
+        decoded[:, step] = packed & 1
+        state = preds[state, packed >> 1]
+    return decoded
+
+
+def viterbi_hard(
+    a: np.ndarray, b: np.ndarray, t, assume_zero_tail: bool
+) -> np.ndarray:
+    """Hard-decision ACS + traceback over ``(batch, n_steps)`` A/B planes.
+
+    *a* / *b* hold the received pair values in {0, 1, ERASURE}; *t* is the
+    :class:`repro.dsp.trellis.Trellis`.  Returns all decoded bits; the
+    caller slices to ``n_data_bits``.
+    """
+    n_batch, n_steps = a.shape
+    inf = np.iinfo(np.int64).max // 4
+    metrics = np.full((n_batch, t.n_states), inf, dtype=np.int64)
+    metrics[:, 0] = 0
+    decisions = np.zeros((n_batch, n_steps, t.n_states), dtype=np.uint8)
+    preds, pred_inputs = t.preds, t.pred_inputs
+    states = np.arange(t.n_states)[None, :]
+    for step in range(n_steps):
+        cost = t.hard_costs[a[:, step], b[:, step]]  # (batch, states, 2)
+        cand = metrics[:, preds] + cost[:, preds, pred_inputs]
+        choice = np.argmin(cand, axis=2)
+        metrics = np.take_along_axis(cand, choice[:, :, None], axis=2)[:, :, 0]
+        decisions[:, step] = (pred_inputs[states, choice] | (choice << 1)).astype(
+            np.uint8
+        )
+
+    if assume_zero_tail:
+        start = np.zeros(n_batch, dtype=np.int64)
+    else:
+        start = np.argmin(metrics, axis=1)
+    return traceback(decisions, start, preds)
+
+
+def viterbi_soft(
+    a: np.ndarray, b: np.ndarray, t, assume_zero_tail: bool
+) -> np.ndarray:
+    """Soft-decision (correlation-metric) ACS + traceback, maximised."""
+    n_batch, n_steps = a.shape
+    metrics = np.full((n_batch, t.n_states), -1e18, dtype=np.float64)
+    metrics[:, 0] = 0.0
+    decisions = np.zeros((n_batch, n_steps, t.n_states), dtype=np.uint8)
+    preds, pred_inputs = t.preds, t.pred_inputs
+    states = np.arange(t.n_states)[None, :]
+    for step in range(n_steps):
+        gain = (
+            t.sign_a[None, :, :] * a[:, step, None, None]
+            + t.sign_b[None, :, :] * b[:, step, None, None]
+        )  # (batch, states, 2)
+        cand = metrics[:, preds] + gain[:, preds, pred_inputs]
+        choice = np.argmax(cand, axis=2)
+        metrics = np.take_along_axis(cand, choice[:, :, None], axis=2)[:, :, 0]
+        decisions[:, step] = (pred_inputs[states, choice] | (choice << 1)).astype(
+            np.uint8
+        )
+
+    if assume_zero_tail:
+        start = np.zeros(n_batch, dtype=np.int64)
+    else:
+        start = np.argmax(metrics, axis=1)
+    return traceback(decisions, start, preds)
+
+
+def dsss_correlate(
+    chunks: np.ndarray, table: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Correlate ``(..., n_symbols, 32)`` soft chips against *table* rows.
+
+    Returns ``(symbols, winning)`` — the argmax row per symbol (first
+    maximum wins ties) and its un-normalised correlation.  The caller
+    normalises; the matmul expression is part of the bit-exactness
+    contract (same BLAS call, same rounding, on every backend).
+    """
+    scores_all = chunks @ table.T  # (..., n_symbols, 16)
+    symbols = np.argmax(scores_all, axis=-1)
+    winning = np.take_along_axis(scores_all, symbols[..., None], axis=-1)[..., 0]
+    return symbols.astype(np.int64), winning
+
+
+def gf2_solve(
+    a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, bool]:
+    """Solve ``A x = b`` over GF(2) by dense uint8 Gaussian elimination.
+
+    Mirrors :func:`repro.utils.galois.gf2_solve` semantics exactly: column
+    sweep in ascending order, pivot = first remaining row with a 1 in the
+    column, free variables 0, :class:`EncodingError` on inconsistency.
+    Inputs are 0/1 uint8 arrays owned by the kernel (mutated freely).
+    """
+    rows, cols = a.shape
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(row, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            b[[row, pivot]] = b[[pivot, row]]
+        for r in range(rows):
+            if r != row and a[r, col]:
+                a[r] ^= a[row]
+                b[r] ^= b[row]
+        pivot_cols.append(col)
+        row += 1
+        if row == rows:
+            break
+    # Inconsistency: a zero row of A with nonzero rhs.
+    for r in range(row, rows):
+        if b[r] and not a[r].any():
+            raise EncodingError("gf2_solve: inconsistent linear system")
+    solution = np.zeros(cols, dtype=np.uint8)
+    for r, col in enumerate(pivot_cols):
+        solution[col] = b[r]
+    return solution, len(pivot_cols) == cols
+
+
+def gf2_rank(a: np.ndarray) -> int:
+    """Rank of a 0/1 uint8 GF(2) matrix (mutates its working copy)."""
+    rows, cols = a.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != rank:
+            a[[rank, pivot]] = a[[pivot, rank]]
+        for r in range(rows):
+            if r != rank and a[r, col]:
+                a[r] ^= a[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def _register() -> None:
+    GLOBAL_REGISTRY.declare_backend(REFERENCE_BACKEND, fallback=None)
+    for name, fn in (
+        ("viterbi_hard", viterbi_hard),
+        ("viterbi_soft", viterbi_soft),
+        ("dsss_correlate", dsss_correlate),
+        ("gf2_rank", gf2_rank),
+        ("gf2_solve", gf2_solve),
+    ):
+        GLOBAL_REGISTRY.register(REFERENCE_BACKEND, name, fn)
+
+
+_register()

@@ -1,0 +1,208 @@
+"""Kernel backend registry: named implementations of the hot kernels.
+
+The encode/decode paths of this library are compute-bound in a handful of
+kernels — Viterbi add-compare-select (hard and soft), the 16x32 DSSS chip
+correlation, and GF(2) rank/solve.  Each kernel is registered here under a
+*backend* name so alternative implementations can be swapped in without
+touching any call site:
+
+* ``reference`` — the plain numpy implementations the rest of the test
+  suite (and the golden-vector corpus) is defined against.  Always
+  registered, always complete.
+* ``optimized`` — pure-numpy rewrites (butterfly ACS, packed-uint64 GF(2)
+  elimination) that are bit-identical to ``reference`` by construction and
+  by the differential conformance matrix in ``tests/kernels/``.
+* ``numba`` — optional JIT backend, registered only when numba imports.
+
+Selection: the ``REPRO_KERNEL_BACKEND`` environment variable names the
+process-wide default (read once at import); :func:`set_backend` /
+``use_backend`` override it programmatically.  Resolution is *per kernel*
+with fallback: a backend that does not implement a kernel (or whose
+dependency is unavailable) falls back along its declared chain, ending at
+``reference``.  Registering a new backend is enough to enrol it in the
+conformance matrix — the tests enumerate this registry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable naming the process-wide default backend.
+ENV_VAR: str = "REPRO_KERNEL_BACKEND"
+
+#: Backend every fallback chain ends at (must implement every kernel).
+REFERENCE_BACKEND: str = "reference"
+
+#: Default backend when neither the environment nor the API chose one.
+DEFAULT_BACKEND: str = "optimized"
+
+#: The kernels a complete backend implements.
+KERNEL_NAMES: Tuple[str, ...] = (
+    "viterbi_hard",
+    "viterbi_soft",
+    "dsss_correlate",
+    "gf2_rank",
+    "gf2_solve",
+)
+
+
+@dataclass
+class BackendInfo:
+    """One declared backend.
+
+    Attributes:
+        name: registry key (also the ``REPRO_KERNEL_BACKEND`` value).
+        fallback: backend consulted for kernels this one does not
+            implement; chains always terminate at ``reference``.
+        available: False for backends whose optional dependency is
+            missing — they stay selectable (every kernel falls back) so
+            ``REPRO_KERNEL_BACKEND=numba`` degrades instead of crashing
+            on machines without numba.
+        kernels: implementations registered under this backend.
+    """
+
+    name: str
+    fallback: Optional[str]
+    available: bool = True
+    kernels: Dict[str, Callable] = field(default_factory=dict)
+
+
+class KernelRegistry:
+    """Maps (kernel, backend) to implementations with per-kernel fallback."""
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, BackendInfo] = {}
+
+    def declare_backend(
+        self,
+        name: str,
+        fallback: Optional[str] = REFERENCE_BACKEND,
+        available: bool = True,
+    ) -> BackendInfo:
+        """Declare a backend (idempotent); kernels are registered after."""
+        if name not in self._backends:
+            self._backends[name] = BackendInfo(
+                name=name, fallback=fallback, available=available
+            )
+        return self._backends[name]
+
+    def register(self, backend: str, kernel: str, fn: Callable) -> None:
+        """Register *fn* as *backend*'s implementation of *kernel*."""
+        if kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; known: {', '.join(KERNEL_NAMES)}"
+            )
+        info = self.declare_backend(backend)
+        info.kernels[kernel] = fn
+
+    def backend_names(self, available_only: bool = False) -> Tuple[str, ...]:
+        """All declared backend names, declaration order."""
+        return tuple(
+            name
+            for name, info in self._backends.items()
+            if info.available or not available_only
+        )
+
+    def implemented(self, backend: str, kernel: str) -> bool:
+        """True when *backend* implements *kernel* itself (no fallback)."""
+        info = self._backends.get(backend)
+        return bool(info and kernel in info.kernels)
+
+    def resolve(self, kernel: str, backend: str) -> Tuple[str, Callable]:
+        """The (backend name, fn) actually used for *kernel* under *backend*.
+
+        Walks the fallback chain for kernels the requested backend does not
+        implement.  Raises :class:`ConfigurationError` for unknown backend
+        names or broken chains (cycles / dead ends before ``reference``).
+        """
+        if backend not in self._backends:
+            raise ConfigurationError(
+                f"unknown kernel backend {backend!r}; "
+                f"declared: {', '.join(self._backends) or '(none)'}"
+            )
+        seen: List[str] = []
+        name: Optional[str] = backend
+        while name is not None:
+            if name in seen:
+                raise ConfigurationError(
+                    f"kernel backend fallback cycle: {' -> '.join(seen + [name])}"
+                )
+            seen.append(name)
+            info = self._backends.get(name)
+            if info is None:
+                break
+            if kernel in info.kernels:
+                return name, info.kernels[kernel]
+            name = info.fallback
+        raise ConfigurationError(
+            f"no backend implements kernel {kernel!r} "
+            f"(fallback chain {' -> '.join(seen)})"
+        )
+
+
+#: The process-wide registry every dispatching wrapper consults.
+GLOBAL_REGISTRY = KernelRegistry()
+
+
+def _initial_backend() -> str:
+    return os.environ.get(ENV_VAR, DEFAULT_BACKEND)
+
+
+#: Currently selected backend name (validated lazily, at first dispatch,
+#: so merely importing with a bad env var does not crash tooling).
+_active_backend: str = _initial_backend()
+
+
+def get_backend() -> str:
+    """The currently selected backend name."""
+    return _active_backend
+
+
+def set_backend(name: str) -> None:
+    """Select the process-wide backend; raises on undeclared names."""
+    global _active_backend
+    if name not in GLOBAL_REGISTRY.backend_names():
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; "
+            f"declared: {', '.join(GLOBAL_REGISTRY.backend_names())}"
+        )
+    _active_backend = name
+
+
+def reset_backend() -> None:
+    """Re-read the selection from the environment (tests use this)."""
+    global _active_backend
+    _active_backend = _initial_backend()
+
+
+class use_backend:
+    """Context manager selecting a backend for the enclosed block."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "use_backend":
+        self._previous = get_backend()
+        set_backend(self._name)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            set_backend(self._previous)
+
+
+def resolved_backend(kernel: str, backend: Optional[str] = None) -> str:
+    """Name of the backend that would actually run *kernel* right now."""
+    name, _ = GLOBAL_REGISTRY.resolve(kernel, backend or _active_backend)
+    return name
+
+
+def dispatch(kernel: str, *args, backend: Optional[str] = None, **kwargs):
+    """Run *kernel* on the selected (or explicitly named) backend."""
+    _, fn = GLOBAL_REGISTRY.resolve(kernel, backend or _active_backend)
+    return fn(*args, **kwargs)

@@ -27,6 +27,13 @@ and the reserved-position offsets — never on payload data — feasibility is
 established once at planning time: encoding can then never fail at runtime.
 The number of extra bits still equals the number of significant bits, so
 the paper's Table III/IV accounting is unchanged.
+
+The rank checks and per-cluster solves run on :func:`repro.utils.galois`
+wrappers that dispatch through the :mod:`repro.kernels` registry — the
+packed-uint64 ``optimized`` backend eliminates whole rows per XOR, which
+is what makes dense-cluster planning (QAM-256 rate 5/6, wideband HT40)
+cheap; conformance against the dense reference is enforced by
+``tests/kernels/``.
 """
 
 from __future__ import annotations

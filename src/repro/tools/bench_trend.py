@@ -1,0 +1,205 @@
+"""Benchmark trend gate: compare fresh BENCH_*.json against committed baselines.
+
+Usage::
+
+    python -m repro.tools.bench_trend check             # compare vs baselines
+    python -m repro.tools.bench_trend check --max-regression 0.5
+    python -m repro.tools.bench_trend schema            # validate file shape
+
+``check`` reads every ``BENCH_<suite>.json`` in the baseline directory
+(committed under ``benchmarks/baselines/``), pairs it with the fresh file
+of the same name in the current directory (the repo root, where the
+benchmark conftest writes them), and fails when any tracked ``mean_s``
+regressed by more than ``--max-regression`` (default 20%).  Suites whose
+fresh file is absent are skipped with a note — CI runs benchmark modules
+selectively — and benchmarks that exist only on one side are reported but
+never fail the gate, so adding or retiring a benchmark does not require a
+lock-step baseline update.
+
+``schema`` validates that every BENCH file carries what the trend gate
+(and the perf-trajectory tooling) relies on: each entry has a ``fullname``
+string, a positive ``mean_s``, and a positive integer ``rounds``.
+
+Exit status: number of violations (0 = clean), matching the repo's other
+CI linters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+#: Default committed-baseline directory, relative to the repo root.
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+#: Default allowed fractional regression of a tracked mean (20%).
+DEFAULT_MAX_REGRESSION = 0.20
+
+
+def load_bench_file(path: Path) -> Dict[str, dict]:
+    """The ``benchmarks`` mapping of one BENCH_<suite>.json file."""
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ValueError(f"{path}: no 'benchmarks' mapping")
+    return benchmarks
+
+
+def schema_violations(path: Path) -> List[str]:
+    """Schema problems of one BENCH file (empty = valid)."""
+    problems: List[str] = []
+    try:
+        benchmarks = load_bench_file(path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    if not benchmarks:
+        problems.append(f"{path.name}: empty benchmarks mapping")
+    for name, entry in benchmarks.items():
+        where = f"{path.name}:{name}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: entry is not an object")
+            continue
+        fullname = entry.get("fullname")
+        if not isinstance(fullname, str) or "::" not in fullname:
+            problems.append(f"{where}: missing/malformed 'fullname'")
+        mean_s = entry.get("mean_s")
+        if not isinstance(mean_s, (int, float)) or not mean_s > 0:
+            problems.append(f"{where}: 'mean_s' must be a positive number")
+        rounds = entry.get("rounds")
+        if not isinstance(rounds, int) or rounds < 1:
+            problems.append(f"{where}: 'rounds' must be a positive integer")
+    return problems
+
+
+def compare_suite(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    suite: str,
+    max_regression: float,
+) -> Tuple[List[str], List[str]]:
+    """-> (violations, notes) for one suite's baseline/current pair."""
+    violations: List[str] = []
+    notes: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            notes.append(f"{suite}:{name}: not in current run (retired?)")
+            continue
+        if name not in baseline:
+            notes.append(f"{suite}:{name}: new benchmark (no baseline yet)")
+            continue
+        base_mean = baseline[name].get("mean_s")
+        cur_mean = current[name].get("mean_s")
+        if not base_mean or not cur_mean:
+            notes.append(f"{suite}:{name}: missing mean_s, skipped")
+            continue
+        ratio = cur_mean / base_mean - 1.0
+        if ratio > max_regression:
+            violations.append(
+                f"{suite}:{name}: mean {cur_mean * 1e3:.3f} ms is "
+                f"{ratio * 100.0:+.1f}% vs baseline "
+                f"{base_mean * 1e3:.3f} ms (limit +{max_regression * 100.0:.0f}%)"
+            )
+        else:
+            notes.append(
+                f"{suite}:{name}: {ratio * 100.0:+.1f}% "
+                f"({cur_mean * 1e3:.3f} ms vs {base_mean * 1e3:.3f} ms)"
+            )
+    return violations, notes
+
+
+def _bench_files(directory: Path) -> Iterable[Path]:
+    return sorted(directory.glob("BENCH_*.json"))
+
+
+def run_check(
+    current_dir: Path,
+    baseline_dir: Path,
+    max_regression: float,
+    out=None,
+) -> int:
+    """Compare fresh BENCH files against baselines; return violation count."""
+    out = out if out is not None else sys.stdout
+    baseline_files = list(_bench_files(baseline_dir))
+    if not baseline_files:
+        print(f"no baselines under {baseline_dir}; nothing to check", file=out)
+        return 0
+    total = 0
+    for baseline_path in baseline_files:
+        current_path = current_dir / baseline_path.name
+        suite = baseline_path.stem.removeprefix("BENCH_")
+        if not current_path.exists():
+            print(f"{suite}: no fresh {baseline_path.name}; skipped", file=out)
+            continue
+        violations, notes = compare_suite(
+            load_bench_file(baseline_path),
+            load_bench_file(current_path),
+            suite,
+            max_regression,
+        )
+        for note in notes:
+            print(f"  ok  {note}", file=out)
+        for violation in violations:
+            print(f"REGRESSION {violation}", file=out)
+        total += len(violations)
+    print(
+        f"bench trend: {total} regression(s) beyond "
+        f"+{max_regression * 100.0:.0f}%",
+        file=out,
+    )
+    return total
+
+
+def run_schema(directory: Path, out=None) -> int:
+    """Validate every BENCH file in *directory*; return violation count."""
+    out = out if out is not None else sys.stdout
+    files = list(_bench_files(directory))
+    if not files:
+        print(f"no BENCH_*.json under {directory}", file=out)
+        return 1
+    total = 0
+    for path in files:
+        problems = schema_violations(path)
+        for problem in problems:
+            print(f"SCHEMA {problem}", file=out)
+        total += len(problems)
+    print(f"bench schema: {len(files)} file(s), {total} violation(s)", file=out)
+    return total
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI entry point; exit status is the violation count."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="compare fresh BENCH files vs baselines")
+    check.add_argument(
+        "--current", type=Path, default=Path("."), metavar="DIR",
+        help="directory holding the fresh BENCH_*.json (default: .)",
+    )
+    check.add_argument(
+        "--baseline", type=Path, default=Path(DEFAULT_BASELINE_DIR),
+        metavar="DIR", help=f"baseline directory (default: {DEFAULT_BASELINE_DIR})",
+    )
+    check.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        metavar="FRAC",
+        help="allowed fractional mean_s regression (default: 0.20 = +20%%)",
+    )
+
+    schema = sub.add_parser("schema", help="validate BENCH file shape")
+    schema.add_argument(
+        "--current", type=Path, default=Path("."), metavar="DIR",
+        help="directory holding the BENCH_*.json files (default: .)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return run_check(args.current, args.baseline, args.max_regression)
+    return run_schema(args.current)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,9 @@
 
 Usage::
 
-    python -m repro.tools.regen_vectors             # refresh tests/vectors/
-    python -m repro.tools.regen_vectors --outdir X  # write elsewhere
+    python -m repro.tools.regen_vectors                 # refresh tests/vectors/
+    python -m repro.tools.regen_vectors --outdir X      # write elsewhere
+    python -m repro.tools.regen_vectors --manifest-only # re-describe, no rewrite
 
 Each vector freezes one end-to-end artefact of the library — a WiFi
 encode/decode roundtrip, a ZigBee chip/frame roundtrip, a SledZig insertion
@@ -14,6 +15,11 @@ change to the bit chains or waveform synthesis fails loudly.
 
 Regenerate (and commit the diff) only when an intentional change to the
 chains makes the old vectors obsolete — the test failure message says so.
+``--manifest-only`` rebuilds every vector in memory, *verifies* it is
+bit-identical to the committed ``.npz`` (so the manifest can never drift
+from the data), and rewrites only ``manifest.json`` — used when the
+manifest schema gains fields (e.g. the kernel-backend provenance record)
+without the vectors themselves changing.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro import kernels
 from repro.channel.batch import awgn_batch
 from repro.impairments import (
     CarrierFrequencyOffset,
@@ -148,18 +155,31 @@ BUILDERS = {
 }
 
 
-def regenerate(outdir: Path) -> Dict[str, Any]:
-    """Write every vector and the manifest; returns the manifest dict."""
+def regenerate(outdir: Path, manifest_only: bool = False) -> Dict[str, Any]:
+    """Write every vector and the manifest; returns the manifest dict.
+
+    With *manifest_only* the vectors are rebuilt in memory and checked
+    bit-identical against the committed ``.npz`` files — only the manifest
+    is rewritten.  A mismatch means the chains changed and a full
+    regeneration (plus a reviewed diff) is required instead.
+    """
     outdir.mkdir(parents=True, exist_ok=True)
     manifest: Dict[str, Any] = {
         "corpus_seed": CORPUS_SEED,
         "regen_command": "python -m repro.tools.regen_vectors",
+        # Kernel provenance: which backend produced (or verified) every
+        # vector.  Conformance holds the backends bit-identical, so the
+        # corpus is backend-independent — the record documents the claim.
+        "kernel_backends": kernels.backend_report(),
         "vectors": {},
     }
     for name, builder in BUILDERS.items():
         arrays = builder()
         path = outdir / f"{name}.npz"
-        np.savez_compressed(path, **arrays)
+        if manifest_only:
+            _verify_matches(path, arrays)
+        else:
+            np.savez_compressed(path, **arrays)
         manifest["vectors"][name] = {
             "file": path.name,
             "spec": SPECS[name],
@@ -174,6 +194,22 @@ def regenerate(outdir: Path) -> Dict[str, Any]:
     return manifest
 
 
+def _verify_matches(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Assert the committed .npz holds exactly *arrays* (manifest-only mode)."""
+    if not path.exists():
+        raise SystemExit(f"{path} missing; run a full regeneration first")
+    with np.load(path) as existing:
+        if sorted(existing.files) != sorted(arrays):
+            raise SystemExit(f"{path.name}: array set changed; full regen needed")
+        for key, arr in arrays.items():
+            if not np.array_equal(existing[key], np.asarray(arr)):
+                raise SystemExit(
+                    f"{path.name}:{key} no longer matches the committed data; "
+                    f"the chains changed — run a full regeneration and review "
+                    f"the diff"
+                )
+
+
 def default_outdir() -> Path:
     """``tests/vectors`` relative to the repository root (cwd-independent)."""
     return Path(__file__).resolve().parents[3] / "tests" / "vectors"
@@ -185,11 +221,17 @@ def main(argv: "list[str] | None" = None) -> int:
         "--outdir", type=Path, default=None,
         help="corpus directory (default: the repo's tests/vectors/)",
     )
+    parser.add_argument(
+        "--manifest-only", action="store_true",
+        help="verify the committed vectors still reproduce, then rewrite "
+             "only manifest.json (no .npz is touched)",
+    )
     args = parser.parse_args(argv)
     outdir = args.outdir or default_outdir()
-    manifest = regenerate(outdir)
+    manifest = regenerate(outdir, manifest_only=args.manifest_only)
     for name, entry in manifest["vectors"].items():
-        print(f"wrote {outdir / entry['file']}")
+        verb = "verified" if args.manifest_only else "wrote"
+        print(f"{verb} {outdir / entry['file']}")
     return 0
 
 

@@ -5,11 +5,19 @@ solving tiny linear systems over GF(2): each convolutional-encoder output bit
 is an inner product of a generator polynomial with the last seven input bits.
 This module provides exactly that — inner products, matrix-vector products,
 and a Gaussian-elimination solver — with no external dependencies.
+
+The elimination kernels (:func:`gf2_rank`, :func:`gf2_solve`) dispatch
+through the :mod:`repro.kernels` registry: the dense uint8 reference and
+the packed-uint64 optimized backend produce identical pivots, solutions
+and inconsistency errors (enforced by ``tests/kernels/`` and the
+brute-force property tests in ``tests/utils/test_galois_properties.py``).
+Matrix and rhs entries must be bits (0/1); behaviour on other values is
+undefined.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,71 +53,33 @@ def poly_to_taps(poly: int, constraint_length: int) -> np.ndarray:
 
 
 def gf2_solve(
-    matrix: Sequence[Sequence[int]], rhs: Sequence[int]
+    matrix: Sequence[Sequence[int]],
+    rhs: Sequence[int],
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, bool]:
     """Solve ``A x = b`` over GF(2) by Gaussian elimination.
 
     Returns ``(solution, unique)``.  When the system is under-determined a
     particular solution is returned with free variables set to 0 and
     ``unique`` is False.  Raises :class:`EncodingError` if inconsistent.
+    *backend* overrides the process-wide kernel selection.
     """
-    a = np.asarray(matrix, dtype=np.uint8).copy()
-    b = np.asarray(rhs, dtype=np.uint8).copy()
+    from repro import kernels  # local: repro.utils imports before kernels
+
+    a = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
+    b = np.asarray(rhs, dtype=np.uint8).ravel().copy()
     if a.ndim != 2 or a.shape[0] != b.size:
         raise EncodingError("gf2_solve shape mismatch between matrix and rhs")
-    rows, cols = a.shape
-    pivot_cols: List[int] = []
-    row = 0
-    for col in range(cols):
-        pivot = None
-        for r in range(row, rows):
-            if a[r, col]:
-                pivot = r
-                break
-        if pivot is None:
-            continue
-        if pivot != row:
-            a[[row, pivot]] = a[[pivot, row]]
-            b[[row, pivot]] = b[[pivot, row]]
-        for r in range(rows):
-            if r != row and a[r, col]:
-                a[r] ^= a[row]
-                b[r] ^= b[row]
-        pivot_cols.append(col)
-        row += 1
-        if row == rows:
-            break
-    # Inconsistency: a zero row of A with nonzero rhs.
-    for r in range(row, rows):
-        if b[r] and not a[r].any():
-            raise EncodingError("gf2_solve: inconsistent linear system")
-    solution = np.zeros(cols, dtype=np.uint8)
-    for r, col in enumerate(pivot_cols):
-        solution[col] = b[r]
-    return solution, len(pivot_cols) == cols
+    return kernels.dispatch("gf2_solve", a.copy(), b, backend=backend)
 
 
-def gf2_rank(matrix: Sequence[Sequence[int]]) -> int:
+def gf2_rank(
+    matrix: Sequence[Sequence[int]], backend: Optional[str] = None
+) -> int:
     """Rank of a GF(2) matrix (row-reduction count)."""
-    a = np.asarray(matrix, dtype=np.uint8).copy()
+    from repro import kernels  # local: repro.utils imports before kernels
+
+    a = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
     if a.ndim != 2:
         raise EncodingError("gf2_rank expects a 2-D matrix")
-    rows, cols = a.shape
-    rank = 0
-    for col in range(cols):
-        pivot = None
-        for r in range(rank, rows):
-            if a[r, col]:
-                pivot = r
-                break
-        if pivot is None:
-            continue
-        if pivot != rank:
-            a[[rank, pivot]] = a[[pivot, rank]]
-        for r in range(rows):
-            if r != rank and a[r, col]:
-                a[r] ^= a[rank]
-        rank += 1
-        if rank == rows:
-            break
-    return rank
+    return int(kernels.dispatch("gf2_rank", a.copy(), backend=backend))

@@ -13,6 +13,12 @@ deinterleave -> depuncture -> Viterbi -> descramble pass over the
 :mod:`repro.dsp` kernels — the Viterbi recursion dominates receive cost, so
 this is where the batch axis pays.  The scalar :meth:`WifiReceiver.receive`
 is a batch-of-one wrapper.
+
+The Viterbi pass runs on whichever :mod:`repro.kernels` backend is selected
+(``REPRO_KERNEL_BACKEND`` / ``repro.kernels.set_backend``); the receiver
+records the resolved backend per decoded group in the
+``wifi.rx.kernel.<backend>`` telemetry counter so run manifests carry the
+kernel provenance of their numbers.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.dsp.interleaving import deinterleave_blocks
 from repro.dsp.ofdm import extract_subcarriers_batch, waveform_to_spectra
 from repro.dsp.qam import demodulate_hard_batch, demodulate_soft_batch
@@ -175,6 +181,12 @@ class WifiReceiver:
                 continue
             groups.setdefault((front.mcs, front.layout.n_symbols), []).append(idx)
         results: List[Optional[WifiReception]] = [None] * len(fronts)
+        if groups:
+            viterbi_kernel = "viterbi_soft" if soft else "viterbi_hard"
+            tel.count(
+                f"wifi.rx.kernel.{kernels.resolved_backend(viterbi_kernel)}",
+                sum(len(v) for v in groups.values()),
+            )
         with tel.span("wifi.rx.bit_domain"):
             for indices in groups.values():
                 mcs = fronts[indices[0]].mcs

@@ -5,6 +5,11 @@ valued until the per-symbol PN correlation, so burst interference (e.g. a
 WiFi preamble overlapping a few chips) degrades the correlation score
 instead of flipping hard decisions — the DSSS robustness the paper's
 Section IV-E relies on.
+
+The PN correlation dispatches through the :mod:`repro.kernels` registry
+(kernel ``dsss_correlate``); the resolved backend is recorded per decoded
+group in the ``zigbee.rx.kernel.<backend>`` telemetry counter, mirroring
+the WiFi receiver's Viterbi provenance counter.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.dsp.dsss import despread_batch
 from repro.dsp.oqpsk import PULSE_SAMPLES, demodulate_chips_batch
 from repro.errors import (
@@ -174,6 +179,11 @@ class ZigbeeReceiver:
                 continue
             groups.setdefault(n_chips, []).append(idx)
         results: List[Optional[ZigbeeReception]] = [None] * len(arrs)
+        if groups:
+            tel.count(
+                f"zigbee.rx.kernel.{kernels.resolved_backend('dsss_correlate')}",
+                sum(len(v) for v in groups.values()),
+            )
         with tel.span("zigbee.rx.decode"):
             for n_chips, indices in groups.items():
                 needed = (n_chips // 2) * PULSE_SAMPLES + SAMPLES_PER_CHIP

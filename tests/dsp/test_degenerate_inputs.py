@@ -1,0 +1,108 @@
+"""Edge-case pins: zero-length frames and empty batches through the DSP layer.
+
+Streaming callers legitimately produce empty batches (a chunk boundary
+falling exactly on a frame boundary) and zero-length frames (header-only
+traffic probes).  These must flow through encode/decode as well-formed
+empty arrays — not raise — on every kernel backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.dsp.dsss import correlate_batch, despread_batch, spread_batch
+from repro.dsp.trellis import (
+    conv_encode_batch,
+    viterbi_decode_batch,
+    viterbi_decode_soft_batch,
+)
+
+BACKENDS = [b for b in kernels.available_backends()]
+
+
+class TestEncodeDegenerate:
+    def test_empty_batch(self) -> None:
+        coded, state = conv_encode_batch(np.zeros((0, 10), dtype=np.uint8))
+        assert coded.shape == (0, 20)
+        assert coded.dtype == np.uint8
+        assert state == 0
+
+    def test_empty_batch_preserves_initial_state(self) -> None:
+        _, state = conv_encode_batch(
+            np.zeros((0, 10), dtype=np.uint8), initial_state=5
+        )
+        assert state == 5
+
+    def test_zero_length_frames(self) -> None:
+        coded, state = conv_encode_batch(
+            np.zeros((3, 0), dtype=np.uint8), initial_state=9
+        )
+        assert coded.shape == (3, 0)
+        assert state == 9
+
+    def test_empty_both_axes(self) -> None:
+        coded, state = conv_encode_batch(np.zeros((0, 0), dtype=np.uint8))
+        assert coded.shape == (0, 0)
+        assert state == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestViterbiDegenerate:
+    def test_empty_batch_hard(self, backend: str) -> None:
+        decoded = viterbi_decode_batch(
+            np.zeros((0, 20), dtype=np.uint8), backend=backend
+        )
+        assert decoded.shape == (0, 10)
+        assert decoded.dtype == np.uint8
+
+    def test_zero_steps_hard(self, backend: str) -> None:
+        decoded = viterbi_decode_batch(
+            np.zeros((4, 0), dtype=np.uint8), backend=backend
+        )
+        assert decoded.shape == (4, 0)
+
+    def test_empty_batch_soft(self, backend: str) -> None:
+        decoded = viterbi_decode_soft_batch(
+            np.zeros((0, 20), dtype=np.float64), backend=backend
+        )
+        assert decoded.shape == (0, 10)
+
+    def test_zero_steps_soft(self, backend: str) -> None:
+        decoded = viterbi_decode_soft_batch(
+            np.zeros((4, 0), dtype=np.float64), backend=backend
+        )
+        assert decoded.shape == (4, 0)
+
+    def test_roundtrip_through_empty(self, backend: str) -> None:
+        """encode -> decode of an empty batch is the identity on shapes."""
+        coded, _ = conv_encode_batch(np.zeros((0, 16), dtype=np.uint8))
+        decoded = viterbi_decode_batch(coded, backend=backend)
+        assert decoded.shape == (0, 16)
+
+
+class TestDsssDegenerate:
+    def test_spread_empty(self) -> None:
+        chips = spread_batch(np.zeros((0, 8), dtype=np.uint8))
+        assert chips.shape == (0, 64)
+
+    def test_correlate_zero_symbols(self) -> None:
+        symbols, scores = correlate_batch(np.zeros((3, 0)))
+        assert symbols.shape == (3, 0)
+        assert scores.shape == (3, 0)
+
+    def test_correlate_empty_batch(self) -> None:
+        symbols, scores = correlate_batch(np.zeros((0, 64)))
+        assert symbols.shape == (0, 2)
+        assert scores.shape == (0, 2)
+
+    def test_correlate_empty_both(self) -> None:
+        symbols, scores = correlate_batch(np.zeros((0, 0)))
+        assert symbols.shape == (0, 0)
+        assert scores.shape == (0, 0)
+
+    def test_despread_empty(self) -> None:
+        bits, scores = despread_batch(np.zeros((2, 0)))
+        assert bits.shape == (2, 0)
+        assert scores.shape == (2, 0)

@@ -1,0 +1,324 @@
+"""Differential conformance matrix: every backend against ``reference``.
+
+The matrix enumerates :data:`repro.kernels.GLOBAL_REGISTRY` — registering
+a backend is all it takes to enrol it here.  Each kernel is exercised
+through its public dispatching wrapper with an explicit ``backend=``
+override and the outputs are held **bit-identical** to the reference
+backend on two input families:
+
+* the golden-vector corpus (``tests/vectors``), which pins the kernels to
+  real encode/decode traffic, and
+* hypothesis-generated inputs covering random batch shapes, degenerate
+  (zero-length / empty-batch) inputs, all-erasure metrics, and singular
+  or inconsistent GF(2) systems (where *raising the same error* is the
+  conformance contract).
+
+Soft-metric inputs are restricted to finite floats: the reference argmax
+and the optimized strict-compare agree on every finite input but would
+diverge on NaN, and no receiver path produces NaN metrics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.dsp import dsss
+from repro.dsp.trellis import (
+    ERASURE,
+    conv_encode_batch,
+    viterbi_decode_batch,
+    viterbi_decode_soft_batch,
+)
+from repro.errors import EncodingError
+from repro.sledzig import insertion
+from repro.utils.galois import gf2_rank, gf2_solve
+
+VECTOR_DIR = Path(__file__).resolve().parents[1] / "vectors"
+
+REFERENCE = kernels.REFERENCE_BACKEND
+
+#: Every declared non-reference backend — including unavailable ones like
+#: ``numba`` without numba installed, whose kernels must *fall back* to
+#: bit-identical implementations rather than fail.
+CANDIDATES = [
+    name for name in kernels.available_backends() if name != REFERENCE
+]
+
+backends = pytest.mark.parametrize("backend", CANDIDATES)
+
+
+def _vector(name: str) -> "np.lib.npyio.NpzFile":
+    return np.load(VECTOR_DIR / f"{name}.npz")
+
+
+def _outcome(fn: Callable[[str], object], backend: str):
+    """Run *fn* under one backend -> ("ok", value) or ("raise", type, msg)."""
+    try:
+        return ("ok", fn(backend))
+    except EncodingError as exc:
+        return ("raise", type(exc), str(exc))
+
+
+def assert_conforms(fn: Callable[[str], object], backend: str) -> None:
+    """Assert *fn* produces bit-identical results (or the same error)."""
+    expected = _outcome(fn, REFERENCE)
+    actual = _outcome(fn, backend)
+    assert actual[0] == expected[0], (
+        f"backend {backend!r} {'raised' if actual[0] == 'raise' else 'returned'}"
+        f" where reference did not: {actual} vs {expected}"
+    )
+    if expected[0] == "raise":
+        assert actual[1] is expected[1]
+        return
+    exp, act = expected[1], actual[1]
+    if not isinstance(exp, tuple):
+        exp, act = (exp,), (act,)
+    assert len(act) == len(exp)
+    for i, (e, a) in enumerate(zip(exp, act)):
+        e_arr, a_arr = np.asarray(e), np.asarray(a)
+        assert e_arr.shape == a_arr.shape, f"output {i} shape mismatch"
+        assert np.array_equal(e_arr, a_arr), (
+            f"backend {backend!r} output {i} diverges from reference"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Golden-vector conformance
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_coded() -> np.ndarray:
+    """The wifi golden scrambled field, convolutionally encoded (1, 1152)."""
+    with _vector("wifi_roundtrip") as vec:
+        field = vec["scrambled_field"].astype(np.uint8)
+    coded, _ = conv_encode_batch(field[None, :])
+    return coded
+
+
+@backends
+def test_viterbi_hard_golden(backend: str, golden_coded: np.ndarray) -> None:
+    clean = golden_coded.copy()
+    flipped = golden_coded.copy()
+    flipped[:, ::13] ^= 1  # sparse channel errors
+    punctured = golden_coded.copy()
+    punctured[:, ::5] = ERASURE
+    for coded in (clean, flipped, punctured):
+        assert_conforms(
+            lambda b, c=coded: viterbi_decode_batch(
+                c, assume_zero_tail=True, backend=b
+            ),
+            backend,
+        )
+
+
+@backends
+def test_viterbi_soft_golden(backend: str, golden_coded: np.ndarray) -> None:
+    rng = np.random.default_rng(2022)
+    soft = (golden_coded.astype(np.float64) * 2.0 - 1.0) + rng.normal(
+        0.0, 0.4, size=golden_coded.shape
+    )
+    soft[:, ::7] = 0.0  # punctured positions carry no information
+    for zero_tail in (False, True):
+        assert_conforms(
+            lambda b, zt=zero_tail: viterbi_decode_soft_batch(
+                soft, assume_zero_tail=zt, backend=b
+            ),
+            backend,
+        )
+
+
+@backends
+def test_dsss_golden(backend: str) -> None:
+    with _vector("zigbee_roundtrip") as vec:
+        chips = vec["chips"].astype(np.float64)
+    rng = np.random.default_rng(2022)
+    noisy = (chips * 2.0 - 1.0) + rng.normal(0.0, 0.6, size=chips.shape)
+    assert_conforms(
+        lambda b: dsss.correlate_batch(noisy.reshape(2, -1), backend=b),
+        backend,
+    )
+    assert_conforms(lambda b: dsss.despread_batch(chips, backend=b), backend)
+
+
+@backends
+def test_gf2_golden_cluster_systems(backend: str) -> None:
+    """Rank/solve conformance on the real insertion-planning systems."""
+    plan = insertion.plan_insertion("qam64-2/3", "CH2", 12)
+    assert plan.clusters, "golden plan unexpectedly unconstrained"
+    for cluster in plan.clusters:
+        matrix = [
+            [insertion._coefficient(c, p) for p in cluster.reserved]
+            for c in cluster.constraints
+        ]
+        rhs = [c.value for c in cluster.constraints]
+        assert_conforms(lambda b, m=matrix: gf2_rank(m, backend=b), backend)
+        assert_conforms(
+            lambda b, m=matrix, r=rhs: gf2_solve(m, r, backend=b), backend
+        )
+
+
+@backends
+def test_insertion_stream_golden(backend: str) -> None:
+    """End to end: build_stream under each backend reproduces the golden stream."""
+    from repro.wifi.params import get_mcs
+
+    with _vector("sledzig_insertion") as vec:
+        stream = vec["stream"].astype(np.uint8)
+        extra = vec["extra_positions"]
+    n_symbols = stream.size // get_mcs("qam64-2/3").n_dbps
+    plan = insertion.plan_insertion("qam64-2/3", "CH2", n_symbols)
+    assert tuple(extra.tolist()) == plan.extra_positions
+    is_extra = np.zeros(stream.size, dtype=bool)
+    is_extra[extra] = True
+    payload_scrambled = stream[~is_extra]
+    with kernels.use_backend(backend):
+        rebuilt = insertion.build_stream(plan, payload_scrambled)
+    assert np.array_equal(rebuilt, stream)
+    assert not insertion.verify_stream(rebuilt, "qam64-2/3", "CH2")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-generated conformance
+# ---------------------------------------------------------------------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def coded_batches(draw) -> Tuple[np.ndarray, bool]:
+    """Random hard coded batches: any shape incl. empty, values {0,1,ERASURE}."""
+    n_batch = draw(st.integers(min_value=0, max_value=3))
+    n_steps = draw(st.integers(min_value=0, max_value=24))
+    bits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2),
+            min_size=n_batch * 2 * n_steps,
+            max_size=n_batch * 2 * n_steps,
+        )
+    )
+    coded = np.array(bits, dtype=np.uint8).reshape(n_batch, 2 * n_steps)
+    return coded, draw(st.booleans())
+
+
+@st.composite
+def soft_batches(draw) -> Tuple[np.ndarray, bool]:
+    """Random finite soft batches (LLR-like), any shape incl. empty."""
+    n_batch = draw(st.integers(min_value=0, max_value=3))
+    n_steps = draw(st.integers(min_value=0, max_value=16))
+    values = draw(
+        st.lists(
+            finite,
+            min_size=n_batch * 2 * n_steps,
+            max_size=n_batch * 2 * n_steps,
+        )
+    )
+    soft = np.array(values, dtype=np.float64).reshape(n_batch, 2 * n_steps)
+    return soft, draw(st.booleans())
+
+
+@st.composite
+def gf2_systems(draw) -> Tuple[np.ndarray, np.ndarray]:
+    """Random GF(2) systems, biased towards singular/inconsistent ones."""
+    rows = draw(st.integers(min_value=0, max_value=8))
+    cols = draw(st.integers(min_value=0, max_value=8))
+    bits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=rows * (cols + 1),
+            max_size=rows * (cols + 1),
+        )
+    )
+    arr = np.array(bits, dtype=np.uint8).reshape(rows, cols + 1)
+    matrix, rhs = arr[:, :cols], arr[:, cols].copy()
+    if rows >= 2 and draw(st.booleans()):
+        # Force a dependent row; flipping its rhs forces inconsistency.
+        matrix[-1] = matrix[0]
+        if draw(st.booleans()):
+            rhs[-1] = rhs[0] ^ 1
+        else:
+            rhs[-1] = rhs[0]
+    return matrix, rhs
+
+
+@backends
+@settings(max_examples=60, deadline=None)
+@given(case=coded_batches())
+def test_viterbi_hard_property(backend: str, case) -> None:
+    coded, zero_tail = case
+    assert_conforms(
+        lambda b: viterbi_decode_batch(
+            coded, assume_zero_tail=zero_tail, backend=b
+        ),
+        backend,
+    )
+
+
+@backends
+@settings(max_examples=60, deadline=None)
+@given(case=soft_batches())
+def test_viterbi_soft_property(backend: str, case) -> None:
+    soft, zero_tail = case
+    assert_conforms(
+        lambda b: viterbi_decode_soft_batch(
+            soft, assume_zero_tail=zero_tail, backend=b
+        ),
+        backend,
+    )
+
+
+@backends
+def test_viterbi_all_erasure(backend: str) -> None:
+    """All-erasure hard input and all-zero soft input: pure tie-breaking."""
+    hard = np.full((2, 40), ERASURE, dtype=np.uint8)
+    soft = np.zeros((2, 40), dtype=np.float64)
+    assert_conforms(
+        lambda b: viterbi_decode_batch(hard, backend=b), backend
+    )
+    assert_conforms(
+        lambda b: viterbi_decode_soft_batch(soft, backend=b), backend
+    )
+
+
+@backends
+@settings(max_examples=40, deadline=None)
+@given(
+    n_batch=st.integers(min_value=0, max_value=3),
+    n_symbols=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_dsss_property(backend: str, n_batch, n_symbols, seed) -> None:
+    rng = np.random.default_rng(seed)
+    chips = rng.normal(0.0, 1.0, size=(n_batch, 32 * n_symbols))
+    assert_conforms(
+        lambda b: dsss.correlate_batch(chips, backend=b), backend
+    )
+
+
+@backends
+@settings(max_examples=80, deadline=None)
+@given(system=gf2_systems())
+def test_gf2_property(backend: str, system) -> None:
+    matrix, rhs = system
+    assert_conforms(lambda b, m=matrix: gf2_rank(m, backend=b), backend)
+    assert_conforms(
+        lambda b, m=matrix, r=rhs: gf2_solve(m, r, backend=b), backend
+    )
+
+
+@backends
+def test_gf2_inconsistent_raises_on_every_backend(backend: str) -> None:
+    matrix = [[1, 1], [1, 1]]
+    rhs = [0, 1]
+    assert_conforms(lambda b: gf2_solve(matrix, rhs, backend=b), backend)
+    with pytest.raises(EncodingError):
+        gf2_solve(matrix, rhs, backend=backend)

@@ -1,0 +1,147 @@
+"""Unit tests for the kernel registry's selection and fallback machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.errors import ConfigurationError
+from repro.kernels.registry import KernelRegistry
+
+
+@pytest.fixture(autouse=True)
+def _restore_selection():
+    """Every test leaves the process-wide selection as it found it."""
+    before = kernels.get_backend()
+    yield
+    kernels.set_backend(before)
+
+
+class TestGlobalRegistry:
+    def test_reference_backend_is_complete(self) -> None:
+        for kernel in kernels.KERNEL_NAMES:
+            assert kernels.GLOBAL_REGISTRY.implemented("reference", kernel)
+
+    def test_declared_backends(self) -> None:
+        names = kernels.available_backends()
+        assert names[0] == "reference"
+        assert "optimized" in names
+        assert "numba" in names  # declared even when numba is absent
+
+    def test_optimized_skips_dsss_and_falls_back(self) -> None:
+        assert not kernels.GLOBAL_REGISTRY.implemented(
+            "optimized", "dsss_correlate"
+        )
+        assert kernels.resolved_backend("dsss_correlate", "optimized") == (
+            "reference"
+        )
+
+    def test_numba_resolves_without_crashing(self) -> None:
+        # With numba absent every kernel falls back; with it present the
+        # viterbi kernels resolve natively.  Either way resolution succeeds.
+        for kernel in kernels.KERNEL_NAMES:
+            resolved = kernels.resolved_backend(kernel, "numba")
+            assert resolved in kernels.available_backends()
+
+    def test_backend_report_shape(self) -> None:
+        report = kernels.backend_report("reference")
+        assert set(report) == set(kernels.KERNEL_NAMES)
+        assert set(report.values()) == {"reference"}
+
+    def test_unknown_backend_raises(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            kernels.resolved_backend("viterbi_hard", "turbo")
+
+    def test_dispatch_explicit_backend_runs(self) -> None:
+        rank = kernels.dispatch(
+            "gf2_rank", np.eye(3, dtype=np.uint8), backend="reference"
+        )
+        assert int(rank) == 3
+
+
+class TestSelection:
+    def test_set_backend_validates(self) -> None:
+        with pytest.raises(ConfigurationError):
+            kernels.set_backend("no-such-backend")
+
+    def test_use_backend_restores(self) -> None:
+        before = kernels.get_backend()
+        with kernels.use_backend("reference"):
+            assert kernels.get_backend() == "reference"
+        assert kernels.get_backend() == before
+
+    def test_use_backend_restores_on_error(self) -> None:
+        before = kernels.get_backend()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("reference"):
+                raise RuntimeError("boom")
+        assert kernels.get_backend() == before
+
+    def test_env_var_selection(self, monkeypatch) -> None:
+        monkeypatch.setenv(kernels.ENV_VAR, "reference")
+        kernels.reset_backend()
+        assert kernels.get_backend() == "reference"
+        monkeypatch.delenv(kernels.ENV_VAR)
+        kernels.reset_backend()
+        assert kernels.get_backend() == kernels.DEFAULT_BACKEND
+
+    def test_bad_env_var_fails_at_dispatch_not_import(self, monkeypatch) -> None:
+        monkeypatch.setenv(kernels.ENV_VAR, "bogus")
+        kernels.reset_backend()
+        assert kernels.get_backend() == "bogus"  # tolerated until used
+        with pytest.raises(ConfigurationError):
+            kernels.dispatch("gf2_rank", np.eye(2, dtype=np.uint8))
+
+
+class TestFallbackChains:
+    def test_partial_backend_falls_back_per_kernel(self) -> None:
+        reg = KernelRegistry()
+        reg.declare_backend("reference", fallback=None)
+        reg.register("reference", "gf2_rank", lambda a: "ref")
+        reg.register("reference", "gf2_solve", lambda a, b: "ref")
+        reg.declare_backend("fast", fallback="reference")
+        reg.register("fast", "gf2_rank", lambda a: "fast")
+        assert reg.resolve("gf2_rank", "fast")[0] == "fast"
+        assert reg.resolve("gf2_solve", "fast")[0] == "reference"
+
+    def test_chained_fallback(self) -> None:
+        reg = KernelRegistry()
+        reg.declare_backend("reference", fallback=None)
+        reg.register("reference", "viterbi_hard", lambda *a: "ref")
+        reg.declare_backend("mid", fallback="reference")
+        reg.declare_backend("top", fallback="mid")
+        assert reg.resolve("viterbi_hard", "top")[0] == "reference"
+
+    def test_cycle_detected(self) -> None:
+        reg = KernelRegistry()
+        reg.declare_backend("a", fallback="b")
+        reg.declare_backend("b", fallback="a")
+        with pytest.raises(ConfigurationError, match="cycle"):
+            reg.resolve("viterbi_hard", "a")
+
+    def test_dead_end_chain_raises(self) -> None:
+        reg = KernelRegistry()
+        reg.declare_backend("lonely", fallback=None)
+        with pytest.raises(ConfigurationError, match="no backend implements"):
+            reg.resolve("viterbi_hard", "lonely")
+
+    def test_unknown_kernel_name_rejected(self) -> None:
+        reg = KernelRegistry()
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            reg.register("reference", "fft_mixdown", lambda: None)
+
+    def test_declare_is_idempotent(self) -> None:
+        reg = KernelRegistry()
+        first = reg.declare_backend("x", fallback="reference")
+        first.kernels["gf2_rank"] = lambda a: 0
+        again = reg.declare_backend("x", fallback="something-else")
+        assert again is first
+        assert again.fallback == "reference"  # first declaration wins
+
+    def test_available_only_filter(self) -> None:
+        reg = KernelRegistry()
+        reg.declare_backend("reference", fallback=None)
+        reg.declare_backend("ghost", available=False)
+        assert reg.backend_names() == ("reference", "ghost")
+        assert reg.backend_names(available_only=True) == ("reference",)

@@ -151,3 +151,102 @@ class TestController:
     def test_bad_confirmations(self):
         with pytest.raises(ConfigurationError):
             AdaptiveSledZigController(confirmations=0)
+
+
+class TestEstimatorDecisionPaths:
+    """Boundary and empty-window paths of the estimator's decision logic."""
+
+    def _snapshot(self, t, active=None, level=-70.0, floor=-91.0):
+        levels = [floor, floor, floor, floor]
+        if active is not None:
+            levels[active - 1] = level
+        return EnergySnapshot(time_us=t, levels_db=levels)
+
+    def test_empty_window_estimate_is_none(self):
+        est = ZigbeeChannelEstimator()
+        assert est.n_observations == 0
+        assert est.activity_fractions() == [0.0, 0.0, 0.0, 0.0]
+        assert est.estimate() is None
+
+    def test_activity_exactly_at_threshold_passes(self):
+        # The gate is strict-below: a fraction equal to min_activity counts.
+        est = ZigbeeChannelEstimator(min_activity=0.5)
+        est.observe_many(
+            self._snapshot(t, active=2 if t % 2 == 0 else None)
+            for t in range(10)
+        )
+        assert est.activity_fractions()[1] == 0.5
+        assert est.estimate() == 2
+
+    def test_activity_just_below_threshold_fails(self):
+        est = ZigbeeChannelEstimator(min_activity=0.5)
+        est.observe_many(
+            self._snapshot(t, active=2 if t < 4 else None) for t in range(10)
+        )
+        assert est.estimate() is None
+
+    def test_margin_boundary_is_strict(self):
+        # Energy exactly at floor+margin does NOT count as active (> not >=).
+        est = ZigbeeChannelEstimator(noise_floor_db=-91.0, margin_db=6.0)
+        est.observe(self._snapshot(0, active=1, level=-85.0))
+        assert est.activity_fractions() == [0.0, 0.0, 0.0, 0.0]
+        est.observe(self._snapshot(1, active=1, level=-84.9))
+        assert est.activity_fractions()[0] == 0.5
+
+    def test_busiest_channel_wins_over_less_busy(self):
+        est = ZigbeeChannelEstimator()
+        est.observe_many(self._snapshot(t, active=1) for t in range(3))
+        est.observe_many(self._snapshot(t, active=4) for t in range(3, 10))
+        assert est.estimate() == 4
+
+    def test_min_activity_of_one_requires_constant_energy(self):
+        est = ZigbeeChannelEstimator(min_activity=1.0)
+        est.observe_many(self._snapshot(t, active=3) for t in range(5))
+        assert est.estimate() == 3
+        est.observe(self._snapshot(5, active=None))
+        assert est.estimate() is None
+
+
+class TestControllerDecisionPaths:
+    """Hysteresis corner cases: pending resets and switch accounting."""
+
+    def test_matching_current_resets_pending(self):
+        # Two confirmations towards channel 2, then one reading of the
+        # current state: the pending change must restart from scratch.
+        ctrl = AdaptiveSledZigController(confirmations=3)
+        ctrl.update(2)
+        ctrl.update(2)
+        ctrl.update(None)  # equals current (None) -> pending cleared
+        ctrl.update(2)
+        assert ctrl.update(2) is None  # only 2 of 3 fresh confirmations
+        assert ctrl.update(2) == 2
+
+    def test_changing_pending_restarts_count(self):
+        ctrl = AdaptiveSledZigController(confirmations=3)
+        ctrl.update(1)
+        ctrl.update(1)
+        ctrl.update(3)  # different pending -> count restarts at 1
+        ctrl.update(3)
+        assert ctrl.protected_channel is None
+        assert ctrl.update(3) == 3
+
+    def test_switch_counts_enable_disable_and_change(self):
+        ctrl = AdaptiveSledZigController(confirmations=1)
+        ctrl.update(1)   # enable
+        ctrl.update(2)   # switch
+        ctrl.update(None)  # disable
+        assert ctrl.n_switches == 3
+        assert ctrl.protected_channel is None
+
+    def test_steady_state_does_not_count_switches(self):
+        ctrl = AdaptiveSledZigController(confirmations=1)
+        for _ in range(5):
+            ctrl.update(2)
+        assert ctrl.n_switches == 1
+        assert ctrl.protected_channel == 2
+
+    def test_update_returns_current_target_every_call(self):
+        ctrl = AdaptiveSledZigController(confirmations=2)
+        assert ctrl.update(4) is None
+        assert ctrl.update(4) == 4
+        assert ctrl.update(4) == 4  # steady state echoes the target

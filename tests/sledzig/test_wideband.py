@@ -130,3 +130,81 @@ class TestHt40Tables:
     def test_unknown_mcs(self):
         with pytest.raises(ConfigurationError):
             get_ht40_mcs("qam1024-7/8")
+
+
+class TestWidebandDecisionPaths:
+    """Naming, lookup-error, overhead-range and backend-invariance paths."""
+
+    def test_w_naming_follows_position(self):
+        channels = wide_overlap_channels()
+        assert [ch.name for ch in channels] == [f"W{i}" for i in range(1, 9)]
+        assert [ch.position for ch in channels] == list(range(1, 9))
+
+    def test_channel_offsets_monotonic_across_band(self):
+        offsets = [ch.center_offset_hz for ch in wide_overlap_channels()]
+        assert offsets == sorted(offsets)
+        assert all(abs(o) < 21e6 for o in offsets)
+
+    def test_unknown_zigbee_channel_message_names_center(self):
+        with pytest.raises(ConfigurationError, match="does not overlap"):
+            wide_extra_bits_per_symbol("qam64-2/3", 11)
+
+    def test_overhead_ranges_single_digit_to_low_teens(self):
+        # The paper-level claim the module docstring makes: every
+        # (MCS, channel) pair stays within a low-teens fractional loss.
+        for name in ALL_HT40:
+            for ch in wide_overlap_channels():
+                loss = wide_throughput_loss(name, ch.zigbee_channel)
+                assert 0.0 < loss < 0.15, (name, ch.name, loss)
+
+    def test_extra_bits_scale_with_modulation_depth(self):
+        # Deeper constellations have more significant bits per subcarrier,
+        # so the per-symbol insertion count must not shrink with depth.
+        ch = wide_overlap_channels()[0]
+        counts = [
+            wide_extra_bits_per_symbol(name, ch.zigbee_channel)
+            for name in ("qam16-1/2", "qam64-2/3", "qam256-3/4")
+        ]
+        assert counts == sorted(counts)
+
+    def test_build_wide_stream_wrong_payload_size_raises(self, rng):
+        mcs = get_ht40_mcs("qam16-1/2")
+        n_symbols = 2
+        extra = wide_extra_bits_per_symbol("qam16-1/2", 19)
+        capacity = n_symbols * mcs.n_dbps - n_symbols * extra
+        for wrong in (capacity - 1, capacity + 1, 0):
+            with pytest.raises(InsertionError, match="does not fill"):
+                build_wide_stream(
+                    "qam16-1/2", 19, random_bits(wrong, rng), n_symbols
+                )
+
+    def test_build_wide_stream_backend_invariant(self, rng):
+        # The HT40 planner leans on the GF(2) kernels; the packed and the
+        # dense backends must produce the identical stream.
+        from repro import kernels
+
+        mcs = get_ht40_mcs("qam64-2/3")
+        n_symbols = 2
+        extra = wide_extra_bits_per_symbol("qam64-2/3", 22)
+        payload = random_bits(n_symbols * (mcs.n_dbps - extra), rng)
+        streams = {}
+        for backend in ("reference", "optimized"):
+            with kernels.use_backend(backend):
+                stream, positions = build_wide_stream(
+                    "qam64-2/3", 22, payload, n_symbols
+                )
+            streams[backend] = (stream, positions)
+        ref_stream, ref_pos = streams["reference"]
+        opt_stream, opt_pos = streams["optimized"]
+        assert ref_pos == opt_pos
+        assert np.array_equal(ref_stream, opt_stream)
+
+    def test_expected_decrease_finite_everywhere(self):
+        for name in ALL_HT40:
+            for ch in wide_overlap_channels():
+                decrease = wide_expected_decrease_db(name, ch.zigbee_channel)
+                assert np.isfinite(decrease)
+                # Silencing can only help or do nothing in-band; allow the
+                # BPSK-degenerate case (power ratio 2) to go negative but
+                # keep the magnitude physical.
+                assert -4.0 < decrease < 20.0, (name, ch.name, decrease)

@@ -97,3 +97,46 @@ def test_impaired_zigbee_vector_decodes_to_frozen_psdu():
     vec = load("impaired_zigbee")
     reception = ZigbeeReceiver().receive(vec["waveform"], correct_cfo=True)
     assert reception.frame.psdu == vec["psdu"].tobytes()
+
+
+def test_manifest_records_kernel_backends():
+    from repro import kernels
+
+    with open(VECTOR_DIR / "manifest.json") as fh:
+        manifest = json.load(fh)
+    report = manifest["kernel_backends"]
+    assert sorted(report) == sorted(kernels.KERNEL_NAMES)
+    declared = kernels.available_backends()
+    assert all(backend in declared for backend in report.values())
+
+
+def test_regenerate_roundtrip_and_manifest_only(tmp_path):
+    """Full regen to a scratch dir, then a manifest-only pass over it."""
+    manifest = regen_vectors.regenerate(tmp_path)
+    assert sorted(manifest["vectors"]) == sorted(regen_vectors.BUILDERS)
+    assert "kernel_backends" in manifest
+    for entry in manifest["vectors"].values():
+        assert (tmp_path / entry["file"]).exists()
+    # Manifest-only: verifies the data it just wrote, touches no .npz.
+    before = {
+        p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")
+    }
+    regen_vectors.regenerate(tmp_path, manifest_only=True)
+    after = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")}
+    assert after == before
+
+
+def test_manifest_only_rejects_drifted_vector(tmp_path):
+    regen_vectors.regenerate(tmp_path)
+    victim = tmp_path / "wifi_roundtrip.npz"
+    with np.load(victim) as vec:
+        arrays = {k: vec[k].copy() for k in vec.files}
+    arrays["psdu_bits"] = arrays["psdu_bits"] ^ 1
+    np.savez_compressed(victim, **arrays)
+    with pytest.raises(SystemExit, match="no longer matches"):
+        regen_vectors.regenerate(tmp_path, manifest_only=True)
+
+
+def test_manifest_only_requires_existing_corpus(tmp_path):
+    with pytest.raises(SystemExit, match="missing"):
+        regen_vectors.regenerate(tmp_path / "empty", manifest_only=True)

@@ -1,0 +1,190 @@
+"""Unit tests for the benchmark trend gate (repro.tools.bench_trend)."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools import bench_trend
+
+
+def _write_bench(directory: Path, suite: str, means: "dict[str, float]",
+                 **entry_overrides) -> Path:
+    entries = {}
+    for name, mean in means.items():
+        entry = {
+            "fullname": f"benchmarks/test_bench_{suite}.py::{name}",
+            "rounds": 10,
+            "iterations": 1,
+            "min_s": mean * 0.9,
+            "mean_s": mean,
+            "stddev_s": mean * 0.05,
+        }
+        entry.update(entry_overrides)
+        entries[name] = entry
+    path = directory / f"BENCH_{suite}.json"
+    path.write_text(json.dumps({"suite": suite, "benchmarks": entries}))
+    return path
+
+
+@pytest.fixture
+def dirs(tmp_path: Path) -> "tuple[Path, Path]":
+    baseline = tmp_path / "baselines"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+class TestCheck:
+    def test_clean_when_identical(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.010})
+        assert bench_trend.run_check(current, baseline, 0.20, io.StringIO()) == 0
+
+    def test_improvement_passes(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.004})
+        assert bench_trend.run_check(current, baseline, 0.20, io.StringIO()) == 0
+
+    def test_regression_beyond_limit_fails(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010, "test_b": 0.020})
+        _write_bench(current, "core", {"test_a": 0.013, "test_b": 0.020})
+        out = io.StringIO()
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 1
+        assert "REGRESSION core:test_a" in out.getvalue()
+
+    def test_regression_within_limit_passes(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.0118})
+        assert bench_trend.run_check(current, baseline, 0.20, io.StringIO()) == 0
+
+    def test_custom_limit(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.014})
+        assert bench_trend.run_check(current, baseline, 0.50, io.StringIO()) == 0
+        assert bench_trend.run_check(current, baseline, 0.20, io.StringIO()) == 1
+
+    def test_missing_current_suite_skipped(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        out = io.StringIO()
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 0
+        assert "skipped" in out.getvalue()
+
+    def test_new_and_retired_benchmarks_are_notes_not_failures(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_old": 0.010})
+        _write_bench(current, "core", {"test_new": 0.010})
+        out = io.StringIO()
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 0
+        text = out.getvalue()
+        assert "retired" in text and "no baseline" in text
+
+    def test_empty_baseline_dir_is_clean(self, dirs) -> None:
+        baseline, current = dirs
+        assert bench_trend.run_check(current, baseline, 0.20, io.StringIO()) == 0
+
+    def test_repo_baselines_match_schema_and_floor_suites(self) -> None:
+        """The committed baselines exist and include the kernels suite."""
+        root = Path(__file__).resolve().parents[2]
+        baseline_dir = root / bench_trend.DEFAULT_BASELINE_DIR
+        files = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
+        assert "BENCH_kernels.json" in files
+        for path in baseline_dir.glob("BENCH_*.json"):
+            assert bench_trend.schema_violations(path) == []
+        kernels = bench_trend.load_bench_file(
+            baseline_dir / "BENCH_kernels.json"
+        )
+        # The committed baseline itself must exhibit the speedup floors the
+        # benchmark suite asserts (>=1.5x viterbi batch-32, >=2x gf2 solve).
+        vit_ref = kernels["test_bench_viterbi_hard_batch32[reference]"]["mean_s"]
+        vit_opt = kernels["test_bench_viterbi_hard_batch32[optimized]"]["mean_s"]
+        assert vit_ref / vit_opt >= 1.5
+        gf2_ref = kernels["test_bench_gf2_solve_192[reference]"]["mean_s"]
+        gf2_opt = kernels["test_bench_gf2_solve_192[optimized]"]["mean_s"]
+        assert gf2_ref / gf2_opt >= 2.0
+
+
+class TestSchema:
+    def test_valid_file_passes(self, dirs) -> None:
+        baseline, _ = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        assert bench_trend.run_schema(baseline, io.StringIO()) == 0
+
+    def test_empty_dir_fails(self, dirs) -> None:
+        baseline, _ = dirs
+        assert bench_trend.run_schema(baseline, io.StringIO()) == 1
+
+    def test_missing_fullname(self, dirs) -> None:
+        baseline, _ = dirs
+        path = _write_bench(baseline, "core", {"test_a": 0.010})
+        data = json.loads(path.read_text())
+        del data["benchmarks"]["test_a"]["fullname"]
+        path.write_text(json.dumps(data))
+        assert bench_trend.schema_violations(path) == [
+            "BENCH_core.json:test_a: missing/malformed 'fullname'"
+        ]
+
+    def test_nonpositive_mean(self, dirs) -> None:
+        baseline, _ = dirs
+        path = _write_bench(baseline, "core", {"test_a": 0.010})
+        data = json.loads(path.read_text())
+        data["benchmarks"]["test_a"]["mean_s"] = 0.0
+        path.write_text(json.dumps(data))
+        assert any(
+            "'mean_s' must be a positive number" in p
+            for p in bench_trend.schema_violations(path)
+        )
+
+    def test_bad_rounds(self, dirs) -> None:
+        baseline, _ = dirs
+        path = _write_bench(baseline, "core", {"test_a": 0.010}, rounds=0)
+        assert any(
+            "'rounds' must be a positive integer" in p
+            for p in bench_trend.schema_violations(path)
+        )
+
+    def test_unreadable_json(self, dirs) -> None:
+        baseline, _ = dirs
+        path = baseline / "BENCH_broken.json"
+        path.write_text("{not json")
+        problems = bench_trend.schema_violations(path)
+        assert len(problems) == 1 and "unreadable" in problems[0]
+
+    def test_missing_benchmarks_mapping(self, dirs) -> None:
+        baseline, _ = dirs
+        path = baseline / "BENCH_hollow.json"
+        path.write_text(json.dumps({"suite": "hollow"}))
+        problems = bench_trend.schema_violations(path)
+        assert len(problems) == 1 and "unreadable" in problems[0]
+
+
+class TestMain:
+    def test_check_exit_status(self, dirs, monkeypatch, capsys) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.030})
+        status = bench_trend.main([
+            "check", "--current", str(current), "--baseline", str(baseline),
+        ])
+        assert status == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        status = bench_trend.main([
+            "check", "--current", str(current), "--baseline", str(baseline),
+            "--max-regression", "5.0",
+        ])
+        assert status == 0
+
+    def test_schema_exit_status(self, dirs, capsys) -> None:
+        baseline, _ = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        assert bench_trend.main(["schema", "--current", str(baseline)]) == 0

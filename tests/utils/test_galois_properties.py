@@ -1,0 +1,152 @@
+"""Brute-force property tests for the GF(2) elimination kernels.
+
+For matrices small enough to enumerate all 2^cols candidate vectors, rank
+and solvability have direct definitions that need no elimination at all:
+
+* rank = log2 of the size of the column-space image {A x mod 2};
+* ``A x = b`` is consistent iff some enumerated x satisfies it;
+* the solution is unique iff exactly one x does.
+
+Every property is checked on both registered numpy backends (the packed
+uint64 path and the dense reference), so this file is also the
+ground-truth anchor the differential conformance matrix leans on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.galois import gf2_matvec, gf2_rank, gf2_solve
+
+BACKENDS = ("reference", "optimized")
+
+
+def brute_force_rank(matrix: np.ndarray) -> int:
+    """log2 |{A x : x in GF(2)^cols}| by exhaustive enumeration."""
+    rows, cols = matrix.shape
+    image = {
+        tuple(gf2_matvec(matrix, _vector(x, cols)).tolist())
+        for x in range(2**cols)
+    }
+    size = len(image)
+    rank = size.bit_length() - 1
+    assert 2**rank == size, "image of a linear map must be a subspace"
+    return rank
+
+
+def brute_force_solutions(
+    matrix: np.ndarray, rhs: np.ndarray
+) -> List[np.ndarray]:
+    """All x with A x = b, by exhaustive enumeration."""
+    rows, cols = matrix.shape
+    return [
+        _vector(x, cols)
+        for x in range(2**cols)
+        if np.array_equal(gf2_matvec(matrix, _vector(x, cols)), rhs)
+    ]
+
+
+def _vector(value: int, n_bits: int) -> np.ndarray:
+    return np.array(
+        [(value >> i) & 1 for i in range(n_bits)], dtype=np.uint8
+    )
+
+
+@st.composite
+def small_matrices(draw) -> np.ndarray:
+    rows = draw(st.integers(min_value=1, max_value=6))
+    cols = draw(st.integers(min_value=1, max_value=6))
+    bits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.array(bits, dtype=np.uint8).reshape(rows, cols)
+
+
+@st.composite
+def small_systems(draw) -> Tuple[np.ndarray, np.ndarray]:
+    matrix = draw(small_matrices())
+    rhs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=matrix.shape[0],
+            max_size=matrix.shape[0],
+        )
+    )
+    return matrix, np.array(rhs, dtype=np.uint8)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRankProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(matrix=small_matrices())
+    def test_rank_matches_brute_force(self, backend, matrix) -> None:
+        assert gf2_rank(matrix, backend=backend) == brute_force_rank(matrix)
+
+    def test_rank_deficient_examples(self, backend) -> None:
+        duplicated = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], np.uint8)
+        assert gf2_rank(duplicated, backend=backend) == 2
+        zero = np.zeros((4, 4), dtype=np.uint8)
+        assert gf2_rank(zero, backend=backend) == 0
+        identity = np.eye(5, dtype=np.uint8)
+        assert gf2_rank(identity, backend=backend) == 5
+        # XOR-dependent (not equal) rows: r2 = r0 ^ r1.
+        xor_dep = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], np.uint8)
+        assert gf2_rank(xor_dep, backend=backend) == 2
+
+    def test_rank_wide_and_tall(self, backend) -> None:
+        wide = np.array([[1, 0, 1, 1, 0]], np.uint8)
+        assert gf2_rank(wide, backend=backend) == 1
+        tall = np.array([[1], [1], [0], [1]], np.uint8)
+        assert gf2_rank(tall, backend=backend) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSolveProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(system=small_systems())
+    def test_solve_matches_brute_force(self, backend, system) -> None:
+        matrix, rhs = system
+        solutions = brute_force_solutions(matrix, rhs)
+        if not solutions:
+            with pytest.raises(EncodingError):
+                gf2_solve(matrix, rhs, backend=backend)
+            return
+        solution, unique = gf2_solve(matrix, rhs, backend=backend)
+        # The returned vector must actually satisfy the system...
+        assert np.array_equal(gf2_matvec(matrix, solution), rhs)
+        # ...and be one of the enumerated solutions with correct uniqueness.
+        assert any(np.array_equal(solution, s) for s in solutions)
+        assert unique == (len(solutions) == 1)
+
+    def test_inconsistent_system_raises(self, backend) -> None:
+        matrix = np.array([[1, 1], [1, 1]], np.uint8)
+        rhs = np.array([0, 1], np.uint8)
+        assert brute_force_solutions(matrix, rhs) == []
+        with pytest.raises(EncodingError):
+            gf2_solve(matrix, rhs, backend=backend)
+
+    def test_underdetermined_reports_non_unique(self, backend) -> None:
+        matrix = np.array([[1, 0, 1]], np.uint8)
+        rhs = np.array([1], np.uint8)
+        solution, unique = gf2_solve(matrix, rhs, backend=backend)
+        assert not unique
+        assert np.array_equal(gf2_matvec(matrix, solution), rhs)
+        assert len(brute_force_solutions(matrix, rhs)) == 4
+
+    def test_unique_full_rank_system(self, backend) -> None:
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [0, 0, 1]], np.uint8)
+        x = np.array([1, 0, 1], np.uint8)
+        rhs = gf2_matvec(matrix, x)
+        solution, unique = gf2_solve(matrix, rhs, backend=backend)
+        assert unique
+        assert np.array_equal(solution, x)
