@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Tuple
 from repro import telemetry
 from repro.experiments import (
     ablations,
+    coexistence,
     fig04_scenario,
     fig05_spectrum,
     fig11_subcarriers,
@@ -120,6 +121,11 @@ def registry(
             axes=("cfo_ppm", "multipath_taps") if quick
             else ("cfo_ppm", "multipath_taps", "phase_noise_mrad"),
             n_frames=4 if quick else 8,
+            **_seed_kw(master_seed),
+        ),
+        "coexistence": lambda: coexistence.run(
+            quick=quick,
+            duration_us=100_000.0 if quick else 150_000.0,
             **_seed_kw(master_seed),
         ),
         "ablation-span": ablations.span_ablation,

@@ -1,17 +1,46 @@
-"""Discrete-event WiFi/ZigBee coexistence simulator (paper Figs. 14-16)."""
+"""Discrete-event WiFi/ZigBee coexistence simulator (paper Figs. 14-16).
+
+Two engine configurations share the node state machines: the two-node
+paper reproduction (``run_coexistence``, pinned bit-identically by
+``tests/mac/``) and the multi-cell scenario engine (``run_scenario``) for
+dense WiFi/ZigBee fields on the partitioned medium.
+"""
 
 from repro.mac.config import (
     WIFI_CW_MIN,
     WIFI_DIFS_US,
     WIFI_PREAMBLE_US,
+    WIFI_SCENARIO_CHANNELS,
     WIFI_SLOT_US,
     CoexistenceConfig,
     Topology,
     WifiConfig,
     ZigbeeConfig,
+    zigbee_wifi_overlap,
 )
-from repro.mac.events import EventScheduler
-from repro.mac.medium import Medium, WifiBurst, ZigbeeBurst
+from repro.mac.events import CalendarQueue, EventScheduler
+from repro.mac.medium import (
+    Medium,
+    MediumView,
+    PartitionedMedium,
+    SpatialIndex,
+    WifiBurst,
+    ZigbeeBurst,
+)
+from repro.mac.scenario import (
+    CellSpec,
+    ScenarioConfig,
+    ScenarioResult,
+    SensorSpec,
+    grid_scenario,
+    run_scenario,
+)
+from repro.mac.traffic import (
+    CBRTraffic,
+    OnOffTraffic,
+    PoissonTraffic,
+    TrafficSpec,
+)
 from repro.mac.multilink import LinkPlacement, MultiLinkResult, run_multilink
 from repro.mac.rate_control import (
     RateChoice,
@@ -25,7 +54,7 @@ from repro.mac.simulator import (
     run_coexistence,
     sweep,
 )
-from repro.mac.wifi_node import WifiNode, WifiStats
+from repro.mac.wifi_node import CellAttachment, WifiNode, WifiStats
 from repro.mac.zigbee_node import ZigbeeLink, ZigbeeStats
 
 __all__ = [name for name in dir() if not name.startswith("_")]

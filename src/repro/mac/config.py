@@ -23,6 +23,34 @@ WIFI_CW_MIN: int = 15
 #: WiFi PLCP preamble + SIGNAL duration (always full power).
 WIFI_PREAMBLE_US: float = 20.0
 
+#: The three non-overlapping 2.4 GHz WiFi channels multi-cell scenarios use.
+WIFI_SCENARIO_CHANNELS: Tuple[int, int, int] = (1, 6, 11)
+
+#: The four centre-frequency offsets (MHz, ZigBee minus WiFi) at which a
+#: 2 MHz ZigBee channel falls inside a 20 MHz WiFi band, in CH1..CH4 order.
+_OVERLAP_OFFSETS_MHZ: Tuple[int, int, int, int] = (-7, -2, 3, 8)
+
+
+def zigbee_wifi_overlap(zigbee_channel: int) -> Optional[Tuple[int, int]]:
+    """Which WiFi scenario channel an IEEE 802.15.4 channel overlaps.
+
+    Returns ``(wifi_channel, sub_index)`` where *sub_index* is the paper's
+    CH1..CH4 overlap sub-channel inside that 20 MHz band, or None when the
+    ZigBee channel overlaps none of channels 1/6/11 (15, 20, 25 and 26 are
+    the classic "clear" channels).  Centre frequencies: WiFi channel *c*
+    sits at 2407 + 5c MHz, ZigBee channel *z* at 2405 + 5(z - 11) MHz.
+    """
+    if not 11 <= zigbee_channel <= 26:
+        raise ConfigurationError(
+            f"IEEE 802.15.4 channel must be 11..26, got {zigbee_channel}"
+        )
+    zigbee_mhz = 2405 + 5 * (zigbee_channel - 11)
+    for wifi_channel in WIFI_SCENARIO_CHANNELS:
+        offset = zigbee_mhz - (2407 + 5 * wifi_channel)
+        if offset in _OVERLAP_OFFSETS_MHZ:
+            return wifi_channel, _OVERLAP_OFFSETS_MHZ.index(offset) + 1
+    return None
+
 
 @dataclass(frozen=True)
 class WifiConfig:

@@ -1,19 +1,135 @@
-"""Microsecond-resolution discrete-event scheduler.
+"""Microsecond-resolution discrete-event core: indexed calendar/heap queue.
 
-A tiny, deterministic event loop: events are (time, sequence, callback)
-tuples in a heap; ties break by insertion order so runs are reproducible
-for a fixed seed.  Time is a float in microseconds, matching the MAC
-constants of both standards (9/28 us WiFi slots vs 320 us ZigBee periods).
+The original scheduler was a plain ``heapq`` of ``(time, seq, callback)``
+tuples with a grow-only cancelled-id set — fine for two nodes, but a
+thousand-node scenario cancels and reschedules constantly (CSMA backoff
+timers, traffic arrivals), and dead entries then dominate the heap.
+
+:class:`CalendarQueue` keeps the same deterministic total order — events
+dequeue by ``(time, tie-break sequence)``, so equal timestamps resolve in
+schedule order (FIFO) — but adds an index table from event id to its live
+heap key, giving:
+
+* O(1) cancellation (the index entry is dropped; the heap entry dies lazily);
+* O(log n) rescheduling that *keeps the event id* while taking a fresh
+  tie-break (a rescheduled event behaves exactly as cancel + schedule-now);
+* bounded garbage: when dead entries outnumber live ones the heap is
+  compacted in place, so long scenario runs with heavy cancel/reschedule
+  traffic stay at O(live events) memory — the old cancelled-id set grew
+  without bound.
+
+Time is a float in microseconds, matching the MAC constants of both
+standards (9/28 us WiFi slots vs 320 us ZigBee periods).  Determinism is
+the load-bearing property: the scenario engine's bit-reproducibility (and
+the two-node golden pins in ``tests/mac/``) rest on the dequeue order being
+a pure function of the schedule/cancel/reschedule call sequence.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 EventCallback = Callable[[], None]
+
+#: Compaction is skipped below this many dead entries (tiny heaps churn).
+_COMPACT_FLOOR = 64
+
+
+class CalendarQueue:
+    """Indexed heap of ``(time, tie-break, event id)`` keys.
+
+    The queue stores opaque payloads keyed by a monotonically increasing
+    event id.  Dequeue order is strictly ``(time, tie-break)``; every
+    ``push`` and ``reschedule`` takes the next tie-break, so FIFO holds at
+    equal timestamps and a rescheduled event ties *after* events already
+    queued for its new time.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        # event id -> (time, tie-break, payload); absence means cancelled/fired.
+        self._live: Dict[int, Tuple[float, int, object]] = {}
+        self._next_id = 0
+        self._next_tiebreak = 0
+        self._dead = 0
+
+    def __len__(self) -> int:
+        """Number of live (pending) events."""
+        return len(self._live)
+
+    def push(self, time: float, payload: object) -> int:
+        """Queue *payload* at *time*; returns the event id."""
+        self._next_id += 1
+        self._next_tiebreak += 1
+        event_id = self._next_id
+        self._live[event_id] = (time, self._next_tiebreak, payload)
+        heapq.heappush(self._heap, (time, self._next_tiebreak, event_id))
+        return event_id
+
+    def remove(self, event_id: int) -> bool:
+        """Remove a pending event; False if unknown, fired, or removed."""
+        if event_id not in self._live:
+            return False
+        del self._live[event_id]
+        self._dead += 1
+        self._maybe_compact()
+        return True
+
+    def reschedule(self, event_id: int, new_time: float) -> bool:
+        """Move a pending event to *new_time*, keeping its id.
+
+        The event takes a fresh tie-break: at its new timestamp it dequeues
+        after anything already queued there, exactly as if it had been
+        cancelled and re-pushed now.  Returns False if the id is not live.
+        """
+        entry = self._live.get(event_id)
+        if entry is None:
+            return False
+        self._next_tiebreak += 1
+        self._live[event_id] = (new_time, self._next_tiebreak, entry[2])
+        heapq.heappush(self._heap, (new_time, self._next_tiebreak, event_id))
+        self._dead += 1  # the old heap key is now stale
+        self._maybe_compact()
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when empty."""
+        self._skip_dead()
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Tuple[float, int, object]:
+        """Dequeue the earliest live event as ``(time, id, payload)``."""
+        self._skip_dead()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, tiebreak, event_id = heapq.heappop(self._heap)
+        payload = self._live.pop(event_id)[2]
+        return time, event_id, payload
+
+    def _skip_dead(self) -> None:
+        """Drop stale heap keys (cancelled or superseded by reschedule)."""
+        heap = self._heap
+        while heap:
+            time, tiebreak, event_id = heap[0]
+            entry = self._live.get(event_id)
+            if entry is not None and entry[0] == time and entry[1] == tiebreak:
+                return
+            heapq.heappop(heap)
+            self._dead -= 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap from live entries once dead keys dominate."""
+        if self._dead < _COMPACT_FLOOR or self._dead <= len(self._live):
+            return
+        self._heap = [
+            (time, tiebreak, event_id)
+            for event_id, (time, tiebreak, _payload) in self._live.items()
+        ]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
 
 class EventScheduler:
@@ -21,9 +137,7 @@ class EventScheduler:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._sequence = 0
-        self._heap: List[Tuple[float, int, EventCallback]] = []
-        self._cancelled: set = set()
+        self._queue = CalendarQueue()
 
     @property
     def now(self) -> float:
@@ -34,27 +148,52 @@ class EventScheduler:
         """Schedule *callback* after *delay_us*; returns a cancellable id."""
         if delay_us < 0:
             raise SimulationError(f"cannot schedule {delay_us} us in the past")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay_us, self._sequence, callback))
-        return self._sequence
+        return self._queue.push(self._now + delay_us, callback)
 
     def cancel(self, event_id: int) -> None:
         """Cancel a pending event by id (no-op if already fired)."""
-        self._cancelled.add(event_id)
+        self._queue.remove(event_id)
 
-    def run_until(self, end_time_us: float) -> None:
-        """Process events up to and including *end_time_us*."""
+    def reschedule(self, event_id: int, delay_us: float) -> bool:
+        """Move a pending event to ``now + delay_us``, keeping its id.
+
+        Returns False when the event already fired or was cancelled — the
+        caller decides whether that means scheduling afresh.
+        """
+        if delay_us < 0:
+            raise SimulationError(f"cannot reschedule {delay_us} us in the past")
+        return self._queue.reschedule(event_id, self._now + delay_us)
+
+    def run_until(
+        self, end_time_us: float, max_events: Optional[int] = None
+    ) -> int:
+        """Process events up to and including *end_time_us*.
+
+        Returns the number of events dispatched.  *max_events* bounds the
+        dispatch count as a livelock guard for degenerate scenarios; when
+        the budget is exhausted a :class:`SimulationError` is raised with
+        the simulated time reached, so a hung configuration fails loudly
+        inside the typed error hierarchy instead of spinning forever.
+        """
         if end_time_us < self._now:
             raise SimulationError("cannot run the clock backwards")
-        while self._heap and self._heap[0][0] <= end_time_us:
-            time, seq, callback = heapq.heappop(self._heap)
-            if seq in self._cancelled:
-                self._cancelled.discard(seq)
-                continue
+        dispatched = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time_us:
+                break
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"event budget ({max_events}) exhausted at "
+                    f"t={self._now:.1f} us with {len(self._queue)} pending"
+                )
+            time, _event_id, payload = self._queue.pop()
             self._now = time
-            callback()
+            payload()  # type: ignore[operator]
+            dispatched += 1
         self._now = end_time_us
+        return dispatched
 
     def pending(self) -> int:
-        """Number of events still queued (cancelled ones included)."""
-        return len(self._heap)
+        """Number of live events still queued."""
+        return len(self._queue)

@@ -1,7 +1,22 @@
 """Shared-medium model: who hears how much power, when.
 
-The medium keeps a time-indexed record of WiFi activity and answers the two
-queries the ZigBee MAC/PHY needs:
+Two generations of medium live here:
+
+* :class:`Medium` — the original single-WiFi-interferer record the paper
+  reproduction runs on (one transmitter, distance-scaled at query time).
+  Its behaviour is pinned bit-identically by ``tests/mac/``.
+* the partitioned stack for dense scenarios — :class:`SpatialIndex`,
+  :class:`WifiBand`, :class:`ZigbeeBand`, :class:`PartitionedMedium` and
+  the :class:`MediumView` adapter.  Activity is partitioned per frequency
+  band (one :class:`WifiBand` per 20 MHz WiFi channel, one
+  :class:`ZigbeeBand` per 2 MHz ZigBee channel) and, inside a band, per
+  transmitter, so each source's bursts stay time-ordered and
+  non-overlapping and binary search still applies.  A spatial grid culls
+  sources beyond the interference range before any per-burst work, which
+  is what keeps CCA and per-symbol SINR queries affordable with hundreds
+  of nodes.
+
+Both answer the same two queries the ZigBee MAC/PHY needs:
 
 * time-averaged in-band power over an interval (for the 128 us energy-detect
   CCA — this is where the paper's "a 16 us preamble inside a 128 us window
@@ -13,18 +28,26 @@ queries the ZigBee MAC/PHY needs:
 WiFi activity is stored as intervals with two levels (preamble window at
 full power, payload at the possibly SledZig-reduced level) referenced to
 1 m; per-receiver distance scaling and optional per-packet shadowing are
-applied at query time.
+applied at query time.  Hidden terminals and capture asymmetries are
+emergent in the partitioned stack: carrier sense and reception query power
+at *positions*, so a transmitter outside another's sensing range but
+inside a receiver's interference range produces exactly the classic
+failure geometry.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.channel.calibration import Calibration
 from repro.errors import SimulationError
 from repro.utils.db import db_to_linear, linear_to_db
+
+#: Position type alias: (x, y) in metres.
+Position = Tuple[float, float]
 
 
 @dataclass(frozen=True)
@@ -41,6 +64,16 @@ class WifiBurst:
         fade_db: shadowing draw for this burst (applied to all receivers —
             transmitter-side fading; receiver-side fading is drawn by the
             receiver).
+        source: identifier of the transmitting cell in partitioned media
+            (0 in the legacy single-transmitter medium).
+        position: transmitter (x, y) for per-receiver path loss in
+            partitioned media; None in the legacy medium (distance is a
+            query argument there).
+        payload_db_by_sub: per-overlap-sub-channel payload levels
+            (CH1..CH4 of this 20 MHz band) for partitioned media — a
+            SledZig transmitter only reduces power in the sub-band it
+            protects, so receivers on the other sub-channels must read the
+            normal level.  None falls back to ``payload_db_at_1m``.
     """
 
     start_us: float
@@ -49,6 +82,9 @@ class WifiBurst:
     preamble_db_at_1m: float
     payload_db_at_1m: float
     fade_db: float = 0.0
+    source: int = 0
+    position: Optional[Position] = None
+    payload_db_by_sub: Optional[Tuple[float, float, float, float]] = None
 
 
 @dataclass(frozen=True)
@@ -107,12 +143,21 @@ class Medium:
         return out
 
     def interference_trace(
-        self, t0: float, t1: float, distance_m: float, extra_fade_db: float = 0.0
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float,
+        extra_fade_db: float = 0.0,
+        *,
+        at_position: Optional[Position] = None,
     ) -> List[Tuple[float, float, float]]:
         """Piecewise-constant WiFi in-band power at a receiver.
 
         Returns ``[(seg_start, seg_end, level_db), ...]`` covering exactly
         [t0, t1); segments with no WiFi activity carry ``-inf``.
+        *at_position* is the position-aware protocol hook shared with
+        :class:`MediumView`; this single-interferer medium captures the
+        receiver geometry entirely in *distance_m* and ignores it.
         """
         if t1 <= t0:
             return []
@@ -145,11 +190,18 @@ class Medium:
         return trace
 
     def average_power_db(
-        self, t0: float, t1: float, distance_m: float, extra_fade_db: float = 0.0
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float,
+        extra_fade_db: float = 0.0,
+        *,
+        at_position: Optional[Position] = None,
     ) -> float:
         """Time-averaged linear WiFi power over [t0, t1), in reported dB.
 
         Includes the noise floor, mirroring an energy-detect CCA register.
+        *at_position* is ignored here (see :meth:`interference_trace`).
         """
         if t1 <= t0:
             raise SimulationError("average_power_db needs a positive interval")
@@ -225,3 +277,530 @@ class Medium:
             zkeep += 1
         if zkeep:
             del self._zigbee[:zkeep]
+
+
+class SpatialIndex:
+    """Grid hash over static transmitter positions.
+
+    Nodes register once at scenario build time; queries return the sources
+    within a radius of a receiver position, sorted by source id so every
+    consumer iterates them in the same deterministic order.  Results are
+    memoised per (position, radius) — scenario node positions are static,
+    so after the first packet every lookup is a dict hit.
+    """
+
+    def __init__(self, cell_size_m: float = 10.0) -> None:
+        if cell_size_m <= 0:
+            raise SimulationError("cell_size_m must be positive")
+        self.cell_size_m = cell_size_m
+        self._positions: Dict[int, Position] = {}
+        self._grid: Dict[Tuple[int, int], List[int]] = {}
+        self._cache: Dict[Tuple[float, float, float], Tuple[int, ...]] = {}
+
+    def _cell(self, position: Position) -> Tuple[int, int]:
+        return (
+            int(math.floor(position[0] / self.cell_size_m)),
+            int(math.floor(position[1] / self.cell_size_m)),
+        )
+
+    def register(self, source: int, position: Position) -> None:
+        """Register one transmitter (re-registering a source is an error)."""
+        if source in self._positions:
+            raise SimulationError(f"source {source} already registered")
+        self._positions[source] = position
+        self._grid.setdefault(self._cell(position), []).append(source)
+        self._cache.clear()
+
+    def position(self, source: int) -> Position:
+        """Registered position of *source*."""
+        try:
+            return self._positions[source]
+        except KeyError:
+            raise SimulationError(f"source {source} is not registered") from None
+
+    def sources_within(self, position: Position, radius_m: float) -> Tuple[int, ...]:
+        """Sources within *radius_m* of *position*, sorted by id."""
+        key = (position[0], position[1], radius_m)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        span = int(math.ceil(radius_m / self.cell_size_m))
+        cx, cy = self._cell(position)
+        out: List[int] = []
+        r2 = radius_m * radius_m
+        for gx in range(cx - span, cx + span + 1):
+            for gy in range(cy - span, cy + span + 1):
+                for source in self._grid.get((gx, gy), ()):
+                    sx, sy = self._positions[source]
+                    dx = sx - position[0]
+                    dy = sy - position[1]
+                    if dx * dx + dy * dy <= r2:
+                        out.append(source)
+        result = tuple(sorted(out))
+        self._cache[key] = result
+        return result
+
+
+class _Track:
+    """Time-ordered, non-overlapping bursts of a single transmitter."""
+
+    __slots__ = ("starts", "bursts")
+
+    def __init__(self) -> None:
+        self.starts: List[float] = []
+        self.bursts: List[object] = []
+
+    def add(self, burst) -> None:
+        if self.bursts and burst.start_us < self.bursts[-1].start_us:
+            raise SimulationError(
+                "a source's bursts must be added in start-time order"
+            )
+        if burst.end_us <= burst.start_us:
+            raise SimulationError("burst must have positive duration")
+        self.starts.append(burst.start_us)
+        self.bursts.append(burst)
+
+    def overlapping(self, t0: float, t1: float) -> List[object]:
+        """Bursts of this track intersecting [t0, t1)."""
+        idx = max(0, bisect_left(self.starts, t0) - 1)
+        out: List[object] = []
+        for burst in self.bursts[idx:]:
+            if burst.start_us >= t1:
+                break
+            if burst.end_us > t0:
+                out.append(burst)
+        return out
+
+    def covering(self, t: float):
+        """The burst on air at time *t*, or None."""
+        idx = bisect_right(self.starts, t) - 1
+        if idx < 0:
+            return None
+        burst = self.bursts[idx]
+        return burst if burst.start_us <= t < burst.end_us else None
+
+    def prune_before(self, t_us: float) -> None:
+        keep = 0
+        while keep < len(self.bursts) and self.bursts[keep].end_us < t_us:
+            keep += 1
+        if keep:
+            del self.starts[:keep]
+            del self.bursts[:keep]
+
+
+class WifiBand:
+    """All WiFi activity on one 20 MHz channel, partitioned per source."""
+
+    def __init__(
+        self,
+        calibration: Calibration,
+        spatial: SpatialIndex,
+        range_m: float,
+    ) -> None:
+        self.calibration = calibration
+        self.spatial = spatial
+        self.range_m = range_m
+        self._tracks: Dict[int, _Track] = {}
+
+    def add_burst(self, burst: WifiBurst) -> None:
+        """Register one positioned WiFi transmission (keyed by its source)."""
+        if burst.position is None:
+            raise SimulationError("partitioned WiFi bursts need a position")
+        self._tracks.setdefault(burst.source, _Track()).add(burst)
+
+    def _relevant_tracks(
+        self, position: Position, exclude_source: Optional[int]
+    ) -> List[Tuple[float, _Track]]:
+        """(path loss, track) pairs for in-range sources, id order."""
+        out: List[Tuple[float, _Track]] = []
+        for source in self.spatial.sources_within(position, self.range_m):
+            if source == exclude_source:
+                continue
+            track = self._tracks.get(source)
+            if track is None or not track.bursts:
+                continue
+            sx, sy = self.spatial.position(source)
+            d = math.sqrt(
+                (sx - position[0]) ** 2 + (sy - position[1]) ** 2
+            )
+            out.append((self.calibration.path_loss_db(max(d, 0.05)), track))
+        return out
+
+    @staticmethod
+    def _burst_level(burst: WifiBurst, mid: float, sub_index: Optional[int]) -> float:
+        if mid < burst.preamble_until_us:
+            return burst.preamble_db_at_1m + burst.fade_db
+        if sub_index is not None and burst.payload_db_by_sub is not None:
+            return burst.payload_db_by_sub[sub_index - 1] + burst.fade_db
+        return burst.payload_db_at_1m + burst.fade_db
+
+    def interference_trace(
+        self,
+        t0: float,
+        t1: float,
+        position: Position,
+        sub_index: Optional[int] = None,
+        exclude_source: Optional[int] = None,
+    ) -> List[Tuple[float, float, float]]:
+        """Piecewise-constant summed WiFi power at *position* over [t0, t1).
+
+        Same contract as :meth:`Medium.interference_trace`: segments cover
+        [t0, t1) exactly and silent segments carry ``-inf``.  Unlike the
+        legacy medium, bursts of *different* sources may overlap in time;
+        their linear powers add per segment.
+        """
+        if t1 <= t0:
+            return []
+        tracks = self._relevant_tracks(position, exclude_source)
+        edges = {t0, t1}
+        actives: List[Tuple[float, _Track, List[WifiBurst]]] = []
+        for path, track in tracks:
+            bursts = track.overlapping(t0, t1)
+            if not bursts:
+                continue
+            actives.append((path, track, bursts))
+            for burst in bursts:
+                for edge in (burst.start_us, burst.preamble_until_us, burst.end_us):
+                    if t0 < edge < t1:
+                        edges.add(edge)
+        points = sorted(edges)
+        trace: List[Tuple[float, float, float]] = []
+        for seg_start, seg_end in zip(points, points[1:]):
+            mid = (seg_start + seg_end) / 2.0
+            acc = 0.0
+            for path, track, _bursts in actives:
+                burst = track.covering(mid)
+                if burst is None:
+                    continue
+                acc += db_to_linear(self._burst_level(burst, mid, sub_index) - path)
+            level = float(linear_to_db(acc)) if acc > 0 else float("-inf")
+            trace.append((seg_start, seg_end, level))
+        return trace
+
+    def average_power_db(
+        self,
+        t0: float,
+        t1: float,
+        position: Position,
+        sub_index: Optional[int] = None,
+        exclude_source: Optional[int] = None,
+    ) -> float:
+        """Time-averaged WiFi power (noise floor included), reported dB."""
+        if t1 <= t0:
+            raise SimulationError("average_power_db needs a positive interval")
+        noise = db_to_linear(self.calibration.noise_floor_db)
+        acc = 0.0
+        for seg_start, seg_end, level in self.interference_trace(
+            t0, t1, position, sub_index, exclude_source
+        ):
+            linear = noise if level == float("-inf") else noise + db_to_linear(level)
+            acc += linear * (seg_end - seg_start)
+        return float(linear_to_db(acc / (t1 - t0)))
+
+    def prune_before(self, t_us: float) -> None:
+        for track in self._tracks.values():
+            track.prune_before(t_us)
+
+
+class ZigbeeBand:
+    """All ZigBee activity on one 2 MHz channel, partitioned per source."""
+
+    def __init__(
+        self,
+        calibration: Calibration,
+        spatial: SpatialIndex,
+        range_m: float,
+    ) -> None:
+        self.calibration = calibration
+        self.spatial = spatial
+        self.range_m = range_m
+        self._tracks: Dict[int, _Track] = {}
+
+    def add_burst(self, burst: ZigbeeBurst) -> None:
+        """Register one positioned ZigBee transmission."""
+        if burst.position is None:
+            raise SimulationError("partitioned ZigBee bursts need a position")
+        self._tracks.setdefault(burst.source, _Track()).add(burst)
+
+    def bursts_at(
+        self,
+        t0: float,
+        t1: float,
+        position: Position,
+        exclude_source: Optional[int] = None,
+        band_penalty_db: float = 0.0,
+    ) -> List[Tuple[float, float, float]]:
+        """In-range peer bursts intersecting [t0, t1) as receiver powers.
+
+        Returns ``(start_us, end_us, linear_power)`` triples — path loss
+        already applied — so a per-symbol reception loop can integrate
+        peer interference with one medium query per *packet* instead of
+        one per symbol.  Source order (ascending id) fixes the float
+        summation order deterministically.
+        """
+        out: List[Tuple[float, float, float]] = []
+        if t1 <= t0:
+            return out
+        for source in self.spatial.sources_within(position, self.range_m):
+            if source == exclude_source:
+                continue
+            track = self._tracks.get(source)
+            if track is None or not track.bursts:
+                continue
+            bursts = track.overlapping(t0, t1)
+            if not bursts:
+                continue
+            sx, sy = self.spatial.position(source)
+            d = math.sqrt((sx - position[0]) ** 2 + (sy - position[1]) ** 2)
+            path = self.calibration.path_loss_db(max(d, 0.05))
+            for burst in bursts:
+                level = burst.level_db_at_1m - path - band_penalty_db
+                out.append((burst.start_us, burst.end_us, db_to_linear(level)))
+        return out
+
+    def average_power_db(
+        self,
+        t0: float,
+        t1: float,
+        position: Position,
+        exclude_source: Optional[int] = None,
+        band_penalty_db: float = 0.0,
+    ) -> float:
+        """Time-averaged ZigBee power at *position* over [t0, t1).
+
+        Returns ``-inf`` when no in-range ZigBee energy overlaps the
+        interval (matching :meth:`Medium.zigbee_average_power_db`).
+        """
+        if t1 <= t0:
+            raise SimulationError("average_power_db needs a positive interval")
+        acc = 0.0
+        any_overlap = False
+        for source in self.spatial.sources_within(position, self.range_m):
+            if source == exclude_source:
+                continue
+            track = self._tracks.get(source)
+            if track is None or not track.bursts:
+                continue
+            bursts = track.overlapping(t0, t1)
+            if not bursts:
+                continue
+            sx, sy = self.spatial.position(source)
+            d = math.sqrt((sx - position[0]) ** 2 + (sy - position[1]) ** 2)
+            path = self.calibration.path_loss_db(max(d, 0.05))
+            for burst in bursts:
+                overlap = min(burst.end_us, t1) - max(burst.start_us, t0)
+                if overlap <= 0:
+                    continue
+                any_overlap = True
+                level = burst.level_db_at_1m - path - band_penalty_db
+                acc += db_to_linear(level) * overlap
+        if not any_overlap or acc <= 0:
+            return float("-inf")
+        return float(linear_to_db(acc / (t1 - t0)))
+
+    def prune_before(self, t_us: float) -> None:
+        for track in self._tracks.values():
+            track.prune_before(t_us)
+
+
+class PartitionedMedium:
+    """Per-frequency-band, per-source, spatially indexed activity record.
+
+    One :class:`WifiBand` per 20 MHz WiFi channel and one
+    :class:`ZigbeeBand` per 2 MHz ZigBee channel, sharing a single
+    :class:`SpatialIndex` (source ids are globally unique across the
+    scenario).  Pruning is throttled so per-packet calls from hundreds of
+    sensors do not degenerate into a linear scan storm.
+    """
+
+    def __init__(
+        self,
+        calibration: Calibration,
+        spatial: Optional[SpatialIndex] = None,
+        wifi_range_m: float = 60.0,
+        zigbee_range_m: float = 25.0,
+        prune_interval_us: float = 50_000.0,
+    ) -> None:
+        self.calibration = calibration
+        self.spatial = spatial if spatial is not None else SpatialIndex()
+        self.wifi_range_m = wifi_range_m
+        self.zigbee_range_m = zigbee_range_m
+        self.prune_interval_us = prune_interval_us
+        self._wifi: Dict[int, WifiBand] = {}
+        self._zigbee: Dict[int, ZigbeeBand] = {}
+        self._last_prune_us = float("-inf")
+
+    def wifi_band(self, channel: int) -> WifiBand:
+        """The (lazily created) band of one WiFi channel."""
+        band = self._wifi.get(channel)
+        if band is None:
+            band = WifiBand(self.calibration, self.spatial, self.wifi_range_m)
+            self._wifi[channel] = band
+        return band
+
+    def zigbee_band(self, channel: int) -> ZigbeeBand:
+        """The (lazily created) band of one ZigBee channel."""
+        band = self._zigbee.get(channel)
+        if band is None:
+            band = ZigbeeBand(self.calibration, self.spatial, self.zigbee_range_m)
+            self._zigbee[channel] = band
+        return band
+
+    def prune_before(self, t_us: float) -> None:
+        """Drop bursts ended before *t_us* (throttled; memory bound)."""
+        if t_us - self._last_prune_us < self.prune_interval_us:
+            return
+        self._last_prune_us = t_us
+        for band in self._wifi.values():
+            band.prune_before(t_us)
+        for band in self._zigbee.values():
+            band.prune_before(t_us)
+
+
+class MediumView:
+    """One node's window onto a :class:`PartitionedMedium`.
+
+    Exposes the legacy :class:`Medium` query API, so the node state
+    machines (:class:`~repro.mac.wifi_node.WifiNode`,
+    :class:`~repro.mac.zigbee_node.ZigbeeLink`) run unchanged on either
+    medium generation.  Geometry routing: the legacy ``distance_m``
+    arguments are ignored — queries resolve at ``at_position`` when the
+    caller provides one, else at this view's home *position*.
+
+    Args:
+        medium: the shared partitioned record.
+        position: the node's default query position.
+        wifi_band: the WiFi band the node hears (None: no WiFi overlap —
+            WiFi queries return the noise floor / silence).
+        sub_index: the overlap sub-channel (CH1..CH4) this node occupies
+            inside *wifi_band* — selects the per-sub payload level.
+        wifi_source: this node's own source id for WiFi bursts; excluded
+            from its WiFi queries (carrier sense must not hear itself).
+        zigbee_tx_band: band this node's own ZigBee bursts land in.
+        zigbee_rx_bands: bands the node hears ZigBee energy from (a 2 MHz
+            sensor hears its own channel; a 20 MHz WiFi receiver hears
+            every ZigBee channel overlapping its band).
+    """
+
+    def __init__(
+        self,
+        medium: PartitionedMedium,
+        position: Position,
+        *,
+        wifi_band: Optional[WifiBand] = None,
+        sub_index: Optional[int] = None,
+        wifi_source: Optional[int] = None,
+        zigbee_tx_band: Optional[ZigbeeBand] = None,
+        zigbee_rx_bands: Sequence[ZigbeeBand] = (),
+    ) -> None:
+        self.medium = medium
+        self.calibration = medium.calibration
+        self.position = position
+        self._wifi_band = wifi_band
+        self._sub_index = sub_index
+        self._wifi_source = wifi_source
+        self._zigbee_tx_band = zigbee_tx_band
+        self._zigbee_rx_bands = tuple(zigbee_rx_bands)
+
+    def add_burst(self, burst: WifiBurst) -> None:
+        """Put one of this node's WiFi bursts on its band."""
+        if self._wifi_band is None:
+            raise SimulationError("this node has no WiFi band to transmit on")
+        self._wifi_band.add_burst(burst)
+
+    def add_zigbee_burst(self, burst: ZigbeeBurst) -> None:
+        """Put one of this node's ZigBee bursts on its band."""
+        if self._zigbee_tx_band is None:
+            raise SimulationError("this node has no ZigBee band to transmit on")
+        self._zigbee_tx_band.add_burst(burst)
+
+    def interference_trace(
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float = 1.0,
+        extra_fade_db: float = 0.0,
+        *,
+        at_position: Optional[Position] = None,
+    ) -> List[Tuple[float, float, float]]:
+        """WiFi interference trace at the resolved position."""
+        if t1 <= t0:
+            return []
+        if self._wifi_band is None:
+            return [(t0, t1, float("-inf"))]
+        pos = at_position if at_position is not None else self.position
+        trace = self._wifi_band.interference_trace(
+            t0, t1, pos, self._sub_index, self._wifi_source
+        )
+        if extra_fade_db:
+            trace = [
+                (s, e, level if level == float("-inf") else level + extra_fade_db)
+                for s, e, level in trace
+            ]
+        return trace
+
+    def average_power_db(
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float = 1.0,
+        extra_fade_db: float = 0.0,
+        *,
+        at_position: Optional[Position] = None,
+    ) -> float:
+        """Time-averaged WiFi power (noise included) at the position."""
+        if t1 <= t0:
+            raise SimulationError("average_power_db needs a positive interval")
+        if self._wifi_band is None:
+            return self.calibration.noise_floor_db
+        pos = at_position if at_position is not None else self.position
+        return self._wifi_band.average_power_db(
+            t0, t1, pos, self._sub_index, self._wifi_source
+        )
+
+    def zigbee_average_power_db(
+        self,
+        t0: float,
+        t1: float,
+        distance_m: float = 1.0,
+        band_penalty_db: float = 0.0,
+        exclude_source: Optional[int] = None,
+        at_position: Optional[Position] = None,
+    ) -> float:
+        """Summed ZigBee power over this node's hearable bands."""
+        pos = at_position if at_position is not None else self.position
+        acc = 0.0
+        any_energy = False
+        for band in self._zigbee_rx_bands:
+            level = band.average_power_db(
+                t0, t1, pos, exclude_source, band_penalty_db
+            )
+            if level != float("-inf"):
+                any_energy = True
+                acc += db_to_linear(level)
+        if not any_energy:
+            return float("-inf")
+        return float(linear_to_db(acc))
+
+    def zigbee_peer_bursts(
+        self,
+        t0: float,
+        t1: float,
+        exclude_source: Optional[int] = None,
+        at_position: Optional[Position] = None,
+    ) -> List[Tuple[float, float, float]]:
+        """Peer ZigBee bursts in [t0, t1) as ``(start, end, linear power)``.
+
+        The fast path for per-symbol reception: one medium query per
+        packet, then plain arithmetic per symbol.  Only the partitioned
+        medium offers this — the legacy :class:`Medium` has no equivalent,
+        and callers feature-detect it."""
+        pos = at_position if at_position is not None else self.position
+        out: List[Tuple[float, float, float]] = []
+        for band in self._zigbee_rx_bands:
+            out.extend(band.bursts_at(t0, t1, pos, exclude_source))
+        return out
+
+    def prune_before(self, t_us: float) -> None:
+        """Throttled prune of the whole partitioned record."""
+        self.medium.prune_before(t_us)

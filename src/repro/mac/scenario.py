@@ -1,0 +1,509 @@
+"""Multi-cell coexistence scenarios: many BSSs, hundreds of sensors.
+
+The two-node simulator (:mod:`repro.mac.simulator`) reproduces the paper's
+single-link experiments; this module scales the *same* node state machines
+onto the partitioned medium so one simulation can run overlapping WiFi
+cells on channels 1/6/11 against hundreds of duty-cycled ZigBee sensors —
+with hidden terminals and capture asymmetries emerging from the geometry
+rather than from switches.
+
+Determinism contract (pinned by ``tests/experiments/``):
+
+* every node draws from its own RNG stream addressed by
+  ``(master_seed, scenario name, trial index, node key)`` via
+  :func:`repro.montecarlo.seeding.node_rng` — a node's randomness depends
+  only on its stable string key, never on how many other nodes exist or
+  where it sits in the config tuples;
+* source ids, construction order, start order and result iteration all
+  follow the sorted node keys, so shuffling the config tuples changes
+  nothing;
+* the event core dequeues by ``(time, tie-break)``; with per-node streams
+  and key-ordered starts the whole run is a pure function of the config.
+
+Every run is bounded by an event budget (a livelock guard): a degenerate
+configuration fails with a typed :class:`~repro.errors.SimulationError`
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.channel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.channel.propagation import wifi_profile
+from repro.errors import ConfigurationError
+from repro.mac.config import (
+    WIFI_SCENARIO_CHANNELS,
+    CoexistenceConfig,
+    WifiConfig,
+    ZigbeeConfig,
+    zigbee_wifi_overlap,
+)
+from repro.mac.events import EventScheduler
+from repro.mac.medium import (
+    MediumView,
+    PartitionedMedium,
+    Position,
+    SpatialIndex,
+)
+from repro.mac.traffic import PoissonTraffic, TrafficSpec
+from repro.mac.wifi_node import CellAttachment, WifiNode, WifiStats
+from repro.mac.zigbee_node import ZigbeeLink, ZigbeeStats
+from repro.montecarlo.seeding import node_rng
+
+#: Default per-node-per-millisecond event allowance for the budget guard.
+_EVENTS_PER_NODE_MS = 200.0
+
+#: Budget floor so tiny scenarios still have room for startup transients.
+_EVENTS_FLOOR = 50_000
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One WiFi BSS of a scenario.
+
+    Attributes:
+        key: stable unique name (seeds the cell's RNG stream).
+        wifi_channel: 2.4 GHz channel (one of 1/6/11).
+        position: transmitter/AP (x, y) in metres.
+        rx_position: the downlink station SINR is evaluated at.
+        wifi: traffic shape and SledZig mode of this cell
+            (``sledzig_channel`` names the protected overlap sub-channel).
+        contend: carrier-sense other cells on the channel before each
+            burst; False gives a blind transmitter (hidden-terminal
+            baselines).
+    """
+
+    key: str
+    wifi_channel: int
+    position: Position
+    rx_position: Position
+    wifi: WifiConfig = field(default_factory=WifiConfig)
+    contend: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("cell key must be non-empty")
+        if self.wifi_channel not in WIFI_SCENARIO_CHANNELS:
+            raise ConfigurationError(
+                f"wifi_channel must be one of {WIFI_SCENARIO_CHANNELS}, "
+                f"got {self.wifi_channel}"
+            )
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One duty-cycled ZigBee sensor link of a scenario.
+
+    Attributes:
+        key: stable unique name (seeds the sensor's RNG stream).
+        zigbee_channel: IEEE 802.15.4 channel 11..26; the WiFi overlap
+            sub-channel is derived from it.
+        tx_position / rx_position: the link endpoints (must differ).
+        traffic: arrival process (None: saturated, the legacy mode).
+        zigbee: radio parameters (its ``channel_index`` is overridden by
+            the derived overlap sub-channel).
+        queue_limit: transmit queue bound in traffic mode (tail drop).
+    """
+
+    key: str
+    zigbee_channel: int
+    tx_position: Position
+    rx_position: Position
+    traffic: TrafficSpec = None
+    zigbee: ZigbeeConfig = field(default_factory=ZigbeeConfig)
+    queue_limit: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("sensor key must be non-empty")
+        zigbee_wifi_overlap(self.zigbee_channel)  # validates the range
+        if self.tx_position == self.rx_position:
+            raise ConfigurationError(
+                f"sensor {self.key!r}: tx and rx cannot share a position"
+            )
+        if self.queue_limit < 0:
+            raise ConfigurationError(
+                f"sensor {self.key!r}: queue_limit must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A full multi-cell coexistence scenario.
+
+    Attributes:
+        name: stable scenario name — part of every node's RNG address, so
+            distinct scenarios draw independent randomness under the same
+            master seed.
+        cells / sensors: the node population (any iteration order; the
+            engine sorts by key).
+        duration_us: simulated time.
+        master_seed / trial_index: the RNG stream address prefix.
+        fading_sigma_db: per-packet lognormal shadowing (0 disables).
+        calibration: reported-dB anchor set.
+        max_events: event-budget override; None derives a generous bound
+            from the population and duration.
+    """
+
+    name: str
+    cells: Tuple[CellSpec, ...] = ()
+    sensors: Tuple[SensorSpec, ...] = ()
+    duration_us: float = 150_000.0
+    master_seed: int = 0
+    trial_index: int = 0
+    fading_sigma_db: float = 0.0
+    calibration: Calibration = DEFAULT_CALIBRATION
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.duration_us <= 0:
+            raise ConfigurationError("duration_us must be positive")
+        if self.trial_index < 0:
+            raise ConfigurationError("trial_index must be non-negative")
+        keys = [c.key for c in self.cells] + [s.key for s in self.sensors]
+        if len(set(keys)) != len(keys):
+            seen: set = set()
+            dupes = sorted({k for k in keys if k in seen or seen.add(k)})
+            raise ConfigurationError(f"duplicate node keys: {dupes}")
+
+    def event_budget(self) -> int:
+        """The run's event allowance (explicit override or derived)."""
+        if self.max_events is not None:
+            return self.max_events
+        n_nodes = len(self.cells) + len(self.sensors)
+        derived = _EVENTS_PER_NODE_MS * max(1, n_nodes) * (self.duration_us / 1000.0)
+        return max(_EVENTS_FLOOR, int(derived))
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run.
+
+    Attributes:
+        config: the scenario that ran.
+        sensors: per-sensor counters, keyed by spec key (sorted order).
+        cells: per-cell counters, keyed by spec key (sorted order).
+        events_dispatched: total events the run processed.
+    """
+
+    config: ScenarioConfig
+    sensors: Dict[str, ZigbeeStats]
+    cells: Dict[str, WifiStats]
+    events_dispatched: int
+
+    @property
+    def packets_attempted(self) -> int:
+        return sum(s.packets_attempted for s in self.sensors.values())
+
+    @property
+    def packets_delivered(self) -> int:
+        return sum(s.packets_delivered for s in self.sensors.values())
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted across all sensors.
+
+        A scenario with nothing attempted (no sensors, or traffic models
+        that never fire) delivers everything it was asked to — 1.0 — so
+        the ratio stays a meaningful scalar for baseline variants.
+        """
+        attempted = self.packets_attempted
+        if attempted == 0:
+            return 1.0
+        return self.packets_delivered / attempted
+
+    @property
+    def zigbee_throughput_kbps(self) -> float:
+        """Network-total delivered ZigBee throughput."""
+        return sum(
+            s.payload_bits_delivered for s in self.sensors.values()
+        ) / self.config.duration_us * 1000.0
+
+    @property
+    def wifi_throughput_mbps(self) -> float:
+        """Network-total WiFi DATA throughput."""
+        return sum(
+            c.payload_bits for c in self.cells.values()
+        ) / self.config.duration_us
+
+
+def _cell_payload_by_sub(
+    wifi: WifiConfig, calibration: Calibration
+) -> Tuple[float, float, float, float]:
+    """Payload level at 1 m per overlap sub-channel CH1..CH4.
+
+    SledZig shapes only the sub-band it protects; the other three read the
+    normal (non-SledZig) level — the physical reason one cell cannot
+    protect every ZigBee channel at once.
+    """
+    from repro.wifi.params import get_mcs
+
+    modulation = get_mcs(wifi.mcs_name).modulation
+    levels = []
+    for sub in (1, 2, 3, 4):
+        protected = wifi.sledzig_enabled and wifi.sledzig_channel == sub
+        profile = wifi_profile(
+            channel=sub,
+            sledzig_modulation=modulation if protected else None,
+            tx_gain_db=wifi.tx_gain_db,
+            calibration=calibration,
+        )
+        levels.append(profile.payload_db_at_1m)
+    return tuple(levels)  # type: ignore[return-value]
+
+
+def _overlapping_zigbee_channels(wifi_channel: int) -> List[int]:
+    """IEEE 802.15.4 channels inside one WiFi band, ascending."""
+    return [
+        z
+        for z in range(11, 27)
+        if (pair := zigbee_wifi_overlap(z)) is not None and pair[0] == wifi_channel
+    ]
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Run one multi-cell scenario to completion.
+
+    Raises:
+        SimulationError: when the event budget is exhausted (livelock
+            guard) or the medium protocol is violated.
+        ConfigurationError: on invalid specs (already at construction).
+    """
+    scheduler = EventScheduler()
+    spatial = SpatialIndex()
+    medium = PartitionedMedium(config.calibration, spatial)
+    experiment = f"scenario/{config.name}"
+
+    cell_specs = {c.key: c for c in config.cells}
+    sensor_specs = {s.key: s for s in config.sensors}
+    ordered_keys = sorted(cell_specs) + sorted(sensor_specs)
+    source_by_key = {key: i + 1 for i, key in enumerate(ordered_keys)}
+
+    wifi_nodes: Dict[str, WifiNode] = {}
+    zigbee_links: Dict[str, ZigbeeLink] = {}
+
+    for key in sorted(cell_specs):
+        spec = cell_specs[key]
+        source = source_by_key[key]
+        spatial.register(source, spec.position)
+        view = MediumView(
+            medium,
+            spec.position,
+            wifi_band=medium.wifi_band(spec.wifi_channel),
+            wifi_source=source,
+            zigbee_rx_bands=tuple(
+                medium.zigbee_band(z)
+                for z in _overlapping_zigbee_channels(spec.wifi_channel)
+            ),
+        )
+        cell_config = CoexistenceConfig(
+            wifi=spec.wifi,
+            zigbee=ZigbeeConfig(channel_index=spec.wifi.sledzig_channel or 1),
+            duration_us=config.duration_us,
+            seed=0,
+            fading_sigma_db=config.fading_sigma_db,
+            calibration=config.calibration,
+        )
+        attachment = CellAttachment(
+            source=source,
+            position=spec.position,
+            rx_position=spec.rx_position,
+            payload_db_by_sub=_cell_payload_by_sub(spec.wifi, config.calibration),
+            contend=spec.contend,
+            cs_threshold_db=config.calibration.wifi_cca_threshold_db,
+        )
+        wifi_nodes[key] = WifiNode(
+            cell_config,
+            scheduler,
+            view,
+            node_rng(config.master_seed, experiment, config.trial_index, key),
+            cell=attachment,
+        )
+
+    for key in sorted(sensor_specs):
+        spec = sensor_specs[key]
+        source = source_by_key[key]
+        spatial.register(source, spec.tx_position)
+        overlap = zigbee_wifi_overlap(spec.zigbee_channel)
+        view = MediumView(
+            medium,
+            spec.tx_position,
+            wifi_band=medium.wifi_band(overlap[0]) if overlap else None,
+            sub_index=overlap[1] if overlap else None,
+            zigbee_tx_band=medium.zigbee_band(spec.zigbee_channel),
+            zigbee_rx_bands=(medium.zigbee_band(spec.zigbee_channel),),
+        )
+        sensor_config = CoexistenceConfig(
+            wifi=WifiConfig(saturated=False),
+            zigbee=replace(
+                spec.zigbee, channel_index=overlap[1] if overlap else 1
+            ),
+            duration_us=config.duration_us,
+            seed=0,
+            fading_sigma_db=config.fading_sigma_db,
+            calibration=config.calibration,
+        )
+        zigbee_links[key] = ZigbeeLink(
+            sensor_config,
+            scheduler,
+            view,
+            node_rng(config.master_seed, experiment, config.trial_index, key),
+            link_id=source,
+            tx_position=spec.tx_position,
+            rx_position=spec.rx_position,
+            traffic=spec.traffic,
+            queue_limit=spec.queue_limit,
+        )
+
+    for key in ordered_keys:
+        node = wifi_nodes.get(key) or zigbee_links.get(key)
+        node.start()
+
+    dispatched = scheduler.run_until(
+        config.duration_us, max_events=config.event_budget()
+    )
+
+    result = ScenarioResult(
+        config=config,
+        sensors={key: zigbee_links[key].stats for key in sorted(zigbee_links)},
+        cells={key: wifi_nodes[key].stats for key in sorted(wifi_nodes)},
+        events_dispatched=dispatched,
+    )
+    _export_scenario_telemetry(result)
+    return result
+
+
+def _export_scenario_telemetry(result: ScenarioResult) -> None:
+    """Per-node and aggregate counters for ``--metrics-out`` manifests.
+
+    Counter names embed the scenario name and the node key, so grid points
+    and variants never collide when one experiment run merges many
+    scenarios into a single snapshot; trials of the same scenario sum.
+    """
+    tel = telemetry.current()
+    prefix = f"scenario.{result.config.name}"
+    tel.count(f"{prefix}.runs")
+    tel.count(f"{prefix}.events", result.events_dispatched)
+    tel.count(f"{prefix}.zigbee.packets_attempted", result.packets_attempted)
+    tel.count(f"{prefix}.zigbee.packets_delivered", result.packets_delivered)
+    tel.gauge(f"{prefix}.zigbee.delivery_ratio", result.delivery_ratio)
+    for key, stats in result.sensors.items():
+        tel.count(f"{prefix}.sensor.{key}.attempted", stats.packets_attempted)
+        tel.count(f"{prefix}.sensor.{key}.delivered", stats.packets_delivered)
+    for key, stats in result.cells.items():
+        tel.count(f"{prefix}.cell.{key}.bursts", stats.bursts_sent)
+        tel.count(f"{prefix}.cell.{key}.deferrals", stats.deferrals)
+
+
+#: The BSS anchor positions of a 3-cell grid (metres): an equilateral-ish
+#: triangle ~25 m apart, channels 1/6/11 — neighbours are on different
+#: channels but inside each other's interference range via sub-overlap.
+_BSS_BASES: Tuple[Position, Position, Position] = (
+    (0.0, 0.0),
+    (25.0, 0.0),
+    (12.5, 21.65),
+)
+
+#: ZigBee channels riding sub-channel CH2 of WiFi channels 1/6/11 — the
+#: sub a SledZig cell protects in the grid scenarios.
+_GRID_ZIGBEE_CHANNELS: Tuple[int, int, int] = (12, 17, 22)
+
+#: The protected overlap sub-channel of the grid scenarios.
+GRID_SLEDZIG_SUB = 2
+
+
+def grid_scenario(
+    n_bss: int,
+    n_sensors: int,
+    *,
+    name: Optional[str] = None,
+    duration_us: float = 150_000.0,
+    master_seed: int = 0,
+    trial_index: int = 0,
+    sledzig: bool = False,
+    wifi_saturated: bool = True,
+    duty_ratio: float = 0.5,
+    burst_duration_us: float = 2000.0,
+    mcs_name: str = "qam64-2/3",
+    traffic: TrafficSpec = PoissonTraffic(rate_per_s=40.0),
+    fading_sigma_db: float = 0.0,
+    max_events: Optional[int] = None,
+) -> ScenarioConfig:
+    """A deterministic multi-cell grid: *n_bss* WiFi cells, *n_sensors* sensors.
+
+    Geometry is a pure function of the counts: cells cycle through three
+    anchor positions on channels 1/6/11 (extra triples shift 60 m east,
+    beyond interference range), each sensor attaches to cell ``j % n_bss``
+    on the ZigBee channel riding that cell's CH2 sub-band, placed on
+    golden-angle rings 4..13 m out with a 0.5 m link.  With ``sledzig``
+    every cell protects CH2 — exactly the sensors' sub-channel.
+
+    Degenerate counts are first-class: ``n_bss=0`` is the ZigBee-alone
+    field (sensors cluster around the origin anchors), ``n_sensors=0`` the
+    WiFi-alone grid.
+    """
+    if n_bss < 0 or n_sensors < 0:
+        raise ConfigurationError("node counts must be non-negative")
+    scenario_name = name or (
+        f"grid/b{n_bss}/s{n_sensors}/"
+        f"{'sledzig' if sledzig else 'wifi' if wifi_saturated else 'quiet'}"
+    )
+
+    def _cell_anchor(index: int) -> Position:
+        base = _BSS_BASES[index % 3]
+        return (base[0] + 60.0 * (index // 3), base[1])
+
+    cells = tuple(
+        CellSpec(
+            key=f"bss{k:02d}",
+            wifi_channel=WIFI_SCENARIO_CHANNELS[k % 3],
+            position=_cell_anchor(k),
+            rx_position=(_cell_anchor(k)[0], _cell_anchor(k)[1] + 1.0),
+            wifi=WifiConfig(
+                mcs_name=mcs_name,
+                sledzig_channel=GRID_SLEDZIG_SUB if sledzig else None,
+                duty_ratio=duty_ratio,
+                burst_duration_us=burst_duration_us,
+                saturated=wifi_saturated,
+            ),
+        )
+        for k in range(n_bss)
+    )
+
+    sensors = []
+    for j in range(n_sensors):
+        anchor_index = j % n_bss if n_bss > 0 else j % 3
+        center = _cell_anchor(anchor_index)
+        ring = (j // max(1, n_bss)) % 4
+        radius = 4.0 + 3.0 * ring
+        angle = math.radians((j * 137.5) % 360.0)
+        tx = (
+            center[0] + radius * math.cos(angle),
+            center[1] + radius * math.sin(angle),
+        )
+        sensors.append(
+            SensorSpec(
+                key=f"sensor{j:03d}",
+                zigbee_channel=_GRID_ZIGBEE_CHANNELS[anchor_index % 3],
+                tx_position=tx,
+                rx_position=(tx[0] + 0.3, tx[1] + 0.4),
+                traffic=traffic,
+            )
+        )
+
+    return ScenarioConfig(
+        name=scenario_name,
+        cells=cells,
+        sensors=tuple(sensors),
+        duration_us=duration_us,
+        master_seed=master_seed,
+        trial_index=trial_index,
+        fading_sigma_db=fading_sigma_db,
+        max_events=max_events,
+    )

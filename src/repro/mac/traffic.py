@@ -1,0 +1,180 @@
+"""Traffic models for scenario-mode ZigBee sensors.
+
+The two-node paper reproduction runs the ZigBee link *saturated*: a new
+packet is enqueued the instant the previous one finishes.  Scenario-mode
+sensors are duty-cycled — a field of two hundred saturated sensors says
+nothing about coexistence, because the medium is wall-to-wall ZigBee
+regardless of what WiFi does.  This module provides the arrival processes
+the scenario engine draws packet inter-arrival times from:
+
+* :class:`PoissonTraffic` — exponential inter-arrivals at a mean rate;
+  the classic memoryless sensor-network reporting model.
+* :class:`CBRTraffic` — constant bit rate: a packet every ``period_us``,
+  the periodic sampling model (temperature every 500 ms).
+* :class:`OnOffTraffic` — bursty ON/OFF: alternating exponential ON and
+  OFF phases; packets arrive Poisson inside ON phases only.  Models
+  event-triggered sensors (motion, alarms) whose load clumps.
+
+Specs are frozen dataclasses (hashable, safe inside scenario configs that
+cross process boundaries under ``--workers``); ``build()`` returns a
+stateful sampler whose only entropy source is the per-node RNG stream
+handed in at call time.  Samplers never consume RNG at construction, so a
+node's draw sequence is a pure function of its own stream — the property
+the determinism tests pin.
+
+Sampler protocol::
+
+    sampler.next_interval_us(rng) -> float | None
+
+``None`` means "no further arrivals ever" (a degenerate spec such as an
+ON/OFF model with a zero-duration ON phase); the scenario engine then
+simply never schedules another packet for that node.  A ``None`` traffic
+model at the node level means *saturated* — the legacy behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Union
+
+from repro.errors import ConfigurationError
+
+
+class TrafficSampler(Protocol):
+    """Stateful arrival-process sampler (one per node)."""
+
+    def next_interval_us(self, rng) -> Optional[float]:
+        """Time from now to the next packet arrival, or None for never."""
+        ...
+
+
+@dataclass(frozen=True)
+class PoissonTraffic:
+    """Memoryless arrivals at ``rate_per_s`` packets per second."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ConfigurationError(
+                f"Poisson rate must be >= 0, got {self.rate_per_s}"
+            )
+
+    def build(self) -> "_PoissonSampler":
+        return _PoissonSampler(self.rate_per_s)
+
+
+class _PoissonSampler:
+    def __init__(self, rate_per_s: float) -> None:
+        self._mean_us = 1e6 / rate_per_s if rate_per_s > 0 else None
+
+    def next_interval_us(self, rng) -> Optional[float]:
+        if self._mean_us is None:
+            return None
+        return float(rng.exponential(self._mean_us))
+
+
+@dataclass(frozen=True)
+class CBRTraffic:
+    """One packet every ``period_us`` (constant bit rate reporting)."""
+
+    period_us: float
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ConfigurationError(
+                f"CBR period must be positive, got {self.period_us}"
+            )
+
+    def build(self) -> "_CBRSampler":
+        return _CBRSampler(self.period_us)
+
+
+class _CBRSampler:
+    def __init__(self, period_us: float) -> None:
+        self._period_us = period_us
+
+    def next_interval_us(self, rng) -> Optional[float]:
+        return self._period_us
+
+
+@dataclass(frozen=True)
+class OnOffTraffic:
+    """Bursty arrivals: Poisson at ``rate_per_s`` during exponential ON
+    phases (mean ``mean_on_us``), silent during exponential OFF phases
+    (mean ``mean_off_us``).
+
+    Degenerate phases are well-defined rather than errors, because sweep
+    grids hit them naturally:
+
+    * ``mean_on_us == 0`` — the ON phase never opens: no arrivals, ever
+      (the sampler returns None).
+    * ``mean_off_us == 0`` — no gap between bursts: collapses to plain
+      Poisson at ``rate_per_s``.
+    * ``rate_per_s == 0`` — ON phases carry no packets: no arrivals.
+    """
+
+    rate_per_s: float
+    mean_on_us: float
+    mean_off_us: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ConfigurationError(
+                f"ON/OFF rate must be >= 0, got {self.rate_per_s}"
+            )
+        if self.mean_on_us < 0 or self.mean_off_us < 0:
+            raise ConfigurationError(
+                "ON/OFF phase durations must be >= 0, got "
+                f"on={self.mean_on_us} off={self.mean_off_us}"
+            )
+
+    def build(self) -> "_OnOffSampler":
+        return _OnOffSampler(self.rate_per_s, self.mean_on_us, self.mean_off_us)
+
+
+class _OnOffSampler:
+    """Walks ON/OFF phase boundaries, accumulating skipped OFF time.
+
+    The sampler tracks how much ON time remains in the current phase.  An
+    exponential arrival draw that fits inside the remaining ON time is an
+    arrival; one that overshoots burns the remainder, adds an OFF phase
+    draw to the accumulated delay, opens a fresh ON phase and retries.
+    RNG draw order is fixed (arrival, then OFF duration, then ON duration)
+    so the sequence is reproducible from the stream alone.
+    """
+
+    def __init__(self, rate_per_s: float, mean_on_us: float, mean_off_us: float) -> None:
+        self._rate_per_s = rate_per_s
+        self._mean_on_us = mean_on_us
+        self._mean_off_us = mean_off_us
+        self._mean_gap_us = 1e6 / rate_per_s if rate_per_s > 0 else None
+        self._on_left_us: Optional[float] = None  # None: phase not yet drawn
+
+    def next_interval_us(self, rng) -> Optional[float]:
+        if self._mean_gap_us is None or self._mean_on_us == 0.0:
+            return None
+        if self._mean_off_us == 0.0:
+            return float(rng.exponential(self._mean_gap_us))
+        if self._on_left_us is None:
+            self._on_left_us = float(rng.exponential(self._mean_on_us))
+        delay = 0.0
+        while True:
+            gap = float(rng.exponential(self._mean_gap_us))
+            if gap <= self._on_left_us:
+                self._on_left_us -= gap
+                return delay + gap
+            delay += self._on_left_us
+            delay += float(rng.exponential(self._mean_off_us))
+            self._on_left_us = float(rng.exponential(self._mean_on_us))
+
+
+#: A scenario traffic spec: None means saturated (legacy behaviour).
+TrafficSpec = Union[PoissonTraffic, CBRTraffic, OnOffTraffic, None]
+
+
+def build_sampler(spec: TrafficSpec) -> Optional[TrafficSampler]:
+    """Instantiate the sampler for *spec* (None stays None: saturated)."""
+    if spec is None:
+        return None
+    return spec.build()

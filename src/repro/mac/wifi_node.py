@@ -19,8 +19,9 @@ reproduce the paper's "no WiFi BER increase" observation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +35,43 @@ from repro.mac.config import (
     CoexistenceConfig,
 )
 from repro.mac.events import EventScheduler
-from repro.mac.medium import Medium, WifiBurst
+from repro.mac.medium import Medium, Position, WifiBurst
+
+#: 802.11 maximum contention window (slots) for deferral backoff doubling.
+WIFI_CW_MAX = 1023
+
+
+@dataclass(frozen=True)
+class CellAttachment:
+    """Scenario-mode identity of a WiFi transmitter (one BSS).
+
+    The legacy two-node simulator has a single unpositioned WiFi
+    transmitter; a scenario attaches each :class:`WifiNode` to a cell so
+    its bursts carry a source id, a position and per-sub-channel payload
+    levels, and so it carrier-senses *other* BSSs on its channel before
+    transmitting (inter-BSS contention — hidden terminals emerge when two
+    cells sit outside each other's sensing range).
+
+    Attributes:
+        source: globally unique transmitter id (spatial-index key).
+        position: the AP/transmitter (x, y) in metres.
+        rx_position: the station the downlink SINR is evaluated at.
+        payload_db_by_sub: payload level at 1 m per ZigBee overlap
+            sub-channel CH1..CH4 of this 20 MHz band — only the SledZig-
+            protected sub is reduced.
+        contend: carrier-sense other cells before each burst (False makes
+            the node a blind transmitter, e.g. for hidden-terminal
+            baselines).
+        cs_threshold_db: busy verdict threshold for inter-BSS carrier
+            sense (the calibration's ``wifi_cca_threshold_db``).
+    """
+
+    source: int
+    position: Position
+    rx_position: Position
+    payload_db_by_sub: Optional[Tuple[float, float, float, float]] = None
+    contend: bool = True
+    cs_threshold_db: float = -75.0
 
 
 @dataclass
@@ -46,6 +83,8 @@ class WifiStats:
         airtime_us: total on-air time.
         payload_bits: DATA bits carried (excludes SledZig extra bits).
         extra_bits: SledZig overhead bits carried.
+        deferrals: scenario-mode carrier-sense busy verdicts (inter-BSS
+            contention; always 0 in the legacy two-node simulator).
     """
 
     bursts_sent: int = 0
@@ -55,6 +94,7 @@ class WifiStats:
     bursts_ok: int = 0
     bursts_degraded: int = 0
     worst_sinr_db: float = float("inf")
+    deferrals: int = 0
 
     def throughput_mbps(self, duration_us: float) -> float:
         """Application-level WiFi throughput in Mbit/s."""
@@ -72,6 +112,7 @@ class WifiNode:
         scheduler: EventScheduler,
         medium: Medium,
         rng: np.random.Generator,
+        cell: Optional[CellAttachment] = None,
     ) -> None:
         from repro.sledzig.analysis import throughput_loss
         from repro.wifi.params import get_mcs
@@ -80,6 +121,8 @@ class WifiNode:
         self.scheduler = scheduler
         self.medium = medium
         self.rng = rng
+        self.cell = cell
+        self._cw = WIFI_CW_MIN
         self.stats = WifiStats()
         self.mcs = get_mcs(config.wifi.mcs_name)
         wifi = config.wifi
@@ -107,8 +150,37 @@ class WifiNode:
         slots = int(self.rng.integers(0, WIFI_CW_MIN + 1))
         return WIFI_DIFS_US + slots * WIFI_SLOT_US
 
+    def _channel_clear(self) -> bool:
+        """Inter-BSS carrier sense over the last slot at our own position.
+
+        Only other sources on this cell's band count (the medium view
+        excludes our own bursts); a cell outside every peer's sensing
+        range always reads clear — that asymmetry *is* the hidden-terminal
+        geometry.
+        """
+        assert self.cell is not None
+        now = self.scheduler.now
+        t0 = max(0.0, now - WIFI_SLOT_US)
+        if now - t0 <= 0:
+            return True
+        level = self.medium.average_power_db(
+            t0, now, 1.0, at_position=self.cell.position
+        )
+        return level <= self.cell.cs_threshold_db
+
     def _begin_burst(self) -> None:
         wifi = self.config.wifi
+        if self.cell is not None and self.cell.contend:
+            if not self._channel_clear():
+                # Busy: binary-exponential backoff, then listen again.
+                self.stats.deferrals += 1
+                self._cw = min(2 * self._cw + 1, WIFI_CW_MAX)
+                slots = int(self.rng.integers(0, self._cw + 1))
+                self.scheduler.schedule(
+                    WIFI_DIFS_US + slots * WIFI_SLOT_US, self._begin_burst
+                )
+                return
+            self._cw = WIFI_CW_MIN
         now = self.scheduler.now
         if wifi.duty_ratio >= 1.0:
             # Continuous stream: one burst to the end of the simulation.
@@ -140,6 +212,11 @@ class WifiNode:
             preamble_db_at_1m=self.profile.preamble_db_at_1m,
             payload_db_at_1m=self.profile.payload_db_at_1m,
             fade_db=fade,
+            source=self.cell.source if self.cell is not None else 0,
+            position=self.cell.position if self.cell is not None else None,
+            payload_db_by_sub=(
+                self.cell.payload_db_by_sub if self.cell is not None else None
+            ),
         )
         self.medium.add_burst(burst)
         self.stats.bursts_sent += 1
@@ -164,15 +241,32 @@ class WifiNode:
 
         topo = self.config.topology
         cal = self.config.calibration
-        signal = wifi_at_wifi_rx(
-            distance(topo.wifi_tx, topo.wifi_rx), self.config.wifi.tx_gain_db, cal
-        )
-        zigbee = self.medium.zigbee_average_power_db(
-            start,
-            end,
-            distance(topo.zigbee_tx, topo.wifi_rx),
-            band_penalty_db=cal.zigbee_wifi_band_penalty_db,
-        )
+        if self.cell is not None:
+            d_link = max(
+                math.hypot(
+                    self.cell.position[0] - self.cell.rx_position[0],
+                    self.cell.position[1] - self.cell.rx_position[1],
+                ),
+                0.05,
+            )
+            signal = wifi_at_wifi_rx(d_link, self.config.wifi.tx_gain_db, cal)
+            zigbee = self.medium.zigbee_average_power_db(
+                start,
+                end,
+                1.0,
+                band_penalty_db=cal.zigbee_wifi_band_penalty_db,
+                at_position=self.cell.rx_position,
+            )
+        else:
+            signal = wifi_at_wifi_rx(
+                distance(topo.wifi_tx, topo.wifi_rx), self.config.wifi.tx_gain_db, cal
+            )
+            zigbee = self.medium.zigbee_average_power_db(
+                start,
+                end,
+                distance(topo.zigbee_tx, topo.wifi_rx),
+                band_penalty_db=cal.zigbee_wifi_band_penalty_db,
+            )
         denom = db_to_linear(cal.noise_floor_db)
         if zigbee != float("-inf"):
             denom += db_to_linear(zigbee)

@@ -17,8 +17,9 @@ limitation emerges from the mechanics rather than a special case.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.errors import SimulationError
 from repro.mac.config import CoexistenceConfig
 from repro.mac.events import EventScheduler
 from repro.mac.medium import Medium
+from repro.mac.traffic import TrafficSpec, build_sampler
 from repro.utils.db import db_to_linear, linear_to_db
 from repro.zigbee.frame import frame_duration_us
 from repro.zigbee.link_model import symbol_error_probability
@@ -63,6 +65,11 @@ class ZigbeeStats:
     payload_bits_delivered: float = 0.0
     cca_attempts: int = 0
     cca_busy: int = 0
+    #: Traffic-model packet arrivals (0 in the legacy saturated mode,
+    #: where packets are generated back-to-back rather than arriving).
+    arrivals: int = 0
+    #: Arrivals discarded because the transmit queue was full.
+    queue_dropped: int = 0
 
     def throughput_kbps(self, duration_us: float) -> float:
         """Delivered payload throughput in kbit/s."""
@@ -78,8 +85,28 @@ class ZigbeeStats:
         return self.packets_delivered / self.packets_attempted
 
 
+def _clamped_distance(
+    a: "tuple[float, float]", b: "tuple[float, float]"
+) -> float:
+    """Pairwise distance floored at 5 cm (never raises on coincidence).
+
+    Scenario geometry can legitimately place a node arbitrarily close to
+    (or on top of) the legacy topology's WiFi origin; the partitioned
+    medium ignores these legacy distance arguments anyway.
+    """
+    return max(math.hypot(a[0] - b[0], a[1] - b[1]), 0.05)
+
+
 class ZigbeeLink:
-    """A saturated ZigBee transmitter-receiver pair."""
+    """A ZigBee transmitter-receiver pair (saturated or traffic-driven).
+
+    With ``traffic=None`` (the default) the link is *saturated*: a new
+    packet enters CSMA-CA the instant the previous one finishes — the
+    paper-reproduction mode, pinned bit-identically by ``tests/mac/``.
+    With a :mod:`repro.mac.traffic` spec, packets instead *arrive* from
+    the sampler; arrivals during a transmission wait in a bounded FIFO
+    queue (tail-drop beyond ``queue_limit``).
+    """
 
     def __init__(
         self,
@@ -90,7 +117,11 @@ class ZigbeeLink:
         link_id: int = 0,
         tx_position: "tuple[float, float] | None" = None,
         rx_position: "tuple[float, float] | None" = None,
+        traffic: TrafficSpec = None,
+        queue_limit: int = 8,
     ) -> None:
+        if queue_limit < 0:
+            raise SimulationError(f"queue_limit must be >= 0, got {queue_limit}")
         self.config = config
         self.scheduler = scheduler
         self.medium = medium
@@ -100,8 +131,8 @@ class ZigbeeLink:
         topo = config.topology
         self.tx_position = tx_position or topo.zigbee_tx
         self.rx_position = rx_position or topo.zigbee_rx
-        self.d_tx_to_wifi = distance(self.tx_position, topo.wifi_tx)
-        self.d_rx_to_wifi = distance(self.rx_position, topo.wifi_tx)
+        self.d_tx_to_wifi = _clamped_distance(self.tx_position, topo.wifi_tx)
+        self.d_rx_to_wifi = _clamped_distance(self.rx_position, topo.wifi_tx)
         self.d_link = distance(self.tx_position, self.rx_position)
         self.signal_db = zigbee_rssi(
             self.d_link, config.zigbee.tx_gain, config.calibration
@@ -109,10 +140,34 @@ class ZigbeeLink:
         self.packet_duration_us = frame_duration_us(config.zigbee.payload_octets)
         self._nb = 0
         self._be = MIN_BE
+        self._sampler = build_sampler(traffic)
+        self.queue_limit = queue_limit
+        self._queued = 0
+        self._idle = True
 
     def start(self) -> None:
-        """Queue the first packet."""
-        self._next_packet()
+        """Queue the first packet (saturated) or await the first arrival."""
+        if self._sampler is None:
+            self._next_packet()
+            return
+        self._schedule_arrival()
+
+    def _schedule_arrival(self) -> None:
+        interval = self._sampler.next_interval_us(self.rng)
+        if interval is None:
+            return  # degenerate traffic model: no arrivals, ever
+        self.scheduler.schedule(interval, self._arrival)
+
+    def _arrival(self) -> None:
+        self.stats.arrivals += 1
+        if self._idle:
+            self._idle = False
+            self._next_packet()
+        elif self._queued < self.queue_limit:
+            self._queued += 1
+        else:
+            self.stats.queue_dropped += 1
+        self._schedule_arrival()
 
     def _next_packet(self) -> None:
         self.stats.packets_attempted += 1
@@ -131,7 +186,10 @@ class ZigbeeLink:
     def _cca_result(self, cca_start: float) -> None:
         self.stats.cca_attempts += 1
         wifi_level = self.medium.average_power_db(
-            cca_start, cca_start + CCA_DURATION_US, self.d_tx_to_wifi
+            cca_start,
+            cca_start + CCA_DURATION_US,
+            self.d_tx_to_wifi,
+            at_position=self.tx_position,
         )
         # Same-technology carrier sense: other ZigBee links on the channel.
         peer_level = self.medium.zigbee_average_power_db(
@@ -190,9 +248,19 @@ class ZigbeeLink:
     def _finish_packet(self) -> None:
         # Bound the medium's memory: nothing queries more than ~100 ms back.
         self.medium.prune_before(self.scheduler.now - 100_000.0)
-        self.scheduler.schedule(
-            self.config.zigbee.processing_delay_us, self._next_packet
-        )
+        if self._sampler is None:
+            # Saturated: the next packet is born after the processing delay.
+            self.scheduler.schedule(
+                self.config.zigbee.processing_delay_us, self._next_packet
+            )
+            return
+        if self._queued > 0:
+            self._queued -= 1
+            self.scheduler.schedule(
+                self.config.zigbee.processing_delay_us, self._next_packet
+            )
+        else:
+            self._idle = True
 
     def _packet_received(self, start: float, end: float) -> bool:
         """Symbol-by-symbol SINR evaluation of one packet."""
@@ -204,7 +272,33 @@ class ZigbeeLink:
         signal = self.signal_db + fade
         noise_linear = db_to_linear(self.config.calibration.noise_floor_db)
         n_symbols = int(round((end - start) / SYMBOL_DURATION_US))
-        trace = self.medium.interference_trace(start, end, self.d_rx_to_wifi)
+        trace = self.medium.interference_trace(
+            start, end, self.d_rx_to_wifi, at_position=self.rx_position
+        )
+        # Peer-interference strategy, picked per medium generation.  The
+        # partitioned medium hands over every peer burst in the packet
+        # window once (path loss applied), so the per-symbol loop is plain
+        # arithmetic; the legacy medium keeps its original per-symbol
+        # query — that path is pinned bit-identically by the golden tests
+        # — gated by a whole-packet probe (a window with no co-channel
+        # energy has silent sub-intervals too, so skipping the per-symbol
+        # queries cannot change a result).
+        fetch_peers = getattr(self.medium, "zigbee_peer_bursts", None)
+        peer_bursts = None
+        has_peers = False
+        if fetch_peers is not None:
+            peer_bursts = fetch_peers(
+                start, end, exclude_source=self.link_id,
+                at_position=self.rx_position,
+            )
+        else:
+            has_peers = (
+                self.medium.zigbee_average_power_db(
+                    start, end, 1.0, exclude_source=self.link_id,
+                    at_position=self.rx_position,
+                )
+                != float("-inf")
+            )
 
         preamble_errors = 0
         for sym in range(n_symbols):
@@ -218,12 +312,20 @@ class ZigbeeLink:
                 interference += db_to_linear(level) * overlap
             interference /= SYMBOL_DURATION_US
             # Co-channel ZigBee peers (multi-link scenarios) interfere too.
-            peer = self.medium.zigbee_average_power_db(
-                t0, t1, 1.0, exclude_source=self.link_id,
-                at_position=self.rx_position,
-            )
-            if peer != float("-inf"):
-                interference += db_to_linear(peer)
+            if peer_bursts is not None:
+                peer_acc = 0.0
+                for burst_start, burst_end, linear in peer_bursts:
+                    peer_overlap = min(burst_end, t1) - max(burst_start, t0)
+                    if peer_overlap > 0:
+                        peer_acc += linear * peer_overlap
+                interference += peer_acc / SYMBOL_DURATION_US
+            elif has_peers:
+                peer = self.medium.zigbee_average_power_db(
+                    t0, t1, 1.0, exclude_source=self.link_id,
+                    at_position=self.rx_position,
+                )
+                if peer != float("-inf"):
+                    interference += db_to_linear(peer)
             sinr_db = signal - float(linear_to_db(interference + noise_linear))
             ser = symbol_error_probability(sinr_db)
             failed = bool(self.rng.random() < ser)

@@ -31,6 +31,8 @@ __all__ = [
     "trial_rng",
     "trial_rngs",
     "trial_seed",
+    "node_sequence",
+    "node_rng",
 ]
 
 
@@ -77,6 +79,38 @@ def trial_rngs(
 ) -> List[np.random.Generator]:
     """Independent per-trial generators, in the order of *trial_indices*."""
     return [trial_rng(master_seed, experiment, i) for i in trial_indices]
+
+
+def node_sequence(
+    master_seed: int, experiment: str, trial_index: int, node_key: str
+) -> np.random.SeedSequence:
+    """The sequence for one *node* inside one trial.
+
+    Scenario simulations give every node (each BSS, each sensor) its own
+    generator so a node's draw sequence depends only on its stable string
+    key — never on how many other nodes exist or where it sits in a config
+    list.  The address extends :func:`trial_sequence` with two 32-bit
+    words hashed from *node_key*: ``spawn_key=(trial, k0, k1)``.  Keys
+    must be unique within a scenario; the scenario builder enforces that.
+    """
+    if trial_index < 0:
+        raise ValueError("trial_index must be non-negative")
+    digest = hashlib.sha256(node_key.encode("utf-8")).digest()
+    k0 = int.from_bytes(digest[0:4], "little")
+    k1 = int.from_bytes(digest[4:8], "little")
+    return np.random.SeedSequence(
+        entropy=(int(master_seed), *experiment_entropy(experiment)),
+        spawn_key=(int(trial_index), k0, k1),
+    )
+
+
+def node_rng(
+    master_seed: int, experiment: str, trial_index: int, node_key: str
+) -> np.random.Generator:
+    """A fresh generator for one node of one trial (see :func:`node_sequence`)."""
+    return np.random.default_rng(
+        node_sequence(master_seed, experiment, trial_index, node_key)
+    )
 
 
 def trial_seed(master_seed: int, experiment: str, trial_index: int) -> int:

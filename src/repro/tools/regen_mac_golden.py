@@ -1,0 +1,138 @@
+"""Regenerate the two-node MAC equivalence pins (``tests/mac/golden_two_node.json``).
+
+Usage::
+
+    python -m repro.tools.regen_mac_golden [--out PATH]
+
+The golden file freezes the *exact* outputs of the two-node coexistence
+simulator — full counter sets from :func:`repro.mac.simulator.run_coexistence`
+for a handful of configurations, plus a small :func:`~repro.mac.simulator.sweep`
+campaign — as ``repr``-round-trippable floats.  The equivalence regression in
+``tests/mac/test_equivalence_pins.py`` asserts bit-identity against this file,
+so any refactor of the event core, the medium, or the node state machines that
+silently changes a single RNG draw or event ordering fails loudly.
+
+Only rerun this tool when a *deliberate, reviewed* behaviour change to the
+two-node simulator is being made; the diff of the JSON is the change record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict
+
+from repro.mac.config import CoexistenceConfig, Topology, WifiConfig, ZigbeeConfig
+from repro.mac.simulator import run_coexistence, sweep
+
+#: Simulated duration of each pinned run (kept short: the pins run in CI).
+DURATION_US = 150_000.0
+
+#: The pinned single-run configurations, keyed by scenario label.
+CASES = {
+    "continuous_ch4": dict(
+        wifi=WifiConfig(),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=4.0, d_z=1.0),
+        seed=3,
+    ),
+    "sledzig_qam256": dict(
+        wifi=WifiConfig(mcs_name="qam256-3/4", sledzig_channel=4),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=2.0, d_z=1.0),
+        seed=3,
+    ),
+    "bursty_duty_half": dict(
+        wifi=WifiConfig(duty_ratio=0.5, burst_duration_us=4000.0),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=2.5, d_z=1.0),
+        seed=5,
+        fading_sigma_db=2.0,
+    ),
+}
+
+#: The pinned sweep: d_WZ values x 2 seeds on the Monte-Carlo engine.
+SWEEP_VALUES = (2.0, 4.0, 6.0)
+SWEEP_SEEDS = 2
+
+
+def _zigbee_record(stats) -> Dict[str, float]:
+    return {
+        "packets_attempted": stats.packets_attempted,
+        "packets_sent": stats.packets_sent,
+        "packets_delivered": stats.packets_delivered,
+        "packets_dropped_cca": stats.packets_dropped_cca,
+        "packets_failed": stats.packets_failed,
+        "payload_bits_delivered": stats.payload_bits_delivered,
+        "cca_attempts": stats.cca_attempts,
+        "cca_busy": stats.cca_busy,
+    }
+
+
+def _wifi_record(stats) -> Dict[str, float]:
+    return {
+        "bursts_sent": stats.bursts_sent,
+        "airtime_us": stats.airtime_us,
+        "payload_bits": stats.payload_bits,
+        "extra_bits": stats.extra_bits,
+        "bursts_ok": stats.bursts_ok,
+        "bursts_degraded": stats.bursts_degraded,
+    }
+
+
+def generate() -> Dict[str, object]:
+    """Run the pinned configurations and collect exact outputs."""
+    runs: Dict[str, object] = {}
+    for label, kwargs in CASES.items():
+        config = CoexistenceConfig(duration_us=DURATION_US, **kwargs)
+        result = run_coexistence(config)
+        runs[label] = {
+            "zigbee": _zigbee_record(result.zigbee),
+            "wifi": _wifi_record(result.wifi),
+            "wifi_sinr_db": result.wifi_sinr_db,
+        }
+    base = CoexistenceConfig(
+        wifi=WifiConfig(),
+        zigbee=ZigbeeConfig(channel_index=4),
+        topology=Topology(d_wz=4.0, d_z=1.0),
+        duration_us=DURATION_US,
+        seed=3,
+    )
+    points = sweep(
+        base,
+        values=list(SWEEP_VALUES),
+        apply_value=lambda cfg, v: replace(
+            cfg, topology=Topology(d_wz=v, d_z=1.0)
+        ),
+        n_seeds=SWEEP_SEEDS,
+    )
+    return {
+        "duration_us": DURATION_US,
+        "runs": runs,
+        "sweep": {
+            "values": list(SWEEP_VALUES),
+            "n_seeds": SWEEP_SEEDS,
+            "throughputs_kbps": [p.throughputs_kbps for p in points],
+        },
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="tests/mac/golden_two_node.json",
+        help="output path (default: tests/mac/golden_two_node.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = generate()
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(json.dumps(payload))} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

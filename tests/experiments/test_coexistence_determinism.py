@@ -1,0 +1,100 @@
+"""Coexistence-family determinism: serial == workers == re-run, bit-exact.
+
+The family's claim (documented in its result notes) is that every trial's
+randomness is addressed by ``(master seed, scenario name, trial index,
+node key)`` — never consumed in sequence — so worker scheduling and
+config-tuple ordering cannot perturb outcomes.  These tests hold it to
+that, and run the acceptance-scale scenario: 3 overlapping BSSs against
+200 duty-cycled sensors, baseline vs concurrent vs SledZig.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import coexistence
+from repro.mac.scenario import grid_scenario, run_scenario
+from repro.mac.traffic import PoissonTraffic
+
+# Short campaigns: determinism is binary, not statistical.
+DURATION_US = 40_000.0
+TRAFFIC = PoissonTraffic(rate_per_s=40.0)
+
+
+def _point(workers: int = 0, master_seed: int = 11) -> np.ndarray:
+    outcomes, _detail = coexistence.run_point(
+        2, 12, "concurrent",
+        duration_us=DURATION_US, n_trials=3,
+        master_seed=master_seed, workers=workers, traffic=TRAFFIC,
+    )
+    return outcomes
+
+
+class TestPointDeterminism:
+    def test_rerun_is_bit_identical(self):
+        assert np.array_equal(_point(workers=0), _point(workers=0))
+
+    def test_workers_do_not_change_outcomes(self):
+        serial = _point(workers=0)
+        parallel = _point(workers=2)
+        assert np.array_equal(serial, parallel), (
+            f"serial {serial.tolist()} != workers=2 {parallel.tolist()}"
+        )
+
+    def test_seed_changes_outcomes(self):
+        assert not np.array_equal(_point(master_seed=11), _point(master_seed=12))
+
+    def test_trials_differ_from_each_other(self):
+        """Addressed streams still vary across trial indices."""
+        outcomes = _point(workers=0)
+        assert len(set(outcomes.tolist())) > 1
+
+
+class TestFamilyDeterminism:
+    def test_full_quick_table_survives_workers_and_reruns(self):
+        kwargs = dict(
+            grid=((1, 6),), duration_us=DURATION_US, n_trials=2,
+            master_seed=5, traffic=TRAFFIC,
+        )
+        serial = coexistence.run(workers=0, **kwargs)
+        again = coexistence.run(workers=0, **kwargs)
+        parallel = coexistence.run(workers=2, **kwargs)
+        assert serial.rows == again.rows
+        assert serial.rows == parallel.rows
+        # One row per variant at the single grid point.
+        assert len(serial.rows) == len(coexistence.VARIANTS)
+
+
+@pytest.mark.slow
+class TestAcceptanceScale:
+    """The headline scenario: 3 BSSs (CH1/6/11) vs 200 ZigBee sensors."""
+
+    def _run(self, variant: str, **overrides):
+        kwargs = dict(
+            name=f"accept/{variant}",
+            duration_us=60_000.0,
+            master_seed=7,
+            traffic=TRAFFIC,
+        )
+        kwargs.update(overrides)
+        return run_scenario(grid_scenario(3, 200, **kwargs))
+
+    def test_three_bss_200_sensors_deterministic_and_ordered(self):
+        baseline = self._run("baseline", wifi_saturated=False)
+        concurrent = self._run("concurrent")
+        sledzig = self._run("sledzig", sledzig=True)
+
+        for result in (baseline, concurrent, sledzig):
+            assert len(result.sensors) == 200
+            assert result.packets_attempted > 0
+
+        # Deterministic: the concurrent run reproduces bit-exactly.
+        again = self._run("concurrent")
+        assert concurrent.packets_delivered == again.packets_delivered
+        assert concurrent.packets_attempted == again.packets_attempted
+        assert concurrent.events_dispatched == again.events_dispatched
+
+        # Physics ordering: interference hurts, SledZig recovers (most of) it.
+        assert concurrent.delivery_ratio < baseline.delivery_ratio
+        assert sledzig.delivery_ratio > concurrent.delivery_ratio

@@ -1,0 +1,72 @@
+"""Two-node equivalence regression: the refactored engine vs golden pins.
+
+``tests/mac/golden_two_node.json`` was generated from the pre-refactor
+simulator (plain-heapq scheduler, monolithic medium).  These tests rerun
+the same configurations on the current engine — the indexed calendar
+queue, the ``at_position``-aware medium protocol, the traffic-capable
+node machines — and assert **bit-identity** of every counter and float.
+A single perturbed RNG draw or reordered event anywhere in the two-node
+path fails here, with the differing field named.
+
+Regenerate deliberately with ``python -m repro.tools.regen_mac_golden``;
+the JSON diff is the review record of the behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.regen_mac_golden import CASES, generate
+
+GOLDEN_PATH = Path(__file__).parent / "golden_two_node.json"
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    """One regeneration on the current code, shared across the module."""
+    return generate()
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_single_runs_bit_identical(case, fresh, pinned):
+    """Every counter of every pinned configuration matches exactly."""
+    expected = pinned["runs"][case]
+    actual = fresh["runs"][case]
+    for side in ("zigbee", "wifi"):
+        for field, value in expected[side].items():
+            assert actual[side][field] == value, (
+                f"{case}: {side}.{field} drifted "
+                f"({actual[side][field]!r} != {value!r})"
+            )
+    assert actual["wifi_sinr_db"] == expected["wifi_sinr_db"], (
+        f"{case}: wifi_sinr_db drifted"
+    )
+
+
+def test_sweep_bit_identical(fresh, pinned):
+    """The pinned Monte-Carlo sweep reproduces exactly, seed by seed."""
+    assert fresh["sweep"]["values"] == pinned["sweep"]["values"]
+    assert fresh["sweep"]["n_seeds"] == pinned["sweep"]["n_seeds"]
+    for i, (got, want) in enumerate(
+        zip(
+            fresh["sweep"]["throughputs_kbps"],
+            pinned["sweep"]["throughputs_kbps"],
+        )
+    ):
+        assert got == want, (
+            f"sweep point {pinned['sweep']['values'][i]}: throughput list "
+            f"drifted ({got} != {want})"
+        )
+
+
+def test_golden_file_covers_every_case(pinned):
+    """The pin file and the regeneration tool agree on the case set."""
+    assert sorted(pinned["runs"]) == sorted(CASES)

@@ -1,0 +1,193 @@
+"""Property tests for the indexed calendar/heap event queue.
+
+The scenario engine's determinism rests on three invariants of
+:class:`repro.mac.events.CalendarQueue`:
+
+* dequeue times are monotone non-decreasing;
+* equal timestamps dequeue in schedule order (stable FIFO);
+* cancelling or rescheduling one event never perturbs the relative order
+  of the untouched events — the dequeue sequence is a pure function of the
+  surviving ``(time, tie-break)`` keys, however the schedule/cancel/
+  reschedule calls were interleaved.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.mac.events import CalendarQueue, EventScheduler
+
+# Coarse-grained times force plenty of exact ties.
+times = st.integers(min_value=0, max_value=12).map(float)
+
+
+def drain(queue: CalendarQueue):
+    out = []
+    while len(queue):
+        out.append(queue.pop())
+    return out
+
+
+class TestDequeueOrder:
+    @given(st.lists(times, max_size=60))
+    def test_monotone_dequeue(self, schedule_times):
+        queue = CalendarQueue()
+        for t in schedule_times:
+            queue.push(t, None)
+        popped = [t for t, _id, _p in drain(queue)]
+        assert popped == sorted(popped)
+        assert len(popped) == len(schedule_times)
+
+    @given(st.lists(times, max_size=60))
+    def test_fifo_at_equal_timestamps(self, schedule_times):
+        queue = CalendarQueue()
+        for i, t in enumerate(schedule_times):
+            queue.push(t, i)
+        popped = drain(queue)
+        # Stable sort of (time, insertion index) is the specified order.
+        expected = sorted(range(len(schedule_times)),
+                          key=lambda i: (schedule_times[i], i))
+        assert [p for _t, _id, p in popped] == expected
+
+
+class TestCancelRescheduleInvariance:
+    @given(
+        st.lists(times, min_size=1, max_size=40),
+        st.data(),
+    )
+    def test_cancel_does_not_perturb_survivors(self, schedule_times, data):
+        """Any cancellation subset leaves survivors in their pairwise order."""
+        reference = CalendarQueue()
+        ids_ref = [reference.push(t, i) for i, t in enumerate(schedule_times)]
+        subject = CalendarQueue()
+        ids_sub = [subject.push(t, i) for i, t in enumerate(schedule_times)]
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(schedule_times) - 1),
+                    max_size=len(schedule_times))
+        )
+        for k in sorted(to_cancel):
+            assert subject.remove(ids_sub[k])
+            assert reference.remove(ids_ref[k])
+        survivors_subject = [p for _t, _id, p in drain(subject)]
+        survivors_reference = [p for _t, _id, p in drain(reference)]
+        assert survivors_subject == survivors_reference
+        expected = [i for i in sorted(range(len(schedule_times)),
+                                      key=lambda i: (schedule_times[i], i))
+                    if i not in to_cancel]
+        assert survivors_subject == expected
+
+    @given(
+        st.lists(times, min_size=2, max_size=40),
+        st.data(),
+    )
+    def test_reschedule_equals_cancel_plus_push(self, schedule_times, data):
+        """reschedule(id, t) dequeues exactly like remove(id) + push(t)."""
+        moved = data.draw(st.integers(0, len(schedule_times) - 1))
+        new_time = data.draw(times)
+
+        rescheduled = CalendarQueue()
+        ids = [rescheduled.push(t, i) for i, t in enumerate(schedule_times)]
+        assert rescheduled.reschedule(ids[moved], new_time)
+
+        replaced = CalendarQueue()
+        ids2 = [replaced.push(t, i) for i, t in enumerate(schedule_times)]
+        assert replaced.remove(ids2[moved])
+        replaced.push(new_time, moved)
+
+        assert ([(t, p) for t, _id, p in drain(rescheduled)]
+                == [(t, p) for t, _id, p in drain(replaced)])
+
+    @given(st.lists(st.tuples(times, times), min_size=1, max_size=30))
+    def test_insertion_order_invariance_of_final_keys(self, moves):
+        """Events that end at the same final times dequeue identically
+        whether they got there directly or via a reschedule each."""
+        direct = CalendarQueue()
+        via_reschedule = CalendarQueue()
+        ids = []
+        for i, (first, final) in enumerate(moves):
+            direct.push(final, i)
+            ids.append(via_reschedule.push(first, i))
+        for (first, final), event_id in zip(moves, ids):
+            via_reschedule.reschedule(event_id, final)
+        # Both queues hold the same (final time, payload) multiset and the
+        # same relative tie-break order (reschedules happened in push order).
+        assert ([(t, p) for t, _id, p in drain(direct)]
+                == [(t, p) for t, _id, p in drain(via_reschedule)])
+
+
+class TestQueueBookkeeping:
+    @given(st.lists(times, max_size=200))
+    @settings(max_examples=25)
+    def test_compaction_preserves_contents(self, schedule_times):
+        """Heavy cancel traffic (triggering compaction) loses no events."""
+        queue = CalendarQueue()
+        keep = []
+        for i, t in enumerate(schedule_times):
+            event_id = queue.push(t, i)
+            if i % 3 == 0:
+                keep.append((t, i))
+            else:
+                queue.remove(event_id)
+        # Extra churn to push past the compaction floor.
+        for _ in range(3):
+            doomed = [queue.push(99.0, "x") for _ in range(80)]
+            for event_id in doomed:
+                queue.remove(event_id)
+        assert len(queue) == len(keep)
+        drained = [(t, p) for t, _id, p in drain(queue)]
+        assert drained == sorted(keep, key=lambda pair: (pair[0], pair[1]))
+
+    def test_remove_unknown_or_fired_is_false(self):
+        queue = CalendarQueue()
+        event_id = queue.push(1.0, "a")
+        assert queue.remove(event_id)
+        assert not queue.remove(event_id)
+        assert not queue.remove(12345)
+        assert not queue.reschedule(event_id, 5.0)
+
+
+class TestSchedulerFacade:
+    def test_reschedule_moves_callback(self):
+        sched = EventScheduler()
+        log = []
+        event = sched.schedule(5.0, lambda: log.append(sched.now))
+        assert sched.reschedule(event, 2.0)
+        sched.run_until(10.0)
+        assert log == [2.0]
+
+    def test_reschedule_fired_event_returns_false(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        sched.run_until(2.0)
+        assert not sched.reschedule(event, 1.0)
+
+    def test_negative_reschedule_rejected(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        try:
+            sched.reschedule(event, -1.0)
+        except SimulationError:
+            return
+        raise AssertionError("negative reschedule must raise")
+
+    def test_event_budget_guard(self):
+        sched = EventScheduler()
+
+        def spin():
+            sched.schedule(0.0, spin)
+
+        sched.schedule(0.0, spin)
+        try:
+            sched.run_until(1.0, max_events=500)
+        except SimulationError as exc:
+            assert "budget" in str(exc)
+            return
+        raise AssertionError("livelock must exhaust the event budget")
+
+    def test_run_until_reports_dispatch_count(self):
+        sched = EventScheduler()
+        for i in range(5):
+            sched.schedule(float(i), lambda: None)
+        assert sched.run_until(10.0) == 5

@@ -1,0 +1,276 @@
+"""Scenario-engine behaviour: determinism, geometry physics, telemetry.
+
+Hidden terminals and capture asymmetries must *emerge* from positions —
+carrier sense and reception both query power at (x, y) — rather than from
+special-case switches; these tests pin the mechanics at both the medium
+level (deterministic queries) and the full-run level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.channel.calibration import DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.mac.config import WifiConfig, ZigbeeConfig, zigbee_wifi_overlap
+from repro.mac.medium import (
+    MediumView,
+    PartitionedMedium,
+    SpatialIndex,
+    WifiBurst,
+)
+from repro.mac.scenario import (
+    CellSpec,
+    ScenarioConfig,
+    SensorSpec,
+    grid_scenario,
+    run_scenario,
+)
+from repro.mac.simulator import run_coexistence
+from repro.mac.config import CoexistenceConfig, Topology
+from repro.mac.traffic import PoissonTraffic
+
+
+def _stats_tuple(result):
+    """Every counter of a run, flattened for exact comparison."""
+    out = []
+    for key in sorted(result.sensors):
+        s = result.sensors[key]
+        out.append((key, s.packets_attempted, s.packets_sent, s.packets_delivered,
+                    s.packets_dropped_cca, s.packets_failed,
+                    s.payload_bits_delivered, s.cca_attempts, s.cca_busy,
+                    s.arrivals, s.queue_dropped))
+    for key in sorted(result.cells):
+        c = result.cells[key]
+        out.append((key, c.bursts_sent, c.airtime_us, c.payload_bits,
+                    c.bursts_ok, c.bursts_degraded, c.deferrals))
+    return out
+
+
+class TestDeterminism:
+    def test_rerun_is_bit_identical(self):
+        config = grid_scenario(2, 14, duration_us=60_000.0, master_seed=9)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert _stats_tuple(first) == _stats_tuple(second)
+        assert first.events_dispatched == second.events_dispatched
+
+    def test_node_order_in_config_is_irrelevant(self):
+        """Reversing the spec tuples changes nothing: streams are keyed."""
+        config = grid_scenario(2, 10, duration_us=60_000.0, master_seed=4)
+        shuffled = ScenarioConfig(
+            name=config.name,
+            cells=tuple(reversed(config.cells)),
+            sensors=tuple(reversed(config.sensors)),
+            duration_us=config.duration_us,
+            master_seed=config.master_seed,
+            trial_index=config.trial_index,
+        )
+        assert _stats_tuple(run_scenario(config)) == _stats_tuple(
+            run_scenario(shuffled)
+        )
+
+    def test_trial_index_changes_outcomes(self):
+        base = grid_scenario(1, 8, duration_us=60_000.0, master_seed=4,
+                             trial_index=0)
+        other = grid_scenario(1, 8, duration_us=60_000.0, master_seed=4,
+                              trial_index=1)
+        assert _stats_tuple(run_scenario(base)) != _stats_tuple(
+            run_scenario(other)
+        )
+
+
+class TestHiddenTerminalGeometry:
+    def _two_cell_config(self, separation_m: float) -> ScenarioConfig:
+        wifi = WifiConfig(duty_ratio=0.5, burst_duration_us=2000.0)
+        return ScenarioConfig(
+            name=f"hidden/{separation_m}",
+            cells=(
+                CellSpec(key="a", wifi_channel=1, position=(0.0, 0.0),
+                         rx_position=(separation_m / 2, 0.0), wifi=wifi),
+                CellSpec(key="b", wifi_channel=1, position=(separation_m, 0.0),
+                         rx_position=(separation_m / 2, 1.0), wifi=wifi),
+            ),
+            duration_us=60_000.0,
+            master_seed=3,
+        )
+
+    def test_close_cells_defer_far_cells_do_not(self):
+        """Same channel: 2.5 m apart they hear each other, 110 m apart never.
+
+        (In this calibration's reported-dB domain the -75 dB carrier-sense
+        threshold puts the WiFi sensing radius near 3 m.)  The far pair is
+        the hidden-terminal geometry — both still reach the midpoint
+        receivers (55 m < interference range) but cannot sense one
+        another, so they never defer and collide freely.
+        """
+        close = run_scenario(self._two_cell_config(2.5))
+        far = run_scenario(self._two_cell_config(110.0))
+        close_deferrals = sum(c.deferrals for c in close.cells.values())
+        far_deferrals = sum(c.deferrals for c in far.cells.values())
+        assert close_deferrals > 0
+        assert far_deferrals == 0
+        # Both far cells kept transmitting (nothing suppressed them).
+        assert all(c.bursts_sent > 0 for c in far.cells.values())
+
+
+class TestSubChannelPhysics:
+    def test_sledzig_only_quiets_the_protected_sub(self):
+        """A SledZig burst reads low on its protected sub, normal elsewhere."""
+        spatial = SpatialIndex()
+        spatial.register(1, (0.0, 0.0))
+        medium = PartitionedMedium(DEFAULT_CALIBRATION, spatial)
+        band = medium.wifi_band(1)
+        band.add_burst(WifiBurst(
+            start_us=0.0, end_us=1000.0, preamble_until_us=20.0,
+            preamble_db_at_1m=-10.0, payload_db_at_1m=-12.0,
+            source=1, position=(0.0, 0.0),
+            payload_db_by_sub=(-12.0, -30.0, -12.0, -12.0),
+        ))
+        at = (4.0, 0.0)
+        protected = band.average_power_db(100.0, 900.0, at, sub_index=2)
+        unprotected = band.average_power_db(100.0, 900.0, at, sub_index=3)
+        assert protected < unprotected - 10.0
+        # The preamble window reads full power on every sub.
+        pre_protected = band.interference_trace(0.0, 20.0, at, sub_index=2)
+        pre_unprotected = band.interference_trace(0.0, 20.0, at, sub_index=3)
+        assert pre_protected == pre_unprotected
+
+    def test_interference_decays_with_distance(self):
+        """Capture-effect precondition: near receivers see more power."""
+        spatial = SpatialIndex()
+        spatial.register(1, (0.0, 0.0))
+        medium = PartitionedMedium(DEFAULT_CALIBRATION, spatial)
+        band = medium.wifi_band(6)
+        band.add_burst(WifiBurst(
+            start_us=0.0, end_us=1000.0, preamble_until_us=20.0,
+            preamble_db_at_1m=-10.0, payload_db_at_1m=-12.0,
+            source=1, position=(0.0, 0.0),
+        ))
+        near = band.average_power_db(0.0, 1000.0, (2.0, 0.0))
+        far = band.average_power_db(0.0, 1000.0, (20.0, 0.0))
+        assert near > far + 20.0
+
+    def test_out_of_range_source_is_culled(self):
+        spatial = SpatialIndex()
+        spatial.register(1, (0.0, 0.0))
+        medium = PartitionedMedium(DEFAULT_CALIBRATION, spatial, wifi_range_m=60.0)
+        band = medium.wifi_band(11)
+        band.add_burst(WifiBurst(
+            start_us=0.0, end_us=1000.0, preamble_until_us=20.0,
+            preamble_db_at_1m=-10.0, payload_db_at_1m=-12.0,
+            source=1, position=(0.0, 0.0),
+        ))
+        trace = band.interference_trace(0.0, 1000.0, (100.0, 0.0))
+        assert all(level == float("-inf") for _s, _e, level in trace)
+
+
+class TestChannelOverlap:
+    def test_overlap_mapping(self):
+        assert zigbee_wifi_overlap(12) == (1, 2)
+        assert zigbee_wifi_overlap(17) == (6, 2)
+        assert zigbee_wifi_overlap(22) == (11, 2)
+        assert zigbee_wifi_overlap(11) == (1, 1)
+        assert zigbee_wifi_overlap(24) == (11, 4)
+        for clear in (15, 20, 25, 26):
+            assert zigbee_wifi_overlap(clear) is None
+        with pytest.raises(ConfigurationError):
+            zigbee_wifi_overlap(10)
+        with pytest.raises(ConfigurationError):
+            zigbee_wifi_overlap(27)
+
+    def test_clear_channel_sensor_ignores_wifi(self):
+        """A sensor on channel 25 never defers to WiFi, however loud."""
+        config = ScenarioConfig(
+            name="clear-channel",
+            cells=(CellSpec(key="bss", wifi_channel=1, position=(0.0, 0.0),
+                            rx_position=(0.0, 1.0),
+                            wifi=WifiConfig(duty_ratio=1.0)),),
+            sensors=(SensorSpec(key="s", zigbee_channel=25,
+                                tx_position=(3.0, 0.0),
+                                rx_position=(3.5, 0.0)),),
+            duration_us=50_000.0,
+            master_seed=2,
+        )
+        result = run_scenario(config)
+        stats = result.sensors["s"]
+        assert stats.packets_attempted > 0
+        assert stats.cca_busy == 0
+        assert stats.packets_failed == 0
+        # The final packet may still be in flight when the clock stops.
+        assert stats.packets_delivered >= stats.packets_attempted - 1
+
+
+class TestLegacyAgreement:
+    def test_quiet_channel_throughput_matches_two_node_simulator(self):
+        """One saturated sensor, WiFi silent: both engines should land on
+        the same clean-channel throughput (different RNG streams, so the
+        comparison is physical, not bit-exact)."""
+        duration = 400_000.0
+        legacy = run_coexistence(CoexistenceConfig(
+            wifi=WifiConfig(saturated=False),
+            zigbee=ZigbeeConfig(channel_index=2),
+            topology=Topology(d_wz=4.0, d_z=1.0),
+            duration_us=duration,
+            seed=3,
+        ))
+        scenario = run_scenario(ScenarioConfig(
+            name="legacy-agreement",
+            sensors=(SensorSpec(key="s", zigbee_channel=12,
+                                tx_position=(4.0, 0.0),
+                                rx_position=(5.0, 0.0)),),
+            duration_us=duration,
+            master_seed=3,
+        ))
+        legacy_kbps = legacy.zigbee.throughput_kbps(duration)
+        scenario_kbps = scenario.zigbee_throughput_kbps
+        assert scenario_kbps == pytest.approx(legacy_kbps, rel=0.15)
+
+
+class TestTelemetryExport:
+    def test_per_node_counters_are_exported(self):
+        config = grid_scenario(1, 3, duration_us=40_000.0, master_seed=6,
+                               name="telemetry-probe")
+        with telemetry.collect() as tel:
+            result = run_scenario(config)
+            snapshot = tel.snapshot()
+        counters = snapshot.counters
+        assert counters["scenario.telemetry-probe.runs"] == 1
+        for key in result.sensors:
+            assert f"scenario.telemetry-probe.sensor.{key}.attempted" in counters
+            assert f"scenario.telemetry-probe.sensor.{key}.delivered" in counters
+        for key in result.cells:
+            assert f"scenario.telemetry-probe.cell.{key}.bursts" in counters
+        total = sum(s.packets_delivered for s in result.sensors.values())
+        assert counters[
+            "scenario.telemetry-probe.zigbee.packets_delivered"
+        ] == total
+
+
+class TestValidation:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ScenarioConfig(
+                name="dup",
+                sensors=(
+                    SensorSpec(key="x", zigbee_channel=12,
+                               tx_position=(0.0, 0.0), rx_position=(1.0, 0.0)),
+                    SensorSpec(key="x", zigbee_channel=17,
+                               tx_position=(2.0, 0.0), rx_position=(3.0, 0.0)),
+                ),
+            )
+
+    def test_bad_wifi_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec(key="c", wifi_channel=3, position=(0.0, 0.0),
+                     rx_position=(1.0, 0.0))
+
+    def test_coincident_sensor_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSpec(key="s", zigbee_channel=12,
+                       tx_position=(1.0, 1.0), rx_position=(1.0, 1.0))
+
+    def test_grid_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_scenario(-1, 5)

@@ -1,0 +1,153 @@
+"""Degenerate scenarios: the engine must finish or fail typed, never hang.
+
+Every run is bounded by the event budget in
+:meth:`repro.mac.scenario.ScenarioConfig.event_budget`; anything that
+cannot finish raises :class:`~repro.errors.SimulationError` (and invalid
+configs raise :class:`~repro.errors.ConfigurationError` at construction)
+— nothing outside the typed hierarchy, no spinning forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.mac.config import WifiConfig
+from repro.mac.scenario import (
+    CellSpec,
+    ScenarioConfig,
+    SensorSpec,
+    grid_scenario,
+    run_scenario,
+)
+from repro.mac.traffic import CBRTraffic, OnOffTraffic
+
+
+class TestEmptyAndTiny:
+    def test_zero_nodes(self):
+        """A completely empty scenario completes immediately."""
+        result = run_scenario(ScenarioConfig(name="empty", duration_us=10_000.0))
+        assert result.events_dispatched == 0
+        assert result.delivery_ratio == 1.0
+        assert result.zigbee_throughput_kbps == 0.0
+
+    def test_zero_zigbee_nodes(self):
+        """WiFi-only grid: no sensors, delivery vacuously perfect."""
+        result = run_scenario(
+            grid_scenario(2, 0, duration_us=30_000.0, master_seed=1)
+        )
+        assert result.packets_attempted == 0
+        assert result.delivery_ratio == 1.0
+        assert all(c.bursts_sent > 0 for c in result.cells.values())
+
+    def test_single_node(self):
+        """One lone saturated sensor, nothing else in the world."""
+        result = run_scenario(ScenarioConfig(
+            name="lone",
+            sensors=(SensorSpec(key="s", zigbee_channel=15,
+                                tx_position=(0.0, 0.0),
+                                rx_position=(1.0, 0.0)),),
+            duration_us=60_000.0,
+        ))
+        stats = result.sensors["s"]
+        assert stats.packets_attempted > 0
+        assert stats.packets_failed == 0
+
+
+class TestSimultaneousEvents:
+    def test_simultaneous_start_events(self):
+        """Many nodes all starting (and arriving) at identical times.
+
+        CBR sensors with the same period generate exactly coincident
+        arrival timestamps; the queue's FIFO tie-break keeps the run
+        deterministic and the run must complete.
+        """
+        sensors = tuple(
+            SensorSpec(key=f"s{i}", zigbee_channel=15,
+                       tx_position=(float(i), 0.0),
+                       rx_position=(float(i), 0.5),
+                       traffic=CBRTraffic(period_us=5_000.0))
+            for i in range(12)
+        )
+        config = ScenarioConfig(name="simultaneous", sensors=sensors,
+                                duration_us=40_000.0, master_seed=1)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.packets_attempted == second.packets_attempted > 0
+        assert first.packets_delivered == second.packets_delivered
+
+
+class TestDegenerateTraffic:
+    def test_zero_duration_on_bursts_mean_silence(self):
+        """OnOff with a zero-length ON phase: no arrivals, clean finish."""
+        result = run_scenario(ScenarioConfig(
+            name="silent-onoff",
+            sensors=(SensorSpec(
+                key="s", zigbee_channel=15,
+                tx_position=(0.0, 0.0), rx_position=(1.0, 0.0),
+                traffic=OnOffTraffic(rate_per_s=100.0, mean_on_us=0.0,
+                                     mean_off_us=1_000.0)),),
+            duration_us=30_000.0,
+        ))
+        stats = result.sensors["s"]
+        assert stats.arrivals == 0
+        assert stats.packets_attempted == 0
+        assert result.delivery_ratio == 1.0
+
+    def test_queue_tail_drop_is_counted(self):
+        """Arrivals far beyond channel capacity: drops, not unbounded queues."""
+        result = run_scenario(ScenarioConfig(
+            name="overrun",
+            sensors=(SensorSpec(
+                key="s", zigbee_channel=15,
+                tx_position=(0.0, 0.0), rx_position=(1.0, 0.0),
+                traffic=CBRTraffic(period_us=100.0),  # 10k pkt/s
+                queue_limit=2),),
+            duration_us=60_000.0,
+        ))
+        stats = result.sensors["s"]
+        assert stats.queue_dropped > 0
+        assert stats.arrivals > stats.packets_attempted
+
+
+class TestSaturatedMedium:
+    def test_fully_saturated_medium_terminates(self):
+        """A dense co-channel cluster of saturated sensors under a
+        continuous-stream WiFi cell: wall-to-wall energy, CCA busy
+        everywhere — must still run to completion inside the budget."""
+        sensors = tuple(
+            SensorSpec(key=f"s{i}", zigbee_channel=12,
+                       tx_position=(2.0 + 0.3 * i, 0.0),
+                       rx_position=(2.0 + 0.3 * i, 0.5))
+            for i in range(10)
+        )
+        config = ScenarioConfig(
+            name="saturated",
+            cells=(CellSpec(key="bss", wifi_channel=1,
+                            position=(0.0, 0.0), rx_position=(0.0, 1.0),
+                            wifi=WifiConfig(duty_ratio=1.0)),),
+            sensors=sensors,
+            duration_us=60_000.0,
+            master_seed=2,
+        )
+        result = run_scenario(config)
+        total_busy = sum(s.cca_busy for s in result.sensors.values())
+        assert total_busy > 0  # the medium really was saturated
+        assert result.events_dispatched <= config.event_budget()
+
+    def test_exhausted_event_budget_raises_typed(self):
+        """An impossible budget fails loudly inside the typed hierarchy."""
+        config = grid_scenario(1, 6, duration_us=60_000.0, master_seed=1,
+                               max_events=10)
+        with pytest.raises(SimulationError, match="budget"):
+            run_scenario(config)
+
+    def test_all_failures_are_repro_errors(self):
+        """Whatever goes wrong, the exception derives from ReproError."""
+        config = grid_scenario(1, 4, duration_us=30_000.0, max_events=5)
+        try:
+            run_scenario(config)
+        except ReproError:
+            pass  # typed: acceptable
+        else:
+            pytest.fail("a 5-event budget cannot complete this scenario")

@@ -1,0 +1,105 @@
+"""Traffic-model library: sampler semantics and degenerate specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.traffic import (
+    CBRTraffic,
+    OnOffTraffic,
+    PoissonTraffic,
+    build_sampler,
+)
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestPoisson:
+    def test_mean_interval_matches_rate(self):
+        sampler = PoissonTraffic(rate_per_s=100.0).build()
+        r = rng(1)
+        draws = [sampler.next_interval_us(r) for _ in range(4000)]
+        assert all(d >= 0 for d in draws)
+        # Mean inter-arrival at 100 pkt/s is 10 ms.
+        assert np.mean(draws) == pytest.approx(10_000.0, rel=0.1)
+
+    def test_zero_rate_never_fires(self):
+        sampler = PoissonTraffic(rate_per_s=0.0).build()
+        assert sampler.next_interval_us(rng()) is None
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(rate_per_s=-1.0)
+
+    def test_deterministic_per_stream(self):
+        spec = PoissonTraffic(rate_per_s=50.0)
+        a = [spec.build().next_interval_us(rng(7)) for _ in range(1)]
+        b = [spec.build().next_interval_us(rng(7)) for _ in range(1)]
+        assert a == b
+
+
+class TestCBR:
+    def test_constant_period(self):
+        sampler = CBRTraffic(period_us=500.0).build()
+        r = rng()
+        assert [sampler.next_interval_us(r) for _ in range(5)] == [500.0] * 5
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CBRTraffic(period_us=0.0)
+        with pytest.raises(ConfigurationError):
+            CBRTraffic(period_us=-5.0)
+
+
+class TestOnOff:
+    def test_intervals_nonnegative_and_reproducible(self):
+        spec = OnOffTraffic(rate_per_s=200.0, mean_on_us=5_000.0, mean_off_us=20_000.0)
+        a_sampler, b_sampler = spec.build(), spec.build()
+        a = [a_sampler.next_interval_us(rng(3)) for _ in range(1)]
+        b = [b_sampler.next_interval_us(rng(3)) for _ in range(1)]
+        assert a == b
+        sampler = spec.build()
+        r = rng(11)
+        draws = [sampler.next_interval_us(r) for _ in range(500)]
+        assert all(d is not None and d >= 0 for d in draws)
+
+    def test_off_phases_stretch_the_mean(self):
+        """Adding OFF time must increase the mean inter-arrival."""
+        r1, r2 = rng(5), rng(5)
+        dense = OnOffTraffic(200.0, mean_on_us=5_000.0, mean_off_us=0.0).build()
+        bursty = OnOffTraffic(200.0, mean_on_us=5_000.0, mean_off_us=50_000.0).build()
+        mean_dense = np.mean([dense.next_interval_us(r1) for _ in range(2000)])
+        mean_bursty = np.mean([bursty.next_interval_us(r2) for _ in range(2000)])
+        assert mean_bursty > mean_dense * 2
+
+    def test_zero_duration_on_burst_never_fires(self):
+        """mean_on_us == 0: the ON window never opens — no arrivals."""
+        sampler = OnOffTraffic(200.0, mean_on_us=0.0, mean_off_us=1_000.0).build()
+        assert sampler.next_interval_us(rng()) is None
+
+    def test_zero_off_collapses_to_poisson(self):
+        spec = OnOffTraffic(100.0, mean_on_us=2_000.0, mean_off_us=0.0)
+        sampler = spec.build()
+        r = rng(9)
+        draws = [sampler.next_interval_us(r) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(10_000.0, rel=0.1)
+
+    def test_zero_rate_never_fires(self):
+        sampler = OnOffTraffic(0.0, mean_on_us=2_000.0, mean_off_us=500.0).build()
+        assert sampler.next_interval_us(rng()) is None
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnOffTraffic(-1.0, 100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            OnOffTraffic(10.0, -1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            OnOffTraffic(10.0, 100.0, -1.0)
+
+
+def test_build_sampler_none_means_saturated():
+    assert build_sampler(None) is None
