@@ -1,0 +1,109 @@
+"""Gateway load-smoke benchmarks: sustained request throughput + SLOs.
+
+The serving layer's reason to exist is sustained throughput: many
+single-frame clients must ride the batch kernels' vectorization without
+knowing batches exist.  The load smoke drives 256 frame requests from 16
+concurrent clients through an inline-pool gateway and asserts a hard
+floor of 500 frame-requests/s (the ISSUE-9 acceptance number for CI
+hardware); a second benchmark pins the coalescing overhead itself by
+comparing against the bare ``encode_frames`` batch call on the same
+payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.gateway import BatchPolicy, EncodeProfile, GatewayClient, GatewayServer
+from repro.sledzig.pipeline import encode_frames
+
+#: The load point: 16 clients x 16 frames of 8-octet payloads.
+N_CLIENTS = 16
+FRAMES_PER_CLIENT = 16
+PAYLOAD_OCTETS = 8
+
+#: Acceptance floor: sustained frame-requests per second through the
+#: gateway (coalescing + pool + SLO accounting included).
+THROUGHPUT_FLOOR_FPS = 500.0
+
+PROFILE = EncodeProfile(technology="sledzig", mcs="qam16-1/2", channel="CH1")
+POLICY = BatchPolicy(max_batch=32, max_linger_s=0.001,
+                     max_pending=4 * N_CLIENTS * FRAMES_PER_CLIENT)
+
+
+def _payloads(rng) -> "list[list[bytes]]":
+    return [
+        [
+            rng.integers(0, 256, size=PAYLOAD_OCTETS, dtype=np.uint8).tobytes()
+            for _ in range(FRAMES_PER_CLIENT)
+        ]
+        for _ in range(N_CLIENTS)
+    ]
+
+
+async def _drive(per_client) -> "tuple[int, float, dict]":
+    async with GatewayServer(PROFILE, POLICY) as gateway:
+        clients = [GatewayClient(gateway) for _ in per_client]
+
+        async def one_client(client, frames):
+            for frame in frames:
+                await client.encode(frame, timeout_s=60.0)
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await asyncio.gather(*(
+            one_client(client, frames)
+            for client, frames in zip(clients, per_client)
+        ))
+        seconds = loop.time() - start
+        slo = gateway.slo_snapshot()
+    return N_CLIENTS * FRAMES_PER_CLIENT, seconds, slo
+
+
+def test_bench_gateway_load_smoke(benchmark, rng):
+    """256 concurrent frame requests through the gateway, >= 500 fps."""
+    per_client = _payloads(rng)
+    # Warm the table caches so the benchmark measures steady-state serving.
+    encode_frames([per_client[0][0]], PROFILE.mcs, PROFILE.channel,
+                  PROFILE.scrambler_seed)
+
+    def load():
+        return asyncio.run(_drive(per_client))
+
+    n_frames, seconds, slo = benchmark(load)
+    fps = n_frames / seconds
+    assert slo["encoded"] == n_frames
+    assert slo["drops"] == {}
+    assert slo["latency_s"]["p99"] >= slo["latency_s"]["p50"] > 0
+    assert fps >= THROUGHPUT_FLOOR_FPS, (
+        f"gateway sustained only {fps:.0f} frame-requests/s "
+        f"(floor {THROUGHPUT_FLOOR_FPS})"
+    )
+
+
+def test_bench_gateway_overhead_vs_bare_batch(benchmark, rng):
+    """Serving overhead: the gateway must stay within 2x of calling the
+    batch API directly on the same frames (futures, timers, coalescing
+    and SLO accounting are the price of the serving semantics)."""
+    import time
+
+    per_client = _payloads(rng)
+    flat = [frame for frames in per_client for frame in frames]
+    encode_frames(flat[:1], PROFILE.mcs, PROFILE.channel,
+                  PROFILE.scrambler_seed)
+
+    start = time.perf_counter()
+    encode_frames(flat, PROFILE.mcs, PROFILE.channel, PROFILE.scrambler_seed)
+    bare_seconds = time.perf_counter() - start
+
+    def load():
+        return asyncio.run(_drive(per_client))
+
+    n_frames, gateway_seconds, slo = benchmark(load)
+    assert slo["encoded"] == n_frames
+    assert gateway_seconds < 2.0 * bare_seconds + 0.05, (
+        f"gateway took {gateway_seconds:.3f}s vs bare batch "
+        f"{bare_seconds:.3f}s"
+    )

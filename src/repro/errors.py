@@ -78,3 +78,43 @@ class StreamOverflowError(DecodingError):
 
 class SimulationError(ReproError):
     """The discrete-event coexistence simulator reached an invalid state."""
+
+
+class GatewayError(ReproError):
+    """The coexistence gateway could not serve an encode request.
+
+    Base class for the serving-layer failure taxonomy; every subclass is
+    both raised to the submitting client and counted as a
+    ``gateway.drop.<Cause>`` telemetry counter, so load tests can assert
+    the two views agree.
+    """
+
+
+class GatewayOverloadError(GatewayError):
+    """The admission queue is full; the request was rejected at submit time.
+
+    Backpressure, not failure: the client saw the rejection before any
+    worker time was spent, and may retry after backing off.
+    """
+
+
+class DeadlineExpiredError(GatewayError):
+    """A request's deadline passed before its waveform was produced.
+
+    Requests that expire while still queued are dropped *before* dispatch
+    (no worker time wasted); requests that expire mid-batch have their
+    result discarded on completion.
+    """
+
+
+class GatewayShutdownError(GatewayError):
+    """The gateway is draining or closed; no new requests are admitted."""
+
+
+class WorkerPoolError(GatewayError):
+    """The encode worker pool died mid-batch (worker killed or crashed).
+
+    Every request of the affected batch fails with this error; the
+    gateway replaces the broken pool before dispatching the next batch
+    (counted by ``gateway.pool.restarts``).
+    """

@@ -9,7 +9,7 @@ reports, so paper-vs-measured comparisons live in one place
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 
 @dataclass
@@ -22,6 +22,10 @@ class ExperimentResult:
         columns: column headers.
         rows: row tuples (values are str/float/int).
         notes: caveats and paper-vs-measured commentary.
+        manifest_extra: extra top-level keys the runner merges into this
+            experiment's ``--metrics-out`` manifest record (the gateway
+            experiment reports its SLO object this way); keys must not
+            collide with the record's own.
     """
 
     experiment_id: str
@@ -29,6 +33,7 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    manifest_extra: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         """Append one row (must match the column count)."""

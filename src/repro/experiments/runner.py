@@ -36,6 +36,7 @@ from repro.experiments import (
     fig15_dz,
     fig16_traffic,
     fig17_wifi_rssi,
+    gateway_load,
     table2_positions,
     table3_extra_bits,
     table4_throughput_loss,
@@ -110,6 +111,12 @@ def registry(
             n_frames=4 if quick else 8, **_seed_kw(master_seed)
         ),
         "ext40": ext40mhz.run,
+        # Quick mode runs a single load point so the manifest's telemetry
+        # counters and its slo object describe the same traffic.
+        "gateway": lambda: gateway_load.run(
+            sweep=((4, 8, 8),) if quick else gateway_load.DEFAULT_SWEEP,
+            **_seed_kw(master_seed),
+        ),
         "streamcap": lambda: streaming_capture.run(
             frame_counts=(10, 30) if quick else (25, 100),
             **_seed_kw(master_seed),
@@ -258,6 +265,7 @@ def run_experiments(
             telemetry.append_line(metrics_out, telemetry.run_record(
                 name, config=config, seconds=seconds, snapshot=snapshot,
                 experiment_id=result.experiment_id, title=result.title,
+                extra=result.manifest_extra,
             ))
 
     if workers > 1:

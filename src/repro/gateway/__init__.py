@@ -1,0 +1,23 @@
+"""Coexistence-gateway service layer: many clients, one warm encode path.
+
+SledZig is an encode-side transform on a fully standard 802.11 chain,
+which makes it a natural *service*: clients submit individual frames, the
+gateway coalesces them into the existing ``encode_frames`` batch APIs and
+executes batches on a persistent, cache-warm worker pool.  See
+:mod:`repro.gateway.server` for the serving guarantees and DESIGN.md
+("The coexistence gateway") for the architecture.
+"""
+
+from repro.gateway.policy import BatchPolicy, EncodeProfile, make_batch_encoder
+from repro.gateway.pool import EncodeWorkerPool, task_bytes
+from repro.gateway.server import GatewayClient, GatewayServer
+
+__all__ = [
+    "BatchPolicy",
+    "EncodeProfile",
+    "EncodeWorkerPool",
+    "GatewayClient",
+    "GatewayServer",
+    "make_batch_encoder",
+    "task_bytes",
+]

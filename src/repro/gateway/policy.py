@@ -1,0 +1,123 @@
+"""Gateway configuration: encode profiles and the batching policy.
+
+An :class:`EncodeProfile` names one (technology, MCS, channel, scrambler
+seed) encode pipeline; the gateway coalesces requests *per profile* so a
+batch always flows through one ``encode_frames`` call of the existing
+batch APIs.  A :class:`BatchPolicy` bounds how that coalescing behaves:
+how many frames one batch may hold, how long the first request of a
+partial batch may linger waiting for company, and how many admitted
+requests may be pending before submission is refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchPolicy", "EncodeProfile", "make_batch_encoder"]
+
+#: A batch encoder: payload byte strings in, one waveform per payload out.
+BatchEncoder = Callable[[Sequence[bytes]], List[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing and admission bounds for the gateway.
+
+    Attributes:
+        max_batch: most frames one dispatched batch may carry.
+        max_linger_s: longest the oldest pending request may wait for its
+            batch to fill before a partial batch is dispatched anyway.
+        max_pending: admitted-but-undispatched request bound; submission
+            beyond it raises :class:`~repro.errors.GatewayOverloadError`.
+    """
+
+    max_batch: int = 32
+    max_linger_s: float = 0.002
+    max_pending: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        if self.max_linger_s < 0.0:
+            raise ConfigurationError("max_linger_s must be non-negative")
+        if self.max_pending < 1:
+            raise ConfigurationError("max_pending must be at least 1")
+
+
+@dataclass(frozen=True)
+class EncodeProfile:
+    """One encode pipeline the gateway serves.
+
+    Attributes:
+        technology: ``"sledzig"`` (SledZig-shaped 802.11 PPDUs) or
+            ``"wifi"`` (plain 802.11 PPDUs); ignored when *encode_fn* is
+            given.
+        mcs: WiFi MCS name, e.g. ``"qam16-1/2"``.
+        channel: overlap channel for SledZig profiles, e.g. ``"CH1"``.
+        scrambler_seed: 802.11 scrambler seed.
+        encode_fn: optional custom batch encoder (a picklable module-level
+            callable — worker processes import it by reference).  Used by
+            the fault-injection tests to install crashing/stalling
+            encoders; production profiles leave it ``None``.
+    """
+
+    technology: str = "sledzig"
+    mcs: str = "qam16-1/2"
+    channel: str = "CH1"
+    scrambler_seed: int = 93
+    encode_fn: Optional[BatchEncoder] = None
+
+    def __post_init__(self) -> None:
+        if self.encode_fn is None and self.technology not in ("sledzig", "wifi"):
+            raise ConfigurationError(
+                f"unknown gateway technology {self.technology!r}; "
+                "choose 'sledzig' or 'wifi' (or pass encode_fn)"
+            )
+
+    def key(self) -> Tuple:
+        """Hashable identity used to group requests into batches."""
+        return (
+            self.technology,
+            self.mcs,
+            self.channel,
+            self.scrambler_seed,
+            self.encode_fn,
+        )
+
+
+def make_batch_encoder(profile: EncodeProfile) -> BatchEncoder:
+    """Build the warm batch encoder for *profile*.
+
+    Construction resolves the MCS/channel tables and instantiates the
+    transmitter once; the returned closure reuses it for every batch, so
+    worker processes pay the table-building cost in their initializer
+    rather than per task.
+    """
+    if profile.encode_fn is not None:
+        return profile.encode_fn
+    if profile.technology == "sledzig":
+        from repro.sledzig.pipeline import SledZigTransmitter
+
+        transmitter = SledZigTransmitter(
+            profile.mcs, profile.channel, profile.scrambler_seed
+        )
+
+        def encode_sledzig(payloads: Sequence[bytes]) -> List[np.ndarray]:
+            return [tx.waveform for tx in transmitter.send_frames(payloads)]
+
+        return encode_sledzig
+    from repro.utils.bits import bytes_to_bits
+    from repro.wifi.transmitter import WifiTransmitter
+
+    wifi = WifiTransmitter(profile.mcs, profile.scrambler_seed)
+
+    def encode_wifi(payloads: Sequence[bytes]) -> List[np.ndarray]:
+        bit_payloads = [bytes_to_bits(p) for p in payloads]
+        return [frame.waveform for frame in wifi.transmit_frames(bit_payloads)]
+
+    return encode_wifi

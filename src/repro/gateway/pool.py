@@ -1,0 +1,184 @@
+"""Persistent encode worker pool with warm per-worker caches.
+
+The gateway's hot path is ``encode_frames`` over a coalesced batch.  Two
+execution modes share one interface:
+
+* **inline** (``workers=0``): batches encode synchronously in the calling
+  process — deterministic, zero IPC, the mode the property tests and the
+  load-smoke benchmark use;
+* **process** (``workers >= 1``): a :class:`~concurrent.futures.
+  ProcessPoolExecutor` whose *initializer* builds every profile's warm
+  encoder (transmitter objects plus the :mod:`repro.dsp` table caches)
+  once per worker.  A task then ships only ``(profile index, payload
+  bytes)`` — never transmitters, tables, or waveform arrays — so the
+  per-task pickle cost is bounded by the payloads themselves
+  (:func:`task_bytes`, pinned by ``tests/gateway/test_pool.py``).
+
+A worker killed mid-batch surfaces as
+:class:`~repro.errors.WorkerPoolError` on that batch's future; the pool
+object is then *broken* and :meth:`EncodeWorkerPool.restart` builds a
+fresh executor (the server does this automatically before the next
+dispatch).
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError, WorkerPoolError
+from repro.gateway.policy import BatchEncoder, EncodeProfile, make_batch_encoder
+
+__all__ = ["EncodeWorkerPool", "task_bytes"]
+
+#: Per-worker warm encoders, built once by the pool initializer and keyed
+#: by position in the profile tuple the initializer received.
+_WORKER_ENCODERS: Dict[int, BatchEncoder] = {}
+
+
+def _warm_worker(profiles: Tuple[EncodeProfile, ...]) -> None:
+    """Pool initializer: build every profile's encoder in this worker."""
+    _WORKER_ENCODERS.clear()
+    for index, profile in enumerate(profiles):
+        _WORKER_ENCODERS[index] = make_batch_encoder(profile)
+
+
+def _encode_task(profile_index: int, payloads: List[bytes]) -> List[np.ndarray]:
+    """Worker-process task: encode one batch with the warm encoder."""
+    encoder = _WORKER_ENCODERS.get(profile_index)
+    if encoder is None:
+        raise ConfigurationError(
+            f"worker has no warm encoder for profile index {profile_index}"
+        )
+    return encoder(payloads)
+
+
+def task_bytes(profile_index: int, payloads: Sequence[bytes]) -> int:
+    """Pickled size of one pool task's arguments.
+
+    The hand-off contract the regression tests bound: a task carries the
+    profile *index* and the payload bytes, nothing else — warm state
+    travels once via the initializer.
+    """
+    return len(pickle.dumps((profile_index, list(payloads))))
+
+
+class EncodeWorkerPool:
+    """Batch-encode executor over a fixed set of profiles.
+
+    Args:
+        profiles: every profile the pool may be asked to encode for;
+            process workers warm all of them at start.
+        workers: 0 encodes inline in the calling process; >= 1 runs a
+            process pool of that size.
+    """
+
+    def __init__(
+        self, profiles: Sequence[EncodeProfile], workers: int = 0
+    ) -> None:
+        if not profiles:
+            raise ConfigurationError("pool needs at least one profile")
+        if workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        self.profiles: Tuple[EncodeProfile, ...] = tuple(profiles)
+        self.workers = int(workers)
+        self._index = {p.key(): i for i, p in enumerate(self.profiles)}
+        if len(self._index) != len(self.profiles):
+            raise ConfigurationError("duplicate profiles in pool")
+        self._inline: Dict[int, BatchEncoder] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.broken = False
+        self.restarts = 0
+        if self.workers:
+            self._executor = self._make_executor()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_warm_worker,
+            initargs=(self.profiles,),
+        )
+
+    def profile_index(self, profile: EncodeProfile) -> int:
+        """Stable index of *profile* within this pool."""
+        try:
+            return self._index[profile.key()]
+        except KeyError:
+            raise ConfigurationError(
+                f"profile {profile.technology}/{profile.mcs} not registered "
+                "with this pool"
+            ) from None
+
+    def _inline_encoder(self, index: int) -> BatchEncoder:
+        encoder = self._inline.get(index)
+        if encoder is None:
+            encoder = self._inline[index] = make_batch_encoder(
+                self.profiles[index]
+            )
+        return encoder
+
+    def submit(self, profile_index: int, payloads: List[bytes]) -> "Future":
+        """Encode one batch; returns a future of the waveform list.
+
+        Inline mode encodes synchronously (the future is already done);
+        process mode submits to the executor.  A dead worker resolves the
+        future with :class:`~repro.errors.WorkerPoolError` and marks the
+        pool broken.
+        """
+        if not 0 <= profile_index < len(self.profiles):
+            raise ConfigurationError(f"unknown profile index {profile_index}")
+        if self._executor is None:
+            future: "Future" = Future()
+            try:
+                future.set_result(self._inline_encoder(profile_index)(payloads))
+            except Exception as exc:
+                # Boundary: the submitting client owns this failure; the
+                # server maps it onto the batch's requests as a typed
+                # drop (unexpected types are re-raised there as bugs).
+                future.set_exception(exc)
+            return future
+        if self.broken:
+            future = Future()
+            future.set_exception(WorkerPoolError("encode worker pool is broken"))
+            return future
+        raw = self._executor.submit(_encode_task, profile_index, payloads)
+        wrapped: "Future" = Future()
+
+        def _translate(done: "Future") -> None:
+            if done.cancelled():
+                wrapped.cancel()
+                return
+            error = done.exception()
+            if isinstance(error, BrokenProcessPool):
+                self.broken = True
+                wrapped.set_exception(
+                    WorkerPoolError(f"encode worker died mid-batch: {error}")
+                )
+            elif error is not None:
+                wrapped.set_exception(error)
+            else:
+                wrapped.set_result(done.result())
+
+        raw.add_done_callback(_translate)
+        return wrapped
+
+    def restart(self) -> None:
+        """Replace a broken executor with a fresh, warm one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.workers:
+            self._executor = self._make_executor()
+        self.broken = False
+        self.restarts += 1
+        telemetry.current().count("gateway.pool.restarts")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (idempotent; inline mode is a no-op)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None

@@ -1,0 +1,406 @@
+"""Asyncio coexistence gateway: many clients, one warm encode pipeline.
+
+:class:`GatewayServer` accepts per-frame encode requests, coalesces them
+per :class:`~repro.gateway.policy.EncodeProfile` under a
+max-batch/max-linger :class:`~repro.gateway.policy.BatchPolicy`, and
+executes whole batches on an :class:`~repro.gateway.pool.EncodeWorkerPool`
+— so a fleet of single-frame clients gets the vectorized throughput of
+the ``encode_frames`` batch APIs without knowing batches exist.
+
+Serving guarantees (all pinned by ``tests/gateway/``):
+
+* **Determinism.**  Coalescing never changes bits: each request's
+  waveform is identical to what one direct ``encode_frames`` call on the
+  same payloads would produce, for any interleaving and any batch size.
+* **Backpressure.**  At most ``max_pending`` admitted requests wait for
+  dispatch; submission beyond that raises
+  :class:`~repro.errors.GatewayOverloadError` *at submit time*.
+* **Deadlines.**  A request with ``timeout_s`` that is still queued when
+  its deadline passes is dropped with
+  :class:`~repro.errors.DeadlineExpiredError` and never reaches a worker;
+  one already in flight has its late result discarded.  In-flight batches
+  are capped, so a stalled pool cannot silently absorb the queue.
+* **Fault surfacing.**  A worker killed mid-batch fails that batch's
+  requests with :class:`~repro.errors.WorkerPoolError`; the pool is
+  replaced before the next dispatch.  Every drop increments a matching
+  ``gateway.drop.<Cause>`` telemetry counter — the SLO snapshot and the
+  counters always agree.
+
+Shutdown is graceful: :meth:`GatewayServer.aclose` stops admission,
+flushes partial batches immediately, waits for in-flight work, and shuts
+the pool down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExpiredError,
+    GatewayOverloadError,
+    GatewayShutdownError,
+    ReproError,
+)
+from repro.gateway.policy import BatchPolicy, EncodeProfile
+from repro.gateway.pool import EncodeWorkerPool
+from repro.telemetry.quantiles import Reservoir
+
+__all__ = ["GatewayClient", "GatewayServer"]
+
+
+@dataclass
+class _Request:
+    """One admitted encode request awaiting its waveform."""
+
+    payload: bytes
+    profile_index: int
+    future: "asyncio.Future[np.ndarray]"
+    enqueued: float
+    timer: "Optional[asyncio.TimerHandle]" = field(default=None)
+
+    def settle(self) -> None:
+        """Cancel the deadline timer (the request has been resolved)."""
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+class GatewayServer:
+    """Batch-coalescing encode front end over a persistent worker pool.
+
+    Args:
+        profiles: the encode profiles this gateway serves (requests
+            default to the first).
+        policy: coalescing/backpressure bounds.
+        workers: 0 encodes inline (deterministic, test/benchmark mode);
+            >= 1 runs that many warm worker processes.
+        latency_cap: retained-sample bound of the latency reservoir.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`aclose` explicitly.  All methods must run on the event loop
+    the server was started on.
+    """
+
+    def __init__(
+        self,
+        profiles: "Sequence[EncodeProfile] | EncodeProfile | None" = None,
+        policy: Optional[BatchPolicy] = None,
+        workers: int = 0,
+        latency_cap: int = 4096,
+    ) -> None:
+        if profiles is None:
+            profiles = (EncodeProfile(),)
+        elif isinstance(profiles, EncodeProfile):
+            profiles = (profiles,)
+        self.profiles = tuple(profiles)
+        self.policy = policy or BatchPolicy()
+        self.workers = int(workers)
+        self._pool = EncodeWorkerPool(self.profiles, workers=self.workers)
+        self._pending: List["list[_Request]"] = [[] for _ in self.profiles]
+        self._total_pending = 0
+        self._queue_high_water = 0
+        self._inflight: "set[asyncio.Task]" = set()
+        self._max_inflight = 1 if self.workers == 0 else 2 * self.workers
+        self._latency = Reservoir(latency_cap)
+        self._batch_fill: Dict[int, int] = {}
+        self._drops: Dict[str, int] = {}
+        self._requests = 0
+        self._encoded = 0
+        self._closing = False
+        self._started = False
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._wake: "asyncio.Event | None" = None
+        self._idle: "asyncio.Event | None" = None
+        self._batcher: "asyncio.Task | None" = None
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the batcher task."""
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._batcher = self._loop.create_task(self._run_batcher())
+        self._started = True
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        payload: bytes,
+        profile: Optional[EncodeProfile] = None,
+        timeout_s: Optional[float] = None,
+    ) -> "asyncio.Future[np.ndarray]":
+        """Admit one encode request; the future resolves to its waveform.
+
+        Raises:
+            GatewayShutdownError: the gateway is draining or closed.
+            GatewayOverloadError: the admission queue is full.
+        """
+        if self._loop is None:
+            raise ConfigurationError("gateway not started (use `async with`)")
+        tel = telemetry.current()
+        tel.count("gateway.requests")
+        self._requests += 1
+        if self._closing:
+            self._count_drop(GatewayShutdownError)
+            raise GatewayShutdownError("gateway is draining; request refused")
+        if self._total_pending >= self.policy.max_pending:
+            self._count_drop(GatewayOverloadError)
+            raise GatewayOverloadError(
+                f"admission queue full ({self.policy.max_pending} pending)"
+            )
+        index = (
+            0 if profile is None else self._pool.profile_index(profile)
+        )
+        request = _Request(
+            payload=bytes(payload),
+            profile_index=index,
+            future=self._loop.create_future(),
+            enqueued=self._loop.time(),
+        )
+        if timeout_s is not None:
+            request.timer = self._loop.call_later(
+                timeout_s, self._expire, request
+            )
+        self._pending[index].append(request)
+        self._total_pending += 1
+        if self._total_pending > self._queue_high_water:
+            self._queue_high_water = self._total_pending
+        self._idle.clear()
+        self._wake.set()
+        return request.future
+
+    def _expire(self, request: _Request) -> None:
+        """Deadline timer callback: drop *request* if still unresolved."""
+        request.timer = None
+        if request.future.done():
+            return
+        self._count_drop(DeadlineExpiredError)
+        request.future.set_exception(
+            DeadlineExpiredError("request deadline passed before encode")
+        )
+
+    def _count_drop(self, cause: "type[ReproError] | ReproError") -> None:
+        name = (
+            cause.__name__
+            if isinstance(cause, type)
+            else type(cause).__name__
+        )
+        self._drops[name] = self._drops.get(name, 0) + 1
+        telemetry.current().count(f"gateway.drop.{name}")
+
+    # -- batching ------------------------------------------------------
+
+    async def _run_batcher(self) -> None:
+        """Coalesce pending requests into batches and dispatch them."""
+        assert self._loop is not None and self._wake is not None
+        policy = self.policy
+        while True:
+            if self._total_pending == 0 or len(self._inflight) >= self._max_inflight:
+                self._wake.clear()
+                # Re-check between clear and wait: a submit/completion in
+                # the gap sets the event and wait() returns immediately.
+                if self._total_pending == 0 or len(self._inflight) >= self._max_inflight:
+                    await self._wake.wait()
+                continue
+            now = self._loop.time()
+            next_flush: Optional[float] = None
+            dispatched = False
+            for index, queue in enumerate(self._pending):
+                if not queue:
+                    continue
+                full = len(queue) >= policy.max_batch
+                aged = (now - queue[0].enqueued) >= policy.max_linger_s
+                if full or aged or self._closing:
+                    size = min(policy.max_batch, len(queue))
+                    batch = queue[:size]
+                    del queue[:size]
+                    self._total_pending -= size
+                    task = self._loop.create_task(
+                        self._dispatch_batch(index, batch)
+                    )
+                    self._inflight.add(task)
+                    task.add_done_callback(self._batch_done)
+                    dispatched = True
+                    if len(self._inflight) >= self._max_inflight:
+                        break
+                else:
+                    flush_at = queue[0].enqueued + policy.max_linger_s
+                    if next_flush is None or flush_at < next_flush:
+                        next_flush = flush_at
+            if dispatched:
+                continue
+            if next_flush is not None:
+                delay = max(0.0, next_flush - self._loop.time())
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), delay)
+                except asyncio.TimeoutError:
+                    pass
+
+    def _batch_done(self, task: "asyncio.Task") -> None:
+        self._inflight.discard(task)
+        if self._wake is not None:
+            self._wake.set()
+        self._note_progress()
+
+    def _note_progress(self) -> None:
+        if self._idle is not None and not self._total_pending and not self._inflight:
+            self._idle.set()
+
+    async def _dispatch_batch(
+        self, index: int, batch: List[_Request]
+    ) -> None:
+        """Encode one coalesced batch and settle its requests."""
+        tel = telemetry.current()
+        # Requests that expired while queued are dropped here, before any
+        # worker sees them; live ones keep their deadline timer armed so a
+        # stalled pool cannot hold them past their deadline.
+        live = [r for r in batch if not r.future.done()]
+        if not live:
+            return
+        fill = len(live)
+        tel.count("gateway.batches")
+        tel.observe("gateway.batch.fill", fill)
+        self._batch_fill[fill] = self._batch_fill.get(fill, 0) + 1
+        if self._pool.broken:
+            self._pool.restart()
+        payloads = [r.payload for r in live]
+        start = self._loop.time()
+        try:
+            waveforms = await asyncio.wrap_future(
+                self._pool.submit(index, payloads), loop=self._loop
+            )
+        except ReproError as exc:
+            self._fail_batch(live, exc)
+            return
+        except Exception as exc:
+            # Boundary: a non-ReproError encode failure is a bug, but the
+            # batcher must keep serving other clients — fail this batch's
+            # futures with the real error (clients re-raise it) and count
+            # it apart from the typed drop taxonomy.
+            tel.count("gateway.error.unexpected")
+            self._fail_batch(live, exc)
+            return
+        tel.observe("gateway.batch.encode_s", self._loop.time() - start)
+        done_at = self._loop.time()
+        for request, waveform in zip(live, waveforms):
+            if request.future.done():
+                continue  # expired mid-flight; result discarded
+            request.settle()
+            request.future.set_result(waveform)
+            self._encoded += 1
+            tel.count("gateway.ok")
+            self._latency.observe(done_at - request.enqueued)
+
+    def _fail_batch(self, live: List[_Request], error: Exception) -> None:
+        for request in live:
+            if request.future.done():
+                continue
+            request.settle()
+            if isinstance(error, ReproError):
+                self._count_drop(error)
+            request.future.set_exception(error)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def drain(self) -> None:
+        """Wait until no request is pending or in flight."""
+        if self._idle is None:
+            return
+        self._note_progress()
+        await self._idle.wait()
+
+    async def aclose(self) -> None:
+        """Stop admission, flush partial batches, wait, shut the pool down."""
+        if not self._started:
+            return
+        self._closing = True
+        if self._wake is not None:
+            self._wake.set()  # flush partial batches without lingering
+        await self.drain()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        self._pool.shutdown(wait=True)
+        self._started = False
+
+    # -- observability -------------------------------------------------
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """The gateway's SLO view, mirrored into telemetry gauges.
+
+        Returns requests/encoded/drop counts, the latency reservoir
+        summary (p50/p90/p99 in seconds), the batch-fill histogram and
+        queue/pool health — the same numbers the ``gateway`` runner
+        experiment writes into its ``--metrics-out`` manifest.
+        """
+        tel = telemetry.current()
+        latency = self._latency.to_jsonable()
+        tel.gauge("gateway.latency.p50_ms", latency["p50"] * 1e3)
+        tel.gauge("gateway.latency.p99_ms", latency["p99"] * 1e3)
+        tel.gauge("gateway.queue.high_water", self._queue_high_water)
+        return {
+            "requests": self._requests,
+            "encoded": self._encoded,
+            "drops": dict(sorted(self._drops.items())),
+            "latency_s": latency,
+            "batch_fill": {
+                str(size): count
+                for size, count in sorted(self._batch_fill.items())
+            },
+            "queue_high_water": self._queue_high_water,
+            "pool_restarts": self._pool.restarts,
+            "workers": self.workers,
+        }
+
+
+class GatewayClient:
+    """In-process client of a :class:`GatewayServer` (awaitable API)."""
+
+    def __init__(
+        self,
+        server: GatewayServer,
+        profile: Optional[EncodeProfile] = None,
+    ) -> None:
+        self._server = server
+        self._profile = profile
+
+    async def encode(
+        self, payload: bytes, timeout_s: Optional[float] = None
+    ) -> np.ndarray:
+        """Encode one payload; returns its PPDU waveform."""
+        return await self._server.submit(
+            payload, profile=self._profile, timeout_s=timeout_s
+        )
+
+    async def encode_many(
+        self, payloads: Sequence[bytes], timeout_s: Optional[float] = None
+    ) -> List[np.ndarray]:
+        """Submit many payloads at once and await all their waveforms."""
+        futures = [
+            self._server.submit(
+                payload, profile=self._profile, timeout_s=timeout_s
+            )
+            for payload in payloads
+        ]
+        return list(await asyncio.gather(*futures))

@@ -75,6 +75,38 @@ class MonteCarloResult:
         return int(self.outcomes.size)
 
 
+#: Per-worker campaign constants, set once by :func:`_init_worker`.
+#: ``(experiment, master_seed, trial_fn, batch_fn)`` — the pieces that are
+#: identical for every batch of a campaign and must therefore travel via
+#: the pool initializer, not with every task (a ``batch_fn`` closing over
+#: stacked payload arrays used to be re-pickled per batch).
+_WORKER_CAMPAIGN: "Optional[Tuple[str, int, Optional[TrialFn], Optional[BatchFn]]]" = None
+
+
+def _init_worker(
+    experiment: str,
+    master_seed: int,
+    trial_fn: Optional[TrialFn],
+    batch_fn: Optional[BatchFn],
+) -> None:
+    """Pool initializer: install the campaign constants in this worker."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = (experiment, master_seed, trial_fn, batch_fn)
+
+
+def _worker_batch(indices: Sequence[int]) -> "Tuple[List[float], telemetry.Snapshot]":
+    """Worker-process task: evaluate one batch of the installed campaign.
+
+    Only the trial indices travel with the task (bounded per-task pickle
+    cost, pinned by ``tests/montecarlo/test_worker_pickle.py``); the
+    evaluators and seeds were shipped once via :func:`_init_worker`.
+    """
+    if _WORKER_CAMPAIGN is None:
+        raise ConfigurationError("worker used before its campaign initializer")
+    experiment, master_seed, trial_fn, batch_fn = _WORKER_CAMPAIGN
+    return _evaluate_batch(experiment, master_seed, trial_fn, batch_fn, indices)
+
+
 def _evaluate_batch(
     experiment: str,
     master_seed: int,
@@ -197,18 +229,20 @@ class MonteCarloEngine:
 
         tel = telemetry.current()
         if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _evaluate_batch,
-                        self.experiment,
-                        self.master_seed,
-                        trial_fn if batch_fn is None else None,
-                        batch_fn,
-                        chunk,
-                    )
-                    for chunk in chunks
-                ]
+            # Campaign constants (evaluators may close over large payload
+            # arrays) ship once per worker via the initializer; each task
+            # then carries only its trial indices.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.experiment,
+                    self.master_seed,
+                    trial_fn if batch_fn is None else None,
+                    batch_fn,
+                ),
+            ) as pool:
+                futures = [pool.submit(_worker_batch, chunk) for chunk in chunks]
                 # Consume in submission order so early stopping lands on
                 # the same batch boundary as the serial path — and so batch
                 # snapshots merge in the serial path's order.

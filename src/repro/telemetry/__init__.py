@@ -14,15 +14,18 @@ from repro.telemetry.core import (
     use,
 )
 from repro.telemetry.manifest import append_line, config_digest, run_record
+from repro.telemetry.quantiles import Reservoir, percentile
 
 __all__ = [
     "Histogram",
+    "Reservoir",
     "Snapshot",
     "Telemetry",
     "append_line",
     "collect",
     "config_digest",
     "current",
+    "percentile",
     "run_record",
     "use",
 ]

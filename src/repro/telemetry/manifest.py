@@ -40,6 +40,7 @@ def run_record(
     title: Optional[str] = None,
     status: str = "ok",
     error: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build one manifest record (a plain JSON-serialisable dict).
 
@@ -51,6 +52,8 @@ def run_record(
         experiment_id / title: from the :class:`ExperimentResult`.
         status: ``"ok"`` or ``"failed"``.
         error: ``"ExcType: message"`` when *status* is ``"failed"``.
+        extra: extra top-level keys (e.g. the gateway's ``slo`` object);
+            must not collide with the record's own keys.
     """
     record: Dict[str, Any] = {
         "experiment": name,
@@ -70,6 +73,13 @@ def run_record(
         record["timings"] = {
             k: h.to_jsonable() for k, h in snapshot.timers.items()
         }
+    if extra:
+        collisions = set(extra) & set(record)
+        if collisions:
+            raise ValueError(
+                f"manifest extras collide with record keys: {sorted(collisions)}"
+            )
+        record.update(jsonable(extra))
     return record
 
 

@@ -1,0 +1,100 @@
+"""Bounded, deterministic quantile tracking for SLO reporting.
+
+The :class:`~repro.telemetry.core.Histogram` keeps exact count/total/
+min/max — enough for means, useless for tail latency.  The gateway's SLOs
+(p50/p99 encode latency) need order statistics, but an unbounded sample
+list would tie memory to request volume, the exact failure mode the
+serving layer exists to avoid.  :class:`Reservoir` stores at most ``cap``
+samples with *stride decimation*: once full, the retained set is thinned
+to every other sample and the sampling stride doubles, so a reservoir
+that has seen N observations keeps a deterministic, evenly spaced subset
+of them.  Unlike random reservoir sampling, two runs over the same
+observation sequence hold bit-identical state — the same discipline as
+every other deterministic structure in :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Reservoir", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method without
+    requiring the values as an array; 0.0 when *values* is empty.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile {q} outside 0..100")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # One-product lerp: never escapes [ordered[low], ordered[high]], even
+    # when both endpoints are equal (the two-product blend can overshoot
+    # by an ulp because float (1-frac)+frac may exceed 1).
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+class Reservoir:
+    """Bounded observation store with deterministic stride decimation.
+
+    Observations are kept verbatim until ``cap`` is reached; then every
+    other retained sample is dropped and only every ``stride``-th future
+    observation is recorded (stride doubling each time the cap is hit
+    again).  ``count`` always reflects the true number of observations.
+    """
+
+    __slots__ = ("cap", "count", "stride", "_samples")
+
+    def __init__(self, cap: int = 4096) -> None:
+        if cap < 2:
+            raise ConfigurationError("reservoir cap must be at least 2")
+        self.cap = int(cap)
+        self.count = 0
+        self.stride = 1
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation (possibly decimated away)."""
+        self.count += 1
+        if (self.count - 1) % self.stride != 0:
+            return
+        if len(self._samples) >= self.cap:
+            # Thin to every other sample and halve the future sample rate.
+            self._samples = self._samples[::2]
+            self.stride *= 2
+            if (self.count - 1) % self.stride != 0:
+                return
+        self._samples.append(float(value))
+
+    @property
+    def samples(self) -> List[float]:
+        """The retained (evenly strided) samples, in observation order."""
+        return list(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile of the retained samples."""
+        return percentile(self._samples, q)
+
+    def to_jsonable(self) -> Dict[str, float]:
+        """SLO summary: count plus p50/p90/p99/max over retained samples."""
+        return {
+            "count": self.count,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": max(self._samples) if self._samples else 0.0,
+        }

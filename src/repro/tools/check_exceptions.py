@@ -32,6 +32,13 @@ from typing import Iterable, List, Tuple
 #: (path suffix, enclosing function) pairs of sanctioned blanket handlers.
 ALLOWLIST: Tuple[Tuple[str, str], ...] = (
     ("repro/experiments/runner.py", "run_experiments"),
+    # Serving boundaries: a failed batch must fail its own requests (the
+    # clients re-raise the real error) without killing the batcher task or
+    # the inline pool — the gateway's analogue of the runner fence.
+    # Unexpected (non-ReproError) failures are counted apart from the
+    # typed drop taxonomy as gateway.error.unexpected.
+    ("repro/gateway/pool.py", "submit"),
+    ("repro/gateway/server.py", "_dispatch_batch"),
 )
 
 _BROAD = {"Exception", "BaseException"}

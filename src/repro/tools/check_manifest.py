@@ -1,0 +1,194 @@
+"""Validate ``--metrics-out`` JSONL run manifests (CI/analysis gate).
+
+Usage::
+
+    python -m repro.tools.check_manifest metrics.jsonl [more.jsonl ...]
+
+Every line of a manifest must be a self-describing record a later
+analysis job can trust blindly: the required keys present, the embedded
+``config`` digesting to the recorded ``config_digest`` (so a hand-edited
+line cannot masquerade as provenance), and — for successful runs — the
+telemetry tables in shape: ``drops`` holding only ``*.drop.<cause>``
+counters that agree with ``counters``, ``timings`` histograms carrying
+the count/total/mean/min/max summary the trend tooling reads.  Both the
+classic experiment manifests and the gateway SLO manifests (which add a
+``slo`` object with latency percentiles and the batch-fill table) pass
+through the same checks.
+
+Exit status is the number of violations (0 = clean), matching the repo's
+other CI linters.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.telemetry.manifest import config_digest
+
+__all__ = ["lint_manifest", "lint_record", "main"]
+
+#: Keys every manifest record must carry.
+REQUIRED_KEYS = ("experiment", "status", "config", "config_digest", "seconds")
+
+#: Keys a ``status == "ok"`` record must additionally carry.
+OK_KEYS = ("counters", "gauges", "drops", "timings")
+
+#: The summary fields of one timing histogram.
+TIMING_FIELDS = ("count", "total", "mean", "min", "max")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def lint_record(record: Any, where: str) -> List[str]:
+    """Violation messages for one parsed manifest record."""
+    if not isinstance(record, dict):
+        return [f"{where}: record is not a JSON object"]
+    problems: List[str] = []
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"{where}: missing required key {key!r}")
+    status = record.get("status")
+    if status not in ("ok", "failed"):
+        problems.append(f"{where}: status must be 'ok' or 'failed', got {status!r}")
+    seconds = record.get("seconds")
+    if "seconds" in record and (not _is_number(seconds) or seconds < 0):
+        problems.append(f"{where}: 'seconds' must be a non-negative number")
+    if "config" in record and "config_digest" in record:
+        expected = config_digest(record["config"])
+        if record["config_digest"] != expected:
+            problems.append(
+                f"{where}: config_digest {record['config_digest']!r} does not "
+                f"match the embedded config (expected {expected!r})"
+            )
+    if status == "failed":
+        if not isinstance(record.get("error"), str) or not record.get("error"):
+            problems.append(f"{where}: failed record needs a non-empty 'error'")
+        return problems
+    if status != "ok":
+        return problems
+    for key in OK_KEYS:
+        if not isinstance(record.get(key), dict):
+            problems.append(f"{where}: 'ok' record needs a {key!r} mapping")
+    problems.extend(_lint_drops(record, where))
+    problems.extend(_lint_timings(record, where))
+    slo = record.get("slo")
+    if slo is not None:
+        problems.extend(_lint_slo(slo, where))
+    return problems
+
+
+def _lint_drops(record: Dict[str, Any], where: str) -> List[str]:
+    """The drop-cause table: ``*.drop.<cause>`` keys agreeing with counters."""
+    drops = record.get("drops")
+    counters = record.get("counters")
+    if not isinstance(drops, dict):
+        return []
+    problems: List[str] = []
+    for key, value in drops.items():
+        if ".drop." not in key:
+            problems.append(
+                f"{where}: drops key {key!r} is not a '*.drop.<cause>' counter"
+            )
+        if not _is_number(value):
+            problems.append(f"{where}: drops[{key!r}] is not numeric")
+        elif isinstance(counters, dict) and counters.get(key) != value:
+            problems.append(
+                f"{where}: drops[{key!r}]={value} disagrees with "
+                f"counters[{key!r}]={counters.get(key)!r}"
+            )
+    return problems
+
+
+def _lint_timings(record: Dict[str, Any], where: str) -> List[str]:
+    timings = record.get("timings")
+    if not isinstance(timings, dict):
+        return []
+    problems: List[str] = []
+    for name, hist in timings.items():
+        if not isinstance(hist, dict):
+            problems.append(f"{where}: timings[{name!r}] is not an object")
+            continue
+        for fld in TIMING_FIELDS:
+            if not _is_number(hist.get(fld)):
+                problems.append(
+                    f"{where}: timings[{name!r}] missing numeric {fld!r}"
+                )
+    return problems
+
+
+def _lint_slo(slo: Any, where: str) -> List[str]:
+    """The gateway SLO object: latency percentiles + batch-fill table."""
+    if not isinstance(slo, dict):
+        return [f"{where}: 'slo' is not an object"]
+    problems: List[str] = []
+    latency = slo.get("latency_s")
+    if not isinstance(latency, dict):
+        problems.append(f"{where}: slo needs a 'latency_s' object")
+    else:
+        for fld in ("count", "p50", "p99"):
+            if not _is_number(latency.get(fld)):
+                problems.append(
+                    f"{where}: slo.latency_s missing numeric {fld!r}"
+                )
+    fill = slo.get("batch_fill")
+    if not isinstance(fill, dict):
+        problems.append(f"{where}: slo needs a 'batch_fill' table")
+    else:
+        for size, count in fill.items():
+            if not str(size).isdigit() or not _is_number(count):
+                problems.append(
+                    f"{where}: slo.batch_fill[{size!r}] is not a "
+                    "batch-size -> count entry"
+                )
+    for fld in ("requests", "encoded"):
+        if not _is_number(slo.get(fld)):
+            problems.append(f"{where}: slo missing numeric {fld!r}")
+    if not isinstance(slo.get("drops"), dict):
+        problems.append(f"{where}: slo needs a 'drops' mapping")
+    return problems
+
+
+def lint_manifest(path: Path) -> List[str]:
+    """Violations across every line of one JSONL manifest."""
+    problems: List[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return [f"{path}: empty manifest"]
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not valid JSON ({exc})")
+            continue
+        problems.extend(lint_record(record, where))
+    return problems
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI entry point; exits nonzero on any violation."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.tools.check_manifest PATH [PATH ...]")
+        return 2
+    violations: List[str] = []
+    for arg in args:
+        violations.extend(lint_manifest(Path(arg)))
+    for message in violations:
+        print(message)
+    if violations:
+        print(f"{len(violations)} manifest violation(s) found")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

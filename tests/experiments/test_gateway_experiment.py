@@ -1,0 +1,47 @@
+"""The gateway runner experiment: registry entry, SLOs, manifest shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.experiments import gateway_load
+from repro.experiments.runner import registry, run_experiments
+from repro.tools.check_manifest import lint_manifest
+
+
+def test_gateway_is_registered():
+    assert "gateway" in registry(quick=True)
+
+
+def test_small_sweep_reports_slos_and_bit_identity():
+    result = gateway_load.run(sweep=((2, 4, 4),), master_seed=99)
+    assert result.columns[-1] == "bit_identical"
+    assert [row[-1] for row in result.rows] == ["yes"]
+    clients, frames, max_batch, fps, p50, p99, fill, _ = result.rows[0]
+    assert (clients, frames, max_batch) == (2, 8, 4)
+    assert fps > 0 and p99 >= p50 > 0
+    slo = result.manifest_extra["slo"]
+    assert slo["encoded"] == 8
+    assert slo["latency_s"]["count"] == 8
+
+
+def test_seed_changes_payloads_not_identity():
+    a = gateway_load.run(sweep=((2, 2, 2),), master_seed=1)
+    b = gateway_load.run(sweep=((2, 2, 2),), master_seed=2)
+    assert [r[-1] for r in a.rows] == [r[-1] for r in b.rows] == ["yes"]
+
+
+def test_runner_writes_valid_gateway_manifest(tmp_path):
+    manifest = tmp_path / "metrics.jsonl"
+    with telemetry.collect():
+        run_experiments(["gateway"], quick=True, as_json=True,
+                        metrics_out=str(manifest))
+    assert lint_manifest(manifest) == []
+    (record,) = [
+        json.loads(line) for line in manifest.read_text().splitlines()
+    ]
+    assert record["experiment"] == "gateway"
+    assert record["status"] == "ok"
+    assert record["slo"]["latency_s"]["p99"] > 0
+    assert record["counters"]["gateway.requests"] == record["slo"]["requests"]

@@ -1,0 +1,88 @@
+"""Property: gateway coalescing never changes bits.
+
+For any set of payloads, any max-batch size 1..N, and any interleaving of
+client submissions (chunked submission with event-loop yields between
+chunks, shuffled client order), every waveform the gateway serves is
+bit-identical to what one direct ``encode_frames`` call on the same
+frames in submission order produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway import BatchPolicy, EncodeProfile, GatewayServer
+from repro.sledzig.pipeline import encode_frames
+
+PROFILE = EncodeProfile(technology="sledzig", mcs="qam16-1/2", channel="CH1")
+
+#: Payload byte strings kept small so each example encodes quickly.
+payloads_strategy = st.lists(
+    st.binary(min_size=0, max_size=12), min_size=1, max_size=32
+)
+
+
+async def _serve(
+    payloads: List[bytes], max_batch: int, chunk: int
+) -> List[np.ndarray]:
+    """Submit *payloads* in interleaved chunks; gather in submission order."""
+    policy = BatchPolicy(max_batch=max_batch, max_linger_s=0.0005,
+                         max_pending=len(payloads) + 1)
+    async with GatewayServer(PROFILE, policy) as gateway:
+        futures = []
+        for start in range(0, len(payloads), chunk):
+            futures.extend(
+                gateway.submit(p) for p in payloads[start:start + chunk]
+            )
+            # Yield so the batcher interleaves dispatch with submission —
+            # batch composition varies, results must not.
+            await asyncio.sleep(0)
+        return list(await asyncio.gather(*futures))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    payloads=payloads_strategy,
+    max_batch=st.integers(min_value=1, max_value=32),
+    chunk=st.integers(min_value=1, max_value=8),
+)
+def test_coalescing_is_bit_identical_to_direct_encode(
+    payloads, max_batch, chunk
+):
+    served = asyncio.run(_serve(payloads, max_batch, chunk))
+    direct = encode_frames(payloads, PROFILE.mcs, PROFILE.channel,
+                           PROFILE.scrambler_seed)
+    assert len(served) == len(direct)
+    for got, want in zip(served, direct):
+        np.testing.assert_array_equal(got, want)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_shuffled_multi_client_submission_is_bit_identical(data):
+    """Several clients, shuffled submission order: each request's waveform
+    still matches the direct encode of its own payload."""
+    payloads = data.draw(payloads_strategy)
+    order = data.draw(st.permutations(range(len(payloads))))
+    max_batch = data.draw(st.integers(min_value=1, max_value=16))
+
+    async def main():
+        policy = BatchPolicy(max_batch=max_batch, max_linger_s=0.0005,
+                             max_pending=len(payloads) + 1)
+        async with GatewayServer(PROFILE, policy) as gateway:
+            futures: dict = {}
+            for index in order:
+                futures[index] = gateway.submit(payloads[index])
+            await asyncio.gather(*futures.values())
+            return {i: f.result() for i, f in futures.items()}
+
+    served = asyncio.run(main())
+    direct = encode_frames(payloads, PROFILE.mcs, PROFILE.channel,
+                           PROFILE.scrambler_seed)
+    for index, want in enumerate(direct):
+        np.testing.assert_array_equal(served[index], want)

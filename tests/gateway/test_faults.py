@@ -1,0 +1,208 @@
+"""Fault injection: killed workers, stalled pools, overload, encoder bugs.
+
+Every injected fault must surface as its typed error on the affected
+requests AND as the matching ``gateway.drop.<Cause>`` telemetry counter —
+never a hang, never a blanket exception (`repro.tools.check_exceptions`
+lints the gateway tree; see ``tests/utils/test_check_exceptions.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import (
+    DeadlineExpiredError,
+    EncodingError,
+    GatewayOverloadError,
+    WorkerPoolError,
+)
+from repro.gateway import BatchPolicy, EncodeProfile, GatewayServer
+
+PROFILE = EncodeProfile(technology="sledzig", mcs="qam16-1/2", channel="CH1")
+
+
+def crash_encoder(payloads):
+    """Kill the worker process mid-batch (module-level: pickled by ref)."""
+    os._exit(1)
+
+
+def stall_encoder(payloads):
+    """Hold the worker long enough for queued deadlines to expire."""
+    time.sleep(0.6)
+    return [np.zeros(4, dtype=complex) for _ in payloads]
+
+
+def typed_failure_encoder(payloads):
+    """Fail the batch with a typed library error."""
+    raise EncodingError("injected typed encode failure")
+
+
+def buggy_encoder(payloads):
+    """Fail the batch with a non-ReproError (a genuine bug)."""
+    raise TypeError("injected bug")
+
+
+CRASH = EncodeProfile(technology="crash", encode_fn=crash_encoder)
+STALL = EncodeProfile(technology="stall", encode_fn=stall_encoder)
+TYPED = EncodeProfile(technology="typed", encode_fn=typed_failure_encoder)
+BUGGY = EncodeProfile(technology="buggy", encode_fn=buggy_encoder)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_surfaces_typed_error_and_counter(self):
+        async def main():
+            with telemetry.collect() as tel:
+                async with GatewayServer(
+                    [PROFILE, CRASH],
+                    BatchPolicy(max_batch=4, max_linger_s=0.001),
+                    workers=1,
+                ) as gateway:
+                    with pytest.raises(WorkerPoolError):
+                        await gateway.submit(b"x", profile=CRASH)
+                    slo = gateway.slo_snapshot()
+                return slo, tel.snapshot()
+
+        slo, snapshot = run(main())
+        assert slo["drops"] == {"WorkerPoolError": 1}
+        assert snapshot.counters["gateway.drop.WorkerPoolError"] == 1
+
+    def test_pool_self_heals_after_crash(self):
+        async def main():
+            async with GatewayServer(
+                [PROFILE, CRASH],
+                BatchPolicy(max_batch=4, max_linger_s=0.001),
+                workers=1,
+            ) as gateway:
+                with pytest.raises(WorkerPoolError):
+                    await gateway.submit(b"x", profile=CRASH)
+                waveform = await gateway.submit(b"\x05" * 8)
+                return waveform, gateway.slo_snapshot()
+
+        waveform, slo = run(main())
+        assert waveform.size > 0
+        assert slo["pool_restarts"] == 1
+        assert slo["encoded"] == 1
+
+
+class TestDeadlines:
+    def test_deadline_expires_while_pool_is_stalled(self):
+        async def main():
+            with telemetry.collect() as tel:
+                async with GatewayServer(
+                    [PROFILE, STALL],
+                    BatchPolicy(max_batch=4, max_linger_s=0.001),
+                    workers=1,
+                ) as gateway:
+                    stalled = gateway.submit(b"s", profile=STALL)
+                    await asyncio.sleep(0.05)  # let the stall occupy the worker
+                    doomed = gateway.submit(b"\x01" * 8, timeout_s=0.1)
+                    with pytest.raises(DeadlineExpiredError):
+                        await doomed
+                    await stalled  # the stall itself completes normally
+                    slo = gateway.slo_snapshot()
+                return slo, tel.snapshot()
+
+        slo, snapshot = run(main())
+        assert slo["drops"].get("DeadlineExpiredError") == 1
+        assert snapshot.counters["gateway.drop.DeadlineExpiredError"] == 1
+
+    def test_expired_queued_requests_never_reach_a_worker(self):
+        calls = []
+
+        def recording_encoder(payloads):
+            calls.append(len(payloads))
+            return [np.zeros(2, dtype=complex) for _ in payloads]
+
+        recording = EncodeProfile(
+            technology="recording", encode_fn=recording_encoder
+        )
+
+        async def main():
+            # Inline pool, huge linger: the only dispatch happens at close,
+            # by which point every deadline has expired.
+            policy = BatchPolicy(max_batch=64, max_linger_s=30.0)
+            gateway = GatewayServer(recording, policy)
+            await gateway.start()
+            futures = [
+                gateway.submit(bytes([i]), timeout_s=0.02) for i in range(5)
+            ]
+            await asyncio.sleep(0.1)
+            for future in futures:
+                with pytest.raises(DeadlineExpiredError):
+                    await future
+            await gateway.aclose()
+            return gateway.slo_snapshot()
+
+        slo = run(main())
+        assert calls == []  # no batch ever dispatched to the encoder
+        assert slo["drops"] == {"DeadlineExpiredError": 5}
+
+
+class TestOverload:
+    def test_admission_queue_overflow_is_typed_and_counted(self):
+        async def main():
+            with telemetry.collect() as tel:
+                policy = BatchPolicy(max_batch=4, max_linger_s=0.001,
+                                     max_pending=6)
+                async with GatewayServer(PROFILE, policy) as gateway:
+                    admitted = []
+                    rejected = 0
+                    for i in range(10):
+                        try:
+                            admitted.append(gateway.submit(bytes([i] * 4)))
+                        except GatewayOverloadError:
+                            rejected += 1
+                    await asyncio.gather(*admitted)
+                    slo = gateway.slo_snapshot()
+                return len(admitted), rejected, slo, tel.snapshot()
+
+        admitted, rejected, slo, snapshot = run(main())
+        assert admitted == 6
+        assert rejected == 4
+        assert slo["drops"]["GatewayOverloadError"] == 4
+        assert snapshot.counters["gateway.drop.GatewayOverloadError"] == 4
+        # Every admitted request was served: requests = encoded + drops.
+        assert slo["requests"] == slo["encoded"] + sum(slo["drops"].values())
+
+
+class TestEncoderFailures:
+    def test_typed_encode_failure_counts_drop_cause(self):
+        async def main():
+            with telemetry.collect() as tel:
+                async with GatewayServer(TYPED) as gateway:
+                    with pytest.raises(EncodingError):
+                        await gateway.submit(b"x")
+                    slo = gateway.slo_snapshot()
+                return slo, tel.snapshot()
+
+        slo, snapshot = run(main())
+        assert slo["drops"] == {"EncodingError": 1}
+        assert snapshot.counters["gateway.drop.EncodingError"] == 1
+
+    def test_unexpected_encoder_bug_propagates_and_server_survives(self):
+        async def main():
+            with telemetry.collect() as tel:
+                async with GatewayServer([BUGGY, PROFILE]) as gateway:
+                    with pytest.raises(TypeError):
+                        await gateway.submit(b"x", profile=BUGGY)
+                    # The batcher survives the bug and keeps serving.
+                    waveform = await gateway.submit(b"\x07" * 8,
+                                                    profile=PROFILE)
+                    slo = gateway.slo_snapshot()
+                return waveform, slo, tel.snapshot()
+
+        waveform, slo, snapshot = run(main())
+        assert waveform.size > 0
+        assert snapshot.counters["gateway.error.unexpected"] == 1
+        # A bug is not part of the typed drop taxonomy.
+        assert "TypeError" not in slo["drops"]

@@ -1,0 +1,74 @@
+"""Policy/profile validation and warm batch-encoder equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import BatchPolicy, EncodeProfile, make_batch_encoder
+from repro.sledzig.pipeline import encode_frames as sledzig_encode_frames
+from repro.utils.bits import bytes_to_bits
+from repro.wifi.transmitter import encode_frames as wifi_encode_frames
+
+
+class TestBatchPolicy:
+    def test_defaults_valid(self):
+        policy = BatchPolicy()
+        assert policy.max_batch >= 1
+        assert policy.max_pending >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_batch": -3},
+        {"max_linger_s": -0.1},
+        {"max_pending": 0},
+    ])
+    def test_invalid_bounds_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(**kwargs)
+
+
+class TestEncodeProfile:
+    def test_unknown_technology_raises(self):
+        with pytest.raises(ConfigurationError):
+            EncodeProfile(technology="lora")
+
+    def test_custom_encode_fn_bypasses_technology_check(self):
+        profile = EncodeProfile(technology="anything", encode_fn=len)
+        assert profile.encode_fn is len
+
+    def test_key_distinguishes_profiles(self):
+        a = EncodeProfile(mcs="qam16-1/2", channel="CH1")
+        b = EncodeProfile(mcs="qam16-1/2", channel="CH2")
+        c = EncodeProfile(mcs="qam64-2/3", channel="CH1")
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+
+class TestMakeBatchEncoder:
+    def test_sledzig_encoder_matches_direct_api(self):
+        profile = EncodeProfile(technology="sledzig", mcs="qam16-1/2",
+                                channel="CH1")
+        encoder = make_batch_encoder(profile)
+        payloads = [bytes([i] * 8) for i in range(5)]
+        direct = sledzig_encode_frames(payloads, profile.mcs, profile.channel,
+                                       profile.scrambler_seed)
+        for got, want in zip(encoder(payloads), direct):
+            np.testing.assert_array_equal(got, want)
+
+    def test_wifi_encoder_matches_direct_api(self):
+        profile = EncodeProfile(technology="wifi", mcs="qam16-1/2")
+        encoder = make_batch_encoder(profile)
+        payloads = [bytes([i] * 6) for i in range(4)]
+        direct = wifi_encode_frames(
+            [bytes_to_bits(p) for p in payloads], profile.mcs,
+            profile.scrambler_seed,
+        )
+        for got, want in zip(encoder(payloads), direct):
+            np.testing.assert_array_equal(got, want)
+
+    def test_encoder_is_reusable_across_batches(self):
+        encoder = make_batch_encoder(EncodeProfile())
+        first = encoder([b"\x01\x02"])
+        second = encoder([b"\x01\x02"])
+        np.testing.assert_array_equal(first[0], second[0])

@@ -1,0 +1,85 @@
+"""Worker-pool contract: warm hand-off, bounded task pickles, round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import EncodeProfile, EncodeWorkerPool, task_bytes
+from repro.sledzig.pipeline import encode_frames
+
+#: A generous ceiling for one task's pickled argument bytes: the profile
+#: index plus the payload bytes themselves, never tables or transmitters.
+TASK_PICKLE_CEILING = 4096
+
+
+class TestTaskBytes:
+    def test_task_carries_only_index_and_payloads(self):
+        payloads = [bytes(8) for _ in range(32)]
+        size = task_bytes(0, payloads)
+        assert size < TASK_PICKLE_CEILING
+
+    def test_task_bytes_scale_with_payloads_not_tables(self):
+        small = task_bytes(0, [bytes(8)])
+        large = task_bytes(0, [bytes(8)] * 64)
+        # Payload bytes dominate; there is no fixed multi-kilobyte state.
+        assert large - small < 64 * (8 + 64)
+        assert small < 256
+
+
+class TestInlinePool:
+    def test_inline_submit_is_done_and_correct(self):
+        profile = EncodeProfile()
+        pool = EncodeWorkerPool([profile], workers=0)
+        payloads = [bytes([7] * 8)]
+        future = pool.submit(0, payloads)
+        assert future.done()
+        direct = encode_frames(payloads, profile.mcs, profile.channel,
+                               profile.scrambler_seed)
+        np.testing.assert_array_equal(future.result()[0], direct[0])
+
+    def test_inline_encoder_is_built_once(self):
+        pool = EncodeWorkerPool([EncodeProfile()], workers=0)
+        pool.submit(0, [b"\x01"]).result()
+        first = pool._inline[0]
+        pool.submit(0, [b"\x02"]).result()
+        assert pool._inline[0] is first
+
+    def test_unknown_profile_index_raises(self):
+        pool = EncodeWorkerPool([EncodeProfile()], workers=0)
+        with pytest.raises(ConfigurationError):
+            pool.submit(3, [b"x"])
+
+    def test_profile_index_of_unregistered_profile_raises(self):
+        pool = EncodeWorkerPool([EncodeProfile()], workers=0)
+        with pytest.raises(ConfigurationError):
+            pool.profile_index(EncodeProfile(channel="CH3"))
+
+    def test_empty_profiles_raise(self):
+        with pytest.raises(ConfigurationError):
+            EncodeWorkerPool([], workers=0)
+
+    def test_duplicate_profiles_raise(self):
+        with pytest.raises(ConfigurationError):
+            EncodeWorkerPool([EncodeProfile(), EncodeProfile()], workers=0)
+
+
+class TestProcessPool:
+    def test_process_round_trip_matches_inline(self):
+        profile = EncodeProfile()
+        pool = EncodeWorkerPool([profile], workers=1)
+        try:
+            payloads = [bytes([i] * 8) for i in range(4)]
+            via_pool = pool.submit(0, payloads).result(timeout=60)
+            direct = encode_frames(payloads, profile.mcs, profile.channel,
+                                   profile.scrambler_seed)
+            for got, want in zip(via_pool, direct):
+                np.testing.assert_array_equal(got, want)
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        pool = EncodeWorkerPool([EncodeProfile()], workers=1)
+        pool.shutdown()
+        pool.shutdown()

@@ -1,0 +1,139 @@
+"""Regression: the worker hand-off must not re-pickle payloads per task.
+
+The engine used to submit ``(experiment, master_seed, trial_fn, batch_fn,
+indices)`` with every batch, so a ``batch_fn`` carrying stacked payload
+arrays was re-serialised per task.  Campaign constants now travel once
+via the pool initializer; each task carries only its trial indices.
+These tests pin both halves: per-task pickled bytes stay bounded even
+with a multi-megabyte evaluator, and the initializer path produces
+results bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+import repro.montecarlo.engine as engine_module
+from repro.errors import ConfigurationError
+from repro.montecarlo import MonteCarloEngine
+
+#: Ceiling for one task's pickled (fn, args, kwargs): indices only.
+TASK_PICKLE_CEILING = 8192
+
+
+class _RecordingExecutor:
+    """Stand-in ProcessPoolExecutor: runs inline, records pickle sizes.
+
+    Mirrors the real executor's serialisation contract — the initializer
+    and its args are pickled once, every submitted task is pickled per
+    call — without process overhead, so the byte accounting is exact and
+    fast.
+    """
+
+    instances: "list[_RecordingExecutor]" = []
+
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
+        self.initializer_bytes = len(pickle.dumps((initializer, initargs)))
+        self.task_bytes: "list[int]" = []
+        if initializer is not None:
+            initializer(*initargs)
+        _RecordingExecutor.instances.append(self)
+
+    def submit(self, fn, *args, **kwargs):
+        self.task_bytes.append(len(pickle.dumps((fn, args, kwargs))))
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except Exception as exc:  # mirror executor future semantics
+            future.set_exception(exc)
+        return future
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+@pytest.fixture
+def recording_pool(monkeypatch):
+    _RecordingExecutor.instances = []
+    monkeypatch.setattr(engine_module, "ProcessPoolExecutor",
+                        _RecordingExecutor)
+    return _RecordingExecutor
+
+
+def _payload_batch_fn(payload: np.ndarray, rngs, indices):
+    """Batch evaluator carrying a large payload array (module-level so the
+    executor contract — picklable evaluators — holds)."""
+    return [float(rng.integers(0, 100)) + float(payload[0]) for rng in rngs]
+
+
+def _uniform_batch_fn(rngs, indices):
+    return [float(rng.integers(0, 1000)) for rng in rngs]
+
+
+def _uniform_trial_fn(rng, index):
+    return float(rng.integers(0, 10))
+
+
+def _normal_batch_fn(rngs, indices):
+    return [float(rng.standard_normal()) for rng in rngs]
+
+
+def test_per_task_pickle_bytes_are_bounded(recording_pool):
+    heavy = functools.partial(
+        _payload_batch_fn, np.zeros(1_000_000, dtype=np.float64)
+    )
+    engine = MonteCarloEngine("pickle_bound", master_seed=7)
+    engine.run(batch_fn=heavy, n_trials=64, batch_size=8, workers=2)
+    (executor,) = recording_pool.instances
+    # The ~8 MB payload travelled once, with the initializer...
+    assert executor.initializer_bytes > 1_000_000
+    # ...and never with a task: tasks carry only their trial indices.
+    assert len(executor.task_bytes) == 8
+    assert max(executor.task_bytes) < TASK_PICKLE_CEILING
+
+
+def test_initializer_path_matches_serial_results(recording_pool):
+    serial = MonteCarloEngine("init_equiv", master_seed=3).run(
+        batch_fn=_uniform_batch_fn, n_trials=40, batch_size=8
+    )
+    pooled = MonteCarloEngine("init_equiv", master_seed=3).run(
+        batch_fn=_uniform_batch_fn, n_trials=40, batch_size=8, workers=2
+    )
+    np.testing.assert_array_equal(serial.outcomes, pooled.outcomes)
+
+
+def test_trial_fn_travels_via_initializer_too(recording_pool):
+    serial = MonteCarloEngine("trial_equiv", master_seed=5).run(
+        _uniform_trial_fn, n_trials=24, batch_size=6
+    )
+    pooled = MonteCarloEngine("trial_equiv", master_seed=5).run(
+        _uniform_trial_fn, n_trials=24, batch_size=6, workers=3
+    )
+    np.testing.assert_array_equal(serial.outcomes, pooled.outcomes)
+    executor = recording_pool.instances[-1]
+    assert max(executor.task_bytes) < TASK_PICKLE_CEILING
+
+
+def test_worker_batch_without_initializer_raises():
+    engine_module._WORKER_CAMPAIGN = None
+    with pytest.raises(ConfigurationError):
+        engine_module._worker_batch([0, 1])
+
+
+def test_real_process_pool_still_bit_identical():
+    """End-to-end: a genuine process pool with the initializer hand-off."""
+    serial = MonteCarloEngine("real_pool", master_seed=11).run(
+        batch_fn=_normal_batch_fn, n_trials=32, batch_size=8
+    )
+    pooled = MonteCarloEngine("real_pool", master_seed=11).run(
+        batch_fn=_normal_batch_fn, n_trials=32, batch_size=8, workers=2
+    )
+    np.testing.assert_array_equal(serial.outcomes, pooled.outcomes)

@@ -1,0 +1,89 @@
+"""Reservoir/percentile unit tests: exactness, bounds, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.telemetry.quantiles import Reservoir, percentile
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=64),
+           st.floats(min_value=0, max_value=100))
+    def test_always_within_min_max(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+
+class TestReservoir:
+    def test_exact_below_cap(self):
+        res = Reservoir(cap=128)
+        for v in range(100):
+            res.observe(float(v))
+        assert res.count == 100
+        assert res.stride == 1
+        assert res.percentile(50) == pytest.approx(
+            float(np.percentile(range(100), 50))
+        )
+
+    def test_retained_samples_bounded(self):
+        res = Reservoir(cap=64)
+        for v in range(10_000):
+            res.observe(float(v))
+        assert res.count == 10_000
+        assert len(res.samples) <= 64
+        assert res.stride > 1
+
+    def test_decimation_is_deterministic(self):
+        a, b = Reservoir(cap=32), Reservoir(cap=32)
+        values = np.random.default_rng(5).normal(size=1000)
+        for v in values:
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.samples == b.samples
+        assert a.stride == b.stride
+
+    def test_decimated_percentiles_stay_representative(self):
+        res = Reservoir(cap=256)
+        for v in range(100_000):
+            res.observe(float(v))
+        # Evenly strided retention: percentiles stay within a few percent.
+        assert res.percentile(50) == pytest.approx(50_000, rel=0.05)
+        assert res.percentile(99) == pytest.approx(99_000, rel=0.05)
+
+    def test_jsonable_shape(self):
+        res = Reservoir()
+        res.observe(1.0)
+        res.observe(3.0)
+        summary = res.to_jsonable()
+        assert summary["count"] == 2
+        assert summary["p50"] == pytest.approx(2.0)
+        assert summary["p99"] <= summary["max"] == 3.0
+
+    def test_empty_jsonable(self):
+        summary = Reservoir().to_jsonable()
+        assert summary == {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                           "max": 0.0}
+
+    def test_tiny_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Reservoir(cap=1)

@@ -1,0 +1,157 @@
+"""The --metrics-out manifest validator, against real and broken records."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import telemetry
+from repro.tools.check_manifest import lint_manifest, lint_record, main
+
+
+def _classic_record() -> dict:
+    """A genuine experiment record, built the way the runner builds them."""
+    with telemetry.collect() as tel:
+        tel.count("wifi.rx.frames", 10)
+        tel.count("wifi.rx.ok", 9)
+        tel.count("wifi.rx.drop.SynchronizationError", 1)
+        with tel.span("wifi.rx.decode"):
+            pass
+        snapshot = tel.snapshot()
+    return telemetry.run_record(
+        "waterfall",
+        config={"experiment": "waterfall", "seed": 7},
+        seconds=1.25,
+        snapshot=snapshot,
+        experiment_id="Fig. X",
+        title="test record",
+    )
+
+
+def _gateway_record() -> dict:
+    """A gateway SLO record: the classic shape plus the ``slo`` object."""
+    with telemetry.collect() as tel:
+        tel.count("gateway.requests", 12)
+        tel.count("gateway.ok", 10)
+        tel.count("gateway.drop.DeadlineExpiredError", 2)
+        with tel.span("gateway.batch.encode_s"):
+            pass
+        snapshot = tel.snapshot()
+    slo = {
+        "requests": 12,
+        "encoded": 10,
+        "drops": {"DeadlineExpiredError": 2},
+        "latency_s": {"count": 10, "p50": 0.004, "p90": 0.007, "p99": 0.009,
+                      "max": 0.01},
+        "batch_fill": {"4": 1, "6": 1},
+        "queue_high_water": 8,
+        "pool_restarts": 0,
+        "workers": 0,
+    }
+    return telemetry.run_record(
+        "gateway",
+        config={"experiment": "gateway", "seed": None},
+        seconds=0.8,
+        snapshot=snapshot,
+        experiment_id="Gateway",
+        title="gateway SLO record",
+        extra={"slo": slo},
+    )
+
+
+def _write_manifest(tmp_path: Path, records) -> Path:
+    path = tmp_path / "metrics.jsonl"
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+    return path
+
+
+class TestValidManifests:
+    def test_classic_experiment_record_is_clean(self, tmp_path):
+        path = _write_manifest(tmp_path, [_classic_record()])
+        assert lint_manifest(path) == []
+
+    def test_gateway_slo_record_is_clean(self, tmp_path):
+        path = _write_manifest(tmp_path, [_gateway_record()])
+        assert lint_manifest(path) == []
+
+    def test_mixed_manifest_is_clean(self, tmp_path):
+        failed = telemetry.run_record(
+            "fig12", config={"experiment": "fig12"}, seconds=0.1,
+            status="failed", error="DecodingError: boom",
+        )
+        path = _write_manifest(
+            tmp_path, [_classic_record(), failed, _gateway_record()]
+        )
+        assert lint_manifest(path) == []
+        assert main([str(path)]) == 0
+
+
+class TestViolations:
+    def test_tampered_config_breaks_digest(self, tmp_path):
+        record = _classic_record()
+        record["config"]["seed"] = 999  # edit without re-digesting
+        path = _write_manifest(tmp_path, [record])
+        violations = lint_manifest(path)
+        assert any("config_digest" in v for v in violations)
+
+    def test_missing_required_key(self):
+        record = _classic_record()
+        del record["seconds"]
+        violations = lint_record(record, "here")
+        assert any("'seconds'" in v for v in violations)
+
+    def test_bad_status(self):
+        record = _classic_record()
+        record["status"] = "maybe"
+        assert any("status" in v for v in lint_record(record, "here"))
+
+    def test_failed_without_error(self):
+        record = telemetry.run_record(
+            "x", config={}, seconds=0.0, status="failed", error="E: e",
+        )
+        del record["error"]
+        assert any("error" in v for v in lint_record(record, "here"))
+
+    def test_drop_key_without_drop_marker(self):
+        record = _classic_record()
+        record["drops"]["wifi.rx.ok"] = 9
+        assert any("*.drop.<cause>" in v for v in lint_record(record, "here"))
+
+    def test_drops_disagreeing_with_counters(self):
+        record = _classic_record()
+        record["drops"]["wifi.rx.drop.SynchronizationError"] = 5
+        assert any("disagrees" in v for v in lint_record(record, "here"))
+
+    def test_timing_missing_summary_field(self):
+        record = _classic_record()
+        del record["timings"]["wifi.rx.decode"]["mean"]
+        assert any("mean" in v for v in lint_record(record, "here"))
+
+    def test_malformed_slo(self):
+        record = _gateway_record()
+        del record["slo"]["latency_s"]["p99"]
+        record["slo"]["batch_fill"]["not-a-size"] = 1
+        violations = lint_record(record, "here")
+        assert any("p99" in v for v in violations)
+        assert any("batch_fill" in v for v in violations)
+
+    def test_non_json_line_and_exit_status(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("not json\n")
+        assert main([str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_empty_manifest_flagged(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("")
+        assert lint_manifest(path) == [f"{path}: empty manifest"]
+
+    def test_missing_file_flagged(self, tmp_path):
+        violations = lint_manifest(tmp_path / "absent.jsonl")
+        assert len(violations) == 1 and "unreadable" in violations[0]
+
+    def test_usage_without_args(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out

@@ -92,6 +92,44 @@ class TestLintRules:
         assert len(lint_file(path)) == 1
 
 
+class TestGatewayCoverage:
+    """The serving layer is linted like everything else: only its two
+    sanctioned boundaries (inline pool submit, batch dispatch) may catch
+    Exception, and only because they re-route the error to the affected
+    requests' futures."""
+
+    def test_gateway_tree_is_clean(self):
+        root = Path(__file__).resolve().parents[2] / "src" / "repro" / "gateway"
+        assert root.is_dir()
+        assert lint_tree([root]) == []
+
+    def test_gateway_boundaries_are_allowlisted_not_invisible(self, tmp_path):
+        # The same handler body outside the allowlisted functions is
+        # flagged — the allowlist names exactly two (file, function) pairs.
+        nested = tmp_path / "repro" / "gateway"
+        nested.mkdir(parents=True)
+        path = _write(nested, """
+            def some_other_function(future):
+                try:
+                    pass
+                except Exception as exc:
+                    future.set_exception(exc)
+        """, name="server.py")
+        assert len(lint_file(path)) == 1
+
+    def test_dispatch_boundary_in_gateway_server_ok(self, tmp_path):
+        nested = tmp_path / "repro" / "gateway"
+        nested.mkdir(parents=True)
+        path = _write(nested, """
+            async def _dispatch_batch(live):
+                try:
+                    pass
+                except Exception as exc:
+                    return exc
+        """, name="server.py")
+        assert lint_file(path) == []
+
+
 class TestRepoIsClean:
     def test_src_repro_has_no_blanket_handlers(self):
         root = Path(__file__).resolve().parents[2] / "src" / "repro"
