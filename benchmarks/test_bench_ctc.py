@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the CTC side channel.
+
+Three stages of the WiFi->ZigBee power-pattern channel: the transmit
+side (per-frame pattern scheduling + SledZig encoding), the ZigBee-side
+RSSI demodulator in its synthetic-sample domain (the Monte-Carlo hot
+loop of the ``ctc`` experiment), and the full waveform-domain receive
+path (band-power measurement per overheard frame, then demodulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sledzig.ctc.alphabet import ctc_alphabet, scaled_decreases_db
+from repro.sledzig.ctc.demod import demodulate, rssi_from_frames
+from repro.sledzig.ctc.modem import CtcModulator, CtcTransmitter, synthesize_rssi
+
+#: The waveform-domain operating point the unit tests pin: deep pattern,
+#: several frames averaged per symbol, long varied payloads.
+_DEPTH = 3
+_FPS = 4
+
+
+def _wifi_payloads(rng, n, octets=60):
+    return [rng.integers(0, 256, octets, dtype=np.uint8).tobytes()
+            for _ in range(n)]
+
+
+def test_bench_ctc_transmit(benchmark, rng):
+    """Pattern-scheduling + SledZig-encoding one side-channel frame."""
+    tx = CtcTransmitter(mcs_name="qam64-2/3", channel="CH2", depth=1)
+    wifi = _wifi_payloads(rng, 16, octets=40)
+
+    sent = benchmark(lambda: tx.send(b"B", wifi))
+    assert sent.ctc_payload == b"B"
+    assert len(sent.frames) == len(sent.schedule)
+
+
+def test_bench_ctc_rssi_demod(benchmark, rng):
+    """Demodulating an 8-frame noisy RSSI capture (the experiment's
+    Monte-Carlo hot loop: sync scan, slicing, framing, CRC)."""
+    mod = CtcModulator("qam64-2/3", 2, 1, frames_per_symbol=2)
+    low, full = scaled_decreases_db(ctc_alphabet("qam64-2/3", 2, 1))
+    levels = (-60.0 - low, -60.0 - full)
+    pieces = []
+    for i in range(8):
+        pieces.append(synthesize_rssi(
+            mod.pattern_schedule(bytes([i]) * 6), 1, levels,
+            lead_in=9, tail=9, noise_db=0.2, rng=rng,
+        ))
+    stream = np.concatenate(pieces)
+
+    frames, _ = benchmark(
+        lambda: demodulate(stream, samples_per_symbol=2, min_swing_db=0.5)
+    )
+    assert [f.payload for f in frames] == [bytes([i]) * 6 for i in range(8)]
+
+
+def test_bench_ctc_waveform_receive(benchmark, rng):
+    """The full ZigBee-side path over real SledZig waveforms: one
+    band-power read per overheard frame, then demodulation."""
+    tx = CtcTransmitter(
+        mcs_name="qam64-2/3", channel="CH2",
+        depth=_DEPTH, frames_per_symbol=_FPS,
+    )
+    sent = tx.send(b"Z", _wifi_payloads(rng, 41))
+    waveforms = list(sent.waveforms)
+
+    def receive():
+        rssi = rssi_from_frames(waveforms, "CH2")
+        return demodulate(rssi, samples_per_symbol=_FPS, min_swing_db=0.3)
+
+    frames, drops = benchmark(receive)
+    assert [f.payload for f in frames] == [b"Z"]
+    assert not drops

@@ -66,6 +66,35 @@ class TruncatedFrameError(DecodingError):
     """
 
 
+class CtcSyncError(SynchronizationError):
+    """The CTC demodulator saw a preamble but rejected the sync word.
+
+    An alternating RSSI pattern locked the symbol slicer, yet the 16-bit
+    sync word that should follow did not match — either noise mimicked a
+    preamble or a genuine CTC frame's sync symbols were corrupted.  Counted
+    per rejected candidate (``ctc.rx.sync_errors``), part of the OfdmFi-
+    style emulation-fidelity metric.
+    """
+
+
+class CtcFramingError(DecodingError):
+    """A synchronised CTC frame announced an impossible length.
+
+    Sync succeeded but the length octet decodes beyond the configured
+    maximum payload — the header symbols were corrupted (or the lock was
+    false).  The candidate is dropped and the search resumes one sample
+    after the lock.
+    """
+
+
+class CtcCrcError(DecodingError):
+    """A fully received CTC frame failed its CRC-16 check.
+
+    Symbol errors inside the payload survived slicing; the frame is
+    dropped (``ctc.rx.crc_errors``) rather than delivered corrupt.
+    """
+
+
 class StreamOverflowError(DecodingError):
     """A streaming stage needed more lookahead than its ring buffer holds.
 

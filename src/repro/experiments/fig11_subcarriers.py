@@ -9,25 +9,15 @@ adding an eighth changes nothing; five are the optimum for CH4.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List
 
 import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.rssi_common import reported_offset_db, sledzig_band_db
-from repro.sledzig.channels import OverlapChannel, get_channel
-from repro.wifi.params import DATA_SUBCARRIERS, SUBCARRIER_SPACING_HZ
+from repro.sledzig.channels import channel_with_n_data
 
-
-def channel_with_n_data(base: "OverlapChannel | str | int", n_data: int) -> OverlapChannel:
-    """A variant of *base* silencing the *n_data* data subcarriers nearest
-    the ZigBee channel centre."""
-    ch = get_channel(base)
-    center_sc = ch.center_offset_hz / SUBCARRIER_SPACING_HZ
-    ranked = sorted(DATA_SUBCARRIERS, key=lambda k: abs(k - center_sc))
-    chosen = tuple(sorted(ranked[:n_data]))
-    return replace(ch, data_subcarriers=chosen)
+__all__ = ["channel_with_n_data", "run"]
 
 
 def run(

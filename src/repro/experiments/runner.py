@@ -27,6 +27,7 @@ from repro import telemetry
 from repro.experiments import (
     ablations,
     coexistence,
+    ctc_tradeoff,
     fig04_scenario,
     fig05_spectrum,
     fig11_subcarriers,
@@ -133,6 +134,18 @@ def registry(
         "coexistence": lambda: coexistence.run(
             quick=quick,
             duration_us=100_000.0 if quick else 150_000.0,
+            **_seed_kw(master_seed),
+        ),
+        # Quick mode trims the sweep but keeps the acceptance point
+        # (lowest depth, highest rate) so the manifest's ctc object is
+        # checked under the same contract either way.
+        "ctc": lambda: ctc_tradeoff.run(
+            depths=(1, 2) if quick else ctc_tradeoff.DEFAULT_DEPTHS,
+            rates=(1, 4) if quick else ctc_tradeoff.DEFAULT_RATES,
+            n_trials=8 if quick else 24,
+            n_bss=2 if quick else 3,
+            n_sensors=12 if quick else 24,
+            duration_us=100_000.0 if quick else 200_000.0,
             **_seed_kw(master_seed),
         ),
         "ablation-span": ablations.span_ablation,

@@ -75,6 +75,10 @@ class CellSpec:
         contend: carrier-sense other cells on the channel before each
             burst; False gives a blind transmitter (hidden-terminal
             baselines).
+        ctc_depth: when set, the cell modulates its protected-sub power
+            pattern with a CTC beacon at this modulation depth — each
+            burst carries one symbol of the repeating
+            :data:`CTC_BEACON_PAYLOAD` schedule (requires SledZig).
     """
 
     key: str
@@ -83,6 +87,7 @@ class CellSpec:
     rx_position: Position
     wifi: WifiConfig = field(default_factory=WifiConfig)
     contend: bool = True
+    ctc_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -92,6 +97,17 @@ class CellSpec:
                 f"wifi_channel must be one of {WIFI_SCENARIO_CHANNELS}, "
                 f"got {self.wifi_channel}"
             )
+        if self.ctc_depth is not None:
+            if not self.wifi.sledzig_enabled:
+                raise ConfigurationError(
+                    f"cell {self.key!r}: ctc_depth requires SledZig "
+                    f"(there is no power pattern to modulate without it)"
+                )
+            if self.ctc_depth < 1:
+                raise ConfigurationError(
+                    f"cell {self.key!r}: ctc_depth must be >= 1, "
+                    f"got {self.ctc_depth}"
+                )
 
 
 @dataclass(frozen=True)
@@ -258,6 +274,42 @@ def _cell_payload_by_sub(
     return tuple(levels)  # type: ignore[return-value]
 
 
+#: The side-channel beacon a CTC-enabled cell repeats, one symbol per
+#: burst (a single octet keeps the cycle short: 64 bursts per frame).
+CTC_BEACON_PAYLOAD: bytes = b"\xa5"
+
+
+def _ctc_payload_cycle(
+    wifi: WifiConfig, calibration: Calibration, depth: int
+) -> Tuple[Tuple[float, float, float, float], ...]:
+    """Per-burst CH1..CH4 level cycle carrying the CTC beacon.
+
+    Symbol 1 bursts use the plain SledZig levels; symbol 0 bursts raise
+    only the protected sub to the measured-anchored 0-symbol level (the
+    full-protection decrease scaled by the alphabet's analytic pattern
+    ratio — see :func:`repro.sledzig.ctc.alphabet.scaled_decreases_db`).
+    """
+    from repro.sledzig.ctc.alphabet import ctc_alphabet, scaled_decreases_db
+    from repro.sledzig.ctc.modem import CtcModulator
+
+    sub = wifi.sledzig_channel
+    if sub is None:
+        raise ConfigurationError("CTC modulation requires a SledZig sub-channel")
+    protected = _cell_payload_by_sub(wifi, calibration)
+    alphabet = ctc_alphabet(wifi.mcs_name, sub, depth)
+    low_decrease, _ = scaled_decreases_db(alphabet, calibration)
+    normal = wifi_profile(
+        channel=sub, tx_gain_db=wifi.tx_gain_db, calibration=calibration
+    ).payload_db_at_1m
+    released = list(protected)
+    released[sub - 1] = normal - low_decrease
+    levels = (tuple(released), protected)
+    schedule = CtcModulator(wifi.mcs_name, sub, depth).pattern_schedule(
+        CTC_BEACON_PAYLOAD
+    )
+    return tuple(levels[bit] for bit in schedule)  # type: ignore[return-value]
+
+
 def _overlapping_zigbee_channels(wifi_channel: int) -> List[int]:
     """IEEE 802.15.4 channels inside one WiFi band, ascending."""
     return [
@@ -315,6 +367,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             position=spec.position,
             rx_position=spec.rx_position,
             payload_db_by_sub=_cell_payload_by_sub(spec.wifi, config.calibration),
+            payload_db_by_sub_cycle=(
+                _ctc_payload_cycle(spec.wifi, config.calibration, spec.ctc_depth)
+                if spec.ctc_depth is not None
+                else None
+            ),
             contend=spec.contend,
             cs_threshold_db=config.calibration.wifi_cca_threshold_db,
         )
@@ -427,6 +484,7 @@ def grid_scenario(
     master_seed: int = 0,
     trial_index: int = 0,
     sledzig: bool = False,
+    ctc_depth: Optional[int] = None,
     wifi_saturated: bool = True,
     duty_ratio: float = 0.5,
     burst_duration_us: float = 2000.0,
@@ -442,7 +500,10 @@ def grid_scenario(
     beyond interference range), each sensor attaches to cell ``j % n_bss``
     on the ZigBee channel riding that cell's CH2 sub-band, placed on
     golden-angle rings 4..13 m out with a 0.5 m link.  With ``sledzig``
-    every cell protects CH2 — exactly the sensors' sub-channel.
+    every cell protects CH2 — exactly the sensors' sub-channel.  With
+    ``ctc_depth`` (requires ``sledzig``) every cell additionally modulates
+    the CTC beacon onto its protected-sub power pattern, one symbol per
+    burst.
 
     Degenerate counts are first-class: ``n_bss=0`` is the ZigBee-alone
     field (sensors cluster around the origin anchors), ``n_sensors=0`` the
@@ -453,6 +514,7 @@ def grid_scenario(
     scenario_name = name or (
         f"grid/b{n_bss}/s{n_sensors}/"
         f"{'sledzig' if sledzig else 'wifi' if wifi_saturated else 'quiet'}"
+        + (f"/ctc{ctc_depth}" if ctc_depth is not None else "")
     )
 
     def _cell_anchor(index: int) -> Position:
@@ -472,6 +534,7 @@ def grid_scenario(
                 burst_duration_us=burst_duration_us,
                 saturated=wifi_saturated,
             ),
+            ctc_depth=ctc_depth,
         )
         for k in range(n_bss)
     )

@@ -59,6 +59,12 @@ class CellAttachment:
         payload_db_by_sub: payload level at 1 m per ZigBee overlap
             sub-channel CH1..CH4 of this 20 MHz band — only the SledZig-
             protected sub is reduced.
+        payload_db_by_sub_cycle: when set, successive bursts cycle through
+            these per-sub level tuples instead of the static
+            ``payload_db_by_sub`` — the CTC side channel's power-pattern
+            schedule (one alphabet symbol per burst, wrapping around).
+            Deterministic: burst *i* always carries ``cycle[i % len]``,
+            independent of contention outcomes or RNG draws.
         contend: carrier-sense other cells before each burst (False makes
             the node a blind transmitter, e.g. for hidden-terminal
             baselines).
@@ -70,6 +76,9 @@ class CellAttachment:
     position: Position
     rx_position: Position
     payload_db_by_sub: Optional[Tuple[float, float, float, float]] = None
+    payload_db_by_sub_cycle: Optional[
+        Tuple[Tuple[float, float, float, float], ...]
+    ] = None
     contend: bool = True
     cs_threshold_db: float = -75.0
 
@@ -123,6 +132,7 @@ class WifiNode:
         self.rng = rng
         self.cell = cell
         self._cw = WIFI_CW_MIN
+        self._burst_index = 0
         self.stats = WifiStats()
         self.mcs = get_mcs(config.wifi.mcs_name)
         wifi = config.wifi
@@ -205,6 +215,13 @@ class WifiNode:
             else 0.0
         )
         has_preamble = preamble and self.config.wifi.preamble_modelled
+        payload_db_by_sub = None
+        if self.cell is not None:
+            payload_db_by_sub = self.cell.payload_db_by_sub
+            if self.cell.payload_db_by_sub_cycle:
+                cycle = self.cell.payload_db_by_sub_cycle
+                payload_db_by_sub = cycle[self._burst_index % len(cycle)]
+        self._burst_index += 1
         burst = WifiBurst(
             start_us=start,
             end_us=end,
@@ -214,9 +231,7 @@ class WifiNode:
             fade_db=fade,
             source=self.cell.source if self.cell is not None else 0,
             position=self.cell.position if self.cell is not None else None,
-            payload_db_by_sub=(
-                self.cell.payload_db_by_sub if self.cell is not None else None
-            ),
+            payload_db_by_sub=payload_db_by_sub,
         )
         self.medium.add_burst(burst)
         self.stats.bursts_sent += 1

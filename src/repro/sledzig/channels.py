@@ -16,7 +16,8 @@ therefore already null.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import operator
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Dict, Tuple
 
@@ -42,6 +43,29 @@ CHANNEL_ALIASES: Dict[str, int] = {"CH1": 1, "CH2": 2, "CH3": 3, "CH4": 4}
 
 #: Number of subcarriers SledZig silences per ZigBee channel (Section IV-B).
 OVERLAP_SPAN: int = 8
+
+#: Logical subcarrier indices of the 64-bin OFDM grid (-32..31); a span
+#: reaching past these would silently classify physical bins that do not
+#: exist as "already null".
+_FFT_SUBCARRIER_MIN: int = -32
+_FFT_SUBCARRIER_MAX: int = 31
+
+
+def _as_channel_int(value: object, what: str) -> int:
+    """*value* as a plain int, or a typed error.
+
+    Accepts anything integral (python ints, numpy integer scalars) and
+    rejects floats, bools and strings — ``int(2.5)`` silently truncating
+    to CH2 was exactly the class of silent-wrong-span bug this guards.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{what} must be an integer, got {value!r}")
+    try:
+        return operator.index(value)  # type: ignore[arg-type]
+    except TypeError:
+        raise ConfigurationError(
+            f"{what} must be an integer, got {value!r} ({type(value).__name__})"
+        ) from None
 
 
 def wifi_center_frequency_mhz(channel: int) -> float:
@@ -121,7 +145,25 @@ def overlap_channel(
         wifi_channel: 802.11 channel (default: the paper's channel 13).
         span: number of subcarriers to silence (default 8; the Fig. 11
             experiment sweeps this).
+
+    Raises:
+        ConfigurationError: on non-integral arguments, a channel outside
+            1..4 / 11..26, a WiFi channel outside 1..13, a non-positive
+            span, or a span that reaches past the 64-bin OFDM grid.
     """
+    index_or_zigbee = _as_channel_int(index_or_zigbee, "channel")
+    wifi_channel = _as_channel_int(wifi_channel, "WiFi channel")
+    span = _as_channel_int(span, "span")
+    require(
+        1 <= wifi_channel <= 13,
+        f"WiFi channel must be 1..13, got {wifi_channel}",
+    )
+    require(span >= 1, f"span must be a positive subcarrier count, got {span}")
+    if not (1 <= index_or_zigbee <= 4 or 11 <= index_or_zigbee <= 26):
+        raise ConfigurationError(
+            f"channel must be a paper index 1..4 or a ZigBee channel 11..26, "
+            f"got {index_or_zigbee}"
+        )
     if 1 <= index_or_zigbee <= 4:
         zigbee = _overlapping_zigbee_channels(wifi_channel)[index_or_zigbee - 1]
         index = index_or_zigbee
@@ -140,6 +182,12 @@ def overlap_channel(
     ) * 1e6
     center_sc = offset_hz / SUBCARRIER_SPACING_HZ
     span_indices = _span_around(center_sc, span)
+    if span_indices[0] < _FFT_SUBCARRIER_MIN or span_indices[-1] > _FFT_SUBCARRIER_MAX:
+        raise ConfigurationError(
+            f"span {span} around ZigBee channel {zigbee} covers subcarriers "
+            f"{span_indices[0]}..{span_indices[-1]}, outside the 64-bin OFDM "
+            f"grid ({_FFT_SUBCARRIER_MIN}..{_FFT_SUBCARRIER_MAX})"
+        )
     data = tuple(k for k in span_indices if k in DATA_SUBCARRIERS)
     pilots = tuple(k for k in span_indices if k in PILOT_SUBCARRIERS)
     nulls = tuple(
@@ -176,15 +224,45 @@ def _overlapping_zigbee_channels(wifi_channel: int) -> Tuple[int, ...]:
 
 def get_channel(channel: "int | str | OverlapChannel") -> OverlapChannel:
     """Normalise a channel argument: CH-name, paper index, ZigBee number or
-    an existing :class:`OverlapChannel`."""
+    an existing :class:`OverlapChannel`.
+
+    Raises:
+        ConfigurationError: on an unknown name, an out-of-range number, or
+            a non-integral numeric (``2.5`` used to truncate to CH2 and
+            build a silently wrong span).
+    """
     if isinstance(channel, OverlapChannel):
         return channel
     if isinstance(channel, str):
         require_in(channel.upper(), CHANNEL_ALIASES, "channel name")
         return overlap_channel(CHANNEL_ALIASES[channel.upper()])
-    return overlap_channel(int(channel))
+    return overlap_channel(_as_channel_int(channel, "channel"))
 
 
 def all_channels(wifi_channel: int = PAPER_WIFI_CHANNEL) -> Tuple[OverlapChannel, ...]:
     """CH1..CH4 for one WiFi channel."""
     return tuple(overlap_channel(i, wifi_channel) for i in range(1, 5))
+
+
+def channel_with_n_data(
+    base: "OverlapChannel | str | int", n_data: int
+) -> OverlapChannel:
+    """A variant of *base* silencing only the *n_data* data subcarriers
+    nearest the ZigBee channel centre.
+
+    The Fig. 11 experiment sweeps this to show where silencing saturates;
+    the CTC side channel (:mod:`repro.sledzig.ctc`) uses the same ranking
+    to build its power-pattern symbol alphabet.  The returned channel keeps
+    the full span/pilot/null description of *base* — only which data
+    subcarriers SledZig actually constrains changes.
+    """
+    ch = get_channel(base)
+    n_data = _as_channel_int(n_data, "n_data")
+    center_sc = ch.center_offset_hz / SUBCARRIER_SPACING_HZ
+    ranked = sorted(DATA_SUBCARRIERS, key=lambda k: abs(k - center_sc))
+    require(
+        0 <= n_data <= len(ranked),
+        f"n_data must be 0..{len(ranked)}, got {n_data}",
+    )
+    chosen = tuple(sorted(ranked[:n_data]))
+    return replace(ch, data_subcarriers=chosen)

@@ -1,0 +1,67 @@
+"""WiFi->ZigBee CTC side channel over the protected-subcarrier pattern.
+
+SledZig silences the subcarriers overlapping a ZigBee channel to protect
+its receptions; this package modulates *that pattern itself* over time
+into a low-rate message channel (FreeBee/OfdmFi-style energy signalling):
+
+* :mod:`~repro.sledzig.ctc.alphabet` — the binary power-pattern alphabet
+  (full protection vs. ``depth`` released subcarriers) and its analytic
+  RSSI separation;
+* :mod:`~repro.sledzig.ctc.framing` — preamble/sync/length/payload/CRC
+  packet format of the side channel;
+* :mod:`~repro.sledzig.ctc.modem` — the transmit side: a pattern schedule
+  per side-channel frame, realised by plain SledZig transmitters;
+* :mod:`~repro.sledzig.ctc.demod` — the ZigBee-side energy-sampling
+  receiver: symbol timing, sync, framing and CRC over an RSSI stream,
+  chunk-invariant and constant-memory.
+
+The ``ctc`` experiment (:mod:`repro.experiments.ctc_tradeoff`) sweeps the
+alphabet's depth and symbol rate against side-channel BER and the primary
+ZigBee delivery ratio.
+"""
+
+from repro.sledzig.ctc.alphabet import (
+    CtcAlphabet,
+    ctc_alphabet,
+    pattern_band_decrease_db,
+    scaled_decreases_db,
+)
+from repro.sledzig.ctc.demod import (
+    CtcDemodulator,
+    CtcFrame,
+    demodulate,
+    rssi_from_frames,
+    slice_bits,
+)
+from repro.sledzig.ctc.framing import (
+    MAX_PAYLOAD_OCTETS,
+    SYNC_PATTERN,
+    crc16,
+    frame_bits,
+)
+from repro.sledzig.ctc.modem import (
+    CtcModulator,
+    CtcTransmission,
+    CtcTransmitter,
+    synthesize_rssi,
+)
+
+__all__ = [
+    "CtcAlphabet",
+    "CtcDemodulator",
+    "CtcFrame",
+    "CtcModulator",
+    "CtcTransmission",
+    "CtcTransmitter",
+    "MAX_PAYLOAD_OCTETS",
+    "SYNC_PATTERN",
+    "crc16",
+    "ctc_alphabet",
+    "demodulate",
+    "frame_bits",
+    "pattern_band_decrease_db",
+    "rssi_from_frames",
+    "scaled_decreases_db",
+    "slice_bits",
+    "synthesize_rssi",
+]

@@ -1,0 +1,154 @@
+"""Power-pattern symbol alphabet of the WiFi->ZigBee CTC side channel.
+
+SledZig already shapes the per-subcarrier power of the span overlapping a
+ZigBee channel; FreeBee and OfdmFi showed that shaped energy can *carry
+data* to the other technology.  The alphabet here modulates *how many* of
+the span's data subcarriers are silenced per WiFi frame:
+
+* symbol **1** — full protection: every controllable data subcarrier of
+  the span carries lowest-power points (the plain SledZig pattern);
+* symbol **0** — ``depth`` of those subcarriers (the ones farthest from
+  the ZigBee channel centre) revert to normal power, raising the in-band
+  level by a predictable margin while the remaining subcarriers keep the
+  bulk of the protection.
+
+A ZigBee-side energy sampler sees the two patterns as two RSSI levels;
+their separation grows with ``depth`` (the *modulation depth*), and so
+does the protection given up during 0-symbols — the throughput-vs-
+protection trade-off the ``ctc`` experiment sweeps.
+
+Both symbol patterns are ordinary :class:`~repro.sledzig.channels.
+OverlapChannel` variants, so the insertion solver, encoder and verifier
+run unchanged: every CTC-modulated frame is still a standard-compliant
+802.11 stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from repro.channel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sledzig.channels import (
+    OverlapChannel,
+    channel_with_n_data,
+    get_channel,
+)
+from repro.utils.validation import require
+from repro.wifi.constellation import lowest_point_power
+from repro.wifi.params import average_constellation_power, get_mcs
+
+__all__ = [
+    "CtcAlphabet",
+    "ctc_alphabet",
+    "pattern_band_decrease_db",
+    "scaled_decreases_db",
+]
+
+
+def pattern_band_decrease_db(
+    modulation: str, channel: "int | str | OverlapChannel", n_silenced: int
+) -> float:
+    """In-band decrease when only *n_silenced* data subcarriers are low.
+
+    Unlike :func:`repro.sledzig.analysis.expected_band_decrease_db` on a
+    reduced variant channel (which drops the un-silenced subcarriers from
+    the span entirely), the subcarriers left at normal power stay in the
+    band's denominator::
+
+        decrease = (n_data + n_pilot) /
+                   (n_silenced * P_low/P_avg + (n_data - n_silenced) + n_pilot)
+
+    With ``n_silenced == n_data`` this reduces to the full-pattern formula.
+    """
+    ch = get_channel(channel)
+    n_data = ch.n_data_subcarriers
+    require(
+        0 <= n_silenced <= n_data,
+        f"n_silenced must be 0..{n_data} for {ch.name}, got {n_silenced}",
+    )
+    ratio = lowest_point_power(modulation) / average_constellation_power(modulation)
+    n_pilot = len(ch.pilot_subcarriers)
+    normal = n_data + n_pilot
+    shaped = n_silenced * ratio + (n_data - n_silenced) + n_pilot
+    return float(10.0 * math.log10(normal / shaped))
+
+
+@dataclass(frozen=True)
+class CtcAlphabet:
+    """The two power patterns of a binary CTC symbol alphabet.
+
+    Attributes:
+        mcs_name: the WiFi MCS carrying the frames.
+        channel: the protected overlap channel (full span description).
+        depth: modulation depth — data subcarriers released during a
+            0-symbol.
+        symbol_channels: the per-symbol encoder channels, indexed by bit
+            value (``symbol_channels[0]`` silences ``n_data - depth``).
+        decreases_db: analytic in-band decrease per bit value, over the
+            full span (``decreases_db[1]`` is the plain SledZig decrease).
+    """
+
+    mcs_name: str
+    channel: OverlapChannel
+    depth: int
+    symbol_channels: Tuple[OverlapChannel, OverlapChannel]
+    decreases_db: Tuple[float, float]
+
+    @property
+    def separation_db(self) -> float:
+        """RSSI distance between the two symbols (the demodulator's eye)."""
+        return self.decreases_db[1] - self.decreases_db[0]
+
+
+@lru_cache(maxsize=None)
+def _cached_alphabet(
+    mcs_name: str, channel: OverlapChannel, depth: int
+) -> CtcAlphabet:
+    modulation = get_mcs(mcs_name).modulation
+    n_data = channel.n_data_subcarriers
+    require(
+        1 <= depth < n_data,
+        f"CTC depth must be 1..{n_data - 1} on {channel.name} "
+        f"(symbol 0 must keep some protection), got {depth}",
+    )
+    low = channel_with_n_data(channel, n_data - depth)
+    return CtcAlphabet(
+        mcs_name=mcs_name,
+        channel=channel,
+        depth=depth,
+        symbol_channels=(low, channel),
+        decreases_db=(
+            pattern_band_decrease_db(modulation, channel, n_data - depth),
+            pattern_band_decrease_db(modulation, channel, n_data),
+        ),
+    )
+
+
+def ctc_alphabet(
+    mcs_name: str, channel: "int | str | OverlapChannel", depth: int
+) -> CtcAlphabet:
+    """Build (and cache) the alphabet for one MCS/channel/depth triple."""
+    return _cached_alphabet(mcs_name, get_channel(channel), depth)
+
+
+def scaled_decreases_db(
+    alphabet: CtcAlphabet, calibration: Calibration = DEFAULT_CALIBRATION
+) -> Tuple[float, float]:
+    """Measured-anchored per-symbol decreases for the scenario engine.
+
+    The coexistence simulator works in the calibration's *measured* dB
+    domain (testbed RSSI decreases, smaller than the analytic values
+    because of spectral leakage).  The 1-symbol decrease is the measured
+    plain-SledZig number; the 0-symbol decrease scales it by the analytic
+    ratio of the two patterns, keeping the simulated eye consistent with
+    the analytic separation.
+    """
+    from repro.channel.calibration import sledzig_decrease_db
+
+    modulation = get_mcs(alphabet.mcs_name).modulation
+    measured_full = sledzig_decrease_db(modulation, alphabet.channel.index)
+    analytic_low, analytic_full = alphabet.decreases_db
+    return (measured_full * analytic_low / analytic_full, measured_full)

@@ -1,0 +1,355 @@
+"""ZigBee-side CTC demodulator: RSSI energy sampling to framed bytes.
+
+The receiver never decodes WiFi.  It samples the in-band power of its own
+2 MHz channel (one RSSI register read per WiFi frame, or faster) and sees
+the transmitter's power-pattern schedule as a two-level waveform.  The
+demodulator turns that sample stream back into CTC frames:
+
+1. **symbol timing + sync** — a sliding 32-symbol window (preamble + sync
+   word) is mean-pooled into candidate symbols at every sample offset, so
+   every symbol phase is tried without an explicit timing loop.  A window
+   qualifies only if its level swing clears ``min_swing_db`` (an idle
+   channel has no eye to slice); the slicing threshold is the midpoint of
+   the window's two level clusters (the sorted halves — the pattern is
+   exactly half ones), and a candidate locks only on an *exact*
+   :data:`~repro.sledzig.ctc.framing.SYNC_PATTERN` match.  Bit **1** is
+   the *quieter* level — symbol 1 is the fully protected pattern, which
+   suppresses the most in-band power;
+2. **header** — 8 length bits sliced with the locked threshold
+   (:func:`~repro.sledzig.ctc.framing.parse_length`; an impossible length
+   drops the candidate as :class:`~repro.errors.CtcFramingError`);
+3. **payload** — ``(length + 2) * 8`` bits sliced and checked
+   (:func:`~repro.sledzig.ctc.framing.parse_body`; a CRC mismatch drops
+   the frame as :class:`~repro.errors.CtcCrcError`).
+
+The demodulator implements the :class:`~repro.streaming.stage.Stage`
+protocol over a bounded :class:`~repro.streaming.ring.SampleRing`, with
+every decision addressed by absolute stream position and deferred until
+its full window is buffered — so any chunking of an RSSI capture decodes
+bit-identically (pinned by the chunk-invariance property tests).
+
+Every outcome is counted under ``ctc.rx.*`` so run manifests carry the
+sync/symbol/CRC error budget alongside the delivered frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import (
+    ConfigurationError,
+    CtcCrcError,
+    CtcFramingError,
+    CtcSyncError,
+    InvalidWaveformError,
+    ReproError,
+    TruncatedFrameError,
+)
+from repro.sledzig.channels import OverlapChannel, get_channel
+from repro.sledzig.ctc.framing import (
+    CRC_OCTETS,
+    LENGTH_BITS,
+    MAX_PAYLOAD_OCTETS,
+    PREAMBLE_BITS,
+    SYNC_PATTERN,
+    frame_bit_count,
+    parse_body,
+    parse_length,
+)
+from repro.streaming.ring import SampleRing
+from repro.streaming.stage import DropEvent, FrameEvent
+from repro.utils.validation import require
+from repro.wifi.preamble import PREAMBLE_LENGTH
+from repro.wifi.spectral import band_power_db
+
+__all__ = [
+    "CtcDemodulator",
+    "CtcFrame",
+    "demodulate",
+    "rssi_from_frames",
+    "slice_bits",
+]
+
+#: Samples to skip before measuring a frame's band power (WiFi preamble +
+#: SIGNAL symbol — same rule as the Fig. 11/12 RSSI experiments).
+_DATA_START = PREAMBLE_LENGTH + 80
+
+#: States of the demodulator machine.
+_SEARCH, _HEADER, _PAYLOAD = range(3)
+
+_SYNC_SYMBOLS = len(SYNC_PATTERN)
+_PREAMBLE = np.asarray(PREAMBLE_BITS, dtype=np.uint8)
+_SYNC = np.asarray(SYNC_PATTERN, dtype=np.uint8)
+
+
+@dataclass
+class CtcFrame:
+    """One delivered side-channel frame.
+
+    Attributes:
+        payload: the CRC-validated side-channel bytes.
+        start_sample: absolute RSSI-stream index the frame's preamble
+            starts at.
+        threshold_db: the slicing threshold the lock estimated.
+        swing_db: level swing of the lock window (the received eye).
+    """
+
+    payload: bytes
+    start_sample: int
+    threshold_db: float
+    swing_db: float
+
+
+def slice_bits(
+    samples: "np.ndarray | Sequence[float]",
+    samples_per_symbol: int,
+    threshold_db: Optional[float] = None,
+) -> np.ndarray:
+    """Mean-pool an aligned RSSI stream into hard bits (raw-BER helper).
+
+    Pools *samples* into ``len // samples_per_symbol`` symbols and slices
+    at *threshold_db* (default: midpoint of the observed symbol levels).
+    No sync, no framing — the experiment's raw symbol-error probe, where
+    the alignment is known by construction.
+    """
+    require(samples_per_symbol >= 1, "samples_per_symbol must be >= 1")
+    arr = np.asarray(samples, dtype=np.float64).ravel()
+    n_symbols = arr.size // samples_per_symbol
+    means = arr[: n_symbols * samples_per_symbol].reshape(
+        n_symbols, samples_per_symbol
+    ).mean(axis=1)
+    if threshold_db is None:
+        threshold_db = float(means.min() + means.max()) / 2.0
+    return (means < threshold_db).astype(np.uint8)
+
+
+def rssi_from_frames(
+    waveforms: Iterable[np.ndarray],
+    channel: "OverlapChannel | str | int",
+    bandwidth_hz: float = 2e6,
+) -> np.ndarray:
+    """One ZigBee-band RSSI sample per WiFi frame waveform (dB).
+
+    Measures each frame's DATA portion (preamble and SIGNAL skipped, like
+    the Fig. 11/12 experiments) in the 2 MHz band of *channel* — the
+    waveform-domain model of a receiver that reads its RSSI register once
+    per overheard frame.
+    """
+    ch = get_channel(channel)
+    return np.asarray(
+        [
+            band_power_db(
+                np.asarray(w)[_DATA_START:], ch.center_offset_hz, bandwidth_hz
+            )
+            for w in waveforms
+        ],
+        dtype=np.float64,
+    )
+
+
+class CtcDemodulator:
+    """Streaming CTC receiver (implements the ``Stage`` protocol).
+
+    Args:
+        samples_per_symbol: RSSI samples per CTC symbol (the transmit
+            side's ``frames_per_symbol`` when sampling once per frame).
+        min_swing_db: minimum high-low separation of a lock window; below
+            it the channel is considered idle/noise and no lock is tried.
+        max_payload: announced lengths beyond this drop the candidate.
+        capacity: RSSI sample ring bound; must hold a worst-case frame.
+    """
+
+    name = "ctc-demod"
+
+    def __init__(
+        self,
+        samples_per_symbol: int = 1,
+        min_swing_db: float = 0.75,
+        max_payload: int = MAX_PAYLOAD_OCTETS,
+        capacity: int = 1 << 13,
+        ring_name: str = "ctc",
+    ) -> None:
+        require(samples_per_symbol >= 1, "samples_per_symbol must be >= 1")
+        require(min_swing_db > 0.0, "min_swing_db must be positive")
+        require(1 <= max_payload <= MAX_PAYLOAD_OCTETS,
+                f"max_payload must be 1..{MAX_PAYLOAD_OCTETS}, got {max_payload}")
+        self.sps = int(samples_per_symbol)
+        self.min_swing_db = float(min_swing_db)
+        self.max_payload = int(max_payload)
+        worst = frame_bit_count(max_payload) * self.sps
+        if worst > capacity:
+            raise ConfigurationError(
+                f"ring of {capacity} samples cannot hold a worst-case CTC "
+                f"frame of {worst} samples; raise capacity or lower "
+                f"max_payload/samples_per_symbol"
+            )
+        self.ring = SampleRing(capacity, dtype=np.float64, name=ring_name)
+        self._state = _SEARCH
+        self._pos = 0  # next candidate start (absolute), SEARCH state
+        self._frame_start = 0
+        self._threshold = 0.0
+        self._swing = 0.0
+        self._length = 0
+
+    # -- internals --------------------------------------------------------
+
+    def _drop(self, error: ReproError, at: int) -> DropEvent:
+        telemetry.current().count(f"ctc.rx.drop.{type(error).__name__}")
+        return DropEvent(start_sample=at, stage=self.name, error=error)
+
+    def _symbol_means(self, start: int, n_symbols: int) -> np.ndarray:
+        window = np.asarray(
+            self.ring.view(start, start + n_symbols * self.sps), dtype=np.float64
+        )
+        return window.reshape(n_symbols, self.sps).mean(axis=1)
+
+    def _abort_lock(self, events: List[Any], error: ReproError) -> None:
+        """Drop the locked candidate and resume searching one sample on."""
+        events.append(self._drop(error, self._frame_start))
+        self._state = _SEARCH
+        self._pos = self._frame_start + 1
+        self.ring.release(self._pos)
+
+    def _process(self) -> List[Any]:
+        tel = telemetry.current()
+        events: List[Any] = []
+        while True:
+            if self._state == _SEARCH:
+                window_end = self._pos + _SYNC_SYMBOLS * self.sps
+                if window_end > self.ring.end:
+                    self.ring.release(self._pos)
+                    return events
+                means = self._symbol_means(self._pos, _SYNC_SYMBOLS)
+                # SYNC_PATTERN is exactly balanced (16 ones / 16 zeros),
+                # so the lower and upper sorted halves of an aligned
+                # window ARE the two symbol clusters; their midpoint is
+                # robust to the loud outliers a min/max midpoint skews on
+                # (payload-dependent power of released subcarriers).
+                ordered = np.sort(means)
+                lo = float(ordered[: _SYNC_SYMBOLS // 2].mean())
+                hi = float(ordered[_SYNC_SYMBOLS // 2 :].mean())
+                if hi - lo >= self.min_swing_db:
+                    threshold = (lo + hi) / 2.0
+                    bits = (means < threshold).astype(np.uint8)
+                    if np.array_equal(bits, _SYNC):
+                        tel.count("ctc.rx.locks")
+                        self._state = _HEADER
+                        self._frame_start = self._pos
+                        self._threshold = threshold
+                        self._swing = hi - lo
+                        continue
+                    if np.array_equal(bits[: _PREAMBLE.size], _PREAMBLE):
+                        tel.count("ctc.rx.sync_errors")
+                        events.append(self._drop(
+                            CtcSyncError(
+                                f"preamble at sample {self._pos} but the sync "
+                                f"word did not match"
+                            ),
+                            self._pos,
+                        ))
+                self._pos += 1
+            elif self._state == _HEADER:
+                header_symbols = _SYNC_SYMBOLS + LENGTH_BITS
+                if self._frame_start + header_symbols * self.sps > self.ring.end:
+                    self.ring.release(self._frame_start)
+                    return events
+                means = self._symbol_means(
+                    self._frame_start + _SYNC_SYMBOLS * self.sps, LENGTH_BITS
+                )
+                bits = (means < self._threshold).astype(np.uint8)
+                try:
+                    self._length = parse_length(bits, self.max_payload)
+                except CtcFramingError as error:
+                    tel.count("ctc.rx.header_errors")
+                    self._abort_lock(events, error)
+                    continue
+                self._state = _PAYLOAD
+            else:  # _PAYLOAD
+                total_symbols = frame_bit_count(self._length)
+                frame_end = self._frame_start + total_symbols * self.sps
+                if frame_end > self.ring.end:
+                    self.ring.release(self._frame_start)
+                    return events
+                body_symbols = 8 * (self._length + CRC_OCTETS)
+                means = self._symbol_means(
+                    self._frame_start
+                    + (_SYNC_SYMBOLS + LENGTH_BITS) * self.sps,
+                    body_symbols,
+                )
+                bits = (means < self._threshold).astype(np.uint8)
+                try:
+                    payload = parse_body(self._length, bits)
+                except CtcCrcError as error:
+                    tel.count("ctc.rx.crc_errors")
+                    self._abort_lock(events, error)
+                    continue
+                tel.count("ctc.rx.frames")
+                tel.count("ctc.rx.symbols", total_symbols)
+                events.append(FrameEvent(
+                    start_sample=self._frame_start,
+                    result=CtcFrame(
+                        payload=payload,
+                        start_sample=self._frame_start,
+                        threshold_db=self._threshold,
+                        swing_db=self._swing,
+                    ),
+                ))
+                self._state = _SEARCH
+                self._pos = frame_end
+                self.ring.release(self._pos)
+
+    # -- Stage protocol ---------------------------------------------------
+
+    def push(self, chunk: "np.ndarray | Sequence[float]") -> List[Any]:
+        """Ingest one RSSI chunk (any size) and emit what it completes."""
+        arr = np.asarray(chunk, dtype=np.float64).ravel()
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise InvalidWaveformError(
+                "RSSI stream contains non-finite samples"
+            )
+        telemetry.current().count("ctc.rx.samples", int(arr.size))
+        events: List[Any] = []
+        consumed = 0
+        while consumed < arr.size:
+            free = self.ring.capacity - self.ring.occupancy
+            take = min(arr.size - consumed, free)
+            self.ring.append(arr[consumed : consumed + take])
+            consumed += take
+            events.extend(self._process())
+        return events
+
+    def flush(self) -> List[Any]:
+        """The stream ended; locked-but-incomplete frames are truncated.
+
+        After dropping a dead lock the remaining buffer is rescanned (a
+        false lock may have been sitting on a real frame), so flush loops
+        until the machine settles in the search state.
+        """
+        events: List[Any] = []
+        while self._state != _SEARCH:
+            self._abort_lock(
+                events,
+                TruncatedFrameError(
+                    f"RSSI stream ended mid-frame (locked at sample "
+                    f"{self._frame_start})"
+                ),
+            )
+            events.extend(self._process())
+        return events
+
+
+def demodulate(
+    samples: "np.ndarray | Sequence[float]",
+    samples_per_symbol: int = 1,
+    **kwargs: Any,
+) -> Tuple[List[CtcFrame], List[DropEvent]]:
+    """Decode one full RSSI capture (single-push convenience wrapper)."""
+    demod = CtcDemodulator(samples_per_symbol=samples_per_symbol, **kwargs)
+    events = list(demod.push(samples)) + list(demod.flush())
+    frames = [e.result for e in events if isinstance(e, FrameEvent)]
+    drops = [e for e in events if isinstance(e, DropEvent)]
+    return frames, drops

@@ -1,0 +1,137 @@
+"""CTC packet framing: preamble, sync word, length, payload, CRC-16.
+
+The side channel is slow (one symbol per WiFi frame or burst), so the
+frame format is deliberately minimal::
+
+    | preamble 16 bits | sync 16 bits | length 8 bits | payload | CRC-16 |
+
+* the **preamble** alternates ``1 0 1 0 ...`` — maximum RSSI transitions
+  for the demodulator's threshold estimate and symbol-timing scan;
+* the **sync word** (0x2D 0xD4, the 802.15.4 SFD followed by its
+  complement) marks the bit origin; the demodulator requires an exact
+  match, so a random RSSI flutter that happens to alternate cannot start
+  a frame;
+* **length** is one octet counting payload bytes (bounded by
+  :data:`MAX_PAYLOAD_OCTETS`);
+* the **CRC-16/CCITT-FALSE** over length+payload rejects frames whose
+  payload symbols were corrupted.
+
+All bytes are serialised LSB-first, matching the rest of the library
+(:mod:`repro.utils.bits`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CtcCrcError, CtcFramingError
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.utils.validation import require
+
+__all__ = [
+    "CRC_OCTETS",
+    "LENGTH_BITS",
+    "MAX_PAYLOAD_OCTETS",
+    "PREAMBLE_BITS",
+    "SYNC_BITS",
+    "SYNC_PATTERN",
+    "crc16",
+    "frame_bits",
+    "parse_length",
+    "parse_body",
+]
+
+#: Alternating preamble bits (two octets of 0b01010101, LSB-first).
+PREAMBLE_BITS: Tuple[int, ...] = tuple([1, 0] * 8)
+
+#: The sync word octets: the 802.15.4 SFD (0xA7 reversed = 0x2D... kept
+#: simply as two fixed octets with good autocorrelation).
+_SYNC_OCTETS = b"\x2d\xd4"
+
+#: Sync word bits, LSB-first.
+SYNC_BITS: Tuple[int, ...] = tuple(int(b) for b in bytes_to_bits(_SYNC_OCTETS))
+
+#: The full lock pattern the demodulator exact-matches.
+SYNC_PATTERN: Tuple[int, ...] = PREAMBLE_BITS + SYNC_BITS
+
+#: Length field width.
+LENGTH_BITS: int = 8
+
+#: CRC-16 trailer size.
+CRC_OCTETS: int = 2
+
+#: Bound on the payload a single CTC frame may carry.
+MAX_PAYLOAD_OCTETS: int = 64
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) of *data*."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) & 0xFFFF
+    return crc
+
+
+def frame_bits(payload: bytes) -> np.ndarray:
+    """The full bit sequence of one CTC frame carrying *payload*.
+
+    Raises:
+        ConfigurationError: when the payload exceeds
+            :data:`MAX_PAYLOAD_OCTETS`.
+    """
+    payload = bytes(payload)
+    require(
+        len(payload) <= MAX_PAYLOAD_OCTETS,
+        f"CTC payload is {len(payload)} octets; max {MAX_PAYLOAD_OCTETS}",
+    )
+    body = bytes([len(payload)]) + payload
+    trailer = crc16(body).to_bytes(CRC_OCTETS, "little")
+    return np.concatenate(
+        [
+            np.asarray(SYNC_PATTERN, dtype=np.uint8),
+            bytes_to_bits(body + trailer),
+        ]
+    )
+
+
+def frame_bit_count(payload_octets: int) -> int:
+    """Total bits of a frame carrying *payload_octets* bytes."""
+    return len(SYNC_PATTERN) + LENGTH_BITS + 8 * (payload_octets + CRC_OCTETS)
+
+
+def parse_length(length_bits: np.ndarray, max_payload: int = MAX_PAYLOAD_OCTETS) -> int:
+    """Decode the length octet; typed error when it announces too much.
+
+    Raises:
+        CtcFramingError: length beyond *max_payload* — corrupted header
+            symbols or a false lock.
+    """
+    length = bits_to_bytes(np.asarray(length_bits, dtype=np.uint8))[0]
+    if length > max_payload:
+        raise CtcFramingError(
+            f"CTC length octet announces {length} payload octets; "
+            f"max {max_payload}"
+        )
+    return int(length)
+
+
+def parse_body(length: int, body_bits: np.ndarray) -> bytes:
+    """Decode payload+CRC bits of a frame whose length is already known.
+
+    Raises:
+        CtcCrcError: the CRC-16 over length+payload does not match.
+    """
+    octets = bits_to_bytes(np.asarray(body_bits, dtype=np.uint8))
+    payload, trailer = octets[:length], octets[length:]
+    expected = crc16(bytes([length]) + payload)
+    received = int.from_bytes(trailer, "little")
+    if received != expected:
+        raise CtcCrcError(
+            f"CTC CRC mismatch: received 0x{received:04x}, "
+            f"expected 0x{expected:04x} over {length} payload octets"
+        )
+    return payload

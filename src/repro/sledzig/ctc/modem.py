@@ -1,0 +1,186 @@
+"""CTC modulator: map side-channel bits onto per-frame power patterns.
+
+The modulator turns a side-channel payload into a *pattern schedule* —
+one alphabet bit per WiFi frame — and the transmitter realises each bit
+with a :class:`~repro.sledzig.pipeline.SledZigTransmitter` configured for
+that bit's symbol channel.  The primary WiFi payloads ride unchanged:
+every emitted frame is a standard-compliant SledZig stream; only *which*
+subcarriers the insertion solver silences varies frame to frame.
+
+``frames_per_symbol`` repeats each CTC symbol over several consecutive
+WiFi frames.  The ZigBee side samples RSSI once per frame, so the factor
+trades side-channel rate for per-symbol noise averaging — the symbol-rate
+axis of the ``ctc`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.sledzig.ctc.alphabet import CtcAlphabet, ctc_alphabet
+from repro.sledzig.ctc.framing import frame_bits
+from repro.sledzig.pipeline import SledZigTransmission, SledZigTransmitter
+from repro.utils.validation import require
+
+__all__ = [
+    "CtcModulator",
+    "CtcTransmission",
+    "CtcTransmitter",
+    "synthesize_rssi",
+]
+
+
+class CtcModulator:
+    """Side-channel bits -> per-WiFi-frame pattern schedule."""
+
+    def __init__(
+        self,
+        mcs_name: str = "qam64-2/3",
+        channel: "int | str" = "CH1",
+        depth: int = 1,
+        frames_per_symbol: int = 1,
+    ) -> None:
+        require(
+            frames_per_symbol >= 1,
+            f"frames_per_symbol must be >= 1, got {frames_per_symbol}",
+        )
+        self.alphabet: CtcAlphabet = ctc_alphabet(mcs_name, channel, depth)
+        self.frames_per_symbol = int(frames_per_symbol)
+
+    def symbol_bits(self, payload: bytes) -> np.ndarray:
+        """The framed bit sequence (preamble/sync/length/payload/CRC)."""
+        return frame_bits(payload)
+
+    def pattern_schedule(self, payload: bytes) -> Tuple[int, ...]:
+        """One alphabet bit per WiFi frame, symbols repeated per the rate."""
+        return tuple(
+            int(bit)
+            for bit in self.symbol_bits(payload)
+            for _ in range(self.frames_per_symbol)
+        )
+
+
+@dataclass
+class CtcTransmission:
+    """One side-channel frame realised as WiFi waveforms.
+
+    Attributes:
+        ctc_payload: the side-channel bytes carried.
+        schedule: the per-WiFi-frame alphabet bits.
+        frames: the underlying SledZig transmissions, one per schedule
+            entry (None when the transmitter ran in schedule-only mode).
+    """
+
+    ctc_payload: bytes
+    schedule: Tuple[int, ...]
+    frames: Optional[List[SledZigTransmission]] = None
+
+    @property
+    def waveforms(self) -> List[np.ndarray]:
+        """The per-frame complex baseband waveforms."""
+        if self.frames is None:
+            raise ValueError("schedule-only transmission carries no waveforms")
+        return [frame.waveform for frame in self.frames]
+
+
+class CtcTransmitter:
+    """Layer a CTC side channel on the SledZig transmit pipeline.
+
+    One :class:`SledZigTransmitter` per symbol pattern; both see the same
+    MCS and scrambler seed, so the primary payload path is byte-identical
+    to plain SledZig — the side channel changes only the silenced set.
+    """
+
+    def __init__(
+        self,
+        mcs_name: str = "qam64-2/3",
+        channel: "int | str" = "CH1",
+        depth: int = 1,
+        frames_per_symbol: int = 1,
+        scrambler_seed: int = 93,
+    ) -> None:
+        self.modulator = CtcModulator(mcs_name, channel, depth, frames_per_symbol)
+        self.transmitters = tuple(
+            SledZigTransmitter(
+                mcs=mcs_name, channel=ch, scrambler_seed=scrambler_seed
+            )
+            for ch in self.modulator.alphabet.symbol_channels
+        )
+
+    @property
+    def alphabet(self) -> CtcAlphabet:
+        return self.modulator.alphabet
+
+    def max_payload_per_frame(self) -> int:
+        """Largest primary payload either pattern can carry per frame."""
+        return min(tx.max_payload_per_frame() for tx in self.transmitters)
+
+    def send(
+        self,
+        ctc_payload: bytes,
+        wifi_payloads: Sequence[bytes],
+    ) -> CtcTransmission:
+        """Encode one side-channel frame over real WiFi frames.
+
+        *wifi_payloads* supplies the primary traffic; it is cycled when
+        shorter than the schedule (side-channel symbols must not stall for
+        primary data).
+        """
+        require(len(wifi_payloads) >= 1, "need at least one WiFi payload")
+        schedule = self.modulator.pattern_schedule(ctc_payload)
+        tel = telemetry.current()
+        frames = []
+        for index, bit in enumerate(schedule):
+            payload = wifi_payloads[index % len(wifi_payloads)]
+            frames.append(self.transmitters[bit].send(payload))
+        tel.count("ctc.tx.frames", len(schedule))
+        tel.count("ctc.tx.symbols", len(self.modulator.symbol_bits(ctc_payload)))
+        tel.count("ctc.tx.payload_octets", len(ctc_payload))
+        return CtcTransmission(
+            ctc_payload=bytes(ctc_payload), schedule=schedule, frames=frames
+        )
+
+    def schedule_only(self, ctc_payload: bytes) -> CtcTransmission:
+        """The pattern schedule without encoding waveforms (scenario use)."""
+        return CtcTransmission(
+            ctc_payload=bytes(ctc_payload),
+            schedule=self.modulator.pattern_schedule(ctc_payload),
+        )
+
+
+def synthesize_rssi(
+    schedule: Sequence[int],
+    samples_per_frame: int,
+    levels_db: Tuple[float, float],
+    *,
+    idle_db: float = -95.0,
+    lead_in: int = 0,
+    tail: int = 0,
+    noise_db: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """An RSSI sample stream for a pattern schedule (RSSI-domain model).
+
+    Each schedule entry contributes *samples_per_frame* samples at its
+    symbol's level; *lead_in*/*tail* idle samples bracket the frame and
+    Gaussian reported-dB noise of *noise_db* standard deviation models the
+    receiver's RSSI register jitter.  The experiment's BER waterfalls and
+    the chunk-invariance property tests run on these streams; the
+    waveform-domain path (:func:`repro.sledzig.ctc.demod.rssi_from_frames`)
+    validates the levels against real encoded frames.
+    """
+    require(samples_per_frame >= 1, "samples_per_frame must be >= 1")
+    levels = np.asarray(levels_db, dtype=np.float64)
+    body = np.repeat(levels[np.asarray(schedule, dtype=np.intp)], samples_per_frame)
+    stream = np.concatenate(
+        [np.full(lead_in, idle_db), body, np.full(tail, idle_db)]
+    )
+    if noise_db > 0.0:
+        if rng is None:
+            raise ValueError("noise_db > 0 requires an explicit rng")
+        stream = stream + rng.normal(0.0, noise_db, size=stream.size)
+    return stream

@@ -68,7 +68,19 @@ class Reservoir:
         self._samples: List[float] = []
 
     def observe(self, value: float) -> None:
-        """Record one observation (possibly decimated away)."""
+        """Record one observation (possibly decimated away).
+
+        Raises:
+            ConfigurationError: on a non-finite value.  A NaN latency
+                would sort unpredictably and silently poison every
+                percentile the reservoir ever reports; rejecting it at
+                the door keeps ``to_jsonable`` trustworthy.
+        """
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ConfigurationError(
+                f"reservoir observations must be finite, got {value!r}"
+            )
         self.count += 1
         if (self.count - 1) % self.stride != 0:
             return
@@ -78,7 +90,7 @@ class Reservoir:
             self.stride *= 2
             if (self.count - 1) % self.stride != 0:
                 return
-        self._samples.append(float(value))
+        self._samples.append(value)
 
     @property
     def samples(self) -> List[float]:

@@ -12,9 +12,13 @@ of the same name in the current directory (the repo root, where the
 benchmark conftest writes them), and fails when any tracked ``mean_s``
 regressed by more than ``--max-regression`` (default 20%).  Suites whose
 fresh file is absent are skipped with a note — CI runs benchmark modules
-selectively — and benchmarks that exist only on one side are reported but
-never fail the gate, so adding or retiring a benchmark does not require a
-lock-step baseline update.
+selectively.  Within a paired suite, a benchmark present on only one side
+is a *violation* with a per-name ``MISSING`` diagnostic: a fresh name
+without a baseline means the committed baseline was not updated alongside
+the new benchmark, and a baseline name the fresh run no longer produces
+means a benchmark silently stopped running (the trend gate would
+otherwise go green while tracking nothing).  A fresh ``BENCH_<suite>``
+with no committed baseline file at all is flagged the same way.
 
 ``schema`` validates that every BENCH file carries what the trend gate
 (and the perf-trajectory tooling) relies on: each entry has a ``fullname``
@@ -80,15 +84,27 @@ def compare_suite(
     suite: str,
     max_regression: float,
 ) -> Tuple[List[str], List[str]]:
-    """-> (violations, notes) for one suite's baseline/current pair."""
+    """-> (violations, notes) for one suite's baseline/current pair.
+
+    Name mismatches are violations, not notes: each missing side gets its
+    own diagnostic naming the benchmark and the fix (update the committed
+    baseline, or explain the retirement), so a renamed or silently-skipped
+    benchmark can never pass the gate unnoticed.
+    """
     violations: List[str] = []
     notes: List[str] = []
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
-            notes.append(f"{suite}:{name}: not in current run (retired?)")
+            violations.append(
+                f"MISSING {suite}:{name}: in baselines/BENCH_{suite}.json but "
+                f"not in the fresh run — retired? remove it from the baseline"
+            )
             continue
         if name not in baseline:
-            notes.append(f"{suite}:{name}: new benchmark (no baseline yet)")
+            violations.append(
+                f"MISSING {suite}:{name}: fresh benchmark with no committed "
+                f"baseline — add it to baselines/BENCH_{suite}.json"
+            )
             continue
         base_mean = baseline[name].get("mean_s")
         cur_mean = current[name].get("mean_s")
@@ -98,7 +114,7 @@ def compare_suite(
         ratio = cur_mean / base_mean - 1.0
         if ratio > max_regression:
             violations.append(
-                f"{suite}:{name}: mean {cur_mean * 1e3:.3f} ms is "
+                f"REGRESSION {suite}:{name}: mean {cur_mean * 1e3:.3f} ms is "
                 f"{ratio * 100.0:+.1f}% vs baseline "
                 f"{base_mean * 1e3:.3f} ms (limit +{max_regression * 100.0:.0f}%)"
             )
@@ -142,11 +158,25 @@ def run_check(
         for note in notes:
             print(f"  ok  {note}", file=out)
         for violation in violations:
-            print(f"REGRESSION {violation}", file=out)
+            print(violation, file=out)
         total += len(violations)
+    # A whole fresh suite with no committed baseline file is the same
+    # update-the-baseline failure, one diagnostic per benchmark name.
+    baseline_names = {p.name for p in baseline_files}
+    for current_path in _bench_files(current_dir):
+        if current_path.name in baseline_names:
+            continue
+        suite = current_path.stem.removeprefix("BENCH_")
+        for name in sorted(load_bench_file(current_path)):
+            print(
+                f"MISSING {suite}:{name}: fresh suite has no committed "
+                f"{current_path.name} under {baseline_dir}",
+                file=out,
+            )
+            total += 1
     print(
-        f"bench trend: {total} regression(s) beyond "
-        f"+{max_regression * 100.0:.0f}%",
+        f"bench trend: {total} violation(s) (regressions beyond "
+        f"+{max_regression * 100.0:.0f}% or baseline/run name mismatches)",
         file=out,
     )
     return total

@@ -11,9 +11,10 @@ line cannot masquerade as provenance), and — for successful runs — the
 telemetry tables in shape: ``drops`` holding only ``*.drop.<cause>``
 counters that agree with ``counters``, ``timings`` histograms carrying
 the count/total/mean/min/max summary the trend tooling reads.  Both the
-classic experiment manifests and the gateway SLO manifests (which add a
-``slo`` object with latency percentiles and the batch-fill table) pass
-through the same checks.
+classic experiment manifests, the gateway SLO manifests (which add a
+``slo`` object with latency percentiles and the batch-fill table) and the
+CTC experiment manifests (a ``ctc`` object with the side channel's error
+budget and delivery comparison) pass through the same checks.
 
 Exit status is the number of violations (0 = clean), matching the repo's
 other CI linters.
@@ -79,6 +80,9 @@ def lint_record(record: Any, where: str) -> List[str]:
     slo = record.get("slo")
     if slo is not None:
         problems.extend(_lint_slo(slo, where))
+    ctc = record.get("ctc")
+    if ctc is not None:
+        problems.extend(_lint_ctc(ctc, where))
     return problems
 
 
@@ -150,6 +154,33 @@ def _lint_slo(slo: Any, where: str) -> List[str]:
             problems.append(f"{where}: slo missing numeric {fld!r}")
     if not isinstance(slo.get("drops"), dict):
         problems.append(f"{where}: slo needs a 'drops' mapping")
+    return problems
+
+
+def _lint_ctc(ctc: Any, where: str) -> List[str]:
+    """The CTC acceptance object: error budget + delivery comparison."""
+    if not isinstance(ctc, dict):
+        return [f"{where}: 'ctc' is not an object"]
+    problems: List[str] = []
+    for fld in (
+        "depth", "frames_per_symbol", "noise_db", "separation_db", "ber",
+        "frames_sent", "frames_delivered",
+        "sync_errors", "header_errors", "crc_errors",
+    ):
+        if not _is_number(ctc.get(fld)):
+            problems.append(f"{where}: ctc missing numeric {fld!r}")
+    ber = ctc.get("ber")
+    if _is_number(ber) and not 0.0 <= ber <= 1.0:
+        problems.append(f"{where}: ctc.ber must be a probability, got {ber!r}")
+    delivery = ctc.get("delivery")
+    if not isinstance(delivery, dict):
+        problems.append(f"{where}: ctc needs a 'delivery' object")
+    else:
+        for fld in ("sledzig", "ctc", "delta"):
+            if not _is_number(delivery.get(fld)):
+                problems.append(
+                    f"{where}: ctc.delivery missing numeric {fld!r}"
+                )
     return problems
 
 

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.sledzig.channels import (
     OVERLAP_SPAN,
     all_channels,
+    channel_with_n_data,
     get_channel,
     overlap_channel,
     wifi_center_frequency_mhz,
@@ -100,3 +103,87 @@ class TestGetChannel:
     def test_bad_name(self):
         with pytest.raises(ConfigurationError):
             get_channel("CH5")
+
+    def test_numpy_integer_accepted(self):
+        assert get_channel(np.int64(3)).index == 3
+
+    def test_non_integral_float_rejected(self):
+        # int(2.5) used to truncate to CH2 and hand back a silently wrong
+        # subcarrier span; a typed error is the pinned behaviour now.
+        with pytest.raises(ConfigurationError):
+            get_channel(2.5)
+
+    def test_integral_float_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_channel(2.0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_channel(True)
+
+
+class TestBoundaryValidation:
+    """Boundary channels: clear typed errors instead of silent wrong spans."""
+
+    def test_wifi_channel_bounds(self):
+        assert overlap_channel(1, wifi_channel=1).wifi_channel == 1
+        assert overlap_channel(4, wifi_channel=13).wifi_channel == 13
+        for bad in (0, 14, -1):
+            with pytest.raises(ConfigurationError, match="WiFi channel"):
+                overlap_channel(1, wifi_channel=bad)
+
+    def test_zigbee_channel_bounds(self):
+        # 11 and 26 are the first/last 802.15.4 channels; each overlaps a
+        # specific WiFi channel.
+        assert overlap_channel(11, wifi_channel=1).zigbee_channel == 11
+        assert overlap_channel(26, wifi_channel=13).zigbee_channel == 26
+        for bad in (5, 10, 27, 0, -3):
+            with pytest.raises(
+                ConfigurationError, match="1..4 or a ZigBee channel 11..26"
+            ):
+                overlap_channel(bad)
+
+    def test_non_positive_span_rejected(self):
+        # span=0 used to yield an empty subcarrier tuple: a channel object
+        # that protects nothing while claiming to be a SledZig overlap.
+        for bad in (0, -1, -8):
+            with pytest.raises(ConfigurationError, match="span"):
+                overlap_channel(1, span=bad)
+
+    def test_span_beyond_fft_grid_rejected(self):
+        # CH4 is centred at +25.6 subcarriers; a wide span would walk past
+        # bin +31, indices that do not exist on the 64-point grid.
+        with pytest.raises(ConfigurationError, match="64-bin"):
+            overlap_channel(4, span=16)
+
+    def test_moderate_span_variants_still_work(self):
+        assert len(overlap_channel(1, span=6).subcarriers) == 6
+        assert len(overlap_channel(2, span=10).subcarriers) == 10
+
+    def test_non_integral_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overlap_channel(1.5)
+        with pytest.raises(ConfigurationError):
+            overlap_channel(1, wifi_channel=6.5)
+        with pytest.raises(ConfigurationError):
+            overlap_channel(1, span=7.5)
+
+
+class TestChannelWithNData:
+    def test_reduces_data_set(self):
+        base = get_channel("CH2")
+        variant = channel_with_n_data(base, base.n_data_subcarriers - 1)
+        assert variant.n_data_subcarriers == base.n_data_subcarriers - 1
+        assert set(variant.data_subcarriers) <= set(base.data_subcarriers)
+        # The span/pilot description of the base channel is untouched.
+        assert variant.subcarriers == base.subcarriers
+        assert variant.pilot_subcarriers == base.pilot_subcarriers
+
+    def test_zero_keeps_nothing(self):
+        assert channel_with_n_data("CH1", 0).data_subcarriers == ()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channel_with_n_data("CH1", -1)
+        with pytest.raises(ConfigurationError):
+            channel_with_n_data("CH1", 49)

@@ -1,0 +1,344 @@
+"""Unit tests for the CTC side channel (repro.sledzig.ctc)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import (
+    ConfigurationError,
+    CtcCrcError,
+    CtcFramingError,
+    InvalidWaveformError,
+)
+from repro.sledzig.analysis import expected_band_decrease_db
+from repro.sledzig.channels import get_channel
+from repro.sledzig.ctc import (
+    CtcDemodulator,
+    CtcModulator,
+    CtcTransmitter,
+    MAX_PAYLOAD_OCTETS,
+    SYNC_PATTERN,
+    crc16,
+    ctc_alphabet,
+    demodulate,
+    frame_bits,
+    pattern_band_decrease_db,
+    rssi_from_frames,
+    scaled_decreases_db,
+    slice_bits,
+    synthesize_rssi,
+)
+from repro.sledzig.ctc.framing import parse_body, parse_length
+from repro.sledzig.pipeline import SledZigReceiver
+from repro.streaming.stage import FrameEvent
+
+
+def _levels(depth: int, base: float = -60.0) -> "tuple[float, float]":
+    low, full = scaled_decreases_db(ctc_alphabet("qam64-2/3", 2, depth))
+    return (base - low, base - full)
+
+
+class TestAlphabet:
+    def test_full_pattern_matches_analysis_formula(self):
+        ch = get_channel(2)
+        assert pattern_band_decrease_db(
+            "qam64", ch, ch.n_data_subcarriers
+        ) == pytest.approx(expected_band_decrease_db("qam64", ch))
+
+    def test_partial_pattern_keeps_released_subcarriers_in_band(self):
+        # The regression this formula exists for: released subcarriers
+        # must stay in the denominator at normal power, so the partial
+        # decrease sits strictly between zero and the full decrease.
+        ch = get_channel(2)
+        full = pattern_band_decrease_db("qam64", ch, ch.n_data_subcarriers)
+        partial = pattern_band_decrease_db(
+            "qam64", ch, ch.n_data_subcarriers - 1
+        )
+        assert 0.0 < partial < full
+        assert pattern_band_decrease_db("qam64", ch, 0) == pytest.approx(0.0)
+
+    def test_n_silenced_bounds(self):
+        ch = get_channel(2)
+        with pytest.raises(ConfigurationError):
+            pattern_band_decrease_db("qam64", ch, -1)
+        with pytest.raises(ConfigurationError):
+            pattern_band_decrease_db("qam64", ch, ch.n_data_subcarriers + 1)
+
+    def test_separation_grows_with_depth(self):
+        seps = [
+            ctc_alphabet("qam64-2/3", 2, d).separation_db for d in (1, 2, 4)
+        ]
+        assert seps[0] > 0.0
+        assert seps == sorted(seps)
+
+    def test_symbol_channels_share_span_and_pilots(self):
+        alphabet = ctc_alphabet("qam64-2/3", 2, 2)
+        low, full = alphabet.symbol_channels
+        assert low.subcarriers == full.subcarriers
+        assert low.pilot_subcarriers == full.pilot_subcarriers
+        assert low.n_data_subcarriers == full.n_data_subcarriers - 2
+        assert set(low.data_subcarriers) < set(full.data_subcarriers)
+
+    def test_depth_bounds_typed(self):
+        n_data = get_channel(2).n_data_subcarriers
+        with pytest.raises(ConfigurationError):
+            ctc_alphabet("qam64-2/3", 2, 0)
+        with pytest.raises(ConfigurationError):
+            ctc_alphabet("qam64-2/3", 2, n_data)
+
+    def test_scaled_decreases_preserve_pattern_ratio(self):
+        alphabet = ctc_alphabet("qam64-2/3", 2, 1)
+        low, full = scaled_decreases_db(alphabet)
+        analytic_low, analytic_full = alphabet.decreases_db
+        assert low / full == pytest.approx(analytic_low / analytic_full)
+        assert 0.0 < low < full
+
+
+class TestFraming:
+    def test_crc16_known_vector(self):
+        # CRC-16/CCITT-FALSE check value of the standard "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_frame_roundtrip(self):
+        payload = b"side channel"
+        bits = frame_bits(payload)
+        assert tuple(bits[: len(SYNC_PATTERN)]) == SYNC_PATTERN
+        body_start = len(SYNC_PATTERN)
+        length = parse_length(bits[body_start : body_start + 8])
+        assert length == len(payload)
+        assert parse_body(length, bits[body_start + 8 :]) == payload
+
+    def test_empty_payload_frames(self):
+        bits = frame_bits(b"")
+        assert parse_length(bits[32:40]) == 0
+        assert parse_body(0, bits[40:]) == b""
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_bits(b"\x00" * (MAX_PAYLOAD_OCTETS + 1))
+
+    def test_impossible_length_is_typed(self):
+        bits = frame_bits(b"x" * 32)
+        with pytest.raises(CtcFramingError):
+            parse_length(bits[32:40], max_payload=16)
+
+    def test_corrupted_payload_fails_crc(self):
+        bits = frame_bits(b"payload")
+        body = np.array(bits[40:], dtype=np.uint8)
+        body[5] ^= 1
+        with pytest.raises(CtcCrcError):
+            parse_body(7, body)
+
+
+class TestModulator:
+    def test_schedule_repeats_each_symbol(self):
+        payload = b"\x0f"
+        one = CtcModulator(channel=2, depth=1).pattern_schedule(payload)
+        four = CtcModulator(
+            channel=2, depth=1, frames_per_symbol=4
+        ).pattern_schedule(payload)
+        assert len(four) == 4 * len(one)
+        assert four == tuple(b for b in one for _ in range(4))
+
+    def test_schedule_is_the_frame_bits(self):
+        payload = b"\xa5\x5a"
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(payload)
+        assert schedule == tuple(int(b) for b in frame_bits(payload))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CtcModulator(channel=2, depth=1, frames_per_symbol=0)
+
+
+class TestTransmitterWaveforms:
+    """The side channel rides real SledZig frames without breaking them."""
+
+    #: Waveform-domain operating point: the per-frame band power carries a
+    #: deterministic payload-dependent leakage offset comparable to a
+    #: shallow depth's eye, so the realistic receiver averages each symbol
+    #: over several distinct frames (frames_per_symbol > 1, OfdmFi-style).
+    _DEPTH = 3
+    _FPS = 4
+
+    @pytest.fixture(scope="class")
+    def transmission(self):
+        tx = CtcTransmitter(
+            mcs_name="qam64-2/3", channel="CH2",
+            depth=self._DEPTH, frames_per_symbol=self._FPS,
+        )
+        rng = np.random.default_rng(11)
+        wifi = [
+            bytes(rng.integers(0, 256, 60, dtype=np.uint8)) for _ in range(41)
+        ]
+        return tx, tx.send(b"Z", wifi), wifi
+
+    def test_every_frame_is_a_decodable_sledzig_stream(self, transmission):
+        # The protection guarantee: both symbol patterns are ordinary
+        # SledZig encodings, so the standard receiver decodes every frame
+        # of the schedule and recovers the primary payload bit-exactly.
+        tx, txn, wifi = transmission
+        receivers = {
+            bit: SledZigReceiver(channel=ch)
+            for bit, ch in enumerate(tx.alphabet.symbol_channels)
+        }
+        for index in (0, 1, len(txn.frames) - 1):
+            bit = txn.schedule[index]
+            decoded = receivers[bit].receive(txn.frames[index].waveform)
+            assert decoded.payload == wifi[index % len(wifi)]
+
+    def test_band_levels_separate_by_symbol(self, transmission):
+        _, txn, _ = transmission
+        rssi = rssi_from_frames(txn.waveforms, "CH2")
+        pooled = rssi.reshape(-1, self._FPS).mean(axis=1)
+        bits = txn.schedule[:: self._FPS]
+        zeros = pooled[[b == 0 for b in bits]]
+        ones = pooled[[b == 1 for b in bits]]
+        # Symbol 1 = full protection = quieter band; after frame
+        # averaging the eye is fully open.
+        assert zeros.min() > ones.max()
+
+    def test_waveform_roundtrip_decodes_the_side_channel(self, transmission):
+        _, txn, _ = transmission
+        rssi = rssi_from_frames(txn.waveforms, "CH2")
+        frames, drops = demodulate(
+            rssi, samples_per_symbol=self._FPS, min_swing_db=0.3
+        )
+        assert [f.payload for f in frames] == [b"Z"]
+        assert drops == []
+
+
+class TestDemodulator:
+    def test_clean_roundtrip(self):
+        payload = b"hello"
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(payload)
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=9, tail=5)
+        frames, drops = demodulate(stream)
+        assert [f.payload for f in frames] == [payload]
+        assert frames[0].start_sample == 9
+        assert drops == []
+
+    def test_noisy_roundtrip_with_averaging(self):
+        payload = b"noisy"
+        mod = CtcModulator(channel=2, depth=1, frames_per_symbol=4)
+        stream = synthesize_rssi(
+            mod.pattern_schedule(payload), 1, _levels(1),
+            lead_in=7, tail=7, noise_db=0.35, rng=np.random.default_rng(5),
+        )
+        frames, _ = demodulate(stream, samples_per_symbol=4)
+        assert [f.payload for f in frames] == [payload]
+
+    def test_back_to_back_frames(self):
+        mod = CtcModulator(channel=2, depth=2)
+        stream = np.concatenate([
+            synthesize_rssi(mod.pattern_schedule(b"one"), 1, _levels(2),
+                            lead_in=4, tail=11),
+            synthesize_rssi(mod.pattern_schedule(b"two"), 1, _levels(2),
+                            tail=6),
+        ])
+        frames, drops = demodulate(stream)
+        assert [f.payload for f in frames] == [b"one", b"two"]
+        assert drops == []
+
+    def test_idle_stream_produces_nothing(self):
+        with telemetry.collect() as tel:
+            frames, drops = demodulate(np.full(4096, -95.0))
+        assert frames == [] and drops == []
+        assert tel.snapshot().counters.get("ctc.rx.locks", 0) == 0
+
+    def test_corrupted_sync_word_is_typed_and_counted(self):
+        schedule = list(CtcModulator(channel=2, depth=1).pattern_schedule(b"x"))
+        # Flip two sync-word symbols (preamble intact, sync broken).
+        schedule[17] ^= 1
+        schedule[22] ^= 1
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=6, tail=40)
+        with telemetry.collect() as tel:
+            frames, drops = demodulate(stream)
+        counters = tel.snapshot().counters
+        assert frames == []
+        assert any(d.cause == "CtcSyncError" for d in drops)
+        assert counters["ctc.rx.sync_errors"] >= 1
+        assert counters["ctc.rx.drop.CtcSyncError"] == sum(
+            d.cause == "CtcSyncError" for d in drops
+        )
+
+    def test_impossible_length_is_typed_and_counted(self):
+        # A sync pattern followed by an all-zero length octet sliced as
+        # 0xFF (all-quiet symbols read as 1-bits) announces 255 octets.
+        schedule = list(SYNC_PATTERN) + [1] * 8 + [0, 1] * 30
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=3, tail=24)
+        with telemetry.collect() as tel:
+            frames, drops = demodulate(stream)
+        assert frames == []
+        assert any(d.cause == "CtcFramingError" for d in drops)
+        assert tel.snapshot().counters["ctc.rx.header_errors"] >= 1
+
+    def test_corrupted_payload_fails_crc_and_counts(self):
+        schedule = list(CtcModulator(channel=2, depth=1).pattern_schedule(b"abcd"))
+        schedule[48] ^= 1  # inside the payload bits
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=5, tail=30)
+        with telemetry.collect() as tel:
+            frames, drops = demodulate(stream)
+        assert frames == []
+        assert any(d.cause == "CtcCrcError" for d in drops)
+        assert tel.snapshot().counters["ctc.rx.crc_errors"] == 1
+
+    def test_truncated_stream_drops_at_flush(self):
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(b"tail")
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=2)
+        frames, drops = demodulate(stream[: stream.size - 30])
+        assert frames == []
+        assert drops[0].cause == "TruncatedFrameError"
+        # The tail rescan after the dead lock may flag further sync-error
+        # candidates, but never another truncation or a frame.
+        assert all(d.cause == "CtcSyncError" for d in drops[1:])
+
+    def test_delivered_frame_counters(self):
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(b"ok")
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=3, tail=3)
+        with telemetry.collect() as tel:
+            frames, _ = demodulate(stream)
+        counters = tel.snapshot().counters
+        assert len(frames) == 1
+        assert counters["ctc.rx.frames"] == 1
+        assert counters["ctc.rx.locks"] == 1
+        assert counters["ctc.rx.samples"] == stream.size
+        assert counters["ctc.rx.symbols"] == len(schedule)
+
+    def test_non_finite_samples_rejected(self):
+        demod = CtcDemodulator()
+        with pytest.raises(InvalidWaveformError):
+            demod.push(np.array([-60.0, np.nan, -66.0]))
+
+    def test_undersized_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CtcDemodulator(samples_per_symbol=8, capacity=256)
+
+    def test_push_returns_events_incrementally(self):
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(b"inc")
+        stream = synthesize_rssi(schedule, 1, _levels(1), lead_in=2, tail=2)
+        demod = CtcDemodulator()
+        head = list(demod.push(stream[:40]))
+        assert head == []  # not enough for a lock decision yet
+        rest = list(demod.push(stream[40:])) + list(demod.flush())
+        payloads = [
+            e.result.payload for e in rest if isinstance(e, FrameEvent)
+        ]
+        assert payloads == [b"inc"]
+
+
+class TestSliceBits:
+    def test_recovers_frame_bits(self):
+        payload = b"raw"
+        schedule = CtcModulator(channel=2, depth=1).pattern_schedule(payload)
+        stream = synthesize_rssi(schedule, 3, _levels(1))
+        assert np.array_equal(slice_bits(stream, 3), frame_bits(payload))
+
+    def test_explicit_threshold(self):
+        bits = slice_bits([-60.0, -70.0, -60.0], 1, threshold_db=-65.0)
+        assert list(bits) == [0, 1, 0]
+
+    def test_invalid_sps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slice_bits([-60.0], 0)

@@ -1,0 +1,139 @@
+"""Chunk-boundary invariance of the CTC RSSI demodulator.
+
+Same contract the waveform receivers are pinned to, applied to the side
+channel: a :class:`~repro.sledzig.ctc.demod.CtcDemodulator` driven
+through :class:`~repro.streaming.StreamPipeline` must emit the exact
+same event sequence for ANY chunking of an RSSI capture — clean, noisy,
+truncated mid-frame, or back-to-back frames — as the one-chunk
+reference.  RSSI streams are tiny next to waveforms, so the random
+chunk plans here are sample-scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sledzig.ctc.alphabet import ctc_alphabet, scaled_decreases_db
+from repro.sledzig.ctc.demod import CtcDemodulator
+from repro.sledzig.ctc.modem import CtcModulator, synthesize_rssi
+from repro.streaming import DropEvent, FrameEvent, StreamPipeline, iter_chunks
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+#: Random chunking plans at RSSI-sample scale (streams are a few hundred
+#: samples long; iter_chunks repeats the last size to cover the rest).
+_chunk_plans = st.lists(st.integers(1, 200), min_size=1, max_size=12)
+
+_DEPTH = 1
+_CHANNEL = 2
+_SPS = 2  # RSSI samples per CTC symbol
+
+
+def _levels() -> tuple:
+    low, full = scaled_decreases_db(ctc_alphabet("qam64-2/3", _CHANNEL, _DEPTH))
+    return (-60.0 - low, -60.0 - full)
+
+
+def _build_streams() -> dict:
+    mod = CtcModulator("qam64-2/3", _CHANNEL, _DEPTH, frames_per_symbol=_SPS)
+    levels = _levels()
+    one = synthesize_rssi(
+        mod.pattern_schedule(b"inv"), 1, levels, lead_in=7, tail=9
+    )
+    pair = np.concatenate([
+        synthesize_rssi(mod.pattern_schedule(b"one"), 1, levels, lead_in=5),
+        synthesize_rssi(mod.pattern_schedule(b"two"), 1, levels, tail=5),
+    ])
+    noisy = synthesize_rssi(
+        mod.pattern_schedule(b"n0"), 1, levels,
+        lead_in=11, tail=4, noise_db=0.3, rng=np.random.default_rng(42),
+    )
+    return {
+        "clean": one,
+        "back_to_back": pair,
+        "noisy": noisy,
+        "truncated": one[: one.size - 40],
+        "idle": np.full(300, -95.0) + np.random.default_rng(3).normal(0, 0.2, 300),
+    }
+
+
+def _decode(stream: np.ndarray, sizes) -> list:
+    pipeline = StreamPipeline(
+        [CtcDemodulator(samples_per_symbol=_SPS, min_swing_db=0.5)],
+        telemetry_prefix="ctc",
+    )
+    out = []
+    for event in pipeline.run(iter_chunks(stream, sizes)):
+        if isinstance(event, FrameEvent):
+            out.append(("frame", event.start_sample, event.result.payload))
+        elif isinstance(event, DropEvent):
+            out.append(("drop", event.start_sample, event.cause))
+    return out
+
+
+_STREAMS = _build_streams()
+
+_REFERENCE = {
+    variant: _decode(stream, stream.size)
+    for variant, stream in _STREAMS.items()
+}
+
+
+class TestReferenceSanity:
+    def test_clean_reference_decodes(self):
+        assert [e[:1] + e[2:] for e in _REFERENCE["clean"]] == [
+            ("frame", b"inv")
+        ]
+
+    def test_back_to_back_reference_decodes_both(self):
+        payloads = [e[2] for e in _REFERENCE["back_to_back"] if e[0] == "frame"]
+        assert payloads == [b"one", b"two"]
+
+    def test_truncated_reference_leads_with_typed_drop(self):
+        events = _REFERENCE["truncated"]
+        assert events and events[0] == ("drop", 7, "TruncatedFrameError")
+        assert not any(e[0] == "frame" for e in events)
+
+    def test_idle_reference_is_silent(self):
+        assert _REFERENCE["idle"] == []
+
+
+class TestRandomChunkings:
+    @pytest.mark.parametrize(
+        "variant", ["clean", "back_to_back", "noisy", "truncated", "idle"]
+    )
+    @given(sizes=_chunk_plans)
+    @_SETTINGS
+    def test_any_chunking_matches_one_chunk_reference(self, variant, sizes):
+        stream = _STREAMS[variant]
+        assert _decode(stream, sizes) == _REFERENCE[variant]
+
+
+class TestPathologicalSplits:
+    def test_single_sample_pushes_through_entire_stream(self):
+        stream = _STREAMS["back_to_back"]
+        assert _decode(stream, 1) == _REFERENCE["back_to_back"]
+
+    def test_split_mid_sync_word(self):
+        # The first frame's 32-symbol preamble+sync spans samples
+        # [7, 7 + 32 * _SPS): cut inside it, then tiny, then large.
+        stream = _STREAMS["clean"]
+        for cut in (8, 7 + 16 * _SPS, 7 + 32 * _SPS - 1):
+            assert _decode(stream, [cut, 3, 4096]) == _REFERENCE["clean"]
+
+    def test_split_exactly_at_frame_boundary(self):
+        stream = _STREAMS["back_to_back"]
+        first = synthesize_rssi(
+            CtcModulator("qam64-2/3", _CHANNEL, _DEPTH, frames_per_symbol=_SPS)
+            .pattern_schedule(b"one"),
+            1, _levels(), lead_in=5,
+        )
+        for cut in (first.size - 1, first.size, first.size + 1):
+            assert _decode(stream, [cut, 2048]) == _REFERENCE["back_to_back"]

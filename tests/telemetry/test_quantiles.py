@@ -87,3 +87,65 @@ class TestReservoir:
     def test_tiny_cap_rejected(self):
         with pytest.raises(ConfigurationError):
             Reservoir(cap=1)
+
+
+class TestEdgeCases:
+    """Empty / single-sample pins: a zero-request run must stay sane."""
+
+    def test_empty_percentiles_never_raise(self):
+        res = Reservoir()
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert res.percentile(q) == 0.0
+
+    def test_single_sample_every_percentile_is_the_sample(self):
+        res = Reservoir()
+        res.observe(0.125)
+        for q in (0.0, 50.0, 90.0, 99.0, 100.0):
+            assert res.percentile(q) == 0.125
+        summary = res.to_jsonable()
+        assert summary == {"count": 1, "p50": 0.125, "p90": 0.125,
+                           "p99": 0.125, "max": 0.125}
+
+    def test_out_of_range_q_still_typed_on_empty(self):
+        with pytest.raises(ConfigurationError):
+            Reservoir().percentile(101)
+
+    def test_non_finite_observation_rejected(self):
+        # A NaN latency sorts unpredictably and poisons every percentile
+        # forever after; the reservoir rejects it at the door instead.
+        res = Reservoir()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                res.observe(bad)
+        assert res.count == 0 and res.samples == []
+
+    def test_minimum_cap_single_and_empty(self):
+        res = Reservoir(cap=2)
+        assert res.to_jsonable()["count"] == 0
+        res.observe(7.0)
+        assert res.percentile(50) == 7.0
+
+    def test_zero_request_slo_shape_passes_manifest_lint(self):
+        """An empty reservoir's summary must satisfy check_manifest's SLO
+        lint inside a full, digest-consistent run record."""
+        from repro import telemetry
+        from repro.tools.check_manifest import lint_record
+
+        with telemetry.collect() as tel:
+            tel.count("gateway.requests", 0)
+        record = telemetry.run_record(
+            "gateway",
+            config={"experiment": "gateway", "quick": True},
+            seconds=0.0,
+            snapshot=tel.snapshot(),
+            extra={
+                "slo": {
+                    "latency_s": Reservoir().to_jsonable(),
+                    "batch_fill": {},
+                    "requests": 0,
+                    "encoded": 0,
+                    "drops": {},
+                }
+            },
+        )
+        assert lint_record(record, "zero-request") == []

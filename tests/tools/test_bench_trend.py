@@ -80,14 +80,45 @@ class TestCheck:
         assert bench_trend.run_check(current, baseline, 0.20, out) == 0
         assert "skipped" in out.getvalue()
 
-    def test_new_and_retired_benchmarks_are_notes_not_failures(self, dirs) -> None:
+    def test_mismatched_pair_fails_with_per_name_diagnostics(self, dirs) -> None:
+        """A benchmark on only one side is a violation, not a note.
+
+        Regression test for the silent-mismatch bug: renaming a benchmark
+        (or a benchmark silently not running) used to produce chatty notes
+        and exit 0 — the gate went green while tracking nothing.
+        """
         baseline, current = dirs
-        _write_bench(baseline, "core", {"test_old": 0.010})
-        _write_bench(current, "core", {"test_new": 0.010})
+        _write_bench(baseline, "core", {"test_old": 0.010, "test_kept": 0.010})
+        _write_bench(current, "core", {"test_new": 0.010, "test_kept": 0.010})
         out = io.StringIO()
-        assert bench_trend.run_check(current, baseline, 0.20, out) == 0
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 2
         text = out.getvalue()
-        assert "retired" in text and "no baseline" in text
+        assert "MISSING core:test_old" in text and "not in the fresh run" in text
+        assert "MISSING core:test_new" in text and "no committed" in text
+        # The matched benchmark still reports normally.
+        assert "ok  core:test_kept" in text
+
+    def test_fresh_suite_without_baseline_file_fails_per_name(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010})
+        _write_bench(current, "core", {"test_a": 0.010})
+        _write_bench(current, "newsuite", {"test_x": 0.010, "test_y": 0.010})
+        out = io.StringIO()
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 2
+        text = out.getvalue()
+        assert "MISSING newsuite:test_x" in text
+        assert "MISSING newsuite:test_y" in text
+        assert "no committed BENCH_newsuite.json" in text
+
+    def test_mismatch_and_regression_both_counted(self, dirs) -> None:
+        baseline, current = dirs
+        _write_bench(baseline, "core", {"test_a": 0.010, "test_old": 0.010})
+        _write_bench(current, "core", {"test_a": 0.030})
+        out = io.StringIO()
+        assert bench_trend.run_check(current, baseline, 0.20, out) == 2
+        text = out.getvalue()
+        assert "REGRESSION core:test_a" in text
+        assert "MISSING core:test_old" in text
 
     def test_empty_baseline_dir_is_clean(self, dirs) -> None:
         baseline, current = dirs

@@ -59,6 +59,39 @@ def _gateway_record() -> dict:
     )
 
 
+def _ctc_record() -> dict:
+    """A CTC record: the classic shape plus the ``ctc`` acceptance object."""
+    with telemetry.collect() as tel:
+        tel.count("ctc.rx.frames", 7)
+        tel.count("ctc.rx.sync_errors", 1)
+        tel.count("ctc.rx.drop.CtcSyncError", 1)
+        with tel.span("ctc.rx.decode"):
+            pass
+        snapshot = tel.snapshot()
+    ctc = {
+        "depth": 1,
+        "frames_per_symbol": 4,
+        "noise_db": 0.4,
+        "separation_db": 2.34,
+        "ber": 0.0025,
+        "frames_sent": 8,
+        "frames_delivered": 7,
+        "sync_errors": 1,
+        "header_errors": 0,
+        "crc_errors": 0,
+        "delivery": {"sledzig": 0.9939, "ctc": 0.9939, "delta": 0.0},
+    }
+    return telemetry.run_record(
+        "ctc",
+        config={"experiment": "ctc", "seed": 2026},
+        seconds=0.5,
+        snapshot=snapshot,
+        experiment_id="CTC",
+        title="ctc acceptance record",
+        extra={"ctc": ctc},
+    )
+
+
 def _write_manifest(tmp_path: Path, records) -> Path:
     path = tmp_path / "metrics.jsonl"
     path.write_text(
@@ -76,13 +109,18 @@ class TestValidManifests:
         path = _write_manifest(tmp_path, [_gateway_record()])
         assert lint_manifest(path) == []
 
+    def test_ctc_record_is_clean(self, tmp_path):
+        path = _write_manifest(tmp_path, [_ctc_record()])
+        assert lint_manifest(path) == []
+
     def test_mixed_manifest_is_clean(self, tmp_path):
         failed = telemetry.run_record(
             "fig12", config={"experiment": "fig12"}, seconds=0.1,
             status="failed", error="DecodingError: boom",
         )
         path = _write_manifest(
-            tmp_path, [_classic_record(), failed, _gateway_record()]
+            tmp_path, [_classic_record(), failed, _gateway_record(),
+                       _ctc_record()]
         )
         assert lint_manifest(path) == []
         assert main([str(path)]) == 0
@@ -136,6 +174,23 @@ class TestViolations:
         violations = lint_record(record, "here")
         assert any("p99" in v for v in violations)
         assert any("batch_fill" in v for v in violations)
+
+    def test_malformed_ctc_object(self):
+        record = _ctc_record()
+        del record["ctc"]["separation_db"]
+        record["ctc"]["ber"] = 1.5
+        record["ctc"]["delivery"] = {"sledzig": 0.99}
+        violations = lint_record(record, "here")
+        assert any("separation_db" in v for v in violations)
+        assert any("ctc.ber" in v for v in violations)
+        assert any("ctc.delivery" in v and "delta" in v for v in violations)
+
+    def test_ctc_not_an_object(self):
+        record = _ctc_record()
+        record["ctc"] = [1, 2, 3]
+        assert any(
+            "'ctc' is not an object" in v for v in lint_record(record, "here")
+        )
 
     def test_non_json_line_and_exit_status(self, tmp_path, capsys):
         path = tmp_path / "metrics.jsonl"
